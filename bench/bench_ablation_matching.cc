@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Section 3.2 matching-table ablations:
+ *  - banking (input bandwidth): paper — 2 banks cost 5% on average and
+ *    15% on ammp; 8 banks gain nothing over 4;
+ *  - set associativity: paper — 2-way gains 10% over direct-mapped and
+ *    cuts misses 41%; 4-way adds <1%.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace ws;
+
+int
+main(int argc, char **argv)
+{
+    const bench::BenchOptions opts = bench::parseArgs(argc, argv);
+
+    const char *workloads_all[] = {"gzip", "ammp", "equake", "djpeg",
+                                   "rawdaudio", "mcf"};
+    const char *workloads_quick[] = {"gzip", "ammp"};
+    const auto workloads = opts.quick
+                               ? std::vector<const char *>(
+                                     std::begin(workloads_quick),
+                                     std::end(workloads_quick))
+                               : std::vector<const char *>(
+                                     std::begin(workloads_all),
+                                     std::end(workloads_all));
+
+    // Bank pressure needs a high arrival rate per PE: use a dense
+    // single-domain machine (8 PEs carrying the whole program).
+    ProcessorConfig base = ProcessorConfig::baseline();
+    base.memory.l2Bytes = 1 << 20;
+    ProcessorConfig dense = base;
+    dense.domainsPerCluster = 1;
+    dense.pe.instStoreEntries = 256;
+    dense.pe.matchingEntries = 256;
+
+    std::printf("Ablation: matching-table banks (arrival bandwidth; "
+                "dense 8-PE machine)\n");
+    std::printf("paper: 2 banks -5%% avg (-15%% worst, ammp); 8 banks ~= "
+                "4 banks\n\n");
+    std::printf("%-12s %8s %8s %8s %8s %10s\n", "workload", "1 bank",
+                "2 banks", "4 banks", "8 banks", "2-vs-4");
+    bench::rule(62);
+    double geo_drop = 0.0;
+    int n = 0;
+    for (const char *w : workloads) {
+        const Kernel &k = findKernel(w);
+        double aipc[4];
+        int idx = 0;
+        for (unsigned banks : {1u, 2u, 4u, 8u}) {
+            ProcessorConfig cfg = dense;
+            cfg.pe.matchingBanks = banks;
+            aipc[idx++] = bench::runKernelCfg(k, cfg, 1, opts).aipc;
+        }
+        const double drop = 100.0 * (1.0 - aipc[1] / aipc[2]);
+        geo_drop += drop;
+        ++n;
+        std::printf("%-12s %8.2f %8.2f %8.2f %8.2f %9.1f%%\n", w,
+                    aipc[0], aipc[1], aipc[2], aipc[3], drop);
+    }
+    std::printf("mean 2-vs-4 bank penalty: %.1f%%  (paper: 5%%)\n\n",
+                geo_drop / n);
+
+    std::printf("Ablation: matching-table associativity\n");
+    std::printf("paper: 2-way +10%% over 1-way, misses -41%%; 4-way "
+                "< +1%%\n\n");
+    std::printf("%-12s %8s %8s %8s %10s %12s\n", "workload", "1-way",
+                "2-way", "4-way", "2w gain", "miss drop");
+    bench::rule(64);
+    for (const char *w : workloads) {
+        const Kernel &k = findKernel(w);
+        double aipc[3];
+        double misses[3];
+        int idx = 0;
+        for (unsigned ways : {1u, 2u, 4u}) {
+            ProcessorConfig cfg = base;
+            cfg.pe.matchingWays = ways;
+            auto r = bench::runKernelCfg(k, cfg, 1, opts);
+            aipc[idx] = r.aipc;
+            misses[idx] = r.report.get("match.misses");
+            ++idx;
+        }
+        const double gain = 100.0 * (aipc[1] / aipc[0] - 1.0);
+        const double miss_drop =
+            misses[0] > 0 ? 100.0 * (1.0 - misses[1] / misses[0]) : 0.0;
+        std::printf("%-12s %8.2f %8.2f %8.2f %9.1f%% %11.1f%%\n", w,
+                    aipc[0], aipc[1], aipc[2], gain, miss_drop);
+    }
+    return 0;
+}

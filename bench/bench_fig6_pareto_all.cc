@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Reproduces Figure 6's single-threaded panes (Spec and Mediabench):
+ * the AIPC-vs-area scatter over all candidate designs with the Pareto
+ * front marked, for each suite.
+ *
+ * Expected shape (paper): single-threaded suites saturate quickly —
+ * matching/instruction-store capacity first, then an L2; extra clusters
+ * buy nothing ("none of the single-threaded applications can profitably
+ * use more than one cluster").
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "area/pareto.h"
+#include "bench/bench_util.h"
+
+using namespace ws;
+
+namespace {
+
+void
+runSuite(const char *name, Suite suite,
+         const std::vector<DesignPoint> &designs,
+         const bench::BenchOptions &opts)
+{
+    std::printf("\nFigure 6 pane: %s\n", name);
+    std::printf("area_mm2  avg_aipc  pareto  design\n");
+    bench::rule(72);
+
+    std::vector<ParetoPoint> points;
+    std::vector<double> aipcs(designs.size());
+    for (std::size_t i = 0; i < designs.size(); ++i) {
+        const double aipc = bench::suiteAipc(suite, designs[i], opts);
+        aipcs[i] = aipc;
+        points.push_back(ParetoPoint{AreaModel::totalArea(designs[i]),
+                                     aipc, i});
+        std::fprintf(stderr, "  [%s %zu/%zu] %s -> %.2f\n", name, i + 1,
+                     designs.size(), designs[i].describe().c_str(), aipc);
+    }
+    const auto front = paretoFront(points);
+    std::vector<bool> optimal(designs.size(), false);
+    for (std::size_t idx : front)
+        optimal[points[idx].tag] = true;
+    for (std::size_t i = 0; i < designs.size(); ++i) {
+        std::printf("%8.1f  %8.2f  %6s  %s\n", points[i].area, aipcs[i],
+                    optimal[i] ? "*" : "", designs[i].describe().c_str());
+    }
+
+    // Does more than one cluster ever help? (Paper: no.)
+    double best_one_cluster = 0.0;
+    double best_overall = 0.0;
+    for (std::size_t i = 0; i < designs.size(); ++i) {
+        best_overall = std::max(best_overall, aipcs[i]);
+        if (designs[i].clusters == 1)
+            best_one_cluster = std::max(best_one_cluster, aipcs[i]);
+    }
+    std::printf("\n%s: best 1-cluster AIPC %.2f vs best overall %.2f "
+                "(paper: multi-cluster buys ~nothing)\n", name,
+                best_one_cluster, best_overall);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bench::BenchOptions opts = bench::parseArgs(argc, argv);
+    const std::vector<DesignPoint> designs = bench::benchDesigns(opts);
+    std::printf("Figure 6 (single-threaded panes): %zu designs\n",
+                designs.size());
+    runSuite("Spec2000-like", Suite::kSpec, designs, opts);
+    runSuite("Mediabench-like", Suite::kMedia, designs, opts);
+    return 0;
+}

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Reproduces Figure 7's scaled-tile analysis (§4.2, "Scalable design
+ * points"):
+ *
+ *  a = the best-performing single-cluster design (single-threaded avg);
+ *  c = the most area-efficient single-cluster design;
+ *  b = a naively replicated 4x (clusters and L2 both x4);
+ *  d = c replicated 4x;
+ *  e = the smallest Pareto-optimal 4-cluster design (Splash);
+ *  plus c and e replicated 16x.
+ *
+ * Paper's lessons: (1) b lands far off the Pareto front — naive
+ * replication scales a design's inefficiencies too — while d is nearly
+ * optimal at almost half the area; (2) the optimal tile varies with
+ * machine size: scaling c to 16 clusters loses efficiency, scaling e
+ * keeps the linear trend.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "area/pareto.h"
+#include "bench/bench_util.h"
+
+using namespace ws;
+
+namespace {
+
+DesignPoint
+replicate(DesignPoint d, int factor)
+{
+    d.clusters = static_cast<std::uint16_t>(d.clusters * factor);
+    d.l2MB = static_cast<std::uint16_t>(d.l2MB * factor);
+    return d;
+}
+
+double
+singleThreadedAipc(const DesignPoint &d, const bench::BenchOptions &opts)
+{
+    // Average over both single-threaded suites, as in Figure 7.
+    const double spec = bench::suiteAipc(Suite::kSpec, d, opts);
+    const double media = bench::suiteAipc(Suite::kMedia, d, opts);
+    return (6 * spec + 3 * media) / 9.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bench::BenchOptions opts = bench::parseArgs(argc, argv);
+    const auto all = enumerateCandidates();
+
+    // Step 1: scan single-cluster designs with the single-threaded apps.
+    std::printf("Step 1: single-cluster designs, single-threaded "
+                "average AIPC\n");
+    std::printf("%8s %8s %8s  %s\n", "area", "aipc", "aipc/mm2",
+                "design");
+    bench::rule(68);
+    DesignPoint a{};
+    DesignPoint c{};
+    double a_perf = -1.0;
+    double c_eff = -1.0;
+    double a_area = 0.0;
+    for (const DesignPoint &d : all) {
+        if (d.clusters != 1)
+            continue;
+        if (opts.quick && d.l1KB == 16)
+            continue;
+        const double aipc = singleThreadedAipc(d, opts);
+        const double area = AreaModel::totalArea(d);
+        std::printf("%8.1f %8.2f %8.4f  %s\n", area, aipc, aipc / area,
+                    d.describe().c_str());
+        if (aipc > a_perf + 1e-9 ||
+            (aipc > a_perf - 1e-9 && area < a_area)) {
+            a_perf = aipc;
+            a_area = area;
+            a = d;
+        }
+        if (aipc / area > c_eff) {
+            c_eff = aipc / area;
+            c = d;
+        }
+    }
+    std::printf("\n  a (best 1-cluster perf):       %s  (%.1f mm2)\n",
+                a.describe().c_str(), AreaModel::totalArea(a));
+    std::printf("  c (best 1-cluster perf/area):  %s  (%.1f mm2)\n",
+                c.describe().c_str(), AreaModel::totalArea(c));
+
+    // Step 2: Splash on the 4-cluster candidates to find the front and
+    // point e.
+    std::printf("\nStep 2: Splash2 on 4-cluster candidates\n");
+    std::vector<ParetoPoint> pts4;
+    std::vector<DesignPoint> des4;
+    for (const DesignPoint &d : all) {
+        if (d.clusters != 4)
+            continue;
+        if (opts.quick && (d.l1KB == 16 || d.l2MB > 2))
+            continue;
+        const double aipc = bench::suiteAipc(Suite::kSplash, d, opts);
+        pts4.push_back(
+            ParetoPoint{AreaModel::totalArea(d), aipc, des4.size()});
+        des4.push_back(d);
+        std::fprintf(stderr, "  %s -> %.2f\n", d.describe().c_str(),
+                     aipc);
+    }
+    const auto front4 = paretoFront(pts4);
+    if (front4.empty()) {
+        std::printf("no 4-cluster candidates survived; aborting\n");
+        return 1;
+    }
+    const DesignPoint e = des4[pts4[front4.front()].tag];
+    std::printf("  e (smallest Pareto-optimal 4-cluster): %s "
+                "(%.1f mm2)\n", e.describe().c_str(),
+                AreaModel::totalArea(e));
+
+    // Step 3: the scaled designs on Splash.
+    std::printf("\nStep 3: scaled designs on Splash2\n");
+    std::printf("%-8s %-36s %8s %8s %9s\n", "point", "design", "area",
+                "AIPC", "AIPC/mm2");
+    bench::rule(76);
+    struct Case
+    {
+        const char *label;
+        DesignPoint d;
+    };
+    std::vector<Case> cases = {
+        {"a", a},
+        {"c", c},
+        {"b = 4xa", replicate(a, 4)},
+        {"d = 4xc", replicate(c, 4)},
+        {"e", e},
+        {"4xe", replicate(e, 4)},
+        {"16xc", replicate(c, 16)},
+    };
+    double b_eff = 0.0;
+    double d_eff = 0.0;
+    double e4_eff = 0.0;
+    double c16_eff = 0.0;
+    for (const Case &cs : cases) {
+        double aipc = 0.0;
+        for (const Kernel &k : kernelRegistry()) {
+            if (k.suite != Suite::kSplash)
+                continue;
+            aipc += bench::runKernelBestThreads(k, cs.d, opts).aipc;
+        }
+        aipc /= 6.0;
+        const double area = AreaModel::totalArea(cs.d);
+        std::printf("%-8s %-36s %8.1f %8.2f %9.4f\n", cs.label,
+                    cs.d.describe().c_str(), area, aipc, aipc / area);
+        if (std::string(cs.label) == "b = 4xa")
+            b_eff = aipc / area;
+        if (std::string(cs.label) == "d = 4xc")
+            d_eff = aipc / area;
+        if (std::string(cs.label) == "4xe")
+            e4_eff = aipc / area;
+        if (std::string(cs.label) == "16xc")
+            c16_eff = aipc / area;
+    }
+
+    std::printf("\nLessons (paper's wording):\n");
+    std::printf("  replicating the best-performing tile (b) vs the most "
+                "efficient tile (d):\n    efficiency %.4f vs %.4f "
+                "AIPC/mm2 -> naive scaling wastes %.0f%% of the area "
+                "budget\n    (paper: b is 370mm2 for 8.2 AIPC; d is "
+                "207mm2 for 8.17 AIPC — ~2x)\n", b_eff, d_eff,
+                100.0 * (1.0 - b_eff / std::max(d_eff, 1e-9)));
+    std::printf("  scaling c 16x vs scaling e 4x: efficiency %.4f vs "
+                "%.4f AIPC/mm2\n    (paper: the optimal tile changes "
+                "with machine size)\n", c16_eff, e4_eff);
+    return 0;
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot structures:
+ * useful for keeping the design-space sweeps fast and for spotting
+ * regressions in the core data paths.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/simulator.h"
+#include "kernels/kernel.h"
+#include "memory/cache.h"
+#include "network/mesh.h"
+#include "network/timed_queue.h"
+#include "pe/matching_table.h"
+
+namespace ws {
+namespace {
+
+void
+BM_MatchingTableInsert(benchmark::State &state)
+{
+    MatchingTable mt(128, 2, 4);
+    Rng rng(1);
+    WaveNum wave = 0;
+    for (auto _ : state) {
+        const auto inst = static_cast<InstId>(rng.range(128));
+        Token t{Tag{0, wave}, PortRef{inst, 0}, 1};
+        benchmark::DoNotOptimize(mt.insert(t, 1, inst));
+        if (++wave % 64 == 0)
+            wave += 1;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MatchingTableInsert);
+
+void
+BM_MatchingTableMatchPair(benchmark::State &state)
+{
+    MatchingTable mt(static_cast<unsigned>(state.range(0)), 2, 4);
+    Rng rng(1);
+    WaveNum wave = 0;
+    for (auto _ : state) {
+        const auto inst = static_cast<InstId>(rng.range(32));
+        mt.insert(Token{Tag{0, wave}, PortRef{inst, 0}, 1}, 2, inst);
+        benchmark::DoNotOptimize(
+            mt.insert(Token{Tag{0, wave}, PortRef{inst, 1}, 2}, 2, inst));
+        ++wave;
+    }
+    state.SetItemsProcessed(2 * state.iterations());
+}
+BENCHMARK(BM_MatchingTableMatchPair)->Arg(16)->Arg(128);
+
+void
+BM_TagArrayProbe(benchmark::State &state)
+{
+    TagArray tags(32 * 1024, 4, 128);
+    Rng rng(1);
+    for (int i = 0; i < 256; ++i)
+        tags.insert(static_cast<Addr>(rng.range(1 << 20)) * 128, 1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            tags.probe(static_cast<Addr>(rng.range(1 << 20)) * 128));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TagArrayProbe);
+
+void
+BM_TimedQueuePushPop(benchmark::State &state)
+{
+    TimedQueue<int> q;
+    Cycle now = 0;
+    for (auto _ : state) {
+        q.push(1, now + 3);
+        q.push(2, now + 1);
+        ++now;
+        while (q.ready(now))
+            benchmark::DoNotOptimize(q.pop(now));
+    }
+}
+BENCHMARK(BM_TimedQueuePushPop);
+
+void
+BM_MeshAllToAll(benchmark::State &state)
+{
+    TrafficStats traffic;
+    MeshConfig cfg;
+    cfg.clusters = static_cast<std::uint16_t>(state.range(0));
+    MeshNetwork mesh(cfg, &traffic);
+    Rng rng(1);
+    Cycle now = 0;
+    for (auto _ : state) {
+        NetMessage m;
+        m.src = static_cast<ClusterId>(rng.range(cfg.clusters));
+        m.dst = static_cast<ClusterId>(rng.range(cfg.clusters));
+        m.payload = OperandMsg{};
+        mesh.inject(m, now);
+        mesh.tick(now);
+        for (ClusterId c = 0; c < cfg.clusters; ++c)
+            mesh.delivered(c).clear();
+        ++now;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MeshAllToAll)->Arg(4)->Arg(16);
+
+void
+BM_EndToEndSimCyclesPerSecond(benchmark::State &state)
+{
+    KernelParams params;
+    params.threads = 8;
+    ProcessorConfig cfg = ProcessorConfig::baseline();
+    cfg.memory.l2Bytes = 1 << 20;
+    Cycle total_cycles = 0;
+    for (auto _ : state) {
+        DataflowGraph g = buildFft(params);
+        SimOptions opts;
+        opts.maxCycles = 50'000;
+        SimResult r = runSimulation(g, cfg, opts);
+        total_cycles += r.cycles;
+        benchmark::DoNotOptimize(r.aipc);
+    }
+    state.counters["sim_cycles_per_s"] = benchmark::Counter(
+        static_cast<double>(total_cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EndToEndSimCyclesPerSecond)->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace ws
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Reproduces Table 2: the area budget of one baseline cluster
+ * (4 domains x 8 PEs, V = M = 128, 32 KB L1), printing the published
+ * RTL figures next to this repository's area-model derivation.
+ */
+
+#include <cstdio>
+
+#include "area/area_model.h"
+#include "bench/bench_util.h"
+
+using namespace ws;
+
+int
+main(int argc, char **argv)
+{
+    bench::parseArgs(argc, argv);
+
+    const DesignPoint base{1, 4, 8, 128, 128, 32, 0};
+    const double pe_model = AreaModel::peArea(128, 128);
+    const double dom_model = AreaModel::domainArea(8, 128, 128);
+    const double clu_model = AreaModel::clusterArea(base);
+
+    std::printf("Table 2: cluster area budget (baseline: 4 domains x 8 "
+                "PEs, V=M=128, 32KB L1)\n");
+    std::printf("paper column = published RTL synthesis figures; model "
+                "column = this repo's Table-3 area model\n\n");
+
+    std::printf("%-22s %10s %10s\n", "component", "paper mm2", "model mm2");
+    bench::rule(46);
+    struct Row
+    {
+        const char *name;
+        double paper;
+        double model;
+    };
+    const double match_model = 128 * AreaModel::kMatchPerEntry;
+    const double store_model = 128 * AreaModel::kInstPerEntry;
+    const Row pe_rows[] = {
+        {"  INPUT", Table2Budget::kInput, -1},
+        {"  MATCH", Table2Budget::kMatch, match_model},
+        {"  DISPATCH", Table2Budget::kDispatch, -1},
+        {"  EXECUTE", Table2Budget::kExecute, -1},
+        {"  OUTPUT", Table2Budget::kOutput, -1},
+        {"  instruction store", Table2Budget::kInstStore, store_model},
+        {"PE total", Table2Budget::kPeTotal, pe_model},
+    };
+    for (const Row &row : pe_rows) {
+        if (row.model < 0)
+            std::printf("%-22s %10.2f %10s\n", row.name, row.paper, "-");
+        else
+            std::printf("%-22s %10.2f %10.2f\n", row.name, row.paper,
+                        row.model);
+    }
+    bench::rule(46);
+    std::printf("%-22s %10.2f %10.2f\n", "8x PE", 8 * Table2Budget::kPeTotal,
+                8 * pe_model);
+    std::printf("%-22s %10.2f %10.2f\n", "  MemPE + NetPE",
+                Table2Budget::kMemPe + Table2Budget::kNetPe,
+                2 * AreaModel::kPseudoPe);
+    std::printf("%-22s %10.2f %10s\n", "  FPU", Table2Budget::kFpu, "-");
+    std::printf("%-22s %10.2f %10.2f\n", "domain total",
+                Table2Budget::kDomainTotal, dom_model);
+    bench::rule(46);
+    std::printf("%-22s %10.2f %10.2f\n", "4x domain",
+                4 * Table2Budget::kDomainTotal, 4 * dom_model);
+    std::printf("%-22s %10.2f %10.2f\n", "network switch",
+                Table2Budget::kSwitch, AreaModel::kNetSwitch);
+    std::printf("%-22s %10.2f %10.2f\n", "store buffer",
+                Table2Budget::kStoreBuffer, AreaModel::kStoreBuffer);
+    std::printf("%-22s %10.2f %10.2f\n", "data cache (32KB)",
+                Table2Budget::kDataCache, 32 * AreaModel::kL1PerKB);
+    std::printf("%-22s %10.2f %10.2f\n", "cluster total",
+                Table2Budget::kClusterTotal, clu_model);
+    bench::rule(46);
+
+    // Headline claims of §4.1.
+    const double pes_frac = 4 * 8 * pe_model / clu_model;
+    const double sram =
+        32 * (128 * AreaModel::kMatchPerEntry +
+              128 * AreaModel::kInstPerEntry) +
+        32 * AreaModel::kL1PerKB;
+    std::printf("\nPE fraction of cluster: %.0f%%  (paper: 71%%)\n",
+                100 * pes_frac);
+    std::printf("SRAM fraction of cluster: %.0f%%  (paper: ~80%%)\n",
+                100 * sram / clu_model);
+    std::printf("Full-die baseline (C1, no L2): %.1f mm2  (paper: 39)\n",
+                AreaModel::totalArea(base) -
+                    32 * AreaModel::kL1PerKB / AreaModel::kUtilization +
+                    8 * AreaModel::kL1PerKB / AreaModel::kUtilization);
+    std::printf("Table-2 note: the paper's own 6.18 mm2 'data cache' row "
+                "conflicts with its Table-3\nconstant (0.363 mm2/KB x 32 "
+                "KB = 11.6 mm2); we follow Table 3, which Table 5's\n"
+                "area column confirms.\n");
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Reproduces Table 5 and the Splash2 pane of Figure 6: evaluate every
+ * candidate design on the multithreaded Splash2-like suite (best thread
+ * count per design, as in the paper), extract the Pareto-optimal set,
+ * and report the area/performance scaling headline (paper: AIPC scales
+ * linearly from 1.3 @ 39mm2 to 13.3 @ 399mm2).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "area/pareto.h"
+#include "bench/bench_util.h"
+
+using namespace ws;
+
+int
+main(int argc, char **argv)
+{
+    const bench::BenchOptions opts = bench::parseArgs(argc, argv);
+    const std::vector<DesignPoint> designs = bench::benchDesigns(opts);
+
+    std::printf("Table 5 / Figure 6 (Splash2): %zu candidate designs x "
+                "%d kernels\n\n", designs.size(), 6);
+
+    std::vector<ParetoPoint> points;
+    std::vector<double> aipcs(designs.size());
+    for (std::size_t i = 0; i < designs.size(); ++i) {
+        const double aipc = bench::suiteAipc(Suite::kSplash, designs[i],
+                                             opts);
+        aipcs[i] = aipc;
+        points.push_back(ParetoPoint{AreaModel::totalArea(designs[i]),
+                                     aipc, i});
+        std::fprintf(stderr, "  [%zu/%zu] %s -> %.2f AIPC\n", i + 1,
+                     designs.size(), designs[i].describe().c_str(), aipc);
+    }
+
+    const std::vector<std::size_t> front = paretoFront(points);
+    std::vector<bool> optimal(designs.size(), false);
+    for (std::size_t idx : front)
+        optimal[points[idx].tag] = true;
+
+    // Figure-6 scatter (all points).
+    std::printf("area_mm2  avg_aipc  pareto  design\n");
+    bench::rule(72);
+    for (std::size_t i = 0; i < designs.size(); ++i) {
+        std::printf("%8.1f  %8.2f  %6s  %s\n", points[i].area, aipcs[i],
+                    optimal[i] ? "*" : "", designs[i].describe().c_str());
+    }
+
+    // Table-5 style: the Pareto set with area/AIPC increments.
+    std::printf("\nPareto-optimal configurations (Table 5 analogue)\n");
+    std::printf("%3s %-34s %8s %8s %8s %8s\n", "id", "design", "area",
+                "AIPC", "dArea%", "dAIPC%");
+    bench::rule(76);
+    double prev_area = 0.0;
+    double prev_aipc = 0.0;
+    int id = 1;
+    for (std::size_t idx : front) {
+        const ParetoPoint &p = points[idx];
+        const DesignPoint &d = designs[p.tag];
+        if (id == 1) {
+            std::printf("%3d %-34s %8.1f %8.2f %8s %8s\n", id,
+                        d.describe().c_str(), p.area, p.perf, "na", "na");
+        } else {
+            std::printf("%3d %-34s %8.1f %8.2f %8.1f %8.1f\n", id,
+                        d.describe().c_str(), p.area, p.perf,
+                        100.0 * (p.area - prev_area) / prev_area,
+                        100.0 * (p.perf - prev_aipc) / prev_aipc);
+        }
+        prev_area = p.area;
+        prev_aipc = p.perf;
+        ++id;
+    }
+
+    // Scaling headline.
+    if (front.size() >= 2) {
+        const ParetoPoint &lo = points[front.front()];
+        const ParetoPoint &hi = points[front.back()];
+        std::printf("\nScaling: %.2f AIPC @ %.0f mm2  ->  %.2f AIPC @ "
+                    "%.0f mm2\n", lo.perf, lo.area, hi.perf, hi.area);
+        std::printf("  area x%.1f, performance x%.1f  (paper: x10.2 area "
+                    "-> x10.2 AIPC, i.e. linear)\n",
+                    hi.area / lo.area, hi.perf / lo.perf);
+        std::printf("  efficiency: %.4f -> %.4f AIPC/mm2\n",
+                    lo.perf / lo.area, hi.perf / hi.area);
+    }
+    return 0;
+}

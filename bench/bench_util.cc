@@ -1,0 +1,144 @@
+#include "bench/bench_util.h"
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+
+#include "common/log.h"
+
+namespace ws {
+namespace bench {
+
+BenchOptions
+parseArgs(int argc, char **argv)
+{
+    BenchOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--quick") == 0) {
+            opts.quick = true;
+        } else if (std::strncmp(arg, "--max-cycles=", 13) == 0) {
+            opts.maxCycles = std::strtoull(arg + 13, nullptr, 10);
+        } else if (std::strncmp(arg, "--scale=", 8) == 0) {
+            opts.scale = static_cast<std::uint32_t>(
+                std::strtoul(arg + 8, nullptr, 10));
+        } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+            opts.seed = std::strtoull(arg + 7, nullptr, 10);
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--quick] [--max-cycles=N] "
+                         "[--scale=N] [--seed=N]\n", argv[0]);
+            std::exit(2);
+        }
+    }
+    setQuiet(true);
+    return opts;
+}
+
+RunResult
+runKernelCfg(const Kernel &kernel, const ProcessorConfig &cfg,
+             int threads, const BenchOptions &opts)
+{
+    KernelParams params;
+    params.threads = static_cast<std::uint16_t>(threads);
+    params.scale = opts.quick ? 1 : opts.scale;
+    params.seed = opts.seed;
+    DataflowGraph graph = kernel.build(params);
+
+    SimOptions sim_opts;
+    sim_opts.maxCycles = opts.quick ? opts.maxCycles / 2 : opts.maxCycles;
+
+    SimResult sim = runSimulation(graph, cfg, sim_opts);
+    RunResult r;
+    r.completed = sim.completed;
+    r.aipc = sim.aipc;
+    r.cycles = sim.cycles;
+    r.threads = threads;
+    r.report = sim.report;
+    return r;
+}
+
+RunResult
+runKernel(const Kernel &kernel, const DesignPoint &design, int threads,
+          const BenchOptions &opts)
+{
+    return runKernelCfg(kernel, toProcessorConfig(design), threads, opts);
+}
+
+RunResult
+runKernelBestThreads(const Kernel &kernel, const DesignPoint &design,
+                     const BenchOptions &opts)
+{
+    if (!kernel.multithreaded)
+        return runKernel(kernel, design, 1, opts);
+
+    // Per-thread footprint: measure once from a 2-thread build.
+    KernelParams probe;
+    probe.threads = 2;
+    const std::size_t per_thread = kernel.build(probe).size() / 2;
+    const std::uint64_t capacity = design.instCapacity();
+
+    // Candidate thread counts around the capacity-fit point; the paper
+    // sweeps and keeps the best.
+    std::set<int> candidates;
+    std::uint64_t fit = std::max<std::uint64_t>(
+        1, capacity / std::max<std::size_t>(1, per_thread));
+    int fit_pow2 = 1;
+    while (fit_pow2 * 2 <= static_cast<int>(std::min<std::uint64_t>(
+                               fit, 64))) {
+        fit_pow2 *= 2;
+    }
+    candidates.insert(fit_pow2);
+    if (fit_pow2 > 2)
+        candidates.insert(fit_pow2 / 2);
+    if (!opts.quick && fit_pow2 < 64)
+        candidates.insert(fit_pow2 * 2);  // Mild oversubscription.
+
+    RunResult best;
+    for (int t : candidates) {
+        RunResult r = runKernel(kernel, design, t, opts);
+        if (r.aipc > best.aipc)
+            best = r;
+    }
+    return best;
+}
+
+double
+suiteAipc(Suite suite, const DesignPoint &design, const BenchOptions &opts)
+{
+    double sum = 0.0;
+    int n = 0;
+    for (const Kernel &k : kernelRegistry()) {
+        if (k.suite != suite)
+            continue;
+        sum += runKernelBestThreads(k, design, opts).aipc;
+        ++n;
+    }
+    return n == 0 ? 0.0 : sum / n;
+}
+
+std::vector<DesignPoint>
+benchDesigns(const BenchOptions &opts)
+{
+    std::vector<DesignPoint> designs = enumerateCandidates();
+    if (!opts.quick)
+        return designs;
+    // Quick mode: keep every third design plus the range extremes.
+    std::vector<DesignPoint> thin;
+    for (std::size_t i = 0; i < designs.size(); ++i) {
+        if (i % 3 == 0 || i + 1 == designs.size())
+            thin.push_back(designs[i]);
+    }
+    return thin;
+}
+
+void
+rule(int width)
+{
+    for (int i = 0; i < width; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+} // namespace bench
+} // namespace ws

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Shared machinery for the table/figure reproduction harnesses: running
+ * workloads on design points, picking thread counts the way the paper
+ * does (sweep, report the best), and formatting paper-style tables.
+ */
+
+#ifndef WS_BENCH_BENCH_UTIL_H_
+#define WS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "area/area_model.h"
+#include "area/design_space.h"
+#include "core/simulator.h"
+#include "kernels/kernel.h"
+
+namespace ws {
+namespace bench {
+
+/** Command-line options shared by the harnesses. */
+struct BenchOptions
+{
+    bool quick = false;        ///< Thin the sweep for a fast smoke run.
+    Cycle maxCycles = 600'000;
+    std::uint32_t scale = 1;
+    std::uint64_t seed = 1;
+};
+
+/** Parse --quick / --max-cycles=N / --scale=N. */
+BenchOptions parseArgs(int argc, char **argv);
+
+/** One workload-on-design measurement. */
+struct RunResult
+{
+    bool completed = false;
+    double aipc = 0.0;
+    Cycle cycles = 0;
+    int threads = 1;
+    StatReport report;
+};
+
+/** Run @p kernel on @p design with a fixed thread count. */
+RunResult runKernel(const Kernel &kernel, const DesignPoint &design,
+                    int threads, const BenchOptions &opts);
+
+/** Run @p kernel on an explicit configuration (ablation harnesses). */
+RunResult runKernelCfg(const Kernel &kernel, const ProcessorConfig &cfg,
+                       int threads, const BenchOptions &opts);
+
+/**
+ * The paper's methodology for Splash2: run a range of thread counts and
+ * report the best-performing one. Candidates are derived from the
+ * design's instruction capacity relative to the kernel's per-thread
+ * footprint (oversubscribing the instruction stores is allowed but
+ * rarely wins).
+ */
+RunResult runKernelBestThreads(const Kernel &kernel,
+                               const DesignPoint &design,
+                               const BenchOptions &opts);
+
+/** Mean AIPC of every kernel in @p suite on @p design. */
+double suiteAipc(Suite suite, const DesignPoint &design,
+                 const BenchOptions &opts);
+
+/** Candidate designs, optionally thinned by --quick. */
+std::vector<DesignPoint> benchDesigns(const BenchOptions &opts);
+
+/** printf a horizontal rule of the given width. */
+void rule(int width);
+
+} // namespace bench
+} // namespace ws
+
+#endif // WS_BENCH_BENCH_UTIL_H_

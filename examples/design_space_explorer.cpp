@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Design-space exploration from the public API: enumerate the paper's
+ * candidate WaveScalar designs, evaluate a workload on a user-selected
+ * slice of them, and print the Pareto frontier.
+ *
+ *   $ ./build/examples/design_space_explorer [kernel] [max_designs]
+ *
+ * e.g. `design_space_explorer fft 12` evaluates the fft kernel on 12
+ * designs spread across the area range. This is the Figure-6 experiment
+ * in miniature, structured as a library-consumer would write it.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "area/area_model.h"
+#include "area/design_space.h"
+#include "area/pareto.h"
+#include "core/simulator.h"
+#include "kernels/kernel.h"
+
+using namespace ws;
+
+int
+main(int argc, char **argv)
+{
+    const std::string kernel_name = argc > 1 ? argv[1] : "fft";
+    const std::size_t max_designs =
+        argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 12;
+
+    const Kernel &kernel = findKernel(kernel_name);
+
+    // Enumerate §4.2's candidate set and thin it evenly by area.
+    std::vector<DesignPoint> designs = enumerateCandidates();
+    std::sort(designs.begin(), designs.end(),
+              [](const DesignPoint &a, const DesignPoint &b) {
+                  return AreaModel::totalArea(a) < AreaModel::totalArea(b);
+              });
+    std::vector<DesignPoint> picked;
+    const std::size_t stride =
+        std::max<std::size_t>(1, designs.size() / max_designs);
+    for (std::size_t i = 0; i < designs.size() && picked.size() <
+         max_designs; i += stride) {
+        picked.push_back(designs[i]);
+    }
+
+    std::printf("evaluating '%s' on %zu of %zu candidate designs\n\n",
+                kernel.name.c_str(), picked.size(), designs.size());
+    std::printf("%-34s %8s %8s %8s %7s\n", "design", "area", "AIPC",
+                "cycles", "threads");
+    for (int i = 0; i < 70; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+
+    std::vector<ParetoPoint> points;
+    for (std::size_t i = 0; i < picked.size(); ++i) {
+        const DesignPoint &d = picked[i];
+        // Thread count: fill the machine's instruction capacity.
+        int threads = 1;
+        if (kernel.multithreaded) {
+            KernelParams probe;
+            probe.threads = 2;
+            const std::size_t per_thread = kernel.build(probe).size() / 2;
+            while (threads * 2 <= 64 &&
+                   static_cast<std::uint64_t>(threads) * 2 * per_thread <=
+                       d.instCapacity()) {
+                threads *= 2;
+            }
+        }
+        KernelParams params;
+        params.threads = static_cast<std::uint16_t>(threads);
+        DataflowGraph graph = kernel.build(params);
+
+        SimOptions opts;
+        opts.maxCycles = 400'000;
+        SimResult res = runSimulation(graph, toProcessorConfig(d), opts);
+
+        std::printf("%-34s %8.1f %8.2f %8llu %7d%s\n",
+                    d.describe().c_str(), AreaModel::totalArea(d),
+                    res.aipc,
+                    static_cast<unsigned long long>(res.cycles), threads,
+                    res.completed ? "" : "  (timeout)");
+        points.push_back(
+            ParetoPoint{AreaModel::totalArea(d), res.aipc, i});
+    }
+
+    std::printf("\nPareto-optimal designs for '%s':\n",
+                kernel.name.c_str());
+    for (std::size_t idx : paretoFront(points)) {
+        std::printf("  %8.1f mm2  %6.2f AIPC  %s\n", points[idx].area,
+                    points[idx].perf,
+                    picked[points[idx].tag].describe().c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * wsa_tool: command-line assembler/disassembler/runner for WaveScalar
+ * assembly (.wsa) files.
+ *
+ *   wsa_tool disasm <kernel> [threads]   — print a workload as .wsa
+ *   wsa_tool run <file.wsa>              — assemble and simulate a file
+ *   wsa_tool check <file.wsa>            — assemble + validate only
+ *
+ * Example session:
+ *   $ ./build/examples/wsa_tool disasm rawdaudio > raw.wsa
+ *   $ ./build/examples/wsa_tool run raw.wsa
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <memory>
+
+#include "core/processor.h"
+#include "core/simulator.h"
+#include "core/trace.h"
+#include "isa/assembly.h"
+#include "isa/interp.h"
+#include "kernels/kernel.h"
+
+using namespace ws;
+
+namespace {
+
+std::string
+readFile(const char *path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "wsa_tool: cannot open %s\n", path);
+        std::exit(2);
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: wsa_tool disasm <kernel> [threads]\n"
+                 "       wsa_tool run <file.wsa> [max_cycles] [trace.csv]\n"
+                 "       wsa_tool check <file.wsa>\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+
+    const std::string mode = argv[1];
+    if (mode == "disasm") {
+        KernelParams params;
+        if (argc > 3)
+            params.threads =
+                static_cast<std::uint16_t>(std::atoi(argv[3]));
+        DataflowGraph g = findKernel(argv[2]).build(params);
+        std::fputs(disassemble(g).c_str(), stdout);
+        return 0;
+    }
+
+    if (mode == "check") {
+        DataflowGraph g = assemble(readFile(argv[2]));
+        std::printf("%s: OK — %zu instructions (%zu useful), %u threads, "
+                    "%zu initial tokens, %zu wave regions\n", argv[2],
+                    g.size(), g.usefulSize(), g.numThreads(),
+                    g.initialTokens().size(), g.memRegions().size());
+        return 0;
+    }
+
+    if (mode == "run") {
+        DataflowGraph g = assemble(readFile(argv[2]));
+        const Cycle max_cycles =
+            argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 2'000'000;
+
+        // Reference result first, then the cycle-level machine.
+        InterpResult ref = interpret(assemble(readFile(argv[2])));
+        std::printf("reference: %llu useful instructions, %zu sink "
+                    "values\n",
+                    static_cast<unsigned long long>(ref.useful),
+                    ref.sinkValues.size());
+
+        Processor proc(g, ProcessorConfig::baseline());
+        std::ofstream trace_file;
+        std::unique_ptr<IntervalTracer> tracer;
+        if (argc > 4) {
+            trace_file.open(argv[4]);
+            tracer = std::make_unique<IntervalTracer>(trace_file, 500);
+            proc.attachTracer(tracer.get());
+        }
+        SimResult res;
+        res.completed = proc.run(max_cycles);
+        res.cycles = proc.cycle();
+        res.aipc = proc.aipc();
+        res.useful = proc.usefulExecuted();
+        std::printf("simulated: %s in %llu cycles, AIPC %.3f\n",
+                    res.completed ? "completed" : "TIMED OUT",
+                    static_cast<unsigned long long>(res.cycles),
+                    res.aipc);
+        if (res.useful != ref.useful) {
+            std::printf("WARNING: simulator executed %llu useful vs "
+                        "reference %llu\n",
+                        static_cast<unsigned long long>(res.useful),
+                        static_cast<unsigned long long>(ref.useful));
+            return 1;
+        }
+        return res.completed ? 0 : 1;
+    }
+
+    return usage();
+}

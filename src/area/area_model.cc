@@ -1,0 +1,44 @@
+#include "area/area_model.h"
+
+#include <cstdio>
+
+namespace ws {
+
+std::string
+DesignPoint::describe() const
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "C%u D%u P%u V%u M%u L1:%uK L2:%uM",
+                  clusters, domainsPerCluster, pesPerDomain, virt,
+                  matching, l1KB, l2MB);
+    return buf;
+}
+
+double
+AreaModel::peArea(unsigned matching, unsigned virt)
+{
+    return matching * kMatchPerEntry + virt * kInstPerEntry + kPeOther;
+}
+
+double
+AreaModel::domainArea(unsigned pes, unsigned matching, unsigned virt)
+{
+    return 2.0 * kPseudoPe + pes * peArea(matching, virt);
+}
+
+double
+AreaModel::clusterArea(const DesignPoint &d)
+{
+    return d.domainsPerCluster *
+               domainArea(d.pesPerDomain, d.matching, d.virt) +
+           kStoreBuffer + d.l1KB * kL1PerKB + kNetSwitch;
+}
+
+double
+AreaModel::totalArea(const DesignPoint &d)
+{
+    return (d.clusters * clusterArea(d)) / kUtilization +
+           d.l2MB * kL2PerMB;
+}
+
+} // namespace ws

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The WaveScalar processor area model (paper Table 3).
+ *
+ * The paper distills its RTL synthesis results (90nm TSMC, 20 FO4) into
+ * per-component area constants and closed-form composition rules; the
+ * entire Section 4.2 design-space study consumes only this model. The
+ * constants below are the published Table-3 values (mm² in 90nm).
+ */
+
+#ifndef WS_AREA_AREA_MODEL_H_
+#define WS_AREA_AREA_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ws {
+
+/**
+ * One candidate WaveScalar processor configuration, in the paper's
+ * seven-parameter design space (Table 3, top half).
+ */
+struct DesignPoint
+{
+    std::uint16_t clusters = 1;        ///< C: 1..64
+    std::uint16_t domainsPerCluster = 4;  ///< D: 1..4
+    std::uint16_t pesPerDomain = 8;    ///< P: 2..8
+    std::uint16_t virt = 128;          ///< V: 8..256 (instructions/PE)
+    std::uint16_t matching = 128;      ///< M: 16..128 (matching entries)
+    std::uint16_t l1KB = 32;           ///< L1: 8..32 KB per cluster
+    std::uint16_t l2MB = 0;            ///< L2: 0..32 MB total
+
+    /** Total instruction capacity (e.g. 4K for the baseline). */
+    std::uint64_t
+    instCapacity() const
+    {
+        return static_cast<std::uint64_t>(clusters) * domainsPerCluster *
+               pesPerDomain * virt;
+    }
+
+    std::uint32_t
+    totalPes() const
+    {
+        return static_cast<std::uint32_t>(clusters) * domainsPerCluster *
+               pesPerDomain;
+    }
+
+    /** "C4 D4 P8 V128 M128 L1:32K L2:1M" style summary. */
+    std::string describe() const;
+
+    bool operator==(const DesignPoint &) const = default;
+};
+
+/**
+ * Table-3 area constants and composition rules.
+ *
+ * Calibration note: Table 3 prints M_area and V_area rounded to one
+ * significant digit (0.004 / 0.002 mm² per entry) and SB_area as
+ * 2.464 mm², but the paper's own Table-5 area column is reproduced only
+ * by the unrounded Table-2 RTL figures — 0.58 mm² / 128 matching
+ * entries, 0.31 mm² / 128 instruction slots, and a 2.62 mm² store
+ * buffer. With those constants this model matches every published
+ * Table-5 area within ~1 mm² (config 1: 39, config 3: 48, config 17:
+ * 387, config 18: 399); with the rounded constants it undershoots by
+ * ~10%. We therefore use the Table-2-derived values and keep the
+ * rounded ones available for reference.
+ */
+class AreaModel
+{
+  public:
+    // Calibrated constants (from Table 2), mm² in 90nm.
+    static constexpr double kMatchPerEntry = 0.58 / 128;   // M_area
+    static constexpr double kInstPerEntry = 0.31 / 128;    // V_area
+    static constexpr double kPeOther = 0.05;          // e_area
+    static constexpr double kPseudoPe = 0.1236;       // PPE_area
+    static constexpr double kStoreBuffer = 2.62;      // SB_area
+    static constexpr double kL1PerKB = 0.363;         // L1_area
+    static constexpr double kNetSwitch = 0.349;       // N_area
+    static constexpr double kL2PerMB = 11.78;         // L2_area
+    static constexpr double kUtilization = 0.94;      // U
+
+    // Table 3's rounded per-entry figures, for reference.
+    static constexpr double kMatchPerEntryT3 = 0.004;
+    static constexpr double kInstPerEntryT3 = 0.002;
+    static constexpr double kStoreBufferT3 = 2.464;
+
+    /** PE_area = M*M_area + V*V_area + e_area. */
+    static double peArea(unsigned matching, unsigned virt);
+
+    /** D_area = 2*PPE_area + P*PE_area. */
+    static double domainArea(unsigned pes, unsigned matching,
+                             unsigned virt);
+
+    /** C_area = D*D_area + SB_area + L1*L1_area + N_area. */
+    static double clusterArea(const DesignPoint &d);
+
+    /** WC_area = (C*C_area)/U + L2*L2_area. */
+    static double totalArea(const DesignPoint &d);
+};
+
+/**
+ * The published Table-2 cluster budget for the baseline configuration
+ * (4 domains x 8 PEs, V=M=128, 32 KB L1), used by the Table-2 bench to
+ * print the paper's breakdown next to the model's derivation.
+ */
+struct Table2Budget
+{
+    // Per-PE areas by pipeline stage (mm²).
+    static constexpr double kInput = 0.01;
+    static constexpr double kMatch = 0.58;
+    static constexpr double kDispatch = 0.01;
+    static constexpr double kExecute = 0.02;
+    static constexpr double kOutput = 0.02;
+    static constexpr double kInstStore = 0.31;
+    static constexpr double kPeTotal = 0.94;
+    // Domain-level (mm²).
+    static constexpr double kMemPe = 0.13;
+    static constexpr double kNetPe = 0.13;
+    static constexpr double kFpu = 0.53;
+    static constexpr double kDomainTotal = 8.33;
+    // Cluster-level (mm²).
+    static constexpr double kSwitch = 0.37;
+    static constexpr double kStoreBuffer = 2.62;
+    static constexpr double kDataCache = 6.18;
+    static constexpr double kClusterTotal = 42.50;
+};
+
+} // namespace ws
+
+#endif // WS_AREA_AREA_MODEL_H_

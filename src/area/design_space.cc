@@ -1,0 +1,106 @@
+#include "area/design_space.h"
+
+#include <cmath>
+
+#include "common/log.h"
+
+namespace ws {
+
+namespace {
+
+constexpr std::uint16_t kClusterRange[] = {1, 2, 4, 8, 16, 32, 64};
+constexpr std::uint16_t kDomainRange[] = {1, 2, 4};
+constexpr std::uint16_t kPeRange[] = {2, 4, 8};
+constexpr std::uint16_t kVirtRange[] = {8, 16, 32, 64, 128, 256};
+constexpr std::uint16_t kMatchRange[] = {16, 32, 64, 128};
+constexpr std::uint16_t kL1Range[] = {8, 16, 32};
+constexpr std::uint16_t kL2Range[] = {0, 1, 2, 4, 8};
+
+} // namespace
+
+std::vector<DesignPoint>
+enumerateRawDesigns()
+{
+    std::vector<DesignPoint> designs;
+    for (auto c : kClusterRange) {
+        for (auto d : kDomainRange) {
+            for (auto p : kPeRange) {
+                for (auto v : kVirtRange) {
+                    for (auto m : kMatchRange) {
+                        for (auto l1 : kL1Range) {
+                            for (auto l2 : kL2Range) {
+                                designs.push_back(DesignPoint{
+                                    c, d, p, v, m, l1, l2});
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return designs;
+}
+
+std::vector<DesignPoint>
+pruneStructural(const std::vector<DesignPoint> &raw,
+                const DesignSpaceRules &rules)
+{
+    std::vector<DesignPoint> kept;
+    for (const DesignPoint &d : raw) {
+        // Die-size bound for aggressive-but-feasible 90nm designs.
+        if (AreaModel::totalArea(d) > rules.maxAreaMm2)
+            continue;
+        // An under-populated domain should be merged into its siblings:
+        // it cannot shorten the cycle (EXECUTE sets it) but lengthens
+        // communication.
+        if (d.pesPerDomain < 8 && d.domainsPerCluster > 1)
+            continue;
+        // Likewise an under-populated cluster.
+        if (d.domainsPerCluster < 4 && d.clusters > 1)
+            continue;
+        // The grid network wants square machines; Table 5's multi-
+        // cluster designs are all 1x1, 2x2, or 4x4 grids.
+        if (d.clusters != 1 && d.clusters != 4 && d.clusters != 16 &&
+            d.clusters != 64) {
+            continue;
+        }
+        // Balanced cache: at most 4 MB of L2 per 4K instructions of
+        // execution capacity ("a few more rules like them").
+        if (d.l2MB > 4 * (d.instCapacity() / 4096))
+            continue;
+        kept.push_back(d);
+    }
+    return kept;
+}
+
+std::vector<DesignPoint>
+enumerateCandidates(const DesignSpaceRules &rules)
+{
+    std::vector<DesignPoint> kept;
+    for (const DesignPoint &d : pruneStructural(enumerateRawDesigns(),
+                                                rules)) {
+        const double ratio = static_cast<double>(d.matching) / d.virt;
+        if (std::abs(ratio - rules.virtRatio) > 1e-9)
+            continue;
+        if (d.instCapacity() < rules.minCapacity)
+            continue;
+        kept.push_back(d);
+    }
+    return kept;
+}
+
+ProcessorConfig
+toProcessorConfig(const DesignPoint &d)
+{
+    ProcessorConfig cfg = ProcessorConfig::baseline();
+    cfg.clusters = d.clusters;
+    cfg.domainsPerCluster = d.domainsPerCluster;
+    cfg.pesPerDomain = d.pesPerDomain;
+    cfg.pe.instStoreEntries = d.virt;
+    cfg.pe.matchingEntries = d.matching;
+    cfg.memory.l1Bytes = static_cast<std::size_t>(d.l1KB) * 1024;
+    cfg.memory.l2Bytes = static_cast<std::size_t>(d.l2MB) * 1024 * 1024;
+    return cfg;
+}
+
+} // namespace ws

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Design-space enumeration and pruning (paper §4.2).
+ *
+ * The seven Table-3 parameters span tens of thousands of raw
+ * configurations. The paper prunes them with structural rules (die-size
+ * bound, "no multi-domain clusters with undersized domains", "no
+ * multi-cluster machines with undersized clusters"), fixes the
+ * virtualization ratio M/V at 1 (its most conservative Table-4 value),
+ * and requires at least 4K total instruction capacity — yielding the 41
+ * designs Figure 6 evaluates.
+ */
+
+#ifndef WS_AREA_DESIGN_SPACE_H_
+#define WS_AREA_DESIGN_SPACE_H_
+
+#include <vector>
+
+#include "area/area_model.h"
+#include "core/config.h"
+
+namespace ws {
+
+/** Knobs for the §4.2 pruning pipeline. */
+struct DesignSpaceRules
+{
+    double maxAreaMm2 = 400.0;
+    // Power-of-two virtualization ratio M/V. The paper explores 1/8..8
+    // and settles on 1; ratios below 1 cap M at its 128-entry synthesis
+    // limit.
+    double virtRatio = 1.0;
+    std::uint64_t minCapacity = 4096;
+};
+
+/** Every raw combination of the Table-3 parameter ranges. */
+std::vector<DesignPoint> enumerateRawDesigns();
+
+/** Structural pruning only (die bound + balance rules): "344 designs". */
+std::vector<DesignPoint> pruneStructural(
+    const std::vector<DesignPoint> &raw, const DesignSpaceRules &rules);
+
+/**
+ * The full pipeline: structural pruning + fixed virtualization ratio +
+ * minimum capacity. With the default rules this is the paper's 41-design
+ * evaluation set.
+ */
+std::vector<DesignPoint> enumerateCandidates(
+    const DesignSpaceRules &rules = DesignSpaceRules{});
+
+/** Map a design point onto a runnable simulator configuration. */
+ProcessorConfig toProcessorConfig(const DesignPoint &d);
+
+} // namespace ws
+
+#endif // WS_AREA_DESIGN_SPACE_H_

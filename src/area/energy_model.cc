@@ -1,0 +1,86 @@
+#include "area/energy_model.h"
+
+#include <cmath>
+
+namespace ws {
+
+double
+EnergyModel::matchingAccess(unsigned entries)
+{
+    return kSramBase + kSramPerRootEntry * std::sqrt(
+                           static_cast<double>(entries));
+}
+
+double
+EnergyModel::istoreAccess(unsigned entries)
+{
+    return kSramBase + kSramPerRootEntry * std::sqrt(
+                           static_cast<double>(entries));
+}
+
+EnergyBreakdown
+EnergyModel::estimate(const StatReport &r, const DesignPoint &design)
+{
+    EnergyBreakdown out;
+    auto add = [&](const char *name, double pj) {
+        out.items.push_back(EnergyItem{name, pj});
+        out.totalPj += pj;
+    };
+
+    const double executed = r.get("pe.executed");
+
+    // Execution: one ALU-class event per dispatched instruction. (The
+    // FPU premium would need a dynamic FP-op counter; the integer
+    // figure keeps the model conservative and design-point-neutral.)
+    add("execute.alu", executed * kAluOp);
+
+    // Matching table: every insert is a banked SRAM write + tracker
+    // update; overflow misses additionally pay an L1-class access into
+    // the in-memory table.
+    add("matching.write",
+        r.get("match.inserts") * matchingAccess(design.matching));
+    add("matching.overflow", r.get("match.misses") * kL1PerAccess);
+
+    // Instruction store: one decoded-instruction read per insert, plus
+    // refills on misses (L1-class).
+    add("istore.read",
+        r.get("istore.hits") * istoreAccess(design.virt));
+    add("istore.refill", r.get("istore.misses") * kL1PerAccess);
+
+    // Store buffer processing.
+    add("storebuffer", r.get("sb.requests") * kSbOp);
+
+    // Data memory hierarchy.
+    add("l1", (r.get("l1.hits") + r.get("l1.misses")) * kL1PerAccess);
+    add("l2", (r.get("home.l2_hits") + r.get("home.l2_misses")) *
+                  kL2PerAccess);
+    add("dram", r.get("home.l2_misses") * kDramPerAccess);
+
+    // Interconnect, by the highest level each message traversed.
+    auto level = [&](const char *name) {
+        return r.get(std::string("traffic.") + name + ".operand") +
+               r.get(std::string("traffic.") + name + ".memory");
+    };
+    add("net.pod", level("intra_pod") * kPodHop);
+    add("net.domain", level("intra_domain") * kDomainHop);
+    add("net.cluster", level("intra_cluster") * kClusterHop);
+    const double grid_msgs = level("inter_cluster");
+    const double mean_hops =
+        r.has("traffic.mean_hops") ? r.get("traffic.mean_hops") : 0.0;
+    add("net.grid", grid_msgs * (kClusterHop +
+                                 kGridHop * std::max(1.0, mean_hops)));
+
+    // Leakage: proportional to die area and run length.
+    const double cycles = r.get("sim.cycles");
+    add("leakage",
+        cycles * AreaModel::totalArea(design) * kLeakagePerMm2PerCycle);
+
+    const double useful = r.get("sim.useful_executed");
+    out.epiPj = useful > 0 ? out.totalPj / useful : 0.0;
+    const double seconds = cycles * kClockSeconds;
+    out.watts = seconds > 0 ? out.totalPj * 1e-12 / seconds : 0.0;
+    out.edp = out.totalPj * 1e-12 * seconds;
+    return out;
+}
+
+} // namespace ws

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Activity-based energy model — an *extension* beyond the paper.
+ *
+ * The paper's design-space study optimizes area × performance and notes
+ * that the tiled organization "would lend itself easily to multiple
+ * voltage and frequency domains in the future"; this module supplies the
+ * energy side of that future work. Every dynamic event the simulator
+ * counts (instruction executions, matching-table writes and overflow
+ * accesses, instruction-store refills, cache and DRAM accesses,
+ * interconnect traversals by hierarchy level) is charged an energy cost.
+ * SRAM access energies scale with the square root of the structure's
+ * capacity (the standard wordline/bitline scaling argument), so the
+ * same design-space knobs that move area also move energy.
+ *
+ * The absolute constants are representative 90 nm values (pJ), not
+ * derived from the paper; the model's purpose is *relative* comparison
+ * across design points (energy/instruction, power, energy-delay
+ * product), which is how bench_ext_energy uses it.
+ */
+
+#ifndef WS_AREA_ENERGY_MODEL_H_
+#define WS_AREA_ENERGY_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "area/area_model.h"
+#include "common/stats.h"
+
+namespace ws {
+
+/** Energy accounted to one component class, in picojoules. */
+struct EnergyItem
+{
+    std::string name;
+    double picojoules = 0.0;
+};
+
+struct EnergyBreakdown
+{
+    std::vector<EnergyItem> items;
+    double totalPj = 0.0;
+
+    /** Energy per useful (Alpha-equivalent) instruction, pJ. */
+    double epiPj = 0.0;
+
+    /** Average power in watts at the 20 FO4 / 90 nm clock (~1.06 GHz). */
+    double watts = 0.0;
+
+    /** Energy-delay product, J·s (lower is better). */
+    double edp = 0.0;
+};
+
+class EnergyModel
+{
+  public:
+    // Per-event energies, pJ (representative 90 nm figures).
+    static constexpr double kAluOp = 8.0;
+    static constexpr double kFpuOp = 45.0;
+    static constexpr double kSramBase = 1.5;     ///< Fixed decode cost.
+    static constexpr double kSramPerRootEntry = 0.25;  ///< × sqrt(entries).
+    static constexpr double kL1PerAccess = 22.0;
+    static constexpr double kL2PerAccess = 110.0;
+    static constexpr double kDramPerAccess = 2200.0;
+    static constexpr double kPodHop = 0.6;
+    static constexpr double kDomainHop = 3.2;
+    static constexpr double kClusterHop = 9.5;
+    static constexpr double kGridHop = 28.0;
+    static constexpr double kSbOp = 6.0;
+    static constexpr double kLeakagePerMm2PerCycle = 0.05;  ///< pJ/mm²/cyc.
+
+    /** Clock period at 20 FO4 in 90 nm (20 x 47.3 ps), seconds. */
+    static constexpr double kClockSeconds = 20 * 47.3e-12;
+
+    /** Matching-table write energy for an M-entry table. */
+    static double matchingAccess(unsigned entries);
+
+    /** Instruction-store access energy for a V-entry store. */
+    static double istoreAccess(unsigned entries);
+
+    /**
+     * Charge every counted event in @p report for a run on @p design.
+     * @p report must come from Processor::report() (it reads the
+     * sim.*, pe.*, match.*, istore.*, sb.*, l1.*, home.* and traffic.*
+     * counters).
+     */
+    static EnergyBreakdown estimate(const StatReport &report,
+                                    const DesignPoint &design);
+};
+
+} // namespace ws
+
+#endif // WS_AREA_ENERGY_MODEL_H_

@@ -1,0 +1,35 @@
+#include "area/pareto.h"
+
+#include <algorithm>
+
+namespace ws {
+
+bool
+dominates(const ParetoPoint &a, const ParetoPoint &b)
+{
+    const bool no_worse = a.area <= b.area && a.perf >= b.perf;
+    const bool better = a.area < b.area || a.perf > b.perf;
+    return no_worse && better;
+}
+
+std::vector<std::size_t>
+paretoFront(const std::vector<ParetoPoint> &points)
+{
+    std::vector<std::size_t> front;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        bool dominated = false;
+        for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+            if (j != i && dominates(points[j], points[i]))
+                dominated = true;
+        }
+        if (!dominated)
+            front.push_back(i);
+    }
+    std::sort(front.begin(), front.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return points[a].area < points[b].area;
+              });
+    return front;
+}
+
+} // namespace ws

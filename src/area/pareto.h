@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Pareto-front extraction over (area, performance) points (Figure 6).
+ */
+
+#ifndef WS_AREA_PARETO_H_
+#define WS_AREA_PARETO_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace ws {
+
+/** One evaluated design: its silicon cost and its performance. */
+struct ParetoPoint
+{
+    double area = 0.0;   ///< mm²
+    double perf = 0.0;   ///< AIPC
+    std::size_t tag = 0; ///< Caller-defined identity (design index).
+};
+
+/**
+ * Indices (into @p points) of the Pareto-optimal designs: no other
+ * design is at most as large *and* strictly faster, or strictly smaller
+ * and at least as fast. Returned sorted by area ascending.
+ */
+std::vector<std::size_t> paretoFront(const std::vector<ParetoPoint> &points);
+
+/** True when a dominates b (smaller-or-equal area, faster-or-equal). */
+bool dominates(const ParetoPoint &a, const ParetoPoint &b);
+
+} // namespace ws
+
+#endif // WS_AREA_PARETO_H_

@@ -1,0 +1,71 @@
+#include "area/tuning.h"
+
+#include <algorithm>
+
+#include "core/simulator.h"
+
+namespace ws {
+
+double
+measureAipc(const DataflowGraph &graph, const ProcessorConfig &cfg,
+            Cycle max_cycles)
+{
+    SimOptions opts;
+    opts.maxCycles = max_cycles;
+    return runSimulation(graph, cfg, opts).aipc;
+}
+
+TuningResult
+tuneMatchingTable(const DataflowGraph &graph, const ProcessorConfig &base,
+                  const TuningOptions &opts)
+{
+    TuningResult result;
+
+    // Step 1: k_opt on an effectively infinite matching table.
+    ProcessorConfig cfg = base;
+    cfg.relaxLimits = true;
+    cfg.pe.matchingEntries = 8192;
+    cfg.pe.matchingWays = 8;
+    double best = 0.0;
+    for (unsigned k = 1; k <= opts.maxK; ++k) {
+        cfg.pe.k = k;
+        const double aipc = measureAipc(graph, cfg, opts.maxCycles);
+        if (k == 1 || aipc > best * (1.0 + opts.koptThreshold)) {
+            best = std::max(best, aipc);
+            result.kopt = k;
+        } else {
+            break;  // Saturated: performance no longer improves.
+        }
+    }
+
+    // Step 2: u_opt at V = 256, M = V*k_opt/u.
+    cfg = base;
+    cfg.relaxLimits = true;
+    cfg.pe.instStoreEntries = 256;
+    cfg.pe.k = result.kopt;
+    double base_aipc = 0.0;
+    for (unsigned u = 1; u <= opts.maxU; u *= 2) {
+        unsigned m = static_cast<unsigned>(
+            (256ull * result.kopt) / u);
+        m = std::max(m, 2u * cfg.pe.matchingWays);
+        if (m % cfg.pe.matchingWays != 0)
+            m += cfg.pe.matchingWays - (m % cfg.pe.matchingWays);
+        cfg.pe.matchingEntries = m;
+        const double aipc = measureAipc(graph, cfg, opts.maxCycles);
+        if (u == 1) {
+            base_aipc = aipc;
+            result.uopt = 1;
+            continue;
+        }
+        if (aipc >= base_aipc * (1.0 - opts.uoptDrop))
+            result.uopt = u;
+        else
+            break;  // Performance started to decrease significantly.
+    }
+
+    result.virtRatio =
+        static_cast<double>(result.kopt) / result.uopt;
+    return result;
+}
+
+} // namespace ws

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Matching-table tuning methodology (paper §4.2, Table 4).
+ *
+ * For each application the paper derives:
+ *  - k_opt: the smallest k-loop bound at which performance saturates,
+ *    measured on a processor with an effectively infinite matching
+ *    table;
+ *  - u_opt: the largest matching-table over-subscription factor u (with
+ *    V fixed at 256 and M = V*k_opt/u) that does not yet cost
+ *    significant performance;
+ *  - the virtualization ratio k_opt/u_opt = M/V, whose per-suite maximum
+ *    (1) the design space fixes.
+ */
+
+#ifndef WS_AREA_TUNING_H_
+#define WS_AREA_TUNING_H_
+
+#include "common/types.h"
+#include "core/config.h"
+#include "isa/graph.h"
+
+namespace ws {
+
+struct TuningOptions
+{
+    Cycle maxCycles = 2'000'000;
+    double koptThreshold = 0.03;  ///< Min relative gain to keep raising k.
+    double uoptDrop = 0.08;       ///< Tolerated loss vs u=1 performance.
+    unsigned maxK = 8;
+    unsigned maxU = 64;
+};
+
+struct TuningResult
+{
+    unsigned kopt = 1;
+    unsigned uopt = 1;
+    double virtRatio = 1.0;   ///< kopt / uopt.
+};
+
+/** AIPC of @p graph on @p cfg (helper shared by the sweeps). */
+double measureAipc(const DataflowGraph &graph, const ProcessorConfig &cfg,
+                   Cycle max_cycles);
+
+/** The full Table-4 procedure for one application. */
+TuningResult tuneMatchingTable(const DataflowGraph &graph,
+                               const ProcessorConfig &base,
+                               const TuningOptions &opts = TuningOptions{});
+
+} // namespace ws
+
+#endif // WS_AREA_TUNING_H_

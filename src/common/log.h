@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Minimal logging and error-termination helpers, in the spirit of gem5's
+ * base/logging.hh.
+ *
+ * panic()  — an internal simulator invariant was violated (a wavefabric
+ *            bug); aborts so a debugger or core dump can catch it.
+ * fatal()  — the *user's* configuration or input is unusable; exits with
+ *            an error code, no core dump.
+ * warn()   — something is suspicious but simulation can continue.
+ * inform() — plain status output.
+ */
+
+#ifndef WS_COMMON_LOG_H_
+#define WS_COMMON_LOG_H_
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace ws {
+
+/** Exception thrown by fatal(); tests catch it instead of dying. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what) : std::runtime_error(what) {}
+};
+
+/** Exception thrown by panic(); tests catch it instead of aborting. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+std::string vformat(const char *fmt, std::va_list ap);
+
+} // namespace detail
+
+/**
+ * Report an unrecoverable simulator bug. Throws PanicError so that unit
+ * tests can assert on invariant violations; uncaught, it terminates.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user error (bad configuration, bad workload).
+ * Throws FatalError.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr and continue. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr and continue. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Globally silence warn()/inform() (benchmarks use this). */
+void setQuiet(bool quiet);
+
+} // namespace ws
+
+#endif // WS_COMMON_LOG_H_

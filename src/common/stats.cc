@@ -1,0 +1,83 @@
+#include "common/stats.h"
+
+#include <cstdio>
+
+#include "common/log.h"
+
+namespace ws {
+
+void
+StatReport::add(const std::string &name, double value)
+{
+    auto it = index_.find(name);
+    if (it != index_.end()) {
+        entries_[it->second].second = value;
+        return;
+    }
+    index_.emplace(name, entries_.size());
+    entries_.emplace_back(name, value);
+}
+
+void
+StatReport::add(const std::string &name, Counter value)
+{
+    add(name, static_cast<double>(value));
+}
+
+double
+StatReport::get(const std::string &name) const
+{
+    auto it = index_.find(name);
+    if (it == index_.end())
+        fatal("StatReport: no statistic named '%s'", name.c_str());
+    return entries_[it->second].second;
+}
+
+bool
+StatReport::has(const std::string &name) const
+{
+    return index_.count(name) != 0;
+}
+
+double
+StatReport::sumPrefix(const std::string &prefix) const
+{
+    double total = 0.0;
+    for (const auto &[name, value] : entries_) {
+        if (name.rfind(prefix, 0) == 0)
+            total += value;
+    }
+    return total;
+}
+
+void
+StatReport::merge(const StatReport &other, const std::string &prefix)
+{
+    for (const auto &[name, value] : other.entries_)
+        add(prefix.empty() ? name : prefix + "." + name, value);
+}
+
+std::string
+StatReport::toString() const
+{
+    std::size_t width = 0;
+    for (const auto &[name, value] : entries_)
+        width = std::max(width, name.size());
+    std::string out;
+    char buf[64];
+    for (const auto &[name, value] : entries_) {
+        out += name;
+        out.append(width - name.size() + 2, ' ');
+        // Print integers without a fraction for readability.
+        if (value == static_cast<double>(static_cast<long long>(value)))
+            std::snprintf(buf, sizeof(buf), "%lld",
+                          static_cast<long long>(value));
+        else
+            std::snprintf(buf, sizeof(buf), "%.6g", value);
+        out += buf;
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace ws

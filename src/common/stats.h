@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Lightweight statistics collection.
+ *
+ * Components keep plain counters in their own structs for speed and
+ * export them into a StatReport (an ordered name→value list) when a run
+ * finishes. StatReport supports hierarchical names ("cluster0.l1.hits"),
+ * merging across components, and pretty-printing, which is all the
+ * benchmark harnesses need.
+ */
+
+#ifndef WS_COMMON_STATS_H_
+#define WS_COMMON_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ws {
+
+/** Simple event counter. */
+using Counter = std::uint64_t;
+
+/**
+ * Fixed-bucket histogram for distributions such as message hop counts or
+ * matching-table occupancy. Values past the last bucket are clamped into
+ * an overflow bucket.
+ */
+class Histogram
+{
+  public:
+    /** @param num_buckets bucket count, @param bucket_width value span
+     *  per bucket. */
+    explicit Histogram(std::size_t num_buckets = 16,
+                       std::uint64_t bucket_width = 1)
+        : buckets_(num_buckets + 1, 0), width_(bucket_width)
+    {}
+
+    /** Record one sample. */
+    void
+    sample(std::uint64_t value)
+    {
+        std::size_t idx = static_cast<std::size_t>(value / width_);
+        if (idx >= buckets_.size() - 1)
+            idx = buckets_.size() - 1;
+        ++buckets_[idx];
+        sum_ += value;
+        ++count_;
+        if (value > max_)
+            max_ = value;
+    }
+
+    Counter count() const { return count_; }
+    Counter bucket(std::size_t i) const { return buckets_.at(i); }
+    std::size_t numBuckets() const { return buckets_.size(); }
+    std::uint64_t max() const { return max_; }
+
+    /** Arithmetic mean of all samples (0 when empty). */
+    double
+    mean() const
+    {
+        return count_ == 0 ? 0.0
+                           : static_cast<double>(sum_) /
+                                 static_cast<double>(count_);
+    }
+
+    /** Reset to the empty state. */
+    void
+    reset()
+    {
+        for (auto &b : buckets_)
+            b = 0;
+        sum_ = 0;
+        count_ = 0;
+        max_ = 0;
+    }
+
+  private:
+    std::vector<Counter> buckets_;
+    std::uint64_t width_;
+    std::uint64_t sum_ = 0;
+    Counter count_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+/**
+ * Ordered collection of named statistics produced by one simulation run.
+ * Names are dot-separated paths; record order is insertion order so that
+ * reports read top-down through the hierarchy.
+ */
+class StatReport
+{
+  public:
+    /** Add (or overwrite) a scalar statistic. */
+    void add(const std::string &name, double value);
+
+    /** Add a counter statistic. */
+    void add(const std::string &name, Counter value);
+
+    /** Look up a value; fatal() if the name is absent. */
+    double get(const std::string &name) const;
+
+    /** True when the name is present. */
+    bool has(const std::string &name) const;
+
+    /** Sum of all stats whose name starts with the given prefix. */
+    double sumPrefix(const std::string &prefix) const;
+
+    /** Merge another report under an optional name prefix. */
+    void merge(const StatReport &other, const std::string &prefix = "");
+
+    /** Render as aligned "name value" lines. */
+    std::string toString() const;
+
+    const std::vector<std::pair<std::string, double>> &
+    entries() const
+    {
+        return entries_;
+    }
+
+  private:
+    std::vector<std::pair<std::string, double>> entries_;
+    std::map<std::string, std::size_t> index_;
+};
+
+} // namespace ws
+
+#endif // WS_COMMON_STATS_H_

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Fundamental scalar types and identifiers shared by every wavefabric
+ * module. Keeping these in one small header avoids circular includes
+ * between the ISA, execution, and memory subsystems.
+ */
+
+#ifndef WS_COMMON_TYPES_H_
+#define WS_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace ws {
+
+/** Simulation time, in processor clock cycles. */
+using Cycle = std::uint64_t;
+
+/** A byte address in the simulated memory space. */
+using Addr = std::uint64_t;
+
+/** The 64-bit data value carried by a dataflow token. */
+using Value = std::int64_t;
+
+/** Index of a static instruction within a dataflow graph. */
+using InstId = std::uint32_t;
+
+/** Dynamic wave number; part of a token's tag. */
+using WaveNum = std::uint32_t;
+
+/** Software thread identifier; part of a token's tag. */
+using ThreadId = std::uint16_t;
+
+/** Flattened identifiers for the tile hierarchy. */
+using ClusterId = std::uint16_t;
+using DomainId = std::uint16_t;   ///< Domain index within its cluster.
+using PeId = std::uint16_t;       ///< PE index within its domain.
+
+/** Sentinel meaning "no instruction". */
+constexpr InstId kInvalidInst = std::numeric_limits<InstId>::max();
+
+/** Sentinel meaning "never" / "not yet". */
+constexpr Cycle kCycleNever = std::numeric_limits<Cycle>::max();
+
+/**
+ * Globally flat PE coordinate. Identifies one processing element in the
+ * whole processor (cluster, domain within cluster, PE within domain).
+ * Pseudo-PEs (MEM, NET) use indices >= the per-domain PE count and are
+ * addressed through their own message types, never through PeCoord.
+ */
+struct PeCoord
+{
+    ClusterId cluster = 0;
+    DomainId domain = 0;
+    PeId pe = 0;
+
+    bool operator==(const PeCoord &) const = default;
+    auto operator<=>(const PeCoord &) const = default;
+
+    /** True when both coordinates name PEs in the same domain. */
+    bool
+    sameDomain(const PeCoord &o) const
+    {
+        return cluster == o.cluster && domain == o.domain;
+    }
+
+    /** True when both coordinates name PEs in the same cluster. */
+    bool sameCluster(const PeCoord &o) const { return cluster == o.cluster; }
+};
+
+} // namespace ws
+
+#endif // WS_COMMON_TYPES_H_

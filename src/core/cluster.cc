@@ -1,0 +1,141 @@
+#include "core/cluster.h"
+
+#include "common/log.h"
+
+namespace ws {
+
+Cluster::Cluster(const ProcessorConfig &cfg, const DataflowGraph *graph,
+                 const Placement *placement, TrafficStats *traffic,
+                 MainMemory *mem, ClusterId id)
+    : cfg_(cfg), graph_(graph), place_(placement), traffic_(traffic),
+      id_(id)
+{
+    l1_ = std::make_unique<L1Controller>(cfg.memory, id);
+    sb_ = std::make_unique<StoreBuffer>(cfg.storeBuffer, id, l1_.get(),
+                                        mem);
+    domains_.reserve(cfg.domainsPerCluster);
+    for (DomainId d = 0; d < cfg.domainsPerCluster; ++d) {
+        domains_.push_back(std::make_unique<Domain>(cfg, graph, placement,
+                                                    traffic, id, d));
+    }
+}
+
+void
+Cluster::receiveOperand(const OperandMsg &msg, Cycle now)
+{
+    if (msg.dst.cluster != id_)
+        panic("Cluster %u: operand for cluster %u", id_, msg.dst.cluster);
+    Domain &dom = *domains_.at(msg.dst.domain);
+    if (msg.memTraffic)
+        dom.pushMemIn(msg.token, now + cfg_.lat.netInject);
+    else
+        dom.pushNetIn(msg.token, now + cfg_.lat.netInject);
+}
+
+void
+Cluster::receiveMemRequest(const MemRequest &req, Cycle now)
+{
+    sbIn_.push(req, now + cfg_.lat.sbLocal);
+}
+
+void
+Cluster::tick(Cycle now)
+{
+    // Memory side first: the store buffer consumes completions the L1
+    // produced last cycle, then issues new work.
+    l1_->tick(now);
+    while (sbIn_.ready(now))
+        sb_->push(sbIn_.pop(now), now);
+    sb_->tick(now);
+
+    // Route completed loads to the consumers of the load instruction.
+    for (const LoadDone &ld : sb_->drainLoadDones()) {
+        for (const PortRef &ref : graph_->inst(ld.inst).outs[0]) {
+            const Token token{ld.tag, ref, ld.value};
+            const PeCoord dst = place_->home(ref.inst);
+            if (dst.cluster == id_) {
+                traffic_->record(TrafficLevel::kIntraCluster,
+                                 TrafficKind::kMemory);
+                domains_.at(dst.domain)->pushMemIn(
+                    token, now + cfg_.lat.sbLocal);
+            } else {
+                NetMessage msg;
+                msg.src = id_;
+                msg.dst = dst.cluster;
+                msg.vc = 1;
+                msg.memTraffic = true;
+                msg.payload = OperandMsg{token, dst, true};
+                outboundNet_.push_back(std::move(msg));
+            }
+        }
+    }
+    sb_->drainLoadDones().clear();
+
+    for (auto &dom : domains_)
+        dom->tick(now);
+
+    // Intra-cluster network: tokens leaving each domain's NET pseudo-PE.
+    for (auto &dom : domains_) {
+        while (dom->netOut().ready(now)) {
+            Token token = dom->netOut().pop(now);
+            const PeCoord dst = place_->home(token.dst.inst);
+            if (dst.cluster == id_) {
+                traffic_->record(TrafficLevel::kIntraCluster,
+                                 TrafficKind::kOperand);
+                interDomain_.push(token, now + cfg_.lat.clusterLink);
+            } else {
+                NetMessage msg;
+                msg.src = id_;
+                msg.dst = dst.cluster;
+                msg.vc = 0;
+                msg.memTraffic = false;
+                msg.payload = OperandMsg{token, dst, false};
+                outboundNet_.push_back(std::move(msg));
+            }
+        }
+    }
+
+    // MEM pseudo-PEs: forward memory requests toward the owning store
+    // buffer (rate-limited per domain).
+    for (auto &dom : domains_) {
+        for (unsigned i = 0;
+             i < cfg_.memForwardRate && dom->memOut().ready(now); ++i) {
+            MemRequest req = dom->memOut().pop(now);
+            const ClusterId home =
+                place_->threadHomeCluster(req.tag.thread);
+            if (home == id_) {
+                traffic_->record(TrafficLevel::kIntraCluster,
+                                 TrafficKind::kMemory);
+                sbIn_.push(req, now + cfg_.lat.sbLocal);
+            } else {
+                NetMessage msg;
+                msg.src = id_;
+                msg.dst = home;
+                msg.vc = 0;
+                msg.memTraffic = true;
+                msg.payload = req;
+                outboundNet_.push_back(std::move(msg));
+            }
+        }
+    }
+
+    // Deliver cross-domain hops into the destination NET pseudo-PEs.
+    while (interDomain_.ready(now)) {
+        Token token = interDomain_.pop(now);
+        const PeCoord dst = place_->home(token.dst.inst);
+        domains_.at(dst.domain)->pushNetIn(token, now + cfg_.lat.netInject);
+    }
+}
+
+bool
+Cluster::idle() const
+{
+    for (const auto &dom : domains_) {
+        if (!dom->idle())
+            return false;
+    }
+    return l1_->idle() && sb_->idle() && interDomain_.empty() &&
+           sbIn_.empty() && outboundNet_.empty();
+}
+
+} // namespace ws

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * A cluster: four domains, the intra-cluster interconnect, a network
+ * switch interface, a wave-ordered store buffer, and an L1 data cache
+ * (paper §3.1, Figure 2).
+ */
+
+#ifndef WS_CORE_CLUSTER_H_
+#define WS_CORE_CLUSTER_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "core/config.h"
+#include "core/domain.h"
+#include "memory/coherence.h"
+#include "memory/main_memory.h"
+#include "memory/store_buffer.h"
+#include "network/message.h"
+#include "network/timed_queue.h"
+#include "network/traffic.h"
+
+namespace ws {
+
+class Cluster
+{
+  public:
+    Cluster(const ProcessorConfig &cfg, const DataflowGraph *graph,
+            const Placement *placement, TrafficStats *traffic,
+            MainMemory *mem, ClusterId id);
+
+    ClusterId id() const { return id_; }
+
+    /** Advance the whole cluster by one cycle. */
+    void tick(Cycle now);
+
+    /** Operand arriving from the grid network. */
+    void receiveOperand(const OperandMsg &msg, Cycle now);
+
+    /** Memory request arriving from the grid network. */
+    void receiveMemRequest(const MemRequest &req, Cycle now);
+
+    /** Messages this cluster wants to put on the grid network. */
+    std::deque<NetMessage> &outboundNet() { return outboundNet_; }
+
+    Domain &domain(DomainId d) { return *domains_.at(d); }
+    const Domain &domain(DomainId d) const { return *domains_.at(d); }
+    std::size_t numDomains() const { return domains_.size(); }
+    StoreBuffer &storeBuffer() { return *sb_; }
+    const StoreBuffer &storeBuffer() const { return *sb_; }
+    L1Controller &l1() { return *l1_; }
+    const L1Controller &l1() const { return *l1_; }
+
+    bool idle() const;
+
+  private:
+    const ProcessorConfig &cfg_;
+    const DataflowGraph *graph_;
+    const Placement *place_;
+    TrafficStats *traffic_;
+    ClusterId id_;
+
+    std::vector<std::unique_ptr<Domain>> domains_;
+    std::unique_ptr<L1Controller> l1_;
+    std::unique_ptr<StoreBuffer> sb_;
+
+    TimedQueue<Token> interDomain_;   ///< Cross-domain operand hops.
+    TimedQueue<MemRequest> sbIn_;     ///< Requests en route to the SB.
+    std::deque<NetMessage> outboundNet_;
+};
+
+} // namespace ws
+
+#endif // WS_CORE_CLUSTER_H_

@@ -1,0 +1,68 @@
+#include "core/config.h"
+
+#include "common/log.h"
+
+namespace ws {
+
+ProcessorConfig
+ProcessorConfig::baseline()
+{
+    ProcessorConfig cfg;
+    cfg.clusters = 1;
+    cfg.domainsPerCluster = 4;
+    cfg.pesPerDomain = 8;
+    cfg.pe.matchingEntries = 128;
+    cfg.pe.matchingWays = 2;
+    cfg.pe.matchingBanks = 4;
+    cfg.pe.instStoreEntries = 128;
+    cfg.memory.l1Bytes = 32 * 1024;
+    cfg.memory.l2Bytes = 0;
+    return cfg;
+}
+
+PlacementGeometry
+ProcessorConfig::placementGeometry() const
+{
+    PlacementGeometry geom;
+    geom.clusters = clusters;
+    geom.domainsPerCluster = domainsPerCluster;
+    geom.pesPerDomain = pesPerDomain;
+    geom.peCapacity = static_cast<std::uint16_t>(pe.instStoreEntries);
+    return geom;
+}
+
+void
+ProcessorConfig::validate() const
+{
+    if (clusters == 0 || clusters > 64)
+        fatal("config: clusters must be in 1..64 (got %u)", clusters);
+    if (domainsPerCluster == 0 || domainsPerCluster > 4)
+        fatal("config: domains/cluster must be in 1..4 (20 FO4 limit)");
+    if (pesPerDomain < 2 || pesPerDomain > 8)
+        fatal("config: PEs/domain must be in 2..8 (20 FO4 limit)");
+    if (!relaxLimits) {
+        if (pe.instStoreEntries < 8 || pe.instStoreEntries > 256)
+            fatal("config: instruction store must be 8..256 entries "
+                  "(synthesis limits)");
+        if (pe.matchingEntries < 16 || pe.matchingEntries > 256)
+            fatal("config: matching table must be 16..256 entries "
+                  "(synthesis limits)");
+        if (memory.l1Bytes < 8 * 1024 || memory.l1Bytes > 32 * 1024)
+            fatal("config: L1 must be 8..32 KB per cluster");
+        if (memory.l2Bytes > 32ull * 1024 * 1024)
+            fatal("config: L2 must be at most 32 MB");
+    }
+    if (pe.matchingEntries % pe.matchingWays != 0)
+        fatal("config: matching entries not divisible by ways");
+    if (pe.matchingBanks == 0 || pe.matchingBanks > 8)
+        fatal("config: matching banks must be 1..8");
+    if (memory.clusters != clusters)
+        fatal("config: memory.clusters (%u) != clusters (%u); call "
+              "through Processor which wires them", memory.clusters,
+              clusters);
+    if (mesh.clusters != clusters)
+        fatal("config: mesh.clusters (%u) != clusters (%u)",
+              mesh.clusters, clusters);
+}
+
+} // namespace ws

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Top-level WaveScalar processor configuration.
+ *
+ * The defaults reproduce the paper's baseline machine (Table 1): one or
+ * more clusters of 4 domains x 8 PEs (4 pods), 128-entry matching tables
+ * and instruction stores, a 32 KB 4-way L1 with 128 B lines per cluster,
+ * a banked L2, 200-cycle main memory, and the hierarchical network
+ * latencies (pod 1 / domain 5 / cluster 9 / grid 9 + distance).
+ *
+ * validate() enforces the 20 FO4 legality limits the RTL synthesis
+ * imposes on the design space (§4.1): matching tables and instruction
+ * stores beyond 256 entries, more than 8 PEs per domain, or more than 4
+ * domains per cluster would stretch the clock cycle.
+ */
+
+#ifndef WS_CORE_CONFIG_H_
+#define WS_CORE_CONFIG_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "memory/coherence.h"
+#include "memory/store_buffer.h"
+#include "network/mesh.h"
+#include "pe/pe.h"
+#include "place/placement.h"
+
+namespace ws {
+
+/** Internal hop latencies used to compose the Table-1 network numbers. */
+struct LatencyConfig
+{
+    Cycle domainBus = 2;     ///< PE output → same-domain PE input.
+    Cycle toPseudoPe = 2;    ///< PE output → MEM/NET pseudo-PE.
+    Cycle fromPseudoPe = 2;  ///< Pseudo-PE → PE input (same domain).
+    Cycle clusterLink = 2;   ///< NET pseudo-PE → peer domain (one way).
+    Cycle netInject = 2;     ///< Cluster switch ↔ NET pseudo-PE.
+    Cycle sbLocal = 2;       ///< MEM pseudo-PE → local store buffer.
+    Cycle cohLocal = 2;      ///< L1 ↔ home bank within one cluster.
+};
+
+struct ProcessorConfig
+{
+    std::uint16_t clusters = 1;
+    std::uint16_t domainsPerCluster = 4;
+    std::uint16_t pesPerDomain = 8;
+
+    PeConfig pe;
+    StoreBufferConfig storeBuffer;
+    MemTimingConfig memory;
+    MeshConfig mesh;
+    LatencyConfig lat;
+
+    unsigned netInjectRate = 1;   ///< NET pseudo-PE operands/cycle.
+    unsigned memForwardRate = 1;  ///< MEM pseudo-PE requests/cycle.
+
+    PlacementPolicy placement = PlacementPolicy::kDepthFirst;
+    std::uint64_t seed = 1;
+
+    /**
+     * Methodology mode: skip the 20 FO4 structure-size limits. The
+     * Table-4 tuning sweeps use idealized (e.g. effectively infinite)
+     * matching tables that could not be synthesized at speed.
+     */
+    bool relaxLimits = false;
+
+    /** The paper's Table-1 baseline single-cluster machine. */
+    static ProcessorConfig baseline();
+
+    /** Total processing elements in the machine. */
+    std::uint32_t
+    totalPes() const
+    {
+        return static_cast<std::uint32_t>(clusters) * domainsPerCluster *
+               pesPerDomain;
+    }
+
+    /** Total instruction capacity (the WaveScalar capacity, e.g. 4K). */
+    std::uint64_t
+    instructionCapacity() const
+    {
+        return static_cast<std::uint64_t>(totalPes()) *
+               pe.instStoreEntries;
+    }
+
+    /** Placement geometry view of this configuration. */
+    PlacementGeometry placementGeometry() const;
+
+    /** fatal() on any 20 FO4 legality or structural violation. */
+    void validate() const;
+};
+
+} // namespace ws
+
+#endif // WS_CORE_CONFIG_H_

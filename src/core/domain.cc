@@ -1,0 +1,106 @@
+#include "core/domain.h"
+
+#include "common/log.h"
+
+namespace ws {
+
+Domain::Domain(const ProcessorConfig &cfg, const DataflowGraph *graph,
+               const Placement *placement, TrafficStats *traffic,
+               ClusterId cluster, DomainId id)
+    : cfg_(cfg), place_(placement), traffic_(traffic)
+{
+    base_.cluster = cluster;
+    base_.domain = id;
+    pes_.reserve(cfg.pesPerDomain);
+    for (PeId p = 0; p < cfg.pesPerDomain; ++p) {
+        PeCoord coord{cluster, id, p};
+        pes_.push_back(std::make_unique<ProcessingElement>(
+            cfg.pe, graph, placement, coord));
+        pes_.back()->setFpu(&fpu_);
+    }
+    // Couple PE pairs into pods (an odd trailing PE stays unpaired).
+    for (std::size_t p = 0; p + 1 < pes_.size(); p += 2) {
+        pes_[p]->setPodPartner(pes_[p + 1].get());
+        pes_[p + 1]->setPodPartner(pes_[p].get());
+    }
+}
+
+void
+Domain::assignHomes(const std::vector<std::vector<InstId>> &per_pe)
+{
+    if (per_pe.size() != pes_.size())
+        panic("Domain: assignHomes got %zu lists for %zu PEs",
+              per_pe.size(), pes_.size());
+    for (std::size_t p = 0; p < pes_.size(); ++p)
+        pes_[p]->assignHome(per_pe[p]);
+}
+
+void
+Domain::tick(Cycle now)
+{
+    for (auto &pe : pes_)
+        pe->tick(now);
+
+    // OUTPUT stage: each PE's dedicated result bus carries one executed
+    // instruction's outbound work per cycle.
+    for (auto &pe : pes_) {
+        if (!pe->hasOutput(now))
+            continue;
+        OutputEntry entry = pe->popOutput(now);
+        if (entry.hasMem)
+            memOut_.push(entry.mem, now + cfg_.lat.toPseudoPe);
+        for (const Token &token : entry.tokens) {
+            const PeCoord dst = place_->home(token.dst.inst);
+            if (dst.sameDomain(pe->self())) {
+                traffic_->record(TrafficLevel::kIntraDomain,
+                                 TrafficKind::kOperand);
+                delivery_.push(token, now + cfg_.lat.domainBus);
+            } else {
+                netOut_.push(token, now + cfg_.lat.toPseudoPe);
+            }
+        }
+    }
+
+    // NET pseudo-PE: introduces up to netInjectRate operands per cycle
+    // into the domain.
+    for (unsigned i = 0; i < cfg_.netInjectRate && netIn_.ready(now); ++i) {
+        Token token = netIn_.pop(now);
+        delivery_.push(token, now + cfg_.lat.fromPseudoPe);
+    }
+
+    // MEM pseudo-PE, inbound side: load replies.
+    for (unsigned i = 0;
+         i < cfg_.memForwardRate && memIn_.ready(now); ++i) {
+        Token token = memIn_.pop(now);
+        delivery_.push(token, now + cfg_.lat.fromPseudoPe);
+    }
+
+    // Deliver ready tokens; receivers may reject on bandwidth (INPUT
+    // stage), in which case the sender retries next cycle.
+    rejected_.clear();
+    while (delivery_.ready(now)) {
+        Token token = delivery_.pop(now);
+        const PeCoord dst = place_->home(token.dst.inst);
+        if (!dst.sameDomain(base_))
+            panic("Domain (%u,%u): delivery for PE (%u,%u,%u)",
+                  base_.cluster, base_.domain, dst.cluster, dst.domain,
+                  dst.pe);
+        if (!pes_.at(dst.pe)->tryAccept(token, now))
+            rejected_.push_back(token);
+    }
+    for (const Token &token : rejected_)
+        delivery_.push(token, now + 1);
+}
+
+bool
+Domain::idle() const
+{
+    for (const auto &pe : pes_) {
+        if (!pe->idle())
+            return false;
+    }
+    return delivery_.empty() && netOut_.empty() && memOut_.empty() &&
+           netIn_.empty() && memIn_.empty();
+}
+
+} // namespace ws

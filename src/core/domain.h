@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A domain: eight PEs (four pods), the shared FPU, the broadcast
+ * intra-domain interconnect, and the MEM / NET pseudo-PE gateways
+ * (paper §3.4.1).
+ *
+ * Each PE owns a dedicated result bus, so the intra-domain network has
+ * no sender-side contention; contention appears at the receivers (each
+ * PE accepts up to four operands per cycle — its matching-table banks)
+ * and at the pseudo-PE gateways (one operand per cycle each way).
+ */
+
+#ifndef WS_CORE_DOMAIN_H_
+#define WS_CORE_DOMAIN_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "core/config.h"
+#include "isa/graph.h"
+#include "network/message.h"
+#include "network/timed_queue.h"
+#include "network/traffic.h"
+#include "pe/pe.h"
+#include "place/placement.h"
+
+namespace ws {
+
+class Domain
+{
+  public:
+    Domain(const ProcessorConfig &cfg, const DataflowGraph *graph,
+           const Placement *placement, TrafficStats *traffic,
+           ClusterId cluster, DomainId id);
+
+    /** Give every PE its home instruction list (called once at setup). */
+    void assignHomes(const std::vector<std::vector<InstId>> &per_pe);
+
+    /** Advance PEs, drain result buses, run pseudo-PE gateways. */
+    void tick(Cycle now);
+
+    /** Tokens leaving the domain (drained by the cluster). */
+    TimedQueue<Token> &netOut() { return netOut_; }
+
+    /** Memory requests heading for a store buffer (drained by cluster). */
+    TimedQueue<MemRequest> &memOut() { return memOut_; }
+
+    /** Entry point for operands arriving from other domains/clusters. */
+    void pushNetIn(const Token &token, Cycle ready) {
+        netIn_.push(token, ready);
+    }
+
+    /** Entry point for load replies from the memory system. */
+    void pushMemIn(const Token &token, Cycle ready) {
+        memIn_.push(token, ready);
+    }
+
+    /** Direct local-delivery entry (initial token injection at setup). */
+    void pushDelivery(const Token &token, Cycle ready) {
+        delivery_.push(token, ready);
+    }
+
+    ProcessingElement &pe(PeId p) { return *pes_.at(p); }
+    const ProcessingElement &pe(PeId p) const { return *pes_.at(p); }
+    std::size_t numPes() const { return pes_.size(); }
+    const DomainFpu &fpu() const { return fpu_; }
+
+    bool idle() const;
+
+  private:
+    const ProcessorConfig &cfg_;
+    const Placement *place_;
+    TrafficStats *traffic_;
+    PeCoord base_;   ///< cluster/domain of this domain (pe field unused).
+
+    std::vector<std::unique_ptr<ProcessingElement>> pes_;
+    DomainFpu fpu_;
+
+    TimedQueue<Token> delivery_;  ///< Tokens awaiting PE acceptance.
+    TimedQueue<Token> netOut_;
+    TimedQueue<MemRequest> memOut_;
+    TimedQueue<Token> netIn_;
+    TimedQueue<Token> memIn_;
+    std::vector<Token> rejected_;  ///< Scratch for delivery retries.
+};
+
+} // namespace ws
+
+#endif // WS_CORE_DOMAIN_H_

@@ -1,0 +1,396 @@
+#include "core/processor.h"
+
+#include <string>
+
+#include "core/trace.h"
+
+#include "common/log.h"
+
+namespace ws {
+
+namespace {
+
+ProcessorConfig
+wire(ProcessorConfig cfg)
+{
+    cfg.memory.clusters = cfg.clusters;
+    cfg.mesh.clusters = cfg.clusters;
+    return cfg;
+}
+
+} // namespace
+
+Processor::Processor(const DataflowGraph &graph, const ProcessorConfig &cfg)
+    : cfg_(wire(cfg)), graph_(graph),
+      place_(place(graph, cfg_.placementGeometry(), cfg_.placement,
+                   cfg_.seed)),
+      mesh_(cfg_.mesh, &traffic_), home_(cfg_.memory)
+{
+    cfg_.validate();
+    graph_.validate();
+
+    // Build the tile hierarchy.
+    clusters_.reserve(cfg_.clusters);
+    for (ClusterId c = 0; c < cfg_.clusters; ++c) {
+        clusters_.push_back(std::make_unique<Cluster>(
+            cfg_, &graph_, &place_, &traffic_, &mem_, c));
+    }
+
+    // Hand every PE its home instruction list.
+    const std::uint32_t pes_per_cluster =
+        static_cast<std::uint32_t>(cfg_.domainsPerCluster) *
+        cfg_.pesPerDomain;
+    std::vector<std::vector<InstId>> homes(cfg_.totalPes());
+    for (InstId i = 0; i < graph_.size(); ++i) {
+        const PeCoord pe = place_.home(i);
+        const std::size_t idx =
+            static_cast<std::size_t>(pe.cluster) * pes_per_cluster +
+            static_cast<std::size_t>(pe.domain) * cfg_.pesPerDomain +
+            pe.pe;
+        homes[idx].push_back(i);
+    }
+    for (ClusterId c = 0; c < cfg_.clusters; ++c) {
+        for (DomainId d = 0; d < cfg_.domainsPerCluster; ++d) {
+            std::vector<std::vector<InstId>> per_pe;
+            per_pe.reserve(cfg_.pesPerDomain);
+            for (PeId p = 0; p < cfg_.pesPerDomain; ++p) {
+                const std::size_t idx =
+                    static_cast<std::size_t>(c) * pes_per_cluster +
+                    static_cast<std::size_t>(d) * cfg_.pesPerDomain + p;
+                per_pe.push_back(std::move(homes[idx]));
+            }
+            clusters_[c]->domain(d).assignHomes(per_pe);
+        }
+    }
+
+    // k-loop bounding: one shared wave window, read by every PE.
+    window_.k = cfg_.pe.k == 0 ? 1 : cfg_.pe.k;
+    window_.base.assign(graph_.numThreads(), 0);
+    for (auto &cluster : clusters_) {
+        for (DomainId d = 0; d < cfg_.domainsPerCluster; ++d) {
+            Domain &dom = cluster->domain(d);
+            for (PeId p = 0; p < dom.numPes(); ++p)
+                dom.pe(p).setWaveWindow(&window_);
+        }
+    }
+
+    // Initial memory image and program-input tokens.
+    for (const auto &[addr, value] : graph_.memInit())
+        mem_.write(addr, value);
+    for (const Token &token : graph_.initialTokens()) {
+        const PeCoord dst = place_.home(token.dst.inst);
+        clusters_[dst.cluster]->domain(dst.domain).pushDelivery(token, 0);
+    }
+}
+
+bool
+Processor::towardHome(CohType type)
+{
+    switch (type) {
+      case CohType::kGetS:
+      case CohType::kGetM:
+      case CohType::kPutM:
+      case CohType::kInvAck:
+      case CohType::kDownAck:
+        return true;
+      default:
+        return false;
+    }
+}
+
+void
+Processor::drainMesh(Cycle now)
+{
+    for (ClusterId c = 0; c < cfg_.clusters; ++c) {
+        for (NetMessage &msg : mesh_.delivered(c)) {
+            if (auto *op = std::get_if<OperandMsg>(&msg.payload)) {
+                clusters_[c]->receiveOperand(*op, now);
+            } else if (auto *req = std::get_if<MemRequest>(&msg.payload)) {
+                clusters_[c]->receiveMemRequest(*req, now);
+            } else {
+                const CohMsg &coh = std::get<CohMsg>(msg.payload);
+                if (towardHome(coh.type))
+                    home_.receive(coh, now);
+                else
+                    clusters_[c]->l1().receive(coh, now);
+            }
+        }
+        mesh_.delivered(c).clear();
+    }
+}
+
+void
+Processor::routeCoherence(Cycle now)
+{
+    // Home → L1 messages.
+    for (auto &[dst, msg] : home_.outbox()) {
+        if (dst == cfg_.clusters) {
+            panic("Processor: home message to cluster %u", dst);
+        }
+        const ClusterId bank = home_.homeOf(msg.line);
+        if (dst == bank || cfg_.clusters == 1) {
+            // The L1 and the home bank share a router; stay local.
+            clusters_[dst]->l1().receive(msg, now + cfg_.lat.cohLocal);
+        } else {
+            NetMessage net;
+            net.src = bank;
+            net.dst = dst;
+            net.vc = 1;
+            net.memTraffic = true;
+            net.payload = msg;
+            homeOutRetry_.push_back(std::move(net));
+        }
+    }
+    home_.outbox().clear();
+
+    // L1 → home messages.
+    for (ClusterId c = 0; c < cfg_.clusters; ++c) {
+        for (CohMsg &msg : clusters_[c]->l1().outbox()) {
+            const ClusterId bank = home_.homeOf(msg.line);
+            if (bank == c || cfg_.clusters == 1) {
+                home_.receive(msg, now + cfg_.lat.cohLocal);
+            } else {
+                NetMessage net;
+                net.src = c;
+                net.dst = bank;
+                net.vc = towardHome(msg.type) &&
+                                 (msg.type == CohType::kInvAck ||
+                                  msg.type == CohType::kDownAck)
+                             ? 1
+                             : 0;
+                net.memTraffic = true;
+                net.payload = msg;
+                clusters_[c]->outboundNet().push_back(std::move(net));
+            }
+        }
+        clusters_[c]->l1().outbox().clear();
+    }
+}
+
+void
+Processor::injectOutbound(Cycle now)
+{
+    while (!homeOutRetry_.empty()) {
+        if (!mesh_.inject(homeOutRetry_.front(), now))
+            break;
+        homeOutRetry_.pop_front();
+    }
+    for (ClusterId c = 0; c < cfg_.clusters; ++c) {
+        auto &q = clusters_[c]->outboundNet();
+        while (!q.empty()) {
+            if (!mesh_.inject(q.front(), now))
+                break;
+            q.pop_front();
+        }
+    }
+}
+
+void
+Processor::tick()
+{
+    const Cycle now = cycle_;
+    // Refresh the k-loop-bounding window from the store buffers.
+    for (ThreadId t = 0; t < window_.base.size(); ++t) {
+        window_.base[t] =
+            clusters_[place_.threadHomeCluster(t)]->storeBuffer()
+                .nextWave(t);
+    }
+    mesh_.tick(now);
+    drainMesh(now);
+    home_.tick(now);
+    for (auto &cluster : clusters_)
+        cluster->tick(now);
+    routeCoherence(now);
+    injectOutbound(now);
+    ++cycle_;
+}
+
+bool
+Processor::run(Cycle max_cycles)
+{
+    const Counter expected = graph_.expectedSinkTokens();
+    bool sinks_done = false;
+    while (cycle_ < max_cycles) {
+        tick();
+        if (tracer_ != nullptr && cycle_ % tracer_->interval() == 0)
+            tracer_->sample(*this);
+        if (!sinks_done && expected != 0 && sinkCount() >= expected)
+            sinks_done = true;
+        if (sinks_done && quiescent()) {
+            // All results delivered *and* every in-flight store, token,
+            // and coherence transaction has drained.
+            return true;
+        }
+        if (!sinks_done && (cycle_ & 0x3ff) == 0 && quiescent()) {
+            // Nothing in flight anywhere: the program can make no more
+            // progress. Either it completed (no sink declaration) or it
+            // deadlocked; the caller distinguishes via sinkCount().
+            return expected == 0 || sinkCount() >= expected;
+        }
+    }
+    return expected != 0 && sinkCount() >= expected;
+}
+
+Counter
+Processor::sinkCount() const
+{
+    Counter n = 0;
+    for (const auto &cluster : clusters_) {
+        for (DomainId d = 0; d < cfg_.domainsPerCluster; ++d) {
+            const Domain &dom = cluster->domain(d);
+            for (PeId p = 0; p < dom.numPes(); ++p)
+                n += dom.pe(p).stats().sinkTokens;
+        }
+    }
+    return n;
+}
+
+Counter
+Processor::usefulExecuted() const
+{
+    Counter n = 0;
+    for (const auto &cluster : clusters_) {
+        for (DomainId d = 0; d < cfg_.domainsPerCluster; ++d) {
+            const Domain &dom = cluster->domain(d);
+            for (PeId p = 0; p < dom.numPes(); ++p)
+                n += dom.pe(p).stats().usefulExecuted;
+        }
+    }
+    return n;
+}
+
+double
+Processor::aipc() const
+{
+    return cycle_ == 0 ? 0.0
+                       : static_cast<double>(usefulExecuted()) /
+                             static_cast<double>(cycle_);
+}
+
+bool
+Processor::quiescent() const
+{
+    for (const auto &cluster : clusters_) {
+        if (!cluster->idle())
+            return false;
+    }
+    return mesh_.idle() && home_.idle() && homeOutRetry_.empty();
+}
+
+StatReport
+Processor::report() const
+{
+    StatReport r;
+    r.add("sim.cycles", cycle_);
+    r.add("sim.useful_executed", usefulExecuted());
+    r.add("sim.aipc", aipc());
+    r.add("sim.sink_tokens", sinkCount());
+
+    Counter executed = 0;
+    Counter accepted = 0;
+    Counter rejected = 0;
+    Counter bypass = 0;
+    Counter bank_conflicts = 0;
+    Counter wave_throttled = 0;
+    Counter overflow_reinserts = 0;
+    Counter inst_miss = 0;
+    Counter fpu_stalls = 0;
+    Counter output_stalls = 0;
+    Counter match_inserts = 0;
+    Counter match_fires = 0;
+    Counter match_misses = 0;
+    Counter store_hits = 0;
+    Counter store_misses = 0;
+    for (const auto &cluster : clusters_) {
+        for (DomainId d = 0; d < cfg_.domainsPerCluster; ++d) {
+            const Domain &dom = cluster->domain(d);
+            for (PeId p = 0; p < dom.numPes(); ++p) {
+                const ProcessingElement &pe = dom.pe(p);
+                executed += pe.stats().executed;
+                accepted += pe.stats().accepted;
+                rejected += pe.stats().rejected;
+                bypass += pe.stats().bypassDeliveries;
+                bank_conflicts += pe.stats().bankConflicts;
+                wave_throttled += pe.stats().waveThrottled;
+                overflow_reinserts += pe.stats().overflowReinserts;
+                inst_miss += pe.stats().instMissWaits;
+                fpu_stalls += pe.stats().fpuStalls;
+                output_stalls += pe.stats().outputStalls;
+                match_inserts += pe.matching().stats().inserts;
+                match_fires += pe.matching().stats().fires;
+                match_misses += pe.matching().stats().misses;
+                store_hits += pe.instStore().stats().hits;
+                store_misses += pe.instStore().stats().misses;
+            }
+        }
+    }
+    r.add("pe.executed", executed);
+    r.add("pe.accepted", accepted);
+    r.add("pe.rejected", rejected);
+    r.add("pe.bypass_deliveries", bypass);
+    r.add("pe.bank_conflicts", bank_conflicts);
+    r.add("pe.wave_throttled", wave_throttled);
+    r.add("pe.overflow_reinserts", overflow_reinserts);
+    r.add("pe.inst_miss_waits", inst_miss);
+    r.add("pe.fpu_stalls", fpu_stalls);
+    r.add("pe.output_stalls", output_stalls);
+    r.add("match.inserts", match_inserts);
+    r.add("match.fires", match_fires);
+    r.add("match.misses", match_misses);
+    r.add("istore.hits", store_hits);
+    r.add("istore.misses", store_misses);
+
+    Counter sb_requests = 0;
+    Counter sb_waves = 0;
+    Counter sb_psq_allocs = 0;
+    Counter sb_psq_appends = 0;
+    Counter sb_psq_full = 0;
+    Counter sb_no_psq = 0;
+    Counter l1_hits = 0;
+    Counter l1_misses = 0;
+    Counter l1_writebacks = 0;
+    for (const auto &cluster : clusters_) {
+        const StoreBufferStats &sb = cluster->storeBuffer().stats();
+        sb_requests += sb.requests;
+        sb_waves += sb.waveCompletions;
+        sb_psq_allocs += sb.psqAllocations;
+        sb_psq_appends += sb.psqAppends;
+        sb_psq_full += sb.psqFullStalls;
+        sb_no_psq += sb.noPsqStalls;
+        const L1Stats &l1 = cluster->l1().stats();
+        l1_hits += l1.hits;
+        l1_misses += l1.misses;
+        l1_writebacks += l1.writebacks;
+    }
+    r.add("sb.requests", sb_requests);
+    r.add("sb.wave_completions", sb_waves);
+    r.add("sb.psq_allocations", sb_psq_allocs);
+    r.add("sb.psq_appends", sb_psq_appends);
+    r.add("sb.psq_full_stalls", sb_psq_full);
+    r.add("sb.no_psq_stalls", sb_no_psq);
+    {
+        Counter preempt = 0;
+        for (const auto &cluster : clusters_)
+            preempt += cluster->storeBuffer().stats().slotPreemptions;
+        r.add("sb.slot_preemptions", preempt);
+    }
+    r.add("l1.hits", l1_hits);
+    r.add("l1.misses", l1_misses);
+    r.add("l1.writebacks", l1_writebacks);
+    r.add("home.getS", home_.stats().getS);
+    r.add("home.getM", home_.stats().getM);
+    r.add("home.putM", home_.stats().putM);
+    r.add("home.l2_hits", home_.stats().l2Hits);
+    r.add("home.l2_misses", home_.stats().l2Misses);
+    r.add("home.invs_sent", home_.stats().invsSent);
+
+    // Fold PE-level (self + pod) deliveries into the traffic picture,
+    // then export it.
+    TrafficStats combined = traffic_;
+    combined.recordBulk(TrafficLevel::kIntraPod, TrafficKind::kOperand,
+                        bypass);
+    combined.report(r);
+    return r;
+}
+
+} // namespace ws

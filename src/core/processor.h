@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The WaveScalar processor: clusters on a grid network plus the shared
+ * memory home system, executing one dataflow program.
+ */
+
+#ifndef WS_CORE_PROCESSOR_H_
+#define WS_CORE_PROCESSOR_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "core/cluster.h"
+#include "core/config.h"
+#include "isa/graph.h"
+#include "memory/coherence.h"
+#include "memory/main_memory.h"
+#include "network/mesh.h"
+#include "network/traffic.h"
+#include "place/placement.h"
+
+namespace ws {
+
+class IntervalTracer;
+
+class Processor
+{
+  public:
+    /**
+     * Build the machine for @p graph: validates the configuration,
+     * places the program, constructs every tile, loads the initial
+     * memory image, and queues the initial tokens.
+     */
+    Processor(const DataflowGraph &graph, const ProcessorConfig &cfg);
+
+    /** Advance the whole machine by one cycle. */
+    void tick();
+
+    /** Attach an interval tracer sampled during run() (may be null). */
+    void attachTracer(IntervalTracer *tracer) { tracer_ = tracer; }
+
+    /** Run until completion or @p max_cycles. Returns completion. */
+    bool run(Cycle max_cycles);
+
+    Cycle cycle() const { return cycle_; }
+
+    /** Sink tokens received so far (completion progress). */
+    Counter sinkCount() const;
+
+    /** Useful (Alpha-equivalent) instructions executed so far. */
+    Counter usefulExecuted() const;
+
+    /** AIPC over the cycles simulated so far. */
+    double aipc() const;
+
+    /** True when no token, request, or message remains anywhere. */
+    bool quiescent() const;
+
+    /** Full statistics report (execution, memory, network, traffic). */
+    StatReport report() const;
+
+    const Placement &placement() const { return place_; }
+    const TrafficStats &traffic() const { return traffic_; }
+    Cluster &cluster(ClusterId c) { return *clusters_.at(c); }
+    const Cluster &cluster(ClusterId c) const { return *clusters_.at(c); }
+    const MeshNetwork &mesh() const { return mesh_; }
+    MainMemory &memory() { return mem_; }
+    const ProcessorConfig &config() const { return cfg_; }
+
+  private:
+    void routeCoherence(Cycle now);
+    void drainMesh(Cycle now);
+    void injectOutbound(Cycle now);
+
+    /** True when CohType travels L1 → home. */
+    static bool towardHome(CohType type);
+
+    ProcessorConfig cfg_;
+    const DataflowGraph &graph_;
+    Placement place_;
+    TrafficStats traffic_;
+    MainMemory mem_;
+    MeshNetwork mesh_;
+    HomeSystem home_;
+    std::vector<std::unique_ptr<Cluster>> clusters_;
+    std::deque<NetMessage> homeOutRetry_;
+    WaveWindow window_;
+    IntervalTracer *tracer_ = nullptr;
+    Cycle cycle_ = 0;
+};
+
+} // namespace ws
+
+#endif // WS_CORE_PROCESSOR_H_

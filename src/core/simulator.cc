@@ -1,0 +1,19 @@
+#include "core/simulator.h"
+
+namespace ws {
+
+SimResult
+runSimulation(const DataflowGraph &graph, const ProcessorConfig &cfg,
+              const SimOptions &opts)
+{
+    Processor proc(graph, cfg);
+    SimResult result;
+    result.completed = proc.run(opts.maxCycles);
+    result.cycles = proc.cycle();
+    result.useful = proc.usefulExecuted();
+    result.aipc = proc.aipc();
+    result.report = proc.report();
+    return result;
+}
+
+} // namespace ws

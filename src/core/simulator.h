@@ -1,0 +1,41 @@
+/**
+ * @file
+ * One-call simulation driver: build a Processor for a program, run it to
+ * completion (or a cycle budget), and collect the results. This is the
+ * primary entry point examples and benchmark harnesses use.
+ */
+
+#ifndef WS_CORE_SIMULATOR_H_
+#define WS_CORE_SIMULATOR_H_
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "core/config.h"
+#include "core/processor.h"
+#include "isa/graph.h"
+
+namespace ws {
+
+struct SimOptions
+{
+    Cycle maxCycles = 2'000'000;  ///< Hard budget; most kernels finish
+                                  ///  far earlier via sink counting.
+};
+
+struct SimResult
+{
+    bool completed = false;  ///< All expected sink tokens arrived.
+    Cycle cycles = 0;
+    Counter useful = 0;      ///< Alpha-equivalent instructions executed.
+    double aipc = 0.0;
+    StatReport report;
+};
+
+/** Build, run, and summarize one simulation. */
+SimResult runSimulation(const DataflowGraph &graph,
+                        const ProcessorConfig &cfg,
+                        const SimOptions &opts = SimOptions{});
+
+} // namespace ws
+
+#endif // WS_CORE_SIMULATOR_H_

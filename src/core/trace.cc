@@ -1,0 +1,40 @@
+#include "core/trace.h"
+
+#include "core/processor.h"
+
+namespace ws {
+
+IntervalTracer::IntervalTracer(std::ostream &os, Cycle interval)
+    : os_(os), interval_(interval == 0 ? 1 : interval)
+{}
+
+void
+IntervalTracer::sample(const Processor &proc)
+{
+    if (!wroteHeader_) {
+        os_ << "cycle,aipc_window,aipc_cumulative,executed_window,"
+               "sb_requests_window,messages_window,l1_misses_window\n";
+        wroteHeader_ = true;
+    }
+
+    const StatReport r = proc.report();
+    const double useful = r.get("sim.useful_executed");
+    const double executed = r.get("pe.executed");
+    const double sb = r.get("sb.requests");
+    const double traffic = r.get("traffic.total");
+    const double l1_misses = r.get("l1.misses");
+
+    const double window = static_cast<double>(interval_);
+    os_ << proc.cycle() << ',' << (useful - prevUseful_) / window << ','
+        << proc.aipc() << ',' << executed - prevExecuted_ << ','
+        << sb - prevSbRequests_ << ',' << traffic - prevTraffic_ << ','
+        << l1_misses - prevL1Misses_ << '\n';
+
+    prevUseful_ = useful;
+    prevExecuted_ = executed;
+    prevSbRequests_ = sb;
+    prevTraffic_ = traffic;
+    prevL1Misses_ = l1_misses;
+}
+
+} // namespace ws

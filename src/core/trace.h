@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Interval tracing: periodic CSV samples of machine activity during a
+ * run (AIPC over time, memory-system and network activity), for
+ * plotting warm-up behaviour, phase structure, and saturation.
+ */
+
+#ifndef WS_CORE_TRACE_H_
+#define WS_CORE_TRACE_H_
+
+#include <ostream>
+
+#include "common/types.h"
+
+namespace ws {
+
+class Processor;
+
+class IntervalTracer
+{
+  public:
+    /**
+     * Stream CSV rows to @p os every @p interval cycles. The header is
+     * written on the first sample. The stream must outlive the tracer.
+     */
+    IntervalTracer(std::ostream &os, Cycle interval = 1000);
+
+    Cycle interval() const { return interval_; }
+
+    /** Emit one sample row; called by Processor::run(). */
+    void sample(const Processor &proc);
+
+  private:
+    std::ostream &os_;
+    Cycle interval_;
+    bool wroteHeader_ = false;
+    double prevUseful_ = 0;
+    double prevExecuted_ = 0;
+    double prevSbRequests_ = 0;
+    double prevTraffic_ = 0;
+    double prevL1Misses_ = 0;
+};
+
+} // namespace ws
+
+#endif // WS_CORE_TRACE_H_

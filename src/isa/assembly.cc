@@ -1,0 +1,295 @@
+#include "isa/assembly.h"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "common/log.h"
+
+namespace ws {
+
+namespace {
+
+std::string
+memSuffix(const MemOrder &mem)
+{
+    if (!mem.valid)
+        return "";
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), " mem=%d:%d:%d", mem.prev, mem.seq,
+                  mem.next);
+    return buf;
+}
+
+/** Tokenize one line, dropping ';' comments. */
+std::vector<std::string>
+words(const std::string &line)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : line) {
+        if (c == ';')
+            break;
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            if (!cur.empty()) {
+                out.push_back(cur);
+                cur.clear();
+            }
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+long long
+parseInt(const std::string &s, int line_no, const char *what)
+{
+    try {
+        std::size_t pos = 0;
+        const long long v = std::stoll(s, &pos, 0);
+        if (pos != s.size())
+            throw std::invalid_argument(s);
+        return v;
+    } catch (const std::exception &) {
+        fatal("assemble: line %d: bad %s '%s'", line_no, what, s.c_str());
+    }
+}
+
+/** Parse "key=value"; fatal when the key does not match. */
+std::string
+expectKey(const std::string &word, const char *key, int line_no)
+{
+    const std::string prefix = std::string(key) + "=";
+    if (word.rfind(prefix, 0) != 0)
+        fatal("assemble: line %d: expected %s=..., got '%s'", line_no,
+              key, word.c_str());
+    return word.substr(prefix.size());
+}
+
+} // namespace
+
+Opcode
+opcodeFromName(const std::string &name)
+{
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(Opcode::kNumOpcodes); ++i) {
+        const auto op = static_cast<Opcode>(i);
+        if (opcodeName(op) == name)
+            return op;
+    }
+    fatal("assemble: unknown opcode '%s'", name.c_str());
+}
+
+std::string
+disassemble(const DataflowGraph &graph)
+{
+    std::ostringstream out;
+    out << ".graph " << graph.name() << " threads=" << graph.numThreads()
+        << " sinks=" << graph.expectedSinkTokens() << "\n";
+
+    for (const auto &[addr, value] : graph.memInit())
+        out << ".meminit 0x" << std::hex << addr << std::dec << " "
+            << value << "\n";
+
+    for (InstId i = 0; i < graph.size(); ++i) {
+        const Instruction &inst = graph.inst(i);
+        out << ".inst " << i << " " << opcodeName(inst.op) << " t"
+            << inst.thread;
+        if (inst.imm != 0 || inst.op == Opcode::kConst)
+            out << " imm=" << inst.imm;
+        out << memSuffix(inst.mem) << "\n";
+    }
+
+    for (InstId i = 0; i < graph.size(); ++i) {
+        const Instruction &inst = graph.inst(i);
+        for (int side = 0; side < 2; ++side) {
+            for (const PortRef &ref : inst.outs[side]) {
+                out << ".edge " << i;
+                if (side == 1)
+                    out << ":1";
+                out << " -> " << ref.inst << "."
+                    << static_cast<int>(ref.port) << "\n";
+            }
+        }
+    }
+
+    for (const Token &t : graph.initialTokens()) {
+        out << ".token t" << t.tag.thread << " w" << t.tag.wave << " v"
+            << t.value << " -> " << t.dst.inst << "."
+            << static_cast<int>(t.dst.port) << "\n";
+    }
+
+    for (const auto &chain : graph.memRegions()) {
+        out << ".region";
+        for (InstId id : chain)
+            out << " " << id;
+        out << "\n";
+    }
+    return out.str();
+}
+
+DataflowGraph
+assemble(const std::string &text)
+{
+    std::istringstream in(text);
+    std::string line;
+    int line_no = 0;
+
+    DataflowGraph graph;
+    bool have_header = false;
+    InstId next_inst = 0;
+
+    while (std::getline(in, line)) {
+        ++line_no;
+        const std::vector<std::string> w = words(line);
+        if (w.empty())
+            continue;
+        const std::string &kind = w[0];
+
+        if (kind == ".graph") {
+            if (have_header)
+                fatal("assemble: line %d: duplicate .graph", line_no);
+            if (w.size() != 4)
+                fatal("assemble: line %d: .graph NAME threads=N sinks=N",
+                      line_no);
+            const auto threads = parseInt(
+                expectKey(w[2], "threads", line_no), line_no, "threads");
+            const auto sinks = parseInt(expectKey(w[3], "sinks", line_no),
+                                        line_no, "sinks");
+            if (threads < 1 || threads > 0xffff)
+                fatal("assemble: line %d: thread count %lld out of range",
+                      line_no, threads);
+            graph = DataflowGraph(w[1],
+                                  static_cast<std::uint16_t>(threads));
+            graph.setExpectedSinkTokens(static_cast<Counter>(sinks));
+            have_header = true;
+            continue;
+        }
+        if (!have_header)
+            fatal("assemble: line %d: .graph header must come first",
+                  line_no);
+
+        if (kind == ".meminit") {
+            if (w.size() != 3)
+                fatal("assemble: line %d: .meminit ADDR VALUE", line_no);
+            graph.addMemInit(
+                static_cast<Addr>(parseInt(w[1], line_no, "address")),
+                static_cast<Value>(parseInt(w[2], line_no, "value")));
+        } else if (kind == ".inst") {
+            if (w.size() < 4)
+                fatal("assemble: line %d: .inst ID OPCODE tN ...",
+                      line_no);
+            const auto id = parseInt(w[1], line_no, "instruction id");
+            if (id != next_inst)
+                fatal("assemble: line %d: instruction ids must be dense "
+                      "(expected %u, got %lld)", line_no, next_inst, id);
+            Instruction inst;
+            inst.op = opcodeFromName(w[2]);
+            if (w[3].size() < 2 || w[3][0] != 't')
+                fatal("assemble: line %d: expected thread tag tN",
+                      line_no);
+            inst.thread = static_cast<ThreadId>(
+                parseInt(w[3].substr(1), line_no, "thread"));
+            for (std::size_t i = 4; i < w.size(); ++i) {
+                if (w[i].rfind("imm=", 0) == 0) {
+                    inst.imm = static_cast<Value>(
+                        parseInt(w[i].substr(4), line_no, "immediate"));
+                } else if (w[i].rfind("mem=", 0) == 0) {
+                    int prev = 0;
+                    int seq = 0;
+                    int next = 0;
+                    if (std::sscanf(w[i].c_str() + 4, "%d:%d:%d", &prev,
+                                    &seq, &next) != 3) {
+                        fatal("assemble: line %d: mem=prev:seq:next",
+                              line_no);
+                    }
+                    inst.mem = MemOrder{prev, seq, next, true};
+                } else {
+                    fatal("assemble: line %d: unknown attribute '%s'",
+                          line_no, w[i].c_str());
+                }
+            }
+            graph.addInstruction(std::move(inst));
+            ++next_inst;
+        } else if (kind == ".edge") {
+            // .edge SRC[:1] -> DST.PORT
+            if (w.size() != 4 || w[2] != "->")
+                fatal("assemble: line %d: .edge SRC[:1] -> DST.PORT",
+                      line_no);
+            std::string src = w[1];
+            int side = 0;
+            const auto colon = src.find(':');
+            if (colon != std::string::npos) {
+                side = static_cast<int>(parseInt(src.substr(colon + 1),
+                                                 line_no, "side"));
+                if (side != 0 && side != 1)
+                    fatal("assemble: line %d: side must be 0 or 1",
+                          line_no);
+                src = src.substr(0, colon);
+            }
+            const auto src_id = parseInt(src, line_no, "source id");
+            const auto dot = w[3].find('.');
+            if (dot == std::string::npos)
+                fatal("assemble: line %d: destination must be ID.PORT",
+                      line_no);
+            const auto dst_id =
+                parseInt(w[3].substr(0, dot), line_no, "dest id");
+            const auto port =
+                parseInt(w[3].substr(dot + 1), line_no, "port");
+            if (src_id < 0 ||
+                static_cast<std::size_t>(src_id) >= graph.size()) {
+                fatal("assemble: line %d: edge from undefined inst %lld",
+                      line_no, src_id);
+            }
+            graph.inst(static_cast<InstId>(src_id)).outs[side].push_back(
+                PortRef{static_cast<InstId>(dst_id),
+                        static_cast<std::uint8_t>(port)});
+        } else if (kind == ".token") {
+            // .token tN wN vVALUE -> DST.PORT
+            if (w.size() != 6 || w[4] != "->")
+                fatal("assemble: line %d: .token tN wN vV -> DST.PORT",
+                      line_no);
+            Token token;
+            if (w[1][0] != 't' || w[2][0] != 'w' || w[3][0] != 'v')
+                fatal("assemble: line %d: token needs tN wN vV markers",
+                      line_no);
+            token.tag.thread = static_cast<ThreadId>(
+                parseInt(w[1].substr(1), line_no, "thread"));
+            token.tag.wave = static_cast<WaveNum>(
+                parseInt(w[2].substr(1), line_no, "wave"));
+            token.value = static_cast<Value>(
+                parseInt(w[3].substr(1), line_no, "value"));
+            const auto dot = w[5].find('.');
+            if (dot == std::string::npos)
+                fatal("assemble: line %d: destination must be ID.PORT",
+                      line_no);
+            token.dst.inst = static_cast<InstId>(
+                parseInt(w[5].substr(0, dot), line_no, "dest id"));
+            token.dst.port = static_cast<std::uint8_t>(
+                parseInt(w[5].substr(dot + 1), line_no, "port"));
+            graph.addInitialToken(token);
+        } else if (kind == ".region") {
+            std::vector<InstId> chain;
+            for (std::size_t i = 1; i < w.size(); ++i) {
+                chain.push_back(static_cast<InstId>(
+                    parseInt(w[i], line_no, "region member")));
+            }
+            if (chain.empty())
+                fatal("assemble: line %d: empty .region", line_no);
+            graph.addMemRegion(std::move(chain));
+        } else {
+            fatal("assemble: line %d: unknown directive '%s'", line_no,
+                  kind.c_str());
+        }
+    }
+    if (!have_header)
+        fatal("assemble: missing .graph header");
+    graph.validate();
+    return graph;
+}
+
+} // namespace ws

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Textual WaveScalar assembly (.wsa): a serialization of DataflowGraph.
+ *
+ * The paper's tool-chain compiled Alpha binaries into WaveScalar
+ * assembly, assembled them, and fed the result to the simulator. This
+ * module provides the equivalent interchange format so programs can be
+ * written, inspected, and versioned as text:
+ *
+ *     .graph dot threads=1 sinks=1
+ *     .meminit 0x1000 7
+ *     .inst 0 mov t0                    ; one line per instruction
+ *     .inst 1 addi t0 imm=4
+ *     .inst 2 load t0 imm=8 mem=-1:0:-1
+ *     .edge 0:0 -> 1.0                  ; producer[:side] -> consumer.port
+ *     .token t0 w0 v42 -> 0.0           ; initial token
+ *     .region 2 5 9                     ; wave-ordering chain
+ *
+ * disassemble() and assemble() round-trip losslessly; assemble() runs
+ * the full graph validator, so a hand-written .wsa is checked exactly
+ * like a GraphBuilder program.
+ */
+
+#ifndef WS_ISA_ASSEMBLY_H_
+#define WS_ISA_ASSEMBLY_H_
+
+#include <string>
+
+#include "isa/graph.h"
+
+namespace ws {
+
+/** Render @p graph as .wsa text. */
+std::string disassemble(const DataflowGraph &graph);
+
+/**
+ * Parse .wsa text into a validated graph; fatal() with file/line
+ * diagnostics on malformed input.
+ */
+DataflowGraph assemble(const std::string &text);
+
+/** Look up an opcode by mnemonic; fatal() on unknown names. */
+Opcode opcodeFromName(const std::string &name);
+
+} // namespace ws
+
+#endif // WS_ISA_ASSEMBLY_H_

@@ -1,0 +1,100 @@
+#include "isa/exec.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/log.h"
+#include "isa/token.h"
+
+namespace ws {
+
+Value
+evaluate(Opcode op, Value imm, const Operands &in)
+{
+    const Value a = in[0];
+    const Value b = in[1];
+    switch (op) {
+      case Opcode::kNop:
+      case Opcode::kSink:
+      case Opcode::kMemNop:
+        return 0;
+      case Opcode::kConst:
+        return imm;
+      case Opcode::kMov:
+      case Opcode::kWaveAdvance:
+      case Opcode::kSteer:
+      case Opcode::kStoreData:
+        return a;
+      case Opcode::kAdd: return static_cast<Value>(
+          static_cast<std::uint64_t>(a) + static_cast<std::uint64_t>(b));
+      case Opcode::kSub: return static_cast<Value>(
+          static_cast<std::uint64_t>(a) - static_cast<std::uint64_t>(b));
+      case Opcode::kMul: return static_cast<Value>(
+          static_cast<std::uint64_t>(a) * static_cast<std::uint64_t>(b));
+      case Opcode::kDiv: return b == 0 ? 0 : a / b;
+      case Opcode::kRem: return b == 0 ? 0 : a % b;
+      case Opcode::kAnd: return a & b;
+      case Opcode::kOr: return a | b;
+      case Opcode::kXor: return a ^ b;
+      case Opcode::kShl:
+        return static_cast<Value>(static_cast<std::uint64_t>(a)
+                                  << (static_cast<std::uint64_t>(b) & 63));
+      case Opcode::kShr:
+        return static_cast<Value>(static_cast<std::uint64_t>(a) >>
+                                  (static_cast<std::uint64_t>(b) & 63));
+      case Opcode::kLt: return a < b ? 1 : 0;
+      case Opcode::kLe: return a <= b ? 1 : 0;
+      case Opcode::kEq: return a == b ? 1 : 0;
+      case Opcode::kNe: return a != b ? 1 : 0;
+      case Opcode::kMin: return std::min(a, b);
+      case Opcode::kMax: return std::max(a, b);
+      case Opcode::kNeg: return -a;
+      case Opcode::kNot: return ~a;
+
+      case Opcode::kAddi: return static_cast<Value>(
+          static_cast<std::uint64_t>(a) + static_cast<std::uint64_t>(imm));
+      case Opcode::kSubi: return static_cast<Value>(
+          static_cast<std::uint64_t>(a) - static_cast<std::uint64_t>(imm));
+      case Opcode::kMuli: return static_cast<Value>(
+          static_cast<std::uint64_t>(a) * static_cast<std::uint64_t>(imm));
+      case Opcode::kDivi: return imm == 0 ? 0 : a / imm;
+      case Opcode::kRemi: return imm == 0 ? 0 : a % imm;
+      case Opcode::kAndi: return a & imm;
+      case Opcode::kShli:
+        return static_cast<Value>(static_cast<std::uint64_t>(a)
+                                  << (static_cast<std::uint64_t>(imm) & 63));
+      case Opcode::kShri:
+        return static_cast<Value>(static_cast<std::uint64_t>(a) >>
+                                  (static_cast<std::uint64_t>(imm) & 63));
+      case Opcode::kLti: return a < imm ? 1 : 0;
+      case Opcode::kLei: return a <= imm ? 1 : 0;
+      case Opcode::kEqi: return a == imm ? 1 : 0;
+      case Opcode::kNei: return a != imm ? 1 : 0;
+
+      case Opcode::kFadd: return fromDouble(asDouble(a) + asDouble(b));
+      case Opcode::kFsub: return fromDouble(asDouble(a) - asDouble(b));
+      case Opcode::kFmul: return fromDouble(asDouble(a) * asDouble(b));
+      case Opcode::kFdiv:
+        return asDouble(b) == 0.0 ? fromDouble(0.0)
+                                  : fromDouble(asDouble(a) / asDouble(b));
+      case Opcode::kFlt: return asDouble(a) < asDouble(b) ? 1 : 0;
+      case Opcode::kFeq: return asDouble(a) == asDouble(b) ? 1 : 0;
+      case Opcode::kItoF: return fromDouble(static_cast<double>(a));
+      case Opcode::kFtoI: return static_cast<Value>(asDouble(a));
+
+      case Opcode::kSelect:
+        return a != 0 ? b : in[2];
+
+      case Opcode::kLoad:
+      case Opcode::kStoreAddr:
+        // Effective address; the memory system supplies load data.
+        return static_cast<Value>(static_cast<std::uint64_t>(a) +
+                                  static_cast<std::uint64_t>(imm));
+
+      case Opcode::kNumOpcodes:
+        break;
+    }
+    panic("evaluate: bad opcode %u", static_cast<unsigned>(op));
+}
+
+} // namespace ws

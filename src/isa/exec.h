@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Functional semantics of the dataflow ISA: given an opcode, immediate,
+ * and input operands, compute the result value. The PE's EXECUTE stage
+ * and the reference interpreter both call this, so the two can never
+ * disagree about what an instruction computes.
+ */
+
+#ifndef WS_ISA_EXEC_H_
+#define WS_ISA_EXEC_H_
+
+#include <array>
+
+#include "common/types.h"
+#include "isa/opcode.h"
+
+namespace ws {
+
+/** Up to three input operands, indexed by port. */
+using Operands = std::array<Value, 3>;
+
+/**
+ * Evaluate a non-memory, non-control opcode.
+ *
+ * kSteer returns its data operand (routing is the caller's job); memory
+ * opcodes return the effective address (input0 + imm) for kLoad /
+ * kStoreAddr and the data value for kStoreData. Division by zero returns
+ * 0, matching the usual simulator convention rather than trapping.
+ */
+Value evaluate(Opcode op, Value imm, const Operands &in);
+
+} // namespace ws
+
+#endif // WS_ISA_EXEC_H_

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The dataflow graph: wavefabric's executable program representation.
+ *
+ * A DataflowGraph is what the paper calls the "application binary": a set
+ * of static instructions connected producer→consumer, a set of initial
+ * tokens (program inputs), an initial memory image, and — for validation —
+ * the per-thread wave-ordered memory chains the builder emitted.
+ */
+
+#ifndef WS_ISA_GRAPH_H_
+#define WS_ISA_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "isa/instruction.h"
+#include "isa/token.h"
+
+namespace ws {
+
+/**
+ * An executable dataflow program.
+ *
+ * Construction normally goes through GraphBuilder, which maintains the
+ * structural invariants validate() checks; tests may also assemble graphs
+ * by hand to probe corner cases.
+ */
+class DataflowGraph
+{
+  public:
+    explicit DataflowGraph(std::string name = "anonymous",
+                           std::uint16_t num_threads = 1)
+        : name_(std::move(name)), numThreads_(num_threads)
+    {}
+
+    /** Append an instruction; returns its id. */
+    InstId
+    addInstruction(Instruction inst)
+    {
+        insts_.push_back(std::move(inst));
+        return static_cast<InstId>(insts_.size() - 1);
+    }
+
+    /** Register a program-input token, injected at cycle 0. */
+    void addInitialToken(Token t) { initialTokens_.push_back(t); }
+
+    /** Set one 64-bit word of the initial memory image. */
+    void
+    addMemInit(Addr addr, Value v)
+    {
+        memInit_.emplace_back(addr, v);
+    }
+
+    /** Record one wave-ordered memory chain (builder bookkeeping). */
+    void
+    addMemRegion(std::vector<InstId> chain)
+    {
+        memRegions_.push_back(std::move(chain));
+    }
+
+    /** Declare how many kSink arrivals constitute program completion. */
+    void setExpectedSinkTokens(Counter n) { expectedSinks_ = n; }
+    void bumpExpectedSinkTokens(Counter n) { expectedSinks_ += n; }
+
+    // Accessors ----------------------------------------------------------
+    const std::string &name() const { return name_; }
+    std::uint16_t numThreads() const { return numThreads_; }
+    void setNumThreads(std::uint16_t n) { numThreads_ = n; }
+
+    std::size_t size() const { return insts_.size(); }
+    const Instruction &inst(InstId id) const { return insts_.at(id); }
+    Instruction &inst(InstId id) { return insts_.at(id); }
+    const std::vector<Instruction> &instructions() const { return insts_; }
+
+    const std::vector<Token> &initialTokens() const { return initialTokens_; }
+    const std::vector<std::pair<Addr, Value>> &memInit() const
+    {
+        return memInit_;
+    }
+    const std::vector<std::vector<InstId>> &memRegions() const
+    {
+        return memRegions_;
+    }
+    Counter expectedSinkTokens() const { return expectedSinks_; }
+
+    /** Count of static instructions owned by thread @p t. */
+    std::size_t threadSize(ThreadId t) const;
+
+    /** Count of instructions whose opcode is "useful" (AIPC numerator). */
+    std::size_t usefulSize() const;
+
+    /**
+     * Check every structural invariant; fatal() with a diagnostic on the
+     * first violation. Checks include: dangling consumer ports, arity
+     * violations, unreachable input ports, steer-only second output
+     * lists, memory annotations present exactly on memory opcodes, and
+     * per-region wave-ordering chain consistency.
+     */
+    void validate() const;
+
+    /** Summarize static properties into a report (instruction mix etc.). */
+    StatReport staticStats() const;
+
+  private:
+    std::string name_;
+    std::uint16_t numThreads_;
+    std::vector<Instruction> insts_;
+    std::vector<Token> initialTokens_;
+    std::vector<std::pair<Addr, Value>> memInit_;
+    std::vector<std::vector<InstId>> memRegions_;
+    Counter expectedSinks_ = 0;
+};
+
+} // namespace ws
+
+#endif // WS_ISA_GRAPH_H_

@@ -1,0 +1,439 @@
+#include "isa/graph_builder.h"
+
+#include <utility>
+
+#include "common/log.h"
+
+namespace ws {
+
+GraphBuilder::GraphBuilder(std::string name, std::uint16_t num_threads)
+    : graph_(std::move(name), num_threads)
+{}
+
+void
+GraphBuilder::requireThread(const char *what) const
+{
+    if (!inThread_)
+        fatal("GraphBuilder: %s outside beginThread/endThread", what);
+    if (finished_)
+        fatal("GraphBuilder: %s after finish()", what);
+}
+
+void
+GraphBuilder::checkRegion(const Node &n, const char *what) const
+{
+    if (!n.valid())
+        fatal("GraphBuilder: %s given an invalid node", what);
+    if (n.region != region_) {
+        fatal("GraphBuilder: %s mixes wave regions (%u vs current %u); "
+              "values crossing a loop boundary must be loop-carried",
+              what, n.region, region_);
+    }
+}
+
+void
+GraphBuilder::beginThread(ThreadId t)
+{
+    if (inThread_)
+        fatal("GraphBuilder: beginThread(%u) while thread %u open", t,
+              thread_);
+    if (t >= graph_.numThreads())
+        fatal("GraphBuilder: thread %u out of range (%u declared)", t,
+              graph_.numThreads());
+    thread_ = t;
+    inThread_ = true;
+    region_ = ++regionCounter_;
+    anchor_ = Node{};
+    memChain_.clear();
+}
+
+void
+GraphBuilder::endThread()
+{
+    requireThread("endThread");
+    if (!loopStack_.empty())
+        fatal("GraphBuilder: endThread with %zu loops still open",
+              loopStack_.size());
+    if (ifDepth_ != 0)
+        fatal("GraphBuilder: endThread with %d conditionals still open",
+              ifDepth_);
+    closeRegion();
+    inThread_ = false;
+}
+
+void
+GraphBuilder::connect(Node producer, InstId consumer, std::uint8_t port)
+{
+    graph_.inst(producer.id).outs[producer.side].push_back(
+        PortRef{consumer, port});
+}
+
+GraphBuilder::Node
+GraphBuilder::emitImpl(Opcode op, const std::vector<Node> &inputs, Value imm,
+                       bool allow_cross_region)
+{
+    requireThread("emit");
+    const OpcodeInfo &info = opcodeInfo(op);
+    if (inputs.size() != info.arity) {
+        fatal("GraphBuilder: %s expects %u inputs, got %zu",
+              std::string(info.name).c_str(), info.arity, inputs.size());
+    }
+
+    Instruction inst;
+    inst.op = op;
+    inst.imm = imm;
+    inst.thread = thread_;
+    const InstId id = graph_.addInstruction(std::move(inst));
+
+    for (std::size_t p = 0; p < inputs.size(); ++p) {
+        const Node &n = inputs[p];
+        if (!allow_cross_region)
+            checkRegion(n, std::string(info.name).c_str());
+        else if (!n.valid())
+            fatal("GraphBuilder: invalid input node");
+        connect(n, id, static_cast<std::uint8_t>(p));
+    }
+
+    if (isMemoryOp(op) && op != Opcode::kStoreData)
+        appendMemChain(id);
+
+    Node out{id, 0, region_};
+    if (!anchor_.valid())
+        anchor_ = out;
+    return out;
+}
+
+GraphBuilder::Node
+GraphBuilder::emit(Opcode op, const std::vector<Node> &inputs, Value imm)
+{
+    if (op == Opcode::kWaveAdvance || op == Opcode::kSteer) {
+        fatal("GraphBuilder: emit(%s) is managed by beginLoop/endLoop",
+              std::string(opcodeName(op)).c_str());
+    }
+    return emitImpl(op, inputs, imm, false);
+}
+
+GraphBuilder::Node
+GraphBuilder::param(Value v)
+{
+    requireThread("param");
+    Instruction inst;
+    inst.op = Opcode::kMov;
+    inst.thread = thread_;
+    const InstId id = graph_.addInstruction(std::move(inst));
+    // Feed the kMov from an initial token rather than a producer edge.
+    graph_.addInitialToken(Token{Tag{thread_, 0}, PortRef{id, 0}, v});
+    Node out{id, 0, region_};
+    if (!anchor_.valid())
+        anchor_ = out;
+    return out;
+}
+
+GraphBuilder::Node
+GraphBuilder::lit(Value v, Node trigger)
+{
+    return emit(Opcode::kConst, {trigger}, v);
+}
+
+Addr
+GraphBuilder::alloc(std::size_t bytes)
+{
+    const Addr base = nextAddr_;
+    nextAddr_ += (bytes + 7) & ~static_cast<std::size_t>(7);
+    return base;
+}
+
+void
+GraphBuilder::initMem(Addr addr, Value v)
+{
+    graph_.addMemInit(addr, v);
+}
+
+void
+GraphBuilder::appendMemChain(InstId id)
+{
+    if (ifDepth_ > 1) {
+        fatal("GraphBuilder: memory operations inside nested "
+              "conditionals are not supported");
+    }
+    Instruction &op = graph_.inst(id);
+    const auto seq = static_cast<std::int32_t>(memChain_.size());
+    op.mem.valid = true;
+    op.mem.seq = seq;
+    op.mem.next = kSeqNone;
+    switch (chainMode_) {
+      case ChainMode::kLinear:
+        op.mem.prev = memChain_.empty() ? kSeqNone : seq - 1;
+        if (!memChain_.empty())
+            graph_.inst(memChain_.back()).mem.next = seq;
+        break;
+      case ChainMode::kArmFirst:
+        // First memory op of a diamond arm: its predecessor is the last
+        // op before the branch (which carries a '?' next link).
+        op.mem.prev = armPrev_;
+        chainMode_ = ChainMode::kLinear;
+        break;
+      case ChainMode::kAfterDiamond:
+        // First op after the merge: either arm may precede it.
+        op.mem.prev = kSeqWildcard;
+        for (InstId last : diamondLasts_)
+            graph_.inst(last).mem.next = seq;
+        diamondLasts_.clear();
+        chainMode_ = ChainMode::kLinear;
+        break;
+    }
+    memChain_.push_back(id);
+}
+
+GraphBuilder::Node
+GraphBuilder::load(Node addr, Value offset)
+{
+    return emit(Opcode::kLoad, {addr}, offset);
+}
+
+void
+GraphBuilder::store(Node addr, Node data, Value offset)
+{
+    checkRegion(addr, "store(addr)");
+    checkRegion(data, "store(data)");
+    Node sa = emit(Opcode::kStoreAddr, {addr}, offset);
+    // The data half bypasses the chain: the store buffer pairs it with
+    // the address half by (thread, wave, seq).
+    Node sd = emitImpl(Opcode::kStoreData, {data}, 0, false);
+    Instruction &sd_inst = graph_.inst(sd.id);
+    sd_inst.mem.valid = true;
+    sd_inst.mem.seq = graph_.inst(sa.id).mem.seq;
+    sd_inst.mem.prev = kSeqNone;
+    sd_inst.mem.next = kSeqNone;
+}
+
+void
+GraphBuilder::memNop(Node trigger)
+{
+    emit(Opcode::kMemNop, {trigger});
+}
+
+void
+GraphBuilder::closeRegion()
+{
+    if (memChain_.empty()) {
+        if (!anchor_.valid()) {
+            // Region emitted nothing at all; nothing can ever execute in
+            // it, so no ordering chain is required either.
+            return;
+        }
+        memNop(anchor_);
+    }
+    graph_.addMemRegion(std::move(memChain_));
+    memChain_.clear();
+}
+
+void
+GraphBuilder::newRegion(Node anchor)
+{
+    region_ = ++regionCounter_;
+    anchor_ = anchor;
+    memChain_.clear();
+    chainMode_ = ChainMode::kLinear;
+    diamondLasts_.clear();
+    armPrev_ = kSeqNone;
+}
+
+GraphBuilder::Loop
+GraphBuilder::beginLoop(const std::vector<Node> &inits)
+{
+    requireThread("beginLoop");
+    if (ifDepth_ != 0)
+        fatal("GraphBuilder: loops inside conditionals are not "
+              "supported; hoist the loop or predicate its body");
+    if (inits.empty())
+        fatal("GraphBuilder: beginLoop needs at least one carried value");
+    for (const Node &n : inits)
+        checkRegion(n, "beginLoop");
+
+    closeRegion();
+
+    Loop loop;
+    loop.open = true;
+    // New region first so the WAVE_ADVANCE outputs land in the body.
+    newRegion(Node{});
+    loop.bodyRegion = region_;
+    loopStack_.push_back(loop.bodyRegion);
+    for (const Node &init : inits) {
+        Node wa = emitImpl(Opcode::kWaveAdvance, {init}, 0, true);
+        loop.vars.push_back(wa);
+        loop.waveAdv.push_back(wa.id);
+    }
+    anchor_ = loop.vars[0];
+    return loop;
+}
+
+void
+GraphBuilder::endLoop(Loop &loop, const std::vector<Node> &nexts, Node cond)
+{
+    requireThread("endLoop");
+    if (!loop.open)
+        fatal("GraphBuilder: endLoop on a closed loop");
+    if (nexts.size() != loop.vars.size()) {
+        fatal("GraphBuilder: endLoop got %zu next values for %zu carried",
+              nexts.size(), loop.vars.size());
+    }
+    if (loopStack_.empty() || loopStack_.back() != loop.bodyRegion) {
+        fatal("GraphBuilder: endLoop closes a loop that is not the "
+              "innermost open one (improper nesting)");
+    }
+    loopStack_.pop_back();
+    checkRegion(cond, "endLoop(cond)");
+    for (const Node &n : nexts)
+        checkRegion(n, "endLoop(next)");
+
+    closeRegion();
+
+    // Per carried value: STEER back-edge (true) or exit (false), and a
+    // WAVE_ADVANCE moving the exit value into the post-loop region.
+    std::vector<Node> steers;
+    steers.reserve(nexts.size());
+    for (std::size_t i = 0; i < nexts.size(); ++i) {
+        Node s = emitImpl(Opcode::kSteer, {nexts[i], cond}, 0, false);
+        connect(Node{s.id, 0, region_}, loop.waveAdv[i], 0);
+        steers.push_back(s);
+    }
+
+    newRegion(Node{});
+    for (std::size_t i = 0; i < steers.size(); ++i) {
+        Node exit_side{steers[i].id, 1, loop.bodyRegion};
+        Node ewa = emitImpl(Opcode::kWaveAdvance, {exit_side}, 0, true);
+        loop.exits.push_back(ewa);
+    }
+    anchor_ = loop.exits[0];
+    loop.open = false;
+}
+
+GraphBuilder::IfElse
+GraphBuilder::beginIf(Node cond, const std::vector<Node> &ins)
+{
+    requireThread("beginIf");
+    if (ins.empty())
+        fatal("GraphBuilder: beginIf needs at least one live value");
+    checkRegion(cond, "beginIf(cond)");
+    for (const Node &n : ins)
+        checkRegion(n, "beginIf");
+
+    IfElse ie;
+    ie.open = true;
+    for (const Node &in : ins) {
+        Node s = emitImpl(Opcode::kSteer, {in, cond}, 0, false);
+        ie.steers.push_back(s.id);
+        ie.vars.push_back(Node{s.id, 0, region_});  // Then-side.
+    }
+    ie.thenTrigger = ie.vars[0];
+
+    ++ifDepth_;
+    if (ifDepth_ == 1) {
+        ie.preChainLen = memChain_.size();
+        if (!memChain_.empty()) {
+            armPrev_ = graph_.inst(memChain_.back()).mem.seq;
+            // Which arm follows is unknown statically: '?' (restored to
+            // a concrete link by endIf when neither arm touches memory).
+            graph_.inst(memChain_.back()).mem.next = kSeqWildcard;
+        } else {
+            armPrev_ = kSeqNone;
+        }
+        chainMode_ = ChainMode::kArmFirst;
+    }
+    return ie;
+}
+
+void
+GraphBuilder::elseArm(IfElse &ie, const std::vector<Node> &then_results)
+{
+    requireThread("elseArm");
+    if (!ie.open || ie.inElse)
+        fatal("GraphBuilder: elseArm on a closed or switched diamond");
+    for (const Node &n : then_results)
+        checkRegion(n, "elseArm(then_results)");
+    ie.thenOut = then_results;
+    ie.inElse = true;
+    for (std::size_t i = 0; i < ie.steers.size(); ++i)
+        ie.vars[i] = Node{ie.steers[i], 1, region_};  // Else-side.
+    if (ifDepth_ == 1) {
+        ie.thenChainLen = memChain_.size();
+        chainMode_ = ChainMode::kArmFirst;  // Else-first links to pre-op.
+    }
+}
+
+void
+GraphBuilder::endIf(IfElse &ie, const std::vector<Node> &else_results)
+{
+    requireThread("endIf");
+    if (!ie.open || !ie.inElse)
+        fatal("GraphBuilder: endIf without a matching elseArm");
+    if (else_results.size() != ie.thenOut.size()) {
+        fatal("GraphBuilder: endIf got %zu else results for %zu then "
+              "results", else_results.size(), ie.thenOut.size());
+    }
+    for (const Node &n : else_results)
+        checkRegion(n, "endIf(else_results)");
+
+    if (ifDepth_ == 1) {
+        const bool then_had = ie.thenChainLen > ie.preChainLen;
+        bool else_had = memChain_.size() > ie.thenChainLen;
+        InstId then_last =
+            then_had ? memChain_[ie.thenChainLen - 1] : kInvalidInst;
+        InstId else_last = else_had ? memChain_.back() : kInvalidInst;
+
+        if (then_had && !else_had) {
+            // The else path must still participate in the ordering
+            // chain: MEMORY-NOP (the paper's compiler rule).
+            chainMode_ = ChainMode::kArmFirst;
+            memNop(ie.vars[0]);   // vars are else-side now.
+            else_last = memChain_.back();
+            else_had = true;
+        } else if (!then_had && else_had) {
+            chainMode_ = ChainMode::kArmFirst;
+            memNop(ie.thenTrigger);
+            then_last = memChain_.back();
+        }
+
+        if (then_had || else_had) {
+            diamondLasts_ = {then_last, else_last};
+            chainMode_ = ChainMode::kAfterDiamond;
+        } else {
+            // Neither arm touched memory: undo the '?' on the pre-op.
+            if (ie.preChainLen > 0) {
+                graph_.inst(memChain_[ie.preChainLen - 1]).mem.next =
+                    kSeqNone;
+            }
+            chainMode_ = ChainMode::kLinear;
+        }
+    }
+    --ifDepth_;
+
+    // Merge: a kMov fed by both arms; exactly one token arrives per
+    // dynamic instance.
+    for (std::size_t i = 0; i < ie.thenOut.size(); ++i) {
+        Node m = emitImpl(Opcode::kMov, {ie.thenOut[i]}, 0, false);
+        connect(else_results[i], m.id, 0);
+        ie.merged.push_back(m);
+    }
+    ie.open = false;
+}
+
+void
+GraphBuilder::sink(Node v, Counter expected_tokens)
+{
+    emit(Opcode::kSink, {v});
+    graph_.bumpExpectedSinkTokens(expected_tokens);
+}
+
+DataflowGraph
+GraphBuilder::finish()
+{
+    if (inThread_)
+        fatal("GraphBuilder: finish() with thread %u still open", thread_);
+    finished_ = true;
+    graph_.validate();
+    return std::move(graph_);
+}
+
+} // namespace ws

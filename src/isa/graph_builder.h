@@ -1,0 +1,220 @@
+/**
+ * @file
+ * GraphBuilder: a structured front end for constructing valid dataflow
+ * programs.
+ *
+ * The builder plays the role of the paper's binary-translator tool-chain.
+ * It enforces the invariants tagged-token execution depends on:
+ *
+ *  - *Wave regions.* Each value handle (Node) belongs to a region — a
+ *    span of code whose tokens share a wave number at run time. Mixing
+ *    operands from different regions would silently never match, so the
+ *    builder rejects it at construction time.
+ *  - *Wave-ordered memory.* Memory operations are threaded onto a
+ *    per-region ordering chain with <prev, this, next> annotations. Every
+ *    region is guaranteed at least one chain entry (a MEM_NOP is inserted
+ *    if needed) so the store buffer always observes waves 0,1,2,... per
+ *    thread — the same guarantee the WaveScalar compiler provides by
+ *    inserting MEMORY-NOPs on memory-free paths.
+ *  - *Loop structure.* beginLoop/endLoop wrap loop-carried values in
+ *    WAVE_ADVANCE + STEER plumbing, so loop bodies run one wave per
+ *    iteration and loop exits re-enter a fresh region.
+ */
+
+#ifndef WS_ISA_GRAPH_BUILDER_H_
+#define WS_ISA_GRAPH_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/graph.h"
+
+namespace ws {
+
+class GraphBuilder
+{
+  public:
+    /** A value handle: instruction output @p side of instruction @p id. */
+    struct Node
+    {
+        InstId id = kInvalidInst;
+        std::uint8_t side = 0;
+        std::uint32_t region = 0;
+
+        bool valid() const { return id != kInvalidInst; }
+    };
+
+    /** Handle returned by beginLoop; consumed by endLoop. */
+    struct Loop
+    {
+        std::vector<Node> vars;    ///< Current-iteration values (in body).
+        std::vector<Node> exits;   ///< Post-loop values (set by endLoop).
+        std::vector<InstId> waveAdv;
+        std::uint32_t bodyRegion = 0;
+        bool open = false;
+    };
+
+    /** Handle returned by beginIf; consumed by elseArm + endIf. */
+    struct IfElse
+    {
+        std::vector<Node> vars;    ///< Live values inside the current arm.
+        std::vector<Node> merged;  ///< Post-diamond values (set by endIf).
+        std::vector<InstId> steers;
+        Node thenTrigger;          ///< A then-arm value (MEM_NOP anchor).
+        std::vector<Node> thenOut;
+        std::size_t preChainLen = 0;
+        std::size_t thenChainLen = 0;
+        bool inElse = false;
+        bool open = false;
+    };
+
+    explicit GraphBuilder(std::string name, std::uint16_t num_threads = 1);
+
+    // Thread structure ----------------------------------------------------
+
+    /** Start emitting instructions for thread @p t (wave-0 region). */
+    void beginThread(ThreadId t);
+
+    /** Finish the current thread; closes its final wave region. */
+    void endThread();
+
+    // Values ---------------------------------------------------------------
+
+    /** Program input: a kMov fed by an initial token carrying @p v. */
+    Node param(Value v);
+
+    /** Literal: a kConst producing @p v each time @p trigger fires. */
+    Node lit(Value v, Node trigger);
+
+    /** Generic emission: @p op over 1–3 input nodes. */
+    Node emit(Opcode op, const std::vector<Node> &inputs, Value imm = 0);
+
+    // Sugar for the common ALU shapes.
+    Node add(Node a, Node b) { return emit(Opcode::kAdd, {a, b}); }
+    Node sub(Node a, Node b) { return emit(Opcode::kSub, {a, b}); }
+    Node mul(Node a, Node b) { return emit(Opcode::kMul, {a, b}); }
+    Node addi(Node a, Value c) { return emit(Opcode::kAddi, {a}, c); }
+    Node subi(Node a, Value c) { return emit(Opcode::kSubi, {a}, c); }
+    Node muli(Node a, Value c) { return emit(Opcode::kMuli, {a}, c); }
+    Node andi(Node a, Value c) { return emit(Opcode::kAndi, {a}, c); }
+    Node shli(Node a, Value c) { return emit(Opcode::kShli, {a}, c); }
+    Node shri(Node a, Value c) { return emit(Opcode::kShri, {a}, c); }
+    Node lti(Node a, Value c) { return emit(Opcode::kLti, {a}, c); }
+    Node eqi(Node a, Value c) { return emit(Opcode::kEqi, {a}, c); }
+    Node nei(Node a, Value c) { return emit(Opcode::kNei, {a}, c); }
+    Node fadd(Node a, Node b) { return emit(Opcode::kFadd, {a, b}); }
+    Node fsub(Node a, Node b) { return emit(Opcode::kFsub, {a, b}); }
+    Node fmul(Node a, Node b) { return emit(Opcode::kFmul, {a, b}); }
+    Node fdiv(Node a, Node b) { return emit(Opcode::kFdiv, {a, b}); }
+    Node select(Node pred, Node a, Node b)
+    {
+        return emit(Opcode::kSelect, {pred, a, b});
+    }
+
+    // Memory ---------------------------------------------------------------
+
+    /** Bump-allocate @p bytes of simulated memory (8-byte aligned). */
+    Addr alloc(std::size_t bytes);
+
+    /** Initialize one word of the memory image. */
+    void initMem(Addr addr, Value v);
+
+    /** Load the word at (addr + offset); appended to the wave chain. */
+    Node load(Node addr, Value offset = 0);
+
+    /**
+     * Store @p data to (addr + offset). Emits the decoupled
+     * kStoreAddr/kStoreData pair sharing one ordering-chain slot.
+     */
+    void store(Node addr, Node data, Value offset = 0);
+
+    /** Explicit ordering-chain placeholder, fired by @p trigger. */
+    void memNop(Node trigger);
+
+    // Control --------------------------------------------------------------
+
+    /**
+     * Open a loop whose carried values start at @p inits. Returns body
+     * handles (Loop::vars) re-tagged into the body region.
+     */
+    Loop beginLoop(const std::vector<Node> &inits);
+
+    /**
+     * Close a loop: next-iteration values @p nexts re-enter the body
+     * while @p cond is nonzero; on exit, Loop::exits hold the final
+     * values in a fresh post-loop region.
+     */
+    void endLoop(Loop &loop, const std::vector<Node> &nexts, Node cond);
+
+    /**
+     * Open a conditional diamond: while @p cond is nonzero the then-arm
+     * executes, otherwise the else-arm. @p ins are steered into the
+     * taken arm (IfElse::vars). Both arms run in the *same* wave; memory
+     * operations inside arms receive the paper's '?' wildcard
+     * wave-ordering links, and an arm without memory operations gets a
+     * MEMORY-NOP when the other arm has any (§3.3.1). Conditionals may
+     * nest only if the nested arms perform no memory operations.
+     */
+    IfElse beginIf(Node cond, const std::vector<Node> &ins);
+
+    /** Switch to the else-arm; @p then_results are the arm's outputs. */
+    void elseArm(IfElse &ie, const std::vector<Node> &then_results);
+
+    /**
+     * Close the diamond. @p else_results must match then_results in
+     * count; IfElse::merged then holds the per-value merge of whichever
+     * arm executed.
+     */
+    void endIf(IfElse &ie, const std::vector<Node> &else_results);
+
+    /** Terminal consumer; declares @p expected_tokens arrivals. */
+    void sink(Node v, Counter expected_tokens = 1);
+
+    // ------------------------------------------------------------------
+
+    /** Validate and hand over the finished graph. */
+    DataflowGraph finish();
+
+    /** Access to the graph under construction (tests). */
+    const DataflowGraph &peek() const { return graph_; }
+
+  private:
+    Node emitImpl(Opcode op, const std::vector<Node> &inputs, Value imm,
+                  bool allow_cross_region);
+    void connect(Node producer, InstId consumer, std::uint8_t port);
+    void appendMemChain(InstId id);
+    void closeRegion();
+    void newRegion(Node anchor);
+    void requireThread(const char *what) const;
+    void checkRegion(const Node &n, const char *what) const;
+
+    DataflowGraph graph_;
+    Addr nextAddr_ = 0x1000;
+    ThreadId thread_ = 0;
+    bool inThread_ = false;
+    std::uint32_t regionCounter_ = 0;
+    std::uint32_t region_ = 0;      ///< Current region id.
+    Node anchor_;                   ///< Trigger for MEM_NOP insertion.
+    std::vector<InstId> memChain_;  ///< Current region's ordering chain.
+    std::vector<std::uint32_t> loopStack_;  ///< Open loops (body regions).
+
+    /** Diamond chain-state: how the next memory op links backward. */
+    enum class ChainMode : std::uint8_t
+    {
+        kLinear,       ///< Normal: prev = previous chain op.
+        kArmFirst,     ///< First op of an arm: prev = pre-diamond op.
+        kAfterDiamond, ///< First op after endIf: prev = '?', and the
+                       ///  arm-last ops' next links point here.
+    };
+    ChainMode chainMode_ = ChainMode::kLinear;
+    std::int32_t armPrev_ = kSeqNone;       ///< Pre-diamond op seq.
+    std::vector<InstId> diamondLasts_;      ///< Arm-last ops to patch.
+    int ifDepth_ = 0;
+    bool finished_ = false;
+};
+
+} // namespace ws
+
+#endif // WS_ISA_GRAPH_BUILDER_H_

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Static dataflow instructions and their wave-ordered memory annotations.
+ */
+
+#ifndef WS_ISA_INSTRUCTION_H_
+#define WS_ISA_INSTRUCTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/opcode.h"
+
+namespace ws {
+
+/** One consumer input port of one instruction. */
+struct PortRef
+{
+    InstId inst = kInvalidInst;
+    std::uint8_t port = 0;
+
+    bool operator==(const PortRef &) const = default;
+};
+
+/** Sequence-link sentinel values for wave-ordered memory annotations. */
+enum : std::int32_t
+{
+    kSeqNone = -1,      ///< No predecessor (first op) / successor (last).
+    kSeqWildcard = -2,  ///< '?': unknown until run time (control flow).
+};
+
+/**
+ * Wave-ordered memory annotation <prev, this, next> (paper §3.3.1).
+ *
+ * Within one dynamic wave, the memory operations of a thread form a
+ * chain; the store buffer uses these links to recover program order and
+ * to detect when the chain for a wave is complete. kSeqWildcard prev/next
+ * links arise from memory ops inside conditional control flow.
+ */
+struct MemOrder
+{
+    std::int32_t prev = kSeqNone;
+    std::int32_t seq = 0;
+    std::int32_t next = kSeqNone;
+    bool valid = false;   ///< True only for memory opcodes.
+};
+
+/**
+ * A static dataflow instruction.
+ *
+ * Outputs: ordinary instructions fan their single result out to
+ * outs[0]; kSteer sends its data input to outs[0] (predicate true) or
+ * outs[1] (predicate false).
+ */
+struct Instruction
+{
+    Opcode op = Opcode::kNop;
+    Value imm = 0;                  ///< kConst value; kLoad/kStoreAddr
+                                    ///  address offset.
+    ThreadId thread = 0;            ///< Owning software thread (kernels
+                                    ///  replicate code per thread).
+    MemOrder mem;                   ///< Wave-ordering annotation.
+    std::vector<PortRef> outs[2];   ///< Consumer lists (see above).
+
+    std::uint8_t arity() const { return opcodeInfo(op).arity; }
+    bool useful() const { return opcodeInfo(op).useful; }
+    bool isSteer() const { return op == Opcode::kSteer; }
+};
+
+} // namespace ws
+
+#endif // WS_ISA_INSTRUCTION_H_

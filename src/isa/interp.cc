@@ -1,0 +1,210 @@
+#include "isa/interp.h"
+
+#include <deque>
+#include <functional>
+
+#include "common/log.h"
+#include "isa/exec.h"
+#include "isa/token.h"
+
+namespace ws {
+
+namespace {
+
+struct PendingMemOp
+{
+    const Instruction *inst = nullptr;
+    InstId id = kInvalidInst;
+    Addr addr = 0;
+    std::int32_t seq = 0;
+    std::int32_t prev = kSeqNone;
+    std::int32_t next = kSeqNone;
+};
+
+struct ThreadMem
+{
+    WaveNum currentWave = 0;
+    // wave → (seq → op)
+    std::map<WaveNum, std::map<std::int32_t, PendingMemOp>> waves;
+};
+
+} // namespace
+
+InterpResult
+interpret(const DataflowGraph &graph, std::uint64_t max_steps)
+{
+    InterpResult result;
+    std::deque<Token> work(graph.initialTokens().begin(),
+                           graph.initialTokens().end());
+    std::unordered_map<std::uint64_t, std::pair<std::uint8_t, Operands>>
+        partial;  // (inst,tag) → (present mask, operands)
+    std::unordered_map<std::uint64_t, Value> store_data;  // (tag,seq) key.
+    std::map<Addr, Value> &mem = result.memory;
+    for (const auto &[addr, v] : graph.memInit())
+        mem[addr & ~Addr{7}] = v;
+    std::map<ThreadId, ThreadMem> tmem;
+
+    auto key_of = [](InstId inst, const Tag &tag) {
+        return (static_cast<std::uint64_t>(inst) << 48) ^ tag.packed();
+    };
+    auto data_key = [](const Tag &tag, std::int32_t seq) {
+        return tag.packed() * 131 +
+               static_cast<std::uint64_t>(static_cast<std::uint32_t>(seq));
+    };
+
+    auto emit = [&](const Instruction &inst, int side, const Tag &tag,
+                    Value v) {
+        for (const PortRef &ref : inst.outs[side])
+            work.push_back(Token{tag, ref, v});
+    };
+
+    // Per (thread, wave) chain-issue state.
+    std::map<std::pair<ThreadId, WaveNum>,
+             std::pair<std::int32_t, std::int32_t>>
+        chain_state;  // → (lastIssued, nextExpected)
+
+    std::function<void(ThreadId)> issue_thread = [&](ThreadId t) {
+        ThreadMem &tm = tmem[t];
+        bool progress = true;
+        while (progress) {
+            progress = false;
+            auto w_it = tm.waves.find(tm.currentWave);
+            if (w_it == tm.waves.end())
+                return;
+            auto &ops = w_it->second;
+            auto state_it = chain_state.try_emplace(
+                {t, tm.currentWave},
+                std::pair<std::int32_t, std::int32_t>(kSeqNone,
+                                                      kSeqWildcard));
+            auto &[last_issued, next_expected] = state_it.first->second;
+            const PendingMemOp *op = nullptr;
+            if (next_expected == kSeqWildcard) {
+                for (const auto &[seq, cand] : ops) {
+                    if (cand.prev == last_issued) {
+                        op = &cand;
+                        break;
+                    }
+                }
+            } else {
+                auto it = ops.find(next_expected);
+                if (it != ops.end())
+                    op = &it->second;
+            }
+            if (op == nullptr)
+                return;
+
+            // Issue: perform the access and feed consumers.
+            const PendingMemOp copy = *op;
+            const Tag tag{t, tm.currentWave};
+            switch (copy.inst->op) {
+              case Opcode::kLoad: {
+                auto m_it = mem.find(copy.addr & ~Addr{7});
+                const Value v = m_it == mem.end() ? 0 : m_it->second;
+                emit(*copy.inst, 0, tag, v);
+                break;
+              }
+              case Opcode::kStoreAddr: {
+                auto d_it = store_data.find(data_key(tag, copy.seq));
+                if (d_it == store_data.end())
+                    return;  // Data half not here yet; wait.
+                mem[copy.addr & ~Addr{7}] = d_it->second;
+                store_data.erase(d_it);
+                break;
+              }
+              case Opcode::kMemNop:
+                break;
+              default:
+                panic("interp: bad memory op in chain");
+            }
+            ops.erase(copy.seq);
+            last_issued = copy.seq;
+            next_expected = copy.next;
+            progress = true;
+            if (copy.next == kSeqNone) {
+                if (!ops.empty())
+                    panic("interp: wave (%u,%u) ends with %zu stray ops",
+                          t, tm.currentWave, ops.size());
+                tm.waves.erase(w_it);
+                chain_state.erase({t, tm.currentWave});
+                ++tm.currentWave;
+            }
+        }
+    };
+
+    std::uint64_t steps = 0;
+    while (!work.empty()) {
+        if (++steps > max_steps)
+            fatal("interpret: exceeded %llu steps (non-terminating graph?)",
+                  static_cast<unsigned long long>(max_steps));
+        Token token = work.front();
+        work.pop_front();
+
+        const Instruction &inst = graph.inst(token.dst.inst);
+        const std::uint8_t arity = inst.arity();
+
+        Operands ops{0, 0, 0};
+        if (arity > 1 || true) {
+            // Match (even single-operand instructions pass through for
+            // uniformity).
+            const std::uint64_t key = key_of(token.dst.inst, token.tag);
+            auto &[mask, vals] = partial[key];
+            vals[token.dst.port] = token.value;
+            mask |= static_cast<std::uint8_t>(1u << token.dst.port);
+            const std::uint8_t full =
+                static_cast<std::uint8_t>((1u << arity) - 1);
+            if ((mask & full) != full)
+                continue;
+            ops = vals;
+            partial.erase(key);
+        }
+
+        ++result.executed;
+        if (inst.useful())
+            ++result.useful;
+
+        switch (inst.op) {
+          case Opcode::kSink:
+            ++result.sinkTokens;
+            result.sinkValues.push_back(ops[0]);
+            break;
+          case Opcode::kSteer:
+            emit(inst, ops[1] != 0 ? 0 : 1, token.tag, ops[0]);
+            break;
+          case Opcode::kWaveAdvance:
+            emit(inst, 0, token.tag.nextWave(), ops[0]);
+            break;
+          case Opcode::kLoad:
+          case Opcode::kStoreAddr:
+          case Opcode::kMemNop: {
+            PendingMemOp op;
+            op.inst = &inst;
+            op.id = token.dst.inst;
+            op.addr = static_cast<Addr>(evaluate(inst.op, inst.imm, ops));
+            op.seq = inst.mem.seq;
+            op.prev = inst.mem.prev;
+            op.next = inst.mem.next;
+            tmem[token.tag.thread].waves[token.tag.wave].emplace(op.seq,
+                                                                 op);
+            issue_thread(token.tag.thread);
+            break;
+          }
+          case Opcode::kStoreData:
+            store_data[data_key(token.tag, inst.mem.seq)] = ops[0];
+            issue_thread(token.tag.thread);
+            break;
+          default:
+            emit(inst, 0, token.tag, evaluate(inst.op, inst.imm, ops));
+            break;
+        }
+    }
+
+    result.completed = graph.expectedSinkTokens() == 0 ||
+                       result.sinkTokens >= graph.expectedSinkTokens();
+    // Drop zero words for a clean comparison surface.
+    for (auto it = mem.begin(); it != mem.end();) {
+        it = it->second == 0 ? mem.erase(it) : std::next(it);
+    }
+    return result;
+}
+
+} // namespace ws

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Reference interpreter: timing-free functional execution of a dataflow
+ * graph.
+ *
+ * The interpreter executes tokens eagerly (unbounded matching table) and
+ * applies the same wave-ordered memory discipline as the store buffer
+ * (per-thread waves retire in order; within a wave, the <prev,this,next>
+ * chain is followed). For single-threaded programs — or any program
+ * whose threads touch disjoint memory — its final memory image and sink
+ * values are the architectural ground truth the cycle-level simulator
+ * must match.
+ */
+
+#ifndef WS_ISA_INTERP_H_
+#define WS_ISA_INTERP_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "isa/graph.h"
+
+namespace ws {
+
+struct InterpResult
+{
+    bool completed = false;         ///< All expected sink tokens seen.
+    Counter sinkTokens = 0;
+    Counter executed = 0;
+    Counter useful = 0;
+    std::vector<Value> sinkValues;  ///< In arrival order.
+    std::map<Addr, Value> memory;   ///< Final non-zero words.
+};
+
+/**
+ * Execute @p graph functionally. @p max_steps bounds total instruction
+ * executions (guards against non-terminating graphs).
+ */
+InterpResult interpret(const DataflowGraph &graph,
+                       std::uint64_t max_steps = 50'000'000);
+
+} // namespace ws
+
+#endif // WS_ISA_INTERP_H_

@@ -1,0 +1,96 @@
+#include "isa/opcode.h"
+
+#include <array>
+
+#include "common/log.h"
+
+namespace ws {
+
+namespace {
+
+// Integer ALU ops take 1 cycle: the paper's 20 FO4 critical path runs
+// *through* the pod-bypassed integer multiplier, i.e. even kMul completes
+// in a single cycle. Divide is iterative and modelled at 4 cycles.
+// FP ops run on the pipelined domain FPU with a 3-cycle latency.
+constexpr std::uint8_t kIntLat = 1;
+constexpr std::uint8_t kDivLat = 4;
+constexpr std::uint8_t kFpLat = 3;
+
+constexpr std::array<OpcodeInfo,
+                     static_cast<std::size_t>(Opcode::kNumOpcodes)>
+    kInfoTable = {{
+        // name        arity useful fp     mem    latency
+        {"nop",          1, false, false, false, kIntLat},
+        {"const",        1, true,  false, false, kIntLat},
+        {"mov",          1, true,  false, false, kIntLat},
+        {"sink",         1, false, false, false, kIntLat},
+
+        {"add",          2, true,  false, false, kIntLat},
+        {"sub",          2, true,  false, false, kIntLat},
+        {"mul",          2, true,  false, false, kIntLat},
+        {"div",          2, true,  false, false, kDivLat},
+        {"rem",          2, true,  false, false, kDivLat},
+        {"and",          2, true,  false, false, kIntLat},
+        {"or",           2, true,  false, false, kIntLat},
+        {"xor",          2, true,  false, false, kIntLat},
+        {"shl",          2, true,  false, false, kIntLat},
+        {"shr",          2, true,  false, false, kIntLat},
+        {"lt",           2, true,  false, false, kIntLat},
+        {"le",           2, true,  false, false, kIntLat},
+        {"eq",           2, true,  false, false, kIntLat},
+        {"ne",           2, true,  false, false, kIntLat},
+        {"min",          2, true,  false, false, kIntLat},
+        {"max",          2, true,  false, false, kIntLat},
+        {"neg",          1, true,  false, false, kIntLat},
+        {"not",          1, true,  false, false, kIntLat},
+
+        {"addi",         1, true,  false, false, kIntLat},
+        {"subi",         1, true,  false, false, kIntLat},
+        {"muli",         1, true,  false, false, kIntLat},
+        {"divi",         1, true,  false, false, kDivLat},
+        {"remi",         1, true,  false, false, kDivLat},
+        {"andi",         1, true,  false, false, kIntLat},
+        {"shli",         1, true,  false, false, kIntLat},
+        {"shri",         1, true,  false, false, kIntLat},
+        {"lti",          1, true,  false, false, kIntLat},
+        {"lei",          1, true,  false, false, kIntLat},
+        {"eqi",          1, true,  false, false, kIntLat},
+        {"nei",          1, true,  false, false, kIntLat},
+
+        {"fadd",         2, true,  true,  false, kFpLat},
+        {"fsub",         2, true,  true,  false, kFpLat},
+        {"fmul",         2, true,  true,  false, kFpLat},
+        {"fdiv",         2, true,  true,  false, kFpLat},
+        {"flt",          2, true,  true,  false, kFpLat},
+        {"feq",          2, true,  true,  false, kFpLat},
+        {"itof",         1, true,  true,  false, kFpLat},
+        {"ftoi",         1, true,  true,  false, kFpLat},
+
+        {"steer",        2, false, false, false, kIntLat},
+        {"select",       3, true,  false, false, kIntLat},
+        {"wave_advance", 1, false, false, false, kIntLat},
+
+        {"load",         1, true,  false, true,  kIntLat},
+        {"store_addr",   1, true,  false, true,  kIntLat},
+        {"store_data",   1, false, false, true,  kIntLat},
+        {"mem_nop",      1, false, false, true,  kIntLat},
+    }};
+
+} // namespace
+
+const OpcodeInfo &
+opcodeInfo(Opcode op)
+{
+    auto idx = static_cast<std::size_t>(op);
+    if (idx >= kInfoTable.size())
+        panic("opcodeInfo: opcode %zu out of range", idx);
+    return kInfoTable[idx];
+}
+
+std::string_view
+opcodeName(Opcode op)
+{
+    return opcodeInfo(op).name;
+}
+
+} // namespace ws

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The wavefabric dataflow instruction set.
+ *
+ * The set mirrors the Alpha-derived WaveScalar assembly the paper's
+ * binary translator produced: ordinary integer/floating-point compute,
+ * plus the WaveScalar-specific control instructions (STEER, SELECT,
+ * WAVE_ADVANCE) and the wave-ordered memory interface (LOAD, STORE_ADDR /
+ * STORE_DATA, MEM_NOP).
+ *
+ * "Useful" opcodes count toward AIPC (Alpha-equivalent instructions per
+ * cycle); WaveScalar-specific overhead instructions execute but are
+ * excluded from the metric, exactly as in the paper's evaluation.
+ */
+
+#ifndef WS_ISA_OPCODE_H_
+#define WS_ISA_OPCODE_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace ws {
+
+enum class Opcode : std::uint8_t
+{
+    // Overhead / plumbing.
+    kNop,          ///< 1 input; produces nothing.
+    kConst,        ///< 1 trigger input; produces the immediate.
+    kMov,          ///< 1 input; forwards it (fan-out amplifier).
+    kSink,         ///< 1 input; swallows it and counts completion.
+
+    // Integer ALU (1- and 2-input).
+    kAdd, kSub, kMul, kDiv, kRem,
+    kAnd, kOr, kXor, kShl, kShr,
+    kLt, kLe, kEq, kNe, kMin, kMax,
+    kNeg, kNot,
+
+    // Immediate (literal-operand) forms: one input port, the second
+    // operand comes from the instruction's immediate field. These mirror
+    // the Alpha literal instruction forms the paper's binary translator
+    // emitted and keep kernel graphs from drowning in kConst nodes.
+    kAddi, kSubi, kMuli, kDivi, kRemi,
+    kAndi, kShli, kShri,
+    kLti, kLei, kEqi, kNei,
+
+    // Floating point (values are doubles bit-cast into the 64-bit token
+    // payload); executed on the shared per-domain FPU.
+    kFadd, kFsub, kFmul, kFdiv,
+    kFlt, kFeq,
+    kItoF, kFtoI,
+
+    // WaveScalar control.
+    kSteer,        ///< (data, pred): route data to true/false target list.
+    kSelect,       ///< (pred, a, b): 3-input select; pred is single-bit.
+    kWaveAdvance,  ///< 1 input; re-tags it with wave+1.
+
+    // Wave-ordered memory interface.
+    kLoad,         ///< (addr): request *(addr+imm); reply to consumers.
+    kStoreAddr,    ///< (addr): address half of a decoupled store.
+    kStoreData,    ///< (value): data half of a decoupled store.
+    kMemNop,       ///< 1 trigger input; placeholder in the ordering chain.
+
+    kNumOpcodes
+};
+
+/** Static properties of an opcode. */
+struct OpcodeInfo
+{
+    std::string_view name;
+    std::uint8_t arity;     ///< Number of input operand ports (1..3).
+    bool useful;            ///< Counts toward AIPC.
+    bool floatingPoint;     ///< Executes on the shared domain FPU.
+    bool memory;            ///< Talks to the wave-ordered store buffer.
+    std::uint8_t latency;   ///< EXECUTE occupancy in cycles (FP: FPU pipe
+                            ///  latency; fully pipelined).
+};
+
+/** Look up the static properties of @p op. */
+const OpcodeInfo &opcodeInfo(Opcode op);
+
+/** Short mnemonic, e.g. "add". */
+std::string_view opcodeName(Opcode op);
+
+/** True for kLoad / kStoreAddr / kStoreData / kMemNop. */
+inline bool
+isMemoryOp(Opcode op)
+{
+    return opcodeInfo(op).memory;
+}
+
+} // namespace ws
+
+#endif // WS_ISA_OPCODE_H_

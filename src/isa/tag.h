@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Token tags for WaveScalar's tagged-token dynamic dataflow execution.
+ *
+ * A tag names one dynamic instance of a static instruction: the software
+ * thread it belongs to and the wave (roughly, loop iteration) it executes
+ * in. Two operand tokens match — and their consumer may fire — only when
+ * their tags are equal.
+ */
+
+#ifndef WS_ISA_TAG_H_
+#define WS_ISA_TAG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "common/types.h"
+
+namespace ws {
+
+/** Dynamic-instance tag: (thread, wave). */
+struct Tag
+{
+    ThreadId thread = 0;
+    WaveNum wave = 0;
+
+    bool operator==(const Tag &) const = default;
+    auto operator<=>(const Tag &) const = default;
+
+    /** Tag for the next wave of the same thread. */
+    Tag nextWave() const { return Tag{thread, wave + 1}; }
+
+    /** Pack into a 64-bit key for hashing. */
+    std::uint64_t
+    packed() const
+    {
+        return (static_cast<std::uint64_t>(thread) << 32) | wave;
+    }
+};
+
+/** FNV-style mix of a tag; used by unordered containers. */
+struct TagHash
+{
+    std::size_t
+    operator()(const Tag &t) const
+    {
+        std::uint64_t x = t.packed();
+        x ^= x >> 33;
+        x *= 0xff51afd7ed558ccdULL;
+        x ^= x >> 33;
+        return static_cast<std::size_t>(x);
+    }
+};
+
+} // namespace ws
+
+#endif // WS_ISA_TAG_H_

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Dataflow tokens: a tagged value in flight toward a consumer port.
+ */
+
+#ifndef WS_ISA_TOKEN_H_
+#define WS_ISA_TOKEN_H_
+
+#include <bit>
+
+#include "common/types.h"
+#include "isa/instruction.h"
+#include "isa/tag.h"
+
+namespace ws {
+
+/** A value travelling to input port dst.port of instruction dst.inst. */
+struct Token
+{
+    Tag tag;
+    PortRef dst;
+    Value value = 0;
+
+    bool operator==(const Token &) const = default;
+};
+
+/** Reinterpret a token payload as a double (FP opcodes). */
+inline double
+asDouble(Value v)
+{
+    return std::bit_cast<double>(v);
+}
+
+/** Reinterpret a double as a token payload. */
+inline Value
+fromDouble(double d)
+{
+    return std::bit_cast<Value>(d);
+}
+
+} // namespace ws
+
+#endif // WS_ISA_TOKEN_H_

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Shared helpers for the kernel builders: array allocation/initialization
+ * and common address arithmetic idioms.
+ */
+
+#ifndef WS_KERNELS_KERN_UTIL_H_
+#define WS_KERNELS_KERN_UTIL_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "isa/graph_builder.h"
+#include "isa/token.h"
+
+namespace ws {
+namespace kern {
+
+using Node = GraphBuilder::Node;
+
+/** Allocate an n-word array and fill it with values from @p gen. */
+template <typename Gen>
+Addr
+makeArray(GraphBuilder &b, std::size_t n, Gen &&gen)
+{
+    const Addr base = b.alloc(n * 8);
+    for (std::size_t i = 0; i < n; ++i)
+        b.initMem(base + 8 * i, gen(i));
+    return base;
+}
+
+/** Allocate an n-word array of integers drawn from [0, bound). */
+inline Addr
+makeIntArray(GraphBuilder &b, std::size_t n, Rng &rng,
+             std::uint64_t bound)
+{
+    return makeArray(b, n, [&](std::size_t) {
+        return static_cast<Value>(rng.range(bound));
+    });
+}
+
+/** Allocate an n-word array of doubles in [0, 1). */
+inline Addr
+makeFpArray(GraphBuilder &b, std::size_t n, Rng &rng)
+{
+    return makeArray(b, n, [&](std::size_t) {
+        return fromDouble(rng.uniform());
+    });
+}
+
+/** Address of element @p idx (a node) in a word array at @p base. */
+inline Node
+wordAddr(GraphBuilder &b, Node idx, Addr base)
+{
+    return b.addi(b.shli(idx, 3), static_cast<Value>(base));
+}
+
+/** mem[base + 8*idx] */
+inline Node
+loadAt(GraphBuilder &b, Node idx, Addr base)
+{
+    return b.load(wordAddr(b, idx, base));
+}
+
+/** mem[base + 8*idx] = v */
+inline void
+storeAt(GraphBuilder &b, Node idx, Addr base, Node v)
+{
+    b.store(wordAddr(b, idx, base), v);
+}
+
+/** A floating-point literal triggered by @p trig. */
+inline Node
+flit(GraphBuilder &b, double v, Node trig)
+{
+    return b.lit(fromDouble(v), trig);
+}
+
+} // namespace kern
+} // namespace ws
+
+#endif // WS_KERNELS_KERN_UTIL_H_

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The workload suite: synthetic dataflow kernels standing in for the
+ * paper's Spec2000 / Mediabench / Splash2 applications (§2.2).
+ *
+ * The paper compiled Alpha binaries to WaveScalar assembly through a
+ * binary translator; we cannot, so each benchmark is re-expressed as a
+ * dataflow kernel with the same *structural* properties the study
+ * depends on: static working-set size (instruction count), operand
+ * fan-out, loop-level parallelism, memory intensity, floating-point
+ * share, and — for the Splash2 group — thread count and data sharing.
+ * DESIGN.md documents this substitution.
+ *
+ * All kernels are deterministic; data comes from a seeded Rng.
+ */
+
+#ifndef WS_KERNELS_KERNEL_H_
+#define WS_KERNELS_KERNEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/graph.h"
+
+namespace ws {
+
+/** Which suite a kernel stands in for. */
+enum class Suite : std::uint8_t
+{
+    kSpec,     ///< Spec2000 single-threaded (int + fp).
+    kMedia,    ///< Mediabench media-processing loops.
+    kSplash,   ///< Splash2 multi-threaded scientific kernels.
+};
+
+struct KernelParams
+{
+    std::uint16_t threads = 1;  ///< Honored by Splash kernels only.
+    std::uint32_t scale = 1;    ///< Scales dynamic iteration counts.
+    std::uint64_t seed = 1;     ///< Input-data generator seed.
+};
+
+/** One registered workload. */
+struct Kernel
+{
+    std::string name;
+    Suite suite;
+    bool multithreaded;
+    DataflowGraph (*build)(const KernelParams &);
+};
+
+/** All fifteen workloads, in the paper's Table-4 order. */
+const std::vector<Kernel> &kernelRegistry();
+
+/** Look up a kernel by name; fatal() when unknown. */
+const Kernel &findKernel(const std::string &name);
+
+/** Names of all kernels in @p suite. */
+std::vector<std::string> kernelsInSuite(Suite suite);
+
+// Individual builders (exposed for tests and examples).
+DataflowGraph buildGzip(const KernelParams &);
+DataflowGraph buildMcf(const KernelParams &);
+DataflowGraph buildTwolf(const KernelParams &);
+DataflowGraph buildAmmp(const KernelParams &);
+DataflowGraph buildArt(const KernelParams &);
+DataflowGraph buildEquake(const KernelParams &);
+DataflowGraph buildDjpeg(const KernelParams &);
+DataflowGraph buildMpeg2encode(const KernelParams &);
+DataflowGraph buildRawdaudio(const KernelParams &);
+DataflowGraph buildFft(const KernelParams &);
+DataflowGraph buildLu(const KernelParams &);
+DataflowGraph buildOcean(const KernelParams &);
+DataflowGraph buildRadix(const KernelParams &);
+DataflowGraph buildRaytrace(const KernelParams &);
+DataflowGraph buildWater(const KernelParams &);
+
+} // namespace ws
+
+#endif // WS_KERNELS_KERNEL_H_

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Mediabench-like kernels (paper §2.2).
+ *
+ *  - djpeg:       fixed-point 4-point IDCT butterflies plus a
+ *                 color-conversion pass — wide integer ILP, regular
+ *                 strides;
+ *  - mpeg2encode: sum-of-absolute-differences motion estimation with
+ *                 running-minimum tracking;
+ *  - rawdaudio:   ADPCM decode — a serial predictor recurrence with
+ *                 table lookups and clamping (the least parallel kernel;
+ *                 its Table-4 virtualization ratio is the smallest).
+ *
+ * As with the Spec kernels, loop bodies are kept wave-sized (a few
+ * memory operations per iteration) and static footprint comes from
+ * distinct sequential phases.
+ */
+
+#include "kernels/kernel.h"
+
+#include "common/rng.h"
+#include "isa/graph_builder.h"
+#include "kernels/kern_util.h"
+
+namespace ws {
+
+using kern::Node;
+
+DataflowGraph
+buildDjpeg(const KernelParams &p)
+{
+    GraphBuilder b("djpeg");
+    Rng rng(p.seed);
+    constexpr std::size_t kCoef = 8192;   // Coefficients (2 x 64 KB).
+    const Addr coef = kern::makeIntArray(b, kCoef, rng, 2048);
+    const Addr out =
+        kern::makeArray(b, kCoef, [](std::size_t) { return 0; });
+    const Value iters = 24 * static_cast<Value>(p.scale);
+    constexpr int kPhases = 14;   // MCU rows; last phases color-convert.
+
+    b.beginThread(0);
+    Node cursor = b.param(0);
+    Node acc = b.param(0);
+    for (int phase = 0; phase < kPhases; ++phase) {
+        const bool color = phase >= kPhases - 4;
+        GraphBuilder::Loop loop = b.beginLoop({cursor, acc});
+        Node r = loop.vars[0];
+        Node a = loop.vars[1];
+        if (color) {
+            // Color conversion with range clamping: 2 loads.
+            Node idx = b.andi(b.addi(b.muli(r, 2), phase),
+                              static_cast<Value>(kCoef - 2));
+            Node yv = kern::loadAt(b, idx, out);
+            Node cv = kern::loadAt(b, b.addi(idx, 1), out);
+            Node scaled = b.shri(b.add(b.muli(yv, 298), b.muli(cv, 409)),
+                                 8);
+            Node lo = b.emit(Opcode::kMax, {scaled, b.lit(0, scaled)});
+            Node clamped = b.emit(Opcode::kMin, {lo, b.lit(255, lo)});
+            a = b.add(a, clamped);
+        } else {
+            // One 4-point fixed-point IDCT butterfly: 4 loads, 4 stores.
+            Node base = b.andi(b.addi(b.muli(r, 16), phase * 64),
+                               static_cast<Value>(kCoef - 4));
+            Node c0 = kern::loadAt(b, base, coef);
+            Node c1 = kern::loadAt(b, b.addi(base, 1), coef);
+            Node c2 = kern::loadAt(b, b.addi(base, 2), coef);
+            Node c3 = kern::loadAt(b, b.addi(base, 3), coef);
+            Node t0 = b.add(c0, c2);
+            Node t1 = b.sub(c0, c2);
+            Node t2 = b.add(b.muli(c1, 1108), b.muli(c3, 459));
+            Node t3 = b.sub(b.muli(c1, 459), b.muli(c3, 1108));
+            kern::storeAt(b, base, out,
+                          b.shri(b.add(b.shli(t0, 10), t2), 10));
+            kern::storeAt(b, b.addi(base, 1), out,
+                          b.shri(b.add(b.shli(t1, 10), t3), 10));
+            kern::storeAt(b, b.addi(base, 2), out,
+                          b.shri(b.sub(b.shli(t1, 10), t3), 10));
+            kern::storeAt(b, b.addi(base, 3), out,
+                          b.shri(b.sub(b.shli(t0, 10), t2), 10));
+            a = b.add(a, t0);
+        }
+        Node r_next = b.addi(r, 1);
+        b.endLoop(loop, {r_next, a}, b.lti(r_next, (phase + 1) * iters));
+        cursor = loop.exits[0];
+        acc = loop.exits[1];
+    }
+    b.sink(acc, 1);
+    b.endThread();
+    return b.finish();
+}
+
+DataflowGraph
+buildMpeg2encode(const KernelParams &p)
+{
+    GraphBuilder b("mpeg2encode");
+    Rng rng(p.seed);
+    constexpr std::size_t kFrame = 8192;    // 2 x 64 KB frames.
+    const Addr ref = kern::makeIntArray(b, kFrame, rng, 256);
+    const Addr cur = kern::makeIntArray(b, kFrame, rng, 256);
+    const Value iters = 20 * static_cast<Value>(p.scale);
+    constexpr int kPhases = 16;   // Macroblock strips.
+    constexpr int kPix = 4;       // Pixels per SAD step.
+
+    b.beginThread(0);
+    Node cursor = b.param(0);
+    Node best = b.param(1 << 20);
+    Node mv = b.param(0);
+    for (int phase = 0; phase < kPhases; ++phase) {
+        GraphBuilder::Loop loop = b.beginLoop({cursor, best, mv});
+        Node i = loop.vars[0];
+        Node bst = loop.vars[1];
+        Node vec = loop.vars[2];
+        // One candidate offset per wave: kPix absolute differences.
+        Node coff = b.andi(b.addi(b.muli(i, 16 * 67), phase * 131),
+                           static_cast<Value>(kFrame - kPix - 1));
+        Node sad = b.lit(0, coff);
+        for (int px = 0; px < kPix; ++px) {
+            Node a = kern::loadAt(
+                b, b.andi(b.addi(b.muli(i, 16 * kPix),
+                                 px * 16 + phase * 16),
+                          static_cast<Value>(kFrame - 1)),
+                cur);
+            Node r = kern::loadAt(b, b.addi(coff, px), ref);
+            Node d = b.sub(a, r);
+            Node ad = b.select(b.lti(d, 0), b.emit(Opcode::kNeg, {d}), d);
+            sad = b.add(sad, ad);
+        }
+        Node better = b.emit(Opcode::kLt, {sad, bst});
+        bst = b.select(better, sad, bst);
+        vec = b.select(better, coff, vec);
+        Node i_next = b.addi(i, 1);
+        b.endLoop(loop, {i_next, bst, vec},
+                  b.lti(i_next, (phase + 1) * iters));
+        cursor = loop.exits[0];
+        best = loop.exits[1];
+        mv = loop.exits[2];
+    }
+    b.sink(mv, 1);
+    b.endThread();
+    return b.finish();
+}
+
+DataflowGraph
+buildRawdaudio(const KernelParams &p)
+{
+    GraphBuilder b("rawdaudio");
+    Rng rng(p.seed);
+    constexpr std::size_t kSamples = 2048;
+    constexpr std::size_t kSteps = 89;
+    const Addr code = kern::makeIntArray(b, kSamples, rng, 16);
+    const Addr steptab = kern::makeArray(b, kSteps, [](std::size_t i) {
+        return static_cast<Value>(7 * (i + 1));
+    });
+    const Addr pcm =
+        kern::makeArray(b, kSamples, [](std::size_t) { return 0; });
+    const Value iters = 48 * static_cast<Value>(p.scale);
+    constexpr int kPhases = 8;   // Audio blocks.
+    constexpr int kU = 2;        // Samples per wave.
+
+    b.beginThread(0);
+    Node cursor = b.param(0);
+    Node pred = b.param(0);
+    Node sidx = b.param(44);
+    for (int phase = 0; phase < kPhases; ++phase) {
+        GraphBuilder::Loop loop = b.beginLoop({cursor, pred, sidx});
+        Node i = loop.vars[0];
+        Node pr = loop.vars[1];
+        Node si = loop.vars[2];
+        for (int u = 0; u < kU; ++u) {
+            // ADPCM decode: serial predictor/step-index recurrence.
+            Node sample = b.andi(b.addi(b.muli(i, kU), u + phase * 256),
+                                 static_cast<Value>(kSamples - 1));
+            Node nibble = kern::loadAt(b, sample, code);
+            Node step = kern::loadAt(b, si, steptab);
+            Node mag = b.add(b.shri(b.mul(step, b.andi(nibble, 7)), 2),
+                             b.shri(step, 3));
+            Node sign = b.andi(nibble, 8);
+            Node delta = b.select(b.nei(sign, 0),
+                                  b.emit(Opcode::kNeg, {mag}), mag);
+            pr = b.add(pr, delta);
+            pr = b.emit(Opcode::kMin, {pr, b.lit(32767, pr)});
+            pr = b.emit(Opcode::kMax, {pr, b.lit(-32768, pr)});
+            kern::storeAt(b, sample, pcm, pr);
+            Node adj = b.subi(b.andi(nibble, 7), 3);
+            si = b.add(si, adj);
+            si = b.emit(Opcode::kMax, {si, b.lit(0, si)});
+            si = b.emit(Opcode::kMin,
+                        {si, b.lit(static_cast<Value>(kSteps - 1), si)});
+        }
+        Node i_next = b.addi(i, 1);
+        b.endLoop(loop, {i_next, pr, si},
+                  b.lti(i_next, (phase + 1) * iters));
+        cursor = loop.exits[0];
+        pred = loop.exits[1];
+        sidx = loop.exits[2];
+    }
+    b.sink(pred, 1);
+    b.endThread();
+    return b.finish();
+}
+
+} // namespace ws

@@ -1,0 +1,51 @@
+#include "kernels/kernel.h"
+
+#include "common/log.h"
+
+namespace ws {
+
+const std::vector<Kernel> &
+kernelRegistry()
+{
+    static const std::vector<Kernel> kKernels = {
+        {"gzip", Suite::kSpec, false, &buildGzip},
+        {"mcf", Suite::kSpec, false, &buildMcf},
+        {"twolf", Suite::kSpec, false, &buildTwolf},
+        {"ammp", Suite::kSpec, false, &buildAmmp},
+        {"art", Suite::kSpec, false, &buildArt},
+        {"equake", Suite::kSpec, false, &buildEquake},
+        {"djpeg", Suite::kMedia, false, &buildDjpeg},
+        {"mpeg2encode", Suite::kMedia, false, &buildMpeg2encode},
+        {"rawdaudio", Suite::kMedia, false, &buildRawdaudio},
+        {"fft", Suite::kSplash, true, &buildFft},
+        {"lu", Suite::kSplash, true, &buildLu},
+        {"ocean", Suite::kSplash, true, &buildOcean},
+        {"radix", Suite::kSplash, true, &buildRadix},
+        {"raytrace", Suite::kSplash, true, &buildRaytrace},
+        {"water", Suite::kSplash, true, &buildWater},
+    };
+    return kKernels;
+}
+
+const Kernel &
+findKernel(const std::string &name)
+{
+    for (const Kernel &k : kernelRegistry()) {
+        if (k.name == name)
+            return k;
+    }
+    fatal("findKernel: unknown kernel '%s'", name.c_str());
+}
+
+std::vector<std::string>
+kernelsInSuite(Suite suite)
+{
+    std::vector<std::string> names;
+    for (const Kernel &k : kernelRegistry()) {
+        if (k.suite == suite)
+            names.push_back(k.name);
+    }
+    return names;
+}
+
+} // namespace ws

@@ -1,0 +1,354 @@
+/**
+ * @file
+ * Spec2000-like single-threaded kernels (paper §2.2).
+ *
+ * Each kernel re-expresses the structural character of its namesake:
+ *  - gzip:   control-heavy integer compression loops (hash chains,
+ *            histogram updates) over a byte stream;
+ *  - mcf:    pointer chasing over successor arrays with reduced-cost
+ *            arithmetic — memory-latency bound with limited MLP;
+ *  - twolf:  annealing-style random swaps with integer distance costs
+ *            and conditional (select-predicated) stores;
+ *  - ammp:   floating-point molecular force loops (heavy FPU pressure);
+ *  - art:    neural-network weight/input dot products plus training
+ *            updates;
+ *  - equake: sparse matrix-vector products with index indirection.
+ *
+ * Granularity matters as much as size: like compiler-generated
+ * WaveScalar code, each loop iteration (one *wave*) carries a small
+ * body with a handful of memory operations, and the large static
+ * footprint Spec needs comes from many distinct sequential loop phases
+ * rather than giant unrolled bodies. This keeps the store buffer, PSQ,
+ * and k-loop-bounding behavior in the regime the paper studied.
+ */
+
+#include "kernels/kernel.h"
+
+#include "common/rng.h"
+#include "isa/graph_builder.h"
+#include "kernels/kern_util.h"
+
+namespace ws {
+
+using kern::Node;
+
+DataflowGraph
+buildGzip(const KernelParams &p)
+{
+    GraphBuilder b("gzip");
+    Rng rng(p.seed);
+    constexpr std::size_t kN = 8192;     // Input (64 KB, 512 lines).
+    constexpr std::size_t kHt = 8192;    // Hash-chain heads (64 KB).
+    constexpr std::size_t kHist = 256;   // Literal histogram.
+    const Addr in = kern::makeIntArray(b, kN, rng, 1u << 24);
+    const Addr ht = kern::makeArray(b, kHt, [](std::size_t) { return 0; });
+    const Addr hist =
+        kern::makeArray(b, kHist, [](std::size_t) { return 0; });
+    const Value iters = 12 * static_cast<Value>(p.scale);
+    constexpr int kPhases = 36;   // Deflate passes over distinct chunks.
+    constexpr int kU = 3;
+
+    b.beginThread(0);
+    Node cursor = b.param(0);
+    Node acc = b.param(0);
+    for (int phase = 0; phase < kPhases; ++phase) {
+        GraphBuilder::Loop loop = b.beginLoop({cursor, acc});
+        Node i = loop.vars[0];
+        Node a = loop.vars[1];
+        // Each phase hashes with its own multiplier and walks its own
+        // slice of the input — distinct static code, small waves.
+        const Value mult = 0x9E3779B1 ^ (phase * 0x85EBCA77);
+        for (int u = 0; u < kU; ++u) {
+            // Line-strided stream: each load touches a fresh 128 B
+            // line; the 512-line working set thrashes the L1 but lives
+            // in the L2 after the first pass over it.
+            Node idx = b.andi(b.addi(b.muli(i, 112), u * 16 + 3),
+                              static_cast<Value>(kN - 1));
+            Node v = kern::loadAt(b, idx, in);
+            Node h = b.andi(b.shri(b.muli(v, mult), 9),
+                            static_cast<Value>(kHt - 1));
+            Node cand = kern::loadAt(b, h, ht);
+            Node dist = b.sub(idx, cand);
+            Node match = b.lti(dist, 4096);
+            Node len = b.select(match, b.andi(v, 15), b.lit(0, v));
+            kern::storeAt(b, h, ht, idx);
+            a = b.emit(Opcode::kXor, {a, b.add(v, len)});
+        }
+        // One histogram update per iteration (the literal encoder).
+        Node hidx = b.andi(a, static_cast<Value>(kHist - 1));
+        Node cnt = kern::loadAt(b, hidx, hist);
+        kern::storeAt(b, hidx, hist, b.addi(cnt, 1));
+        Node i_next = b.addi(i, 1);
+        b.endLoop(loop, {i_next, a}, b.lti(i_next, (phase + 1) * iters));
+        cursor = loop.exits[0];
+        acc = loop.exits[1];
+    }
+    b.sink(acc, 1);
+    b.endThread();
+    return b.finish();
+}
+
+DataflowGraph
+buildMcf(const KernelParams &p)
+{
+    GraphBuilder b("mcf");
+    Rng rng(p.seed);
+    constexpr std::size_t kNodes = 8192;   // 3 x 64 KB arrays.
+    const Addr next = kern::makeArray(b, kNodes, [&](std::size_t) {
+        return static_cast<Value>(rng.range(kNodes));
+    });
+    const Addr cost = kern::makeIntArray(b, kNodes, rng, 1000);
+    const Addr pot = kern::makeIntArray(b, kNodes, rng, 500);
+    const Value iters = 10 * static_cast<Value>(p.scale);
+    constexpr int kPhases = 24;   // Augmenting-path searches.
+    constexpr int kW = 2;         // Concurrent chases (limited MLP).
+
+    b.beginThread(0);
+    std::vector<Node> carried;
+    for (int w = 0; w < kW; ++w)
+        carried.push_back(b.param(static_cast<Value>(rng.range(kNodes))));
+    carried.push_back(b.param(0));  // Accumulated reduced cost.
+    carried.push_back(b.param(0));  // Iteration counter.
+
+    for (int phase = 0; phase < kPhases; ++phase) {
+        GraphBuilder::Loop loop = b.beginLoop(carried);
+        std::vector<Node> nexts;
+        Node acc = loop.vars[kW];
+        Node it = loop.vars[kW + 1];
+        for (int w = 0; w < kW; ++w) {
+            Node cur = loop.vars[w];
+            // One chase step with a reduced-cost check (4 dependent
+            // loads — the pointer-chasing latency wall).
+            Node succ = kern::loadAt(b, cur, next);
+            Node c = kern::loadAt(b, succ, cost);
+            Node pt = kern::loadAt(b, cur, pot);
+            Node ph = kern::loadAt(b, succ, pot);
+            Node reduced = b.add(b.sub(c, pt), ph);
+            Node neg = b.lti(reduced, phase % 5);
+            Node gain = b.select(neg, reduced, b.lit(0, reduced));
+            acc = b.add(acc, gain);
+            nexts.push_back(b.andi(b.add(succ, b.lit(phase, succ)),
+                                   static_cast<Value>(kNodes - 1)));
+        }
+        nexts.push_back(acc);
+        Node it_next = b.addi(it, 1);
+        nexts.push_back(it_next);
+        b.endLoop(loop, nexts,
+                  b.lti(it_next, (phase + 1) * iters));
+        carried.assign(loop.exits.begin(), loop.exits.end());
+    }
+    b.sink(carried[kW], 1);
+    b.endThread();
+    return b.finish();
+}
+
+DataflowGraph
+buildTwolf(const KernelParams &p)
+{
+    GraphBuilder b("twolf");
+    Rng rng(p.seed);
+    constexpr std::size_t kCells = 8192;   // 3 x 64 KB arrays.
+    const Addr xs = kern::makeIntArray(b, kCells, rng, 4096);
+    const Addr ys = kern::makeIntArray(b, kCells, rng, 4096);
+    const Addr net = kern::makeArray(b, kCells, [&](std::size_t) {
+        return static_cast<Value>(rng.range(kCells));
+    });
+    const Value iters = 14 * static_cast<Value>(p.scale);
+    constexpr int kPhases = 40;   // Annealing temperature steps.
+
+    b.beginThread(0);
+    Node cursor = b.param(0);
+    Node cst = b.param(0);
+    for (int phase = 0; phase < kPhases; ++phase) {
+        GraphBuilder::Loop loop = b.beginLoop({cursor, cst});
+        Node i = loop.vars[0];
+        Node c = loop.vars[1];
+        // One trial swap per iteration: 5 loads, 2 predicated stores.
+        Node a = b.andi(b.addi(b.muli(i, 16 * 17), phase * 131),
+                        static_cast<Value>(kCells - 1));
+        Node other = kern::loadAt(b, a, net);
+        Node xa = kern::loadAt(b, a, xs);
+        Node xo = kern::loadAt(b, other, xs);
+        Node ya = kern::loadAt(b, a, ys);
+        Node yo = kern::loadAt(b, other, ys);
+        Node dx = b.sub(xa, xo);
+        Node adx = b.select(b.lti(dx, 0), b.emit(Opcode::kNeg, {dx}), dx);
+        Node dy = b.sub(ya, yo);
+        Node ady = b.select(b.lti(dy, 0), b.emit(Opcode::kNeg, {dy}), dy);
+        Node d = b.add(adx, ady);
+        // Annealing: the acceptance threshold tightens with the phase.
+        Node accept = b.lti(d, 4096 - phase * 64);
+        kern::storeAt(b, a, xs, b.select(accept, xo, xa));
+        kern::storeAt(b, other, xs, b.select(accept, xa, xo));
+        c = b.add(c, d);
+        Node i_next = b.addi(i, 1);
+        b.endLoop(loop, {i_next, c}, b.lti(i_next, (phase + 1) * iters));
+        cursor = loop.exits[0];
+        cst = loop.exits[1];
+    }
+    b.sink(cst, 1);
+    b.endThread();
+    return b.finish();
+}
+
+DataflowGraph
+buildAmmp(const KernelParams &p)
+{
+    GraphBuilder b("ammp");
+    Rng rng(p.seed);
+    constexpr std::size_t kAtoms = 8192;   // 4 x 64 KB arrays.
+    const Addr px = kern::makeFpArray(b, kAtoms, rng);
+    const Addr py = kern::makeFpArray(b, kAtoms, rng);
+    const Addr pz = kern::makeFpArray(b, kAtoms, rng);
+    const Addr fx =
+        kern::makeArray(b, kAtoms, [](std::size_t) { return 0; });
+    const Value iters = 12 * static_cast<Value>(p.scale);
+    constexpr int kPhases = 36;   // Non-bonded neighbour-list chunks.
+
+    b.beginThread(0);
+    Node cursor = b.param(0);
+    Node energy = b.param(fromDouble(0.0));
+    for (int phase = 0; phase < kPhases; ++phase) {
+        GraphBuilder::Loop loop = b.beginLoop({cursor, energy});
+        Node i = loop.vars[0];
+        Node e = loop.vars[1];
+        // One pair interaction per wave: 6 loads, FP pipeline, 1 store.
+        Node ia = b.andi(b.addi(b.muli(i, 16 * 7), phase * 19),
+                         static_cast<Value>(kAtoms - 1));
+        Node ib = b.andi(b.addi(b.muli(i, 16 * 11), phase * 23 + 80),
+                         static_cast<Value>(kAtoms - 1));
+        Node xa = kern::loadAt(b, ia, px);
+        Node xb = kern::loadAt(b, ib, px);
+        Node ya = kern::loadAt(b, ia, py);
+        Node yb = kern::loadAt(b, ib, py);
+        Node za = kern::loadAt(b, ia, pz);
+        Node zb = kern::loadAt(b, ib, pz);
+        Node dx = b.fsub(xa, xb);
+        Node dy = b.fsub(ya, yb);
+        Node dz = b.fsub(za, zb);
+        Node r2 = b.fadd(b.fadd(b.fmul(dx, dx), b.fmul(dy, dy)),
+                         b.fmul(dz, dz));
+        Node inv = b.fdiv(kern::flit(b, 1.0, r2),
+                          b.fadd(r2, kern::flit(b, 1e-6, r2)));
+        Node f = b.fmul(inv, kern::flit(b, 0.25 + 0.01 * phase, inv));
+        kern::storeAt(b, ia, fx, b.fmul(f, dx));
+        e = b.fadd(e, f);
+        Node i_next = b.addi(i, 1);
+        b.endLoop(loop, {i_next, e}, b.lti(i_next, (phase + 1) * iters));
+        cursor = loop.exits[0];
+        energy = loop.exits[1];
+    }
+    b.sink(energy, 1);
+    b.endThread();
+    return b.finish();
+}
+
+DataflowGraph
+buildArt(const KernelParams &p)
+{
+    GraphBuilder b("art");
+    Rng rng(p.seed);
+    constexpr std::size_t kF = 8192;   // Feature weights (64 KB).
+    constexpr std::size_t kIn = 4096;  // Input vector (32 KB).
+    const Addr wt = kern::makeFpArray(b, kF, rng);
+    const Addr in = kern::makeFpArray(b, kIn, rng);
+    const Value iters = 12 * static_cast<Value>(p.scale);
+    constexpr int kPhases = 32;   // F1/F2 passes + resonance updates.
+    constexpr int kU = 2;
+
+    b.beginThread(0);
+    Node cursor = b.param(0);
+    Node y = b.param(fromDouble(0.0));
+    for (int phase = 0; phase < kPhases; ++phase) {
+        const bool update = phase % 2 == 1;  // Alternate match/learn.
+        GraphBuilder::Loop loop = b.beginLoop({cursor, y});
+        Node i = loop.vars[0];
+        Node acc = loop.vars[1];
+        for (int u = 0; u < kU; ++u) {
+            Node wi = b.andi(b.addi(b.muli(i, 16 * 3),
+                                    phase * 37 + u * 176),
+                             static_cast<Value>(kF - 1));
+            Node xi = b.andi(b.addi(i, u * 5 + phase),
+                             static_cast<Value>(kIn - 1));
+            Node w = kern::loadAt(b, wi, wt);
+            Node x = kern::loadAt(b, xi, in);
+            if (update) {
+                Node delta =
+                    b.fmul(b.fsub(x, w), kern::flit(b, 0.0625, w));
+                kern::storeAt(b, wi, wt, b.fadd(w, delta));
+                acc = b.fadd(acc, delta);
+            } else {
+                Node prod = b.fmul(w, x);
+                Node winner = b.emit(Opcode::kFlt, {acc, prod});
+                acc = b.select(winner, prod, acc);
+                acc = b.fadd(acc,
+                             b.fmul(prod, kern::flit(b, 0.125, prod)));
+            }
+        }
+        Node i_next = b.addi(i, 1);
+        b.endLoop(loop, {i_next, acc},
+                  b.lti(i_next, (phase + 1) * iters));
+        cursor = loop.exits[0];
+        y = loop.exits[1];
+    }
+    b.sink(y, 1);
+    b.endThread();
+    return b.finish();
+}
+
+DataflowGraph
+buildEquake(const KernelParams &p)
+{
+    GraphBuilder b("equake");
+    Rng rng(p.seed);
+    constexpr std::size_t kNnz = 8192;   // Nonzeros (2 x 64 KB).
+    constexpr std::size_t kDim = 4096;   // 2 x 32 KB vectors.
+    const Addr colidx = kern::makeArray(b, kNnz, [&](std::size_t) {
+        return static_cast<Value>(rng.range(kDim));
+    });
+    const Addr aval = kern::makeFpArray(b, kNnz, rng);
+    const Addr x = kern::makeFpArray(b, kDim, rng);
+    const Addr y =
+        kern::makeArray(b, kDim, [](std::size_t) { return 0; });
+    const Value iters = 12 * static_cast<Value>(p.scale);
+    constexpr int kPhases = 34;   // SMVP rows + time-integration steps.
+    constexpr int kU = 2;
+
+    b.beginThread(0);
+    Node cursor = b.param(0);
+    Node sum = b.param(fromDouble(0.0));
+    for (int phase = 0; phase < kPhases; ++phase) {
+        const bool integrate = phase % 3 == 2;
+        GraphBuilder::Loop loop = b.beginLoop({cursor, sum});
+        Node i = loop.vars[0];
+        Node s = loop.vars[1];
+        for (int u = 0; u < kU; ++u) {
+            if (integrate) {
+                Node idx = b.andi(b.addi(b.muli(i, kU), u + phase),
+                                  static_cast<Value>(kDim - 1));
+                Node xv = kern::loadAt(b, idx, x);
+                Node acc = b.fmul(b.fadd(xv, s),
+                                  kern::flit(b, 0.01, xv));
+                kern::storeAt(b, idx, y, acc);
+                s = b.fadd(s, b.fmul(acc, kern::flit(b, 0.5, acc)));
+            } else {
+                Node k = b.andi(b.addi(b.muli(i, 16 * kU),
+                                       u * 16 + phase * 53),
+                                static_cast<Value>(kNnz - 1));
+                Node col = kern::loadAt(b, k, colidx);
+                Node a = kern::loadAt(b, k, aval);
+                Node xv = kern::loadAt(b, col, x);
+                s = b.fadd(s, b.fmul(a, xv));
+            }
+        }
+        Node i_next = b.addi(i, 1);
+        b.endLoop(loop, {i_next, s}, b.lti(i_next, (phase + 1) * iters));
+        cursor = loop.exits[0];
+        sum = loop.exits[1];
+    }
+    b.sink(sum, 1);
+    b.endThread();
+    return b.finish();
+}
+
+} // namespace ws

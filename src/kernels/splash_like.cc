@@ -1,0 +1,413 @@
+/**
+ * @file
+ * Splash2-like multithreaded kernels (paper §2.2).
+ *
+ * Each thread gets a private replica of the kernel body (the paper's
+ * placer isolates threads in different portions of the die) operating on
+ * its own data partition, with deliberate sharing where the original
+ * shares:
+ *  - fft:      read-shared twiddle-factor table;
+ *  - lu:       read-shared pivot row under per-thread block updates;
+ *  - ocean:    stencil reads of neighbouring partitions' boundary rows
+ *              (true read-write sharing → coherence traffic);
+ *  - radix:    per-thread histograms, then scatter stores into one
+ *              global array (adjacent-line write sharing);
+ *  - raytrace: read-shared scene, per-thread ray bundles;
+ *  - water:    read-shared positions, per-thread force accumulation.
+ *
+ * Per-thread bodies stay wave-sized (≤ ~10 memory operations per
+ * iteration); a few sequential phases per thread provide the 200-400
+ * instruction footprint that makes 16 threads fill a 4K-capacity
+ * machine and 64 threads demand a 16K one (the Table-5 jumps).
+ */
+
+#include "kernels/kernel.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "isa/graph_builder.h"
+#include "kernels/kern_util.h"
+
+namespace ws {
+
+using kern::Node;
+
+namespace {
+
+std::uint16_t
+threadCount(const KernelParams &p)
+{
+    return std::max<std::uint16_t>(1, p.threads);
+}
+
+} // namespace
+
+DataflowGraph
+buildFft(const KernelParams &p)
+{
+    const std::uint16_t T = threadCount(p);
+    GraphBuilder b("fft", T);
+    Rng rng(p.seed);
+    constexpr std::size_t kPart = 2048;   // Points per thread (2x16KB).
+    constexpr std::size_t kTw = 256;      // Shared twiddle table.
+    const Addr tw_re = kern::makeFpArray(b, kTw, rng);
+    const Addr tw_im = kern::makeFpArray(b, kTw, rng);
+    std::vector<Addr> re(T);
+    std::vector<Addr> im(T);
+    for (std::uint16_t t = 0; t < T; ++t) {
+        re[t] = kern::makeFpArray(b, kPart, rng);
+        im[t] = kern::makeFpArray(b, kPart, rng);
+    }
+    const Value iters = 16 * static_cast<Value>(p.scale);
+    constexpr int kPhases = 5;   // Butterfly stages.
+
+    for (std::uint16_t t = 0; t < T; ++t) {
+        b.beginThread(t);
+        Node cursor = b.param(0);
+        Node chk = b.param(fromDouble(0.0));
+        for (int phase = 0; phase < kPhases; ++phase) {
+            const Value span =
+                static_cast<Value>(kPart >> (1 + phase % 4));
+            GraphBuilder::Loop loop = b.beginLoop({cursor, chk});
+            Node g = loop.vars[0];
+            Node c = loop.vars[1];
+            // One butterfly per wave: 6 loads, 4 stores.
+            Node j = b.andi(b.muli(g, 2),
+                            static_cast<Value>(span - 1));
+            Node j2 = b.addi(j, span);
+            Node wi = b.andi(b.muli(j, 5), static_cast<Value>(kTw - 1));
+            Node ar = kern::loadAt(b, j, re[t]);
+            Node ai = kern::loadAt(b, j, im[t]);
+            Node br = kern::loadAt(b, j2, re[t]);
+            Node bi = kern::loadAt(b, j2, im[t]);
+            Node wr = kern::loadAt(b, wi, tw_re);
+            Node wim = kern::loadAt(b, wi, tw_im);
+            Node tr = b.fsub(b.fmul(wr, br), b.fmul(wim, bi));
+            Node ti = b.fadd(b.fmul(wr, bi), b.fmul(wim, br));
+            kern::storeAt(b, j, re[t], b.fadd(ar, tr));
+            kern::storeAt(b, j, im[t], b.fadd(ai, ti));
+            kern::storeAt(b, j2, re[t], b.fsub(ar, tr));
+            kern::storeAt(b, j2, im[t], b.fsub(ai, ti));
+            c = b.fadd(c, tr);
+            Node g_next = b.addi(g, 1);
+            b.endLoop(loop, {g_next, c},
+                      b.lti(g_next, (phase + 1) * iters));
+            cursor = loop.exits[0];
+            chk = loop.exits[1];
+        }
+        b.sink(chk, 1);
+        b.endThread();
+    }
+    return b.finish();
+}
+
+DataflowGraph
+buildLu(const KernelParams &p)
+{
+    const std::uint16_t T = threadCount(p);
+    GraphBuilder b("lu", T);
+    Rng rng(p.seed);
+    constexpr std::size_t kBlock = 2048;  // Per-thread block (2x16KB).
+    constexpr std::size_t kPivot = 2048;  // Shared pivot row (16 KB).
+    const Addr pivot = kern::makeFpArray(b, kPivot, rng);
+    std::vector<Addr> block(T);
+    std::vector<Addr> lcol(T);
+    for (std::uint16_t t = 0; t < T; ++t) {
+        block[t] = kern::makeFpArray(b, kBlock, rng);
+        lcol[t] = kern::makeFpArray(b, kBlock, rng);
+    }
+    const Value iters = 16 * static_cast<Value>(p.scale);
+    constexpr int kPhases = 7;   // Elimination steps (k loop).
+    constexpr int kU = 2;
+
+    for (std::uint16_t t = 0; t < T; ++t) {
+        b.beginThread(t);
+        Node cursor = b.param(0);
+        Node sum = b.param(fromDouble(0.0));
+        for (int phase = 0; phase < kPhases; ++phase) {
+            GraphBuilder::Loop loop = b.beginLoop({cursor, sum});
+            Node i = loop.vars[0];
+            Node s = loop.vars[1];
+            for (int u = 0; u < kU; ++u) {
+                // a[i][j] -= l[i][k] * u[k][j]: 3 loads, 1 store.
+                Node idx =
+                    b.andi(b.addi(b.muli(i, kU), u + phase * 73),
+                           static_cast<Value>(kBlock - 1));
+                Node pidx = b.andi(b.addi(idx, phase),
+                                   static_cast<Value>(kPivot - 1));
+                Node a = kern::loadAt(b, idx, block[t]);
+                Node l = kern::loadAt(b, idx, lcol[t]);
+                Node uval = kern::loadAt(b, pidx, pivot);
+                Node next = b.fsub(a, b.fmul(l, uval));
+                kern::storeAt(b, idx, block[t], next);
+                s = b.fadd(s, next);
+            }
+            Node i_next = b.addi(i, 1);
+            b.endLoop(loop, {i_next, s},
+                      b.lti(i_next, (phase + 1) * iters));
+            cursor = loop.exits[0];
+            sum = loop.exits[1];
+        }
+        b.sink(sum, 1);
+        b.endThread();
+    }
+    return b.finish();
+}
+
+DataflowGraph
+buildOcean(const KernelParams &p)
+{
+    const std::uint16_t T = threadCount(p);
+    GraphBuilder b("ocean", T);
+    Rng rng(p.seed);
+    constexpr std::size_t kCols = 64;
+    constexpr std::size_t kRowsPer = 8;
+    // One contiguous grid; thread t owns rows [t*kRowsPer, (t+1)*kRowsPer)
+    // and its stencil reads one row into each neighbour's partition.
+    const std::size_t total_rows = static_cast<std::size_t>(T) * kRowsPer;
+    const Addr grid = kern::makeFpArray(b, total_rows * kCols, rng);
+    const Value iters = 14 * static_cast<Value>(p.scale);
+    constexpr int kPhases = 8;   // Red/black relaxation sweeps.
+
+    for (std::uint16_t t = 0; t < T; ++t) {
+        b.beginThread(t);
+        const Value row_base = static_cast<Value>(t) * kRowsPer;
+        Node cursor = b.param(0);
+        Node resid = b.param(fromDouble(0.0));
+        for (int phase = 0; phase < kPhases; ++phase) {
+            GraphBuilder::Loop loop = b.beginLoop({cursor, resid});
+            Node i = loop.vars[0];
+            Node res = loop.vars[1];
+            // One interior point per wave: 5 loads, 1 store.
+            Node lin = b.addi(b.muli(i, 3), phase * 11);
+            Node r = b.addi(b.emit(Opcode::kRemi, {lin},
+                                   static_cast<Value>(kRowsPer)),
+                            row_base);
+            Node c = b.addi(b.emit(Opcode::kRemi, {lin},
+                                   static_cast<Value>(kCols - 2)),
+                            1);
+            Node up_row = b.emit(Opcode::kMax,
+                                 {b.subi(r, 1), b.lit(0, r)});
+            Node down_row = b.emit(
+                Opcode::kMin,
+                {b.addi(r, 1),
+                 b.lit(static_cast<Value>(total_rows - 1), r)});
+            Node center = b.add(b.muli(r, kCols), c);
+            Node vc = kern::loadAt(b, center, grid);
+            Node vn = kern::loadAt(b, b.add(b.muli(up_row, kCols), c),
+                                   grid);
+            Node vs = kern::loadAt(b, b.add(b.muli(down_row, kCols), c),
+                                   grid);
+            Node vw = kern::loadAt(b, b.subi(center, 1), grid);
+            Node ve = kern::loadAt(b, b.addi(center, 1), grid);
+            Node avg = b.fmul(b.fadd(b.fadd(vn, vs), b.fadd(vw, ve)),
+                              kern::flit(b, 0.25, vc));
+            Node relaxed = b.fadd(
+                vc, b.fmul(b.fsub(avg, vc), kern::flit(b, 0.9, vc)));
+            kern::storeAt(b, center, grid, relaxed);
+            res = b.fadd(res, b.fsub(relaxed, vc));
+            Node i_next = b.addi(i, 1);
+            b.endLoop(loop, {i_next, res},
+                      b.lti(i_next, (phase + 1) * iters));
+            cursor = loop.exits[0];
+            resid = loop.exits[1];
+        }
+        b.sink(resid, 1);
+        b.endThread();
+    }
+    return b.finish();
+}
+
+DataflowGraph
+buildRadix(const KernelParams &p)
+{
+    const std::uint16_t T = threadCount(p);
+    GraphBuilder b("radix", T);
+    Rng rng(p.seed);
+    constexpr std::size_t kKeysPer = 2048;   // 16 KB keys per thread.
+    constexpr std::size_t kBuckets = 64;
+    std::vector<Addr> keys(T);
+    std::vector<Addr> hist(T);
+    for (std::uint16_t t = 0; t < T; ++t) {
+        keys[t] = kern::makeIntArray(b, kKeysPer, rng, 1u << 20);
+        hist[t] = kern::makeArray(b, kBuckets,
+                                  [](std::size_t) { return 0; });
+    }
+    // Shared output: thread t scatters into slice t of each bucket.
+    const Addr global = b.alloc(static_cast<std::size_t>(T) * kKeysPer * 8);
+    const Value iters = 16 * static_cast<Value>(p.scale);
+    constexpr int kPhases = 8;   // Digit passes: histogram then scatter.
+    constexpr int kU = 2;
+
+    for (std::uint16_t t = 0; t < T; ++t) {
+        b.beginThread(t);
+        const Value slice =
+            static_cast<Value>(t) * static_cast<Value>(kKeysPer);
+        Node cursor = b.param(0);
+        Node acc = b.param(0);
+        for (int phase = 0; phase < kPhases; ++phase) {
+            const bool scatter = phase % 2 == 1;
+            GraphBuilder::Loop loop = b.beginLoop({cursor, acc});
+            Node i = loop.vars[0];
+            Node a = loop.vars[1];
+            for (int u = 0; u < kU; ++u) {
+                Node ki = b.andi(b.addi(b.muli(i, kU), u + phase * 61),
+                                 static_cast<Value>(kKeysPer - 1));
+                Node key = kern::loadAt(b, ki, keys[t]);
+                if (scatter) {
+                    Node pos = b.addi(ki, slice);
+                    Node addr = b.addi(b.shli(pos, 3),
+                                       static_cast<Value>(global));
+                    b.store(addr, key);
+                    a = b.add(a, key);
+                } else {
+                    Node digit =
+                        b.andi(b.shri(key, (phase / 2) * 6),
+                               static_cast<Value>(kBuckets - 1));
+                    Node cnt = kern::loadAt(b, digit, hist[t]);
+                    kern::storeAt(b, digit, hist[t], b.addi(cnt, 1));
+                    a = b.add(a, digit);
+                }
+            }
+            Node i_next = b.addi(i, 1);
+            b.endLoop(loop, {i_next, a},
+                      b.lti(i_next, (phase + 1) * iters));
+            cursor = loop.exits[0];
+            acc = loop.exits[1];
+        }
+        b.sink(acc, 1);
+        b.endThread();
+    }
+    return b.finish();
+}
+
+DataflowGraph
+buildRaytrace(const KernelParams &p)
+{
+    const std::uint16_t T = threadCount(p);
+    GraphBuilder b("raytrace", T);
+    Rng rng(p.seed);
+    constexpr std::size_t kSpheres = 64;   // Shared scene.
+    const Addr cx = kern::makeFpArray(b, kSpheres, rng);
+    const Addr cy = kern::makeFpArray(b, kSpheres, rng);
+    const Addr cz = kern::makeFpArray(b, kSpheres, rng);
+    const Addr rad = kern::makeFpArray(b, kSpheres, rng);
+    std::vector<Addr> rays(T);
+    for (std::uint16_t t = 0; t < T; ++t)
+        rays[t] = kern::makeFpArray(b, 256, rng);
+    const Value iters = 16 * static_cast<Value>(p.scale);
+    constexpr int kPhases = 6;   // Bounce depths.
+    constexpr int kS = 2;        // Spheres tested per wave.
+
+    for (std::uint16_t t = 0; t < T; ++t) {
+        b.beginThread(t);
+        Node cursor = b.param(0);
+        Node img = b.param(fromDouble(0.0));
+        for (int phase = 0; phase < kPhases; ++phase) {
+            GraphBuilder::Loop loop = b.beginLoop({cursor, img});
+            Node i = loop.vars[0];
+            Node im = loop.vars[1];
+            Node ri = b.andi(b.addi(i, phase * 37), 255);
+            Node dx = kern::loadAt(b, ri, rays[t]);
+            Node dy = kern::loadAt(b, b.andi(b.addi(ri, 1), 255),
+                                   rays[t]);
+            Node best = kern::flit(b, 1e9, dx);
+            for (int s = 0; s < kS; ++s) {
+                Node si = b.andi(b.addi(b.muli(i, kS), s + phase * 11),
+                                 static_cast<Value>(kSpheres - 1));
+                Node sx = kern::loadAt(b, si, cx);
+                Node sy = kern::loadAt(b, si, cy);
+                Node sz = kern::loadAt(b, si, cz);
+                Node sr = kern::loadAt(b, si, rad);
+                Node ox = b.fsub(sx, dx);
+                Node oy = b.fsub(sy, dy);
+                Node bq = b.fadd(b.fmul(ox, dx), b.fmul(oy, dy));
+                Node cq = b.fsub(b.fadd(b.fmul(ox, ox), b.fmul(oy, oy)),
+                                 b.fmul(sr, sr));
+                Node disc = b.fsub(b.fmul(bq, bq), cq);
+                Node hit = b.emit(Opcode::kFlt,
+                                  {kern::flit(b, 0.0, disc), disc});
+                Node tval = b.fsub(
+                    bq, b.fmul(disc, kern::flit(b, 0.5, disc)));
+                Node closer = b.emit(Opcode::kFlt, {tval, best});
+                Node take = b.emit(Opcode::kAnd, {hit, closer});
+                best = b.select(take, tval, best);
+                im = b.fadd(im,
+                            b.fmul(sz, b.emit(Opcode::kItoF, {take})));
+            }
+            Node i_next = b.addi(i, 1);
+            b.endLoop(loop, {i_next, im},
+                      b.lti(i_next, (phase + 1) * iters));
+            cursor = loop.exits[0];
+            img = loop.exits[1];
+        }
+        b.sink(img, 1);
+        b.endThread();
+    }
+    return b.finish();
+}
+
+DataflowGraph
+buildWater(const KernelParams &p)
+{
+    const std::uint16_t T = threadCount(p);
+    GraphBuilder b("water", T);
+    Rng rng(p.seed);
+    constexpr std::size_t kMol = 2048;  // Shared positions (3x16KB).
+    const Addr mx = kern::makeFpArray(b, kMol, rng);
+    const Addr my = kern::makeFpArray(b, kMol, rng);
+    const Addr mz = kern::makeFpArray(b, kMol, rng);
+    std::vector<Addr> forces(T);
+    for (std::uint16_t t = 0; t < T; ++t) {
+        forces[t] = kern::makeArray(b, kMol,
+                                    [](std::size_t) { return 0; });
+    }
+    const Value iters = 16 * static_cast<Value>(p.scale);
+    constexpr int kPhases = 7;   // Inter/intra-molecular force passes.
+
+    for (std::uint16_t t = 0; t < T; ++t) {
+        b.beginThread(t);
+        Node cursor = b.param(0);
+        Node energy = b.param(fromDouble(0.0));
+        for (int phase = 0; phase < kPhases; ++phase) {
+            GraphBuilder::Loop loop = b.beginLoop({cursor, energy});
+            Node i = loop.vars[0];
+            Node e = loop.vars[1];
+            // One pair per wave: 6 loads, read-modify-write force.
+            Node ia = b.andi(
+                b.addi(b.muli(i, 3), phase * 31 + t * 13),
+                static_cast<Value>(kMol - 1));
+            Node ib = b.andi(
+                b.addi(b.muli(i, 5), phase * 37 + t * 17 + 1),
+                static_cast<Value>(kMol - 1));
+            Node xa = kern::loadAt(b, ia, mx);
+            Node xb = kern::loadAt(b, ib, mx);
+            Node ya = kern::loadAt(b, ia, my);
+            Node yb = kern::loadAt(b, ib, my);
+            Node za = kern::loadAt(b, ia, mz);
+            Node zb = kern::loadAt(b, ib, mz);
+            Node ddx = b.fsub(xa, xb);
+            Node ddy = b.fsub(ya, yb);
+            Node ddz = b.fsub(za, zb);
+            Node r2 = b.fadd(b.fadd(b.fmul(ddx, ddx), b.fmul(ddy, ddy)),
+                             b.fmul(ddz, ddz));
+            Node inv = b.fdiv(kern::flit(b, 1.0, r2),
+                              b.fadd(r2, kern::flit(b, 1e-3, r2)));
+            Node f = b.fmul(inv, inv);
+            Node old = kern::loadAt(b, ia, forces[t]);
+            kern::storeAt(b, ia, forces[t], b.fadd(old, f));
+            e = b.fadd(e, f);
+            Node i_next = b.addi(i, 1);
+            b.endLoop(loop, {i_next, e},
+                      b.lti(i_next, (phase + 1) * iters));
+            cursor = loop.exits[0];
+            energy = loop.exits[1];
+        }
+        b.sink(energy, 1);
+        b.endThread();
+    }
+    return b.finish();
+}
+
+} // namespace ws

@@ -1,0 +1,140 @@
+#include "memory/cache.h"
+
+#include "common/log.h"
+
+namespace ws {
+
+namespace {
+
+bool
+isPow2(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+} // namespace
+
+TagArray::TagArray(std::size_t size_bytes, unsigned ways,
+                   unsigned line_bytes)
+    : ways_(ways), lineBytes_(line_bytes),
+      lineMask_(static_cast<Addr>(line_bytes) - 1)
+{
+    if (ways == 0 || line_bytes == 0 || !isPow2(line_bytes))
+        fatal("TagArray: bad geometry (ways %u, line %u)", ways,
+              line_bytes);
+    const std::size_t way_bytes =
+        static_cast<std::size_t>(ways) * line_bytes;
+    if (size_bytes == 0 || size_bytes % way_bytes != 0)
+        fatal("TagArray: size %zu not a multiple of ways*line (%zu)",
+              size_bytes, way_bytes);
+    sets_ = static_cast<unsigned>(size_bytes / way_bytes);
+    if (!isPow2(sets_))
+        fatal("TagArray: set count %u must be a power of two", sets_);
+    lines_.resize(static_cast<std::size_t>(sets_) * ways_);
+}
+
+std::size_t
+TagArray::setIndex(Addr addr) const
+{
+    return static_cast<std::size_t>((addr / lineBytes_) & (sets_ - 1));
+}
+
+TagArray::Line *
+TagArray::find(Addr addr)
+{
+    const Addr la = lineAddr(addr);
+    Line *set = &lines_[setIndex(addr) * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (set[w].state != 0 && set[w].addr == la)
+            return &set[w];
+    }
+    return nullptr;
+}
+
+const TagArray::Line *
+TagArray::find(Addr addr) const
+{
+    return const_cast<TagArray *>(this)->find(addr);
+}
+
+std::uint8_t
+TagArray::probe(Addr addr) const
+{
+    const Line *line = find(addr);
+    return line != nullptr ? line->state : 0;
+}
+
+void
+TagArray::touch(Addr addr)
+{
+    Line *line = find(addr);
+    if (line == nullptr)
+        panic("TagArray: touch() on absent line %#llx",
+              static_cast<unsigned long long>(addr));
+    line->lru = ++clock_;
+}
+
+void
+TagArray::setState(Addr addr, std::uint8_t state)
+{
+    if (state == 0)
+        panic("TagArray: setState(0); use erase()");
+    Line *line = find(addr);
+    if (line == nullptr)
+        panic("TagArray: setState() on absent line %#llx",
+              static_cast<unsigned long long>(addr));
+    line->state = state;
+}
+
+TagArray::Victim
+TagArray::insert(Addr addr, std::uint8_t state)
+{
+    if (state == 0)
+        panic("TagArray: insert with invalid state");
+    if (find(addr) != nullptr)
+        panic("TagArray: insert of already-present line %#llx",
+              static_cast<unsigned long long>(addr));
+    Line *set = &lines_[setIndex(addr) * ways_];
+    Line *target = nullptr;
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (set[w].state == 0) {
+            target = &set[w];
+            break;
+        }
+        if (target == nullptr || set[w].lru < target->lru)
+            target = &set[w];
+    }
+    Victim victim;
+    if (target->state != 0) {
+        victim.valid = true;
+        victim.lineAddr = target->addr;
+        victim.state = target->state;
+    }
+    target->addr = lineAddr(addr);
+    target->state = state;
+    target->lru = ++clock_;
+    return victim;
+}
+
+bool
+TagArray::erase(Addr addr)
+{
+    Line *line = find(addr);
+    if (line == nullptr)
+        return false;
+    line->state = 0;
+    return true;
+}
+
+std::size_t
+TagArray::validLines() const
+{
+    std::size_t n = 0;
+    for (const Line &line : lines_) {
+        if (line.state != 0)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace ws

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Generic set-associative tag array with true-LRU replacement.
+ *
+ * The L1 data caches and the banked L2 both build on this structure.
+ * Lines carry a small user-defined state byte (the MESI state for L1s, a
+ * dirty bit for the L2); state 0 always means invalid.
+ */
+
+#ifndef WS_MEMORY_CACHE_H_
+#define WS_MEMORY_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace ws {
+
+class TagArray
+{
+  public:
+    /** A victim returned by insert(): the line that was displaced. */
+    struct Victim
+    {
+        bool valid = false;
+        Addr lineAddr = 0;
+        std::uint8_t state = 0;
+    };
+
+    /**
+     * @param size_bytes total capacity (must be a multiple of
+     *        ways*line_bytes), @param ways associativity,
+     *        @param line_bytes line size (power of two).
+     */
+    TagArray(std::size_t size_bytes, unsigned ways, unsigned line_bytes);
+
+    /** Line-aligned address of @p addr. */
+    Addr lineAddr(Addr addr) const { return addr & ~lineMask_; }
+
+    /**
+     * Probe for @p addr. Returns the line's state (0 = miss). Does not
+     * update LRU; use touch() when the access succeeds.
+     */
+    std::uint8_t probe(Addr addr) const;
+
+    /** Mark @p addr most recently used; requires it to be present. */
+    void touch(Addr addr);
+
+    /** Update the state of a present line; requires it to be present. */
+    void setState(Addr addr, std::uint8_t state);
+
+    /**
+     * Install @p addr with @p state, evicting the LRU line of the set if
+     * the set is full. Returns the victim (valid=false if none).
+     */
+    Victim insert(Addr addr, std::uint8_t state);
+
+    /** Drop @p addr if present; returns true when a line was dropped. */
+    bool erase(Addr addr);
+
+    /** Number of valid lines (tests). */
+    std::size_t validLines() const;
+
+    unsigned numSets() const { return sets_; }
+    unsigned ways() const { return ways_; }
+    unsigned lineBytes() const { return lineBytes_; }
+
+  private:
+    struct Line
+    {
+        Addr addr = 0;            ///< Line-aligned address.
+        std::uint8_t state = 0;   ///< 0 = invalid.
+        std::uint64_t lru = 0;    ///< Last-use stamp.
+    };
+
+    std::size_t setIndex(Addr addr) const;
+    Line *find(Addr addr);
+    const Line *find(Addr addr) const;
+
+    unsigned sets_;
+    unsigned ways_;
+    unsigned lineBytes_;
+    Addr lineMask_;
+    std::uint64_t clock_ = 0;
+    std::vector<Line> lines_;   ///< sets_ * ways_, set-major.
+};
+
+} // namespace ws
+
+#endif // WS_MEMORY_CACHE_H_

@@ -1,0 +1,455 @@
+#include "memory/coherence.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace ws {
+
+// ---------------------------------------------------------------------
+// L1Controller
+// ---------------------------------------------------------------------
+
+L1Controller::L1Controller(const MemTimingConfig &cfg, ClusterId self)
+    : cfg_(cfg), self_(self), tags_(cfg.l1Bytes, cfg.l1Ways, cfg.lineBytes)
+{}
+
+void
+L1Controller::request(std::uint64_t req_id, Addr addr, bool is_write,
+                      Cycle now)
+{
+    inQueue_.push(Access{req_id, addr, is_write}, now + 1);
+}
+
+void
+L1Controller::complete(std::uint64_t req_id, Cycle ready)
+{
+    doneTimed_.push(req_id, ready);
+}
+
+void
+L1Controller::process(const Access &acc, Cycle now)
+{
+    if (acc.isWrite)
+        ++stats_.writes;
+    else
+        ++stats_.reads;
+
+    const Addr line = tags_.lineAddr(acc.addr);
+    const std::uint8_t state = tags_.probe(line);
+
+    // An in-flight transaction on the line absorbs this access.
+    auto mshr_it = mshrs_.find(line);
+    if (mshr_it != mshrs_.end()) {
+        ++stats_.mshrHits;
+        mshr_it->second.waiters.push_back(Waiter{acc.reqId, acc.isWrite});
+        return;
+    }
+
+    const bool hit =
+        state != kMesiInvalid &&
+        (!acc.isWrite || state == kMesiExclusive || state == kMesiModified);
+    if (hit) {
+        ++stats_.hits;
+        tags_.touch(line);
+        if (acc.isWrite && state == kMesiExclusive)
+            tags_.setState(line, kMesiModified);  // Silent E→M upgrade.
+        complete(acc.reqId, now + cfg_.l1HitLatency - 1);
+        return;
+    }
+
+    ++stats_.misses;
+    if (mshrs_.size() >= cfg_.l1Mshrs) {
+        // All MSHRs busy: retry the access next cycle.
+        ++stats_.portRetries;
+        inQueue_.push(acc, now + 1);
+        return;
+    }
+
+    Mshr mshr;
+    mshr.issuedGetM = acc.isWrite;
+    mshr.waiters.push_back(Waiter{acc.reqId, acc.isWrite});
+    mshrs_.emplace(line, std::move(mshr));
+    if (acc.isWrite && state == kMesiShared)
+        ++stats_.upgrades;
+    outbox_.push_back(CohMsg{acc.isWrite ? CohType::kGetM : CohType::kGetS,
+                             line, self_});
+}
+
+void
+L1Controller::installLine(Addr line, std::uint8_t state, Cycle now)
+{
+    if (tags_.probe(line) != kMesiInvalid) {
+        tags_.setState(line, state);
+        tags_.touch(line);
+        return;
+    }
+    TagArray::Victim victim = tags_.insert(line, state);
+    if (victim.valid && victim.state == kMesiModified) {
+        ++stats_.writebacks;
+        outbox_.push_back(CohMsg{CohType::kPutM, victim.lineAddr, self_});
+    }
+    (void)now;
+}
+
+void
+L1Controller::handleFill(Addr line, bool exclusive, Cycle now)
+{
+    auto it = mshrs_.find(line);
+    if (it == mshrs_.end()) {
+        // A fill for a line we gave up on (e.g. invalidated mid-flight
+        // with no waiters left) — install and move on.
+        installLine(line, exclusive ? kMesiExclusive : kMesiShared, now);
+        return;
+    }
+    Mshr mshr = std::move(it->second);
+    mshrs_.erase(it);
+
+    installLine(line, exclusive ? kMesiExclusive : kMesiShared, now);
+
+    const Cycle ready = now + cfg_.l1HitLatency;
+    bool need_write = false;
+    for (const Waiter &w : mshr.waiters) {
+        if (w.isWrite && !exclusive) {
+            need_write = true;
+            continue;  // Re-handled below via an upgrade.
+        }
+        if (w.isWrite)
+            tags_.setState(line, kMesiModified);
+        complete(w.reqId, ready);
+    }
+
+    if (need_write) {
+        // The grant was only S but writers are waiting: upgrade.
+        Mshr up;
+        up.issuedGetM = true;
+        for (const Waiter &w : mshr.waiters) {
+            if (w.isWrite)
+                up.waiters.push_back(w);
+        }
+        ++stats_.upgrades;
+        mshrs_.emplace(line, std::move(up));
+        outbox_.push_back(CohMsg{CohType::kGetM, line, self_});
+    }
+}
+
+void
+L1Controller::receive(const CohMsg &msg, Cycle now)
+{
+    switch (msg.type) {
+      case CohType::kData:
+        handleFill(msg.line, false, now);
+        break;
+      case CohType::kDataEx:
+        handleFill(msg.line, true, now);
+        break;
+      case CohType::kInv:
+        // Note: an Inv can never overtake a grant for the same line —
+        // the directory keeps the line's transaction busy until the
+        // grant has departed, and home→L1 delivery is FIFO per route.
+        ++stats_.invsReceived;
+        tags_.erase(msg.line);
+        outbox_.push_back(CohMsg{CohType::kInvAck, msg.line, self_});
+        break;
+      case CohType::kDown: {
+        ++stats_.downgradesReceived;
+        const std::uint8_t state = tags_.probe(msg.line);
+        if (state == kMesiModified || state == kMesiExclusive)
+            tags_.setState(msg.line, kMesiShared);
+        outbox_.push_back(CohMsg{CohType::kDownAck, msg.line, self_});
+        break;
+      }
+      case CohType::kPutAck:
+        break;  // Fire-and-forget writeback completed.
+      default:
+        panic("L1Controller: unexpected message type %u",
+              static_cast<unsigned>(msg.type));
+    }
+}
+
+void
+L1Controller::tick(Cycle now)
+{
+    for (unsigned port = 0;
+         port < cfg_.l1Ports && inQueue_.ready(now); ++port) {
+        process(inQueue_.pop(now), now);
+    }
+    while (doneTimed_.ready(now))
+        done_.push_back(doneTimed_.pop(now));
+}
+
+bool
+L1Controller::idle() const
+{
+    return inQueue_.empty() && doneTimed_.empty() && done_.empty() &&
+           outbox_.empty() && mshrs_.empty();
+}
+
+// ---------------------------------------------------------------------
+// HomeSystem
+// ---------------------------------------------------------------------
+
+namespace {
+
+std::size_t
+pow2Floor(std::size_t x)
+{
+    std::size_t p = 1;
+    while (p * 2 <= x)
+        p *= 2;
+    return p;
+}
+
+} // namespace
+
+HomeSystem::HomeSystem(const MemTimingConfig &cfg) : cfg_(cfg)
+{
+    if (cfg_.l2Bytes > 0) {
+        const std::size_t per_bank = cfg_.l2Bytes / cfg_.clusters;
+        const std::size_t way_bytes =
+            static_cast<std::size_t>(cfg_.l2Ways) * cfg_.lineBytes;
+        std::size_t sets = per_bank / way_bytes;
+        if (sets == 0) {
+            fatal("HomeSystem: L2 of %zu bytes is too small for %u banks",
+                  cfg_.l2Bytes, cfg_.clusters);
+        }
+        sets = pow2Floor(sets);
+        for (unsigned b = 0; b < cfg_.clusters; ++b) {
+            l2Banks_.emplace_back(sets * way_bytes, cfg_.l2Ways,
+                                  cfg_.lineBytes);
+        }
+    }
+}
+
+ClusterId
+HomeSystem::homeOf(Addr line) const
+{
+    return static_cast<ClusterId>((line / cfg_.lineBytes) % cfg_.clusters);
+}
+
+void
+HomeSystem::send(ClusterId dst, CohType type, Addr line,
+                 ClusterId requester, Cycle ready)
+{
+    outDelay_.push({dst, CohMsg{type, line, requester}}, ready);
+}
+
+void
+HomeSystem::grant(DirEntry &entry, ClusterId dst, CohType type, Addr line,
+                  Cycle ready)
+{
+    // A grant whose data is still being fetched keeps the line's
+    // transaction busy until the reply departs; otherwise a later
+    // requester's invalidation could race ahead of the grant.
+    send(dst, type, line, dst, ready);
+    if (!entry.busy) {
+        entry.busy = true;
+        ++busyLines_;
+    }
+    grantDone_.push(line, ready);
+}
+
+Cycle
+HomeSystem::fetchLatency(Addr line)
+{
+    if (l2Banks_.empty()) {
+        ++stats_.memFetches;
+        return cfg_.memLatency;
+    }
+    TagArray &bank = l2Banks_[homeOf(line)];
+    if (bank.probe(line) != 0) {
+        ++stats_.l2Hits;
+        bank.touch(line);
+        return cfg_.l2Latency;
+    }
+    ++stats_.l2Misses;
+    ++stats_.memFetches;
+    bank.insert(line, 1);  // Dirty-bit handling is timing-neutral here.
+    return cfg_.l2Latency + cfg_.memLatency;
+}
+
+void
+HomeSystem::receive(const CohMsg &msg, Cycle now)
+{
+    inQueue_.push(msg, now + cfg_.dirOverhead);
+}
+
+void
+HomeSystem::start(DirEntry &entry, const CohMsg &msg, Cycle now)
+{
+    const Addr line = msg.line;
+    const std::uint64_t bit = 1ULL << msg.requester;
+    switch (msg.type) {
+      case CohType::kGetS:
+        ++stats_.getS;
+        switch (entry.state) {
+          case DirState::kUncached:
+            entry.state = DirState::kOwned;  // MESI: grant E.
+            entry.owner = msg.requester;
+            grant(entry, msg.requester, CohType::kDataEx, line,
+                  now + fetchLatency(line));
+            break;
+          case DirState::kShared:
+            entry.sharers |= bit;
+            grant(entry, msg.requester, CohType::kData, line,
+                  now + fetchLatency(line));
+            break;
+          case DirState::kOwned:
+            if (entry.owner == msg.requester) {
+                // Stale re-request after a silent eviction of E.
+                grant(entry, msg.requester, CohType::kDataEx, line,
+                      now + fetchLatency(line));
+                break;
+            }
+            entry.busy = true;
+            ++busyLines_;
+            entry.current = msg;
+            entry.pendingAcks = 1;
+            ++stats_.downgradesSent;
+            send(entry.owner, CohType::kDown, line, msg.requester,
+                 now + 1);
+            break;
+        }
+        break;
+
+      case CohType::kGetM:
+        ++stats_.getM;
+        switch (entry.state) {
+          case DirState::kUncached:
+            entry.state = DirState::kOwned;
+            entry.owner = msg.requester;
+            grant(entry, msg.requester, CohType::kDataEx, line,
+                  now + fetchLatency(line));
+            break;
+          case DirState::kShared: {
+            entry.busy = true;
+            ++busyLines_;
+            entry.current = msg;
+            entry.pendingAcks = 0;
+            for (ClusterId c = 0; c < cfg_.clusters; ++c) {
+                if (c == msg.requester)
+                    continue;
+                if (entry.sharers & (1ULL << c)) {
+                    ++entry.pendingAcks;
+                    ++stats_.invsSent;
+                    send(c, CohType::kInv, line, msg.requester, now + 1);
+                }
+            }
+            if (entry.pendingAcks == 0) {
+                // Requester was the only sharer.
+                finish(line, entry, now);
+            }
+            break;
+          }
+          case DirState::kOwned:
+            if (entry.owner == msg.requester) {
+                grant(entry, msg.requester, CohType::kDataEx, line,
+                      now + fetchLatency(line));
+                break;
+            }
+            entry.busy = true;
+            ++busyLines_;
+            entry.current = msg;
+            entry.pendingAcks = 1;
+            ++stats_.invsSent;
+            send(entry.owner, CohType::kInv, line, msg.requester, now + 1);
+            break;
+        }
+        break;
+
+      case CohType::kPutM:
+        ++stats_.putM;
+        if (entry.state == DirState::kOwned &&
+            entry.owner == msg.requester) {
+            entry.state = DirState::kUncached;
+            entry.sharers = 0;
+        }
+        send(msg.requester, CohType::kPutAck, line, msg.requester, now + 1);
+        break;
+
+      default:
+        panic("HomeSystem: unexpected request type %u",
+              static_cast<unsigned>(msg.type));
+    }
+}
+
+void
+HomeSystem::finish(Addr line, DirEntry &entry, Cycle now)
+{
+    const CohMsg &req = entry.current;
+    if (entry.busy) {
+        entry.busy = false;
+        --busyLines_;
+    }
+    if (req.type == CohType::kGetS) {
+        // Downgrade complete: owner kept S, requester joins S.
+        entry.state = DirState::kShared;
+        entry.sharers = (1ULL << entry.owner) | (1ULL << req.requester);
+        grant(entry, req.requester, CohType::kData, line, now + 1);
+    } else {
+        // GetM: all other copies gone; requester owns the line.
+        entry.state = DirState::kOwned;
+        entry.owner = req.requester;
+        entry.sharers = 0;
+        grant(entry, req.requester, CohType::kDataEx, line, now + 1);
+    }
+}
+
+void
+HomeSystem::tick(Cycle now)
+{
+    // Grants that have departed release their line's transaction.
+    while (grantDone_.ready(now)) {
+        const Addr line = grantDone_.pop(now);
+        auto it = dir_.find(line);
+        if (it == dir_.end())
+            continue;
+        DirEntry &entry = it->second;
+        if (entry.busy && entry.pendingAcks == 0) {
+            entry.busy = false;
+            --busyLines_;
+            while (!entry.waiting.empty()) {
+                inQueue_.push(entry.waiting.front(), now + 1);
+                entry.waiting.pop_front();
+            }
+        }
+    }
+
+    while (inQueue_.ready(now)) {
+        CohMsg msg = inQueue_.pop(now);
+        DirEntry &entry = dir_[msg.line];
+        if (entry.busy) {
+            if (msg.type == CohType::kInvAck ||
+                msg.type == CohType::kDownAck) {
+                if (--entry.pendingAcks == 0)
+                    finish(msg.line, entry, now);
+            } else if (msg.type == CohType::kPutM) {
+                // Crossed with an Inv/Down of the same transaction.
+                ++stats_.putM;
+                send(msg.requester, CohType::kPutAck, msg.line,
+                     msg.requester, now + 1);
+            } else {
+                ++stats_.queuedRequests;
+                entry.waiting.push_back(msg);
+            }
+            continue;
+        }
+        if (msg.type == CohType::kInvAck || msg.type == CohType::kDownAck) {
+            // Stale ack for an already-finished transaction; drop.
+            continue;
+        }
+        start(entry, msg, now);
+    }
+
+    while (outDelay_.ready(now))
+        outbox_.push_back(outDelay_.pop(now));
+}
+
+bool
+HomeSystem::idle() const
+{
+    return inQueue_.empty() && outDelay_.empty() && outbox_.empty() &&
+           grantDone_.empty() && busyLines_ == 0;
+}
+
+} // namespace ws

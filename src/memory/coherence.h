@@ -1,0 +1,225 @@
+/**
+ * @file
+ * The coherent cache hierarchy: per-cluster L1 controllers and the
+ * directory/L2 home system (paper §3.3.2).
+ *
+ * L1s are kept coherent by a directory-based MESI protocol. The
+ * directory is the serialization point: at most one transaction is in
+ * flight per line, and later requests queue behind it. L1s acknowledge
+ * invalidations and downgrades unconditionally (silent clean evictions
+ * make stale sharer bits legal). The banked L2 is address-interleaved
+ * across home banks, so no second coherence level is needed.
+ *
+ * Data payloads are not modelled (see MainMemory); the protocol supplies
+ * timing and traffic.
+ */
+
+#ifndef WS_MEMORY_COHERENCE_H_
+#define WS_MEMORY_COHERENCE_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "memory/cache.h"
+#include "network/message.h"
+#include "network/timed_queue.h"
+
+namespace ws {
+
+/** Geometry and latency parameters of the memory hierarchy. */
+struct MemTimingConfig
+{
+    std::uint16_t clusters = 1;
+    std::size_t l1Bytes = 32 * 1024;
+    unsigned l1Ways = 4;
+    unsigned lineBytes = 128;
+    Cycle l1HitLatency = 3;       ///< 2-cycle SRAM + 1-cycle processing.
+    unsigned l1Ports = 4;         ///< Accesses per cycle.
+    unsigned l1Mshrs = 16;
+    std::size_t l2Bytes = 0;      ///< Total across banks; 0 = no L2.
+    unsigned l2Ways = 16;
+    Cycle l2Latency = 20;         ///< Bank access latency.
+    Cycle memLatency = 200;
+    Cycle dirOverhead = 2;        ///< Directory processing per message.
+};
+
+/** MESI stable states stored in the L1 tag array (0 = invalid). */
+enum : std::uint8_t
+{
+    kMesiInvalid = 0,
+    kMesiShared = 1,
+    kMesiExclusive = 2,
+    kMesiModified = 3,
+};
+
+/** Counters exported by the L1 controller. */
+struct L1Stats
+{
+    Counter reads = 0;
+    Counter writes = 0;
+    Counter hits = 0;
+    Counter misses = 0;
+    Counter mshrHits = 0;        ///< Secondary misses merged into an MSHR.
+    Counter upgrades = 0;        ///< S→M GetM transactions.
+    Counter writebacks = 0;
+    Counter invsReceived = 0;
+    Counter downgradesReceived = 0;
+    Counter portRetries = 0;     ///< Accesses deferred by port limits.
+};
+
+/**
+ * One cluster's L1 data cache controller: tag array, MSHRs, and the
+ * L1 side of the MESI protocol.
+ */
+class L1Controller
+{
+  public:
+    L1Controller(const MemTimingConfig &cfg, ClusterId self);
+
+    /** Timing-only access from the store buffer. */
+    void request(std::uint64_t req_id, Addr addr, bool is_write, Cycle now);
+
+    /** Coherence message delivery (from the home system). */
+    void receive(const CohMsg &msg, Cycle now);
+
+    /** Advance one cycle: process ports, fills, protocol events. */
+    void tick(Cycle now);
+
+    /** Completed request ids become visible here in completion order. */
+    std::vector<std::uint64_t> &drainDone() { return done_; }
+
+    /** Outbound coherence messages (dst = home of msg.line). */
+    std::vector<CohMsg> &outbox() { return outbox_; }
+
+    const L1Stats &stats() const { return stats_; }
+
+    /** MESI state of the line containing @p addr (tests/diagnostics). */
+    std::uint8_t probeLine(Addr addr) const { return tags_.probe(addr); }
+
+    /** True when no request or transaction is outstanding. */
+    bool idle() const;
+
+  private:
+    struct Access
+    {
+        std::uint64_t reqId;
+        Addr addr;
+        bool isWrite;
+    };
+
+    struct Waiter
+    {
+        std::uint64_t reqId;
+        bool isWrite;
+    };
+
+    struct Mshr
+    {
+        bool issuedGetM = false;  ///< Current transaction requests M.
+        std::vector<Waiter> waiters;
+    };
+
+    void process(const Access &acc, Cycle now);
+    void complete(std::uint64_t req_id, Cycle ready);
+    void handleFill(Addr line, bool exclusive, Cycle now);
+    void installLine(Addr line, std::uint8_t state, Cycle now);
+
+    MemTimingConfig cfg_;
+    ClusterId self_;
+    TagArray tags_;
+    TimedQueue<Access> inQueue_;
+    TimedQueue<std::uint64_t> doneTimed_;
+    std::vector<std::uint64_t> done_;
+    std::vector<CohMsg> outbox_;
+    std::unordered_map<Addr, Mshr> mshrs_;
+    L1Stats stats_;
+};
+
+/** Counters exported by the home system. */
+struct HomeStats
+{
+    Counter getS = 0;
+    Counter getM = 0;
+    Counter putM = 0;
+    Counter l2Hits = 0;
+    Counter l2Misses = 0;
+    Counter memFetches = 0;
+    Counter invsSent = 0;
+    Counter downgradesSent = 0;
+    Counter queuedRequests = 0;  ///< Requests that waited on a busy line.
+};
+
+/**
+ * The directory plus banked L2: the "home" side of the protocol. One
+ * logical object; banking affects only which cluster's router a message
+ * enters/leaves through and the bank a line's capacity comes from.
+ */
+class HomeSystem
+{
+  public:
+    explicit HomeSystem(const MemTimingConfig &cfg);
+
+    /** The cluster whose router hosts the home bank of @p line. */
+    ClusterId homeOf(Addr line) const;
+
+    /** Deliver one L1→home message. */
+    void receive(const CohMsg &msg, Cycle now);
+
+    /** Advance one cycle. */
+    void tick(Cycle now);
+
+    /** Outbound messages: (destination cluster, message). */
+    std::vector<std::pair<ClusterId, CohMsg>> &outbox() { return outbox_; }
+
+    const HomeStats &stats() const { return stats_; }
+
+    /** True when no transaction or queued work remains. */
+    bool idle() const;
+
+  private:
+    enum class DirState : std::uint8_t
+    {
+        kUncached,
+        kShared,
+        kOwned,   ///< One L1 holds the line in E or M.
+    };
+
+    struct DirEntry
+    {
+        DirState state = DirState::kUncached;
+        std::uint64_t sharers = 0;  ///< Bitmask over clusters.
+        ClusterId owner = 0;
+        bool busy = false;
+        int pendingAcks = 0;
+        CohMsg current;             ///< Transaction being serviced.
+        std::deque<CohMsg> waiting;
+    };
+
+    void start(DirEntry &entry, const CohMsg &msg, Cycle now);
+    void finish(Addr line, DirEntry &entry, Cycle now);
+    /** Send a data grant, keeping the line busy until it departs. */
+    void grant(DirEntry &entry, ClusterId dst, CohType type, Addr line,
+               Cycle ready);
+    /** Latency to read the line out of L2/memory at its home bank. */
+    Cycle fetchLatency(Addr line);
+    void send(ClusterId dst, CohType type, Addr line, ClusterId requester,
+              Cycle ready);
+
+    MemTimingConfig cfg_;
+    std::vector<TagArray> l2Banks_;       ///< Empty when l2Bytes == 0.
+    std::unordered_map<Addr, DirEntry> dir_;
+    TimedQueue<CohMsg> inQueue_;
+    TimedQueue<std::pair<ClusterId, CohMsg>> outDelay_;
+    TimedQueue<Addr> grantDone_;   ///< Lines whose grant departs then.
+    std::vector<std::pair<ClusterId, CohMsg>> outbox_;
+    HomeStats stats_;
+    Counter busyLines_ = 0;
+};
+
+} // namespace ws
+
+#endif // WS_MEMORY_COHERENCE_H_

@@ -1,0 +1,24 @@
+#include "memory/main_memory.h"
+
+namespace ws {
+
+Value
+MainMemory::read(Addr addr) const
+{
+    auto it = pages_.find(pageOf(addr));
+    if (it == pages_.end())
+        return 0;
+    return it->second[slotOf(addr)];
+}
+
+void
+MainMemory::write(Addr addr, Value v)
+{
+    auto it = pages_.find(pageOf(addr));
+    if (it == pages_.end())
+        it = pages_.emplace(pageOf(addr),
+                            std::array<Value, kPageWords>{}).first;
+    it->second[slotOf(addr)] = v;
+}
+
+} // namespace ws

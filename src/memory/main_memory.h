@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Functional backing store for the simulated address space.
+ *
+ * wavefabric separates *architectural data* from *timing*: all loads and
+ * stores read/write this paged word store in wave order (the store
+ * buffer's issue order), while the cache hierarchy and coherence
+ * protocol model latency and traffic only. This keeps the protocol
+ * machinery honest without threading data payloads through every
+ * message (see DESIGN.md).
+ */
+
+#ifndef WS_MEMORY_MAIN_MEMORY_H_
+#define WS_MEMORY_MAIN_MEMORY_H_
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace ws {
+
+class MainMemory
+{
+  public:
+    /** Read the 64-bit word containing @p addr (0 if never written). */
+    Value read(Addr addr) const;
+
+    /** Write the 64-bit word containing @p addr. */
+    void write(Addr addr, Value v);
+
+    /** Number of resident 4 KB pages (tests, footprint stats). */
+    std::size_t residentPages() const { return pages_.size(); }
+
+  private:
+    static constexpr std::size_t kPageWords = 512;  // 4 KB pages.
+
+    static Addr wordIndex(Addr addr) { return addr >> 3; }
+    static Addr pageOf(Addr addr) { return wordIndex(addr) / kPageWords; }
+    static std::size_t
+    slotOf(Addr addr)
+    {
+        return static_cast<std::size_t>(wordIndex(addr) % kPageWords);
+    }
+
+    std::unordered_map<Addr, std::array<Value, kPageWords>> pages_;
+};
+
+} // namespace ws
+
+#endif // WS_MEMORY_MAIN_MEMORY_H_

@@ -1,0 +1,448 @@
+#include "memory/store_buffer.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace ws {
+
+StoreBuffer::StoreBuffer(const StoreBufferConfig &cfg, ClusterId self,
+                         L1Controller *l1, MainMemory *mem)
+    : cfg_(cfg), self_(self), l1_(l1), mem_(mem)
+{
+    if (cfg_.waveSlots == 0 || cfg_.issueWidth == 0)
+        fatal("StoreBuffer: waveSlots and issueWidth must be nonzero");
+    slots_.resize(cfg_.waveSlots);
+    psqs_.resize(cfg_.psqCount);
+}
+
+void
+StoreBuffer::push(const MemRequest &req, Cycle now)
+{
+    (void)now;
+    ++stats_.requests;
+
+    if (req.kind == MemOpKind::kStoreData) {
+        // Data half: either a PSQ is already waiting for it, or it
+        // arrived before (or without) its address half.
+        for (Psq &psq : psqs_) {
+            if (psq.active && !psq.dataReady && psq.waitTag == req.tag &&
+                psq.waitSeq == req.seq) {
+                psq.dataReady = true;
+                earlyData_[dataKey(req.tag, req.seq)] = req.data;
+                return;
+            }
+        }
+        earlyData_[dataKey(req.tag, req.seq)] = req.data;
+        return;
+    }
+
+    if (slotIndex_.count(req.tag.packed()) != 0) {
+        slots_[slotIndex_[req.tag.packed()]].pending.emplace(req.seq, req);
+        return;
+    }
+    const WaveNum current = nextWave_.count(req.tag.thread)
+                                ? nextWave_[req.tag.thread]
+                                : 0;
+    if (!tryAllocate(req, /*allow_evict=*/req.tag.wave == current)) {
+        ++stats_.parkedRequests;
+        parked_[req.tag.thread][req.tag.wave].push_back(req);
+        ++parkedCount_;
+    }
+}
+
+bool
+StoreBuffer::evictFutureSlot()
+{
+    // A slot whose wave is strictly ahead of its thread's current wave
+    // has never issued (only current waves issue), so it can be
+    // re-parked losslessly. Prefer the farthest-ahead slot.
+    int victim = -1;
+    WaveNum max_ahead = 0;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        const WaveSlot &slot = slots_[i];
+        if (!slot.active)
+            continue;
+        const WaveNum cur = nextWave_.count(slot.tag.thread)
+                                ? nextWave_[slot.tag.thread]
+                                : 0;
+        if (slot.tag.wave <= cur)
+            continue;
+        const WaveNum ahead = slot.tag.wave - cur;
+        if (victim < 0 || ahead > max_ahead) {
+            victim = static_cast<int>(i);
+            max_ahead = ahead;
+        }
+    }
+    if (victim < 0)
+        return false;
+    WaveSlot &slot = slots_[victim];
+    if (slot.lastIssued != kSeqNone)
+        panic("StoreBuffer %u: future-wave slot (%u,%u) had issued ops",
+              self_, slot.tag.thread, slot.tag.wave);
+    auto &bucket = parked_[slot.tag.thread][slot.tag.wave];
+    for (auto &[seq, op] : slot.pending) {
+        bucket.push_back(op);
+        ++parkedCount_;
+    }
+    slotIndex_.erase(slot.tag.packed());
+    slot.active = false;
+    slot.pending.clear();
+    ++stats_.slotPreemptions;
+    return true;
+}
+
+bool
+StoreBuffer::tryAllocate(const MemRequest &req, bool allow_evict)
+{
+    const WaveNum base = nextWave_.count(req.tag.thread)
+                             ? nextWave_[req.tag.thread]
+                             : 0;
+    if (req.tag.wave < base) {
+        panic("StoreBuffer %u: request for retired wave %u of thread %u "
+              "(current %u)", self_, req.tag.wave, req.tag.thread, base);
+    }
+    if (req.tag.wave >= base + cfg_.waveLookahead)
+        return false;
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        for (std::size_t i = 0; i < slots_.size(); ++i) {
+            if (!slots_[i].active) {
+                WaveSlot &slot = slots_[i];
+                slot.active = true;
+                slot.tag = req.tag;
+                slot.pending.clear();
+                slot.pending.emplace(req.seq, req);
+                slot.lastIssued = kSeqNone;
+                // Wildcard start: a branch diamond at the head of a
+                // wave makes the first sequence number ambiguous; the
+                // first arrived op with prev == none starts the chain.
+                slot.nextExpected = kSeqWildcard;
+                slotIndex_[req.tag.packed()] = static_cast<int>(i);
+                return true;
+            }
+        }
+        // No free slot: a current wave may preempt a future-wave slot.
+        if (!allow_evict || !evictFutureSlot())
+            return false;
+    }
+    return false;
+}
+
+int
+StoreBuffer::psqMatch(Addr addr) const
+{
+    // The 2-entry associative filter: compare against every active PSQ's
+    // bound address.
+    for (std::size_t i = 0; i < psqs_.size(); ++i) {
+        if (psqs_[i].active && psqs_[i].addr == (addr & ~Addr{7}))
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+int
+StoreBuffer::freePsq() const
+{
+    for (std::size_t i = 0; i < psqs_.size(); ++i) {
+        if (!psqs_[i].active)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+void
+StoreBuffer::accessL1(const MemRequest &op, bool is_load, Value value,
+                      Cycle now)
+{
+    const std::uint64_t id = nextReqId_++;
+    outstanding_.emplace(id, Outstanding{is_load, op.inst, op.tag, value});
+    l1_->request(id, op.addr, !is_load, now);
+}
+
+bool
+StoreBuffer::issueOp(const MemRequest &op, Cycle now)
+{
+    switch (op.kind) {
+      case MemOpKind::kMemNop:
+        ++stats_.memNops;
+        return true;
+
+      case MemOpKind::kLoad: {
+        const int match = psqMatch(op.addr);
+        if (match >= 0) {
+            Psq &psq = psqs_[match];
+            if (psq.ops.size() >= cfg_.psqEntries) {
+                ++stats_.psqFullStalls;
+                return false;
+            }
+            ++stats_.psqAppends;
+            psq.ops.push_back(op);
+            ++stats_.loads;
+            return true;
+        }
+        ++stats_.loads;
+        accessL1(op, true, mem_->read(op.addr), now);
+        return true;
+      }
+
+      case MemOpKind::kStoreAddr: {
+        const int match = psqMatch(op.addr);
+        if (match >= 0) {
+            Psq &psq = psqs_[match];
+            if (psq.ops.size() >= cfg_.psqEntries) {
+                ++stats_.psqFullStalls;
+                return false;
+            }
+            ++stats_.psqAppends;
+            psq.ops.push_back(op);
+            ++stats_.stores;
+            return true;
+        }
+        const auto key = dataKey(op.tag, op.seq);
+        auto data_it = earlyData_.find(key);
+        if (data_it != earlyData_.end()) {
+            // Data already here: an ordinary store.
+            mem_->write(op.addr, data_it->second);
+            earlyData_.erase(data_it);
+            ++stats_.stores;
+            accessL1(op, false, 0, now);
+            return true;
+        }
+        // Address before data: park in a partial store queue.
+        const int free_idx = freePsq();
+        if (free_idx < 0) {
+            ++stats_.noPsqStalls;
+            return false;
+        }
+        Psq &psq = psqs_[free_idx];
+        psq.active = true;
+        psq.addr = op.addr & ~Addr{7};
+        psq.waitTag = op.tag;
+        psq.waitSeq = op.seq;
+        psq.dataReady = false;
+        psq.ops.clear();
+        psq.ops.push_back(op);
+        ++stats_.psqAllocations;
+        ++stats_.stores;
+        return true;
+      }
+
+      case MemOpKind::kStoreData:
+        break;
+    }
+    panic("StoreBuffer: bad op kind in chain");
+}
+
+void
+StoreBuffer::completeWave(WaveSlot &slot)
+{
+    if (!slot.pending.empty()) {
+        panic("StoreBuffer %u: wave (%u,%u) completed with %zu arrived "
+              "ops never issued — broken ordering chain", self_,
+              slot.tag.thread, slot.tag.wave, slot.pending.size());
+    }
+    slotIndex_.erase(slot.tag.packed());
+    slot.active = false;
+    nextWave_[slot.tag.thread] = slot.tag.wave + 1;
+    ++stats_.waveCompletions;
+}
+
+void
+StoreBuffer::drainPsqs(Cycle now, unsigned &budget)
+{
+    for (Psq &psq : psqs_) {
+        if (!psq.active || budget == 0)
+            continue;
+        // Each PSQ has one read and one write port: one op per cycle.
+        if (!psq.dataReady)
+            continue;
+        if (psq.ops.empty()) {
+            psq.active = false;
+            continue;
+        }
+        MemRequest op = psq.ops.front();
+        if (op.kind == MemOpKind::kStoreAddr) {
+            const auto key = dataKey(op.tag, op.seq);
+            auto it = earlyData_.find(key);
+            if (it == earlyData_.end()) {
+                // This (younger) store's data has not arrived: rebind the
+                // queue to wait on it.
+                psq.waitTag = op.tag;
+                psq.waitSeq = op.seq;
+                psq.dataReady = false;
+                continue;
+            }
+            mem_->write(op.addr, it->second);
+            earlyData_.erase(it);
+            accessL1(op, false, 0, now);
+        } else {
+            // A queued load: reads the freshly-stored value.
+            accessL1(op, true, mem_->read(op.addr), now);
+        }
+        psq.ops.pop_front();
+        --budget;
+        if (psq.ops.empty())
+            psq.active = false;
+    }
+}
+
+void
+StoreBuffer::tick(Cycle now)
+{
+    ++stats_.cycles;
+
+    // Collect L1 completions (the cluster ticks the L1 first).
+    for (std::uint64_t id : l1_->drainDone()) {
+        auto it = outstanding_.find(id);
+        if (it == outstanding_.end())
+            panic("StoreBuffer %u: unknown L1 completion %llu", self_,
+                  static_cast<unsigned long long>(id));
+        if (it->second.isLoad) {
+            loadDones_.push_back(LoadDone{it->second.inst, it->second.tag,
+                                          it->second.value});
+        }
+        outstanding_.erase(it);
+    }
+    l1_->drainDone().clear();
+
+    // Re-admit parked arrivals. Only waves inside a thread's lookahead
+    // window are eligible, so the per-wave buckets are scanned in wave
+    // order and far-future arrivals cannot block the current wave.
+    if (parkedCount_ != 0) {
+        for (auto t_it = parked_.begin(); t_it != parked_.end();) {
+            auto &waves = t_it->second;
+            for (auto w_it = waves.begin(); w_it != waves.end();) {
+                auto &reqs = w_it->second;
+                bool admitted_all = true;
+                std::size_t taken = 0;
+                const WaveNum cur = nextWave_.count(t_it->first)
+                                        ? nextWave_[t_it->first]
+                                        : 0;
+                for (MemRequest &req : reqs) {
+                    const auto packed = req.tag.packed();
+                    auto slot_it = slotIndex_.find(packed);
+                    if (slot_it != slotIndex_.end()) {
+                        slots_[slot_it->second].pending.emplace(req.seq,
+                                                                req);
+                        ++taken;
+                        continue;
+                    }
+                    if (tryAllocate(req, req.tag.wave == cur)) {
+                        ++taken;
+                        continue;
+                    }
+                    admitted_all = false;
+                    break;
+                }
+                parkedCount_ -= taken;
+                if (admitted_all) {
+                    w_it = waves.erase(w_it);
+                    continue;
+                }
+                reqs.erase(reqs.begin(),
+                           reqs.begin() + static_cast<long>(taken));
+                break;  // Later waves of this thread can wait.
+            }
+            t_it = waves.empty() ? parked_.erase(t_it) : ++t_it;
+        }
+    }
+
+    unsigned budget = cfg_.issueWidth;
+    drainPsqs(now, budget);
+
+    // Issue chains: only a thread's *current* wave may issue.
+    for (WaveSlot &slot : slots_) {
+        if (budget == 0)
+            break;
+        if (!slot.active)
+            continue;
+        const WaveNum current = nextWave_.count(slot.tag.thread)
+                                    ? nextWave_[slot.tag.thread]
+                                    : 0;
+        if (slot.tag.wave != current)
+            continue;
+        ++stats_.slotOccupancySum;
+        bool progress = true;
+        while (progress && budget > 0 && slot.active) {
+            progress = false;
+            const MemRequest *op = nullptr;
+            if (slot.nextExpected == kSeqWildcard) {
+                // Resolve '?': the successor must name lastIssued as its
+                // concrete predecessor. (The compiler guarantees adjacent
+                // ops never carry '?' on both facing links — that is what
+                // MEMORY-NOPs are for.)
+                for (const auto &[seq, cand] : slot.pending) {
+                    if (cand.prev == slot.lastIssued) {
+                        op = &cand;
+                        break;
+                    }
+                }
+            } else {
+                auto it = slot.pending.find(slot.nextExpected);
+                if (it != slot.pending.end())
+                    op = &it->second;
+            }
+            if (op == nullptr)
+                break;  // Next op has not arrived yet.
+            MemRequest copy = *op;
+            if (!issueOp(copy, now))
+                break;  // Structural stall (PSQ pressure).
+            slot.pending.erase(copy.seq);
+            slot.lastIssued = copy.seq;
+            slot.nextExpected = copy.next;
+            --budget;
+            progress = true;
+            if (copy.next == kSeqNone) {
+                completeWave(slot);
+            }
+        }
+    }
+}
+
+std::string
+StoreBuffer::debugDump() const
+{
+    char buf[256];
+    std::string out;
+    for (const WaveSlot &slot : slots_) {
+        if (!slot.active)
+            continue;
+        std::snprintf(buf, sizeof(buf),
+                      "slot t%u w%u pending=%zu last=%d next=%d\n",
+                      slot.tag.thread, slot.tag.wave, slot.pending.size(),
+                      slot.lastIssued, slot.nextExpected);
+        out += buf;
+    }
+    for (const Psq &psq : psqs_) {
+        if (!psq.active)
+            continue;
+        std::snprintf(buf, sizeof(buf),
+                      "psq addr=%llx t%u w%u seq%d dataReady=%d ops=%zu\n",
+                      (unsigned long long)psq.addr, psq.waitTag.thread,
+                      psq.waitTag.wave, psq.waitSeq, psq.dataReady,
+                      psq.ops.size());
+        out += buf;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "parked=%zu earlyData=%zu outstanding=%zu\n",
+                  parkedCount_, earlyData_.size(), outstanding_.size());
+    out += buf;
+    return out;
+}
+
+bool
+StoreBuffer::idle() const
+{
+    for (const WaveSlot &slot : slots_) {
+        if (slot.active)
+            return false;
+    }
+    for (const Psq &psq : psqs_) {
+        if (psq.active)
+            return false;
+    }
+    return parkedCount_ == 0 && outstanding_.empty() &&
+           loadDones_.empty() && earlyData_.empty();
+}
+
+} // namespace ws

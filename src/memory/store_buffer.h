@@ -1,0 +1,175 @@
+/**
+ * @file
+ * The wave-ordered store buffer (paper §3.3.1).
+ *
+ * One store buffer per cluster recovers von Neumann memory order from
+ * the <prev, this, next> annotations on memory tokens. All requests of
+ * one dynamic wave are managed by one store buffer; waves of a thread
+ * retire strictly in order. The buffer implements:
+ *
+ *  - up to four concurrently-buffered waves (wave slots);
+ *  - chained in-order issue within a wave, including '?' wildcard link
+ *    resolution for memory ops under control flow;
+ *  - *store decoupling* via partial store queues (PSQs): a store whose
+ *    address arrived before its data parks in a PSQ so younger
+ *    operations can issue; same-address younger operations join the PSQ
+ *    and drain in order once the data shows up.
+ */
+
+#ifndef WS_MEMORY_STORE_BUFFER_H_
+#define WS_MEMORY_STORE_BUFFER_H_
+
+#include <cstdint>
+#include <string>
+#include <deque>
+#include <map>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "memory/coherence.h"
+#include "memory/main_memory.h"
+#include "network/message.h"
+
+namespace ws {
+
+struct StoreBufferConfig
+{
+    unsigned waveSlots = 4;      ///< Concurrent wave sequences.
+    unsigned psqCount = 2;       ///< Partial store queues.
+    unsigned psqEntries = 4;     ///< Capacity of each PSQ.
+    unsigned issueWidth = 4;     ///< Ops processed per cycle.
+    unsigned waveLookahead = 4;  ///< How far ahead of a thread's current
+                                 ///  wave a slot may be allocated.
+};
+
+/** A completed load, ready to be fanned out to consumer PEs. */
+struct LoadDone
+{
+    InstId inst = kInvalidInst;
+    Tag tag;
+    Value value = 0;
+};
+
+struct StoreBufferStats
+{
+    Counter requests = 0;
+    Counter loads = 0;
+    Counter stores = 0;
+    Counter memNops = 0;
+    Counter waveCompletions = 0;
+    Counter psqAllocations = 0;
+    Counter psqAppends = 0;      ///< Younger same-address ops queued.
+    Counter psqFullStalls = 0;
+    Counter noPsqStalls = 0;     ///< Store stalled: no data, no free PSQ.
+    Counter parkedRequests = 0;  ///< Arrivals with no allocatable slot.
+    Counter slotPreemptions = 0; ///< Future-wave slots re-parked so a
+                                 ///  current wave could be buffered.
+    Counter slotOccupancySum = 0;
+    Counter cycles = 0;
+};
+
+class StoreBuffer
+{
+  public:
+    StoreBuffer(const StoreBufferConfig &cfg, ClusterId self,
+                L1Controller *l1, MainMemory *mem);
+
+    /** Deliver one memory request (from a MEM pseudo-PE or the mesh). */
+    void push(const MemRequest &req, Cycle now);
+
+    /** Advance one cycle: allocate slots, drain PSQs, issue the chains. */
+    void tick(Cycle now);
+
+    /** Completed loads; the cluster drains and routes them. */
+    std::vector<LoadDone> &drainLoadDones() { return loadDones_; }
+
+    const StoreBufferStats &stats() const { return stats_; }
+
+    /** Oldest unretired wave of thread @p t (k-loop-bounding input). */
+    WaveNum
+    nextWave(ThreadId t) const
+    {
+        auto it = nextWave_.find(t);
+        return it == nextWave_.end() ? 0 : it->second;
+    }
+
+    /** True when nothing is buffered or in flight. */
+    bool idle() const;
+
+    /** Human-readable snapshot of slots/PSQs/parked state (debugging). */
+    std::string debugDump() const;
+
+  private:
+    struct WaveSlot
+    {
+        bool active = false;
+        Tag tag;
+        std::map<std::int32_t, MemRequest> pending;  ///< Arrived, unissued.
+        std::int32_t lastIssued = kSeqNone;
+        std::int32_t nextExpected = 0;
+    };
+
+    struct Psq
+    {
+        bool active = false;
+        Addr addr = 0;             ///< Word address the queue is bound to.
+        Tag waitTag;               ///< Store whose data we await.
+        std::int32_t waitSeq = 0;
+        bool dataReady = false;
+        std::deque<MemRequest> ops;
+    };
+
+    struct Outstanding
+    {
+        bool isLoad = false;
+        InstId inst = kInvalidInst;
+        Tag tag;
+        Value value = 0;
+    };
+
+    static std::uint64_t
+    dataKey(const Tag &tag, std::int32_t seq)
+    {
+        return tag.packed() * 131 + static_cast<std::uint64_t>(
+                                        static_cast<std::uint32_t>(seq));
+    }
+
+    bool tryAllocate(const MemRequest &req, bool allow_evict);
+    /** Re-park a never-issued future-wave slot to make room. */
+    bool evictFutureSlot();
+    int psqMatch(Addr addr) const;
+    int freePsq() const;
+    /** Issue one chain op; returns false when the slot must stall. */
+    bool issueOp(const MemRequest &op, Cycle now);
+    void accessL1(const MemRequest &op, bool is_load, Value value,
+                  Cycle now);
+    void drainPsqs(Cycle now, unsigned &budget);
+    void completeWave(WaveSlot &slot);
+
+    StoreBufferConfig cfg_;
+    ClusterId self_;
+    L1Controller *l1_;
+    MainMemory *mem_;
+
+    std::vector<WaveSlot> slots_;
+    std::unordered_map<std::uint64_t, int> slotIndex_;  ///< tag → slot.
+    std::unordered_map<ThreadId, WaveNum> nextWave_;
+    /** Arrivals with no allocatable slot, bucketed so far-future waves
+     *  can never block the current wave (per thread, per wave). */
+    std::unordered_map<ThreadId, std::map<WaveNum, std::vector<MemRequest>>>
+        parked_;
+    std::size_t parkedCount_ = 0;
+    std::unordered_map<std::uint64_t, Value> earlyData_;
+    std::vector<Psq> psqs_;
+    std::unordered_map<std::uint64_t, Outstanding> outstanding_;
+    std::uint64_t nextReqId_ = 0;
+    std::vector<LoadDone> loadDones_;
+    StoreBufferStats stats_;
+};
+
+} // namespace ws
+
+#endif // WS_MEMORY_STORE_BUFFER_H_

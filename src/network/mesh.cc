@@ -1,0 +1,172 @@
+#include "network/mesh.h"
+
+#include <cmath>
+
+#include "common/log.h"
+
+namespace ws {
+
+MeshNetwork::MeshNetwork(const MeshConfig &cfg, TrafficStats *traffic)
+    : cfg_(cfg), traffic_(traffic)
+{
+    if (cfg_.clusters == 0)
+        fatal("MeshNetwork: zero clusters");
+    gridW_ = static_cast<int>(
+        std::ceil(std::sqrt(static_cast<double>(cfg_.clusters))));
+    gridH_ = (static_cast<int>(cfg_.clusters) + gridW_ - 1) / gridW_;
+    routers_.resize(cfg_.clusters);
+    out_.resize(cfg_.clusters);
+}
+
+int
+MeshNetwork::hopDistance(ClusterId a, ClusterId b) const
+{
+    return std::abs(xOf(a) - xOf(b)) + std::abs(yOf(a) - yOf(b));
+}
+
+double
+MeshNetwork::meanPairDistance() const
+{
+    if (cfg_.clusters <= 1)
+        return 0.0;
+    double total = 0.0;
+    int pairs = 0;
+    for (ClusterId a = 0; a < cfg_.clusters; ++a) {
+        for (ClusterId b = 0; b < cfg_.clusters; ++b) {
+            if (a == b)
+                continue;
+            total += hopDistance(a, b);
+            ++pairs;
+        }
+    }
+    return total / pairs;
+}
+
+int
+MeshNetwork::routePort(ClusterId at, const NetMessage &msg) const
+{
+    if (at == msg.dst)
+        return msg.memTraffic ? kLocalMem : kLocalOperand;
+    // Dimension-order: X first, then Y.
+    if (xOf(msg.dst) != xOf(at))
+        return xOf(msg.dst) > xOf(at) ? kEast : kWest;
+    return yOf(msg.dst) > yOf(at) ? kSouth : kNorth;
+}
+
+ClusterId
+MeshNetwork::neighbor(ClusterId c, int port) const
+{
+    int x = xOf(c);
+    int y = yOf(c);
+    switch (port) {
+      case kNorth: --y; break;
+      case kSouth: ++y; break;
+      case kEast: ++x; break;
+      case kWest: --x; break;
+      default:
+        panic("MeshNetwork: neighbor() on local port %d", port);
+    }
+    if (x < 0 || x >= gridW_ || y < 0)
+        panic("MeshNetwork: route fell off the grid");
+    const int id = y * gridW_ + x;
+    if (id >= static_cast<int>(cfg_.clusters))
+        panic("MeshNetwork: route to nonexistent cluster %d", id);
+    return static_cast<ClusterId>(id);
+}
+
+bool
+MeshNetwork::queueFull(const Router &r, int port, int vc) const
+{
+    return r.outQueue[port][vc].size() >= cfg_.queueCapacity;
+}
+
+bool
+MeshNetwork::inject(NetMessage msg, Cycle now)
+{
+    if (msg.src >= cfg_.clusters || msg.dst >= cfg_.clusters)
+        panic("MeshNetwork: inject %u->%u outside %u clusters", msg.src,
+              msg.dst, cfg_.clusters);
+    if (msg.vc >= kNumVcs)
+        panic("MeshNetwork: bad virtual channel %u", msg.vc);
+    Router &r = routers_[msg.src];
+    const int port = routePort(msg.src, msg);
+    if (queueFull(r, port, msg.vc)) {
+        traffic_->recordCongestion();
+        return false;
+    }
+    const std::uint8_t vc = msg.vc;
+    r.outQueue[port][vc].push_back(QEntry{std::move(msg), now, now});
+    return true;
+}
+
+void
+MeshNetwork::tick(Cycle now)
+{
+    for (ClusterId c = 0; c < cfg_.clusters; ++c) {
+        Router &r = routers_[c];
+        for (int port = 0; port < kNumPorts; ++port) {
+            int moved = 0;
+            int vc = r.vcRR[port];
+            int attempts = 0;
+            while (moved < cfg_.portBandwidth && attempts < kNumVcs) {
+                auto &q = r.outQueue[port][vc];
+                if (q.empty() || q.front().stamp >= now) {
+                    // Nothing eligible on this VC; try the other.
+                    vc ^= 1;
+                    ++attempts;
+                    continue;
+                }
+                QEntry entry = q.front();
+                if (port == kLocalOperand || port == kLocalMem) {
+                    q.pop_front();
+                    traffic_->record(TrafficLevel::kInterCluster,
+                                     entry.msg.memTraffic
+                                         ? TrafficKind::kMemory
+                                         : TrafficKind::kOperand);
+                    traffic_->recordHops(static_cast<std::uint64_t>(
+                        hopDistance(entry.msg.src, entry.msg.dst)));
+                    traffic_->recordLatency(now - entry.injectedAt);
+                    out_[c].push_back(std::move(entry.msg));
+                } else {
+                    const ClusterId n = neighbor(c, port);
+                    Router &nr = routers_[n];
+                    const int nport = routePort(n, entry.msg);
+                    if (queueFull(nr, nport, vc)) {
+                        traffic_->recordCongestion();
+                        // Head-of-line blocked; try the other VC.
+                        vc ^= 1;
+                        ++attempts;
+                        continue;
+                    }
+                    q.pop_front();
+                    entry.stamp = now;
+                    nr.outQueue[nport][vc].push_back(std::move(entry));
+                }
+                ++moved;
+                attempts = 0;
+                vc ^= 1;  // Alternate VCs for fairness.
+            }
+            r.vcRR[port] = static_cast<std::uint8_t>(vc);
+        }
+    }
+}
+
+bool
+MeshNetwork::idle() const
+{
+    for (const Router &r : routers_) {
+        for (int port = 0; port < kNumPorts; ++port) {
+            for (int vc = 0; vc < kNumVcs; ++vc) {
+                if (!r.outQueue[port][vc].empty())
+                    return false;
+            }
+        }
+    }
+    for (const auto &v : out_) {
+        if (!v.empty())
+            return false;
+    }
+    return true;
+}
+
+} // namespace ws

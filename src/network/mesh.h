@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The inter-cluster grid interconnect (paper §3.4.3).
+ *
+ * One router per cluster, arranged in a 2D grid. Each router has six
+ * ports: the four cardinal directions, one local port shared by the
+ * domains' NET pseudo-PEs (operand traffic), and one local port dedicated
+ * to the store buffer and L1 cache (memory/coherence traffic). Every
+ * port moves up to two messages per cycle in each direction, and each
+ * output port holds two 8-entry queues — one per virtual channel
+ * (requests vs replies) — to prevent protocol deadlock. Routing is
+ * deterministic dimension-order (X then Y).
+ */
+
+#ifndef WS_NETWORK_MESH_H_
+#define WS_NETWORK_MESH_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/types.h"
+#include "network/message.h"
+#include "network/traffic.h"
+
+namespace ws {
+
+struct MeshConfig
+{
+    std::uint16_t clusters = 1;
+    std::uint8_t portBandwidth = 2;  ///< Messages per cycle per port.
+    std::uint8_t queueCapacity = 8;  ///< Entries per output queue per VC.
+};
+
+class MeshNetwork
+{
+  public:
+    MeshNetwork(const MeshConfig &cfg, TrafficStats *traffic);
+
+    /** Manhattan hop distance between two clusters. */
+    int hopDistance(ClusterId a, ClusterId b) const;
+
+    /** Mean pairwise hop distance over all cluster pairs. */
+    double meanPairDistance() const;
+
+    /**
+     * Offer a message to the source router. Returns false (and leaves
+     * the message with the caller) when the chosen output queue is full;
+     * the caller retries next cycle.
+     */
+    bool inject(NetMessage msg, Cycle now);
+
+    /** Advance every router by one cycle. */
+    void tick(Cycle now);
+
+    /**
+     * Messages ejected at cluster @p c since last drained. The caller
+     * takes ownership and must clear via drainDelivered().
+     */
+    std::vector<NetMessage> &delivered(ClusterId c) { return out_.at(c); }
+
+    /** True when no message is anywhere in the network. */
+    bool idle() const;
+
+    int gridWidth() const { return gridW_; }
+    int gridHeight() const { return gridH_; }
+
+  private:
+    static constexpr int kNorth = 0;
+    static constexpr int kEast = 1;
+    static constexpr int kSouth = 2;
+    static constexpr int kWest = 3;
+    static constexpr int kLocalOperand = 4;
+    static constexpr int kLocalMem = 5;
+    static constexpr int kNumPorts = 6;
+    static constexpr int kNumVcs = 2;
+
+    struct QEntry
+    {
+        NetMessage msg;
+        Cycle stamp = 0;       ///< Cycle of last hop; one hop per cycle.
+        Cycle injectedAt = 0;  ///< For latency accounting.
+    };
+
+    struct Router
+    {
+        // outQueue[port][vc]
+        std::deque<QEntry> outQueue[kNumPorts][kNumVcs];
+        std::uint8_t vcRR[kNumPorts] = {};  ///< Round-robin VC pointer.
+    };
+
+    int xOf(ClusterId c) const { return static_cast<int>(c) % gridW_; }
+    int yOf(ClusterId c) const { return static_cast<int>(c) / gridW_; }
+
+    /** Output port a message takes at router @p at toward @p dst. */
+    int routePort(ClusterId at, const NetMessage &msg) const;
+
+    ClusterId neighbor(ClusterId c, int port) const;
+
+    bool queueFull(const Router &r, int port, int vc) const;
+
+    MeshConfig cfg_;
+    TrafficStats *traffic_;
+    int gridW_;
+    int gridH_;
+    std::vector<Router> routers_;
+    std::vector<std::vector<NetMessage>> out_;
+};
+
+} // namespace ws
+
+#endif // WS_NETWORK_MESH_H_

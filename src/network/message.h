@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Message types exchanged between tiles.
+ *
+ * Three payload families travel the interconnect hierarchy:
+ *  - OperandMsg: a dataflow token heading for a consumer PE (also used
+ *    for load replies, which are ordinary tokens flagged as memory
+ *    traffic for Figure-8 accounting);
+ *  - MemRequest: a wave-ordered memory operation heading for the store
+ *    buffer that owns its thread's ordering;
+ *  - CohMsg: MESI directory-protocol traffic between L1s and the
+ *    directory/L2 home banks.
+ *
+ * Data values for coherence are not carried: wavefabric keeps
+ * architectural data in a functional backing store and uses the protocol
+ * machinery for timing and traffic only (see DESIGN.md).
+ */
+
+#ifndef WS_NETWORK_MESSAGE_H_
+#define WS_NETWORK_MESSAGE_H_
+
+#include <cstdint>
+#include <variant>
+
+#include "common/types.h"
+#include "isa/instruction.h"
+#include "isa/tag.h"
+#include "isa/token.h"
+
+namespace ws {
+
+/** A token en route to a PE, with its destination coordinate resolved. */
+struct OperandMsg
+{
+    Token token;
+    PeCoord dst;
+    bool memTraffic = false;   ///< Load reply / memory-related delivery.
+};
+
+/** The kind of wave-ordered memory operation. */
+enum class MemOpKind : std::uint8_t
+{
+    kLoad,
+    kStoreAddr,
+    kStoreData,
+    kMemNop,
+};
+
+/** One wave-ordered memory operation heading for a store buffer. */
+struct MemRequest
+{
+    MemOpKind kind = MemOpKind::kMemNop;
+    Tag tag;                     ///< Thread and wave of the operation.
+    std::int32_t seq = 0;        ///< Position in the wave's chain.
+    std::int32_t prev = kSeqNone;
+    std::int32_t next = kSeqNone;
+    Addr addr = 0;               ///< Effective address (load/storeAddr).
+    Value data = 0;              ///< Payload (storeData).
+    InstId inst = kInvalidInst;  ///< Originating instruction; loads use
+                                 ///  it to fan the reply out.
+};
+
+/** Directory MESI protocol message types. */
+enum class CohType : std::uint8_t
+{
+    kGetS,     ///< L1 → dir: read miss.
+    kGetM,     ///< L1 → dir: write miss / upgrade.
+    kPutM,     ///< L1 → dir: dirty eviction (writeback).
+    kInv,      ///< dir → L1: invalidate.
+    kInvAck,   ///< L1 → dir: invalidation done.
+    kDown,     ///< dir → owner: downgrade M/E to S.
+    kDownAck,  ///< owner → dir: downgrade done (with writeback).
+    kData,     ///< dir → L1: line granted in S.
+    kDataEx,   ///< dir → L1: line granted in E/M.
+    kPutAck,   ///< dir → L1: writeback accepted.
+};
+
+/** One coherence protocol message. */
+struct CohMsg
+{
+    CohType type = CohType::kGetS;
+    Addr line = 0;               ///< Line-aligned address.
+    ClusterId requester = 0;     ///< L1 (cluster) the transaction serves.
+};
+
+/** A message traversing the inter-cluster interconnect. */
+struct NetMessage
+{
+    ClusterId src = 0;
+    ClusterId dst = 0;
+    std::uint8_t vc = 0;         ///< 0 = request class, 1 = reply class.
+    bool memTraffic = false;     ///< Memory/coherence (vs operand data).
+    std::variant<OperandMsg, MemRequest, CohMsg> payload;
+};
+
+} // namespace ws
+
+#endif // WS_NETWORK_MESSAGE_H_

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * TimedQueue: the basic latency-modelling primitive of the simulator.
+ *
+ * Producers push items with a future ready cycle; consumers pop items
+ * whose ready cycle has arrived, in (ready cycle, insertion order) order,
+ * so simulation stays deterministic even when latencies differ.
+ */
+
+#ifndef WS_NETWORK_TIMED_QUEUE_H_
+#define WS_NETWORK_TIMED_QUEUE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ws {
+
+template <typename T>
+class TimedQueue
+{
+  public:
+    /** Enqueue @p item, becoming visible at cycle @p ready. */
+    void
+    push(T item, Cycle ready)
+    {
+        entries_.push_back(Entry{ready, seq_++, std::move(item)});
+        std::push_heap(entries_.begin(), entries_.end(), later);
+    }
+
+    /** True when an item is ready at cycle @p now. */
+    bool
+    ready(Cycle now) const
+    {
+        return !entries_.empty() && entries_.front().ready <= now;
+    }
+
+    /** Earliest ready cycle of any queued item (kCycleNever if empty). */
+    Cycle
+    nextReady() const
+    {
+        return entries_.empty() ? kCycleNever : entries_.front().ready;
+    }
+
+    /** The frontmost item (min ready cycle); queue must be non-empty. */
+    const T &peek() const { return entries_.front().item; }
+
+    /** Remove and return the frontmost ready item; ready(now) must hold. */
+    T
+    pop(Cycle now)
+    {
+        (void)now;
+        std::pop_heap(entries_.begin(), entries_.end(), later);
+        T item = std::move(entries_.back().item);
+        entries_.pop_back();
+        return item;
+    }
+
+    /** Re-enqueue an item for retry at a later cycle. */
+    void retry(T item, Cycle ready) { push(std::move(item), ready); }
+
+    std::size_t size() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+
+  private:
+    struct Entry
+    {
+        Cycle ready;
+        std::uint64_t seq;
+        T item;
+    };
+
+    /** Heap comparator: true when @p a becomes ready after @p b. */
+    static bool
+    later(const Entry &a, const Entry &b)
+    {
+        if (a.ready != b.ready)
+            return a.ready > b.ready;
+        return a.seq > b.seq;
+    }
+
+    std::vector<Entry> entries_;
+    std::uint64_t seq_ = 0;
+};
+
+} // namespace ws
+
+#endif // WS_NETWORK_TIMED_QUEUE_H_

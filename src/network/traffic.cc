@@ -1,0 +1,65 @@
+#include "network/traffic.h"
+
+namespace ws {
+
+double
+TrafficStats::fractionAtLevel(TrafficLevel level) const
+{
+    const Counter t = total();
+    if (t == 0)
+        return 0.0;
+    Counter at_level = 0;
+    for (std::size_t k = 0;
+         k < static_cast<std::size_t>(TrafficKind::kNumKinds); ++k) {
+        at_level += counts_[idx(level, static_cast<TrafficKind>(k))];
+    }
+    return static_cast<double>(at_level) / static_cast<double>(t);
+}
+
+double
+TrafficStats::operandFraction() const
+{
+    const Counter t = total();
+    if (t == 0)
+        return 0.0;
+    Counter operand = 0;
+    for (std::size_t l = 0;
+         l < static_cast<std::size_t>(TrafficLevel::kNumLevels); ++l) {
+        operand += counts_[idx(static_cast<TrafficLevel>(l),
+                               TrafficKind::kOperand)];
+    }
+    return static_cast<double>(operand) / static_cast<double>(t);
+}
+
+void
+TrafficStats::report(StatReport &report) const
+{
+    for (std::size_t l = 0;
+         l < static_cast<std::size_t>(TrafficLevel::kNumLevels); ++l) {
+        const auto level = static_cast<TrafficLevel>(l);
+        const std::string base =
+            std::string("traffic.") + trafficLevelName(level);
+        report.add(base + ".operand", count(level, TrafficKind::kOperand));
+        report.add(base + ".memory", count(level, TrafficKind::kMemory));
+    }
+    report.add("traffic.total", total());
+    report.add("traffic.operand_fraction", operandFraction());
+    report.add("traffic.mean_hops", meanHops());
+    report.add("traffic.mean_latency", meanLatency());
+    report.add("traffic.congestion_events", congestionEvents());
+}
+
+const char *
+trafficLevelName(TrafficLevel level)
+{
+    switch (level) {
+      case TrafficLevel::kIntraPod: return "intra_pod";
+      case TrafficLevel::kIntraDomain: return "intra_domain";
+      case TrafficLevel::kIntraCluster: return "intra_cluster";
+      case TrafficLevel::kInterCluster: return "inter_cluster";
+      case TrafficLevel::kNumLevels: break;
+    }
+    return "unknown";
+}
+
+} // namespace ws

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Traffic accounting for the interconnect hierarchy (paper Figure 8).
+ *
+ * Every message delivery is recorded once, at the *highest* hierarchy
+ * level it traverses, split into operand-data vs memory/coherence
+ * traffic. Message latency and hop distance histograms support the
+ * Section 4.3 scalability analysis.
+ */
+
+#ifndef WS_NETWORK_TRAFFIC_H_
+#define WS_NETWORK_TRAFFIC_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace ws {
+
+/** Highest interconnect level a message traverses. */
+enum class TrafficLevel : std::uint8_t
+{
+    kIntraPod,      ///< PE to itself or its pod partner.
+    kIntraDomain,   ///< Between pods of one domain.
+    kIntraCluster,  ///< Between domains of one cluster.
+    kInterCluster,  ///< Over the grid network.
+    kNumLevels
+};
+
+/** Operand data vs memory/coherence traffic. */
+enum class TrafficKind : std::uint8_t
+{
+    kOperand,
+    kMemory,
+    kNumKinds
+};
+
+class TrafficStats
+{
+  public:
+    TrafficStats() : hopHist_(16, 1), latencyHist_(32, 4) {}
+
+    /** Record one delivered message. */
+    void
+    record(TrafficLevel level, TrafficKind kind)
+    {
+        ++counts_[idx(level, kind)];
+    }
+
+    /** Record @p n messages at once (aggregated PE-level counts). */
+    void
+    recordBulk(TrafficLevel level, TrafficKind kind, Counter n)
+    {
+        counts_[idx(level, kind)] += n;
+    }
+
+    /** Record the hop distance of one inter-cluster message. */
+    void recordHops(std::uint64_t hops) { hopHist_.sample(hops); }
+
+    /** Record end-to-end delivery latency of one message. */
+    void recordLatency(Cycle lat) { latencyHist_.sample(lat); }
+
+    /** Count one cycle in which a full queue blocked a transfer. */
+    void recordCongestion() { ++congestionEvents_; }
+
+    Counter
+    count(TrafficLevel level, TrafficKind kind) const
+    {
+        return counts_[idx(level, kind)];
+    }
+
+    /** Total messages across all levels and kinds. */
+    Counter
+    total() const
+    {
+        Counter t = 0;
+        for (Counter c : counts_)
+            t += c;
+        return t;
+    }
+
+    /** Fraction of all messages at the given level (0 when no traffic). */
+    double fractionAtLevel(TrafficLevel level) const;
+
+    /** Fraction of all messages that are operand data. */
+    double operandFraction() const;
+
+    double meanHops() const { return hopHist_.mean(); }
+    double meanLatency() const { return latencyHist_.mean(); }
+    Counter congestionEvents() const { return congestionEvents_; }
+
+    /** Export everything into @p report under prefix "traffic.". */
+    void report(StatReport &report) const;
+
+  private:
+    static std::size_t
+    idx(TrafficLevel level, TrafficKind kind)
+    {
+        return static_cast<std::size_t>(level) *
+                   static_cast<std::size_t>(TrafficKind::kNumKinds) +
+               static_cast<std::size_t>(kind);
+    }
+
+    std::array<Counter,
+               static_cast<std::size_t>(TrafficLevel::kNumLevels) *
+                   static_cast<std::size_t>(TrafficKind::kNumKinds)>
+        counts_{};
+    Histogram hopHist_;
+    Histogram latencyHist_;
+    Counter congestionEvents_ = 0;
+};
+
+/** Human-readable level name ("intra_pod", ...). */
+const char *trafficLevelName(TrafficLevel level);
+
+} // namespace ws
+
+#endif // WS_NETWORK_TRAFFIC_H_

@@ -1,0 +1,66 @@
+#include "pe/instruction_store.h"
+
+#include "common/log.h"
+
+namespace ws {
+
+InstructionStore::InstructionStore(unsigned capacity) : capacity_(capacity)
+{
+    if (capacity == 0)
+        fatal("InstructionStore: zero capacity");
+}
+
+void
+InstructionStore::assignHome(const std::vector<InstId> &home)
+{
+    localIdx_.clear();
+    bound_.clear();
+    for (std::size_t i = 0; i < home.size(); ++i) {
+        if (!localIdx_.emplace(home[i],
+                               static_cast<std::uint32_t>(i)).second) {
+            panic("InstructionStore: instruction %u homed twice", home[i]);
+        }
+        if (bound_.size() < capacity_)
+            bound_.emplace(home[i], ++clock_);
+    }
+}
+
+bool
+InstructionStore::isBound(InstId inst) const
+{
+    return bound_.count(inst) != 0;
+}
+
+bool
+InstructionStore::access(InstId inst)
+{
+    auto it = bound_.find(inst);
+    if (it != bound_.end()) {
+        ++stats_.hits;
+        it->second = ++clock_;
+        return true;
+    }
+    if (localIdx_.count(inst) == 0)
+        panic("InstructionStore: access to non-home instruction %u", inst);
+    ++stats_.misses;
+    return false;
+}
+
+void
+InstructionStore::bind(InstId inst)
+{
+    if (bound_.count(inst) != 0)
+        return;  // A concurrent miss already bound it.
+    if (bound_.size() >= capacity_) {
+        auto victim = bound_.begin();
+        for (auto it = bound_.begin(); it != bound_.end(); ++it) {
+            if (it->second < victim->second)
+                victim = it;
+        }
+        bound_.erase(victim);
+        ++stats_.evictions;
+    }
+    bound_.emplace(inst, ++clock_);
+}
+
+} // namespace ws

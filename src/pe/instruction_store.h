@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The per-PE instruction store: a V-entry cache of decoded instructions
+ * (paper §3.1, §4.2).
+ *
+ * Placement assigns every static instruction a home PE; the instruction
+ * store dynamically binds up to V of its home instructions at a time.
+ * When a token arrives for an unbound instruction, the store takes an
+ * *instruction miss*: the decoded instruction is fetched (on average 3x
+ * the cost of a matching-table miss) and the least-recently-used bound
+ * instruction is evicted. When a PE's home set fits in V, every
+ * instruction is bound up front and no misses ever occur.
+ */
+
+#ifndef WS_PE_INSTRUCTION_STORE_H_
+#define WS_PE_INSTRUCTION_STORE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace ws {
+
+struct InstructionStoreStats
+{
+    Counter hits = 0;
+    Counter misses = 0;
+    Counter evictions = 0;
+};
+
+class InstructionStore
+{
+  public:
+    explicit InstructionStore(unsigned capacity);
+
+    /**
+     * Declare the home set. Instructions are identified thereafter by
+     * their stable local index (position in @p home), which also feeds
+     * the matching-table hash. The first V are pre-bound.
+     */
+    void assignHome(const std::vector<InstId> &home);
+
+    /** True when @p inst is homed at this PE. */
+    bool isHome(InstId inst) const { return localIdx_.count(inst) != 0; }
+
+    /** Stable PE-local index of a home instruction. */
+    std::uint32_t localIdx(InstId inst) const { return localIdx_.at(inst); }
+
+    /** True when @p inst is currently bound (no miss needed). */
+    bool isBound(InstId inst) const;
+
+    /**
+     * Record a use of @p inst. Returns true on a hit; on a miss the
+     * caller must delay the access by the miss latency and call bind()
+     * when the refill completes.
+     */
+    bool access(InstId inst);
+
+    /** Complete a refill: bind @p inst, evicting the LRU instruction. */
+    void bind(InstId inst);
+
+    unsigned capacity() const { return capacity_; }
+    std::size_t homeSize() const { return localIdx_.size(); }
+    std::size_t boundCount() const { return bound_.size(); }
+
+    const InstructionStoreStats &stats() const { return stats_; }
+
+  private:
+    unsigned capacity_;
+    std::unordered_map<InstId, std::uint32_t> localIdx_;
+    std::unordered_map<InstId, std::uint64_t> bound_;  ///< inst → LRU stamp.
+    std::uint64_t clock_ = 0;
+    InstructionStoreStats stats_;
+};
+
+} // namespace ws
+
+#endif // WS_PE_INSTRUCTION_STORE_H_

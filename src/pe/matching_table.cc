@@ -1,0 +1,127 @@
+#include "pe/matching_table.h"
+
+#include "common/log.h"
+
+namespace ws {
+
+MatchingTable::MatchingTable(unsigned entries, unsigned ways, unsigned k)
+    : ways_(ways), k_(k == 0 ? 1 : k)
+{
+    if (entries == 0 || ways == 0 || entries % ways != 0)
+        fatal("MatchingTable: bad geometry (%u entries, %u ways)", entries,
+              ways);
+    sets_ = entries / ways;
+    rows_.resize(entries);
+}
+
+std::size_t
+MatchingTable::setOf(std::uint32_t local_idx, const Tag &tag) const
+{
+    // The matching-table equation hash: I*k + (wave mod k), perturbed by
+    // the thread id so threads sharing a PE spread across sets. The
+    // plain modulo preserves the paper's zero-miss guarantee at M = V*k.
+    const std::uint64_t h = static_cast<std::uint64_t>(local_idx) * k_ +
+                            (tag.wave % k_) +
+                            static_cast<std::uint64_t>(tag.thread) * 7;
+    return static_cast<std::size_t>(h % sets_);
+}
+
+bool
+MatchingTable::mergeToken(Row &row, const Token &token)
+{
+    if (token.dst.port >= 3)
+        panic("MatchingTable: port %u out of range", token.dst.port);
+    row.ops[token.dst.port] = token.value;
+    row.present |= static_cast<std::uint8_t>(1u << token.dst.port);
+    const std::uint8_t full_mask =
+        static_cast<std::uint8_t>((1u << row.arity) - 1);
+    return (row.present & full_mask) == full_mask;
+}
+
+MatchingTable::InsertResult
+MatchingTable::insert(const Token &token, std::uint8_t arity,
+                      std::uint32_t local_idx)
+{
+    ++stats_.inserts;
+    if (arity == 0 || arity > 3)
+        panic("MatchingTable: arity %u out of range", arity);
+
+    const std::uint64_t key = keyOf(token.dst.inst, token.tag);
+    InsertResult result;
+
+    // If this instance already spilled to the in-memory table, the
+    // lookup misses the cache and matches in memory.
+    auto of_it = overflow_.find(key);
+    if (of_it != overflow_.end()) {
+        ++stats_.misses;
+        Row &row = of_it->second;
+        if (mergeToken(row, token)) {
+            ++stats_.overflowFires;
+            result.fired = true;
+            result.fire.inst = row.inst;
+            result.fire.tag = row.tag;
+            result.fire.ops[0] = row.ops[0];
+            result.fire.ops[1] = row.ops[1];
+            result.fire.ops[2] = row.ops[2];
+            result.fire.fromOverflow = true;
+            overflow_.erase(of_it);
+        }
+        return result;
+    }
+
+    Row *set = &rows_[setOf(local_idx, token.tag) * ways_];
+    Row *row = nullptr;
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (set[w].valid && set[w].inst == token.dst.inst &&
+            set[w].tag == token.tag) {
+            row = &set[w];
+            break;
+        }
+    }
+
+    if (row == nullptr) {
+        // Allocate: a free way, else evict the LRU row to memory.
+        for (unsigned w = 0; w < ways_; ++w) {
+            if (!set[w].valid) {
+                row = &set[w];
+                break;
+            }
+        }
+        if (row == nullptr) {
+            Row *victim = &set[0];
+            for (unsigned w = 1; w < ways_; ++w) {
+                if (set[w].lru < victim->lru)
+                    victim = &set[w];
+            }
+            ++stats_.misses;
+            ++stats_.evictedRows;
+            overflow_.emplace(keyOf(victim->inst, victim->tag), *victim);
+            victim->valid = false;
+            --validCount_;
+            row = victim;
+        }
+        row->valid = true;
+        ++validCount_;
+        row->inst = token.dst.inst;
+        row->tag = token.tag;
+        row->arity = arity;
+        row->present = 0;
+    }
+
+    row->lru = ++clock_;
+    if (mergeToken(*row, token)) {
+        ++stats_.fires;
+        result.fired = true;
+        result.fire.inst = row->inst;
+        result.fire.tag = row->tag;
+        result.fire.ops[0] = row->ops[0];
+        result.fire.ops[1] = row->ops[1];
+        result.fire.ops[2] = row->ops[2];
+        result.fire.fromOverflow = false;
+        row->valid = false;
+        --validCount_;
+    }
+    return result;
+}
+
+} // namespace ws

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The matching table: a banked, set-associative cache of waiting operand
+ * tokens (paper §3.2).
+ *
+ * Dynamic dataflow requires matching an unbounded number of in-flight
+ * instruction instances against a finite structure. WaveScalar (like
+ * Monsoon and the Manchester machine before it) treats the physical
+ * matching table as a *cache* of a conceptually-unbounded in-memory
+ * matching table. Each row holds up to three operands for one
+ * (instruction, tag) instance plus tracker-board state (which operands
+ * are present).
+ *
+ * On a set conflict the least-recently-used incomplete row is evicted to
+ * the overflow (in-memory) table; tokens whose instance lives in the
+ * overflow table match there and, when complete, fire at a latency
+ * penalty — a matching-table miss. This guarantees forward progress
+ * under any amount of oversubscription.
+ *
+ * The row hash is the paper's matching-table-equation hash,
+ * I*k + (wave mod k), which guarantees zero misses when M = V*k.
+ */
+
+#ifndef WS_PE_MATCHING_TABLE_H_
+#define WS_PE_MATCHING_TABLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "isa/tag.h"
+#include "isa/token.h"
+
+namespace ws {
+
+struct MatchingTableStats
+{
+    Counter inserts = 0;
+    Counter fires = 0;            ///< Matches completed in the cache.
+    Counter misses = 0;           ///< Conflict evictions + overflow hits.
+    Counter overflowFires = 0;    ///< Matches completed in memory.
+    Counter evictedRows = 0;
+    Counter occupancySum = 0;     ///< Valid rows, summed per cycle.
+};
+
+class MatchingTable
+{
+  public:
+    /** A matched instance ready for dispatch. */
+    struct Fire
+    {
+        InstId inst = kInvalidInst;
+        Tag tag;
+        Value ops[3] = {0, 0, 0};
+        bool fromOverflow = false;  ///< Completed in the in-memory table.
+    };
+
+    /** Result of inserting one token. */
+    struct InsertResult
+    {
+        bool fired = false;
+        Fire fire;   ///< Valid when fired.
+    };
+
+    /**
+     * @param entries total rows M, @param ways set associativity,
+     * @param k the k-loop-bounding hash parameter.
+     */
+    MatchingTable(unsigned entries, unsigned ways, unsigned k);
+
+    /**
+     * Insert @p token for an instance needing @p arity operands, where
+     * the owning instruction has PE-local index @p local_idx.
+     */
+    InsertResult insert(const Token &token, std::uint8_t arity,
+                        std::uint32_t local_idx);
+
+    /** Per-cycle bookkeeping (occupancy statistics). */
+    void tickStats() { stats_.occupancySum += validCount_; }
+
+    unsigned entries() const { return static_cast<unsigned>(rows_.size()); }
+    unsigned ways() const { return ways_; }
+    unsigned k() const { return k_; }
+    std::size_t validRows() const { return validCount_; }
+    std::size_t overflowSize() const { return overflow_.size(); }
+
+    const MatchingTableStats &stats() const { return stats_; }
+
+  private:
+    struct Row
+    {
+        bool valid = false;
+        InstId inst = kInvalidInst;
+        Tag tag;
+        std::uint8_t arity = 0;
+        std::uint8_t present = 0;
+        Value ops[3] = {0, 0, 0};
+        std::uint64_t lru = 0;
+    };
+
+    std::size_t setOf(std::uint32_t local_idx, const Tag &tag) const;
+
+    static std::uint64_t
+    keyOf(InstId inst, const Tag &tag)
+    {
+        return (static_cast<std::uint64_t>(inst) << 48) ^ tag.packed();
+    }
+
+    /** Merge a token into @p row; returns true when the row completes. */
+    static bool mergeToken(Row &row, const Token &token);
+
+    unsigned ways_;
+    unsigned k_;
+    unsigned sets_;
+    std::uint64_t clock_ = 0;
+    std::size_t validCount_ = 0;
+    std::vector<Row> rows_;   ///< sets_ * ways_, set-major.
+    std::unordered_map<std::uint64_t, Row> overflow_;
+    MatchingTableStats stats_;
+};
+
+} // namespace ws
+
+#endif // WS_PE_MATCHING_TABLE_H_

@@ -1,0 +1,272 @@
+#include "pe/pe.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace ws {
+
+ProcessingElement::ProcessingElement(const PeConfig &cfg,
+                                     const DataflowGraph *graph,
+                                     const Placement *placement,
+                                     PeCoord self)
+    : cfg_(cfg), graph_(graph), place_(placement), self_(self),
+      match_(cfg.matchingEntries, cfg.matchingWays, cfg.k),
+      store_(cfg.instStoreEntries)
+{}
+
+void
+ProcessingElement::assignHome(const std::vector<InstId> &home)
+{
+    store_.assignHome(home);
+}
+
+bool
+ProcessingElement::claimBank(Cycle now)
+{
+    if (acceptCycle_ != now) {
+        acceptCycle_ = now;
+        acceptsThisCycle_ = 0;
+    }
+    if (acceptsThisCycle_ >= cfg_.matchingBanks)
+        return false;
+    ++acceptsThisCycle_;
+    return true;
+}
+
+bool
+ProcessingElement::tryAccept(const Token &token, Cycle now)
+{
+    if (!claimBank(now)) {
+        ++stats_.rejected;
+        return false;
+    }
+    ++stats_.accepted;
+    // MATCH next cycle, DISPATCH the one after.
+    insertToken(token, now, 2);
+    return true;
+}
+
+void
+ProcessingElement::deliverBypass(const Token &token, Cycle now)
+{
+    ++stats_.bypassDeliveries;
+    if (!claimBank(now)) {
+        // All bank write ports taken this cycle: the token slips a
+        // cycle rather than bouncing back to its producer.
+        ++stats_.bankConflicts;
+        pendingInsert_.push(token, now + 1);
+        return;
+    }
+    insertToken(token, now, 1);
+}
+
+void
+ProcessingElement::insertToken(const Token &token, Cycle now,
+                               Cycle dispatch_delay)
+{
+    // k-loop bounding: tokens beyond the thread's wave window wait for
+    // older waves to retire.
+    if (window_ != nullptr && !window_->admits(token.tag)) {
+        ++stats_.waveThrottled;
+        waveWait_.push(token, now + 4);
+        return;
+    }
+    // Instruction store: the decoded instruction must be bound before
+    // its operands can be matched.
+    if (!store_.access(token.dst.inst)) {
+        ++stats_.instMissWaits;
+        missWait_.push(token, now + cfg_.instMissLatency);
+        return;
+    }
+    const std::uint8_t arity = graph_->inst(token.dst.inst).arity();
+    MatchingTable::InsertResult res =
+        match_.insert(token, arity, store_.localIdx(token.dst.inst));
+    if (res.fired) {
+        // Matches completed in the in-memory table pay the miss latency.
+        const Cycle delay = res.fire.fromOverflow
+                                ? cfg_.overflowRetryLatency
+                                : dispatch_delay;
+        sched_.push(res.fire, now + delay);
+    }
+}
+
+void
+ProcessingElement::fanOut(const Instruction &inst, InstId inst_id,
+                          int out_side, const Tag &tag, Value value,
+                          OutputEntry &entry, Cycle now,
+                          Cycle result_delay)
+{
+    (void)inst_id;
+    for (const PortRef &ref : inst.outs[out_side]) {
+        const Token token{tag, ref, value};
+        const PeCoord dst = place_->home(ref.inst);
+        if (dst == self_) {
+            // Self handoff: speculative scheduling makes the consumer
+            // dispatchable on the next cycle — but the insert still
+            // needs a matching-bank write port.
+            ++stats_.bypassDeliveries;
+            if (!claimBank(now)) {
+                ++stats_.bankConflicts;
+                pendingInsert_.push(token, now + 1);
+            } else {
+                insertToken(token, now, result_delay);
+            }
+            continue;
+        }
+        if (cfg_.podBypass && partner_ != nullptr &&
+            dst == partner_->self()) {
+            partner_->deliverBypass(token, now);
+            continue;
+        }
+        entry.tokens.push_back(token);
+    }
+}
+
+void
+ProcessingElement::execute(const MatchingTable::Fire &fire, Cycle now)
+{
+    const InstId id = fire.inst;
+    const Tag tag = fire.tag;
+    Operands ops{fire.ops[0], fire.ops[1], fire.ops[2]};
+
+    const Instruction &inst = graph_->inst(id);
+    const OpcodeInfo &info = opcodeInfo(inst.op);
+
+    ++stats_.executed;
+    if (info.useful)
+        ++stats_.usefulExecuted;
+
+    // Iterative (non-pipelined) integer divide occupies EXECUTE.
+    if (!info.floatingPoint && info.latency > 1)
+        execBusyUntil_ = now + info.latency - 1;
+    const Cycle result_delay = info.latency;
+
+    if (inst.op == Opcode::kSink) {
+        ++stats_.sinkTokens;
+        return;
+    }
+
+    OutputEntry entry;
+    if (info.memory) {
+        MemRequest req;
+        req.tag = tag;
+        req.inst = id;
+        req.seq = inst.mem.seq;
+        req.prev = inst.mem.prev;
+        req.next = inst.mem.next;
+        switch (inst.op) {
+          case Opcode::kLoad:
+            req.kind = MemOpKind::kLoad;
+            req.addr = static_cast<Addr>(evaluate(inst.op, inst.imm, ops));
+            break;
+          case Opcode::kStoreAddr:
+            req.kind = MemOpKind::kStoreAddr;
+            req.addr = static_cast<Addr>(evaluate(inst.op, inst.imm, ops));
+            break;
+          case Opcode::kStoreData:
+            req.kind = MemOpKind::kStoreData;
+            req.data = ops[0];
+            break;
+          case Opcode::kMemNop:
+            req.kind = MemOpKind::kMemNop;
+            break;
+          default:
+            panic("PE: bad memory opcode");
+        }
+        entry.hasMem = true;
+        entry.mem = req;
+        output_.push(std::move(entry), now + result_delay);
+        return;
+    }
+
+    const Value value = evaluate(inst.op, inst.imm, ops);
+    int side = 0;
+    Tag out_tag = tag;
+    if (inst.op == Opcode::kSteer)
+        side = ops[1] != 0 ? 0 : 1;
+    else if (inst.op == Opcode::kWaveAdvance)
+        out_tag = tag.nextWave();
+
+    fanOut(inst, id, side, out_tag, value, entry, now, result_delay);
+    if (!entry.tokens.empty())
+        output_.push(std::move(entry), now + result_delay);
+}
+
+void
+ProcessingElement::tick(Cycle now)
+{
+    // Re-admit wave-throttled tokens as the window slides.
+    for (int i = 0; i < 8 && waveWait_.ready(now); ++i) {
+        const Token &head = waveWait_.peek();
+        if (window_ != nullptr && !window_->admits(head.tag)) {
+            Token token = waveWait_.pop(now);
+            waveWait_.push(token, now + 4);
+            break;
+        }
+        insertToken(waveWait_.pop(now), now, 2);
+    }
+
+    // Bank-deferred bypass tokens get first claim on this cycle's
+    // write ports.
+    while (pendingInsert_.ready(now)) {
+        if (!claimBank(now)) {
+            // Still saturated; the queue retries next cycle.
+            Token token = pendingInsert_.pop(now);
+            ++stats_.bankConflicts;
+            pendingInsert_.push(token, now + 1);
+            break;
+        }
+        insertToken(pendingInsert_.pop(now), now, 1);
+    }
+
+    // Complete instruction-store refills (up to the L1-like port width).
+    for (int i = 0; i < 4 && missWait_.ready(now); ++i) {
+        Token token = missWait_.pop(now);
+        store_.bind(token.dst.inst);
+        insertToken(token, now, 2);
+    }
+
+    match_.tickStats();
+
+    // DISPATCH + EXECUTE.
+    if (execBusyUntil_ > now)
+        return;
+    if (!sched_.ready(now))
+        return;
+    if (output_.size() >= cfg_.outputQueueEntries) {
+        ++stats_.outputStalls;
+        return;
+    }
+    const MatchingTable::Fire &head = sched_.peek();
+    const Instruction &inst = graph_->inst(head.inst);
+    if (opcodeInfo(inst.op).floatingPoint && fpu_ != nullptr &&
+        !fpu_->tryIssue(now)) {
+        ++stats_.fpuStalls;
+        return;
+    }
+    MatchingTable::Fire fire = sched_.pop(now);
+    ++stats_.busyCycles;
+    execute(fire, now);
+}
+
+bool
+ProcessingElement::idle() const
+{
+    return sched_.empty() && missWait_.empty() && output_.empty() &&
+           pendingInsert_.empty() && waveWait_.empty();
+}
+
+Cycle
+ProcessingElement::nextEventCycle() const
+{
+    Cycle next = kCycleNever;
+    next = std::min(next, sched_.nextReady());
+    next = std::min(next, missWait_.nextReady());
+    next = std::min(next, output_.nextReady());
+    next = std::min(next, pendingInsert_.nextReady());
+    next = std::min(next, waveWait_.nextReady());
+    return next;
+}
+
+} // namespace ws

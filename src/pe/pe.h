@@ -1,0 +1,212 @@
+/**
+ * @file
+ * The processing element: WaveScalar's execution tile (paper §3.2 and
+ * the appendix).
+ *
+ * The five RTL pipeline stages map onto the model as follows:
+ *  - INPUT: tryAccept() — up to matchingBanks operand arrivals per
+ *    cycle; excess arrivals are rejected and the sender retries.
+ *  - MATCH: insertion into the matching table; a completed row enters
+ *    the scheduling queue.
+ *  - DISPATCH / EXECUTE: tick() dispatches one ready row per cycle and
+ *    executes it (integer ops single-cycle — the 20 FO4 clock is set by
+ *    the pod-bypassed multiplier — divides iterative, FP on the shared
+ *    per-domain pipelined FPU).
+ *  - OUTPUT: one result per cycle leaves through a 4-entry output queue
+ *    onto the PE's dedicated intra-domain result bus.
+ *
+ * Producer-consumer handoffs to this PE or its pod partner bypass
+ * MATCH/DISPATCH via speculative scheduling, giving dependent execution
+ * on consecutive cycles (the appendix example).
+ */
+
+#ifndef WS_PE_PE_H_
+#define WS_PE_PE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "isa/exec.h"
+#include "isa/graph.h"
+#include "network/message.h"
+#include "network/timed_queue.h"
+#include "pe/instruction_store.h"
+#include "pe/matching_table.h"
+#include "place/placement.h"
+
+namespace ws {
+
+struct PeConfig
+{
+    unsigned matchingEntries = 128;
+    unsigned matchingWays = 2;
+    unsigned matchingBanks = 4;     ///< Operand arrivals accepted/cycle.
+    unsigned instStoreEntries = 128;
+    unsigned outputQueueEntries = 4;
+    unsigned k = 4;                 ///< k-loop-bounding hash parameter.
+    Cycle overflowRetryLatency = 24;  ///< In-memory matching round trip.
+    Cycle instMissLatency = 72;     ///< ~3x a matching-table miss.
+    unsigned overflowReinsertRate = 2;
+    bool podBypass = true;          ///< 2-PE pod coupling (ablation knob).
+};
+
+struct PeStats
+{
+    Counter executed = 0;
+    Counter usefulExecuted = 0;
+    Counter accepted = 0;
+    Counter rejected = 0;          ///< INPUT bandwidth rejections.
+    Counter bypassDeliveries = 0;
+    Counter bankConflicts = 0;     ///< Bypass inserts deferred by bank
+                                   ///  write-port limits.
+    Counter waveThrottled = 0;     ///< Tokens deferred by k-loop bounding.
+    Counter overflowReinserts = 0;
+    Counter instMissWaits = 0;
+    Counter fpuStalls = 0;
+    Counter outputStalls = 0;
+    Counter sinkTokens = 0;
+    Counter busyCycles = 0;
+};
+
+/**
+ * k-loop-bounding wave window (paper §4.2).
+ *
+ * The WaveScalar compiler bounds each loop so at most k iterations are
+ * in flight; we model the resulting admission control centrally: tokens
+ * of thread t may enter a matching table only for waves in
+ * [base(t), base(t)+k), where base(t) is the thread's oldest
+ * unretired wave (tracked by its store buffer, since every wave carries
+ * a memory chain). The processor refreshes the bases once per cycle.
+ */
+struct WaveWindow
+{
+    unsigned k = 4;
+    std::vector<WaveNum> base;
+
+    bool
+    admits(const Tag &tag) const
+    {
+        if (tag.thread >= base.size())
+            return true;
+        return tag.wave < base[tag.thread] + k;
+    }
+};
+
+/** The shared, pipelined per-domain floating-point unit. */
+class DomainFpu
+{
+  public:
+    /** Claim this cycle's FPU issue slot; false when already taken. */
+    bool
+    tryIssue(Cycle now)
+    {
+        if (lastIssue_ == now)
+            return false;
+        lastIssue_ = now;
+        ++issued_;
+        return true;
+    }
+
+    Counter issued() const { return issued_; }
+
+  private:
+    Cycle lastIssue_ = kCycleNever;
+    Counter issued_ = 0;
+};
+
+/** One executed instruction's outbound work, drained by the domain. */
+struct OutputEntry
+{
+    std::vector<Token> tokens;   ///< Consumers beyond the pod.
+    bool hasMem = false;
+    MemRequest mem;
+};
+
+class ProcessingElement
+{
+  public:
+    ProcessingElement(const PeConfig &cfg, const DataflowGraph *graph,
+                      const Placement *placement, PeCoord self);
+
+    /** Instructions homed at this PE (from placement). */
+    void assignHome(const std::vector<InstId> &home);
+
+    void setPodPartner(ProcessingElement *partner) { partner_ = partner; }
+    void setFpu(DomainFpu *fpu) { fpu_ = fpu; }
+    void setWaveWindow(const WaveWindow *w) { window_ = w; }
+
+    /**
+     * INPUT stage: offer one operand token at cycle @p now. Returns
+     * false when this cycle's arrival bandwidth is exhausted; the
+     * caller must retry later.
+     */
+    bool tryAccept(const Token &token, Cycle now);
+
+    /**
+     * Pod-bypass delivery: skips the INPUT arbitration but still
+     * consumes a matching-table bank write port; over-budget tokens slip
+     * by a cycle instead of bouncing to the sender.
+     */
+    void deliverBypass(const Token &token, Cycle now);
+
+    /** DISPATCH + EXECUTE: one instruction per cycle. */
+    void tick(Cycle now);
+
+    /** OUTPUT stage: true when a result is ready to leave. */
+    bool hasOutput(Cycle now) const { return output_.ready(now); }
+    OutputEntry popOutput(Cycle now) { return output_.pop(now); }
+
+    PeCoord self() const { return self_; }
+    const PeStats &stats() const { return stats_; }
+    const MatchingTable &matching() const { return match_; }
+    const InstructionStore &instStore() const { return store_; }
+
+    /** True when no token, row, or result is anywhere in this PE. */
+    bool idle() const;
+
+    /** Earliest cycle at which any queued work becomes ready. */
+    Cycle nextEventCycle() const;
+
+    /** Queue occupancies (debugging). */
+    std::size_t waveWaitSize() const { return waveWait_.size(); }
+    std::size_t schedSize() const { return sched_.size(); }
+
+  private:
+    /** Claim one matching-bank write port for this cycle. */
+    bool claimBank(Cycle now);
+
+    /** MATCH: route a token into the matching table (or miss paths). */
+    void insertToken(const Token &token, Cycle now, Cycle dispatch_delay);
+    void execute(const MatchingTable::Fire &fire, Cycle now);
+    void fanOut(const Instruction &inst, InstId inst_id, int out_side,
+                const Tag &tag, Value value, OutputEntry &entry,
+                Cycle now, Cycle result_delay);
+
+    PeConfig cfg_;
+    const DataflowGraph *graph_;
+    const Placement *place_;
+    PeCoord self_;
+    ProcessingElement *partner_ = nullptr;
+    DomainFpu *fpu_ = nullptr;
+    const WaveWindow *window_ = nullptr;
+
+    MatchingTable match_;
+    InstructionStore store_;
+    TimedQueue<MatchingTable::Fire> sched_;  ///< Matches awaiting dispatch.
+    TimedQueue<Token> missWait_;      ///< Tokens awaiting instruction bind.
+    TimedQueue<Token> pendingInsert_; ///< Bypass tokens past bank limits.
+    TimedQueue<Token> waveWait_;      ///< Tokens beyond the wave window.
+    TimedQueue<OutputEntry> output_;
+
+    Cycle acceptCycle_ = kCycleNever;
+    unsigned acceptsThisCycle_ = 0;
+    Cycle execBusyUntil_ = 0;
+
+    PeStats stats_;
+};
+
+} // namespace ws
+
+#endif // WS_PE_PE_H_

@@ -1,0 +1,366 @@
+#include "place/placement.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <vector>
+
+#include "common/log.h"
+#include "common/rng.h"
+
+namespace ws {
+
+const char *
+placementPolicyName(PlacementPolicy policy)
+{
+    switch (policy) {
+      case PlacementPolicy::kDepthFirst: return "depth-first";
+      case PlacementPolicy::kBreadthFirst: return "breadth-first";
+      case PlacementPolicy::kRandom: return "random";
+      case PlacementPolicy::kDepthFirstRefined:
+        return "depth-first+refine";
+    }
+    return "unknown";
+}
+
+std::vector<std::uint32_t>
+Placement::loadPerPe() const
+{
+    std::vector<std::uint32_t> load(geom_.totalPes(), 0);
+    for (const PeCoord &pe : homes_) {
+        const std::size_t idx =
+            (static_cast<std::size_t>(pe.cluster) * geom_.domainsPerCluster +
+             pe.domain) *
+                geom_.pesPerDomain +
+            pe.pe;
+        ++load[idx];
+    }
+    return load;
+}
+
+double
+Placement::edgeLocality(const DataflowGraph &graph, int level) const
+{
+    std::uint64_t edges = 0;
+    std::uint64_t local = 0;
+    for (InstId i = 0; i < graph.size(); ++i) {
+        const PeCoord src = home(i);
+        for (int side = 0; side < 2; ++side) {
+            for (const PortRef &out : graph.inst(i).outs[side]) {
+                const PeCoord dst = home(out.inst);
+                ++edges;
+                bool is_local = false;
+                switch (level) {
+                  case 0:  // Same PE.
+                    is_local = src == dst;
+                    break;
+                  case 1:  // Same pod.
+                    is_local = src.sameDomain(dst) &&
+                               src.pe / 2 == dst.pe / 2;
+                    break;
+                  case 2:  // Same domain.
+                    is_local = src.sameDomain(dst);
+                    break;
+                  default:  // Same cluster.
+                    is_local = src.sameCluster(dst);
+                    break;
+                }
+                if (is_local)
+                    ++local;
+            }
+        }
+    }
+    return edges == 0 ? 1.0
+                      : static_cast<double>(local) /
+                            static_cast<double>(edges);
+}
+
+namespace {
+
+/** Linear PE index → hierarchical coordinate. */
+PeCoord
+coordOf(std::uint32_t idx, const PlacementGeometry &geom)
+{
+    PeCoord c;
+    c.pe = static_cast<PeId>(idx % geom.pesPerDomain);
+    idx /= geom.pesPerDomain;
+    c.domain = static_cast<DomainId>(idx % geom.domainsPerCluster);
+    idx /= geom.domainsPerCluster;
+    c.cluster = static_cast<ClusterId>(idx);
+    return c;
+}
+
+/** Instruction visit order for one thread under the given policy. */
+std::vector<InstId>
+visitOrder(const DataflowGraph &graph, ThreadId t, PlacementPolicy policy,
+           Rng &rng)
+{
+    // Gather this thread's instructions and its entry points (targets of
+    // initial tokens); fall back to the lowest-numbered instruction so
+    // disconnected pieces still get visited.
+    std::vector<InstId> members;
+    for (InstId i = 0; i < graph.size(); ++i) {
+        if (graph.inst(i).thread == t)
+            members.push_back(i);
+    }
+    if (members.empty())
+        return members;
+    if (policy == PlacementPolicy::kRandom) {
+        // Order is irrelevant for random placement.
+        return members;
+    }
+
+    std::vector<bool> seen(graph.size(), false);
+    std::vector<InstId> order;
+    order.reserve(members.size());
+
+    std::vector<InstId> roots;
+    for (const Token &tok : graph.initialTokens()) {
+        if (tok.tag.thread == t)
+            roots.push_back(tok.dst.inst);
+    }
+    for (InstId m : members)
+        roots.push_back(m);  // Fallback coverage for disconnected nodes.
+
+    if (policy == PlacementPolicy::kDepthFirst) {
+        std::vector<InstId> stack;
+        for (InstId root : roots) {
+            if (seen[root])
+                continue;
+            stack.push_back(root);
+            while (!stack.empty()) {
+                const InstId cur = stack.back();
+                stack.pop_back();
+                if (seen[cur] || graph.inst(cur).thread != t)
+                    continue;
+                seen[cur] = true;
+                order.push_back(cur);
+                const Instruction &inst = graph.inst(cur);
+                for (int side = 1; side >= 0; --side) {
+                    const auto &outs = inst.outs[side];
+                    for (auto it = outs.rbegin(); it != outs.rend(); ++it)
+                        stack.push_back(it->inst);
+                }
+            }
+        }
+    } else {
+        std::deque<InstId> queue;
+        for (InstId root : roots) {
+            if (seen[root] || graph.inst(root).thread != t)
+                continue;
+            seen[root] = true;
+            queue.push_back(root);
+            while (!queue.empty()) {
+                const InstId cur = queue.front();
+                queue.pop_front();
+                order.push_back(cur);
+                const Instruction &inst = graph.inst(cur);
+                for (int side = 0; side < 2; ++side) {
+                    for (const PortRef &out : inst.outs[side]) {
+                        if (!seen[out.inst] &&
+                            graph.inst(out.inst).thread == t) {
+                            seen[out.inst] = true;
+                            queue.push_back(out.inst);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (void)rng;
+    return order;
+}
+
+} // namespace
+
+double
+edgeCost(const PeCoord &src, const PeCoord &dst,
+         const PlacementGeometry &geom)
+{
+    if (src == dst)
+        return 0.0;
+    if (src.sameDomain(dst) && src.pe / 2 == dst.pe / 2)
+        return 1.0;   // Pod bypass.
+    if (src.sameDomain(dst))
+        return 2.0;   // Intra-domain bus.
+    if (src.sameCluster(dst))
+        return 4.0;   // Intra-cluster network.
+    // Grid: 8 plus Manhattan hop distance on the cluster grid.
+    const int w = static_cast<int>(
+        std::ceil(std::sqrt(static_cast<double>(geom.clusters))));
+    const int sx = src.cluster % w;
+    const int sy = src.cluster / w;
+    const int dx = dst.cluster % w;
+    const int dy = dst.cluster / w;
+    return 8.0 + std::abs(sx - dx) + std::abs(sy - dy);
+}
+
+std::size_t
+refinePlacement(Placement &placement, const DataflowGraph &graph,
+                unsigned sweeps)
+{
+    const PlacementGeometry &geom = placement.geometry();
+    const std::uint32_t total_pes = geom.totalPes();
+    auto pe_index = [&](const PeCoord &pe) {
+        return (static_cast<std::size_t>(pe.cluster) *
+                    geom.domainsPerCluster +
+                pe.domain) *
+                   geom.pesPerDomain +
+               pe.pe;
+    };
+
+    // Build the undirected neighbour lists once (producers + consumers).
+    std::vector<std::vector<InstId>> neighbours(graph.size());
+    for (InstId i = 0; i < graph.size(); ++i) {
+        for (int side = 0; side < 2; ++side) {
+            for (const PortRef &out : graph.inst(i).outs[side]) {
+                neighbours[i].push_back(out.inst);
+                neighbours[out.inst].push_back(i);
+            }
+        }
+    }
+
+    std::vector<std::uint32_t> load = placement.loadPerPe();
+    std::size_t moves = 0;
+    for (unsigned sweep = 0; sweep < sweeps; ++sweep) {
+        bool progress = false;
+        for (InstId i = 0; i < graph.size(); ++i) {
+            if (neighbours[i].empty())
+                continue;
+            const PeCoord cur = placement.home(i);
+            auto cost_at = [&](const PeCoord &pe) {
+                double c = 0.0;
+                for (InstId n : neighbours[i])
+                    c += edgeCost(pe, placement.home(n), geom);
+                return c;
+            };
+            const double cur_cost = cost_at(cur);
+            // Candidate targets: the homes of this instruction's
+            // neighbours (moving next to one of them is the only move
+            // that can help).
+            PeCoord best = cur;
+            double best_cost = cur_cost;
+            for (InstId n : neighbours[i]) {
+                const PeCoord cand = placement.home(n);
+                if (cand == best || load[pe_index(cand)] >=
+                                        geom.peCapacity) {
+                    continue;
+                }
+                const double c = cost_at(cand);
+                if (c < best_cost) {
+                    best_cost = c;
+                    best = cand;
+                }
+            }
+            if (!(best == cur)) {
+                --load[pe_index(cur)];
+                ++load[pe_index(best)];
+                placement.setHome(i, best);
+                ++moves;
+                progress = true;
+            }
+        }
+        if (!progress)
+            break;
+    }
+    (void)total_pes;
+    return moves;
+}
+
+Placement
+place(const DataflowGraph &graph, const PlacementGeometry &geom,
+      PlacementPolicy policy, std::uint64_t seed)
+{
+    const std::uint32_t total_pes = geom.totalPes();
+    if (total_pes == 0)
+        fatal("place: machine has no PEs");
+    if (graph.size() > geom.totalCapacity() * 4) {
+        fatal("place: graph '%s' (%zu instructions) exceeds 4x machine "
+              "capacity (%llu)", graph.name().c_str(), graph.size(),
+              static_cast<unsigned long long>(geom.totalCapacity()));
+    }
+
+    if (policy == PlacementPolicy::kDepthFirstRefined) {
+        Placement refined =
+            place(graph, geom, PlacementPolicy::kDepthFirst, seed);
+        refinePlacement(refined, graph);
+        return refined;
+    }
+
+    Placement result(geom, graph.size());
+    Rng rng(seed);
+
+    if (policy == PlacementPolicy::kRandom) {
+        for (InstId i = 0; i < graph.size(); ++i) {
+            result.setHome(
+                i, coordOf(static_cast<std::uint32_t>(rng.range(total_pes)),
+                           geom));
+        }
+        // Thread homes: cluster of the thread's first instruction.
+        for (ThreadId t = 0; t < graph.numThreads(); ++t) {
+            ClusterId home = 0;
+            for (InstId i = 0; i < graph.size(); ++i) {
+                if (graph.inst(i).thread == t) {
+                    home = result.home(i).cluster;
+                    break;
+                }
+            }
+            result.setThreadHome(t, home);
+        }
+        return result;
+    }
+
+    // Packing placement: walk each thread's graph in visit order and
+    // fill PEs to their virtualization degree V, starting each thread at
+    // a staggered position so threads occupy disjoint portions of the
+    // die (the paper's placer does the same for Splash threads).
+    std::vector<std::uint32_t> load(total_pes, 0);
+    const std::uint32_t cap = geom.peCapacity;
+
+    auto next_with_room = [&](std::uint32_t start,
+                              std::uint32_t limit) -> std::int64_t {
+        for (std::uint32_t k = 0; k < total_pes; ++k) {
+            const std::uint32_t pe = (start + k) % total_pes;
+            if (load[pe] < limit)
+                return pe;
+        }
+        return -1;
+    };
+
+    for (ThreadId t = 0; t < graph.numThreads(); ++t) {
+        const std::vector<InstId> order = visitOrder(graph, t, policy, rng);
+        if (order.empty()) {
+            result.setThreadHome(t, 0);
+            continue;
+        }
+        const std::uint32_t hint = static_cast<std::uint32_t>(
+            (static_cast<std::uint64_t>(t) * total_pes) /
+            graph.numThreads());
+        std::int64_t pe = next_with_room(hint, cap);
+        bool first = true;
+        for (InstId inst : order) {
+            if (pe < 0 || load[pe] >= cap)
+                pe = next_with_room(pe < 0 ? hint : (pe + 1) % total_pes,
+                                    cap);
+            if (pe < 0) {
+                // Machine full at V: oversubscribe round-robin; the
+                // instruction stores will thrash (dynamic binding).
+                pe = next_with_room(hint, cap * 4);
+                if (pe < 0)
+                    fatal("place: graph does not fit even oversubscribed");
+            }
+            ++load[pe];
+            result.setHome(inst, coordOf(static_cast<std::uint32_t>(pe),
+                                         geom));
+            if (first) {
+                result.setThreadHome(
+                    t, coordOf(static_cast<std::uint32_t>(pe), geom)
+                           .cluster);
+                first = false;
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace ws

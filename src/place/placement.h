@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Instruction placement: binding static instructions to processing
+ * elements (paper §3.1 and the placement work it cites [7, 8]).
+ *
+ * Placement determines communication locality — the dominant factor in
+ * Figure 8's traffic distribution — and which cluster's store buffer
+ * owns each thread's wave ordering. Three policies are provided:
+ *
+ *  - kDepthFirst ("snake"): walk each thread's dataflow graph depth-
+ *    first from its inputs and pack connected instructions into the same
+ *    PE, pod, domain, and cluster before spilling into the next. This is
+ *    the production policy, standing in for the paper's locality-aware
+ *    placer; threads are laid out in disjoint portions of the die.
+ *  - kBreadthFirst: level-order packing; keeps siblings together but
+ *    splits producer-consumer chains more often (ablation baseline).
+ *  - kRandom: uniformly random PE per instruction (worst-case baseline).
+ */
+
+#ifndef WS_PLACE_PLACEMENT_H_
+#define WS_PLACE_PLACEMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/graph.h"
+
+namespace ws {
+
+enum class PlacementPolicy : std::uint8_t
+{
+    kDepthFirst,
+    kBreadthFirst,
+    kRandom,
+    kDepthFirstRefined,  ///< Depth-first packing + greedy move refinement.
+};
+
+/** Human-readable policy name. */
+const char *placementPolicyName(PlacementPolicy policy);
+
+/** Geometry of the machine placement targets. */
+struct PlacementGeometry
+{
+    std::uint16_t clusters = 1;
+    std::uint16_t domainsPerCluster = 4;
+    std::uint16_t pesPerDomain = 8;
+    std::uint16_t peCapacity = 128;   ///< Virtualization degree V.
+
+    std::uint32_t
+    totalPes() const
+    {
+        return static_cast<std::uint32_t>(clusters) * domainsPerCluster *
+               pesPerDomain;
+    }
+
+    std::uint64_t
+    totalCapacity() const
+    {
+        return static_cast<std::uint64_t>(totalPes()) * peCapacity;
+    }
+};
+
+/** The result: a home PE for every static instruction. */
+class Placement
+{
+  public:
+    Placement(const PlacementGeometry &geom, std::size_t num_insts)
+        : geom_(geom), homes_(num_insts)
+    {}
+
+    const PlacementGeometry &geometry() const { return geom_; }
+
+    PeCoord home(InstId id) const { return homes_.at(id); }
+    void setHome(InstId id, PeCoord pe) { homes_.at(id) = pe; }
+    std::size_t size() const { return homes_.size(); }
+
+    /** Cluster whose store buffer owns thread @p t's wave ordering. */
+    ClusterId threadHomeCluster(ThreadId t) const
+    {
+        return threadHomes_.at(t);
+    }
+    void
+    setThreadHome(ThreadId t, ClusterId c)
+    {
+        if (threadHomes_.size() <= t)
+            threadHomes_.resize(t + 1, 0);
+        threadHomes_[t] = c;
+    }
+
+    /** Number of instructions assigned to each PE (diagnostics). */
+    std::vector<std::uint32_t> loadPerPe() const;
+
+    /** Fraction of graph edges whose endpoints share a PE/domain/cluster. */
+    double edgeLocality(const DataflowGraph &graph, int level) const;
+
+  private:
+    PlacementGeometry geom_;
+    std::vector<PeCoord> homes_;
+    std::vector<ClusterId> threadHomes_;
+};
+
+/**
+ * Place @p graph onto the machine described by @p geom.
+ *
+ * Oversubscription is legal: a PE may be assigned more instructions
+ * than its instruction-store capacity, in which case the instruction
+ * store thrashes at run time (dynamic binding; paper §3.1). fatal()s
+ * only if the graph exceeds total machine capacity by more than the
+ * oversubscription limit of 4x.
+ */
+Placement place(const DataflowGraph &graph, const PlacementGeometry &geom,
+                PlacementPolicy policy, std::uint64_t seed = 1);
+
+/**
+ * Greedy refinement pass (the spirit of the placement work the paper
+ * cites [7, 8]): repeatedly move instructions toward the PE where their
+ * producers/consumers live, when capacity allows and the move lowers
+ * the hierarchical communication cost (pod 1, domain 2, cluster 4,
+ * grid 8 + hop distance). Runs @p sweeps passes over all instructions;
+ * returns the number of accepted moves.
+ */
+std::size_t refinePlacement(Placement &placement,
+                            const DataflowGraph &graph,
+                            unsigned sweeps = 2);
+
+/** Hierarchical communication cost of one edge (see refinePlacement). */
+double edgeCost(const PeCoord &src, const PeCoord &dst,
+                const PlacementGeometry &geom);
+
+} // namespace ws
+
+#endif // WS_PLACE_PLACEMENT_H_

@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Tests for the area model, design-space enumeration, Pareto machinery,
+ * and — crucially — reproduction of the paper's published area numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "area/area_model.h"
+#include "area/design_space.h"
+#include "area/pareto.h"
+
+namespace ws {
+namespace {
+
+// ---------------------------------------------------------------------
+// Published-number reproduction (Tables 2 and 5)
+// ---------------------------------------------------------------------
+
+TEST(AreaModel, ReproducesTable2PeBudget)
+{
+    // Baseline PE: M = V = 128.
+    const double pe = AreaModel::peArea(128, 128);
+    EXPECT_NEAR(pe, Table2Budget::kPeTotal, 0.01);
+}
+
+TEST(AreaModel, ReproducesTable2DomainBudget)
+{
+    const double dom = AreaModel::domainArea(8, 128, 128);
+    // Table 2's domain total includes the FPU (0.53), which the Table-3
+    // model folds into the per-PE constants; compare without it.
+    EXPECT_NEAR(dom + Table2Budget::kFpu, Table2Budget::kDomainTotal,
+                0.35);
+}
+
+struct Table5Row
+{
+    DesignPoint d;
+    double area;
+};
+
+class Table5Areas : public testing::TestWithParam<Table5Row>
+{};
+
+TEST_P(Table5Areas, WithinThreePercent)
+{
+    const Table5Row &row = GetParam();
+    EXPECT_NEAR(AreaModel::totalArea(row.d), row.area,
+                row.area * 0.03);
+}
+
+// The paper's Table-5 Pareto-optimal configurations and their published
+// areas (mm²).
+INSTANTIATE_TEST_SUITE_P(
+    PaperRows, Table5Areas,
+    testing::Values(
+        Table5Row{{1, 4, 8, 128, 128, 8, 0}, 39},    // id 1
+        Table5Row{{1, 4, 8, 128, 128, 16, 0}, 42},   // id 2
+        Table5Row{{1, 4, 8, 128, 128, 32, 0}, 48},   // id 3
+        Table5Row{{1, 4, 8, 128, 128, 8, 1}, 52},    // id 4
+        Table5Row{{1, 4, 8, 128, 128, 32, 1}, 61},   // id 5
+        Table5Row{{1, 4, 8, 128, 128, 32, 2}, 74},   // id 6
+        Table5Row{{1, 4, 8, 128, 128, 16, 4}, 92},   // id 7
+        Table5Row{{4, 4, 8, 64, 64, 8, 1}, 109},     // id 8
+        Table5Row{{4, 4, 8, 64, 64, 16, 2}, 134},    // id 9
+        Table5Row{{4, 4, 8, 64, 64, 32, 1}, 146},    // id 10
+        Table5Row{{4, 4, 8, 64, 64, 32, 2}, 159},    // id 11
+        Table5Row{{4, 4, 8, 128, 128, 8, 1}, 169},   // id 12
+        Table5Row{{4, 4, 8, 128, 128, 16, 2}, 194},  // id 13
+        Table5Row{{4, 4, 8, 128, 128, 32, 1}, 206},  // id 14
+        Table5Row{{4, 4, 8, 128, 128, 32, 2}, 219},  // id 15
+        Table5Row{{4, 4, 8, 128, 128, 32, 4}, 244},  // id 16
+        Table5Row{{16, 4, 8, 64, 64, 8, 0}, 387},    // id 17
+        Table5Row{{16, 4, 8, 64, 64, 8, 1}, 399}),   // id 18
+    [](const testing::TestParamInfo<Table5Row> &info) {
+        return "cfg" + std::to_string(info.index + 1);
+    });
+
+TEST(AreaModel, PaperHeadlineRange)
+{
+    // "designs ranging in size from 40mm² to 400mm²"
+    const DesignPoint smallest{1, 4, 8, 128, 128, 8, 0};
+    const DesignPoint largest{16, 4, 8, 64, 64, 8, 1};
+    EXPECT_NEAR(AreaModel::totalArea(smallest), 39.2, 1.0);
+    EXPECT_NEAR(AreaModel::totalArea(largest), 399.0, 4.0);
+}
+
+// ---------------------------------------------------------------------
+// Model structure properties
+// ---------------------------------------------------------------------
+
+TEST(AreaModel, LinearInMatchingEntries)
+{
+    const double a8 = AreaModel::peArea(8, 64);
+    const double a16 = AreaModel::peArea(16, 64);
+    const double a32 = AreaModel::peArea(32, 64);
+    EXPECT_NEAR(a32 - a16, 2 * (a16 - a8), 1e-12);
+}
+
+TEST(AreaModel, LinearInInstructionStore)
+{
+    const double a8 = AreaModel::peArea(64, 8);
+    const double a16 = AreaModel::peArea(64, 16);
+    const double a32 = AreaModel::peArea(64, 32);
+    EXPECT_NEAR(a32 - a16, 2 * (a16 - a8), 1e-12);
+}
+
+TEST(AreaModel, LinearInL2)
+{
+    DesignPoint d{1, 4, 8, 128, 128, 32, 0};
+    DesignPoint d1 = d;
+    d1.l2MB = 1;
+    DesignPoint d2 = d;
+    d2.l2MB = 2;
+    EXPECT_NEAR(AreaModel::totalArea(d2) - AreaModel::totalArea(d1),
+                AreaModel::kL2PerMB, 1e-9);
+}
+
+TEST(AreaModel, UtilizationInflatesClusterAreaOnly)
+{
+    DesignPoint d{1, 4, 8, 128, 128, 32, 1};
+    const double expect = AreaModel::clusterArea(d) /
+                              AreaModel::kUtilization +
+                          AreaModel::kL2PerMB;
+    EXPECT_NEAR(AreaModel::totalArea(d), expect, 1e-9);
+}
+
+TEST(AreaModel, MostAreaIsSram)
+{
+    // §4.1: ~80% of the die is SRAM (matching tables, instruction
+    // stores, caches). Check for the baseline cluster.
+    DesignPoint d{1, 4, 8, 128, 128, 32, 0};
+    const double sram =
+        32 * (128 * AreaModel::kMatchPerEntry +
+              128 * AreaModel::kInstPerEntry) +
+        32 * AreaModel::kL1PerKB;
+    EXPECT_GT(sram / AreaModel::clusterArea(d), 0.7);
+}
+
+// ---------------------------------------------------------------------
+// Design-space enumeration
+// ---------------------------------------------------------------------
+
+TEST(DesignSpace, RawCountMatchesPaperScale)
+{
+    // "over twenty-one thousand WaveScalar processor configurations"
+    const auto raw = enumerateRawDesigns();
+    EXPECT_EQ(raw.size(), 22680u);
+}
+
+TEST(DesignSpace, CandidatesAreBoundedAndLegal)
+{
+    const auto cands = enumerateCandidates();
+    EXPECT_GE(cands.size(), 40u);   // Paper: 41 (our superset: 78).
+    EXPECT_LE(cands.size(), 100u);
+    for (const DesignPoint &d : cands) {
+        EXPECT_LE(AreaModel::totalArea(d), 400.0);
+        EXPECT_GE(d.instCapacity(), 4096u);
+        EXPECT_EQ(d.matching, d.virt);
+        // Structural rules.
+        if (d.pesPerDomain < 8)
+            EXPECT_EQ(d.domainsPerCluster, 1);
+        if (d.domainsPerCluster < 4)
+            EXPECT_EQ(d.clusters, 1);
+    }
+}
+
+TEST(DesignSpace, CandidatesSpanThePaperRange)
+{
+    const auto cands = enumerateCandidates();
+    double min_area = 1e9;
+    double max_area = 0;
+    for (const DesignPoint &d : cands) {
+        min_area = std::min(min_area, AreaModel::totalArea(d));
+        max_area = std::max(max_area, AreaModel::totalArea(d));
+    }
+    EXPECT_LT(min_area, 45.0);
+    EXPECT_GT(max_area, 380.0);
+}
+
+TEST(DesignSpace, IncludesEveryTable5Configuration)
+{
+    const auto cands = enumerateCandidates();
+    std::set<std::string> have;
+    for (const DesignPoint &d : cands)
+        have.insert(d.describe());
+    for (const DesignPoint &d : std::initializer_list<DesignPoint>{
+             {1, 4, 8, 128, 128, 8, 0},
+             {1, 4, 8, 128, 128, 8, 1},
+             {4, 4, 8, 64, 64, 8, 1},
+             {4, 4, 8, 128, 128, 32, 2},
+             {16, 4, 8, 64, 64, 8, 0},
+             {16, 4, 8, 64, 64, 8, 1}}) {
+        EXPECT_TRUE(have.count(d.describe())) << d.describe();
+    }
+}
+
+TEST(DesignSpace, StructuralPruningShrinksMonotonically)
+{
+    const auto raw = enumerateRawDesigns();
+    DesignSpaceRules rules;
+    const auto structural = pruneStructural(raw, rules);
+    const auto cands = enumerateCandidates(rules);
+    EXPECT_LT(structural.size(), raw.size());
+    EXPECT_LT(cands.size(), structural.size());
+}
+
+TEST(DesignSpace, ToProcessorConfigValidatesForAllCandidates)
+{
+    for (const DesignPoint &d : enumerateCandidates()) {
+        ProcessorConfig cfg = toProcessorConfig(d);
+        cfg.memory.clusters = cfg.clusters;
+        cfg.mesh.clusters = cfg.clusters;
+        EXPECT_NO_THROW(cfg.validate()) << d.describe();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pareto front
+// ---------------------------------------------------------------------
+
+TEST(Pareto, Dominance)
+{
+    EXPECT_TRUE(dominates({1, 2, 0}, {2, 1, 0}));
+    EXPECT_TRUE(dominates({1, 2, 0}, {1, 1, 0}));
+    EXPECT_FALSE(dominates({1, 1, 0}, {2, 2, 0}));
+    EXPECT_FALSE(dominates({1, 1, 0}, {1, 1, 0}));  // Equal: no.
+}
+
+TEST(Pareto, ExtractsUpperLeftMargin)
+{
+    std::vector<ParetoPoint> pts = {
+        {10, 1.0, 0}, {20, 2.0, 1}, {15, 1.5, 2},
+        {25, 1.9, 3},  // Dominated by (20, 2.0).
+        {12, 0.5, 4},  // Dominated by (10, 1.0).
+    };
+    const auto front = paretoFront(pts);
+    ASSERT_EQ(front.size(), 3u);
+    EXPECT_EQ(front[0], 0u);
+    EXPECT_EQ(front[1], 2u);
+    EXPECT_EQ(front[2], 1u);
+}
+
+TEST(Pareto, FrontMembersAreMutuallyNonDominating)
+{
+    std::vector<ParetoPoint> pts;
+    for (int i = 0; i < 50; ++i) {
+        pts.push_back({static_cast<double>((i * 37) % 100),
+                       static_cast<double>((i * 53) % 90) / 10.0,
+                       static_cast<std::size_t>(i)});
+    }
+    const auto front = paretoFront(pts);
+    for (std::size_t a : front) {
+        for (std::size_t b : front) {
+            if (a != b)
+                EXPECT_FALSE(dominates(pts[a], pts[b]));
+        }
+    }
+    // And every non-member is dominated by some member.
+    std::set<std::size_t> inFront(front.begin(), front.end());
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        if (inFront.count(i))
+            continue;
+        bool dominated = false;
+        for (std::size_t a : front)
+            dominated |= dominates(pts[a], pts[i]);
+        EXPECT_TRUE(dominated) << i;
+    }
+}
+
+TEST(Pareto, SinglePointIsItsOwnFront)
+{
+    std::vector<ParetoPoint> pts = {{5, 5, 0}};
+    EXPECT_EQ(paretoFront(pts).size(), 1u);
+}
+
+TEST(Pareto, EmptyInput)
+{
+    EXPECT_TRUE(paretoFront({}).empty());
+}
+
+} // namespace
+} // namespace ws

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * WaveScalar assembly (.wsa) tests: lossless round-tripping of every
+ * workload kernel, hand-written program assembly, and parse-error
+ * diagnostics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "core/simulator.h"
+#include "isa/assembly.h"
+#include "isa/graph_builder.h"
+#include "isa/interp.h"
+#include "kernels/kernel.h"
+
+namespace ws {
+namespace {
+
+/** Structural equality of two graphs (field-by-field). */
+void
+expectSameGraph(const DataflowGraph &a, const DataflowGraph &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(a.name(), b.name());
+    EXPECT_EQ(a.numThreads(), b.numThreads());
+    EXPECT_EQ(a.expectedSinkTokens(), b.expectedSinkTokens());
+    for (InstId i = 0; i < a.size(); ++i) {
+        const Instruction &x = a.inst(i);
+        const Instruction &y = b.inst(i);
+        EXPECT_EQ(x.op, y.op) << "inst " << i;
+        EXPECT_EQ(x.imm, y.imm) << "inst " << i;
+        EXPECT_EQ(x.thread, y.thread) << "inst " << i;
+        EXPECT_EQ(x.mem.valid, y.mem.valid) << "inst " << i;
+        if (x.mem.valid) {
+            EXPECT_EQ(x.mem.prev, y.mem.prev) << "inst " << i;
+            EXPECT_EQ(x.mem.seq, y.mem.seq) << "inst " << i;
+            EXPECT_EQ(x.mem.next, y.mem.next) << "inst " << i;
+        }
+        for (int side = 0; side < 2; ++side) {
+            ASSERT_EQ(x.outs[side].size(), y.outs[side].size())
+                << "inst " << i << " side " << side;
+            for (std::size_t e = 0; e < x.outs[side].size(); ++e)
+                EXPECT_EQ(x.outs[side][e], y.outs[side][e]);
+        }
+    }
+    ASSERT_EQ(a.initialTokens().size(), b.initialTokens().size());
+    for (std::size_t t = 0; t < a.initialTokens().size(); ++t)
+        EXPECT_EQ(a.initialTokens()[t], b.initialTokens()[t]);
+    ASSERT_EQ(a.memInit().size(), b.memInit().size());
+    for (std::size_t m = 0; m < a.memInit().size(); ++m)
+        EXPECT_EQ(a.memInit()[m], b.memInit()[m]);
+    ASSERT_EQ(a.memRegions().size(), b.memRegions().size());
+    for (std::size_t r = 0; r < a.memRegions().size(); ++r)
+        EXPECT_EQ(a.memRegions()[r], b.memRegions()[r]);
+}
+
+class KernelRoundTrip : public testing::TestWithParam<Kernel>
+{};
+
+TEST_P(KernelRoundTrip, DisassembleAssembleIsLossless)
+{
+    KernelParams params;
+    params.threads = 2;
+    DataflowGraph original = GetParam().build(params);
+    const std::string text = disassemble(original);
+    DataflowGraph rebuilt = assemble(text);
+    expectSameGraph(original, rebuilt);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, KernelRoundTrip, testing::ValuesIn(kernelRegistry()),
+    [](const testing::TestParamInfo<Kernel> &info) {
+        return info.param.name;
+    });
+
+TEST(Assembly, RoundTrippedKernelSimulatesIdentically)
+{
+    KernelParams params;
+    DataflowGraph original = buildRawdaudio(params);
+    DataflowGraph rebuilt = assemble(disassemble(buildRawdaudio(params)));
+    ProcessorConfig cfg = ProcessorConfig::baseline();
+    cfg.memory.l2Bytes = 1 << 20;
+    SimResult a = runSimulation(original, cfg);
+    SimResult b = runSimulation(rebuilt, cfg);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.useful, b.useful);
+}
+
+TEST(Assembly, HandWrittenProgramAssemblesAndRuns)
+{
+    // (5 + 7) * 3 stored to 0x40, then sunk.
+    const char *src = R"(
+; doubles-and-sum demo
+.graph demo threads=1 sinks=1
+.inst 0 mov t0
+.inst 1 mov t0
+.inst 2 add t0
+.inst 3 muli t0 imm=3
+.inst 4 const t0 imm=0x40
+.inst 5 store_addr t0 mem=-1:0:1
+.inst 6 store_data t0 mem=-1:0:-1
+.inst 7 load t0 mem=0:1:-1
+.inst 8 sink t0
+.edge 0 -> 2.0
+.edge 1 -> 2.1
+.edge 2 -> 3.0
+.edge 2 -> 4.0
+.edge 4 -> 5.0
+.edge 4 -> 7.0
+.edge 3 -> 6.0
+.edge 7 -> 8.0
+.token t0 w0 v5 -> 0.0
+.token t0 w0 v7 -> 1.0
+.region 5 7
+)";
+    DataflowGraph g = assemble(src);
+    InterpResult ref = interpret(g);
+    ASSERT_TRUE(ref.completed);
+    EXPECT_EQ(ref.sinkValues.at(0), 36);
+    EXPECT_EQ(ref.memory.at(0x40), 36);
+
+    Processor proc(g, ProcessorConfig::baseline());
+    ASSERT_TRUE(proc.run(100000));
+    EXPECT_EQ(proc.memory().read(0x40), 36);
+}
+
+TEST(Assembly, OpcodeNamesRoundTrip)
+{
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(Opcode::kNumOpcodes); ++i) {
+        const auto op = static_cast<Opcode>(i);
+        EXPECT_EQ(opcodeFromName(std::string(opcodeName(op))), op);
+    }
+    EXPECT_THROW(opcodeFromName("frobnicate"), FatalError);
+}
+
+TEST(Assembly, CommentsAndBlankLinesIgnored)
+{
+    const char *src = R"(
+; leading comment
+
+.graph c threads=1 sinks=0   ; trailing comment
+.inst 0 mov t0
+.inst 1 nop t0               ; consumer
+.edge 0 -> 1.0
+.token t0 w0 v1 -> 0.0
+)";
+    DataflowGraph g = assemble(src);
+    EXPECT_EQ(g.size(), 2u);
+}
+
+struct BadCase
+{
+    const char *label;
+    const char *src;
+};
+
+class AssemblyErrors : public testing::TestWithParam<BadCase>
+{};
+
+TEST_P(AssemblyErrors, RejectedWithDiagnostic)
+{
+    EXPECT_THROW(assemble(GetParam().src), FatalError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, AssemblyErrors,
+    testing::Values(
+        BadCase{"missing_header", ".inst 0 mov t0\n"},
+        BadCase{"bad_opcode",
+                ".graph g threads=1 sinks=0\n.inst 0 zorp t0\n"},
+        BadCase{"sparse_ids",
+                ".graph g threads=1 sinks=0\n.inst 1 mov t0\n"},
+        BadCase{"bad_edge",
+                ".graph g threads=1 sinks=0\n.inst 0 mov t0\n"
+                ".edge 5 -> 0.0\n"},
+        BadCase{"edge_syntax",
+                ".graph g threads=1 sinks=0\n.inst 0 mov t0\n"
+                ".edge 0 0.0\n"},
+        BadCase{"bad_int",
+                ".graph g threads=xyz sinks=0\n"},
+        BadCase{"unknown_directive",
+                ".graph g threads=1 sinks=0\n.frob 1 2\n"},
+        BadCase{"empty_region",
+                ".graph g threads=1 sinks=0\n.inst 0 mov t0\n"
+                ".token t0 w0 v0 -> 0.0\n.region\n"},
+        BadCase{"dangling_port",
+                ".graph g threads=1 sinks=0\n.inst 0 add t0\n"
+                ".token t0 w0 v0 -> 0.0\n"},   // add port 1 starves.
+        BadCase{"duplicate_header",
+                ".graph g threads=1 sinks=0\n.graph h threads=1 "
+                "sinks=0\n"}),
+    [](const testing::TestParamInfo<BadCase> &info) {
+        return info.param.label;
+    });
+
+} // namespace
+} // namespace ws

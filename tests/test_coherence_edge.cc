@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Coherence-protocol edge cases: silent evictions, crossing writebacks,
+ * ownership migration chains, directory serialization under contention,
+ * and message conservation on the mesh.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "memory/coherence.h"
+#include "network/mesh.h"
+
+namespace ws {
+namespace {
+
+/** N L1s + home, with per-cycle message routing (no mesh). */
+class Harness
+{
+  public:
+    explicit Harness(unsigned clusters, std::size_t l2_bytes = 1 << 20)
+    {
+        cfg_.clusters = static_cast<std::uint16_t>(clusters);
+        cfg_.l2Bytes = l2_bytes;
+        home_ = std::make_unique<HomeSystem>(cfg_);
+        for (unsigned c = 0; c < clusters; ++c)
+            l1s_.push_back(std::make_unique<L1Controller>(
+                cfg_, static_cast<ClusterId>(c)));
+    }
+
+    void
+    step()
+    {
+        for (auto &l1 : l1s_)
+            l1->tick(now_);
+        home_->tick(now_);
+        for (auto &l1 : l1s_) {
+            for (const CohMsg &msg : l1->outbox())
+                home_->receive(msg, now_ + 1);
+            l1->outbox().clear();
+        }
+        for (auto &[dst, msg] : home_->outbox())
+            l1s_.at(dst)->receive(msg, now_ + 1);
+        home_->outbox().clear();
+        ++now_;
+    }
+
+    void
+    completeAll(unsigned l1, std::size_t count, Cycle limit = 3000)
+    {
+        const Cycle start = now_;
+        while (l1s_[l1]->drainDone().size() < count) {
+            step();
+            ASSERT_LT(now_ - start, limit) << "harness timed out";
+        }
+        l1s_[l1]->drainDone().clear();
+    }
+
+    MemTimingConfig cfg_;
+    std::unique_ptr<HomeSystem> home_;
+    std::vector<std::unique_ptr<L1Controller>> l1s_;
+    Cycle now_ = 0;
+};
+
+TEST(CoherenceEdge, SilentCleanEvictionThenInvIsAcked)
+{
+    Harness h(2);
+    // c0 reads a line (E), then silently loses it to conflict misses.
+    h.l1s_[0]->request(1, 0x10000, false, h.now_);
+    h.completeAll(0, 1);
+    const Addr stride = 64 * 128;   // Same set, different tags.
+    std::uint64_t id = 10;
+    for (int i = 1; i <= 4; ++i) {
+        h.l1s_[0]->request(id++, 0x10000 + i * stride, false, h.now_);
+        h.completeAll(0, 1);
+    }
+    EXPECT_EQ(h.l1s_[0]->probeLine(0x10000), kMesiInvalid);
+    // c1 writes the line: the directory still thinks c0 owns it, sends
+    // an Inv, and c0 must ack despite not holding the line.
+    h.l1s_[1]->request(50, 0x10000, true, h.now_);
+    h.completeAll(1, 1);
+    EXPECT_EQ(h.l1s_[1]->probeLine(0x10000), kMesiModified);
+}
+
+TEST(CoherenceEdge, OwnershipMigratesThroughWriters)
+{
+    Harness h(4);
+    // Each cluster writes the same line in turn: M migrates cleanly.
+    for (unsigned c = 0; c < 4; ++c) {
+        h.l1s_[c]->request(c + 1, 0x20000, true, h.now_);
+        h.completeAll(c, 1);
+        EXPECT_EQ(h.l1s_[c]->probeLine(0x20000), kMesiModified);
+        for (unsigned o = 0; o < 4; ++o) {
+            if (o != c)
+                EXPECT_EQ(h.l1s_[o]->probeLine(0x20000), kMesiInvalid)
+                    << "writer " << c << " observer " << o;
+        }
+    }
+}
+
+TEST(CoherenceEdge, ReadersAfterWriterAllShare)
+{
+    Harness h(4);
+    h.l1s_[0]->request(1, 0x30000, true, h.now_);
+    h.completeAll(0, 1);
+    for (unsigned c = 1; c < 4; ++c) {
+        h.l1s_[c]->request(c, 0x30000, false, h.now_);
+        h.completeAll(c, 1);
+    }
+    // Writer downgraded once, then everyone shares.
+    EXPECT_EQ(h.l1s_[0]->probeLine(0x30000), kMesiShared);
+    for (unsigned c = 1; c < 4; ++c)
+        EXPECT_EQ(h.l1s_[c]->probeLine(0x30000), kMesiShared);
+    EXPECT_EQ(h.l1s_[0]->stats().downgradesReceived, 1u);
+}
+
+TEST(CoherenceEdge, ConcurrentWritersSerialize)
+{
+    Harness h(4);
+    // All four clusters write the same line in the same cycle; the
+    // directory must serialize and every request must complete.
+    for (unsigned c = 0; c < 4; ++c)
+        h.l1s_[c]->request(100 + c, 0x40000, true, 0);
+    for (unsigned c = 0; c < 4; ++c)
+        h.completeAll(c, 1, 6000);
+    // Exactly one owner at the end.
+    int owners = 0;
+    for (unsigned c = 0; c < 4; ++c) {
+        if (h.l1s_[c]->probeLine(0x40000) == kMesiModified)
+            ++owners;
+    }
+    EXPECT_EQ(owners, 1);
+    EXPECT_GE(h.home_->stats().queuedRequests, 1u);
+}
+
+TEST(CoherenceEdge, InterleavedLinesDontInterfere)
+{
+    Harness h(2);
+    // Writes to many distinct lines from both clusters, interleaved.
+    std::uint64_t id = 1;
+    for (int i = 0; i < 8; ++i) {
+        h.l1s_[0]->request(id++, 0x50000 + i * 128, true, h.now_);
+        h.l1s_[1]->request(id++, 0x58000 + i * 128, true, h.now_);
+    }
+    Cycle deadline = h.now_ + 4000;
+    while ((h.l1s_[0]->drainDone().size() < 8 ||
+            h.l1s_[1]->drainDone().size() < 8) &&
+           h.now_ < deadline) {
+        h.step();
+    }
+    EXPECT_EQ(h.l1s_[0]->drainDone().size(), 8u);
+    EXPECT_EQ(h.l1s_[1]->drainDone().size(), 8u);
+}
+
+TEST(CoherenceEdge, WritebackRefetchRoundTrip)
+{
+    Harness h(1);
+    // Dirty a line, evict it via conflicts, then re-read: the refetch
+    // must come back (timing path through PutM + L2).
+    h.l1s_[0]->request(1, 0x60000, true, h.now_);
+    h.completeAll(0, 1);
+    const Addr stride = 64 * 128;
+    std::uint64_t id = 10;
+    for (int i = 1; i <= 4; ++i) {
+        h.l1s_[0]->request(id++, 0x60000 + i * stride, true, h.now_);
+        h.completeAll(0, 1);
+    }
+    EXPECT_GE(h.l1s_[0]->stats().writebacks, 1u);
+    h.l1s_[0]->request(99, 0x60000, false, h.now_);
+    h.completeAll(0, 1);
+    EXPECT_NE(h.l1s_[0]->probeLine(0x60000), kMesiInvalid);
+}
+
+TEST(CoherenceEdge, HomeBankInterleavesByLine)
+{
+    MemTimingConfig cfg;
+    cfg.clusters = 4;
+    HomeSystem home(cfg);
+    std::set<ClusterId> banks;
+    for (Addr line = 0; line < 16 * 128; line += 128)
+        banks.insert(home.homeOf(line));
+    EXPECT_EQ(banks.size(), 4u);
+    // Same line → same bank, always.
+    EXPECT_EQ(home.homeOf(0x1000), home.homeOf(0x1000));
+}
+
+TEST(MeshConservation, EveryInjectedMessageDeliversExactlyOnce)
+{
+    TrafficStats traffic;
+    MeshConfig cfg;
+    cfg.clusters = 16;
+    MeshNetwork mesh(cfg, &traffic);
+    Rng rng(99);
+
+    std::uint64_t injected = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t tag = 0;
+    std::set<std::uint64_t> seen;
+    for (Cycle now = 0; now < 3000; ++now) {
+        if (now < 2000) {
+            for (int k = 0; k < 4; ++k) {
+                NetMessage m;
+                m.src = static_cast<ClusterId>(rng.range(16));
+                m.dst = static_cast<ClusterId>(rng.range(16));
+                OperandMsg op;
+                op.token.value = static_cast<Value>(tag);
+                m.payload = op;
+                if (mesh.inject(m, now)) {
+                    ++injected;
+                    ++tag;
+                }
+            }
+        }
+        mesh.tick(now);
+        for (ClusterId c = 0; c < 16; ++c) {
+            for (NetMessage &m : mesh.delivered(c)) {
+                EXPECT_EQ(m.dst, c);
+                const auto v = static_cast<std::uint64_t>(
+                    std::get<OperandMsg>(m.payload).token.value);
+                EXPECT_TRUE(seen.insert(v).second)
+                    << "duplicate delivery of " << v;
+                ++delivered;
+            }
+            mesh.delivered(c).clear();
+        }
+    }
+    EXPECT_EQ(delivered, injected);
+    EXPECT_TRUE(mesh.idle());
+}
+
+} // namespace
+} // namespace ws

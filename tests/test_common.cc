@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Unit tests for the common substrate: RNG, statistics, logging.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace ws {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, RangeStaysInBounds)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+        for (int i = 0; i < 500; ++i)
+            EXPECT_LT(rng.range(bound), bound);
+    }
+}
+
+TEST(Rng, RangeCoversAllValues)
+{
+    Rng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.range(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(3);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, RangeInclusiveHitsEndpoints)
+{
+    Rng rng(5);
+    bool lo = false;
+    bool hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.rangeInclusive(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        lo |= v == -3;
+        hi |= v == 3;
+    }
+    EXPECT_TRUE(lo);
+    EXPECT_TRUE(hi);
+}
+
+TEST(Rng, ReseedReproduces)
+{
+    Rng rng(9);
+    const auto first = rng.next();
+    rng.next();
+    rng.reseed(9);
+    EXPECT_EQ(rng.next(), first);
+}
+
+TEST(Histogram, BucketsAndMean)
+{
+    Histogram h(4, 10);
+    h.sample(0);
+    h.sample(9);
+    h.sample(10);
+    h.sample(35);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_DOUBLE_EQ(h.mean(), (0 + 9 + 10 + 35) / 4.0);
+    EXPECT_EQ(h.max(), 35u);
+}
+
+TEST(Histogram, OverflowClampsToLastBucket)
+{
+    Histogram h(4, 1);
+    h.sample(1000);
+    EXPECT_EQ(h.bucket(4), 1u);
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h(4, 1);
+    h.sample(2);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(StatReport, AddAndGet)
+{
+    StatReport r;
+    r.add("a.b", 3.0);
+    r.add("a.c", Counter{7});
+    EXPECT_DOUBLE_EQ(r.get("a.b"), 3.0);
+    EXPECT_DOUBLE_EQ(r.get("a.c"), 7.0);
+    EXPECT_TRUE(r.has("a.b"));
+    EXPECT_FALSE(r.has("a.d"));
+}
+
+TEST(StatReport, OverwriteKeepsPosition)
+{
+    StatReport r;
+    r.add("x", 1.0);
+    r.add("y", 2.0);
+    r.add("x", 9.0);
+    EXPECT_EQ(r.entries().size(), 2u);
+    EXPECT_EQ(r.entries()[0].first, "x");
+    EXPECT_DOUBLE_EQ(r.entries()[0].second, 9.0);
+}
+
+TEST(StatReport, SumPrefix)
+{
+    StatReport r;
+    r.add("net.a", 1.0);
+    r.add("net.b", 2.0);
+    r.add("mem.a", 4.0);
+    EXPECT_DOUBLE_EQ(r.sumPrefix("net."), 3.0);
+    EXPECT_DOUBLE_EQ(r.sumPrefix(""), 7.0);
+}
+
+TEST(StatReport, MergeWithPrefix)
+{
+    StatReport inner;
+    inner.add("hits", 5.0);
+    StatReport outer;
+    outer.merge(inner, "l1");
+    EXPECT_DOUBLE_EQ(outer.get("l1.hits"), 5.0);
+}
+
+TEST(StatReport, GetMissingIsFatal)
+{
+    StatReport r;
+    EXPECT_THROW(r.get("nope"), FatalError);
+}
+
+TEST(StatReport, ToStringFormatsIntegersPlainly)
+{
+    StatReport r;
+    r.add("count", 42.0);
+    const std::string s = r.toString();
+    EXPECT_NE(s.find("42"), std::string::npos);
+    EXPECT_EQ(s.find("42."), std::string::npos);
+}
+
+TEST(Log, PanicThrows)
+{
+    EXPECT_THROW(panic("test %d", 1), PanicError);
+}
+
+TEST(Log, FatalThrows)
+{
+    EXPECT_THROW(fatal("test %s", "x"), FatalError);
+}
+
+TEST(Log, MessagesCarryFormatting)
+{
+    try {
+        fatal("value=%d name=%s", 17, "abc");
+        FAIL();
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("value=17"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("name=abc"),
+                  std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace ws

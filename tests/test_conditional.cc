@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Conditional control flow (beginIf/elseArm/endIf): steer-based
+ * diamonds, value merging, and — critically — wave-ordered memory under
+ * control flow: '?' wildcard links, MEMORY-NOP insertion on memory-free
+ * arms, and end-to-end agreement between simulator and interpreter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "core/processor.h"
+#include "core/simulator.h"
+#include "isa/graph_builder.h"
+#include "isa/interp.h"
+
+namespace ws {
+namespace {
+
+using Node = GraphBuilder::Node;
+
+/**
+ * |abs| via a diamond: out = cond ? x : -x, over a loop of inputs.
+ * Exercises pure-compute arms (no memory).
+ */
+DataflowGraph
+absGraph()
+{
+    GraphBuilder b("abs");
+    b.beginThread(0);
+    auto i0 = b.param(-8);
+    auto acc0 = b.param(0);
+    auto loop = b.beginLoop({i0, acc0});
+    auto i = loop.vars[0];
+    auto acc = loop.vars[1];
+    auto nonneg = b.emit(Opcode::kLe, {b.lit(0, i), i});
+    GraphBuilder::IfElse ie = b.beginIf(nonneg, {i});
+    Node then_v = ie.vars[0];
+    b.elseArm(ie, {then_v});
+    Node else_v = b.emit(Opcode::kNeg, {ie.vars[0]});
+    b.endIf(ie, {else_v});
+    acc = b.add(acc, ie.merged[0]);
+    auto i_next = b.addi(i, 1);
+    b.endLoop(loop, {i_next, acc}, b.lti(i_next, 9));
+    b.sink(loop.exits[1], 1);
+    b.endThread();
+    return b.finish();
+}
+
+TEST(Conditional, ComputeDiamondMergesCorrectArm)
+{
+    DataflowGraph g = absGraph();
+    InterpResult r = interpret(g);
+    ASSERT_TRUE(r.completed);
+    // sum(|i|) for i in -8..8 = 2*36 + 0 = 72.
+    EXPECT_EQ(r.sinkValues.at(0), 72);
+}
+
+TEST(Conditional, SimulatorAgreesOnComputeDiamond)
+{
+    DataflowGraph g = absGraph();
+    InterpResult ref = interpret(absGraph());
+    Processor proc(g, ProcessorConfig::baseline());
+    ASSERT_TRUE(proc.run(200000));
+    EXPECT_EQ(proc.usefulExecuted(), ref.useful);
+}
+
+/**
+ * Conditional store: even iterations store to a[i], odd ones only
+ * compute. The else arm gets an inserted MEMORY-NOP; the chain around
+ * the diamond carries '?' links.
+ */
+DataflowGraph
+condStoreGraph(Addr *out_base)
+{
+    GraphBuilder b("condstore");
+    const Addr base = b.alloc(8 * 16);
+    *out_base = base;
+    b.beginThread(0);
+    auto i0 = b.param(0);
+    auto acc0 = b.param(0);
+    auto loop = b.beginLoop({i0, acc0});
+    auto i = loop.vars[0];
+    auto acc = loop.vars[1];
+    // A load before the branch anchors the pre-diamond chain.
+    auto seen = b.load(b.addi(b.shli(i, 3), static_cast<Value>(base)));
+    auto is_even = b.eqi(b.andi(i, 1), 0);
+    GraphBuilder::IfElse ie = b.beginIf(is_even, {i});
+    Node tv = ie.vars[0];
+    b.store(b.addi(b.shli(tv, 3), static_cast<Value>(base)),
+            b.muli(tv, 3));
+    b.elseArm(ie, {tv});
+    Node ev = b.muli(ie.vars[0], 1);
+    b.endIf(ie, {ev});
+    acc = b.add(acc, b.add(ie.merged[0], seen));
+    auto i_next = b.addi(i, 1);
+    b.endLoop(loop, {i_next, acc}, b.lti(i_next, 16));
+    b.sink(loop.exits[1], 1);
+    b.endThread();
+    return b.finish();
+}
+
+TEST(Conditional, MemoryArmGetsWildcardLinks)
+{
+    Addr base = 0;
+    DataflowGraph g = condStoreGraph(&base);
+    // The body region's chain: load (next='?'), store (arm), memnop
+    // (inserted for the else arm).
+    bool found_wildcard_next = false;
+    bool found_memnop = false;
+    for (const auto &inst : g.instructions()) {
+        if (inst.mem.valid && inst.mem.next == kSeqWildcard)
+            found_wildcard_next = true;
+        if (inst.op == Opcode::kMemNop && inst.mem.prev >= 0)
+            found_memnop = true;
+    }
+    EXPECT_TRUE(found_wildcard_next);
+    EXPECT_TRUE(found_memnop);
+}
+
+TEST(Conditional, InterpreterExecutesConditionalStores)
+{
+    Addr base = 0;
+    DataflowGraph g = condStoreGraph(&base);
+    InterpResult r = interpret(g);
+    ASSERT_TRUE(r.completed);
+    for (Value i = 2; i < 16; i += 2)   // i=0 stores 0, which the
+        EXPECT_EQ(r.memory.at(base + 8 * static_cast<Addr>(i)), 3 * i);
+                                        // interpreter prunes.
+    for (Value i = 1; i < 16; i += 2)
+        EXPECT_EQ(r.memory.count(base + 8 * static_cast<Addr>(i)), 0u);
+}
+
+TEST(Conditional, SimulatorMatchesInterpreterWithConditionalMemory)
+{
+    Addr base = 0;
+    DataflowGraph g_sim = condStoreGraph(&base);
+    Addr base2 = 0;
+    InterpResult ref = interpret(condStoreGraph(&base2));
+    ASSERT_TRUE(ref.completed);
+
+    Processor proc(g_sim, ProcessorConfig::baseline());
+    ASSERT_TRUE(proc.run(500000));
+    EXPECT_EQ(proc.usefulExecuted(), ref.useful);
+    for (const auto &[addr, value] : ref.memory)
+        EXPECT_EQ(proc.memory().read(addr), value);
+}
+
+TEST(Conditional, BothArmsWithMemory)
+{
+    // if even: a[i] = i else b[i] = 2i — memory on both arms.
+    GraphBuilder b("botharms");
+    const Addr aarr = b.alloc(8 * 8);
+    const Addr barr = b.alloc(8 * 8);
+    b.beginThread(0);
+    auto i0 = b.param(0);
+    auto loop = b.beginLoop({i0});
+    auto i = loop.vars[0];
+    auto is_even = b.eqi(b.andi(i, 1), 0);
+    GraphBuilder::IfElse ie = b.beginIf(is_even, {i});
+    b.store(b.addi(b.shli(ie.vars[0], 3), static_cast<Value>(aarr)),
+            ie.vars[0]);
+    b.elseArm(ie, {ie.vars[0]});
+    b.store(b.addi(b.shli(ie.vars[0], 3), static_cast<Value>(barr)),
+            b.muli(ie.vars[0], 2));
+    b.endIf(ie, {ie.vars[0]});
+    auto i_next = b.addi(ie.merged[0], 1);
+    b.endLoop(loop, {i_next}, b.lti(i_next, 8));
+    b.sink(loop.exits[0], 1);
+    b.endThread();
+    DataflowGraph g = b.finish();
+
+    InterpResult ref = interpret(g);
+    ASSERT_TRUE(ref.completed);
+
+    GraphBuilder b2("x");
+    (void)b2;
+    Processor proc(g, ProcessorConfig::baseline());
+    ASSERT_TRUE(proc.run(500000));
+    for (Value i = 0; i < 8; i += 2)
+        EXPECT_EQ(proc.memory().read(aarr + 8 * static_cast<Addr>(i)), i);
+    for (Value i = 1; i < 8; i += 2) {
+        EXPECT_EQ(proc.memory().read(barr + 8 * static_cast<Addr>(i)),
+                  2 * i);
+    }
+}
+
+TEST(Conditional, NestedComputeOnlyDiamonds)
+{
+    // sign(x) via nested conditionals: (x>0) ? 1 : ((x<0) ? -1 : 0).
+    GraphBuilder b("sign");
+    b.beginThread(0);
+    auto i0 = b.param(-3);
+    auto acc0 = b.param(0);
+    auto loop = b.beginLoop({i0, acc0});
+    auto i = loop.vars[0];
+    auto acc = loop.vars[1];
+    auto pos = b.emit(Opcode::kLt, {b.lit(0, i), i});
+    GraphBuilder::IfElse outer = b.beginIf(pos, {i});
+    Node t = b.lit(1, outer.vars[0]);
+    b.elseArm(outer, {t});
+    auto neg = b.lti(outer.vars[0], 0);
+    GraphBuilder::IfElse inner = b.beginIf(neg, {outer.vars[0]});
+    Node tt = b.lit(-1, inner.vars[0]);
+    b.elseArm(inner, {tt});
+    Node ee = b.lit(0, inner.vars[0]);
+    b.endIf(inner, {ee});
+    b.endIf(outer, {inner.merged[0]});
+    acc = b.add(acc, outer.merged[0]);
+    auto i_next = b.addi(i, 1);
+    b.endLoop(loop, {i_next, acc}, b.lti(i_next, 4));
+    b.sink(loop.exits[1], 1);
+    b.endThread();
+    DataflowGraph g = b.finish();
+
+    InterpResult r = interpret(g);
+    ASSERT_TRUE(r.completed);
+    // signs of -3..3: -1*3 + 0 + 1*3 = 0.
+    EXPECT_EQ(r.sinkValues.at(0), 0);
+}
+
+TEST(Conditional, MemoryInNestedConditionalIsFatal)
+{
+    GraphBuilder b("bad");
+    const Addr a = b.alloc(8);
+    b.beginThread(0);
+    auto x = b.param(1);
+    auto c1 = b.lti(x, 5);
+    GraphBuilder::IfElse outer = b.beginIf(c1, {x});
+    auto c2 = b.lti(outer.vars[0], 3);
+    GraphBuilder::IfElse inner = b.beginIf(c2, {outer.vars[0]});
+    EXPECT_THROW(
+        b.store(b.lit(static_cast<Value>(a), inner.vars[0]),
+                inner.vars[0]),
+        FatalError);
+}
+
+TEST(Conditional, LoopInsideConditionalIsFatal)
+{
+    GraphBuilder b("bad");
+    b.beginThread(0);
+    auto x = b.param(1);
+    GraphBuilder::IfElse ie = b.beginIf(b.lti(x, 5), {x});
+    EXPECT_THROW(b.beginLoop({ie.vars[0]}), FatalError);
+}
+
+TEST(Conditional, MismatchedResultsAreFatal)
+{
+    GraphBuilder b("bad");
+    b.beginThread(0);
+    auto x = b.param(1);
+    GraphBuilder::IfElse ie = b.beginIf(b.lti(x, 5), {x});
+    b.elseArm(ie, {ie.vars[0]});
+    EXPECT_THROW(b.endIf(ie, {}), FatalError);
+}
+
+TEST(Conditional, EndIfWithoutElseIsFatal)
+{
+    GraphBuilder b("bad");
+    b.beginThread(0);
+    auto x = b.param(1);
+    GraphBuilder::IfElse ie = b.beginIf(b.lti(x, 5), {x});
+    EXPECT_THROW(b.endIf(ie, {ie.vars[0]}), FatalError);
+}
+
+} // namespace
+} // namespace ws

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * ProcessorConfig validation: every 20 FO4 legality rule of §4.1, the
+ * methodology escape hatch (relaxLimits), and the baseline's fidelity
+ * to Table 1.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "core/config.h"
+#include "core/simulator.h"
+#include "isa/graph_builder.h"
+
+namespace ws {
+namespace {
+
+ProcessorConfig
+wired()
+{
+    ProcessorConfig cfg = ProcessorConfig::baseline();
+    cfg.memory.clusters = cfg.clusters;
+    cfg.mesh.clusters = cfg.clusters;
+    return cfg;
+}
+
+TEST(Config, BaselineMatchesTable1)
+{
+    const ProcessorConfig cfg = ProcessorConfig::baseline();
+    EXPECT_EQ(cfg.clusters, 1);
+    EXPECT_EQ(cfg.domainsPerCluster, 4);
+    EXPECT_EQ(cfg.pesPerDomain, 8);
+    EXPECT_EQ(cfg.pe.instStoreEntries, 128u);    // 4K static capacity.
+    EXPECT_EQ(cfg.pe.matchingEntries, 128u);
+    EXPECT_EQ(cfg.pe.matchingBanks, 4u);         // 4 arrivals/cycle.
+    EXPECT_EQ(cfg.pe.matchingWays, 2u);          // 2-way (§3.2).
+    EXPECT_EQ(cfg.memory.l1Bytes, 32u * 1024);   // 32 KB, 4-way, 128 B.
+    EXPECT_EQ(cfg.memory.l1Ways, 4u);
+    EXPECT_EQ(cfg.memory.lineBytes, 128u);
+    EXPECT_EQ(cfg.memory.l1HitLatency, 3u);
+    EXPECT_EQ(cfg.memory.memLatency, 200u);      // Table 1 main RAM.
+    EXPECT_EQ(cfg.storeBuffer.waveSlots, 4u);    // 4 sequences at once.
+    EXPECT_EQ(cfg.storeBuffer.psqCount, 2u);     // 2 partial store queues.
+    EXPECT_EQ(cfg.storeBuffer.psqEntries, 4u);
+    EXPECT_EQ(cfg.mesh.portBandwidth, 2u);       // 2 ops/cycle/port.
+    EXPECT_EQ(cfg.mesh.queueCapacity, 8u);       // 8-entry output queues.
+    EXPECT_EQ(cfg.instructionCapacity(), 4096u);
+    EXPECT_NO_THROW(wired().validate());
+}
+
+struct BadConfig
+{
+    const char *label;
+    void (*mutate)(ProcessorConfig &);
+};
+
+class ConfigLimits : public testing::TestWithParam<BadConfig>
+{};
+
+TEST_P(ConfigLimits, ViolationIsFatal)
+{
+    ProcessorConfig cfg = wired();
+    GetParam().mutate(cfg);
+    cfg.memory.clusters = cfg.clusters;
+    cfg.mesh.clusters = cfg.clusters;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST_P(ConfigLimits, RelaxLimitsAllowsSizeViolationsOnly)
+{
+    ProcessorConfig cfg = wired();
+    GetParam().mutate(cfg);
+    cfg.memory.clusters = cfg.clusters;
+    cfg.mesh.clusters = cfg.clusters;
+    cfg.relaxLimits = true;
+    // Structure-size rules relax; structural rules (cluster/domain/PE
+    // counts) never do. Identify by label prefix.
+    const std::string label = GetParam().label;
+    if (label.rfind("size_", 0) == 0)
+        EXPECT_NO_THROW(cfg.validate());
+    else
+        EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rules, ConfigLimits,
+    testing::Values(
+        BadConfig{"struct_zero_clusters",
+                  [](ProcessorConfig &c) { c.clusters = 0; }},
+        BadConfig{"struct_too_many_clusters",
+                  [](ProcessorConfig &c) { c.clusters = 65; }},
+        BadConfig{"struct_five_domains",
+                  [](ProcessorConfig &c) { c.domainsPerCluster = 5; }},
+        BadConfig{"struct_one_pe",
+                  [](ProcessorConfig &c) { c.pesPerDomain = 1; }},
+        BadConfig{"struct_nine_pes",
+                  [](ProcessorConfig &c) { c.pesPerDomain = 9; }},
+        BadConfig{"size_istore_too_big",
+                  [](ProcessorConfig &c) {
+                      c.pe.instStoreEntries = 512;
+                  }},
+        BadConfig{"size_istore_too_small",
+                  [](ProcessorConfig &c) { c.pe.instStoreEntries = 4; }},
+        BadConfig{"size_matching_too_big",
+                  [](ProcessorConfig &c) { c.pe.matchingEntries = 512; }},
+        BadConfig{"size_matching_too_small",
+                  [](ProcessorConfig &c) { c.pe.matchingEntries = 8; }},
+        BadConfig{"size_l1_too_small",
+                  [](ProcessorConfig &c) { c.memory.l1Bytes = 4096; }},
+        BadConfig{"size_l1_too_big",
+                  [](ProcessorConfig &c) {
+                      c.memory.l1Bytes = 64 * 1024;
+                  }},
+        BadConfig{"size_l2_too_big",
+                  [](ProcessorConfig &c) {
+                      c.memory.l2Bytes = 64ull << 20;
+                  }}),
+    [](const testing::TestParamInfo<BadConfig> &info) {
+        return info.param.label;
+    });
+
+TEST(Config, MatchingGeometryMustDivide)
+{
+    ProcessorConfig cfg = wired();
+    cfg.pe.matchingEntries = 126;   // Not divisible by 2 ways... it is;
+    cfg.pe.matchingWays = 4;        // 126 % 4 != 0.
+    EXPECT_THROW(cfg.validate(), FatalError);
+    cfg.relaxLimits = true;         // Geometry rules never relax.
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(Config, MeshAndMemoryMustBeWired)
+{
+    ProcessorConfig cfg = ProcessorConfig::baseline();
+    cfg.clusters = 4;
+    // Forgot to wire memory.clusters / mesh.clusters.
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(Config, CapacityArithmetic)
+{
+    ProcessorConfig cfg = ProcessorConfig::baseline();
+    cfg.clusters = 16;
+    cfg.pe.instStoreEntries = 64;
+    EXPECT_EQ(cfg.totalPes(), 512u);
+    EXPECT_EQ(cfg.instructionCapacity(), 32768u);
+    const PlacementGeometry geom = cfg.placementGeometry();
+    EXPECT_EQ(geom.totalPes(), 512u);
+    EXPECT_EQ(geom.peCapacity, 64);
+}
+
+TEST(Config, ReportExportsEveryCounterFamily)
+{
+    GraphBuilder b("tiny");
+    b.beginThread(0);
+    auto x = b.param(2);
+    auto loop = b.beginLoop({x});
+    auto nxt = b.addi(loop.vars[0], 1);
+    b.endLoop(loop, {nxt}, b.lti(nxt, 6));
+    b.sink(loop.exits[0], 1);
+    b.endThread();
+    DataflowGraph g = b.finish();
+    Processor proc(g, ProcessorConfig::baseline());
+    ASSERT_TRUE(proc.run(100000));
+    const StatReport r = proc.report();
+    for (const char *key :
+         {"sim.cycles", "sim.aipc", "sim.useful_executed",
+          "pe.executed", "pe.accepted", "pe.rejected",
+          "pe.bypass_deliveries", "pe.bank_conflicts",
+          "pe.wave_throttled", "pe.fpu_stalls", "match.inserts",
+          "match.fires", "match.misses", "istore.hits", "istore.misses",
+          "sb.requests", "sb.wave_completions", "sb.psq_allocations",
+          "sb.slot_preemptions", "l1.hits", "l1.misses", "home.getS",
+          "home.l2_hits", "traffic.total", "traffic.operand_fraction",
+          "traffic.mean_hops"}) {
+        EXPECT_TRUE(r.has(key)) << key;
+    }
+}
+
+} // namespace
+} // namespace ws

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the activity-based energy model (extension): accounting
+ * consistency, capacity scaling, and integration with real simulation
+ * reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include "area/design_space.h"
+#include "area/energy_model.h"
+#include "core/simulator.h"
+#include "kernels/kernel.h"
+
+namespace ws {
+namespace {
+
+StatReport
+reportFor(const char *kernel, const DesignPoint &d, int threads = 1)
+{
+    KernelParams p;
+    p.threads = static_cast<std::uint16_t>(threads);
+    DataflowGraph g = findKernel(kernel).build(p);
+    ProcessorConfig cfg = toProcessorConfig(d);
+    SimOptions opts;
+    opts.maxCycles = 2'000'000;
+    return runSimulation(g, cfg, opts).report;
+}
+
+const DesignPoint kBase{1, 4, 8, 128, 128, 32, 1};
+
+TEST(Energy, TotalEqualsSumOfItems)
+{
+    StatReport r = reportFor("rawdaudio", kBase);
+    EnergyBreakdown e = EnergyModel::estimate(r, kBase);
+    double sum = 0.0;
+    for (const EnergyItem &item : e.items)
+        sum += item.picojoules;
+    EXPECT_NEAR(e.totalPj, sum, 1e-6);
+    EXPECT_GT(e.totalPj, 0.0);
+}
+
+TEST(Energy, SramAccessScalesWithCapacity)
+{
+    EXPECT_LT(EnergyModel::matchingAccess(16),
+              EnergyModel::matchingAccess(128));
+    EXPECT_LT(EnergyModel::matchingAccess(128),
+              EnergyModel::matchingAccess(256));
+    // Square-root scaling: quadrupling entries doubles the variable part.
+    const double base = EnergyModel::kSramBase;
+    EXPECT_NEAR(EnergyModel::matchingAccess(256) - base,
+                2.0 * (EnergyModel::matchingAccess(64) - base), 1e-9);
+}
+
+TEST(Energy, DerivedMetricsAreConsistent)
+{
+    StatReport r = reportFor("djpeg", kBase);
+    EnergyBreakdown e = EnergyModel::estimate(r, kBase);
+    const double cycles = r.get("sim.cycles");
+    const double seconds = cycles * EnergyModel::kClockSeconds;
+    EXPECT_NEAR(e.watts, e.totalPj * 1e-12 / seconds, 1e-9);
+    EXPECT_NEAR(e.edp, e.totalPj * 1e-12 * seconds, 1e-18);
+    EXPECT_NEAR(e.epiPj, e.totalPj / r.get("sim.useful_executed"), 1e-6);
+}
+
+TEST(Energy, BiggerDieLeaksMore)
+{
+    // Same workload, same cycle counts to first order; the larger
+    // machine's leakage item must be bigger.
+    StatReport r_small = reportFor("rawdaudio", kBase);
+    const DesignPoint big{4, 4, 8, 128, 128, 32, 4};
+    StatReport r_big = reportFor("rawdaudio", big);
+    auto leakage = [](const EnergyBreakdown &e) {
+        for (const EnergyItem &item : e.items) {
+            if (item.name == "leakage")
+                return item.picojoules;
+        }
+        return 0.0;
+    };
+    const double small_leak_per_cycle =
+        leakage(EnergyModel::estimate(r_small, kBase)) /
+        r_small.get("sim.cycles");
+    const double big_leak_per_cycle =
+        leakage(EnergyModel::estimate(r_big, big)) /
+        r_big.get("sim.cycles");
+    EXPECT_GT(big_leak_per_cycle, small_leak_per_cycle * 3);
+}
+
+TEST(Energy, GridTrafficCostsMoreThanLocal)
+{
+    // The same kernel on 4 clusters with random placement (heavy grid
+    // traffic) must spend more network energy per message than with
+    // locality-aware placement.
+    KernelParams p;
+    p.threads = 8;
+    const DesignPoint d{4, 4, 8, 128, 128, 32, 2};
+    auto net_energy = [&](PlacementPolicy policy) {
+        DataflowGraph g = buildFft(p);
+        ProcessorConfig cfg = toProcessorConfig(d);
+        cfg.placement = policy;
+        SimOptions opts;
+        opts.maxCycles = 2'000'000;
+        StatReport r = runSimulation(g, cfg, opts).report;
+        EnergyBreakdown e = EnergyModel::estimate(r, d);
+        double net = 0.0;
+        for (const EnergyItem &item : e.items) {
+            if (item.name.rfind("net.", 0) == 0)
+                net += item.picojoules;
+        }
+        return net / r.get("traffic.total");
+    };
+    EXPECT_GT(net_energy(PlacementPolicy::kRandom),
+              2.0 * net_energy(PlacementPolicy::kDepthFirst));
+}
+
+TEST(Energy, DeterministicAcrossRuns)
+{
+    StatReport r1 = reportFor("lu", kBase, 4);
+    StatReport r2 = reportFor("lu", kBase, 4);
+    EXPECT_DOUBLE_EQ(EnergyModel::estimate(r1, kBase).totalPj,
+                     EnergyModel::estimate(r2, kBase).totalPj);
+}
+
+} // namespace
+} // namespace ws

@@ -1,0 +1,447 @@
+/**
+ * @file
+ * Unit tests for the ISA layer: opcode metadata, evaluation semantics,
+ * tags, graph validation, and the reference interpreter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "isa/exec.h"
+#include "isa/graph.h"
+#include "isa/graph_builder.h"
+#include "isa/interp.h"
+#include "isa/opcode.h"
+#include "isa/tag.h"
+#include "isa/token.h"
+
+namespace ws {
+namespace {
+
+TEST(Opcode, EveryOpcodeHasInfo)
+{
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(Opcode::kNumOpcodes); ++i) {
+        const OpcodeInfo &info = opcodeInfo(static_cast<Opcode>(i));
+        EXPECT_FALSE(info.name.empty());
+        EXPECT_GE(info.arity, 1);
+        EXPECT_LE(info.arity, 3);
+        EXPECT_GE(info.latency, 1);
+    }
+}
+
+TEST(Opcode, MemoryFlagsConsistent)
+{
+    EXPECT_TRUE(isMemoryOp(Opcode::kLoad));
+    EXPECT_TRUE(isMemoryOp(Opcode::kStoreAddr));
+    EXPECT_TRUE(isMemoryOp(Opcode::kStoreData));
+    EXPECT_TRUE(isMemoryOp(Opcode::kMemNop));
+    EXPECT_FALSE(isMemoryOp(Opcode::kAdd));
+    EXPECT_FALSE(isMemoryOp(Opcode::kSteer));
+}
+
+TEST(Opcode, OverheadOpsAreNotUseful)
+{
+    EXPECT_FALSE(opcodeInfo(Opcode::kSteer).useful);
+    EXPECT_FALSE(opcodeInfo(Opcode::kWaveAdvance).useful);
+    EXPECT_FALSE(opcodeInfo(Opcode::kMemNop).useful);
+    EXPECT_FALSE(opcodeInfo(Opcode::kStoreData).useful);
+    EXPECT_FALSE(opcodeInfo(Opcode::kSink).useful);
+    EXPECT_TRUE(opcodeInfo(Opcode::kAdd).useful);
+    EXPECT_TRUE(opcodeInfo(Opcode::kLoad).useful);
+    EXPECT_TRUE(opcodeInfo(Opcode::kStoreAddr).useful);
+}
+
+struct EvalCase
+{
+    Opcode op;
+    Value imm;
+    Operands in;
+    Value expect;
+};
+
+class Evaluate : public testing::TestWithParam<EvalCase>
+{};
+
+TEST_P(Evaluate, ProducesExpectedValue)
+{
+    const EvalCase &c = GetParam();
+    EXPECT_EQ(evaluate(c.op, c.imm, c.in), c.expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    IntOps, Evaluate,
+    testing::Values(
+        EvalCase{Opcode::kAdd, 0, {3, 4, 0}, 7},
+        EvalCase{Opcode::kSub, 0, {3, 4, 0}, -1},
+        EvalCase{Opcode::kMul, 0, {-3, 4, 0}, -12},
+        EvalCase{Opcode::kDiv, 0, {12, 4, 0}, 3},
+        EvalCase{Opcode::kDiv, 0, {12, 0, 0}, 0},   // No trap.
+        EvalCase{Opcode::kRem, 0, {13, 4, 0}, 1},
+        EvalCase{Opcode::kRem, 0, {13, 0, 0}, 0},
+        EvalCase{Opcode::kAnd, 0, {0b1100, 0b1010, 0}, 0b1000},
+        EvalCase{Opcode::kOr, 0, {0b1100, 0b1010, 0}, 0b1110},
+        EvalCase{Opcode::kXor, 0, {0b1100, 0b1010, 0}, 0b0110},
+        EvalCase{Opcode::kShl, 0, {1, 4, 0}, 16},
+        EvalCase{Opcode::kShr, 0, {16, 4, 0}, 1},
+        EvalCase{Opcode::kShl, 0, {1, 64, 0}, 1},   // Shift masks to 0.
+        EvalCase{Opcode::kLt, 0, {1, 2, 0}, 1},
+        EvalCase{Opcode::kLt, 0, {2, 2, 0}, 0},
+        EvalCase{Opcode::kLe, 0, {2, 2, 0}, 1},
+        EvalCase{Opcode::kEq, 0, {5, 5, 0}, 1},
+        EvalCase{Opcode::kNe, 0, {5, 5, 0}, 0},
+        EvalCase{Opcode::kMin, 0, {-2, 7, 0}, -2},
+        EvalCase{Opcode::kMax, 0, {-2, 7, 0}, 7},
+        EvalCase{Opcode::kNeg, 0, {5, 0, 0}, -5},
+        EvalCase{Opcode::kNot, 0, {0, 0, 0}, -1}));
+
+INSTANTIATE_TEST_SUITE_P(
+    ImmediateOps, Evaluate,
+    testing::Values(
+        EvalCase{Opcode::kAddi, 10, {3, 0, 0}, 13},
+        EvalCase{Opcode::kSubi, 10, {3, 0, 0}, -7},
+        EvalCase{Opcode::kMuli, -2, {6, 0, 0}, -12},
+        EvalCase{Opcode::kDivi, 3, {10, 0, 0}, 3},
+        EvalCase{Opcode::kDivi, 0, {10, 0, 0}, 0},
+        EvalCase{Opcode::kRemi, 3, {10, 0, 0}, 1},
+        EvalCase{Opcode::kAndi, 0xF, {0x1234, 0, 0}, 4},
+        EvalCase{Opcode::kShli, 3, {2, 0, 0}, 16},
+        EvalCase{Opcode::kShri, 3, {16, 0, 0}, 2},
+        EvalCase{Opcode::kLti, 5, {4, 0, 0}, 1},
+        EvalCase{Opcode::kLei, 5, {5, 0, 0}, 1},
+        EvalCase{Opcode::kEqi, 5, {5, 0, 0}, 1},
+        EvalCase{Opcode::kNei, 5, {5, 0, 0}, 0}));
+
+INSTANTIATE_TEST_SUITE_P(
+    ControlAndMem, Evaluate,
+    testing::Values(
+        EvalCase{Opcode::kConst, 99, {1, 0, 0}, 99},
+        EvalCase{Opcode::kMov, 0, {42, 0, 0}, 42},
+        EvalCase{Opcode::kSteer, 0, {42, 1, 0}, 42},
+        EvalCase{Opcode::kWaveAdvance, 0, {42, 0, 0}, 42},
+        EvalCase{Opcode::kSelect, 0, {1, 10, 20}, 10},
+        EvalCase{Opcode::kSelect, 0, {0, 10, 20}, 20},
+        EvalCase{Opcode::kLoad, 16, {100, 0, 0}, 116},
+        EvalCase{Opcode::kStoreAddr, 8, {100, 0, 0}, 108},
+        EvalCase{Opcode::kStoreData, 0, {7, 0, 0}, 7}));
+
+TEST(EvaluateFp, Arithmetic)
+{
+    const Value a = fromDouble(1.5);
+    const Value b = fromDouble(2.0);
+    EXPECT_DOUBLE_EQ(asDouble(evaluate(Opcode::kFadd, 0, {a, b, 0})), 3.5);
+    EXPECT_DOUBLE_EQ(asDouble(evaluate(Opcode::kFsub, 0, {a, b, 0})),
+                     -0.5);
+    EXPECT_DOUBLE_EQ(asDouble(evaluate(Opcode::kFmul, 0, {a, b, 0})), 3.0);
+    EXPECT_DOUBLE_EQ(asDouble(evaluate(Opcode::kFdiv, 0, {b, a, 0})),
+                     2.0 / 1.5);
+    EXPECT_DOUBLE_EQ(
+        asDouble(evaluate(Opcode::kFdiv, 0, {a, fromDouble(0.0), 0})),
+        0.0);
+    EXPECT_EQ(evaluate(Opcode::kFlt, 0, {a, b, 0}), 1);
+    EXPECT_EQ(evaluate(Opcode::kFeq, 0, {a, a, 0}), 1);
+    EXPECT_DOUBLE_EQ(asDouble(evaluate(Opcode::kItoF, 0, {7, 0, 0})), 7.0);
+    EXPECT_EQ(evaluate(Opcode::kFtoI, 0, {fromDouble(7.9), 0, 0}), 7);
+}
+
+TEST(Tag, OrderingAndPacking)
+{
+    const Tag a{1, 5};
+    const Tag b{1, 6};
+    const Tag c{2, 0};
+    EXPECT_LT(a, b);
+    EXPECT_LT(b, c);
+    EXPECT_EQ(a.nextWave(), b);
+    EXPECT_NE(a.packed(), c.packed());
+    EXPECT_NE(TagHash{}(a), TagHash{}(b));
+}
+
+// ---------------------------------------------------------------------
+// Graph validation
+// ---------------------------------------------------------------------
+
+TEST(GraphValidate, DanglingTargetIsFatal)
+{
+    DataflowGraph g("bad");
+    Instruction mov;
+    mov.op = Opcode::kMov;
+    mov.outs[0].push_back(PortRef{99, 0});
+    g.addInstruction(mov);
+    g.addInitialToken(Token{Tag{0, 0}, PortRef{0, 0}, 1});
+    EXPECT_THROW(g.validate(), FatalError);
+}
+
+TEST(GraphValidate, PortOutOfRangeIsFatal)
+{
+    DataflowGraph g("bad");
+    Instruction mov;
+    mov.op = Opcode::kMov;
+    mov.outs[0].push_back(PortRef{1, 2});  // kMov arity is 1.
+    g.addInstruction(mov);
+    Instruction mov2;
+    mov2.op = Opcode::kMov;
+    g.addInstruction(mov2);
+    g.addInitialToken(Token{Tag{0, 0}, PortRef{0, 0}, 1});
+    EXPECT_THROW(g.validate(), FatalError);
+}
+
+TEST(GraphValidate, StarvedInputIsFatal)
+{
+    DataflowGraph g("bad");
+    Instruction add;
+    add.op = Opcode::kAdd;
+    g.addInstruction(add);
+    g.addInitialToken(Token{Tag{0, 0}, PortRef{0, 0}, 1});
+    // Port 1 has no producer.
+    EXPECT_THROW(g.validate(), FatalError);
+}
+
+TEST(GraphValidate, FalseSideOnNonSteerIsFatal)
+{
+    DataflowGraph g("bad");
+    Instruction mov;
+    mov.op = Opcode::kMov;
+    g.addInstruction(mov);
+    Instruction add;
+    add.op = Opcode::kNop;
+    add.outs[1].push_back(PortRef{0, 0});
+    g.addInstruction(add);
+    g.addInitialToken(Token{Tag{0, 0}, PortRef{0, 0}, 1});
+    g.addInitialToken(Token{Tag{0, 0}, PortRef{1, 0}, 1});
+    EXPECT_THROW(g.validate(), FatalError);
+}
+
+TEST(GraphValidate, MissingMemAnnotationIsFatal)
+{
+    DataflowGraph g("bad");
+    Instruction ld;
+    ld.op = Opcode::kLoad;  // mem.valid left false.
+    g.addInstruction(ld);
+    g.addInitialToken(Token{Tag{0, 0}, PortRef{0, 0}, 1});
+    EXPECT_THROW(g.validate(), FatalError);
+}
+
+TEST(GraphValidate, BrokenChainLinksAreFatal)
+{
+    DataflowGraph g("bad");
+    Instruction nop1;
+    nop1.op = Opcode::kMemNop;
+    nop1.mem = MemOrder{kSeqNone, 0, 5, true};  // next should be 1.
+    g.addInstruction(nop1);
+    Instruction nop2;
+    nop2.op = Opcode::kMemNop;
+    nop2.mem = MemOrder{0, 1, kSeqNone, true};
+    g.addInstruction(nop2);
+    g.addInitialToken(Token{Tag{0, 0}, PortRef{0, 0}, 1});
+    g.addInitialToken(Token{Tag{0, 0}, PortRef{1, 0}, 1});
+    g.addMemRegion({0, 1});
+    EXPECT_THROW(g.validate(), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// GraphBuilder invariants
+// ---------------------------------------------------------------------
+
+TEST(Builder, CrossRegionUseIsFatal)
+{
+    GraphBuilder b("bad");
+    b.beginThread(0);
+    auto x = b.param(1);
+    auto loop = b.beginLoop({x});
+    // x belongs to the pre-loop region; using it inside the body must
+    // be rejected (its tokens would never match).
+    EXPECT_THROW(b.add(loop.vars[0], x), FatalError);
+}
+
+TEST(Builder, EmitOutsideThreadIsFatal)
+{
+    GraphBuilder b("bad");
+    EXPECT_THROW(b.param(1), FatalError);
+}
+
+TEST(Builder, LoopVarCountMismatchIsFatal)
+{
+    GraphBuilder b("bad");
+    b.beginThread(0);
+    auto x = b.param(1);
+    auto loop = b.beginLoop({x});
+    auto cond = b.lti(loop.vars[0], 10);
+    EXPECT_THROW(b.endLoop(loop, {}, cond), FatalError);
+}
+
+TEST(Builder, ManagedOpcodesRejected)
+{
+    GraphBuilder b("bad");
+    b.beginThread(0);
+    auto x = b.param(1);
+    EXPECT_THROW(b.emit(Opcode::kWaveAdvance, {x}), FatalError);
+    EXPECT_THROW(b.emit(Opcode::kSteer, {x, x}), FatalError);
+}
+
+TEST(Builder, EveryRegionGetsAMemChain)
+{
+    // A compute-only loop must still produce one MEM_NOP per region so
+    // the store buffer sees every wave.
+    GraphBuilder b("g");
+    b.beginThread(0);
+    auto x = b.param(1);
+    auto loop = b.beginLoop({x});
+    auto nxt = b.addi(loop.vars[0], 1);
+    b.endLoop(loop, {nxt}, b.lti(nxt, 5));
+    b.sink(loop.exits[0], 1);
+    b.endThread();
+    DataflowGraph g = b.finish();
+    // Pre-region, body, post-region → three chains.
+    EXPECT_EQ(g.memRegions().size(), 3u);
+    for (const auto &chain : g.memRegions())
+        EXPECT_FALSE(chain.empty());
+}
+
+TEST(Builder, StoreEmitsDecoupledPair)
+{
+    GraphBuilder b("g");
+    b.beginThread(0);
+    const Addr a = b.alloc(8);
+    auto addr = b.param(static_cast<Value>(a));
+    auto v = b.param(7);
+    b.store(addr, v);
+    b.sink(b.load(addr), 1);
+    b.endThread();
+    DataflowGraph g = b.finish();
+
+    int store_addr = 0;
+    int store_data = 0;
+    for (const auto &inst : g.instructions()) {
+        if (inst.op == Opcode::kStoreAddr)
+            ++store_addr;
+        if (inst.op == Opcode::kStoreData)
+            ++store_data;
+    }
+    EXPECT_EQ(store_addr, 1);
+    EXPECT_EQ(store_data, 1);
+}
+
+TEST(Builder, AllocIsAligned)
+{
+    GraphBuilder b("g", 1);
+    const Addr a = b.alloc(5);
+    const Addr c = b.alloc(8);
+    EXPECT_EQ(a % 8, 0u);
+    EXPECT_EQ(c % 8, 0u);
+    EXPECT_GE(c, a + 8);
+}
+
+// ---------------------------------------------------------------------
+// Reference interpreter
+// ---------------------------------------------------------------------
+
+TEST(Interp, LoopSum)
+{
+    GraphBuilder b("sum");
+    b.beginThread(0);
+    auto i0 = b.param(1);
+    auto acc0 = b.param(0);
+    auto loop = b.beginLoop({i0, acc0});
+    auto acc = b.add(loop.vars[1], loop.vars[0]);
+    auto i_next = b.addi(loop.vars[0], 1);
+    b.endLoop(loop, {i_next, acc}, b.lti(i_next, 11));
+    b.sink(loop.exits[1], 1);
+    b.endThread();
+    DataflowGraph g = b.finish();
+
+    InterpResult r = interpret(g);
+    EXPECT_TRUE(r.completed);
+    ASSERT_EQ(r.sinkValues.size(), 1u);
+    EXPECT_EQ(r.sinkValues[0], 55);
+}
+
+TEST(Interp, StoreThenLoadSeesValue)
+{
+    GraphBuilder b("st");
+    b.beginThread(0);
+    const Addr a = b.alloc(8);
+    auto addr = b.param(static_cast<Value>(a));
+    auto v = b.param(123);
+    b.store(addr, v);
+    b.sink(b.load(addr), 1);
+    b.endThread();
+    DataflowGraph g = b.finish();
+
+    InterpResult r = interpret(g);
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(r.sinkValues[0], 123);
+    EXPECT_EQ(r.memory.at(a), 123);
+}
+
+TEST(Interp, NestedLoops)
+{
+    // sum_{i=0..3} sum_{j=0..3} (i*4+j) = sum 0..15 = 120
+    GraphBuilder b("nest");
+    b.beginThread(0);
+    auto i0 = b.param(0);
+    auto acc0 = b.param(0);
+    auto outer = b.beginLoop({i0, acc0});
+    auto i = outer.vars[0];
+    auto acc = outer.vars[1];
+    auto j0 = b.lit(0, i);
+    auto inner = b.beginLoop({j0, acc, i});
+    auto j = inner.vars[0];
+    auto acc_in = inner.vars[1];
+    auto i_in = inner.vars[2];
+    auto term = b.add(b.shli(i_in, 2), j);
+    auto acc_next = b.add(acc_in, term);
+    auto j_next = b.addi(j, 1);
+    b.endLoop(inner, {j_next, acc_next, i_in}, b.lti(j_next, 4));
+    auto i_next = b.addi(inner.exits[2], 1);
+    b.endLoop(outer, {i_next, inner.exits[1]}, b.lti(i_next, 4));
+    b.sink(outer.exits[1], 1);
+    b.endThread();
+    DataflowGraph g = b.finish();
+
+    InterpResult r = interpret(g);
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(r.sinkValues[0], 120);
+}
+
+TEST(Interp, StoreDataBeforeAddrStillOrders)
+{
+    // Build by hand: storeData's token arrives before storeAddr fires.
+    // The interpreter (like the store buffer) pairs them by (tag, seq).
+    GraphBuilder b("early");
+    b.beginThread(0);
+    const Addr a = b.alloc(8);
+    auto v = b.param(55);
+    auto addr = b.param(static_cast<Value>(a));
+    // A long dependent chain delays the *address*, so data arrives
+    // first in practice.
+    auto slow = addr;
+    for (int i = 0; i < 8; ++i)
+        slow = b.addi(slow, 0);
+    b.store(slow, v);
+    b.sink(b.load(slow), 1);
+    b.endThread();
+    DataflowGraph g = b.finish();
+
+    InterpResult r = interpret(g);
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(r.sinkValues[0], 55);
+}
+
+TEST(Interp, UsefulExcludesOverhead)
+{
+    GraphBuilder b("u");
+    b.beginThread(0);
+    auto x = b.param(1);
+    auto loop = b.beginLoop({x});
+    auto nxt = b.addi(loop.vars[0], 1);
+    b.endLoop(loop, {nxt}, b.lti(nxt, 3));
+    b.sink(loop.exits[0], 1);
+    b.endThread();
+    DataflowGraph g = b.finish();
+
+    InterpResult r = interpret(g);
+    EXPECT_LT(r.useful, r.executed);
+}
+
+} // namespace
+} // namespace ws

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Workload-suite tests: every kernel builds a valid graph, runs to
+ * completion on the baseline machine, and has the structural properties
+ * (size, instruction mix, thread count) its Spec/Media/Splash namesake
+ * demands.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.h"
+#include "kernels/kernel.h"
+
+namespace ws {
+namespace {
+
+KernelParams
+smallParams()
+{
+    KernelParams p;
+    p.scale = 1;
+    p.threads = 2;
+    return p;
+}
+
+class KernelSuite : public testing::TestWithParam<Kernel>
+{};
+
+TEST_P(KernelSuite, BuildsValidGraph)
+{
+    const Kernel &k = GetParam();
+    DataflowGraph g = k.build(smallParams());
+    EXPECT_NO_THROW(g.validate());
+    EXPECT_GT(g.size(), 50u);
+    EXPECT_GT(g.expectedSinkTokens(), 0u);
+    EXPECT_EQ(g.numThreads(), k.multithreaded ? 2 : 1);
+}
+
+TEST_P(KernelSuite, RunsToCompletionOnBaseline)
+{
+    const Kernel &k = GetParam();
+    DataflowGraph g = k.build(smallParams());
+    ProcessorConfig cfg = ProcessorConfig::baseline();
+    cfg.memory.l2Bytes = 1 << 20;
+    SimOptions opts;
+    opts.maxCycles = 3'000'000;
+    SimResult res = runSimulation(g, cfg, opts);
+    EXPECT_TRUE(res.completed) << k.name << " did not finish in "
+                               << res.cycles << " cycles";
+    EXPECT_GT(res.aipc, 0.0);
+}
+
+TEST_P(KernelSuite, DeterministicAcrossRuns)
+{
+    const Kernel &k = GetParam();
+    ProcessorConfig cfg = ProcessorConfig::baseline();
+    cfg.memory.l2Bytes = 1 << 20;
+    DataflowGraph g1 = k.build(smallParams());
+    DataflowGraph g2 = k.build(smallParams());
+    SimResult r1 = runSimulation(g1, cfg);
+    SimResult r2 = runSimulation(g2, cfg);
+    EXPECT_EQ(r1.cycles, r2.cycles) << k.name;
+    EXPECT_EQ(r1.useful, r2.useful) << k.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, KernelSuite, testing::ValuesIn(kernelRegistry()),
+    [](const testing::TestParamInfo<Kernel> &info) {
+        return info.param.name;
+    });
+
+TEST(KernelStructure, SpecKernelsAreLarge)
+{
+    // Spec working sets must pressure a 2K-instruction machine while
+    // mostly fitting a 4K one (the paper's capacity story).
+    KernelParams p;
+    for (const std::string &name : kernelsInSuite(Suite::kSpec)) {
+        DataflowGraph g = findKernel(name).build(p);
+        EXPECT_GT(g.size(), 500u) << name;
+        EXPECT_LT(g.size(), 4096u) << name;
+    }
+}
+
+TEST(KernelStructure, SplashThreadBodiesAreModest)
+{
+    // Per-thread bodies around 200-500 instructions make 16 threads fit
+    // a 4K-capacity cluster and 64 threads need a 16K-capacity machine,
+    // reproducing the thread-count jumps of Table 5.
+    KernelParams p;
+    p.threads = 4;
+    for (const std::string &name : kernelsInSuite(Suite::kSplash)) {
+        DataflowGraph g = findKernel(name).build(p);
+        const std::size_t per_thread = g.size() / 4;
+        EXPECT_GT(per_thread, 100u) << name;
+        EXPECT_LT(per_thread, 700u) << name;
+    }
+}
+
+TEST(KernelStructure, FpShareMatchesSuiteCharacter)
+{
+    KernelParams p;
+    p.threads = 1;
+    StatReport gzip = findKernel("gzip").build(p).staticStats();
+    StatReport ammp = findKernel("ammp").build(p).staticStats();
+    EXPECT_EQ(gzip.sumPrefix("static.fp_ops"), 0.0);
+    EXPECT_GT(ammp.get("static.fp_ops"), 100.0);
+}
+
+TEST(KernelStructure, ThreadScalingGrowsStaticSize)
+{
+    KernelParams p4;
+    p4.threads = 4;
+    KernelParams p8;
+    p8.threads = 8;
+    DataflowGraph g4 = buildFft(p4);
+    DataflowGraph g8 = buildFft(p8);
+    EXPECT_NEAR(static_cast<double>(g8.size()) / g4.size(), 2.0, 0.1);
+}
+
+} // namespace
+} // namespace ws

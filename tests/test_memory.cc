@@ -1,0 +1,568 @@
+/**
+ * @file
+ * Unit tests for the memory subsystem: main memory, the generic tag
+ * array, the MESI directory protocol, and the wave-ordered store buffer
+ * with its partial store queues.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/log.h"
+#include "memory/cache.h"
+#include "memory/coherence.h"
+#include "memory/main_memory.h"
+#include "memory/store_buffer.h"
+
+namespace ws {
+namespace {
+
+// ---------------------------------------------------------------------
+// MainMemory
+// ---------------------------------------------------------------------
+
+TEST(MainMemory, ReadOfUnwrittenIsZero)
+{
+    MainMemory mem;
+    EXPECT_EQ(mem.read(0x1000), 0);
+}
+
+TEST(MainMemory, WriteReadRoundTrip)
+{
+    MainMemory mem;
+    mem.write(0x1000, 42);
+    mem.write(0x1008, -7);
+    EXPECT_EQ(mem.read(0x1000), 42);
+    EXPECT_EQ(mem.read(0x1008), -7);
+}
+
+TEST(MainMemory, SubWordAddressesAlias)
+{
+    MainMemory mem;
+    mem.write(0x1000, 1);
+    EXPECT_EQ(mem.read(0x1003), 1);  // Same word.
+}
+
+TEST(MainMemory, PagesAllocateLazily)
+{
+    MainMemory mem;
+    EXPECT_EQ(mem.residentPages(), 0u);
+    mem.write(0, 1);
+    mem.write(1 << 20, 2);
+    EXPECT_EQ(mem.residentPages(), 2u);
+}
+
+// ---------------------------------------------------------------------
+// TagArray
+// ---------------------------------------------------------------------
+
+TEST(TagArray, MissThenInsertHits)
+{
+    TagArray tags(1024, 2, 64);
+    EXPECT_EQ(tags.probe(0x40), 0);
+    tags.insert(0x40, 1);
+    EXPECT_EQ(tags.probe(0x40), 1);
+    EXPECT_EQ(tags.probe(0x7f), 1);  // Same line.
+}
+
+TEST(TagArray, LruEvictionWithinSet)
+{
+    // 2 sets x 2 ways, 64B lines: addresses 0, 128, 256 share set 0.
+    TagArray tags(256, 2, 64);
+    tags.insert(0, 1);
+    tags.insert(128, 1);
+    tags.touch(0);  // 128 becomes LRU.
+    auto victim = tags.insert(256, 1);
+    ASSERT_TRUE(victim.valid);
+    EXPECT_EQ(victim.lineAddr, 128u);
+    EXPECT_EQ(tags.probe(0), 1);
+    EXPECT_EQ(tags.probe(256), 1);
+}
+
+TEST(TagArray, EraseAndStates)
+{
+    TagArray tags(1024, 4, 64);
+    tags.insert(0x100, 2);
+    tags.setState(0x100, 3);
+    EXPECT_EQ(tags.probe(0x100), 3);
+    EXPECT_TRUE(tags.erase(0x100));
+    EXPECT_FALSE(tags.erase(0x100));
+    EXPECT_EQ(tags.probe(0x100), 0);
+}
+
+TEST(TagArray, ValidLineCount)
+{
+    TagArray tags(1024, 4, 64);
+    tags.insert(0, 1);
+    tags.insert(64, 1);
+    EXPECT_EQ(tags.validLines(), 2u);
+}
+
+TEST(TagArray, BadGeometryIsFatal)
+{
+    EXPECT_THROW(TagArray(1000, 4, 64), FatalError);
+    EXPECT_THROW(TagArray(1024, 0, 64), FatalError);
+    EXPECT_THROW(TagArray(1024, 4, 60), FatalError);
+}
+
+TEST(TagArray, OperationsOnAbsentLinesPanic)
+{
+    TagArray tags(1024, 4, 64);
+    EXPECT_THROW(tags.touch(0x40), PanicError);
+    EXPECT_THROW(tags.setState(0x40, 1), PanicError);
+}
+
+// ---------------------------------------------------------------------
+// Coherence harness: N L1s + one home, messages routed each cycle.
+// ---------------------------------------------------------------------
+
+class CohHarness
+{
+  public:
+    explicit CohHarness(unsigned clusters, std::size_t l2_bytes = 1 << 20)
+    {
+        cfg_.clusters = static_cast<std::uint16_t>(clusters);
+        cfg_.l2Bytes = l2_bytes;
+        home_ = std::make_unique<HomeSystem>(cfg_);
+        for (unsigned c = 0; c < clusters; ++c)
+            l1s_.push_back(std::make_unique<L1Controller>(
+                cfg_, static_cast<ClusterId>(c)));
+    }
+
+    void
+    step()
+    {
+        for (auto &l1 : l1s_)
+            l1->tick(now_);
+        home_->tick(now_);
+        for (auto &l1 : l1s_) {
+            for (const CohMsg &msg : l1->outbox())
+                home_->receive(msg, now_ + 1);
+            l1->outbox().clear();
+        }
+        for (auto &[dst, msg] : home_->outbox())
+            l1s_.at(dst)->receive(msg, now_ + 1);
+        home_->outbox().clear();
+        ++now_;
+    }
+
+    /** Run until @p l1 completes @p count requests (or panic). */
+    void
+    waitForDone(unsigned l1, std::size_t count, Cycle limit = 2000)
+    {
+        const Cycle start = now_;
+        while (l1s_[l1]->drainDone().size() < count) {
+            step();
+            if (now_ - start > limit)
+                FAIL() << "coherence harness timed out";
+        }
+    }
+
+    MemTimingConfig cfg_;
+    std::unique_ptr<HomeSystem> home_;
+    std::vector<std::unique_ptr<L1Controller>> l1s_;
+    Cycle now_ = 0;
+};
+
+TEST(Coherence, L1HitLatency)
+{
+    CohHarness h(1);
+    h.l1s_[0]->request(1, 0x1000, false, h.now_);
+    h.waitForDone(0, 1);
+    // Fill the line, then a hit completes in l1HitLatency cycles.
+    h.l1s_[0]->drainDone().clear();
+    const Cycle start = h.now_;
+    h.l1s_[0]->request(2, 0x1000, false, h.now_);
+    h.waitForDone(0, 1);
+    EXPECT_LE(h.now_ - start, h.cfg_.l1HitLatency + 1);
+    EXPECT_EQ(h.l1s_[0]->stats().hits, 1u);
+}
+
+TEST(Coherence, ColdReadGrantsExclusive)
+{
+    CohHarness h(2);
+    h.l1s_[0]->request(1, 0x2000, false, h.now_);
+    h.waitForDone(0, 1);
+    EXPECT_EQ(h.l1s_[0]->probeLine(0x2000), kMesiExclusive);
+    EXPECT_EQ(h.home_->stats().getS, 1u);
+}
+
+TEST(Coherence, SecondReaderDowngradesOwner)
+{
+    CohHarness h(2);
+    h.l1s_[0]->request(1, 0x2000, false, h.now_);
+    h.waitForDone(0, 1);
+    h.l1s_[1]->request(2, 0x2000, false, h.now_);
+    h.waitForDone(1, 1);
+    EXPECT_EQ(h.l1s_[0]->probeLine(0x2000), kMesiShared);
+    EXPECT_EQ(h.l1s_[1]->probeLine(0x2000), kMesiShared);
+    EXPECT_EQ(h.l1s_[0]->stats().downgradesReceived, 1u);
+}
+
+TEST(Coherence, WriteInvalidatesSharers)
+{
+    CohHarness h(3);
+    h.l1s_[0]->request(1, 0x3000, false, h.now_);
+    h.waitForDone(0, 1);
+    h.l1s_[1]->request(2, 0x3000, false, h.now_);
+    h.waitForDone(1, 1);
+    // Both sharers; now cluster 2 writes.
+    h.l1s_[2]->request(3, 0x3000, true, h.now_);
+    h.waitForDone(2, 1);
+    EXPECT_EQ(h.l1s_[2]->probeLine(0x3000), kMesiModified);
+    EXPECT_EQ(h.l1s_[0]->probeLine(0x3000), kMesiInvalid);
+    EXPECT_EQ(h.l1s_[1]->probeLine(0x3000), kMesiInvalid);
+    EXPECT_GE(h.home_->stats().invsSent, 2u);
+}
+
+TEST(Coherence, WriteHitOnExclusiveIsSilent)
+{
+    CohHarness h(1);
+    h.l1s_[0]->request(1, 0x4000, false, h.now_);
+    h.waitForDone(0, 1);
+    h.l1s_[0]->drainDone().clear();
+    const Counter messages = h.home_->stats().getS +
+                             h.home_->stats().getM;
+    h.l1s_[0]->request(2, 0x4000, true, h.now_);
+    h.waitForDone(0, 1);
+    EXPECT_EQ(h.l1s_[0]->probeLine(0x4000), kMesiModified);
+    EXPECT_EQ(h.home_->stats().getS + h.home_->stats().getM, messages);
+}
+
+TEST(Coherence, SharedWriterUpgrades)
+{
+    CohHarness h(2);
+    h.l1s_[0]->request(1, 0x5000, false, h.now_);
+    h.waitForDone(0, 1);
+    h.l1s_[1]->request(2, 0x5000, false, h.now_);
+    h.waitForDone(1, 1);
+    // Cluster 0 now writes its S copy: needs a GetM, invalidating c1.
+    h.l1s_[0]->drainDone().clear();
+    h.l1s_[0]->request(3, 0x5000, true, h.now_);
+    h.waitForDone(0, 1);
+    EXPECT_EQ(h.l1s_[0]->probeLine(0x5000), kMesiModified);
+    EXPECT_EQ(h.l1s_[1]->probeLine(0x5000), kMesiInvalid);
+}
+
+TEST(Coherence, DirtyEvictionWritesBack)
+{
+    CohHarness h(1);
+    // Fill one set (4 ways at 32KB/4w/128B = 64 sets; stride 8KB).
+    const Addr stride = 64 * 128;
+    std::uint64_t id = 1;
+    for (int i = 0; i < 5; ++i) {
+        h.l1s_[0]->request(id++, 0x10000 + i * stride, true, h.now_);
+        h.waitForDone(0, static_cast<std::size_t>(i + 1));
+    }
+    EXPECT_GE(h.l1s_[0]->stats().writebacks, 1u);
+    EXPECT_GE(h.home_->stats().putM, 1u);
+}
+
+TEST(Coherence, MshrMergesSecondaryMisses)
+{
+    CohHarness h(1);
+    h.l1s_[0]->request(1, 0x6000, false, h.now_);
+    h.l1s_[0]->request(2, 0x6000, false, h.now_);
+    h.l1s_[0]->request(3, 0x6010, false, h.now_);  // Same line.
+    h.waitForDone(0, 3);
+    EXPECT_EQ(h.l1s_[0]->stats().misses, 1u);
+    EXPECT_EQ(h.l1s_[0]->stats().mshrHits, 2u);
+    EXPECT_EQ(h.home_->stats().getS, 1u);
+}
+
+TEST(Coherence, L2CapturesReuse)
+{
+    CohHarness h(1, 1 << 20);
+    h.l1s_[0]->request(1, 0x7000, false, h.now_);
+    h.waitForDone(0, 1);
+    // Force the line out of a tiny window by touching conflicting lines,
+    // then re-request: with an L2 the refetch must be an L2 hit.
+    const Addr stride = 64 * 128;
+    std::uint64_t id = 10;
+    std::size_t done = 1;
+    for (int i = 0; i < 4; ++i) {
+        h.l1s_[0]->request(id++, 0x7000 + (i + 1) * stride, false, h.now_);
+        h.waitForDone(0, ++done);
+    }
+    EXPECT_GE(h.home_->stats().l2Hits, 0u);  // Sanity; detailed below.
+    EXPECT_GT(h.home_->stats().memFetches, 0u);
+}
+
+TEST(Coherence, NoL2MeansMemoryLatency)
+{
+    CohHarness with_l2(1, 1 << 20);
+    CohHarness no_l2(1, 0);
+    with_l2.l1s_[0]->request(1, 0x8000, false, 0);
+    no_l2.l1s_[0]->request(1, 0x8000, false, 0);
+    // Warm the L2 copy.
+    with_l2.waitForDone(0, 1);
+    no_l2.waitForDone(0, 1);
+    // Evict and refetch in both; the L2 machine must be faster.
+    auto refetch = [](CohHarness &h) {
+        const Addr stride = 64 * 128;
+        std::uint64_t id = 50;
+        std::size_t done = 1;
+        for (int i = 1; i <= 4; ++i) {
+            h.l1s_[0]->request(id++, 0x8000 + i * stride, false, h.now_);
+            h.waitForDone(0, ++done);
+        }
+        h.l1s_[0]->drainDone().clear();
+        const Cycle start = h.now_;
+        h.l1s_[0]->request(99, 0x8000, false, h.now_);
+        h.waitForDone(0, 1);
+        return h.now_ - start;
+    };
+    const Cycle t_l2 = refetch(with_l2);
+    const Cycle t_mem = refetch(no_l2);
+    EXPECT_LT(t_l2, t_mem);
+}
+
+// ---------------------------------------------------------------------
+// StoreBuffer harness
+// ---------------------------------------------------------------------
+
+class SbHarness
+{
+  public:
+    explicit SbHarness(StoreBufferConfig cfg = StoreBufferConfig{})
+    {
+        mcfg_.clusters = 1;
+        mcfg_.l2Bytes = 0;
+        l1_ = std::make_unique<L1Controller>(mcfg_, 0);
+        home_ = std::make_unique<HomeSystem>(mcfg_);
+        sb_ = std::make_unique<StoreBuffer>(cfg, 0, l1_.get(), &mem_);
+    }
+
+    void
+    step()
+    {
+        l1_->tick(now_);
+        sb_->tick(now_);
+        home_->tick(now_);
+        for (const CohMsg &msg : l1_->outbox())
+            home_->receive(msg, now_ + 1);
+        l1_->outbox().clear();
+        for (auto &[dst, msg] : home_->outbox())
+            l1_->receive(msg, now_ + 1);
+        home_->outbox().clear();
+        ++now_;
+    }
+
+    void
+    run(Cycle cycles)
+    {
+        for (Cycle i = 0; i < cycles; ++i)
+            step();
+    }
+
+    MemRequest
+    load(Addr addr, std::int32_t seq, std::int32_t prev,
+         std::int32_t next, WaveNum wave = 0, ThreadId thread = 0,
+         InstId inst = 7)
+    {
+        MemRequest r;
+        r.kind = MemOpKind::kLoad;
+        r.tag = Tag{thread, wave};
+        r.seq = seq;
+        r.prev = prev;
+        r.next = next;
+        r.addr = addr;
+        r.inst = inst;
+        return r;
+    }
+
+    MemRequest
+    storeAddr(Addr addr, std::int32_t seq, std::int32_t prev,
+              std::int32_t next, WaveNum wave = 0, ThreadId thread = 0)
+    {
+        MemRequest r;
+        r.kind = MemOpKind::kStoreAddr;
+        r.tag = Tag{thread, wave};
+        r.seq = seq;
+        r.prev = prev;
+        r.next = next;
+        r.addr = addr;
+        return r;
+    }
+
+    MemRequest
+    storeData(Value v, std::int32_t seq, WaveNum wave = 0,
+              ThreadId thread = 0)
+    {
+        MemRequest r;
+        r.kind = MemOpKind::kStoreData;
+        r.tag = Tag{thread, wave};
+        r.seq = seq;
+        r.data = v;
+        return r;
+    }
+
+    MemRequest
+    memNop(std::int32_t seq, std::int32_t prev, std::int32_t next,
+           WaveNum wave = 0, ThreadId thread = 0)
+    {
+        MemRequest r;
+        r.kind = MemOpKind::kMemNop;
+        r.tag = Tag{thread, wave};
+        r.seq = seq;
+        r.prev = prev;
+        r.next = next;
+        return r;
+    }
+
+    MemTimingConfig mcfg_;
+    MainMemory mem_;
+    std::unique_ptr<L1Controller> l1_;
+    std::unique_ptr<HomeSystem> home_;
+    std::unique_ptr<StoreBuffer> sb_;
+    Cycle now_ = 0;
+};
+
+TEST(StoreBuffer, StoreThenLoadInOrder)
+{
+    SbHarness h;
+    h.sb_->push(h.storeAddr(0x100, 0, kSeqNone, 1), 0);
+    h.sb_->push(h.storeData(77, 0), 0);
+    h.sb_->push(h.load(0x100, 1, 0, kSeqNone), 0);
+    h.run(400);
+    ASSERT_EQ(h.sb_->drainLoadDones().size(), 1u);
+    EXPECT_EQ(h.sb_->drainLoadDones()[0].value, 77);
+    EXPECT_EQ(h.sb_->stats().waveCompletions, 1u);
+    EXPECT_TRUE(h.sb_->idle() || !h.sb_->drainLoadDones().empty());
+}
+
+TEST(StoreBuffer, OutOfOrderArrivalIssuesInOrder)
+{
+    SbHarness h;
+    // The load (younger) arrives first; the store to the same address
+    // must still be seen by the load.
+    h.sb_->push(h.load(0x200, 1, 0, kSeqNone), 0);
+    h.run(50);
+    EXPECT_TRUE(h.sb_->drainLoadDones().empty());  // Must wait for seq 0.
+    h.sb_->push(h.storeAddr(0x200, 0, kSeqNone, 1), h.now_);
+    h.sb_->push(h.storeData(123, 0), h.now_);
+    h.run(400);
+    ASSERT_EQ(h.sb_->drainLoadDones().size(), 1u);
+    EXPECT_EQ(h.sb_->drainLoadDones()[0].value, 123);
+}
+
+TEST(StoreBuffer, DecoupledStoreLetsYoungerOpsIssue)
+{
+    SbHarness h;
+    // Store address arrives, data does NOT. A younger load to a
+    // different address must complete anyway (store decoupling).
+    h.sb_->push(h.storeAddr(0x300, 0, kSeqNone, 1), 0);
+    h.mem_.write(0x400, 9);
+    h.sb_->push(h.load(0x400, 1, 0, kSeqNone), 0);
+    h.run(400);
+    ASSERT_EQ(h.sb_->drainLoadDones().size(), 1u);
+    EXPECT_EQ(h.sb_->drainLoadDones()[0].value, 9);
+    EXPECT_EQ(h.sb_->stats().psqAllocations, 1u);
+    EXPECT_FALSE(h.sb_->idle());  // Store still parked.
+    h.sb_->drainLoadDones().clear();
+    // Data shows up; the wave drains.
+    h.sb_->push(h.storeData(44, 0), h.now_);
+    h.run(400);
+    EXPECT_EQ(h.mem_.read(0x300), 44);
+    EXPECT_EQ(h.sb_->stats().waveCompletions, 1u);
+}
+
+TEST(StoreBuffer, SameAddressLoadJoinsPsqAndForwards)
+{
+    SbHarness h;
+    h.mem_.write(0x500, 1);
+    h.sb_->push(h.storeAddr(0x500, 0, kSeqNone, 1), 0);
+    h.sb_->push(h.load(0x500, 1, 0, kSeqNone), 0);  // Same address!
+    h.run(200);
+    // The load must NOT have completed with the stale value.
+    EXPECT_TRUE(h.sb_->drainLoadDones().empty());
+    EXPECT_GE(h.sb_->stats().psqAppends, 1u);
+    h.sb_->push(h.storeData(33, 0), h.now_);
+    h.run(400);
+    ASSERT_EQ(h.sb_->drainLoadDones().size(), 1u);
+    EXPECT_EQ(h.sb_->drainLoadDones()[0].value, 33);  // Forwarded.
+}
+
+TEST(StoreBuffer, NoPsqMeansStallUntilData)
+{
+    StoreBufferConfig cfg;
+    cfg.psqCount = 0;
+    SbHarness h(cfg);
+    h.mem_.write(0x700, 5);
+    h.sb_->push(h.storeAddr(0x600, 0, kSeqNone, 1), 0);
+    h.sb_->push(h.load(0x700, 1, 0, kSeqNone), 0);
+    h.run(300);
+    // Without PSQs the younger load is stuck behind the dataless store.
+    EXPECT_TRUE(h.sb_->drainLoadDones().empty());
+    EXPECT_GT(h.sb_->stats().noPsqStalls, 0u);
+    h.sb_->push(h.storeData(2, 0), h.now_);
+    h.run(400);
+    EXPECT_EQ(h.sb_->drainLoadDones().size(), 1u);
+}
+
+TEST(StoreBuffer, WildcardChainResolvesViaBackPointer)
+{
+    SbHarness h;
+    // seq0 (next='?') then seq2 (prev=0): the '?' resolves through the
+    // successor's concrete back-pointer (a taken-branch path that
+    // skipped seq1).
+    h.mem_.write(0x800, 4);
+    h.sb_->push(h.load(0x800, 0, kSeqNone, kSeqWildcard), 0);
+    h.sb_->push(h.load(0x800, 2, 0, kSeqNone), 0);
+    h.run(300);
+    EXPECT_EQ(h.sb_->drainLoadDones().size(), 2u);
+    EXPECT_EQ(h.sb_->stats().waveCompletions, 1u);
+}
+
+TEST(StoreBuffer, WavesRetireInOrder)
+{
+    SbHarness h;
+    // Wave 1 arrives first but cannot issue before wave 0.
+    h.mem_.write(0x900, 1);
+    h.sb_->push(h.load(0x900, 0, kSeqNone, kSeqNone, 1), 0);
+    h.run(100);
+    EXPECT_TRUE(h.sb_->drainLoadDones().empty());
+    h.sb_->push(h.memNop(0, kSeqNone, kSeqNone, 0), h.now_);
+    h.run(400);  // Cold miss to DRAM: 200+ cycles.
+    EXPECT_EQ(h.sb_->drainLoadDones().size(), 1u);
+    EXPECT_EQ(h.sb_->stats().waveCompletions, 2u);
+}
+
+TEST(StoreBuffer, FarFutureWaveParksWithoutBlocking)
+{
+    SbHarness h;
+    // Wave 10 is far beyond the lookahead window.
+    h.sb_->push(h.memNop(0, kSeqNone, kSeqNone, 10), 0);
+    EXPECT_GE(h.sb_->stats().parkedRequests, 1u);
+    // Waves 0..9 arrive and retire one by one; wave 10 must eventually
+    // be admitted and complete too.
+    for (WaveNum w = 0; w < 10; ++w)
+        h.sb_->push(h.memNop(0, kSeqNone, kSeqNone, w), h.now_);
+    h.run(600);
+    EXPECT_EQ(h.sb_->stats().waveCompletions, 11u);
+    EXPECT_TRUE(h.sb_->idle());
+}
+
+TEST(StoreBuffer, ThreadsOrderIndependently)
+{
+    SbHarness h;
+    // Thread 1's wave 0 must not wait for thread 0's wave 0.
+    h.mem_.write(0xa00, 3);
+    h.sb_->push(h.load(0xa00, 0, kSeqNone, kSeqNone, 0, 1), 0);
+    h.run(300);
+    EXPECT_EQ(h.sb_->drainLoadDones().size(), 1u);
+}
+
+TEST(StoreBuffer, RetiredWaveRequestPanics)
+{
+    SbHarness h;
+    h.sb_->push(h.memNop(0, kSeqNone, kSeqNone, 0), 0);
+    h.run(50);
+    EXPECT_EQ(h.sb_->stats().waveCompletions, 1u);
+    EXPECT_THROW(h.sb_->push(h.memNop(0, kSeqNone, kSeqNone, 0), h.now_),
+                 PanicError);
+}
+
+} // namespace
+} // namespace ws

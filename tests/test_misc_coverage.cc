@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Cross-cutting coverage: mesh virtual-channel independence and odd
+ * grids, interpreter guard rails, assembly determinism, store-buffer
+ * issue-width effects, and graph static-statistics accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "core/simulator.h"
+#include "isa/assembly.h"
+#include "isa/graph_builder.h"
+#include "isa/interp.h"
+#include "kernels/kernel.h"
+#include "memory/store_buffer.h"
+#include "network/mesh.h"
+
+namespace ws {
+namespace {
+
+// ---------------------------------------------------------------------
+// Mesh extras
+// ---------------------------------------------------------------------
+
+TEST(MeshExtra, ReplyVcProgressesPastFullRequestVc)
+{
+    // Fill VC0's output queue at router 0 toward router 1, then inject
+    // a VC1 message on the same path: it must deliver even though VC0
+    // stays saturated (the deadlock-avoidance property of §3.4.3).
+    TrafficStats t;
+    MeshConfig cfg;
+    cfg.clusters = 4;
+    cfg.queueCapacity = 4;
+    MeshNetwork mesh(cfg, &t);
+
+    auto msg = [&](std::uint8_t vc) {
+        NetMessage m;
+        m.src = 0;
+        m.dst = 1;
+        m.vc = vc;
+        m.payload = OperandMsg{};
+        return m;
+    };
+    // Saturate VC0 (keep refilling it each cycle).
+    for (int i = 0; i < 4; ++i)
+        ASSERT_TRUE(mesh.inject(msg(0), 0));
+    ASSERT_TRUE(mesh.inject(msg(1), 0));
+    bool vc1_delivered = false;
+    for (Cycle now = 1; now < 20 && !vc1_delivered; ++now) {
+        mesh.tick(now);
+        for (NetMessage &m : mesh.delivered(1)) {
+            if (m.vc == 1)
+                vc1_delivered = true;
+        }
+        mesh.delivered(1).clear();
+        while (mesh.inject(msg(0), now)) {
+        }
+    }
+    EXPECT_TRUE(vc1_delivered);
+}
+
+TEST(MeshExtra, NonSquareGridsRoute)
+{
+    TrafficStats t;
+    for (std::uint16_t clusters : {2, 3, 5, 6, 12}) {
+        MeshConfig cfg;
+        cfg.clusters = clusters;
+        MeshNetwork mesh(cfg, &t);
+        NetMessage m;
+        m.src = 0;
+        m.dst = static_cast<ClusterId>(clusters - 1);
+        m.payload = OperandMsg{};
+        ASSERT_TRUE(mesh.inject(m, 0)) << clusters;
+        bool delivered = false;
+        for (Cycle now = 1; now < 30 && !delivered; ++now) {
+            mesh.tick(now);
+            delivered = !mesh.delivered(m.dst).empty();
+        }
+        EXPECT_TRUE(delivered) << clusters << " clusters";
+        mesh.delivered(m.dst).clear();
+        EXPECT_TRUE(mesh.idle()) << clusters;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Interpreter guard rails
+// ---------------------------------------------------------------------
+
+TEST(InterpExtra, StepBoundTripsOnRunawayGraphs)
+{
+    // An infinite loop (condition always true) must hit the step bound.
+    GraphBuilder b("forever");
+    b.beginThread(0);
+    auto x = b.param(0);
+    auto loop = b.beginLoop({x});
+    auto nxt = b.addi(loop.vars[0], 1);
+    auto always = b.lit(1, nxt);
+    b.endLoop(loop, {nxt}, always);
+    b.sink(loop.exits[0], 1);
+    b.endThread();
+    DataflowGraph g = b.finish();
+    EXPECT_THROW(interpret(g, 10'000), FatalError);
+}
+
+TEST(InterpExtra, SinkValuesArriveInExecutionOrder)
+{
+    GraphBuilder b("order");
+    b.beginThread(0);
+    auto x = b.param(5);
+    b.sink(x, 1);                    // First sink gets 5.
+    auto y = b.addi(x, 1);
+    b.sink(y, 1);                    // Second gets 6.
+    b.endThread();
+    DataflowGraph g = b.finish();
+    InterpResult r = interpret(g);
+    ASSERT_EQ(r.sinkValues.size(), 2u);
+    EXPECT_EQ(r.sinkValues[0] + r.sinkValues[1], 11);
+}
+
+TEST(InterpExtra, ZeroStoresArePrunedButSimAgreesAnyway)
+{
+    GraphBuilder b("zero");
+    b.beginThread(0);
+    const Addr a = b.alloc(8);
+    b.initMem(a, 99);
+    auto addr = b.param(static_cast<Value>(a));
+    auto zero = b.lit(0, addr);
+    b.store(addr, zero);             // Overwrite 99 with 0.
+    b.sink(b.load(addr), 1);
+    b.endThread();
+    DataflowGraph g = b.finish();
+    InterpResult r = interpret(g);
+    EXPECT_EQ(r.sinkValues.at(0), 0);
+    EXPECT_EQ(r.memory.count(a), 0u);   // Pruned as zero.
+
+    Processor proc(g, ProcessorConfig::baseline());
+    ASSERT_TRUE(proc.run(100000));
+    EXPECT_EQ(proc.memory().read(a), 0);
+}
+
+// ---------------------------------------------------------------------
+// Assembly determinism
+// ---------------------------------------------------------------------
+
+TEST(AssemblyExtra, DisassemblyIsDeterministic)
+{
+    KernelParams p;
+    const std::string a = disassemble(buildMcf(p));
+    const std::string b = disassemble(buildMcf(p));
+    EXPECT_EQ(a, b);
+}
+
+TEST(AssemblyExtra, DoubleRoundTripIsAFixedPoint)
+{
+    KernelParams p;
+    const std::string once = disassemble(buildRadix(p));
+    const std::string twice = disassemble(assemble(once));
+    EXPECT_EQ(once, twice);
+}
+
+// ---------------------------------------------------------------------
+// Store-buffer issue width
+// ---------------------------------------------------------------------
+
+TEST(StoreBufferWidth, WiderIssueRaisesThroughput)
+{
+    auto run = [&](unsigned width) {
+        KernelParams p;
+        DataflowGraph g = buildDjpeg(p);
+        ProcessorConfig cfg = ProcessorConfig::baseline();
+        cfg.memory.l2Bytes = 1 << 20;
+        cfg.storeBuffer.issueWidth = width;
+        Processor proc(g, cfg);
+        EXPECT_TRUE(proc.run(6'000'000));
+        return proc.cycle();
+    };
+    const Cycle w1 = run(1);
+    const Cycle w4 = run(4);
+    EXPECT_LE(w4, w1);  // Never slower; usually faster.
+}
+
+// ---------------------------------------------------------------------
+// Graph static statistics
+// ---------------------------------------------------------------------
+
+TEST(GraphStats, CountsAddUp)
+{
+    KernelParams p;
+    p.threads = 2;
+    DataflowGraph g = buildOcean(p);
+    StatReport s = g.staticStats();
+    EXPECT_EQ(s.get("static.instructions"),
+              static_cast<double>(g.size()));
+    EXPECT_EQ(s.get("static.threads"), 2.0);
+    // Per-opcode counts sum to the instruction count.
+    EXPECT_NEAR(s.sumPrefix("static.op."),
+                s.get("static.instructions"), 1e-9);
+    // Thread sizes partition the graph.
+    EXPECT_EQ(g.threadSize(0) + g.threadSize(1), g.size());
+}
+
+TEST(GraphStats, UsefulNeverExceedsTotal)
+{
+    KernelParams p;
+    for (const Kernel &k : kernelRegistry()) {
+        DataflowGraph g = k.build(p);
+        EXPECT_LT(g.usefulSize(), g.size()) << k.name;
+        EXPECT_GT(g.usefulSize(), g.size() / 2) << k.name
+            << " (overhead should not dominate)";
+    }
+}
+
+} // namespace
+} // namespace ws

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Unit tests for the PE's storage structures: the matching table (cache
+ * + in-memory overflow) and the instruction store, plus the TimedQueue
+ * primitive they build on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "network/timed_queue.h"
+#include "pe/instruction_store.h"
+#include "pe/matching_table.h"
+
+namespace ws {
+namespace {
+
+// ---------------------------------------------------------------------
+// TimedQueue
+// ---------------------------------------------------------------------
+
+TEST(TimedQueue, ReadyRespectsTime)
+{
+    TimedQueue<int> q;
+    q.push(1, 5);
+    EXPECT_FALSE(q.ready(4));
+    EXPECT_TRUE(q.ready(5));
+    EXPECT_TRUE(q.ready(100));
+    EXPECT_EQ(q.nextReady(), 5u);
+}
+
+TEST(TimedQueue, PopsInReadyThenFifoOrder)
+{
+    TimedQueue<int> q;
+    q.push(1, 10);
+    q.push(2, 5);
+    q.push(3, 10);
+    EXPECT_EQ(q.pop(10), 2);
+    EXPECT_EQ(q.pop(10), 1);  // Same ready cycle: insertion order.
+    EXPECT_EQ(q.pop(10), 3);
+}
+
+TEST(TimedQueue, EmptyNextReadyIsNever)
+{
+    TimedQueue<int> q;
+    EXPECT_EQ(q.nextReady(), kCycleNever);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(TimedQueue, InterleavedPushPopStaysOrdered)
+{
+    TimedQueue<int> q;
+    for (int i = 0; i < 50; ++i)
+        q.push(i, static_cast<Cycle>(100 - i));
+    int last = -1;
+    int count = 0;
+    for (Cycle t = 0; t <= 100; ++t) {
+        while (q.ready(t)) {
+            const int v = q.pop(t);
+            EXPECT_GT(v, last - 100);  // Just consume.
+            ++count;
+        }
+    }
+    EXPECT_EQ(count, 50);
+    (void)last;
+}
+
+// ---------------------------------------------------------------------
+// MatchingTable
+// ---------------------------------------------------------------------
+
+Token
+tok(InstId inst, std::uint8_t port, WaveNum wave, Value v,
+    ThreadId thread = 0)
+{
+    return Token{Tag{thread, wave}, PortRef{inst, port}, v};
+}
+
+TEST(MatchingTable, TwoOperandMatchFires)
+{
+    MatchingTable mt(16, 2, 1);
+    auto r1 = mt.insert(tok(3, 0, 0, 10), 2, 3);
+    EXPECT_FALSE(r1.fired);
+    EXPECT_EQ(mt.validRows(), 1u);
+    auto r2 = mt.insert(tok(3, 1, 0, 20), 2, 3);
+    ASSERT_TRUE(r2.fired);
+    EXPECT_EQ(r2.fire.ops[0], 10);
+    EXPECT_EQ(r2.fire.ops[1], 20);
+    EXPECT_FALSE(r2.fire.fromOverflow);
+    EXPECT_EQ(mt.validRows(), 0u);  // Fired rows free immediately.
+}
+
+TEST(MatchingTable, SingleOperandFiresImmediately)
+{
+    MatchingTable mt(16, 2, 1);
+    auto r = mt.insert(tok(1, 0, 0, 7), 1, 1);
+    ASSERT_TRUE(r.fired);
+    EXPECT_EQ(r.fire.ops[0], 7);
+}
+
+TEST(MatchingTable, ThreeOperandMatch)
+{
+    MatchingTable mt(16, 2, 1);
+    EXPECT_FALSE(mt.insert(tok(2, 0, 0, 1), 3, 2).fired);
+    EXPECT_FALSE(mt.insert(tok(2, 2, 0, 3), 3, 2).fired);
+    auto r = mt.insert(tok(2, 1, 0, 2), 3, 2);
+    ASSERT_TRUE(r.fired);
+    EXPECT_EQ(r.fire.ops[0], 1);
+    EXPECT_EQ(r.fire.ops[1], 2);
+    EXPECT_EQ(r.fire.ops[2], 3);
+}
+
+TEST(MatchingTable, DifferentWavesDontMatch)
+{
+    MatchingTable mt(16, 2, 4);
+    EXPECT_FALSE(mt.insert(tok(0, 0, 0, 1), 2, 0).fired);
+    EXPECT_FALSE(mt.insert(tok(0, 1, 1, 2), 2, 0).fired);
+    EXPECT_EQ(mt.validRows(), 2u);
+}
+
+TEST(MatchingTable, DifferentThreadsDontMatch)
+{
+    MatchingTable mt(16, 2, 1);
+    EXPECT_FALSE(mt.insert(tok(0, 0, 0, 1, 0), 2, 0).fired);
+    EXPECT_FALSE(mt.insert(tok(0, 1, 0, 2, 1), 2, 0).fired);
+    EXPECT_EQ(mt.validRows(), 2u);
+}
+
+TEST(MatchingTable, ConflictEvictsToOverflowAndStillMatches)
+{
+    // 1 set x 2 ways: three live instances force an eviction; the
+    // evicted instance must still complete, from memory.
+    MatchingTable mt(2, 2, 1);
+    EXPECT_FALSE(mt.insert(tok(0, 0, 0, 1), 2, 0).fired);
+    EXPECT_FALSE(mt.insert(tok(1, 0, 0, 2), 2, 1).fired);
+    EXPECT_FALSE(mt.insert(tok(2, 0, 0, 3), 2, 2).fired);  // Evicts LRU.
+    EXPECT_EQ(mt.stats().evictedRows, 1u);
+    EXPECT_EQ(mt.overflowSize(), 1u);
+    // Instance 0 was LRU → now in overflow. Completing it fires from
+    // overflow.
+    auto r = mt.insert(tok(0, 1, 0, 9), 2, 0);
+    ASSERT_TRUE(r.fired);
+    EXPECT_TRUE(r.fire.fromOverflow);
+    EXPECT_EQ(r.fire.ops[0], 1);
+    EXPECT_EQ(r.fire.ops[1], 9);
+    EXPECT_EQ(mt.overflowSize(), 0u);
+    EXPECT_GE(mt.stats().overflowFires, 1u);
+}
+
+TEST(MatchingTable, ZeroMissGuaranteeAtFullProvisioning)
+{
+    // The paper's matching-table equation: with M = V*k entries and the
+    // I*k + (wave mod k) hash, no misses occur for V instructions with
+    // up to k waves in flight.
+    const unsigned V = 16;
+    const unsigned k = 4;
+    MatchingTable mt(V * k, 2, k);
+    for (unsigned wave = 0; wave < k; ++wave) {
+        for (unsigned i = 0; i < V; ++i) {
+            mt.insert(tok(i, 0, wave, 1), 2, i);
+        }
+    }
+    EXPECT_EQ(mt.stats().misses, 0u);
+    // Complete them all; still no misses.
+    for (unsigned wave = 0; wave < k; ++wave) {
+        for (unsigned i = 0; i < V; ++i) {
+            EXPECT_TRUE(mt.insert(tok(i, 1, wave, 2), 2, i).fired);
+        }
+    }
+    EXPECT_EQ(mt.stats().misses, 0u);
+}
+
+TEST(MatchingTable, OversubscriptionMissesButCompletes)
+{
+    // M = V*k/4: conflicts guaranteed, but every match must complete.
+    const unsigned V = 16;
+    const unsigned k = 4;
+    MatchingTable mt(V * k / 4, 2, k);
+    unsigned fired = 0;
+    for (unsigned wave = 0; wave < k; ++wave) {
+        for (unsigned i = 0; i < V; ++i)
+            mt.insert(tok(i, 0, wave, 1), 2, i);
+    }
+    for (unsigned wave = 0; wave < k; ++wave) {
+        for (unsigned i = 0; i < V; ++i) {
+            if (mt.insert(tok(i, 1, wave, 2), 2, i).fired)
+                ++fired;
+        }
+    }
+    EXPECT_EQ(fired, V * k);
+    EXPECT_GT(mt.stats().misses, 0u);
+}
+
+TEST(MatchingTable, BadGeometryIsFatal)
+{
+    EXPECT_THROW(MatchingTable(0, 2, 1), FatalError);
+    EXPECT_THROW(MatchingTable(15, 2, 1), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// InstructionStore
+// ---------------------------------------------------------------------
+
+TEST(InstructionStore, PreboundWhenHomeFits)
+{
+    InstructionStore is(4);
+    is.assignHome({10, 11, 12});
+    EXPECT_TRUE(is.isBound(10));
+    EXPECT_TRUE(is.isBound(12));
+    EXPECT_TRUE(is.access(11));
+    EXPECT_EQ(is.stats().misses, 0u);
+}
+
+TEST(InstructionStore, LocalIndicesAreStable)
+{
+    InstructionStore is(2);
+    is.assignHome({20, 21, 22});
+    EXPECT_EQ(is.localIdx(20), 0u);
+    EXPECT_EQ(is.localIdx(21), 1u);
+    EXPECT_EQ(is.localIdx(22), 2u);
+}
+
+TEST(InstructionStore, MissAndBindEvictsLru)
+{
+    InstructionStore is(2);
+    is.assignHome({1, 2, 3});
+    EXPECT_TRUE(is.access(1));
+    EXPECT_TRUE(is.access(2));
+    EXPECT_FALSE(is.access(3));   // Miss.
+    is.bind(3);                   // Evicts 1 (LRU).
+    EXPECT_EQ(is.stats().evictions, 1u);
+    EXPECT_TRUE(is.isBound(3));
+    EXPECT_TRUE(is.isBound(2));
+    EXPECT_FALSE(is.isBound(1));
+}
+
+TEST(InstructionStore, AccessRefreshesLru)
+{
+    InstructionStore is(2);
+    is.assignHome({1, 2, 3});
+    EXPECT_TRUE(is.access(2));
+    EXPECT_TRUE(is.access(1));  // 2 is now LRU... no: 2 older than 1.
+    EXPECT_FALSE(is.access(3));
+    is.bind(3);                 // Should evict 2.
+    EXPECT_TRUE(is.isBound(1));
+    EXPECT_FALSE(is.isBound(2));
+}
+
+TEST(InstructionStore, NonHomeAccessPanics)
+{
+    InstructionStore is(2);
+    is.assignHome({1});
+    EXPECT_THROW(is.access(99), PanicError);
+}
+
+TEST(InstructionStore, DuplicateHomePanics)
+{
+    InstructionStore is(2);
+    EXPECT_THROW(is.assignHome({1, 1}), PanicError);
+}
+
+} // namespace
+} // namespace ws

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Unit tests for instruction placement: coverage, capacity handling,
+ * thread isolation, and locality ordering across policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/log.h"
+#include "isa/graph_builder.h"
+#include "kernels/kernel.h"
+#include "core/processor.h"
+#include "place/placement.h"
+
+namespace ws {
+namespace {
+
+DataflowGraph
+chainGraph(int length)
+{
+    GraphBuilder b("chain");
+    b.beginThread(0);
+    auto x = b.param(1);
+    for (int i = 0; i < length; ++i)
+        x = b.addi(x, 1);
+    b.sink(x, 1);
+    b.endThread();
+    return b.finish();
+}
+
+PlacementGeometry
+geom(std::uint16_t clusters, std::uint16_t cap = 128)
+{
+    PlacementGeometry g;
+    g.clusters = clusters;
+    g.domainsPerCluster = 4;
+    g.pesPerDomain = 8;
+    g.peCapacity = cap;
+    return g;
+}
+
+TEST(Placement, EveryInstructionGetsAValidHome)
+{
+    DataflowGraph g = chainGraph(500);
+    Placement p = place(g, geom(4), PlacementPolicy::kDepthFirst);
+    for (InstId i = 0; i < g.size(); ++i) {
+        const PeCoord pe = p.home(i);
+        EXPECT_LT(pe.cluster, 4);
+        EXPECT_LT(pe.domain, 4);
+        EXPECT_LT(pe.pe, 8);
+    }
+}
+
+TEST(Placement, RespectsCapacityWhenMachineFits)
+{
+    DataflowGraph g = chainGraph(1000);
+    Placement p = place(g, geom(1, 128), PlacementPolicy::kDepthFirst);
+    for (std::uint32_t load : p.loadPerPe())
+        EXPECT_LE(load, 128u);
+}
+
+TEST(Placement, DfsPacksChainsTightly)
+{
+    // A pure dependence chain should occupy few PEs, filled to V.
+    DataflowGraph g = chainGraph(256);
+    Placement p = place(g, geom(1, 128), PlacementPolicy::kDepthFirst);
+    int used = 0;
+    for (std::uint32_t load : p.loadPerPe()) {
+        if (load > 0)
+            ++used;
+    }
+    EXPECT_LE(used, 4);
+}
+
+TEST(Placement, DfsBeatsRandomOnLocality)
+{
+    KernelParams kp;
+    DataflowGraph g = buildGzip(kp);
+    Placement dfs = place(g, geom(4), PlacementPolicy::kDepthFirst);
+    Placement rnd = place(g, geom(4), PlacementPolicy::kRandom);
+    // Same-cluster edge locality (level 3).
+    EXPECT_GT(dfs.edgeLocality(g, 3), rnd.edgeLocality(g, 3));
+    // Same-PE locality too.
+    EXPECT_GT(dfs.edgeLocality(g, 0), rnd.edgeLocality(g, 0));
+}
+
+TEST(Placement, BfsIsValidAndDistinctFromDfs)
+{
+    KernelParams kp;
+    DataflowGraph g = buildGzip(kp);
+    Placement bfs = place(g, geom(4), PlacementPolicy::kBreadthFirst);
+    for (InstId i = 0; i < g.size(); ++i)
+        EXPECT_LT(bfs.home(i).cluster, 4);
+}
+
+TEST(Placement, ThreadsLandInDisjointRegions)
+{
+    KernelParams kp;
+    kp.threads = 16;
+    DataflowGraph g = buildFft(kp);
+    Placement p = place(g, geom(16, 128), PlacementPolicy::kDepthFirst);
+    // Count distinct home clusters across threads: with 16 threads on
+    // 16 clusters the placer must spread them widely.
+    std::set<ClusterId> clusters;
+    for (ThreadId t = 0; t < 16; ++t)
+        clusters.insert(p.threadHomeCluster(t));
+    EXPECT_GE(clusters.size(), 12u);
+}
+
+TEST(Placement, ThreadHomeMatchesFirstInstruction)
+{
+    KernelParams kp;
+    kp.threads = 4;
+    DataflowGraph g = buildLu(kp);
+    Placement p = place(g, geom(4), PlacementPolicy::kDepthFirst);
+    for (ThreadId t = 0; t < 4; ++t) {
+        // The home cluster must host at least one of the thread's
+        // instructions.
+        bool found = false;
+        for (InstId i = 0; i < g.size() && !found; ++i) {
+            if (g.inst(i).thread == t &&
+                p.home(i).cluster == p.threadHomeCluster(t)) {
+                found = true;
+            }
+        }
+        EXPECT_TRUE(found) << "thread " << t;
+    }
+}
+
+TEST(Placement, OversubscriptionAllowedUpTo4x)
+{
+    DataflowGraph g = chainGraph(200);
+    PlacementGeometry small = geom(1, 8);
+    small.domainsPerCluster = 1;
+    small.pesPerDomain = 8;  // Capacity 64; the ~203-node graph is ~3x.
+    Placement p = place(g, small, PlacementPolicy::kDepthFirst);
+    std::uint64_t total = 0;
+    for (std::uint32_t load : p.loadPerPe())
+        total += load;
+    EXPECT_EQ(total, g.size());
+}
+
+TEST(Placement, WayOversizedGraphIsFatal)
+{
+    DataflowGraph g = chainGraph(3000);
+    PlacementGeometry tiny = geom(1, 8);
+    tiny.domainsPerCluster = 1;
+    tiny.pesPerDomain = 2;  // Capacity 16; 4x = 64 << 3002.
+    EXPECT_THROW(place(g, tiny, PlacementPolicy::kDepthFirst),
+                 FatalError);
+}
+
+TEST(Placement, DeterministicForFixedSeed)
+{
+    KernelParams kp;
+    DataflowGraph g = buildTwolf(kp);
+    Placement a = place(g, geom(4), PlacementPolicy::kRandom, 7);
+    Placement b = place(g, geom(4), PlacementPolicy::kRandom, 7);
+    Placement c = place(g, geom(4), PlacementPolicy::kRandom, 8);
+    int diff_ab = 0;
+    int diff_ac = 0;
+    for (InstId i = 0; i < g.size(); ++i) {
+        if (!(a.home(i) == b.home(i)))
+            ++diff_ab;
+        if (!(a.home(i) == c.home(i)))
+            ++diff_ac;
+    }
+    EXPECT_EQ(diff_ab, 0);
+    EXPECT_GT(diff_ac, 0);
+}
+
+TEST(Placement, EdgeLocalityLevelsAreMonotone)
+{
+    KernelParams kp;
+    kp.threads = 4;
+    DataflowGraph g = buildOcean(kp);
+    Placement p = place(g, geom(4), PlacementPolicy::kDepthFirst);
+    // Same-PE ⊆ same-pod ⊆ same-domain ⊆ same-cluster.
+    const double l0 = p.edgeLocality(g, 0);
+    const double l1 = p.edgeLocality(g, 1);
+    const double l2 = p.edgeLocality(g, 2);
+    const double l3 = p.edgeLocality(g, 3);
+    EXPECT_LE(l0, l1 + 1e-12);
+    EXPECT_LE(l1, l2 + 1e-12);
+    EXPECT_LE(l2, l3 + 1e-12);
+}
+
+TEST(Refinement, LowersCommunicationCost)
+{
+    KernelParams kp;
+    kp.threads = 8;
+    DataflowGraph g = buildOcean(kp);
+    Placement base = place(g, geom(4), PlacementPolicy::kRandom, 3);
+    Placement refined = place(g, geom(4), PlacementPolicy::kRandom, 3);
+    const std::size_t moves = refinePlacement(refined, g, 4);
+    EXPECT_GT(moves, 0u);
+
+    auto total_cost = [&](const Placement &p) {
+        double c = 0.0;
+        for (InstId i = 0; i < g.size(); ++i) {
+            for (int side = 0; side < 2; ++side) {
+                for (const PortRef &out : g.inst(i).outs[side])
+                    c += edgeCost(p.home(i), p.home(out.inst),
+                                  p.geometry());
+            }
+        }
+        return c;
+    };
+    EXPECT_LT(total_cost(refined), total_cost(base));
+}
+
+TEST(Refinement, RespectsCapacity)
+{
+    KernelParams kp;
+    DataflowGraph g = buildRawdaudio(kp);
+    Placement p = place(g, geom(1, 32), PlacementPolicy::kBreadthFirst);
+    refinePlacement(p, g, 4);
+    for (std::uint32_t load : p.loadPerPe())
+        EXPECT_LE(load, 32u);
+    // Every instruction still has exactly one home.
+    std::uint64_t total = 0;
+    for (std::uint32_t load : p.loadPerPe())
+        total += load;
+    EXPECT_EQ(total, g.size());
+}
+
+TEST(Refinement, ImprovesOrMatchesDfsLocality)
+{
+    KernelParams kp;
+    kp.threads = 4;
+    DataflowGraph g = buildFft(kp);
+    Placement dfs = place(g, geom(4), PlacementPolicy::kDepthFirst);
+    Placement refined =
+        place(g, geom(4), PlacementPolicy::kDepthFirstRefined);
+    EXPECT_GE(refined.edgeLocality(g, 0) + 1e-9,
+              dfs.edgeLocality(g, 0) * 0.98);
+}
+
+TEST(Refinement, RefinedPolicyRunsEndToEnd)
+{
+    KernelParams kp;
+    kp.threads = 4;
+    DataflowGraph g = buildLu(kp);
+    ProcessorConfig cfg = ProcessorConfig::baseline();
+    cfg.memory.l2Bytes = 1 << 20;
+    cfg.placement = PlacementPolicy::kDepthFirstRefined;
+    Processor proc(g, cfg);
+    EXPECT_TRUE(proc.run(2'000'000));
+}
+
+TEST(Refinement, EdgeCostHierarchyIsMonotone)
+{
+    PlacementGeometry g4 = geom(4);
+    const PeCoord same{0, 0, 0};
+    const PeCoord pod{0, 0, 1};
+    const PeCoord dom{0, 0, 4};
+    const PeCoord clu{0, 2, 0};
+    const PeCoord grid{3, 0, 0};
+    EXPECT_EQ(edgeCost(same, same, g4), 0.0);
+    EXPECT_LT(edgeCost(same, pod, g4), edgeCost(same, dom, g4));
+    EXPECT_LT(edgeCost(same, dom, g4), edgeCost(same, clu, g4));
+    EXPECT_LT(edgeCost(same, clu, g4), edgeCost(same, grid, g4));
+}
+
+} // namespace
+} // namespace ws

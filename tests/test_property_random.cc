@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Property-based testing: generate random (but structurally valid)
+ * dataflow programs with the builder and check that the cycle-level
+ * simulator and the reference interpreter agree on every architectural
+ * outcome — sink values, useful-instruction counts, and final memory —
+ * across machine shapes.
+ *
+ * The generator composes the same primitives the kernels use: loops
+ * with multiple carried values, integer/FP compute, loads, decoupled
+ * stores, select-predicated values, nested loops, and multiple threads
+ * with disjoint memory.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/rng.h"
+#include "core/simulator.h"
+#include "isa/graph_builder.h"
+#include "isa/interp.h"
+
+namespace ws {
+namespace {
+
+using Node = GraphBuilder::Node;
+
+/** Random-program generator state for one thread. */
+class RandomProgram
+{
+  public:
+    RandomProgram(std::uint64_t seed, std::uint16_t threads)
+        : rng_(seed), threads_(threads)
+    {}
+
+    DataflowGraph
+    build()
+    {
+        GraphBuilder b("random", threads_);
+        for (ThreadId t = 0; t < threads_; ++t) {
+            // Disjoint per-thread array so multithreaded results are
+            // order-independent.
+            const Addr arr = b.alloc(kWords * 8);
+            for (std::size_t i = 0; i < kWords; ++i) {
+                b.initMem(arr + 8 * i,
+                          static_cast<Value>(rng_.range(1000)));
+            }
+            b.beginThread(t);
+            emitThread(b, arr);
+            b.endThread();
+        }
+        return b.finish();
+    }
+
+  private:
+    static constexpr std::size_t kWords = 64;
+
+    Node
+    randomValue(GraphBuilder &b, std::vector<Node> &pool)
+    {
+        return pool[rng_.range(pool.size())];
+    }
+
+    /** Emit one compute/memory operation over the live-value pool. */
+    void
+    emitOp(GraphBuilder &b, std::vector<Node> &pool, Addr arr)
+    {
+        switch (rng_.range(10)) {
+          case 0: pool.push_back(b.add(randomValue(b, pool),
+                                       randomValue(b, pool)));
+            break;
+          case 1: pool.push_back(b.sub(randomValue(b, pool),
+                                       randomValue(b, pool)));
+            break;
+          case 2: pool.push_back(b.muli(randomValue(b, pool),
+                                        static_cast<Value>(
+                                            rng_.range(7)) + 1));
+            break;
+          case 3: pool.push_back(
+                b.emit(Opcode::kXor, {randomValue(b, pool),
+                                      randomValue(b, pool)}));
+            break;
+          case 4: pool.push_back(b.select(
+                b.lti(randomValue(b, pool), 500),
+                randomValue(b, pool), randomValue(b, pool)));
+            break;
+          case 5: {  // Load from the private array.
+            Node idx = b.andi(randomValue(b, pool),
+                              static_cast<Value>(kWords - 1));
+            pool.push_back(b.load(
+                b.addi(b.shli(idx, 3), static_cast<Value>(arr))));
+            break;
+          }
+          case 6: {  // Store to the private array.
+            Node idx = b.andi(randomValue(b, pool),
+                              static_cast<Value>(kWords - 1));
+            b.store(b.addi(b.shli(idx, 3), static_cast<Value>(arr)),
+                    randomValue(b, pool));
+            break;
+          }
+          case 7: {  // FP round trip (bit-exact both sides).
+            Node f = b.emit(Opcode::kItoF, {randomValue(b, pool)});
+            Node g = b.fmul(f, f);
+            pool.push_back(b.emit(Opcode::kFtoI, {g}));
+            break;
+          }
+          case 8: pool.push_back(b.shri(randomValue(b, pool), 1));
+            break;
+          default: pool.push_back(b.addi(randomValue(b, pool),
+                                         static_cast<Value>(
+                                             rng_.range(100))));
+            break;
+        }
+    }
+
+    /** Emit a conditional diamond over the live pool. */
+    void
+    emitDiamond(GraphBuilder &b, std::vector<Node> &pool, Addr arr,
+                bool allow_memory)
+    {
+        Node cond = b.lti(randomValue(b, pool),
+                          static_cast<Value>(rng_.range(1000)));
+        GraphBuilder::IfElse ie =
+            b.beginIf(cond, {randomValue(b, pool), randomValue(b, pool)});
+
+        auto arm = [&](std::vector<Node> vars) {
+            std::vector<Node> local = std::move(vars);
+            const int ops = 1 + static_cast<int>(rng_.range(3));
+            for (int i = 0; i < ops; ++i) {
+                // Compute-only subset of emitOp plus optional memory.
+                switch (rng_.range(allow_memory ? 5 : 4)) {
+                  case 0: local.push_back(b.add(randomValue(b, local),
+                                                randomValue(b, local)));
+                    break;
+                  case 1: local.push_back(
+                        b.muli(randomValue(b, local),
+                               static_cast<Value>(rng_.range(5)) + 1));
+                    break;
+                  case 2: local.push_back(
+                        b.emit(Opcode::kXor, {randomValue(b, local),
+                                              randomValue(b, local)}));
+                    break;
+                  case 3: local.push_back(b.shri(randomValue(b, local),
+                                                 1));
+                    break;
+                  default: {
+                    Node idx = b.andi(randomValue(b, local),
+                                      static_cast<Value>(kWords - 1));
+                    Node addr = b.addi(b.shli(idx, 3),
+                                       static_cast<Value>(arr));
+                    if (rng_.chance(0.5))
+                        local.push_back(b.load(addr));
+                    else
+                        b.store(addr, randomValue(b, local));
+                    break;
+                  }
+                }
+            }
+            return std::vector<Node>{local[local.size() - 1],
+                                     local[local.size() - 2]};
+        };
+
+        std::vector<Node> then_out = arm(ie.vars);
+        b.elseArm(ie, then_out);
+        std::vector<Node> else_out = arm(ie.vars);
+        b.endIf(ie, else_out);
+        pool.insert(pool.end(), ie.merged.begin(), ie.merged.end());
+    }
+
+    /** Emit a loop; may recurse one level for a nested loop. */
+    void
+    emitLoop(GraphBuilder &b, std::vector<Node> &pool, Addr arr,
+             int depth)
+    {
+        // Carry 2-3 values. pool[0] is the thread's counter lineage: it
+        // must stay carried value 0 of every loop so termination
+        // arguments survive nesting (the counter only ever grows).
+        const std::size_t carried =
+            2 + rng_.range(2);
+        std::vector<Node> inits;
+        inits.push_back(pool[0]);
+        for (std::size_t i = 1; i < carried; ++i)
+            inits.push_back(randomValue(b, pool));
+        GraphBuilder::Loop loop = b.beginLoop(inits);
+
+        std::vector<Node> body(loop.vars.begin(), loop.vars.end());
+        const int ops = 3 + static_cast<int>(rng_.range(6));
+        for (int i = 0; i < ops; ++i)
+            emitOp(b, body, arr);
+        if (rng_.chance(0.4))
+            emitDiamond(b, body, arr, /*allow_memory=*/true);
+        if (depth == 0 && rng_.chance(0.3)) {
+            emitLoop(b, body, arr, 1);
+        }
+
+        // Loop control: first carried value counts iterations.
+        Node counter = b.addi(body[0], 1);
+        std::vector<Node> nexts;
+        nexts.push_back(counter);
+        for (std::size_t i = 1; i < carried; ++i)
+            nexts.push_back(body[rng_.range(body.size())]);
+        const Value bound = 3 + static_cast<Value>(rng_.range(6));
+        // The counter may start anywhere; bound the *remaining* trip
+        // count via a modulus to keep runs short.
+        Node cond = b.lti(b.emit(Opcode::kRemi, {counter}, 64),
+                          bound);
+        b.endLoop(loop, nexts, cond);
+
+        // Values from before the loop belong to a dead wave region; the
+        // only live values afterwards are the loop exits.
+        pool.clear();
+        pool.insert(pool.end(), loop.exits.begin(), loop.exits.end());
+    }
+
+    void
+    emitThread(GraphBuilder &b, Addr arr)
+    {
+        std::vector<Node> pool;
+        pool.push_back(b.param(static_cast<Value>(rng_.range(50))));
+        pool.push_back(b.param(static_cast<Value>(rng_.range(50))));
+        const int ops = 4 + static_cast<int>(rng_.range(5));
+        for (int i = 0; i < ops; ++i)
+            emitOp(b, pool, arr);
+        const int loops = 1 + static_cast<int>(rng_.range(3));
+        for (int l = 0; l < loops; ++l) {
+            emitLoop(b, pool, arr, 0);
+            for (int i = 0; i < 3; ++i)
+                emitOp(b, pool, arr);
+        }
+        b.sink(pool.back(), 1);
+    }
+
+    Rng rng_;
+    std::uint16_t threads_;
+};
+
+class RandomGraphEquivalence : public testing::TestWithParam<int>
+{};
+
+TEST_P(RandomGraphEquivalence, SimulatorMatchesInterpreter)
+{
+    const auto seed = static_cast<std::uint64_t>(GetParam());
+    DataflowGraph g_ref = RandomProgram(seed, 1).build();
+    DataflowGraph g_sim = RandomProgram(seed, 1).build();
+
+    InterpResult ref = interpret(g_ref);
+    ASSERT_TRUE(ref.completed) << "seed " << seed;
+
+    ProcessorConfig cfg = ProcessorConfig::baseline();
+    cfg.memory.l2Bytes = 1 << 20;
+    Processor proc(g_sim, cfg);
+    ASSERT_TRUE(proc.run(3'000'000)) << "seed " << seed;
+
+    EXPECT_EQ(proc.usefulExecuted(), ref.useful) << "seed " << seed;
+    for (const auto &[addr, value] : ref.memory) {
+        EXPECT_EQ(proc.memory().read(addr), value)
+            << "seed " << seed << " @ 0x" << std::hex << addr;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphEquivalence,
+                         testing::Range(1, 41));
+
+class RandomGraphMachines : public testing::TestWithParam<int>
+{};
+
+TEST_P(RandomGraphMachines, ResultsIndependentOfMachineShape)
+{
+    // The same program must produce identical architectural results on
+    // very different machines (tiny matching tables force overflow
+    // matching; multicluster forces grid traffic and coherence).
+    const auto seed = static_cast<std::uint64_t>(GetParam()) + 1000;
+    InterpResult ref = interpret(RandomProgram(seed, 2).build());
+    ASSERT_TRUE(ref.completed);
+
+    struct Shape
+    {
+        std::uint16_t clusters;
+        unsigned matching;
+        unsigned k;
+    };
+    for (const Shape &shape : {Shape{1, 128, 4}, Shape{1, 16, 1},
+                               Shape{4, 64, 2}}) {
+        DataflowGraph g = RandomProgram(seed, 2).build();
+        ProcessorConfig cfg = ProcessorConfig::baseline();
+        cfg.clusters = shape.clusters;
+        cfg.pe.matchingEntries = shape.matching;
+        cfg.pe.matchingWays = shape.matching >= 32 ? 2 : 2;
+        cfg.pe.k = shape.k;
+        cfg.memory.l2Bytes = 1 << 20;
+        Processor proc(g, cfg);
+        ASSERT_TRUE(proc.run(5'000'000))
+            << "seed " << seed << " C" << shape.clusters << " M"
+            << shape.matching;
+        EXPECT_EQ(proc.usefulExecuted(), ref.useful)
+            << "seed " << seed << " C" << shape.clusters;
+        for (const auto &[addr, value] : ref.memory) {
+            ASSERT_EQ(proc.memory().read(addr), value)
+                << "seed " << seed << " C" << shape.clusters << " @ 0x"
+                << std::hex << addr;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphMachines,
+                         testing::Range(1, 13));
+
+} // namespace
+} // namespace ws

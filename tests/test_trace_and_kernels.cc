@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Interval-tracer tests plus per-kernel structural invariants: the
+ * properties each workload was designed with (wave sizes, memory mix,
+ * sharing patterns) that the evaluation's conclusions lean on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "core/processor.h"
+#include "core/trace.h"
+#include "kernels/kernel.h"
+
+namespace ws {
+namespace {
+
+// ---------------------------------------------------------------------
+// IntervalTracer
+// ---------------------------------------------------------------------
+
+TEST(Tracer, EmitsHeaderAndRows)
+{
+    KernelParams p;
+    DataflowGraph g = buildRawdaudio(p);
+    ProcessorConfig cfg = ProcessorConfig::baseline();
+    cfg.memory.l2Bytes = 1 << 20;
+    Processor proc(g, cfg);
+    std::ostringstream os;
+    IntervalTracer tracer(os, 256);
+    proc.attachTracer(&tracer);
+    ASSERT_TRUE(proc.run(2'000'000));
+
+    std::istringstream in(os.str());
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_NE(line.find("cycle,aipc_window"), std::string::npos);
+    int rows = 0;
+    double executed_sum = 0.0;
+    while (std::getline(in, line)) {
+        ++rows;
+        // Column 4 is executed_window.
+        std::istringstream cells(line);
+        std::string cell;
+        for (int c = 0; c < 4 && std::getline(cells, cell, ','); ++c) {
+        }
+        executed_sum += std::stod(cell);
+    }
+    EXPECT_GT(rows, 3);
+    // Window deltas must sum to (at most) the final total: the last
+    // partial window is not sampled.
+    const double total = proc.report().get("pe.executed");
+    EXPECT_LE(executed_sum, total + 1e-9);
+    EXPECT_GT(executed_sum, 0.8 * total);
+}
+
+TEST(Tracer, IntervalZeroIsClamped)
+{
+    std::ostringstream os;
+    IntervalTracer tracer(os, 0);
+    EXPECT_EQ(tracer.interval(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Kernel structural invariants
+// ---------------------------------------------------------------------
+
+/** Memory ops per wave region, max over regions. */
+std::size_t
+maxChainLength(const DataflowGraph &g)
+{
+    std::size_t mx = 0;
+    for (const auto &chain : g.memRegions())
+        mx = std::max(mx, chain.size());
+    return mx;
+}
+
+TEST(KernelShape, WavesStayStoreBufferSized)
+{
+    // The store buffer's design envelope (a handful of memory ops per
+    // wave, PSQ-countable dataless stores) is what the §3.3.1 results
+    // assume; every kernel must stay in it.
+    KernelParams p;
+    p.threads = 2;
+    for (const Kernel &k : kernelRegistry()) {
+        DataflowGraph g = k.build(p);
+        EXPECT_LE(maxChainLength(g), 12u) << k.name;
+    }
+}
+
+TEST(KernelShape, EveryThreadSinksExactlyOnce)
+{
+    KernelParams p;
+    p.threads = 4;
+    for (const Kernel &k : kernelRegistry()) {
+        DataflowGraph g = k.build(p);
+        const Counter expected = g.expectedSinkTokens();
+        EXPECT_EQ(expected, k.multithreaded ? 4u : 1u) << k.name;
+    }
+}
+
+TEST(KernelShape, SuitesHaveTheirCharacteristicMix)
+{
+    KernelParams p;
+    std::map<std::string, StatReport> stats;
+    for (const Kernel &k : kernelRegistry())
+        stats.emplace(k.name, k.build(p).staticStats());
+
+    // FP share: ammp/art/equake and the scientific Splash kernels are
+    // FP-heavy; gzip/mcf/twolf are integer-only.
+    for (const char *intk : {"gzip", "mcf", "twolf", "radix"})
+        EXPECT_EQ(stats.at(intk).get("static.fp_ops"), 0.0) << intk;
+    for (const char *fpk : {"ammp", "art", "equake", "fft", "lu",
+                            "ocean", "water"})
+        EXPECT_GT(stats.at(fpk).get("static.fp_ops"), 30.0) << fpk;
+
+    // Memory intensity: every kernel touches memory; mcf is a pure
+    // pointer chase (loads only — no stores), unlike twolf's swaps.
+    for (const Kernel &k : kernelRegistry())
+        EXPECT_GT(stats.at(k.name).get("static.memory_ops"), 10.0)
+            << k.name;
+    EXPECT_FALSE(stats.at("mcf").has("static.op.store_addr"));
+    EXPECT_GT(stats.at("twolf").get("static.op.store_addr"), 0.0);
+}
+
+TEST(KernelShape, SplashThreadsWriteDisjointPrivateData)
+{
+    // Threads may read shared arrays but their *sink results* must be
+    // independent: running 2 threads or 4 threads must not change
+    // thread 0's and 1's useful work (no cross-thread dataflow).
+    KernelParams p2;
+    p2.threads = 2;
+    KernelParams p4;
+    p4.threads = 4;
+    for (const char *name : {"fft", "lu", "raytrace"}) {
+        const Kernel &k = findKernel(name);
+        DataflowGraph g2 = k.build(p2);
+        DataflowGraph g4 = k.build(p4);
+        // Same per-thread structure regardless of thread count.
+        EXPECT_EQ(g2.threadSize(0), g4.threadSize(0)) << name;
+        EXPECT_EQ(g2.threadSize(1), g4.threadSize(1)) << name;
+    }
+}
+
+TEST(KernelShape, ScaleParameterScalesDynamicWorkOnly)
+{
+    KernelParams p1;
+    KernelParams p3;
+    p3.scale = 3;
+    DataflowGraph g1 = buildDjpeg(p1);
+    DataflowGraph g3 = buildDjpeg(p3);
+    // Static size identical; iteration bounds differ.
+    EXPECT_EQ(g1.size(), g3.size());
+}
+
+TEST(KernelShape, SeedChangesDataNotStructure)
+{
+    KernelParams pa;
+    KernelParams pb;
+    pb.seed = 1234;
+    DataflowGraph ga = buildTwolf(pa);
+    DataflowGraph gb = buildTwolf(pb);
+    EXPECT_EQ(ga.size(), gb.size());
+    ASSERT_EQ(ga.memInit().size(), gb.memInit().size());
+    int differing = 0;
+    for (std::size_t i = 0; i < ga.memInit().size(); ++i) {
+        if (ga.memInit()[i].second != gb.memInit()[i].second)
+            ++differing;
+    }
+    EXPECT_GT(differing, 100);
+}
+
+} // namespace
+} // namespace ws

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests for the wave-concurrency control machinery: store-buffer slot
+ * preemption (no cross-thread starvation) and the k-loop-bounding wave
+ * window.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/processor.h"
+#include "core/simulator.h"
+#include "isa/graph_builder.h"
+#include "kernels/kernel.h"
+#include "memory/coherence.h"
+#include "memory/store_buffer.h"
+
+namespace ws {
+namespace {
+
+// ---------------------------------------------------------------------
+// Store-buffer slot preemption
+// ---------------------------------------------------------------------
+
+class PreemptHarness
+{
+  public:
+    PreemptHarness()
+    {
+        mcfg_.clusters = 1;
+        mcfg_.l2Bytes = 1 << 20;
+        l1_ = std::make_unique<L1Controller>(mcfg_, 0);
+        home_ = std::make_unique<HomeSystem>(mcfg_);
+        sb_ = std::make_unique<StoreBuffer>(StoreBufferConfig{}, 0,
+                                            l1_.get(), &mem_);
+    }
+
+    void
+    run(Cycle cycles)
+    {
+        for (Cycle i = 0; i < cycles; ++i) {
+            l1_->tick(now_);
+            sb_->tick(now_);
+            home_->tick(now_);
+            for (const CohMsg &msg : l1_->outbox())
+                home_->receive(msg, now_ + 1);
+            l1_->outbox().clear();
+            for (auto &[dst, msg] : home_->outbox())
+                l1_->receive(msg, now_ + 1);
+            home_->outbox().clear();
+            ++now_;
+        }
+    }
+
+    MemRequest
+    nop(ThreadId t, WaveNum w)
+    {
+        MemRequest r;
+        r.kind = MemOpKind::kMemNop;
+        r.tag = Tag{t, w};
+        r.seq = 0;
+        r.prev = kSeqNone;
+        r.next = kSeqNone;
+        return r;
+    }
+
+    MemTimingConfig mcfg_;
+    MainMemory mem_;
+    std::unique_ptr<L1Controller> l1_;
+    std::unique_ptr<HomeSystem> home_;
+    std::unique_ptr<StoreBuffer> sb_;
+    Cycle now_ = 0;
+};
+
+TEST(SlotPreemption, FutureWavesCannotStarveCurrentWaves)
+{
+    PreemptHarness h;
+    // Threads 0 and 1 fill all four slots with *future* waves (their
+    // current waves are 0).
+    h.sb_->push(h.nop(0, 1), 0);
+    h.sb_->push(h.nop(0, 2), 0);
+    h.sb_->push(h.nop(1, 1), 0);
+    h.sb_->push(h.nop(1, 2), 0);
+    // Now the current waves arrive: they must preempt and complete.
+    h.sb_->push(h.nop(0, 0), 0);
+    h.sb_->push(h.nop(1, 0), 0);
+    h.run(200);
+    EXPECT_EQ(h.sb_->stats().waveCompletions, 6u);
+    EXPECT_GE(h.sb_->stats().slotPreemptions, 1u);
+    EXPECT_TRUE(h.sb_->idle());
+}
+
+TEST(SlotPreemption, ManyThreadsAllComplete)
+{
+    PreemptHarness h;
+    // 8 threads x 3 waves arriving youngest-first: worst case for the
+    // four slots.
+    for (ThreadId t = 0; t < 8; ++t) {
+        for (int w = 2; w >= 0; --w)
+            h.sb_->push(h.nop(t, static_cast<WaveNum>(w)), 0);
+    }
+    h.run(500);
+    EXPECT_EQ(h.sb_->stats().waveCompletions, 24u);
+    EXPECT_TRUE(h.sb_->idle());
+}
+
+// ---------------------------------------------------------------------
+// Wave window (k-loop bounding)
+// ---------------------------------------------------------------------
+
+TEST(WaveWindow, AdmissionRule)
+{
+    WaveWindow w;
+    w.k = 2;
+    w.base = {3, 0};
+    EXPECT_TRUE(w.admits(Tag{0, 3}));
+    EXPECT_TRUE(w.admits(Tag{0, 4}));
+    EXPECT_FALSE(w.admits(Tag{0, 5}));
+    EXPECT_TRUE(w.admits(Tag{0, 0}));   // Older waves always pass.
+    EXPECT_TRUE(w.admits(Tag{1, 1}));
+    EXPECT_FALSE(w.admits(Tag{1, 2}));
+    EXPECT_TRUE(w.admits(Tag{7, 99}));  // Unknown thread: no throttle.
+}
+
+TEST(WaveWindow, ThrottleLimitsWaveConcurrency)
+{
+    // A parallel loop: with k=1 the waves serialize; with k=4 they
+    // overlap. Throughput must improve, and throttle events must be
+    // observed at k=1.
+    auto run = [&](unsigned k) {
+        KernelParams p;
+        p.threads = 4;
+        DataflowGraph g = buildFft(p);
+        ProcessorConfig cfg = ProcessorConfig::baseline();
+        cfg.memory.l2Bytes = 1 << 20;
+        cfg.pe.k = k;
+        Processor proc(g, cfg);
+        EXPECT_TRUE(proc.run(4'000'000));
+        return std::pair<double, double>(
+            proc.aipc(), proc.report().sumPrefix("pe.executed"));
+    };
+    const auto [aipc1, exec1] = run(1);
+    const auto [aipc4, exec4] = run(4);
+    EXPECT_EQ(exec1, exec4);      // Same work...
+    EXPECT_GT(aipc4, aipc1);      // ...more overlap.
+}
+
+TEST(WaveWindow, CorrectnessUnaffectedByK)
+{
+    for (unsigned k : {1u, 2u, 8u}) {
+        KernelParams p;
+        DataflowGraph g = buildTwolf(p);
+        ProcessorConfig cfg = ProcessorConfig::baseline();
+        cfg.memory.l2Bytes = 1 << 20;
+        cfg.pe.k = k;
+        Processor proc(g, cfg);
+        ASSERT_TRUE(proc.run(6'000'000)) << "k=" << k;
+        // Useful count is an architectural result; k is timing-only.
+        static Counter baseline_useful = 0;
+        if (baseline_useful == 0)
+            baseline_useful = proc.usefulExecuted();
+        EXPECT_EQ(proc.usefulExecuted(), baseline_useful) << "k=" << k;
+    }
+}
+
+TEST(WaveWindow, ThrottledTokensAreCounted)
+{
+    KernelParams p;
+    DataflowGraph g = buildFft(p);
+    ProcessorConfig cfg = ProcessorConfig::baseline();
+    cfg.memory.l2Bytes = 1 << 20;
+    cfg.pe.k = 1;
+    Processor proc(g, cfg);
+    ASSERT_TRUE(proc.run(4'000'000));
+    Counter throttled = 0;
+    for (DomainId d = 0; d < 4; ++d) {
+        const Domain &dom = proc.cluster(0).domain(d);
+        for (PeId pe = 0; pe < dom.numPes(); ++pe)
+            throttled += dom.pe(pe).stats().waveThrottled;
+    }
+    EXPECT_GT(throttled, 0u);
+}
+
+} // namespace
+} // namespace ws
