@@ -1,0 +1,162 @@
+/**
+ * @file
+ * wsa-lint: static verification of WaveScalar assembly (.wsa) files and
+ * built-in kernels, reporting *all* findings instead of dying on the
+ * first (contrast `wsa_tool check`, which is the strict load gate).
+ *
+ *   wsa-lint [options] file.wsa...     — lint assembly files
+ *   wsa-lint [options] --kernels      — lint every registered kernel
+ *   wsa-lint --explain                — print the diagnostic-code table
+ *
+ * Options:
+ *   --strict      exit nonzero on warnings as well as errors
+ *   --no-config   structural/wave/flow passes only (no capacity lint)
+ *   --quiet       suppress findings; exit status only
+ *
+ * Exit status: 0 clean, 1 findings at the failing severity, 2 usage or
+ * I/O error. Parse (syntax) errors count as findings.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/log.h"
+#include "core/config.h"
+#include "isa/assembly.h"
+#include "kernels/kernel.h"
+#include "verify/verifier.h"
+
+using namespace ws;
+
+namespace {
+
+struct Options
+{
+    bool strict = false;
+    bool useConfig = true;
+    bool quiet = false;
+};
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: wsa-lint [--strict] [--no-config] [--quiet] "
+                 "file.wsa...\n"
+                 "       wsa-lint [options] --kernels\n"
+                 "       wsa-lint --explain\n");
+    return 2;
+}
+
+int
+explainCodes()
+{
+    std::printf("%-6s  %-8s  %s\n", "code", "severity", "meaning");
+    for (DiagCode code : allDiagCodes()) {
+        const char *sev = "error";
+        if (diagSeverity(code) == Severity::kWarning)
+            sev = "warning";
+        else if (diagSeverity(code) == Severity::kNote)
+            sev = "note";
+        std::printf("%-6s  %-8s  %s\n", diagCodeLabel(code).c_str(), sev,
+                    diagCodeSummary(code));
+    }
+    return 0;
+}
+
+/** Lint one already-parsed graph; returns the failing-severity count. */
+bool
+lintGraph(const std::string &label, const DataflowGraph &g,
+          const Options &opt)
+{
+    const VerifyReport rep = opt.useConfig
+                                 ? verify(g, ProcessorConfig::baseline())
+                                 : verify(g);
+    const bool failed =
+        !rep.ok() || (opt.strict && rep.warningCount() != 0);
+    if (!opt.quiet && !rep.empty())
+        std::fputs(rep.render().c_str(), stdout);
+    if (!opt.quiet) {
+        std::printf("%s: %s (%s)\n", label.c_str(),
+                    failed ? "FAIL" : "ok", rep.summary().c_str());
+    }
+    return failed;
+}
+
+bool
+lintFile(const std::string &path, const Options &opt)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "wsa-lint: cannot open %s\n", path.c_str());
+        std::exit(2);
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+
+    try {
+        const DataflowGraph g = parseWsa(ss.str());
+        return lintGraph(path, g, opt);
+    } catch (const FatalError &e) {
+        // Syntax-level rejects come through fatal(); report and fail.
+        if (!opt.quiet) {
+            std::printf("%s: parse error: %s\n", path.c_str(), e.what());
+            std::printf("%s: FAIL (unparseable)\n", path.c_str());
+        }
+        return true;
+    }
+}
+
+bool
+lintKernels(const Options &opt)
+{
+    bool failed = false;
+    for (const Kernel &k : kernelRegistry()) {
+        KernelParams params;
+        if (k.multithreaded)
+            params.threads = 4;
+        failed |= lintGraph("kernel:" + k.name, k.build(params), opt);
+    }
+    return failed;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    bool kernels = false;
+    std::vector<std::string> files;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--strict") {
+            opt.strict = true;
+        } else if (arg == "--no-config") {
+            opt.useConfig = false;
+        } else if (arg == "--quiet") {
+            opt.quiet = true;
+        } else if (arg == "--kernels") {
+            kernels = true;
+        } else if (arg == "--explain") {
+            return explainCodes();
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage();
+        } else {
+            files.push_back(arg);
+        }
+    }
+    if (!kernels && files.empty())
+        return usage();
+
+    bool failed = false;
+    for (const std::string &f : files)
+        failed |= lintFile(f, opt);
+    if (kernels)
+        failed |= lintKernels(opt);
+    return failed ? 1 : 0;
+}

@@ -1,8 +1,25 @@
 #include "core/config.h"
 
 #include "common/log.h"
+#include "verify/verifier.h"
 
 namespace ws {
+
+/**
+ * Config-flavoured entry point of the static verifier (declared in
+ * verify/verifier.h, defined here so the verify layer never includes
+ * core headers): derive the capacity-lint thresholds from the machine
+ * description. relaxLimits models the paper's idealized methodology
+ * sweeps, where structure-size pressure is the *point* — skip the lint.
+ */
+VerifyReport
+verify(const DataflowGraph &graph, const ProcessorConfig &cfg)
+{
+    VerifyLimits limits;
+    if (!cfg.relaxLimits)
+        limits.instructionCapacity = cfg.instructionCapacity();
+    return verify(graph, limits);
+}
 
 ProcessorConfig
 ProcessorConfig::baseline()

@@ -65,6 +65,13 @@ struct ProcessorConfig
      */
     bool relaxLimits = false;
 
+    /**
+     * Load-time verification policy. Verifier *errors* always reject a
+     * graph; with strictVerify set, capacity warnings (WS4xx etc.) are
+     * also fatal instead of being logged through warn().
+     */
+    bool strictVerify = false;
+
     /** The paper's Table-1 baseline single-cluster machine. */
     static ProcessorConfig baseline();
 

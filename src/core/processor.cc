@@ -5,6 +5,7 @@
 #include "core/trace.h"
 
 #include "common/log.h"
+#include "verify/verifier.h"
 
 namespace ws {
 
@@ -27,7 +28,23 @@ Processor::Processor(const DataflowGraph &graph, const ProcessorConfig &cfg)
       mesh_(cfg_.mesh, &traffic_), home_(cfg_.memory)
 {
     cfg_.validate();
-    graph_.validate();
+
+    // Load-time verification: errors always reject the program; the
+    // capacity lint is fatal in strict mode and logged otherwise.
+    const VerifyReport rep = verify(graph_, cfg_);
+    if (!rep.ok()) {
+        fatal("Processor: graph '%s' failed verification:\n%s",
+              graph_.name().c_str(), rep.render().c_str());
+    }
+    if (rep.warningCount() != 0) {
+        if (cfg_.strictVerify) {
+            fatal("Processor: graph '%s' rejected by strict "
+                  "verification:\n%s", graph_.name().c_str(),
+                  rep.render().c_str());
+        }
+        warn("Processor: graph '%s' verified with findings:\n%s",
+             graph_.name().c_str(), rep.render().c_str());
+    }
 
     // Build the tile hierarchy.
     clusters_.reserve(cfg_.clusters);

@@ -133,7 +133,7 @@ disassemble(const DataflowGraph &graph)
 }
 
 DataflowGraph
-assemble(const std::string &text)
+parseWsa(const std::string &text)
 {
     std::istringstream in(text);
     std::string line;
@@ -288,6 +288,13 @@ assemble(const std::string &text)
     }
     if (!have_header)
         fatal("assemble: missing .graph header");
+    return graph;
+}
+
+DataflowGraph
+assemble(const std::string &text)
+{
+    DataflowGraph graph = parseWsa(text);
     graph.validate();
     return graph;
 }

@@ -35,9 +35,18 @@ std::string disassemble(const DataflowGraph &graph);
 
 /**
  * Parse .wsa text into a validated graph; fatal() with file/line
- * diagnostics on malformed input.
+ * diagnostics on malformed input (syntax) and with a full verifier
+ * report on semantic errors.
  */
 DataflowGraph assemble(const std::string &text);
+
+/**
+ * Parse .wsa text without running the verifier. Syntax errors still
+ * fatal() with file/line diagnostics; semantic defects are left in the
+ * returned graph. wsa-lint uses this to report *all* verification
+ * findings instead of dying on the first.
+ */
+DataflowGraph parseWsa(const std::string &text);
 
 /** Look up an opcode by mnemonic; fatal() on unknown names. */
 Opcode opcodeFromName(const std::string &name);

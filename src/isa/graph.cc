@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/log.h"
+#include "verify/verifier.h"
 
 namespace ws {
 
@@ -31,120 +32,10 @@ DataflowGraph::usefulSize() const
 void
 DataflowGraph::validate() const
 {
-    const InstId n = static_cast<InstId>(insts_.size());
-
-    // Per-port producer counts, to detect starved inputs.
-    std::vector<std::uint32_t> feeds;
-    feeds.assign(static_cast<std::size_t>(n) * 3, 0);
-    auto feed = [&](const PortRef &p, InstId src, int side) {
-        if (p.inst >= n) {
-            fatal("graph '%s': inst %u out side %d targets nonexistent "
-                  "inst %u", name_.c_str(), src, side, p.inst);
-        }
-        const Instruction &dst = insts_[p.inst];
-        if (p.port >= dst.arity()) {
-            fatal("graph '%s': inst %u targets port %u of inst %u (%s, "
-                  "arity %u)", name_.c_str(), src, p.port, p.inst,
-                  std::string(opcodeName(dst.op)).c_str(), dst.arity());
-        }
-        ++feeds[static_cast<std::size_t>(p.inst) * 3 + p.port];
-    };
-
-    for (InstId i = 0; i < n; ++i) {
-        const Instruction &inst = insts_[i];
-        if (!inst.isSteer() && !inst.outs[1].empty()) {
-            fatal("graph '%s': inst %u (%s) has a false-side target list "
-                  "but is not a steer", name_.c_str(), i,
-                  std::string(opcodeName(inst.op)).c_str());
-        }
-        if (inst.mem.valid != isMemoryOp(inst.op)) {
-            fatal("graph '%s': inst %u (%s) memory annotation mismatch",
-                  name_.c_str(), i,
-                  std::string(opcodeName(inst.op)).c_str());
-        }
-        if (inst.thread >= numThreads_) {
-            fatal("graph '%s': inst %u claims thread %u but graph has %u "
-                  "threads", name_.c_str(), i, inst.thread, numThreads_);
-        }
-        for (int side = 0; side < 2; ++side) {
-            for (const PortRef &p : inst.outs[side])
-                feed(p, i, side);
-        }
-    }
-
-    for (const Token &t : initialTokens_) {
-        if (t.dst.inst >= n) {
-            fatal("graph '%s': initial token targets nonexistent inst %u",
-                  name_.c_str(), t.dst.inst);
-        }
-        const Instruction &dst = insts_[t.dst.inst];
-        if (t.dst.port >= dst.arity()) {
-            fatal("graph '%s': initial token targets port %u of inst %u "
-                  "(arity %u)", name_.c_str(), t.dst.port, t.dst.inst,
-                  dst.arity());
-        }
-        if (t.tag.thread >= numThreads_) {
-            fatal("graph '%s': initial token names thread %u of %u",
-                  name_.c_str(), t.tag.thread, numThreads_);
-        }
-        ++feeds[static_cast<std::size_t>(t.dst.inst) * 3 + t.dst.port];
-    }
-
-    // Every input port must have at least one potential producer, or the
-    // instruction can never fire.
-    for (InstId i = 0; i < n; ++i) {
-        const Instruction &inst = insts_[i];
-        for (std::uint8_t p = 0; p < inst.arity(); ++p) {
-            if (feeds[static_cast<std::size_t>(i) * 3 + p] == 0) {
-                fatal("graph '%s': inst %u (%s) port %u has no producer",
-                      name_.c_str(), i,
-                      std::string(opcodeName(inst.op)).c_str(), p);
-            }
-        }
-    }
-
-    // Wave-ordering chains: sequence numbers must be dense from 0 in
-    // region order; links must stay inside the region and point
-    // forward/backward respectively (branch diamonds produce wildcard
-    // links and concrete links that skip over the untaken arm, so exact
-    // adjacency is not required); every op must belong to one thread.
-    for (std::size_t r = 0; r < memRegions_.size(); ++r) {
-        const auto &chain = memRegions_[r];
-        if (chain.empty())
-            fatal("graph '%s': empty memory region %zu", name_.c_str(), r);
-        ThreadId thread = insts_.at(chain[0]).thread;
-        const auto len = static_cast<std::int32_t>(chain.size());
-        for (std::size_t k = 0; k < chain.size(); ++k) {
-            const Instruction &op = insts_.at(chain[k]);
-            if (!op.mem.valid) {
-                fatal("graph '%s': region %zu inst %u lacks a memory "
-                      "annotation", name_.c_str(), r, chain[k]);
-            }
-            if (op.thread != thread) {
-                fatal("graph '%s': region %zu mixes threads %u and %u",
-                      name_.c_str(), r, thread, op.thread);
-            }
-            if (op.mem.seq != static_cast<std::int32_t>(k)) {
-                fatal("graph '%s': region %zu position %zu has seq %d",
-                      name_.c_str(), r, k, op.mem.seq);
-            }
-            const bool prev_ok = op.mem.prev == kSeqNone ||
-                                 op.mem.prev == kSeqWildcard ||
-                                 (op.mem.prev >= 0 &&
-                                  op.mem.prev < op.mem.seq);
-            const bool next_ok = op.mem.next == kSeqNone ||
-                                 op.mem.next == kSeqWildcard ||
-                                 (op.mem.next > op.mem.seq &&
-                                  op.mem.next < len);
-            if (!prev_ok) {
-                fatal("graph '%s': region %zu seq %zu has prev %d",
-                      name_.c_str(), r, k, op.mem.prev);
-            }
-            if (!next_ok) {
-                fatal("graph '%s': region %zu seq %zu has next %d",
-                      name_.c_str(), r, k, op.mem.next);
-            }
-        }
+    const VerifyReport rep = verify(*this);
+    if (!rep.ok()) {
+        fatal("graph '%s' failed verification:\n%s", name_.c_str(),
+              rep.render().c_str());
     }
 }
 

@@ -95,11 +95,11 @@ class DataflowGraph
     std::size_t usefulSize() const;
 
     /**
-     * Check every structural invariant; fatal() with a diagnostic on the
-     * first violation. Checks include: dangling consumer ports, arity
-     * violations, unreachable input ports, steer-only second output
-     * lists, memory annotations present exactly on memory opcodes, and
-     * per-region wave-ordering chain consistency.
+     * Strict verification gate: run the static verifier (structural,
+     * wave-order, and flow passes — see verify/verifier.h) and fatal()
+     * with the complete rendered diagnostic report when any error is
+     * found. Warnings and notes do not fail; callers wanting the full
+     * report (or capacity lint) call ws::verify() directly.
      */
     void validate() const;
 

@@ -23,7 +23,6 @@
 #include <string>
 #include <deque>
 #include <map>
-#include <map>
 #include <unordered_map>
 #include <vector>
 

@@ -1,0 +1,216 @@
+#include "verify/diagnostic.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/log.h"
+
+namespace ws {
+
+std::string
+diagCodeLabel(DiagCode code)
+{
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "WS%u",
+                  static_cast<unsigned>(static_cast<std::uint16_t>(code)));
+    return buf;
+}
+
+Severity
+diagSeverity(DiagCode code)
+{
+    switch (code) {
+      case DiagCode::kDeadInst:
+      case DiagCode::kPortFanInPressure:
+      case DiagCode::kCapacityExceeded:
+        return Severity::kWarning;
+      case DiagCode::kWideFanIn:
+        return Severity::kNote;
+      default:
+        return Severity::kError;
+    }
+}
+
+const char *
+diagCodeSummary(DiagCode code)
+{
+    switch (code) {
+      case DiagCode::kDanglingTarget:
+        return "output edge targets a nonexistent instruction";
+      case DiagCode::kPortOutOfRange:
+        return "output edge targets a port beyond the consumer's arity";
+      case DiagCode::kFalseSideNonSteer:
+        return "false-side target list on a non-steer instruction";
+      case DiagCode::kMemAnnotationMismatch:
+        return "memory annotation present iff the opcode is not a "
+               "memory operation";
+      case DiagCode::kThreadOutOfRange:
+        return "instruction assigned to a thread the graph does not "
+               "declare";
+      case DiagCode::kStarvedPort:
+        return "input port with no static producer and no initial token";
+      case DiagCode::kBadInitialToken:
+        return "initial token targets a bad instruction, port, or thread";
+      case DiagCode::kOverfedPort:
+        return "two initial tokens with identical tags collide on one "
+               "port";
+      case DiagCode::kEmptyRegion:
+        return "registered wave-ordering chain has no members";
+      case DiagCode::kBadRegionMember:
+        return "chain member is out of range, not a memory operation, "
+               "or a store_data half";
+      case DiagCode::kRegionThreadMix:
+        return "wave-ordering chain mixes instructions of two threads";
+      case DiagCode::kNonDenseSeq:
+        return "chain sequence numbers are not dense from 0 in chain "
+               "order";
+      case DiagCode::kBadPrevLink:
+        return "prev link is neither none, '?', nor an earlier chain "
+               "position";
+      case DiagCode::kBadNextLink:
+        return "next link is neither none, '?', nor a later chain "
+               "position";
+      case DiagCode::kLinkMismatch:
+        return "concrete prev/next links of two chain ops disagree";
+      case DiagCode::kUnresolvableWildcard:
+        return "'?' link is not closed by a chain op on every steer "
+               "path (missing MEMORY-NOP)";
+      case DiagCode::kUnregisteredMemOp:
+        return "memory operation appears in zero or several registered "
+               "chains";
+      case DiagCode::kOrphanStoreData:
+        return "store_data half has no store_addr with the same thread "
+               "and sequence number";
+      case DiagCode::kDeadInst:
+        return "instruction unreachable from every initial token";
+      case DiagCode::kNoReachableSink:
+        return "graph declares expected sink tokens but no sink is "
+               "reachable";
+      case DiagCode::kWavelessCycle:
+        return "producer-consumer cycle without a WAVE_ADVANCE (tokens "
+               "of one wave could deadlock a matching table)";
+      case DiagCode::kWideFanIn:
+        return "3-operand instructions exceed the 2-input "
+               "matching-table row";
+      case DiagCode::kPortFanInPressure:
+        return "more static producers target one input port than "
+               "structured control flow can produce";
+      case DiagCode::kCapacityExceeded:
+        return "static program exceeds the machine's instruction-store "
+               "capacity (virtualization thrash)";
+    }
+    return "unknown diagnostic";
+}
+
+const std::vector<DiagCode> &
+allDiagCodes()
+{
+    static const std::vector<DiagCode> kCodes = {
+        DiagCode::kDanglingTarget,
+        DiagCode::kPortOutOfRange,
+        DiagCode::kFalseSideNonSteer,
+        DiagCode::kMemAnnotationMismatch,
+        DiagCode::kThreadOutOfRange,
+        DiagCode::kStarvedPort,
+        DiagCode::kBadInitialToken,
+        DiagCode::kOverfedPort,
+        DiagCode::kEmptyRegion,
+        DiagCode::kBadRegionMember,
+        DiagCode::kRegionThreadMix,
+        DiagCode::kNonDenseSeq,
+        DiagCode::kBadPrevLink,
+        DiagCode::kBadNextLink,
+        DiagCode::kLinkMismatch,
+        DiagCode::kUnresolvableWildcard,
+        DiagCode::kUnregisteredMemOp,
+        DiagCode::kOrphanStoreData,
+        DiagCode::kDeadInst,
+        DiagCode::kNoReachableSink,
+        DiagCode::kWavelessCycle,
+        DiagCode::kWideFanIn,
+        DiagCode::kPortFanInPressure,
+        DiagCode::kCapacityExceeded,
+    };
+    return kCodes;
+}
+
+namespace {
+
+const char *
+severityName(Severity s)
+{
+    switch (s) {
+      case Severity::kNote:
+        return "note";
+      case Severity::kWarning:
+        return "warning";
+      case Severity::kError:
+        return "error";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+VerifyReport::add(DiagCode code, InstId inst, std::string message)
+{
+    const Severity sev = diagSeverity(code);
+    switch (sev) {
+      case Severity::kError:
+        ++errors_;
+        break;
+      case Severity::kWarning:
+        ++warnings_;
+        break;
+      case Severity::kNote:
+        ++notes_;
+        break;
+    }
+    diags_.push_back(Diagnostic{code, sev, inst, std::move(message)});
+}
+
+std::size_t
+VerifyReport::count(DiagCode code) const
+{
+    std::size_t n = 0;
+    for (const Diagnostic &d : diags_) {
+        if (d.code == code)
+            ++n;
+    }
+    return n;
+}
+
+std::string
+VerifyReport::summary() const
+{
+    std::ostringstream out;
+    out << errors_ << (errors_ == 1 ? " error, " : " errors, ")
+        << warnings_ << (warnings_ == 1 ? " warning" : " warnings");
+    if (notes_ != 0)
+        out << ", " << notes_ << (notes_ == 1 ? " note" : " notes");
+    return out.str();
+}
+
+std::string
+VerifyReport::render() const
+{
+    if (diags_.empty())
+        return "";
+    std::ostringstream out;
+    for (const Diagnostic &d : diags_) {
+        if (!graphName_.empty())
+            out << graphName_ << ": ";
+        out << severityName(d.severity) << "[" << diagCodeLabel(d.code)
+            << "]";
+        if (d.inst != kInvalidInst)
+            out << " inst " << d.inst;
+        out << ": " << d.message << "\n";
+    }
+    if (!graphName_.empty())
+        out << graphName_ << ": ";
+    out << summary() << "\n";
+    return out.str();
+}
+
+} // namespace ws

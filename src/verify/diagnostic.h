@@ -1,0 +1,148 @@
+/**
+ * @file
+ * The verifier's diagnostics engine: stable codes, severities, and a
+ * collect-all report with a text renderer.
+ *
+ * Unlike fatal(), which dies on the first problem it sees, verification
+ * passes append Diagnostics to a VerifyReport and keep going, so a
+ * malformed graph produces one complete bill of defects. Every
+ * diagnostic carries a stable code (rendered "WS101"-style) that tests,
+ * wsa-lint output filters, and documentation refer to; the code alone
+ * determines the default severity.
+ */
+
+#ifndef WS_VERIFY_DIAGNOSTIC_H_
+#define WS_VERIFY_DIAGNOSTIC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ws {
+
+enum class Severity : std::uint8_t
+{
+    kNote,     ///< Informational; never affects exit status.
+    kWarning,  ///< Suspicious but executable; strict mode rejects.
+    kError,    ///< The graph violates an execution-model invariant.
+};
+
+/**
+ * Stable diagnostic codes. The numeric value is the published code
+ * ("WS101"); renumbering an existing code is an interface break.
+ *
+ *   WS1xx  structural   (ports, edges, annotations, tokens)
+ *   WS2xx  wave-ordered memory chains (§3.3.1)
+ *   WS3xx  flow         (reachability, retirement, deadlock)
+ *   WS4xx  capacity     (matching-table / instruction-store lint)
+ */
+enum class DiagCode : std::uint16_t
+{
+    // Structural.
+    kDanglingTarget = 101,        ///< Edge to a nonexistent instruction.
+    kPortOutOfRange = 102,        ///< Edge to a port beyond consumer arity.
+    kFalseSideNonSteer = 103,     ///< False-side outputs on a non-steer.
+    kMemAnnotationMismatch = 104, ///< mem.valid disagrees with the opcode.
+    kThreadOutOfRange = 105,      ///< Instruction claims a bad thread.
+    kStarvedPort = 106,           ///< Input port with no producer.
+    kBadInitialToken = 107,       ///< Initial token names a bad target.
+    kOverfedPort = 108,           ///< Two initial tokens collide on a port.
+
+    // Wave-ordered memory.
+    kEmptyRegion = 201,           ///< Registered chain with no members.
+    kBadRegionMember = 202,       ///< Chain member is not a chainable op.
+    kRegionThreadMix = 203,       ///< Chain spans more than one thread.
+    kNonDenseSeq = 204,           ///< Sequence numbers not dense from 0.
+    kBadPrevLink = 205,           ///< prev link out of range.
+    kBadNextLink = 206,           ///< next link out of range.
+    kLinkMismatch = 207,          ///< prev/next links mutually inconsistent.
+    kUnresolvableWildcard = 208,  ///< '?' link not closed by both arms.
+    kUnregisteredMemOp = 209,     ///< Memory op in zero or several chains.
+    kOrphanStoreData = 210,       ///< store_data half with no address half.
+
+    // Flow.
+    kDeadInst = 301,              ///< Unreachable from any initial token.
+    kNoReachableSink = 302,       ///< Completion declared but no sink path.
+    kWavelessCycle = 303,         ///< Cycle without a WAVE_ADVANCE.
+
+    // Capacity.
+    kWideFanIn = 401,             ///< 3-operand rows vs 2-input tables.
+    kPortFanInPressure = 402,     ///< >2 static producers on one port.
+    kCapacityExceeded = 403,      ///< Program exceeds instruction stores.
+};
+
+/** "WS101"-style label for @p code. */
+std::string diagCodeLabel(DiagCode code);
+
+/** Default severity of @p code. */
+Severity diagSeverity(DiagCode code);
+
+/** One-line human description of what @p code means (docs, --explain). */
+const char *diagCodeSummary(DiagCode code);
+
+/** Every defined code, ascending (tests and documentation iterate it). */
+const std::vector<DiagCode> &allDiagCodes();
+
+/** One verification finding. */
+struct Diagnostic
+{
+    DiagCode code;
+    Severity severity;
+    InstId inst = kInvalidInst;  ///< Offending instruction, if any.
+    std::string message;
+};
+
+/** Collect-all result of running verification passes over one graph. */
+class VerifyReport
+{
+  public:
+    explicit VerifyReport(std::string graph_name = "")
+        : graphName_(std::move(graph_name))
+    {}
+
+    /** Append a finding at the code's default severity. */
+    void add(DiagCode code, InstId inst, std::string message);
+
+    /** True when no *error* was recorded (warnings/notes allowed). */
+    bool ok() const { return errors_ == 0; }
+
+    /** True when nothing at all was recorded. */
+    bool empty() const { return diags_.empty(); }
+
+    std::size_t errorCount() const { return errors_; }
+    std::size_t warningCount() const { return warnings_; }
+    std::size_t noteCount() const { return notes_; }
+
+    /** Occurrences of @p code. */
+    std::size_t count(DiagCode code) const;
+    bool has(DiagCode code) const { return count(code) != 0; }
+
+    const std::vector<Diagnostic> &diagnostics() const { return diags_; }
+    const std::string &graphName() const { return graphName_; }
+
+    /**
+     * Render every finding, one line each:
+     *
+     *   error[WS106] inst 4 (add): input port 1 has no producer
+     *
+     * followed by a summary line. Returns "" when the report is empty.
+     */
+    std::string render() const;
+
+    /** "2 errors, 1 warning"-style roll-up. */
+    std::string summary() const;
+
+  private:
+    std::string graphName_;
+    std::vector<Diagnostic> diags_;
+    std::size_t errors_ = 0;
+    std::size_t warnings_ = 0;
+    std::size_t notes_ = 0;
+};
+
+} // namespace ws
+
+#endif // WS_VERIFY_DIAGNOSTIC_H_

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Capacity lint (WS4xx): compares static graph pressure against the
+ * configured machine. Nothing here is an execution-model violation —
+ * the hardware virtualizes instructions and spills matching-table
+ * overflow to memory — but each finding predicts a measurable
+ * performance cliff, so they surface as warnings/notes.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/token.h"
+#include "verify/passes.h"
+
+namespace ws {
+namespace verify_detail {
+
+void
+runCapacity(const DataflowGraph &g, const VerifyLimits &limits,
+            VerifyReport &rep)
+{
+    const InstId n = static_cast<InstId>(g.size());
+
+    // WS401: the matching table stores two operands per row; wider
+    // instructions (3-input select) need row pairing at dispatch.
+    // Aggregated into one note so kernel-sized graphs stay readable.
+    if (limits.matchingOperands != 0) {
+        std::size_t wide = 0;
+        for (InstId i = 0; i < n; ++i) {
+            if (g.inst(i).arity() > limits.matchingOperands)
+                ++wide;
+        }
+        if (wide != 0) {
+            rep.add(DiagCode::kWideFanIn, kInvalidInst,
+                    msgf("%zu instruction(s) take more than %u operands; "
+                         "each occupies a paired matching-table row",
+                         wide, limits.matchingOperands));
+        }
+    }
+
+    // WS402: structured control flow feeds a port from at most two
+    // static producers (a diamond merge or a loop back-edge plus init).
+    // More producers than that means hand-built routing whose same-tag
+    // arrivals would race for one operand slot.
+    if (limits.portFanIn != 0) {
+        std::vector<std::uint32_t> feeds(static_cast<std::size_t>(n) * 3);
+        auto feed = [&](const PortRef &p) {
+            if (p.inst < n && p.port < 3)
+                ++feeds[static_cast<std::size_t>(p.inst) * 3 + p.port];
+        };
+        for (InstId i = 0; i < n; ++i) {
+            for (int side = 0; side < 2; ++side) {
+                for (const PortRef &p : g.inst(i).outs[side])
+                    feed(p);
+            }
+        }
+        for (const Token &t : g.initialTokens())
+            feed(t.dst);
+        for (InstId i = 0; i < n; ++i) {
+            const Instruction &inst = g.inst(i);
+            for (std::uint8_t p = 0; p < inst.arity() && p < 3; ++p) {
+                const std::uint32_t c =
+                    feeds[static_cast<std::size_t>(i) * 3 + p];
+                if (c > limits.portFanIn) {
+                    rep.add(DiagCode::kPortFanInPressure, i,
+                            msgf("input port %u has %u static producers "
+                                 "(structured control flow yields at "
+                                 "most %u)", p, c, limits.portFanIn));
+                }
+            }
+        }
+    }
+
+    // WS403: a working set larger than the instruction stores thrashes
+    // the virtualization path (72-cycle instruction misses).
+    if (limits.instructionCapacity != 0 &&
+        static_cast<std::uint64_t>(n) > limits.instructionCapacity) {
+        rep.add(DiagCode::kCapacityExceeded, kInvalidInst,
+                msgf("%u static instructions exceed the machine's %llu "
+                     "instruction-store slots; expect instruction-miss "
+                     "thrash", n,
+                     static_cast<unsigned long long>(
+                         limits.instructionCapacity)));
+    }
+}
+
+} // namespace verify_detail
+} // namespace ws

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Flow pass (WS3xx): graph-level analyses over the producer→consumer
+ * edge relation.
+ *
+ *  - Reachability from the initial tokens. An instruction no token can
+ *    ever reach is dead weight in the instruction stores (WS301).
+ *  - Retirement: a graph that declares expected sink tokens but has no
+ *    sink reachable from any initial token can never complete (WS302).
+ *  - Static deadlock: a cycle that contains no WAVE_ADVANCE would
+ *    recirculate tokens *within one wave*; a second arrival with an
+ *    identical tag collides in the matching table and the program
+ *    wedges. Loop back-edges built by GraphBuilder always pass through
+ *    WAVE_ADVANCE, so any wave-less strongly connected component is
+ *    reported (WS303).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/token.h"
+#include "verify/passes.h"
+
+namespace ws {
+namespace verify_detail {
+
+namespace {
+
+/** Successors of each instruction over both output sides, with
+ *  out-of-range targets (already reported by the structural pass)
+ *  dropped. */
+std::vector<std::vector<InstId>>
+adjacency(const DataflowGraph &g)
+{
+    const InstId n = static_cast<InstId>(g.size());
+    std::vector<std::vector<InstId>> adj(n);
+    for (InstId i = 0; i < n; ++i) {
+        for (int side = 0; side < 2; ++side) {
+            for (const PortRef &p : g.inst(i).outs[side]) {
+                if (p.inst < n)
+                    adj[i].push_back(p.inst);
+            }
+        }
+    }
+    return adj;
+}
+
+/**
+ * Strongly connected components by Tarjan's algorithm, iterative so
+ * pathological graphs cannot overflow the call stack. Returns the
+ * component id of every node; members of a nontrivial SCC (size > 1,
+ * or a self-loop) are flagged in @p nontrivial.
+ */
+void
+findCycles(const std::vector<std::vector<InstId>> &adj,
+           std::vector<std::vector<InstId>> &cycles)
+{
+    const std::size_t n = adj.size();
+    constexpr std::uint32_t kUnvisited = 0xffffffffu;
+    std::vector<std::uint32_t> index(n, kUnvisited);
+    std::vector<std::uint32_t> lowlink(n, 0);
+    std::vector<bool> onStack(n, false);
+    std::vector<InstId> stack;
+    std::uint32_t counter = 0;
+
+    struct Frame
+    {
+        InstId node;
+        std::size_t edge;
+    };
+    std::vector<Frame> dfs;
+
+    for (InstId root = 0; root < n; ++root) {
+        if (index[root] != kUnvisited)
+            continue;
+        dfs.push_back({root, 0});
+        index[root] = lowlink[root] = counter++;
+        stack.push_back(root);
+        onStack[root] = true;
+
+        while (!dfs.empty()) {
+            Frame &f = dfs.back();
+            if (f.edge < adj[f.node].size()) {
+                const InstId next = adj[f.node][f.edge++];
+                if (index[next] == kUnvisited) {
+                    index[next] = lowlink[next] = counter++;
+                    stack.push_back(next);
+                    onStack[next] = true;
+                    dfs.push_back({next, 0});
+                } else if (onStack[next]) {
+                    if (index[next] < lowlink[f.node])
+                        lowlink[f.node] = index[next];
+                }
+                continue;
+            }
+            // Node finished: pop an SCC if this is its root.
+            const InstId v = f.node;
+            dfs.pop_back();
+            if (!dfs.empty() && lowlink[v] < lowlink[dfs.back().node])
+                lowlink[dfs.back().node] = lowlink[v];
+            if (lowlink[v] != index[v])
+                continue;
+            std::vector<InstId> scc;
+            for (;;) {
+                const InstId w = stack.back();
+                stack.pop_back();
+                onStack[w] = false;
+                scc.push_back(w);
+                if (w == v)
+                    break;
+            }
+            if (scc.size() > 1) {
+                cycles.push_back(std::move(scc));
+            } else {
+                // Single node: only a self-loop makes it a cycle.
+                for (InstId s : adj[v]) {
+                    if (s == v) {
+                        cycles.push_back(std::move(scc));
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+runFlow(const DataflowGraph &g, VerifyReport &rep)
+{
+    const InstId n = static_cast<InstId>(g.size());
+    const std::vector<std::vector<InstId>> adj = adjacency(g);
+
+    // Reachability from the initial tokens.
+    std::vector<bool> reached(n, false);
+    std::vector<InstId> worklist;
+    for (const Token &t : g.initialTokens()) {
+        if (t.dst.inst < n && !reached[t.dst.inst]) {
+            reached[t.dst.inst] = true;
+            worklist.push_back(t.dst.inst);
+        }
+    }
+    while (!worklist.empty()) {
+        const InstId v = worklist.back();
+        worklist.pop_back();
+        for (InstId s : adj[v]) {
+            if (!reached[s]) {
+                reached[s] = true;
+                worklist.push_back(s);
+            }
+        }
+    }
+
+    bool sinkReachable = false;
+    for (InstId i = 0; i < n; ++i) {
+        if (reached[i]) {
+            if (g.inst(i).op == Opcode::kSink)
+                sinkReachable = true;
+            continue;
+        }
+        rep.add(DiagCode::kDeadInst, i,
+                msgf("%s is unreachable from every initial token and "
+                     "can never execute",
+                     opcodeInfo(g.inst(i).op).name.data()));
+    }
+
+    if (g.expectedSinkTokens() > 0 && !sinkReachable) {
+        rep.add(DiagCode::kNoReachableSink, kInvalidInst,
+                msgf("graph expects %llu sink token(s) but no sink "
+                     "instruction is reachable; the program can never "
+                     "complete",
+                     static_cast<unsigned long long>(
+                         g.expectedSinkTokens())));
+    }
+
+    // Wave-less cycles.
+    std::vector<std::vector<InstId>> cycles;
+    findCycles(adj, cycles);
+    for (const std::vector<InstId> &scc : cycles) {
+        bool hasWaveAdvance = false;
+        InstId anchor = scc[0];
+        for (InstId v : scc) {
+            if (g.inst(v).op == Opcode::kWaveAdvance)
+                hasWaveAdvance = true;
+            if (v < anchor)
+                anchor = v;
+        }
+        if (!hasWaveAdvance) {
+            rep.add(DiagCode::kWavelessCycle, anchor,
+                    msgf("cycle of %zu instruction(s) contains no "
+                         "wave_advance; tokens of one wave would "
+                         "collide in the matching table (potential "
+                         "deadlock)", scc.size()));
+        }
+    }
+}
+
+} // namespace verify_detail
+} // namespace ws

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Structural pass (WS1xx): every edge must land on an existing port,
+ * every input port must have a potential producer, steer discipline and
+ * memory annotations must match opcodes, and the initial token set must
+ * be well-formed. Absorbs and extends the checks the old
+ * DataflowGraph::validate() performed fatally.
+ */
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "isa/token.h"
+#include "verify/passes.h"
+
+namespace ws {
+namespace verify_detail {
+
+namespace {
+
+/** Ports per instruction in the feed-count table (max arity is 3). */
+constexpr std::size_t kMaxPorts = 3;
+
+const char *
+opName(const Instruction &inst)
+{
+    return opcodeInfo(inst.op).name.data();
+}
+
+} // namespace
+
+void
+runStructural(const DataflowGraph &g, VerifyReport &rep)
+{
+    const InstId n = static_cast<InstId>(g.size());
+    std::vector<std::uint32_t> feeds(static_cast<std::size_t>(n) *
+                                     kMaxPorts);
+
+    auto feed = [&](const PortRef &p) {
+        ++feeds[static_cast<std::size_t>(p.inst) * kMaxPorts + p.port];
+    };
+
+    for (InstId i = 0; i < n; ++i) {
+        const Instruction &inst = g.inst(i);
+
+        if (!inst.isSteer() && !inst.outs[1].empty()) {
+            rep.add(DiagCode::kFalseSideNonSteer, i,
+                    msgf("%s has a false-side target list but only "
+                         "steer routes on a predicate", opName(inst)));
+        }
+        if (inst.mem.valid != isMemoryOp(inst.op)) {
+            rep.add(DiagCode::kMemAnnotationMismatch, i,
+                    msgf("%s %s a wave-ordering annotation", opName(inst),
+                         inst.mem.valid ? "is not a memory op but carries"
+                                        : "is a memory op but lacks"));
+        }
+        if (inst.thread >= g.numThreads()) {
+            rep.add(DiagCode::kThreadOutOfRange, i,
+                    msgf("claims thread %u but the graph declares %u",
+                         inst.thread, g.numThreads()));
+        }
+
+        for (int side = 0; side < 2; ++side) {
+            for (const PortRef &p : inst.outs[side]) {
+                if (p.inst >= n) {
+                    rep.add(DiagCode::kDanglingTarget, i,
+                            msgf("output side %d targets nonexistent "
+                                 "inst %u", side, p.inst));
+                    continue;
+                }
+                const Instruction &dst = g.inst(p.inst);
+                if (p.port >= dst.arity() || p.port >= kMaxPorts) {
+                    rep.add(DiagCode::kPortOutOfRange, i,
+                            msgf("output side %d targets port %u of "
+                                 "inst %u (%s, arity %u)", side, p.port,
+                                 p.inst, opName(dst), dst.arity()));
+                    continue;
+                }
+                feed(p);
+            }
+        }
+    }
+
+    // Initial tokens: valid destinations, no same-tag collisions.
+    std::map<std::tuple<InstId, std::uint8_t, ThreadId, WaveNum>,
+             std::uint32_t>
+        tokenHits;
+    for (const Token &t : g.initialTokens()) {
+        if (t.dst.inst >= n) {
+            rep.add(DiagCode::kBadInitialToken, kInvalidInst,
+                    msgf("initial token targets nonexistent inst %u",
+                         t.dst.inst));
+            continue;
+        }
+        const Instruction &dst = g.inst(t.dst.inst);
+        if (t.dst.port >= dst.arity() || t.dst.port >= kMaxPorts) {
+            rep.add(DiagCode::kBadInitialToken, t.dst.inst,
+                    msgf("initial token targets port %u (%s, arity %u)",
+                         t.dst.port, opName(dst), dst.arity()));
+            continue;
+        }
+        if (t.tag.thread >= g.numThreads()) {
+            rep.add(DiagCode::kBadInitialToken, t.dst.inst,
+                    msgf("initial token names thread %u of %u",
+                         t.tag.thread, g.numThreads()));
+            continue;
+        }
+        const auto key = std::make_tuple(t.dst.inst, t.dst.port,
+                                         t.tag.thread, t.tag.wave);
+        if (++tokenHits[key] == 2) {
+            rep.add(DiagCode::kOverfedPort, t.dst.inst,
+                    msgf("port %u receives two initial tokens with tag "
+                         "<t%u, w%u>; they would collide in the "
+                         "matching table", t.dst.port, t.tag.thread,
+                         t.tag.wave));
+        }
+        feed(t.dst);
+    }
+
+    // Starved ports: an instruction can never fire if any input port has
+    // no potential producer at all.
+    for (InstId i = 0; i < n; ++i) {
+        const Instruction &inst = g.inst(i);
+        for (std::uint8_t p = 0; p < inst.arity() && p < kMaxPorts; ++p) {
+            if (feeds[static_cast<std::size_t>(i) * kMaxPorts + p] == 0) {
+                rep.add(DiagCode::kStarvedPort, i,
+                        msgf("%s input port %u has no producer; the "
+                             "instruction can never fire", opName(inst),
+                             p));
+            }
+        }
+    }
+}
+
+} // namespace verify_detail
+} // namespace ws

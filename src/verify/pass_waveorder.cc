@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Wave-ordered memory pass (WS2xx).
+ *
+ * The store buffer recovers program order within a wave purely from the
+ * <prev, this, next> annotations (§3.3.1), so this pass proves, per
+ * registered chain, that they describe a total order it can actually
+ * walk: membership is sane (WS201/202/203), sequence numbers are dense
+ * (WS204), links stay inside the chain and point the right way
+ * (WS205/206), concrete links agree pairwise (WS207), and every '?'
+ * wildcard produced by control flow is closed — a branch that may skip
+ * a memory op must provide a chain op (the compiler's MEMORY-NOP rule)
+ * on both arms, or the chain stalls forever on the untaken path
+ * (WS208). Globally, every chainable memory op must be registered in
+ * exactly one chain (WS209) and every decoupled store_data half must
+ * have an address half to pair with (WS210).
+ */
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "verify/passes.h"
+
+namespace ws {
+namespace verify_detail {
+
+namespace {
+
+/** True for ops that occupy a slot in an ordering chain. store_data
+ *  halves share the address half's slot and stay off the chain. */
+bool
+chainable(const Instruction &inst)
+{
+    return isMemoryOp(inst.op) && inst.op != Opcode::kStoreData;
+}
+
+} // namespace
+
+void
+runWaveOrder(const DataflowGraph &g, VerifyReport &rep)
+{
+    const InstId n = static_cast<InstId>(g.size());
+    const auto &regions = g.memRegions();
+
+    // How many chains each instruction appears in (for WS209).
+    std::vector<std::uint32_t> membership(n, 0);
+    // (thread, seq) pairs covered by registered store_addr ops (WS210).
+    std::set<std::pair<ThreadId, std::int32_t>> storeAddrSlots;
+
+    for (std::size_t r = 0; r < regions.size(); ++r) {
+        const std::vector<InstId> &chain = regions[r];
+        if (chain.empty()) {
+            rep.add(DiagCode::kEmptyRegion, kInvalidInst,
+                    msgf("region %zu is empty; every wave region must "
+                         "contain at least one chain op (MEMORY-NOP if "
+                         "nothing else)", r));
+            continue;
+        }
+
+        // Membership: ids in range, chainable opcodes, annotations on.
+        bool members_ok = true;
+        for (std::size_t k = 0; k < chain.size(); ++k) {
+            const InstId id = chain[k];
+            if (id >= n) {
+                rep.add(DiagCode::kBadRegionMember, kInvalidInst,
+                        msgf("region %zu position %zu names nonexistent "
+                             "inst %u", r, k, id));
+                members_ok = false;
+                continue;
+            }
+            ++membership[id];
+            const Instruction &op = g.inst(id);
+            if (!chainable(op) || !op.mem.valid) {
+                rep.add(DiagCode::kBadRegionMember, id,
+                        msgf("region %zu position %zu: %s is not a "
+                             "chainable memory operation", r, k,
+                             opcodeInfo(op.op).name.data()));
+                members_ok = false;
+            }
+        }
+        if (!members_ok)
+            continue;  // Seq/link checks would chase garbage.
+
+        // One thread per chain.
+        const ThreadId thread = g.inst(chain[0]).thread;
+        for (std::size_t k = 1; k < chain.size(); ++k) {
+            if (g.inst(chain[k]).thread != thread) {
+                rep.add(DiagCode::kRegionThreadMix, chain[k],
+                        msgf("region %zu mixes threads %u and %u", r,
+                             thread, g.inst(chain[k]).thread));
+                members_ok = false;
+                break;
+            }
+        }
+
+        // Dense sequence numbers: position k holds seq k, so links can
+        // be interpreted as chain positions.
+        bool seq_ok = true;
+        for (std::size_t k = 0; k < chain.size(); ++k) {
+            const MemOrder &m = g.inst(chain[k]).mem;
+            if (m.seq != static_cast<std::int32_t>(k)) {
+                rep.add(DiagCode::kNonDenseSeq, chain[k],
+                        msgf("region %zu position %zu has seq %d "
+                             "(duplicate or out-of-order numbering)", r,
+                             k, m.seq));
+                seq_ok = false;
+            }
+        }
+        if (!seq_ok || !members_ok)
+            continue;
+
+        const auto len = static_cast<std::int32_t>(chain.size());
+        auto memAt = [&](std::int32_t s) -> const MemOrder & {
+            return g.inst(chain[static_cast<std::size_t>(s)]).mem;
+        };
+
+        for (std::size_t k = 0; k < chain.size(); ++k) {
+            const InstId id = chain[k];
+            const MemOrder &m = g.inst(id).mem;
+            if (g.inst(id).op == Opcode::kStoreAddr)
+                storeAddrSlots.emplace(thread, m.seq);
+
+            const bool prev_ok = m.prev == kSeqNone ||
+                                 m.prev == kSeqWildcard ||
+                                 (m.prev >= 0 && m.prev < m.seq);
+            const bool next_ok = m.next == kSeqNone ||
+                                 m.next == kSeqWildcard ||
+                                 (m.next > m.seq && m.next < len);
+            if (!prev_ok) {
+                rep.add(DiagCode::kBadPrevLink, id,
+                        msgf("region %zu seq %d has prev %d (must be "
+                             "none, '?', or an earlier seq)", r, m.seq,
+                             m.prev));
+            }
+            if (!next_ok) {
+                rep.add(DiagCode::kBadNextLink, id,
+                        msgf("region %zu seq %d has next %d (must be "
+                             "none, '?', or a later seq in range)", r,
+                             m.seq, m.next));
+            }
+
+            // Pairwise agreement of concrete links. A concrete link may
+            // legally meet a '?' on the other end (diamond arms), but a
+            // concrete-concrete disagreement or a dead-end predecessor
+            // breaks the walk.
+            if (next_ok && m.next >= 0) {
+                const MemOrder &succ = memAt(m.next);
+                if (succ.prev != m.seq && succ.prev != kSeqWildcard) {
+                    rep.add(DiagCode::kLinkMismatch, id,
+                            msgf("region %zu seq %d says next=%d, but "
+                                 "that op's prev is %d", r, m.seq,
+                                 m.next, succ.prev));
+                }
+            }
+            if (prev_ok && m.prev >= 0) {
+                const MemOrder &pred = memAt(m.prev);
+                if (pred.next == kSeqNone) {
+                    rep.add(DiagCode::kLinkMismatch, id,
+                            msgf("region %zu seq %d says prev=%d, but "
+                                 "that op's next is none (it never "
+                                 "links forward)", r, m.seq, m.prev));
+                }
+            }
+
+            // Wildcard closure: a '?' arises only at a branch, and the
+            // paper's compiler guarantees a chain op on *both* arms
+            // (inserting a MEMORY-NOP if an arm has none). Statically:
+            // a wildcard next must be claimed as prev by at least two
+            // ops; a wildcard prev must be claimed as next by at least
+            // two ops. One claimant means the other arm can strand the
+            // chain; zero means the walk stops outright.
+            if (m.next == kSeqWildcard) {
+                int claimants = 0;
+                for (std::int32_t s = 0; s < len; ++s) {
+                    if (s != static_cast<std::int32_t>(k) &&
+                        memAt(s).prev == m.seq)
+                        ++claimants;
+                }
+                if (claimants < 2) {
+                    rep.add(DiagCode::kUnresolvableWildcard, id,
+                            msgf("region %zu seq %d has next='?' but "
+                                 "only %d successor(s) name it as prev; "
+                                 "a MEMORY-NOP is required on every "
+                                 "steer path", r, m.seq, claimants));
+                }
+            }
+            if (m.prev == kSeqWildcard) {
+                int claimants = 0;
+                for (std::int32_t s = 0; s < len; ++s) {
+                    if (s != static_cast<std::int32_t>(k) &&
+                        memAt(s).next == m.seq)
+                        ++claimants;
+                }
+                if (claimants < 2) {
+                    rep.add(DiagCode::kUnresolvableWildcard, id,
+                            msgf("region %zu seq %d has prev='?' but "
+                                 "only %d predecessor(s) name it as "
+                                 "next; a MEMORY-NOP is required on "
+                                 "every steer path", r, m.seq,
+                                 claimants));
+                }
+            }
+        }
+    }
+
+    // Global registration: every chainable memory op sits in exactly one
+    // chain; every store_data half can pair with an address half.
+    for (InstId i = 0; i < n; ++i) {
+        const Instruction &inst = g.inst(i);
+        if (inst.op == Opcode::kStoreData) {
+            if (inst.mem.valid &&
+                !storeAddrSlots.count({inst.thread, inst.mem.seq})) {
+                rep.add(DiagCode::kOrphanStoreData, i,
+                        msgf("store_data half <t%u, seq %d> has no "
+                             "registered store_addr to pair with",
+                             inst.thread, inst.mem.seq));
+            }
+            continue;
+        }
+        if (!chainable(inst))
+            continue;
+        if (membership[i] == 0) {
+            rep.add(DiagCode::kUnregisteredMemOp, i,
+                    msgf("%s is not registered in any wave region; the "
+                         "store buffer would never see its chain",
+                         opcodeInfo(inst.op).name.data()));
+        } else if (membership[i] > 1) {
+            rep.add(DiagCode::kUnregisteredMemOp, i,
+                    msgf("%s is registered in %u wave regions; chains "
+                         "must partition the memory ops",
+                         opcodeInfo(inst.op).name.data(), membership[i]));
+        }
+    }
+}
+
+} // namespace verify_detail
+} // namespace ws

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Internal pass entry points of the verifier. Each pass appends to the
+ * shared report and must never crash on a malformed graph: every
+ * instruction id, port number, and sequence link is bounds-checked
+ * before use, because the passes run even when earlier ones found
+ * defects.
+ */
+
+#ifndef WS_VERIFY_PASSES_H_
+#define WS_VERIFY_PASSES_H_
+
+#include "isa/graph.h"
+#include "verify/diagnostic.h"
+#include "verify/verifier.h"
+
+namespace ws {
+namespace verify_detail {
+
+/** printf-style message builder for pass diagnostics. */
+std::string msgf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+void runStructural(const DataflowGraph &g, VerifyReport &rep);
+void runWaveOrder(const DataflowGraph &g, VerifyReport &rep);
+void runFlow(const DataflowGraph &g, VerifyReport &rep);
+void runCapacity(const DataflowGraph &g, const VerifyLimits &limits,
+                 VerifyReport &rep);
+
+} // namespace verify_detail
+} // namespace ws
+
+#endif // WS_VERIFY_PASSES_H_

@@ -1,0 +1,42 @@
+#include "verify/verifier.h"
+
+#include <cstdarg>
+
+#include "common/log.h"
+#include "verify/passes.h"
+
+namespace ws {
+
+namespace verify_detail {
+
+std::string
+msgf(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string s = detail::vformat(fmt, ap);
+    va_end(ap);
+    return s;
+}
+
+} // namespace verify_detail
+
+VerifyReport
+verify(const DataflowGraph &graph)
+{
+    VerifyReport rep(graph.name());
+    verify_detail::runStructural(graph, rep);
+    verify_detail::runWaveOrder(graph, rep);
+    verify_detail::runFlow(graph, rep);
+    return rep;
+}
+
+VerifyReport
+verify(const DataflowGraph &graph, const VerifyLimits &limits)
+{
+    VerifyReport rep = verify(graph);
+    verify_detail::runCapacity(graph, limits, rep);
+    return rep;
+}
+
+} // namespace ws

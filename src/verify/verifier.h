@@ -1,0 +1,70 @@
+/**
+ * @file
+ * ws::verify(): multi-pass static analysis of a DataflowGraph.
+ *
+ * Four passes run in order, all collect-all (a defect never aborts
+ * verification, and later passes are written to tolerate the garbage
+ * earlier passes reported):
+ *
+ *  1. structural  — edges, ports, annotations, initial tokens (WS1xx);
+ *  2. wave order  — the <prev, this, next> memory chains of §3.3.1,
+ *                   including '?' wildcard closure (WS2xx);
+ *  3. flow        — reachability, sink retirement, static deadlock
+ *                   (WS3xx);
+ *  4. capacity    — matching-table / instruction-store lint against a
+ *                   machine description (WS4xx; only with limits).
+ *
+ * Load-time callers (GraphBuilder::finish, assemble, Processor) treat
+ * errors as fatal; wsa-lint renders the full report and sets its exit
+ * status. DataflowGraph::validate() is a strict wrapper around this
+ * module.
+ */
+
+#ifndef WS_VERIFY_VERIFIER_H_
+#define WS_VERIFY_VERIFIER_H_
+
+#include <cstdint>
+
+#include "isa/graph.h"
+#include "verify/diagnostic.h"
+
+namespace ws {
+
+struct ProcessorConfig;  // core/config.h; overload defined in ws_core.
+
+/**
+ * Machine-dependent thresholds for the capacity lint. The defaults
+ * encode the paper's PE microarchitecture; a zero disables the
+ * corresponding check.
+ */
+struct VerifyLimits
+{
+    /** Total instruction-store slots (PEs x entries); 0 skips WS403. */
+    std::uint64_t instructionCapacity = 0;
+
+    /** Operand slots per matching-table row (WS401 fires above it). */
+    unsigned matchingOperands = 2;
+
+    /**
+     * Max static producers per input port; structured control flow
+     * (diamond merges, loop back-edges) produces at most two (WS402).
+     */
+    unsigned portFanIn = 2;
+};
+
+/** Run the structural, wave-order, and flow passes. */
+VerifyReport verify(const DataflowGraph &graph);
+
+/** All four passes, with explicit capacity thresholds. */
+VerifyReport verify(const DataflowGraph &graph, const VerifyLimits &limits);
+
+/**
+ * All four passes, deriving thresholds from a processor configuration.
+ * Capacity lint is skipped when cfg.relaxLimits is set (idealized
+ * methodology sweeps). Defined in ws_core.
+ */
+VerifyReport verify(const DataflowGraph &graph, const ProcessorConfig &cfg);
+
+} // namespace ws
+
+#endif // WS_VERIFY_VERIFIER_H_

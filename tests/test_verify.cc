@@ -1,0 +1,665 @@
+/**
+ * @file
+ * Tests for the static verifier (src/verify): a corpus of hand-built
+ * malformed graphs in which every diagnostic code fires — the six
+ * headline defects exactly once — plus clean passes over the fixtures
+ * and the whole kernel suite, and the strict validate() wrapper.
+ */
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "core/config.h"
+#include "isa/assembly.h"
+#include "kernels/kernel.h"
+#include "verify/verifier.h"
+
+namespace ws {
+namespace {
+
+Instruction
+makeInst(Opcode op, ThreadId thread = 0)
+{
+    Instruction in;
+    in.op = op;
+    in.thread = thread;
+    return in;
+}
+
+Instruction
+makeMemInst(Opcode op, std::int32_t prev, std::int32_t seq,
+            std::int32_t next, ThreadId thread = 0)
+{
+    Instruction in = makeInst(op, thread);
+    in.mem.prev = prev;
+    in.mem.seq = seq;
+    in.mem.next = next;
+    in.mem.valid = true;
+    return in;
+}
+
+Token
+makeToken(InstId inst, std::uint8_t port = 0, ThreadId thread = 0,
+          WaveNum wave = 0, Value value = 0)
+{
+    Token t;
+    t.tag = Tag{thread, wave};
+    t.dst = PortRef{inst, port};
+    t.value = value;
+    return t;
+}
+
+/** mov -> sink, one token, one expected completion; verifies clean. */
+DataflowGraph
+cleanBase(const std::string &name = "base")
+{
+    DataflowGraph g(name);
+    InstId mov = g.addInstruction(makeInst(Opcode::kMov));
+    InstId sink = g.addInstruction(makeInst(Opcode::kSink));
+    g.inst(mov).outs[0].push_back(PortRef{sink, 0});
+    g.addInitialToken(makeToken(mov));
+    g.setExpectedSinkTokens(1);
+    return g;
+}
+
+std::string
+readFixture(const std::string &name)
+{
+    const std::string path = std::string(WS_FIXTURE_DIR) + "/" + name;
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "missing fixture " << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+// Diagnostics engine -----------------------------------------------------
+
+TEST(Diagnostics, EveryCodeHasLabelSeverityAndSummary)
+{
+    ASSERT_FALSE(allDiagCodes().empty());
+    for (DiagCode code : allDiagCodes()) {
+        const std::string label = diagCodeLabel(code);
+        EXPECT_EQ(label.substr(0, 2), "WS");
+        EXPECT_EQ(label,
+                  "WS" + std::to_string(static_cast<unsigned>(code)));
+        EXPECT_NE(diagCodeSummary(code)[0], '\0');
+    }
+}
+
+TEST(Diagnostics, SeverityMapping)
+{
+    // Flow dead-code and the capacity lints are advisory; everything
+    // else breaks an execution-model invariant.
+    EXPECT_EQ(diagSeverity(DiagCode::kDeadInst), Severity::kWarning);
+    EXPECT_EQ(diagSeverity(DiagCode::kWideFanIn), Severity::kNote);
+    EXPECT_EQ(diagSeverity(DiagCode::kPortFanInPressure),
+              Severity::kWarning);
+    EXPECT_EQ(diagSeverity(DiagCode::kCapacityExceeded),
+              Severity::kWarning);
+    EXPECT_EQ(diagSeverity(DiagCode::kStarvedPort), Severity::kError);
+    EXPECT_EQ(diagSeverity(DiagCode::kUnresolvableWildcard),
+              Severity::kError);
+}
+
+TEST(Diagnostics, ReportCountsAndRender)
+{
+    VerifyReport rep("demo");
+    EXPECT_TRUE(rep.ok());
+    EXPECT_TRUE(rep.empty());
+    EXPECT_EQ(rep.render(), "");
+
+    rep.add(DiagCode::kStarvedPort, 4, "input port 1 has no producer");
+    rep.add(DiagCode::kDeadInst, 7, "unreachable");
+    rep.add(DiagCode::kWideFanIn, kInvalidInst, "2 wide rows");
+
+    EXPECT_FALSE(rep.ok());
+    EXPECT_EQ(rep.errorCount(), 1u);
+    EXPECT_EQ(rep.warningCount(), 1u);
+    EXPECT_EQ(rep.noteCount(), 1u);
+    EXPECT_EQ(rep.count(DiagCode::kStarvedPort), 1u);
+    EXPECT_TRUE(rep.has(DiagCode::kDeadInst));
+    EXPECT_FALSE(rep.has(DiagCode::kWavelessCycle));
+
+    const std::string text = rep.render();
+    EXPECT_NE(text.find("error[WS106] inst 4"), std::string::npos);
+    EXPECT_NE(text.find("warning[WS301]"), std::string::npos);
+    EXPECT_NE(text.find("note[WS401]"), std::string::npos);
+    EXPECT_NE(text.find("demo"), std::string::npos);
+    EXPECT_NE(text.find(rep.summary()), std::string::npos);
+}
+
+// Structural pass (WS1xx) ------------------------------------------------
+
+TEST(VerifyStructural, CleanBaseHasNoFindings)
+{
+    const VerifyReport rep = verify(cleanBase());
+    EXPECT_TRUE(rep.empty()) << rep.render();
+}
+
+TEST(VerifyStructural, DanglingTarget)
+{
+    DataflowGraph g = cleanBase();
+    g.inst(0).outs[0].push_back(PortRef{99, 0});
+    const VerifyReport rep = verify(g);
+    EXPECT_EQ(rep.count(DiagCode::kDanglingTarget), 1u) << rep.render();
+    EXPECT_FALSE(rep.ok());
+}
+
+TEST(VerifyStructural, ArityOverflowFiresExactlyOnce)
+{
+    // mov fans out to both add inputs plus a port past the add's arity.
+    DataflowGraph g("arity");
+    InstId mov = g.addInstruction(makeInst(Opcode::kMov));
+    InstId add = g.addInstruction(makeInst(Opcode::kAdd));
+    InstId sink = g.addInstruction(makeInst(Opcode::kSink));
+    g.inst(mov).outs[0] = {PortRef{add, 0}, PortRef{add, 1},
+                           PortRef{add, 5}};
+    g.inst(add).outs[0].push_back(PortRef{sink, 0});
+    g.addInitialToken(makeToken(mov));
+    g.setExpectedSinkTokens(1);
+
+    const VerifyReport rep = verify(g);
+    EXPECT_EQ(rep.count(DiagCode::kPortOutOfRange), 1u) << rep.render();
+    EXPECT_EQ(rep.errorCount(), 1u) << rep.render();
+}
+
+TEST(VerifyStructural, FalseSideOnNonSteer)
+{
+    DataflowGraph g = cleanBase();
+    g.inst(0).outs[1].push_back(PortRef{1, 0});
+    EXPECT_EQ(verify(g).count(DiagCode::kFalseSideNonSteer), 1u);
+}
+
+TEST(VerifyStructural, MemAnnotationMismatchBothDirections)
+{
+    // A mov carrying an annotation, and a load missing one.
+    DataflowGraph g = cleanBase();
+    g.inst(0).mem.valid = true;
+    EXPECT_EQ(verify(g).count(DiagCode::kMemAnnotationMismatch), 1u);
+
+    DataflowGraph h("bare-load");
+    InstId mov = h.addInstruction(makeInst(Opcode::kMov));
+    InstId load = h.addInstruction(makeInst(Opcode::kLoad));
+    h.inst(mov).outs[0].push_back(PortRef{load, 0});
+    h.addInitialToken(makeToken(mov));
+    EXPECT_EQ(verify(h).count(DiagCode::kMemAnnotationMismatch), 1u);
+}
+
+TEST(VerifyStructural, ThreadOutOfRange)
+{
+    DataflowGraph g = cleanBase();
+    g.inst(1).thread = 3;  // Graph declares a single thread.
+    EXPECT_EQ(verify(g).count(DiagCode::kThreadOutOfRange), 1u);
+}
+
+TEST(VerifyStructural, StarvedPortFiresExactlyOnce)
+{
+    // The add's second input has neither a producer nor a token.
+    DataflowGraph g("starved");
+    InstId mov = g.addInstruction(makeInst(Opcode::kMov));
+    InstId add = g.addInstruction(makeInst(Opcode::kAdd));
+    InstId sink = g.addInstruction(makeInst(Opcode::kSink));
+    g.inst(mov).outs[0].push_back(PortRef{add, 0});
+    g.inst(add).outs[0].push_back(PortRef{sink, 0});
+    g.addInitialToken(makeToken(mov));
+    g.setExpectedSinkTokens(1);
+
+    const VerifyReport rep = verify(g);
+    EXPECT_EQ(rep.count(DiagCode::kStarvedPort), 1u) << rep.render();
+    EXPECT_EQ(rep.errorCount(), 1u) << rep.render();
+}
+
+TEST(VerifyStructural, StarvedPortSatisfiedByToken)
+{
+    // An initial token counts as a producer: no WS106.
+    DataflowGraph g("token-fed");
+    InstId mov = g.addInstruction(makeInst(Opcode::kMov));
+    InstId add = g.addInstruction(makeInst(Opcode::kAdd));
+    InstId sink = g.addInstruction(makeInst(Opcode::kSink));
+    g.inst(mov).outs[0].push_back(PortRef{add, 0});
+    g.inst(add).outs[0].push_back(PortRef{sink, 0});
+    g.addInitialToken(makeToken(mov));
+    g.addInitialToken(makeToken(add, 1));
+    g.setExpectedSinkTokens(1);
+    const VerifyReport rep = verify(g);
+    EXPECT_TRUE(rep.empty()) << rep.render();
+}
+
+TEST(VerifyStructural, BadInitialToken)
+{
+    DataflowGraph g = cleanBase();
+    g.addInitialToken(makeToken(99));                // No such inst.
+    g.addInitialToken(makeToken(0, 7));              // No such port.
+    g.addInitialToken(makeToken(0, 0, /*thread=*/5));  // No such thread.
+    EXPECT_EQ(verify(g).count(DiagCode::kBadInitialToken), 3u);
+}
+
+TEST(VerifyStructural, OverfedPort)
+{
+    DataflowGraph g = cleanBase();
+    g.addInitialToken(makeToken(0));  // Same (inst, port, thread, wave).
+    const VerifyReport rep = verify(g);
+    EXPECT_EQ(rep.count(DiagCode::kOverfedPort), 1u) << rep.render();
+}
+
+TEST(VerifyStructural, DistinctWavesDoNotCollide)
+{
+    DataflowGraph g = cleanBase();
+    g.addInitialToken(makeToken(0, 0, 0, /*wave=*/1));
+    g.setExpectedSinkTokens(2);
+    const VerifyReport rep = verify(g);
+    EXPECT_FALSE(rep.has(DiagCode::kOverfedPort)) << rep.render();
+}
+
+// Wave-order pass (WS2xx) ------------------------------------------------
+
+/**
+ * mov fans out to @p chainLength loads forming one registered chain with
+ * dense sequence numbers and straight-line links; callers then corrupt
+ * one link to probe a single code.
+ */
+DataflowGraph
+chainGraph(std::size_t chainLength)
+{
+    DataflowGraph g("chain");
+    InstId mov = g.addInstruction(makeInst(Opcode::kMov));
+    std::vector<InstId> chain;
+    for (std::size_t i = 0; i < chainLength; ++i) {
+        const auto seq = static_cast<std::int32_t>(i);
+        const std::int32_t prev = (i == 0) ? kSeqNone : seq - 1;
+        const std::int32_t next =
+            (i + 1 == chainLength) ? kSeqNone : seq + 1;
+        InstId load =
+            g.addInstruction(makeMemInst(Opcode::kLoad, prev, seq, next));
+        g.inst(mov).outs[0].push_back(PortRef{load, 0});
+        chain.push_back(load);
+    }
+    g.addMemRegion(chain);
+    g.addInitialToken(makeToken(mov));
+    return g;
+}
+
+TEST(VerifyWaveOrder, IntactChainIsClean)
+{
+    const VerifyReport rep = verify(chainGraph(3));
+    EXPECT_TRUE(rep.empty()) << rep.render();
+}
+
+TEST(VerifyWaveOrder, EmptyRegion)
+{
+    DataflowGraph g = cleanBase();
+    g.addMemRegion({});
+    EXPECT_EQ(verify(g).count(DiagCode::kEmptyRegion), 1u);
+}
+
+TEST(VerifyWaveOrder, NonChainableRegionMember)
+{
+    // A registered chain that smuggles in a non-memory op (the mov).
+    DataflowGraph bad("member");
+    InstId mov = bad.addInstruction(makeInst(Opcode::kMov));
+    InstId load = bad.addInstruction(
+        makeMemInst(Opcode::kLoad, kSeqNone, 0, kSeqNone));
+    bad.inst(mov).outs[0].push_back(PortRef{load, 0});
+    bad.addInitialToken(makeToken(mov));
+    bad.addMemRegion({load, mov});
+    const VerifyReport rep = verify(bad);
+    EXPECT_EQ(rep.count(DiagCode::kBadRegionMember), 1u) << rep.render();
+}
+
+TEST(VerifyWaveOrder, RegionThreadMix)
+{
+    DataflowGraph g("mix", /*num_threads=*/2);
+    InstId mov = g.addInstruction(makeInst(Opcode::kMov));
+    InstId a = g.addInstruction(
+        makeMemInst(Opcode::kLoad, kSeqNone, 0, 1, /*thread=*/0));
+    InstId b = g.addInstruction(
+        makeMemInst(Opcode::kLoad, 0, 1, kSeqNone, /*thread=*/1));
+    g.inst(mov).outs[0] = {PortRef{a, 0}, PortRef{b, 0}};
+    g.addInitialToken(makeToken(mov));
+    g.addMemRegion({a, b});
+    EXPECT_EQ(verify(g).count(DiagCode::kRegionThreadMix), 1u);
+}
+
+TEST(VerifyWaveOrder, NonDenseSequence)
+{
+    DataflowGraph g = chainGraph(2);
+    g.inst(2).mem.seq = 2;  // 0, 2: a hole at 1.
+    g.inst(2).mem.prev = 1;
+    EXPECT_EQ(verify(g).count(DiagCode::kNonDenseSeq), 1u);
+}
+
+TEST(VerifyWaveOrder, BrokenPrevLinkFiresExactlyOnce)
+{
+    DataflowGraph g = chainGraph(2);
+    g.inst(2).mem.prev = 7;        // Out of the chain's seq range.
+    g.inst(1).mem.next = kSeqNone; // Keep the intact side consistent so
+                                   // only the range check (not WS207)
+                                   // fires.
+    const VerifyReport rep = verify(g);
+    EXPECT_EQ(rep.count(DiagCode::kBadPrevLink), 1u) << rep.render();
+    EXPECT_EQ(rep.errorCount(), 1u) << rep.render();
+}
+
+TEST(VerifyWaveOrder, BrokenNextLinkFiresExactlyOnce)
+{
+    DataflowGraph g = chainGraph(2);
+    g.inst(1).mem.next = 5;  // Out of the chain's seq range.
+    const VerifyReport rep = verify(g);
+    EXPECT_EQ(rep.count(DiagCode::kBadNextLink), 1u) << rep.render();
+    EXPECT_EQ(rep.errorCount(), 1u) << rep.render();
+}
+
+TEST(VerifyWaveOrder, InconsistentLinksFireExactlyOnce)
+{
+    // seq 0 names seq 1 as successor, but seq 1 claims no predecessor.
+    DataflowGraph g = chainGraph(2);
+    g.inst(2).mem.prev = kSeqNone;
+    const VerifyReport rep = verify(g);
+    EXPECT_EQ(rep.count(DiagCode::kLinkMismatch), 1u) << rep.render();
+    EXPECT_EQ(rep.errorCount(), 1u) << rep.render();
+}
+
+TEST(VerifyWaveOrder, UnresolvableWildcardFiresExactlyOnce)
+{
+    // A '?' next with a single claimant: one steer arm lost its
+    // MEMORY-NOP (§3.3.1).
+    DataflowGraph g = chainGraph(2);
+    g.inst(1).mem.next = kSeqWildcard;
+    g.inst(2).mem.prev = 0;  // Only claimant.
+    const VerifyReport rep = verify(g);
+    EXPECT_EQ(rep.count(DiagCode::kUnresolvableWildcard), 1u)
+        << rep.render();
+    EXPECT_EQ(rep.errorCount(), 1u) << rep.render();
+}
+
+TEST(VerifyWaveOrder, ResolvableWildcardIsClean)
+{
+    // The textbook diamond: seq 0 forks to '?', both arms (1 and 2)
+    // claim it, both rejoin at 3 through its '?' prev.
+    DataflowGraph g("diamond");
+    InstId mov = g.addInstruction(makeInst(Opcode::kMov));
+    InstId head = g.addInstruction(
+        makeMemInst(Opcode::kMemNop, kSeqNone, 0, kSeqWildcard));
+    InstId left = g.addInstruction(
+        makeMemInst(Opcode::kMemNop, 0, 1, 3));
+    InstId right = g.addInstruction(
+        makeMemInst(Opcode::kMemNop, 0, 2, 3));
+    InstId join = g.addInstruction(
+        makeMemInst(Opcode::kMemNop, kSeqWildcard, 3, kSeqNone));
+    g.inst(mov).outs[0] = {PortRef{head, 0}, PortRef{left, 0},
+                           PortRef{right, 0}, PortRef{join, 0}};
+    g.addInitialToken(makeToken(mov));
+    g.addMemRegion({head, left, right, join});
+    const VerifyReport rep = verify(g);
+    EXPECT_TRUE(rep.empty()) << rep.render();
+}
+
+TEST(VerifyWaveOrder, UnregisteredMemOp)
+{
+    // A load carrying an annotation but belonging to no chain.
+    DataflowGraph g("unregistered");
+    InstId mov = g.addInstruction(makeInst(Opcode::kMov));
+    InstId load = g.addInstruction(
+        makeMemInst(Opcode::kLoad, kSeqNone, 0, kSeqNone));
+    g.inst(mov).outs[0].push_back(PortRef{load, 0});
+    g.addInitialToken(makeToken(mov));
+    EXPECT_EQ(verify(g).count(DiagCode::kUnregisteredMemOp), 1u);
+}
+
+TEST(VerifyWaveOrder, OrphanStoreData)
+{
+    // A data half whose (thread, seq) matches no store_addr slot.
+    DataflowGraph g("orphan");
+    InstId mov = g.addInstruction(makeInst(Opcode::kMov));
+    InstId sd = g.addInstruction(
+        makeMemInst(Opcode::kStoreData, kSeqNone, 4, kSeqNone));
+    g.inst(mov).outs[0].push_back(PortRef{sd, 0});
+    g.addInitialToken(makeToken(mov));
+    EXPECT_EQ(verify(g).count(DiagCode::kOrphanStoreData), 1u);
+}
+
+TEST(VerifyWaveOrder, PairedStoreHalvesAreClean)
+{
+    // store_addr seq 0 in the chain; store_data rides the same slot.
+    DataflowGraph g("paired");
+    InstId mov = g.addInstruction(makeInst(Opcode::kMov));
+    InstId sa = g.addInstruction(
+        makeMemInst(Opcode::kStoreAddr, kSeqNone, 0, kSeqNone));
+    InstId sd = g.addInstruction(
+        makeMemInst(Opcode::kStoreData, kSeqNone, 0, kSeqNone));
+    g.inst(mov).outs[0] = {PortRef{sa, 0}, PortRef{sd, 0}};
+    g.addInitialToken(makeToken(mov));
+    g.addMemRegion({sa});
+    const VerifyReport rep = verify(g);
+    EXPECT_TRUE(rep.empty()) << rep.render();
+}
+
+// Flow pass (WS3xx) ------------------------------------------------------
+
+TEST(VerifyFlow, DeadInstFiresExactlyOnce)
+{
+    DataflowGraph g = cleanBase();
+    g.addInstruction(makeInst(Opcode::kMov));  // No path from any token.
+    const VerifyReport rep = verify(g);
+    EXPECT_EQ(rep.count(DiagCode::kDeadInst), 1u) << rep.render();
+}
+
+TEST(VerifyFlow, NoReachableSink)
+{
+    DataflowGraph g("sinkless");
+    InstId mov = g.addInstruction(makeInst(Opcode::kMov));
+    g.addInitialToken(makeToken(mov));
+    g.setExpectedSinkTokens(1);  // Completion promised, never delivered.
+    const VerifyReport rep = verify(g);
+    EXPECT_EQ(rep.count(DiagCode::kNoReachableSink), 1u) << rep.render();
+    EXPECT_FALSE(rep.ok());
+}
+
+TEST(VerifyFlow, NoCompletionDeclaredNoSinkNeeded)
+{
+    DataflowGraph g("quiet");
+    InstId mov = g.addInstruction(makeInst(Opcode::kMov));
+    g.addInitialToken(makeToken(mov));
+    const VerifyReport rep = verify(g);
+    EXPECT_FALSE(rep.has(DiagCode::kNoReachableSink)) << rep.render();
+}
+
+TEST(VerifyFlow, WavelessCycleFiresExactlyOnce)
+{
+    // a <-> b with no WAVE_ADVANCE: identically-tagged tokens chase
+    // each other forever (static deadlock / livelock).
+    DataflowGraph g("cycle");
+    InstId mov = g.addInstruction(makeInst(Opcode::kMov));
+    InstId a = g.addInstruction(makeInst(Opcode::kMov));
+    InstId b = g.addInstruction(makeInst(Opcode::kMov));
+    InstId sink = g.addInstruction(makeInst(Opcode::kSink));
+    g.inst(mov).outs[0].push_back(PortRef{a, 0});
+    g.inst(a).outs[0] = {PortRef{b, 0}, PortRef{sink, 0}};
+    g.inst(b).outs[0].push_back(PortRef{a, 0});
+    g.addInitialToken(makeToken(mov));
+    g.setExpectedSinkTokens(1);
+
+    const VerifyReport rep = verify(g);
+    EXPECT_EQ(rep.count(DiagCode::kWavelessCycle), 1u) << rep.render();
+    EXPECT_EQ(rep.errorCount(), 1u) << rep.render();
+}
+
+TEST(VerifyFlow, WaveAdvanceLegitimizesCycle)
+{
+    // The same loop with a WAVE_ADVANCE on the back edge is the normal
+    // loop idiom and must pass.
+    DataflowGraph g("loop");
+    InstId mov = g.addInstruction(makeInst(Opcode::kMov));
+    InstId a = g.addInstruction(makeInst(Opcode::kMov));
+    InstId b = g.addInstruction(makeInst(Opcode::kWaveAdvance));
+    InstId sink = g.addInstruction(makeInst(Opcode::kSink));
+    g.inst(mov).outs[0].push_back(PortRef{a, 0});
+    g.inst(a).outs[0] = {PortRef{b, 0}, PortRef{sink, 0}};
+    g.inst(b).outs[0].push_back(PortRef{a, 0});
+    g.addInitialToken(makeToken(mov));
+    g.setExpectedSinkTokens(1);
+    const VerifyReport rep = verify(g);
+    EXPECT_FALSE(rep.has(DiagCode::kWavelessCycle)) << rep.render();
+    EXPECT_TRUE(rep.ok()) << rep.render();
+}
+
+// Capacity pass (WS4xx) --------------------------------------------------
+
+TEST(VerifyCapacity, WideFanInIsOneAggregatedNote)
+{
+    DataflowGraph g("select");
+    InstId mov = g.addInstruction(makeInst(Opcode::kMov));
+    InstId sel = g.addInstruction(makeInst(Opcode::kSelect));
+    InstId sel2 = g.addInstruction(makeInst(Opcode::kSelect));
+    InstId sink = g.addInstruction(makeInst(Opcode::kSink));
+    g.inst(mov).outs[0] = {PortRef{sel, 0},  PortRef{sel, 1},
+                           PortRef{sel, 2},  PortRef{sel2, 0},
+                           PortRef{sel2, 1}, PortRef{sel2, 2}};
+    g.inst(sel).outs[0].push_back(PortRef{sink, 0});
+    g.inst(sel2).outs[0].push_back(PortRef{sink, 0});
+    g.addInitialToken(makeToken(mov));
+    g.setExpectedSinkTokens(2);
+
+    const VerifyReport rep = verify(g, VerifyLimits{});
+    // Two wide instructions, one aggregated note.
+    EXPECT_EQ(rep.count(DiagCode::kWideFanIn), 1u) << rep.render();
+    EXPECT_EQ(rep.noteCount(), 1u) << rep.render();
+    EXPECT_TRUE(rep.ok()) << rep.render();
+    EXPECT_EQ(rep.warningCount(), 0u) << rep.render();
+
+    // Without limits the capacity pass does not run at all.
+    EXPECT_FALSE(verify(g).has(DiagCode::kWideFanIn));
+}
+
+TEST(VerifyCapacity, PortFanInPressure)
+{
+    // Three static producers aimed at one input port: beyond what
+    // structured control flow produces, and beyond the matching table.
+    DataflowGraph g("pressure");
+    InstId m0 = g.addInstruction(makeInst(Opcode::kMov));
+    InstId m1 = g.addInstruction(makeInst(Opcode::kMov));
+    InstId m2 = g.addInstruction(makeInst(Opcode::kMov));
+    InstId add = g.addInstruction(makeInst(Opcode::kAdd));
+    InstId sink = g.addInstruction(makeInst(Opcode::kSink));
+    g.inst(m0).outs[0] = {PortRef{add, 0}, PortRef{add, 1}};
+    g.inst(m1).outs[0].push_back(PortRef{add, 0});
+    g.inst(m2).outs[0].push_back(PortRef{add, 0});
+    g.inst(add).outs[0].push_back(PortRef{sink, 0});
+    g.addInitialToken(makeToken(m0));
+    g.addInitialToken(makeToken(m1));
+    g.addInitialToken(makeToken(m2));
+    g.setExpectedSinkTokens(1);
+
+    const VerifyReport rep = verify(g, VerifyLimits{});
+    EXPECT_EQ(rep.count(DiagCode::kPortFanInPressure), 1u)
+        << rep.render();
+    EXPECT_EQ(rep.warningCount(), 1u) << rep.render();
+    EXPECT_TRUE(rep.ok()) << rep.render();
+}
+
+TEST(VerifyCapacity, InstructionCapacityExceeded)
+{
+    VerifyLimits limits;
+    limits.instructionCapacity = 1;
+    const VerifyReport rep = verify(cleanBase(), limits);
+    EXPECT_EQ(rep.count(DiagCode::kCapacityExceeded), 1u)
+        << rep.render();
+    EXPECT_EQ(rep.warningCount(), 1u) << rep.render();
+
+    limits.instructionCapacity = 0;  // Zero disables the check.
+    EXPECT_FALSE(
+        verify(cleanBase(), limits).has(DiagCode::kCapacityExceeded));
+}
+
+// Strict wrapper + load gates --------------------------------------------
+
+TEST(VerifyGates, ValidateThrowsOnBrokenGraph)
+{
+    DataflowGraph g = cleanBase();
+    g.inst(0).outs[0].push_back(PortRef{99, 0});
+    EXPECT_THROW(g.validate(), FatalError);
+}
+
+TEST(VerifyGates, ValidateAcceptsCleanGraph)
+{
+    EXPECT_NO_THROW(cleanBase().validate());
+}
+
+TEST(VerifyGates, WarningsDoNotFailValidate)
+{
+    // A detached self-sustaining loop: both members are fed (no WS106)
+    // and the cycle carries a WAVE_ADVANCE (no WS303), so the only
+    // findings are two dead-instruction warnings.
+    DataflowGraph g = cleanBase();
+    InstId a = g.addInstruction(makeInst(Opcode::kMov));
+    InstId b = g.addInstruction(makeInst(Opcode::kWaveAdvance));
+    g.inst(a).outs[0].push_back(PortRef{b, 0});
+    g.inst(b).outs[0].push_back(PortRef{a, 0});
+
+    const VerifyReport rep = verify(g);
+    EXPECT_EQ(rep.count(DiagCode::kDeadInst), 2u) << rep.render();
+    EXPECT_EQ(rep.errorCount(), 0u) << rep.render();
+    EXPECT_NO_THROW(g.validate());
+}
+
+// Fixtures ---------------------------------------------------------------
+
+TEST(VerifyFixtures, CleanPipelineHasNoFindings)
+{
+    const DataflowGraph g = parseWsa(readFixture("clean_pipeline.wsa"));
+    const VerifyReport rep = verify(g, ProcessorConfig::baseline());
+    EXPECT_TRUE(rep.empty()) << rep.render();
+}
+
+TEST(VerifyFixtures, BrokenChainFixtureFindsAllSeededDefects)
+{
+    const DataflowGraph g =
+        parseWsa(readFixture("bad_broken_chain.wsa"));
+    const VerifyReport rep = verify(g);
+    EXPECT_EQ(rep.count(DiagCode::kStarvedPort), 1u) << rep.render();
+    EXPECT_EQ(rep.count(DiagCode::kBadNextLink), 1u) << rep.render();
+    EXPECT_EQ(rep.count(DiagCode::kNoReachableSink), 1u)
+        << rep.render();
+    EXPECT_EQ(rep.errorCount(), 3u) << rep.render();
+}
+
+TEST(VerifyFixtures, WildcardFixtureFindsTheHalfOpenDiamond)
+{
+    const DataflowGraph g = parseWsa(readFixture("bad_wildcard.wsa"));
+    const VerifyReport rep = verify(g);
+    EXPECT_EQ(rep.count(DiagCode::kUnresolvableWildcard), 1u)
+        << rep.render();
+    EXPECT_EQ(rep.errorCount(), 1u) << rep.render();
+}
+
+// Kernel suite clean pass ------------------------------------------------
+
+class VerifyKernels : public ::testing::TestWithParam<std::uint16_t>
+{};
+
+TEST_P(VerifyKernels, AllKernelsVerifyClean)
+{
+    const ProcessorConfig cfg = ProcessorConfig::baseline();
+    for (const Kernel &k : kernelRegistry()) {
+        KernelParams params;
+        if (k.multithreaded)
+            params.threads = GetParam();
+        const DataflowGraph g = k.build(params);
+        const VerifyReport rep = verify(g, cfg);
+        EXPECT_EQ(rep.errorCount(), 0u)
+            << k.name << ":\n" << rep.render();
+        EXPECT_EQ(rep.warningCount(), 0u)
+            << k.name << ":\n" << rep.render();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, VerifyKernels,
+                         ::testing::Values(1, 2, 4));
+
+} // namespace
+} // namespace ws

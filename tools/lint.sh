@@ -1,0 +1,55 @@
+#!/usr/bin/env sh
+# Build-independent lint entry point: run whichever of clang-format,
+# clang-tidy, and wsa-lint are available, and skip (with a notice) the
+# ones that are not, so the script works both in the minimal gcc-only
+# container and in a full clang dev environment.
+#
+#   tools/lint.sh [build-dir]      (default build dir: ./build)
+#
+# Exit status is nonzero when any tool that DID run found a problem.
+set -u
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build=${1:-$repo/build}
+status=0
+
+sources=$(find "$repo/src" "$repo/tests" "$repo/examples" "$repo/bench" \
+              -name '*.cc' -o -name '*.cpp' -o -name '*.h' 2>/dev/null)
+
+if command -v clang-format >/dev/null 2>&1; then
+    echo "== clang-format (dry run) =="
+    # shellcheck disable=SC2086 -- word splitting over file names wanted.
+    clang-format --dry-run --Werror $sources || status=1
+else
+    echo "-- clang-format not installed; skipping format check"
+fi
+
+if command -v clang-tidy >/dev/null 2>&1; then
+    if [ -f "$build/compile_commands.json" ]; then
+        echo "== clang-tidy =="
+        # shellcheck disable=SC2086
+        clang-tidy -p "$build" --quiet $sources || status=1
+    else
+        echo "-- no $build/compile_commands.json; configure first" \
+             "(cmake -B build -S .); skipping clang-tidy"
+    fi
+else
+    echo "-- clang-tidy not installed; skipping static analysis"
+fi
+
+if [ -x "$build/examples/wsa-lint" ]; then
+    echo "== wsa-lint =="
+    "$build/examples/wsa-lint" --strict --kernels --quiet \
+        "$repo/tests/fixtures/clean_pipeline.wsa" || status=1
+    # The seeded-bad fixtures must FAIL; a clean exit is the defect.
+    for bad in "$repo"/tests/fixtures/bad_*.wsa; do
+        if "$build/examples/wsa-lint" --quiet "$bad"; then
+            echo "lint.sh: $bad unexpectedly passed wsa-lint" >&2
+            status=1
+        fi
+    done
+else
+    echo "-- $build/examples/wsa-lint not built; skipping graph lint"
+fi
+
+exit $status
