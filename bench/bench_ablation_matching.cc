@@ -17,6 +17,7 @@ int
 main(int argc, char **argv)
 {
     const bench::BenchOptions opts = bench::parseArgs(argc, argv);
+    bench::BenchReport report("ablation_matching", opts);
 
     const char *workloads_all[] = {"gzip", "ammp", "equake", "djpeg",
                                    "rawdaudio", "mcf"};
@@ -45,25 +46,43 @@ main(int argc, char **argv)
     std::printf("%-12s %8s %8s %8s %8s %10s\n", "workload", "1 bank",
                 "2 banks", "4 banks", "8 banks", "2-vs-4");
     bench::rule(62);
-    double geo_drop = 0.0;
-    int n = 0;
+
+    // All workload x bank-count points as one engine batch.
+    const unsigned bank_counts[] = {1u, 2u, 4u, 8u};
+    std::vector<bench::CfgRun> bank_runs;
     for (const char *w : workloads) {
-        const Kernel &k = findKernel(w);
-        double aipc[4];
-        int idx = 0;
-        for (unsigned banks : {1u, 2u, 4u, 8u}) {
+        for (unsigned banks : bank_counts) {
             ProcessorConfig cfg = dense;
             cfg.pe.matchingBanks = banks;
-            aipc[idx++] = bench::runKernelCfg(k, cfg, 1, opts).aipc;
+            bank_runs.push_back(bench::CfgRun{&findKernel(w), cfg, 1});
         }
+    }
+    const std::vector<bench::RunResult> bank_results =
+        bench::runAll(bank_runs, opts);
+    double geo_drop = 0.0;
+    int n = 0;
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        const char *w = workloads[i];
+        double aipc[4];
+        for (int idx = 0; idx < 4; ++idx)
+            aipc[idx] = bank_results[i * 4 + idx].aipc;
         const double drop = 100.0 * (1.0 - aipc[1] / aipc[2]);
         geo_drop += drop;
         ++n;
         std::printf("%-12s %8.2f %8.2f %8.2f %8.2f %9.1f%%\n", w,
                     aipc[0], aipc[1], aipc[2], aipc[3], drop);
+        Json row = Json::object();
+        row["workload"] = std::string(w);
+        row["banks1"] = aipc[0];
+        row["banks2"] = aipc[1];
+        row["banks4"] = aipc[2];
+        row["banks8"] = aipc[3];
+        row["drop_2v4_pct"] = drop;
+        report.addRow("banks", std::move(row));
     }
     std::printf("mean 2-vs-4 bank penalty: %.1f%%  (paper: 5%%)\n\n",
                 geo_drop / n);
+    report.meta()["mean_bank_penalty_pct"] = geo_drop / n;
 
     std::printf("Ablation: matching-table associativity\n");
     std::printf("paper: 2-way +10%% over 1-way, misses -41%%; 4-way "
@@ -71,24 +90,41 @@ main(int argc, char **argv)
     std::printf("%-12s %8s %8s %8s %10s %12s\n", "workload", "1-way",
                 "2-way", "4-way", "2w gain", "miss drop");
     bench::rule(64);
+
+    const unsigned way_counts[] = {1u, 2u, 4u};
+    std::vector<bench::CfgRun> way_runs;
     for (const char *w : workloads) {
-        const Kernel &k = findKernel(w);
-        double aipc[3];
-        double misses[3];
-        int idx = 0;
-        for (unsigned ways : {1u, 2u, 4u}) {
+        for (unsigned ways : way_counts) {
             ProcessorConfig cfg = base;
             cfg.pe.matchingWays = ways;
-            auto r = bench::runKernelCfg(k, cfg, 1, opts);
+            way_runs.push_back(bench::CfgRun{&findKernel(w), cfg, 1});
+        }
+    }
+    const std::vector<bench::RunResult> way_results =
+        bench::runAll(way_runs, opts);
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        const char *w = workloads[i];
+        double aipc[3];
+        double misses[3];
+        for (int idx = 0; idx < 3; ++idx) {
+            const bench::RunResult &r = way_results[i * 3 + idx];
             aipc[idx] = r.aipc;
             misses[idx] = r.report.get("match.misses");
-            ++idx;
         }
         const double gain = 100.0 * (aipc[1] / aipc[0] - 1.0);
         const double miss_drop =
             misses[0] > 0 ? 100.0 * (1.0 - misses[1] / misses[0]) : 0.0;
         std::printf("%-12s %8.2f %8.2f %8.2f %9.1f%% %11.1f%%\n", w,
                     aipc[0], aipc[1], aipc[2], gain, miss_drop);
+        Json row = Json::object();
+        row["workload"] = std::string(w);
+        row["way1"] = aipc[0];
+        row["way2"] = aipc[1];
+        row["way4"] = aipc[2];
+        row["gain_2w_pct"] = gain;
+        row["miss_drop_pct"] = miss_drop;
+        report.addRow("associativity", std::move(row));
     }
+    report.finish();
     return 0;
 }

@@ -18,6 +18,7 @@ int
 main(int argc, char **argv)
 {
     const bench::BenchOptions opts = bench::parseArgs(argc, argv);
+    bench::BenchReport report("ablation_placement", opts);
 
     const DesignPoint d{4, 4, 8, 128, 128, 32, 2};
     const PlacementPolicy policies[] = {
@@ -35,28 +36,51 @@ main(int argc, char **argv)
                 "AIPC", "pod%", "grid%", "rejects");
     bench::rule(74);
 
+    // All workload x policy points as one engine batch.
+    std::vector<const Kernel *> kept;
+    std::vector<bench::CfgRun> runs;
     for (const Kernel &k : kernelRegistry()) {
         if (!k.multithreaded)
             continue;
         if (opts.quick && k.name != "fft" && k.name != "radix")
             continue;
+        kept.push_back(&k);
         for (PlacementPolicy policy : policies) {
             ProcessorConfig cfg = toProcessorConfig(d);
             cfg.placement = policy;
-            bench::RunResult r = bench::runKernelCfg(k, cfg, 16, opts);
+            runs.push_back(bench::CfgRun{&k, cfg, 16});
+        }
+    }
+    const std::vector<bench::RunResult> results =
+        bench::runAll(runs, opts);
+
+    const std::size_t npol = std::size(policies);
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+        for (std::size_t p = 0; p < npol; ++p) {
+            const bench::RunResult &r = results[i * npol + p];
             const double total = r.report.get("traffic.total");
             const double pod =
                 r.report.sumPrefix("traffic.intra_pod") / total;
             const double grid =
                 r.report.sumPrefix("traffic.inter_cluster") / total;
             std::printf("%-14s %-20s %8.2f %7.1f%% %7.1f%% %9.0f\n",
-                        k.name.c_str(), placementPolicyName(policy),
-                        r.aipc, 100 * pod, 100 * grid,
+                        kept[i]->name.c_str(),
+                        placementPolicyName(policies[p]), r.aipc,
+                        100 * pod, 100 * grid,
                         r.report.get("pe.rejected"));
+            Json row = Json::object();
+            row["workload"] = kept[i]->name;
+            row["policy"] = std::string(placementPolicyName(policies[p]));
+            row["aipc"] = r.aipc;
+            row["pod_pct"] = 100 * pod;
+            row["grid_pct"] = 100 * grid;
+            row["rejects"] = r.report.get("pe.rejected");
+            report.addRow("placement", std::move(row));
         }
     }
     std::printf("\n(the spread between depth-first and random is the "
                 "performance value of the\nplacer; refinement recovers "
                 "locality whatever the starting order)\n");
+    report.finish();
     return 0;
 }

@@ -15,6 +15,7 @@ int
 main(int argc, char **argv)
 {
     const bench::BenchOptions opts = bench::parseArgs(argc, argv);
+    bench::BenchReport report("ablation_storebuffer", opts);
 
     ProcessorConfig base = ProcessorConfig::baseline();
     base.memory.l2Bytes = 1 << 20;
@@ -27,22 +28,44 @@ main(int argc, char **argv)
 
     const char *mem_heavy[] = {"gzip", "twolf", "radix", "ocean",
                                "djpeg", "art"};
+    const unsigned psq_counts[] = {0u, 1u, 2u, 4u};
+
+    // All workload x PSQ-count points as one engine batch.
+    std::vector<const Kernel *> kept;
+    std::vector<bench::CfgRun> runs;
     for (const char *w : mem_heavy) {
         const Kernel &k = findKernel(w);
         if (opts.quick && k.suite == Suite::kSplash)
             continue;
         const int threads = k.multithreaded ? 8 : 1;
-        double aipc[4];
-        int idx = 0;
-        for (unsigned psqs : {0u, 1u, 2u, 4u}) {
+        kept.push_back(&k);
+        for (unsigned psqs : psq_counts) {
             ProcessorConfig cfg = base;
             cfg.storeBuffer.psqCount = psqs;
-            aipc[idx++] = bench::runKernelCfg(k, cfg, threads, opts).aipc;
+            runs.push_back(bench::CfgRun{&k, cfg, threads});
         }
-        std::printf("%-14s %8.2f %8.2f %8.2f %8.2f %9.1f%% %9.1f%%\n",
-                    w, aipc[0], aipc[1], aipc[2], aipc[3],
-                    100.0 * (aipc[2] / aipc[0] - 1.0),
-                    100.0 * (aipc[3] / aipc[2] - 1.0));
     }
+    const std::vector<bench::RunResult> results =
+        bench::runAll(runs, opts);
+
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+        double aipc[4];
+        for (int idx = 0; idx < 4; ++idx)
+            aipc[idx] = results[i * 4 + idx].aipc;
+        std::printf("%-14s %8.2f %8.2f %8.2f %8.2f %9.1f%% %9.1f%%\n",
+                    kept[i]->name.c_str(), aipc[0], aipc[1], aipc[2],
+                    aipc[3], 100.0 * (aipc[2] / aipc[0] - 1.0),
+                    100.0 * (aipc[3] / aipc[2] - 1.0));
+        Json row = Json::object();
+        row["workload"] = kept[i]->name;
+        row["psq0"] = aipc[0];
+        row["psq1"] = aipc[1];
+        row["psq2"] = aipc[2];
+        row["psq4"] = aipc[3];
+        row["gain_2v0_pct"] = 100.0 * (aipc[2] / aipc[0] - 1.0);
+        row["gain_4v2_pct"] = 100.0 * (aipc[3] / aipc[2] - 1.0);
+        report.addRow("psq", std::move(row));
+    }
+    report.finish();
     return 0;
 }

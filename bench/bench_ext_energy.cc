@@ -23,6 +23,7 @@ int
 main(int argc, char **argv)
 {
     const bench::BenchOptions opts = bench::parseArgs(argc, argv);
+    bench::BenchReport report("ext_energy", opts);
     // Energy trends need one design per (clusters, V, L2-presence)
     // corner, not the full cache sweep; keep the default run short.
     std::vector<DesignPoint> designs;
@@ -78,6 +79,14 @@ main(int argc, char **argv)
         std::printf("%-34s %8.1f %8.2f %8.2f %10.0f %10.3f\n",
                     d.describe().c_str(), AreaModel::totalArea(d), aipc,
                     total.watts, total.epiPj, total.edp * 1e9);
+        Json row = Json::object();
+        row["design"] = d.describe();
+        row["area_mm2"] = AreaModel::totalArea(d);
+        row["aipc"] = aipc;
+        row["watts"] = total.watts;
+        row["pj_per_inst"] = total.epiPj;
+        row["edp_nj_s"] = total.edp * 1e9;
+        report.addRow("energy", std::move(row));
         perf_per_watt.push_back(ParetoPoint{total.watts, aipc, i});
         epis.push_back(total.epiPj);
         if (aipc > best_aipc) {
@@ -105,5 +114,9 @@ main(int argc, char **argv)
                 "tiles with balanced\ncaches win energy/instruction as "
                 "well, because SRAM access energy tracks\nthe same "
                 "capacity knobs as area)\n");
+    report.meta()["best_aipc_design"] =
+        designs[best_aipc_idx].describe();
+    report.meta()["best_epi_design"] = designs[best_epi_idx].describe();
+    report.finish();
     return 0;
 }

@@ -20,6 +20,7 @@ int
 main(int argc, char **argv)
 {
     bench::BenchOptions opts = bench::parseArgs(argc, argv);
+    bench::BenchReport report("ext_sensitivity", opts);
 
     const std::vector<DesignPoint> designs = {
         {1, 4, 8, 128, 128, 8, 0},     // Smallest (paper id 1).
@@ -59,6 +60,14 @@ main(int argc, char **argv)
                     d.describe().c_str(), AreaModel::totalArea(d),
                     aipcs[0], aipcs[1], aipcs[2],
                     100.0 * (hi - lo) / lo);
+        Json row = Json::object();
+        row["design"] = d.describe();
+        row["area_mm2"] = AreaModel::totalArea(d);
+        row["seed1_aipc"] = aipcs[0];
+        row["seed2_aipc"] = aipcs[1];
+        row["seed3_aipc"] = aipcs[2];
+        row["spread_pct"] = 100.0 * (hi - lo) / lo;
+        report.addRow("sensitivity", std::move(row));
         results.push_back(aipcs);
     }
 
@@ -73,5 +82,7 @@ main(int argc, char **argv)
     }
     std::printf("\nperformance ordering identical under all seeds: %s\n",
                 order_stable ? "yes" : "NO — investigate");
+    report.meta()["order_stable"] = order_stable;
+    report.finish();
     return order_stable ? 0 : 1;
 }

@@ -35,15 +35,6 @@ replicate(DesignPoint d, int factor)
     return d;
 }
 
-double
-singleThreadedAipc(const DesignPoint &d, const bench::BenchOptions &opts)
-{
-    // Average over both single-threaded suites, as in Figure 7.
-    const double spec = bench::suiteAipc(Suite::kSpec, d, opts);
-    const double media = bench::suiteAipc(Suite::kMedia, d, opts);
-    return (6 * spec + 3 * media) / 9.0;
-}
-
 } // namespace
 
 int
@@ -51,6 +42,7 @@ main(int argc, char **argv)
 {
     const bench::BenchOptions opts = bench::parseArgs(argc, argv);
     const auto all = enumerateCandidates();
+    bench::BenchReport report("fig7_scaling", opts);
 
     // Step 1: scan single-cluster designs with the single-threaded apps.
     std::printf("Step 1: single-cluster designs, single-threaded "
@@ -58,20 +50,36 @@ main(int argc, char **argv)
     std::printf("%8s %8s %8s  %s\n", "area", "aipc", "aipc/mm2",
                 "design");
     bench::rule(68);
-    DesignPoint a{};
-    DesignPoint c{};
-    double a_perf = -1.0;
-    double c_eff = -1.0;
-    double a_area = 0.0;
+    std::vector<DesignPoint> des1;
     for (const DesignPoint &d : all) {
         if (d.clusters != 1)
             continue;
         if (opts.quick && d.l1KB == 16)
             continue;
-        const double aipc = singleThreadedAipc(d, opts);
+        des1.push_back(d);
+    }
+    // Both suites over every candidate as one batch each; Figure 7
+    // weights the suites by kernel count (6 Spec-like, 3 Media-like).
+    const std::vector<double> spec1 =
+        bench::suiteAipcAll(Suite::kSpec, des1, opts);
+    const std::vector<double> media1 =
+        bench::suiteAipcAll(Suite::kMedia, des1, opts);
+    DesignPoint a{};
+    DesignPoint c{};
+    double a_perf = -1.0;
+    double c_eff = -1.0;
+    double a_area = 0.0;
+    for (std::size_t i = 0; i < des1.size(); ++i) {
+        const DesignPoint &d = des1[i];
+        const double aipc = (6 * spec1[i] + 3 * media1[i]) / 9.0;
         const double area = AreaModel::totalArea(d);
         std::printf("%8.1f %8.2f %8.4f  %s\n", area, aipc, aipc / area,
                     d.describe().c_str());
+        Json row = Json::object();
+        row["design"] = d.describe();
+        row["area_mm2"] = area;
+        row["st_aipc"] = aipc;
+        report.addRow("single_cluster", std::move(row));
         if (aipc > a_perf + 1e-9 ||
             (aipc > a_perf - 1e-9 && area < a_area)) {
             a_perf = aipc;
@@ -91,19 +99,22 @@ main(int argc, char **argv)
     // Step 2: Splash on the 4-cluster candidates to find the front and
     // point e.
     std::printf("\nStep 2: Splash2 on 4-cluster candidates\n");
-    std::vector<ParetoPoint> pts4;
     std::vector<DesignPoint> des4;
     for (const DesignPoint &d : all) {
         if (d.clusters != 4)
             continue;
         if (opts.quick && (d.l1KB == 16 || d.l2MB > 2))
             continue;
-        const double aipc = bench::suiteAipc(Suite::kSplash, d, opts);
-        pts4.push_back(
-            ParetoPoint{AreaModel::totalArea(d), aipc, des4.size()});
         des4.push_back(d);
-        std::fprintf(stderr, "  %s -> %.2f\n", d.describe().c_str(),
-                     aipc);
+    }
+    const std::vector<double> splash4 =
+        bench::suiteAipcAll(Suite::kSplash, des4, opts);
+    std::vector<ParetoPoint> pts4;
+    for (std::size_t i = 0; i < des4.size(); ++i) {
+        pts4.push_back(
+            ParetoPoint{AreaModel::totalArea(des4[i]), splash4[i], i});
+        std::fprintf(stderr, "  %s -> %.2f\n",
+                     des4[i].describe().c_str(), splash4[i]);
     }
     const auto front4 = paretoFront(pts4);
     if (front4.empty()) {
@@ -134,21 +145,28 @@ main(int argc, char **argv)
         {"4xe", replicate(e, 4)},
         {"16xc", replicate(c, 16)},
     };
+    std::vector<DesignPoint> case_designs;
+    for (const Case &cs : cases)
+        case_designs.push_back(cs.d);
+    const std::vector<double> case_aipc =
+        bench::suiteAipcAll(Suite::kSplash, case_designs, opts);
     double b_eff = 0.0;
     double d_eff = 0.0;
     double e4_eff = 0.0;
     double c16_eff = 0.0;
-    for (const Case &cs : cases) {
-        double aipc = 0.0;
-        for (const Kernel &k : kernelRegistry()) {
-            if (k.suite != Suite::kSplash)
-                continue;
-            aipc += bench::runKernelBestThreads(k, cs.d, opts).aipc;
-        }
-        aipc /= 6.0;
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+        const Case &cs = cases[i];
+        const double aipc = case_aipc[i];
         const double area = AreaModel::totalArea(cs.d);
         std::printf("%-8s %-36s %8.1f %8.2f %9.4f\n", cs.label,
                     cs.d.describe().c_str(), area, aipc, aipc / area);
+        Json row = Json::object();
+        row["point"] = std::string(cs.label);
+        row["design"] = cs.d.describe();
+        row["area_mm2"] = area;
+        row["aipc"] = aipc;
+        row["aipc_per_mm2"] = aipc / area;
+        report.addRow("scaled", std::move(row));
         if (std::string(cs.label) == "b = 4xa")
             b_eff = aipc / area;
         if (std::string(cs.label) == "d = 4xc")
@@ -169,5 +187,6 @@ main(int argc, char **argv)
     std::printf("  scaling c 16x vs scaling e 4x: efficiency %.4f vs "
                 "%.4f AIPC/mm2\n    (paper: the optimal tile changes "
                 "with machine size)\n", c16_eff, e4_eff);
+    report.finish();
     return 0;
 }

@@ -60,6 +60,20 @@ int
 main(int argc, char **argv)
 {
     const bench::BenchOptions opts = bench::parseArgs(argc, argv);
+    bench::BenchReport report("fig8_traffic", opts);
+
+    auto traffic_row = [](const std::string &workload, const char *cfg,
+                          const TrafficRow &row) {
+        Json j = Json::object();
+        j["workload"] = workload;
+        j["config"] = std::string(cfg);
+        j["pod_pct"] = 100 * row.pod;
+        j["domain_pct"] = 100 * row.domain;
+        j["cluster_pct"] = 100 * row.cluster;
+        j["grid_pct"] = 100 * row.inter;
+        j["operand_pct"] = 100 * row.operand_frac;
+        return j;
+    };
 
     std::printf("Figure 8: traffic distribution by hierarchy level\n\n");
     std::printf("%-14s %8s %6s %6s %6s %6s %8s\n", "workload",
@@ -79,6 +93,7 @@ main(int argc, char **argv)
                     k.name.c_str(), "C1", 100 * row.pod,
                     100 * row.domain, 100 * row.cluster,
                     100 * row.inter, 100 * row.operand_frac);
+        report.addRow("traffic", traffic_row(k.name, "C1", row));
     }
 
     // Splash at 1 / 4 / 16 clusters.
@@ -105,6 +120,7 @@ main(int argc, char **argv)
                         k.name.c_str(), m.label, 100 * row.pod,
                         100 * row.domain, 100 * row.cluster,
                         100 * row.inter, 100 * row.operand_frac);
+            report.addRow("traffic", traffic_row(k.name, m.label, row));
         }
     }
 
@@ -128,9 +144,17 @@ main(int argc, char **argv)
         std::printf("%-6s %10.2f %10.2f %12.1f %12.0f\n", m.label,
                     row.mean_hops, mesh.meanPairDistance(),
                     row.mean_latency, row.congestion);
+        Json j = Json::object();
+        j["config"] = std::string(m.label);
+        j["mean_hops"] = row.mean_hops;
+        j["pair_distance"] = mesh.meanPairDistance();
+        j["msg_latency"] = row.mean_latency;
+        j["congestion"] = row.congestion;
+        report.addRow("scalability_fft", std::move(j));
     }
     std::printf("\n(paper: cluster distance 0 -> 2.8 while per-message "
                 "distance grows only ~6%%;\n message latency +12%% from "
                 "1 to 16 clusters; >98%% of traffic intra-cluster)\n");
+    report.finish();
     return 0;
 }

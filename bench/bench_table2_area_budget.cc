@@ -15,7 +15,8 @@ using namespace ws;
 int
 main(int argc, char **argv)
 {
-    bench::parseArgs(argc, argv);
+    const bench::BenchOptions opts = bench::parseArgs(argc, argv);
+    bench::BenchReport report("table2_area_budget", opts);
 
     const DesignPoint base{1, 4, 8, 128, 128, 32, 0};
     const double pe_model = AreaModel::peArea(128, 128);
@@ -52,6 +53,12 @@ main(int argc, char **argv)
         else
             std::printf("%-22s %10.2f %10.2f\n", row.name, row.paper,
                         row.model);
+        Json j = Json::object();
+        j["component"] = std::string(row.name);
+        j["paper_mm2"] = row.paper;
+        if (row.model >= 0)
+            j["model_mm2"] = row.model;
+        report.addRow("budget", std::move(j));
     }
     bench::rule(46);
     std::printf("%-22s %10.2f %10.2f\n", "8x PE", 8 * Table2Budget::kPeTotal,
@@ -93,5 +100,9 @@ main(int argc, char **argv)
                 "conflicts with its Table-3\nconstant (0.363 mm2/KB x 32 "
                 "KB = 11.6 mm2); we follow Table 3, which Table 5's\n"
                 "area column confirms.\n");
+    report.meta()["pe_fraction"] = pes_frac;
+    report.meta()["sram_fraction"] = sram / clu_model;
+    report.meta()["cluster_total_mm2"] = clu_model;
+    report.finish();
     return 0;
 }

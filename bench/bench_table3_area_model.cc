@@ -16,7 +16,8 @@ using namespace ws;
 int
 main(int argc, char **argv)
 {
-    bench::parseArgs(argc, argv);
+    const bench::BenchOptions opts = bench::parseArgs(argc, argv);
+    bench::BenchReport report("table3_area_model", opts);
 
     std::printf("Table 3: WaveScalar processor area model\n\n");
     std::printf("%-28s %12s %14s\n", "component", "paper", "this repo");
@@ -78,5 +79,12 @@ main(int argc, char **argv)
                         mx = std::max(mx, AreaModel::totalArea(d));
                     return mx;
                 }());
+    report.meta()["raw_designs"] =
+        static_cast<std::uint64_t>(raw.size());
+    report.meta()["structural_designs"] =
+        static_cast<std::uint64_t>(structural.size());
+    report.meta()["final_designs"] =
+        static_cast<std::uint64_t>(final_set.size());
+    report.finish();
     return 0;
 }

@@ -20,20 +20,22 @@ main(int argc, char **argv)
 {
     const bench::BenchOptions opts = bench::parseArgs(argc, argv);
     const std::vector<DesignPoint> designs = bench::benchDesigns(opts);
+    bench::BenchReport report("table5_pareto_splash", opts);
 
     std::printf("Table 5 / Figure 6 (Splash2): %zu candidate designs x "
                 "%d kernels\n\n", designs.size(), 6);
 
+    // Every (design, kernel, thread-count) point runs as one batch.
+    const std::vector<double> aipcs =
+        bench::suiteAipcAll(Suite::kSplash, designs, opts);
+
     std::vector<ParetoPoint> points;
-    std::vector<double> aipcs(designs.size());
     for (std::size_t i = 0; i < designs.size(); ++i) {
-        const double aipc = bench::suiteAipc(Suite::kSplash, designs[i],
-                                             opts);
-        aipcs[i] = aipc;
         points.push_back(ParetoPoint{AreaModel::totalArea(designs[i]),
-                                     aipc, i});
+                                     aipcs[i], i});
         std::fprintf(stderr, "  [%zu/%zu] %s -> %.2f AIPC\n", i + 1,
-                     designs.size(), designs[i].describe().c_str(), aipc);
+                     designs.size(), designs[i].describe().c_str(),
+                     aipcs[i]);
     }
 
     const std::vector<std::size_t> front = paretoFront(points);
@@ -47,6 +49,12 @@ main(int argc, char **argv)
     for (std::size_t i = 0; i < designs.size(); ++i) {
         std::printf("%8.1f  %8.2f  %6s  %s\n", points[i].area, aipcs[i],
                     optimal[i] ? "*" : "", designs[i].describe().c_str());
+        Json row = Json::object();
+        row["design"] = designs[i].describe();
+        row["area_mm2"] = points[i].area;
+        row["avg_aipc"] = aipcs[i];
+        row["pareto"] = static_cast<bool>(optimal[i]);
+        report.addRow("scatter", std::move(row));
     }
 
     // Table-5 style: the Pareto set with area/AIPC increments.
@@ -60,6 +68,11 @@ main(int argc, char **argv)
     for (std::size_t idx : front) {
         const ParetoPoint &p = points[idx];
         const DesignPoint &d = designs[p.tag];
+        Json row = Json::object();
+        row["id"] = id;
+        row["design"] = d.describe();
+        row["area_mm2"] = p.area;
+        row["aipc"] = p.perf;
         if (id == 1) {
             std::printf("%3d %-34s %8.1f %8.2f %8s %8s\n", id,
                         d.describe().c_str(), p.area, p.perf, "na", "na");
@@ -68,7 +81,10 @@ main(int argc, char **argv)
                         d.describe().c_str(), p.area, p.perf,
                         100.0 * (p.area - prev_area) / prev_area,
                         100.0 * (p.perf - prev_aipc) / prev_aipc);
+            row["darea_pct"] = 100.0 * (p.area - prev_area) / prev_area;
+            row["daipc_pct"] = 100.0 * (p.perf - prev_aipc) / prev_aipc;
         }
+        report.addRow("pareto", std::move(row));
         prev_area = p.area;
         prev_aipc = p.perf;
         ++id;
@@ -85,6 +101,9 @@ main(int argc, char **argv)
                     hi.area / lo.area, hi.perf / lo.perf);
         std::printf("  efficiency: %.4f -> %.4f AIPC/mm2\n",
                     lo.perf / lo.area, hi.perf / hi.area);
+        report.meta()["area_scale"] = hi.area / lo.area;
+        report.meta()["perf_scale"] = hi.perf / lo.perf;
     }
+    report.finish();
     return 0;
 }

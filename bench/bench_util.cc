@@ -2,9 +2,16 @@
 
 #include <algorithm>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <set>
+#include <sstream>
 
 #include "common/log.h"
+#include "common/rng.h"
 
 namespace ws {
 namespace bench {
@@ -24,10 +31,20 @@ parseArgs(int argc, char **argv)
                 std::strtoul(arg + 8, nullptr, 10));
         } else if (std::strncmp(arg, "--seed=", 7) == 0) {
             opts.seed = std::strtoull(arg + 7, nullptr, 10);
+        } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+            opts.jobs = static_cast<unsigned>(
+                std::strtoul(arg + 7, nullptr, 10));
+            if (opts.jobs == 0)
+                opts.jobs = 1;
+        } else if (std::strncmp(arg, "--out-dir=", 10) == 0) {
+            opts.outDir = arg + 10;
+        } else if (std::strcmp(arg, "--no-json") == 0) {
+            opts.json = false;
         } else {
             std::fprintf(stderr,
                          "usage: %s [--quick] [--max-cycles=N] "
-                         "[--scale=N] [--seed=N]\n", argv[0]);
+                         "[--scale=N] [--seed=N] [--jobs=N] "
+                         "[--out-dir=PATH] [--no-json]\n", argv[0]);
             std::exit(2);
         }
     }
@@ -35,20 +52,65 @@ parseArgs(int argc, char **argv)
     return opts;
 }
 
-RunResult
-runKernelCfg(const Kernel &kernel, const ProcessorConfig &cfg,
-             int threads, const BenchOptions &opts)
+SweepEngine &
+engine(const BenchOptions &opts)
+{
+    static SweepEngine *instance = [&] {
+        SweepEngine::Options eopts;
+        eopts.jobs = opts.jobs;
+        eopts.label = "sweep";
+        return new SweepEngine(eopts);
+    }();
+    return *instance;
+}
+
+namespace {
+
+/**
+ * Kernel graphs shared across the batch: a sweep over N designs builds
+ * each (kernel, threads, scale, seed) program once. Guarded because
+ * nothing stops a future harness from building jobs on pool threads.
+ */
+std::shared_ptr<const DataflowGraph>
+cachedGraph(const Kernel &kernel, const KernelParams &params)
+{
+    using GraphKey = std::tuple<std::string, std::uint16_t,
+                                std::uint32_t, std::uint64_t>;
+    static std::mutex mutex;
+    static std::map<GraphKey, std::shared_ptr<const DataflowGraph>> cache;
+
+    const GraphKey key{kernel.name, params.threads, params.scale,
+                       params.seed};
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+    auto graph =
+        std::make_shared<const DataflowGraph>(kernel.build(params));
+    cache.emplace(key, graph);
+    return graph;
+}
+
+SimJob
+makeJob(const Kernel &kernel, const ProcessorConfig &cfg, int threads,
+        const BenchOptions &opts)
 {
     KernelParams params;
     params.threads = static_cast<std::uint16_t>(threads);
     params.scale = opts.quick ? 1 : opts.scale;
     params.seed = opts.seed;
-    DataflowGraph graph = kernel.build(params);
 
-    SimOptions sim_opts;
-    sim_opts.maxCycles = opts.quick ? opts.maxCycles / 2 : opts.maxCycles;
+    SimJob job;
+    job.graph = cachedGraph(kernel, params);
+    job.cfg = cfg;
+    job.maxCycles = opts.quick ? opts.maxCycles / 2 : opts.maxCycles;
+    job.graphFp = kernelFingerprint(kernel, params);
+    return job;
+}
 
-    SimResult sim = runSimulation(graph, cfg, sim_opts);
+RunResult
+toRunResult(const SimResult &sim, int threads)
+{
     RunResult r;
     r.completed = sim.completed;
     r.aipc = sim.aipc;
@@ -58,28 +120,25 @@ runKernelCfg(const Kernel &kernel, const ProcessorConfig &cfg,
     return r;
 }
 
-RunResult
-runKernel(const Kernel &kernel, const DesignPoint &design, int threads,
-          const BenchOptions &opts)
-{
-    return runKernelCfg(kernel, toProcessorConfig(design), threads, opts);
-}
-
-RunResult
-runKernelBestThreads(const Kernel &kernel, const DesignPoint &design,
-                     const BenchOptions &opts)
+/**
+ * The paper's thread-count candidates for one kernel on one design:
+ * the power-of-two capacity-fit point, half of it, and (full runs) one
+ * step of oversubscription. Derived without simulating — the footprint
+ * probe builds a 2-thread graph, which the graph cache shares.
+ */
+std::vector<int>
+threadCandidates(const Kernel &kernel, const DesignPoint &design,
+                 const BenchOptions &opts)
 {
     if (!kernel.multithreaded)
-        return runKernel(kernel, design, 1, opts);
+        return {1};
 
-    // Per-thread footprint: measure once from a 2-thread build.
     KernelParams probe;
     probe.threads = 2;
-    const std::size_t per_thread = kernel.build(probe).size() / 2;
+    const std::size_t per_thread =
+        cachedGraph(kernel, probe)->size() / 2;
     const std::uint64_t capacity = design.instCapacity();
 
-    // Candidate thread counts around the capacity-fit point; the paper
-    // sweeps and keeps the best.
     std::set<int> candidates;
     std::uint64_t fit = std::max<std::uint64_t>(
         1, capacity / std::max<std::size_t>(1, per_thread));
@@ -93,28 +152,130 @@ runKernelBestThreads(const Kernel &kernel, const DesignPoint &design,
         candidates.insert(fit_pow2 / 2);
     if (!opts.quick && fit_pow2 < 64)
         candidates.insert(fit_pow2 * 2);  // Mild oversubscription.
+    return {candidates.begin(), candidates.end()};
+}
 
+/** Best-AIPC reduction in candidate order (ascending thread count, ties
+ *  to the smaller count — the paper's sweep-and-keep-best loop). */
+RunResult
+pickBest(const std::vector<RunResult> &runs)
+{
     RunResult best;
-    for (int t : candidates) {
-        RunResult r = runKernel(kernel, design, t, opts);
+    for (const RunResult &r : runs) {
         if (r.aipc > best.aipc)
             best = r;
     }
     return best;
 }
 
+} // namespace
+
+std::uint64_t
+kernelFingerprint(const Kernel &kernel, const KernelParams &params)
+{
+    std::uint64_t h = 0x6b65726e656c6670ULL;  // "kernelfp" salt.
+    for (char c : kernel.name)
+        h = hashCombine(h, static_cast<std::uint64_t>(c));
+    h = hashCombine(h, params.threads);
+    h = hashCombine(h, params.scale);
+    h = hashCombine(h, params.seed);
+    return h;
+}
+
+std::vector<RunResult>
+runAll(const std::vector<CfgRun> &runs, const BenchOptions &opts)
+{
+    std::vector<SimJob> jobs;
+    jobs.reserve(runs.size());
+    for (const CfgRun &r : runs)
+        jobs.push_back(makeJob(*r.kernel, r.cfg, r.threads, opts));
+    const std::vector<SimResult> sims = engine(opts).run(jobs);
+    std::vector<RunResult> results;
+    results.reserve(runs.size());
+    for (std::size_t i = 0; i < runs.size(); ++i)
+        results.push_back(toRunResult(sims[i], runs[i].threads));
+    return results;
+}
+
+RunResult
+runKernelCfg(const Kernel &kernel, const ProcessorConfig &cfg,
+             int threads, const BenchOptions &opts)
+{
+    const SimResult sim =
+        engine(opts).runOne(makeJob(kernel, cfg, threads, opts));
+    return toRunResult(sim, threads);
+}
+
+RunResult
+runKernel(const Kernel &kernel, const DesignPoint &design, int threads,
+          const BenchOptions &opts)
+{
+    return runKernelCfg(kernel, toProcessorConfig(design), threads, opts);
+}
+
+RunResult
+runKernelBestThreads(const Kernel &kernel, const DesignPoint &design,
+                     const BenchOptions &opts)
+{
+    const ProcessorConfig cfg = toProcessorConfig(design);
+    std::vector<CfgRun> runs;
+    for (int t : threadCandidates(kernel, design, opts))
+        runs.push_back(CfgRun{&kernel, cfg, t});
+    return pickBest(runAll(runs, opts));
+}
+
+std::vector<double>
+suiteAipcAll(Suite suite, const std::vector<DesignPoint> &designs,
+             const BenchOptions &opts)
+{
+    // Flatten designs x suite kernels x thread candidates into one
+    // batch so the engine can saturate every core, then reduce in
+    // submission order (deterministic across --jobs settings).
+    std::vector<const Kernel *> kernels;
+    for (const Kernel &k : kernelRegistry()) {
+        if (k.suite == suite)
+            kernels.push_back(&k);
+    }
+
+    std::vector<CfgRun> runs;
+    std::vector<std::size_t> group_end;  // Candidate-group boundaries.
+    for (const DesignPoint &design : designs) {
+        const ProcessorConfig cfg = toProcessorConfig(design);
+        for (const Kernel *k : kernels) {
+            for (int t : threadCandidates(*k, design, opts))
+                runs.push_back(CfgRun{k, cfg, t});
+            group_end.push_back(runs.size());
+        }
+    }
+
+    const std::vector<RunResult> results = runAll(runs, opts);
+
+    std::vector<double> aipcs;
+    aipcs.reserve(designs.size());
+    std::size_t group = 0;
+    std::size_t begin = 0;
+    for (std::size_t d = 0; d < designs.size(); ++d) {
+        double sum = 0.0;
+        for (std::size_t k = 0; k < kernels.size(); ++k, ++group) {
+            const std::size_t end = group_end[group];
+            sum += pickBest({results.begin() +
+                                 static_cast<std::ptrdiff_t>(begin),
+                             results.begin() +
+                                 static_cast<std::ptrdiff_t>(end)})
+                       .aipc;
+            begin = end;
+        }
+        aipcs.push_back(kernels.empty()
+                            ? 0.0
+                            : sum / static_cast<double>(kernels.size()));
+    }
+    return aipcs;
+}
+
 double
 suiteAipc(Suite suite, const DesignPoint &design, const BenchOptions &opts)
 {
-    double sum = 0.0;
-    int n = 0;
-    for (const Kernel &k : kernelRegistry()) {
-        if (k.suite != suite)
-            continue;
-        sum += runKernelBestThreads(k, design, opts).aipc;
-        ++n;
-    }
-    return n == 0 ? 0.0 : sum / n;
+    return suiteAipcAll(suite, {design}, opts).front();
 }
 
 std::vector<DesignPoint>
@@ -138,6 +299,100 @@ rule(int width)
     for (int i = 0; i < width; ++i)
         std::putchar('-');
     std::putchar('\n');
+}
+
+BenchReport::BenchReport(std::string name, const BenchOptions &opts)
+    : name_(std::move(name)), opts_(opts),
+      start_(std::chrono::steady_clock::now())
+{
+    root_ = Json::object();
+    root_["bench"] = name_;
+    Json &o = root_["options"];
+    o["quick"] = opts_.quick;
+    o["max_cycles"] = static_cast<std::uint64_t>(opts_.maxCycles);
+    o["scale"] = opts_.scale;
+    o["seed"] = opts_.seed;
+    o["jobs"] = opts_.jobs == 0 ? ThreadPool::hardwareJobs()
+                                : opts_.jobs;
+}
+
+void
+BenchReport::addRow(const std::string &table, Json row)
+{
+    root_["tables"][table].push(std::move(row));
+}
+
+void
+BenchReport::finish()
+{
+    if (finished_ || !opts_.json)
+        return;
+    finished_ = true;
+
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+
+    // Engine construction is cheap (the pool is lazy), so pure
+    // area-model harnesses just report zero simulations.
+    Json sweep = Json::object();
+    sweep["wall_ms"] = wall_ms;
+    SweepEngine &eng = engine(opts_);
+    sweep["jobs"] = eng.jobs();
+    sweep["simulations"] =
+        static_cast<std::uint64_t>(eng.stats().simulated);
+    sweep["cache_hits"] =
+        static_cast<std::uint64_t>(eng.stats().cacheHits);
+    sweep["sim_wall_ms"] = eng.stats().wallMs;
+    root_["sweep"] = sweep;
+
+    std::error_code ec;
+    std::filesystem::create_directories(opts_.outDir, ec);
+    if (ec) {
+        warn("BenchReport: cannot create %s: %s", opts_.outDir.c_str(),
+             ec.message().c_str());
+        return;
+    }
+
+    const std::string path = opts_.outDir + "/" + name_ + ".json";
+    {
+        std::ofstream out(path);
+        if (!out) {
+            warn("BenchReport: cannot write %s", path.c_str());
+            return;
+        }
+        out << root_.dump(2) << '\n';
+    }
+
+    // Merge this harness's sweep stats into the shared trajectory file.
+    const std::string sweep_path = opts_.outDir + "/BENCH_sweep.json";
+    Json merged = Json::object();
+    {
+        std::ifstream in(sweep_path);
+        if (in) {
+            std::stringstream ss;
+            ss << in.rdbuf();
+            bool ok = false;
+            Json prior = Json::parse(ss.str(), &ok);
+            if (ok && prior.isObject())
+                merged = std::move(prior);  // Corrupt file: start over.
+        }
+    }
+    Json entry = sweep;
+    entry["quick"] = opts_.quick;
+    merged["harnesses"][name_] = std::move(entry);
+    {
+        std::ofstream out(sweep_path);
+        if (out)
+            out << merged.dump(2) << '\n';
+    }
+    std::fprintf(stderr,
+                 "[%s] %.0f ms wall, %llu simulated, %llu cached -> %s\n",
+                 name_.c_str(), wall_ms,
+                 static_cast<unsigned long long>(eng.stats().simulated),
+                 static_cast<unsigned long long>(eng.stats().cacheHits),
+                 path.c_str());
 }
 
 } // namespace bench

@@ -3,18 +3,34 @@
  * Shared machinery for the table/figure reproduction harnesses: running
  * workloads on design points, picking thread counts the way the paper
  * does (sweep, report the best), and formatting paper-style tables.
+ *
+ * All simulation goes through a process-wide SweepEngine: independent
+ * (kernel, config, threads) points run concurrently on a work-stealing
+ * thread pool (--jobs=N, default: all host cores) and completed runs
+ * are memoized, so overlapping sweeps (fig6/fig7/table5/tuning) never
+ * re-simulate the same point. Results are reduced in deterministic
+ * submission order — the printed tables are byte-identical across
+ * --jobs settings.
+ *
+ * Each harness also emits a machine-readable JSON twin of its text
+ * table into --out-dir (default bench_results/), plus sweep wall-clock
+ * and cache statistics merged into BENCH_sweep.json, so the perf
+ * trajectory is trackable across PRs.
  */
 
 #ifndef WS_BENCH_BENCH_UTIL_H_
 #define WS_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "area/area_model.h"
 #include "area/design_space.h"
+#include "common/json.h"
 #include "core/simulator.h"
+#include "driver/sweep_engine.h"
 #include "kernels/kernel.h"
 
 namespace ws {
@@ -27,10 +43,18 @@ struct BenchOptions
     Cycle maxCycles = 600'000;
     std::uint32_t scale = 1;
     std::uint64_t seed = 1;
+    unsigned jobs = 0;         ///< Concurrent simulations; 0 = all cores.
+    bool json = true;          ///< Emit the JSON result twin.
+    std::string outDir = "bench_results";
 };
 
-/** Parse --quick / --max-cycles=N / --scale=N. */
+/** Parse --quick / --max-cycles=N / --scale=N / --seed=N / --jobs=N /
+ *  --out-dir=PATH / --no-json. */
 BenchOptions parseArgs(int argc, char **argv);
+
+/** The process-wide sweep engine (created on first use from @p opts;
+ *  later calls ignore the options). */
+SweepEngine &engine(const BenchOptions &opts);
 
 /** One workload-on-design measurement. */
 struct RunResult
@@ -41,6 +65,18 @@ struct RunResult
     int threads = 1;
     StatReport report;
 };
+
+/** One explicit simulation point for batch submission. */
+struct CfgRun
+{
+    const Kernel *kernel = nullptr;
+    ProcessorConfig cfg;
+    int threads = 1;
+};
+
+/** Run a whole batch concurrently; results index-match @p runs. */
+std::vector<RunResult> runAll(const std::vector<CfgRun> &runs,
+                              const BenchOptions &opts);
 
 /** Run @p kernel on @p design with a fixed thread count. */
 RunResult runKernel(const Kernel &kernel, const DesignPoint &design,
@@ -55,7 +91,7 @@ RunResult runKernelCfg(const Kernel &kernel, const ProcessorConfig &cfg,
  * report the best-performing one. Candidates are derived from the
  * design's instruction capacity relative to the kernel's per-thread
  * footprint (oversubscribing the instruction stores is allowed but
- * rarely wins).
+ * rarely wins). The candidates run concurrently through the engine.
  */
 RunResult runKernelBestThreads(const Kernel &kernel,
                                const DesignPoint &design,
@@ -65,11 +101,52 @@ RunResult runKernelBestThreads(const Kernel &kernel,
 double suiteAipc(Suite suite, const DesignPoint &design,
                  const BenchOptions &opts);
 
+/**
+ * Mean suite AIPC for every design in one engine batch — the main
+ * parallel entry point for the Figure-6/Table-5 style sweeps. Returns
+ * one value per design, index-matched.
+ */
+std::vector<double> suiteAipcAll(Suite suite,
+                                 const std::vector<DesignPoint> &designs,
+                                 const BenchOptions &opts);
+
 /** Candidate designs, optionally thinned by --quick. */
 std::vector<DesignPoint> benchDesigns(const BenchOptions &opts);
 
+/** Program-identity hash for SimCache memoization of @p kernel built
+ *  with @p params (e.g. for TuningOptions::graphFingerprint). */
+std::uint64_t kernelFingerprint(const Kernel &kernel,
+                                const KernelParams &params);
+
 /** printf a horizontal rule of the given width. */
 void rule(int width);
+
+/**
+ * Accumulates a harness's machine-readable results and writes
+ * <out-dir>/<name>.json on finish(), plus merges the engine's
+ * wall-clock/cache statistics into <out-dir>/BENCH_sweep.json.
+ */
+class BenchReport
+{
+  public:
+    BenchReport(std::string name, const BenchOptions &opts);
+
+    /** Append one row to the named result table. */
+    void addRow(const std::string &table, Json row);
+
+    /** Extra top-level fields (headline numbers etc.). */
+    Json &meta() { return root_["meta"]; }
+
+    /** Write the JSON files (no-op under --no-json). */
+    void finish();
+
+  private:
+    std::string name_;
+    BenchOptions opts_;
+    Json root_;
+    std::chrono::steady_clock::time_point start_;
+    bool finished_ = false;
+};
 
 } // namespace bench
 } // namespace ws

@@ -1,7 +1,10 @@
 #include "area/tuning.h"
 
 #include <algorithm>
+#include <memory>
+#include <vector>
 
+#include "common/rng.h"
 #include "core/simulator.h"
 
 namespace ws {
@@ -15,21 +18,84 @@ measureAipc(const DataflowGraph &graph, const ProcessorConfig &cfg,
     return runSimulation(graph, cfg, opts).aipc;
 }
 
+namespace {
+
+std::uint64_t
+fallbackFingerprint(const DataflowGraph &graph)
+{
+    std::uint64_t h = 0x74756e696e676670ULL;  // "tuningfp" salt.
+    for (char c : graph.name())
+        h = hashCombine(h, static_cast<std::uint64_t>(c));
+    h = hashCombine(h, graph.size());
+    h = hashCombine(h, graph.numThreads());
+    return h;
+}
+
+/** Batch-run @p configs against one shared graph, returning AIPCs in
+ *  submission order. */
+std::vector<double>
+batchAipc(SweepEngine &engine, const DataflowGraph &graph,
+          std::uint64_t graph_fp, const std::vector<ProcessorConfig> &cfgs,
+          Cycle max_cycles)
+{
+    // Non-owning alias: the batch completes before this call returns,
+    // so the caller's graph outlives every job.
+    std::shared_ptr<const DataflowGraph> shared(
+        std::shared_ptr<const DataflowGraph>(), &graph);
+    std::vector<SimJob> jobs;
+    jobs.reserve(cfgs.size());
+    for (const ProcessorConfig &cfg : cfgs) {
+        SimJob job;
+        job.graph = shared;
+        job.cfg = cfg;
+        job.maxCycles = max_cycles;
+        job.graphFp = graph_fp;
+        jobs.push_back(std::move(job));
+    }
+    std::vector<double> aipcs;
+    aipcs.reserve(cfgs.size());
+    for (const SimResult &r : engine.run(jobs))
+        aipcs.push_back(r.aipc);
+    return aipcs;
+}
+
+} // namespace
+
 TuningResult
 tuneMatchingTable(const DataflowGraph &graph, const ProcessorConfig &base,
-                  const TuningOptions &opts)
+                  const TuningOptions &opts, SweepEngine *engine)
 {
     TuningResult result;
 
-    // Step 1: k_opt on an effectively infinite matching table.
+    std::unique_ptr<SweepEngine> local;
+    if (engine == nullptr) {
+        SweepEngine::Options eopts;
+        eopts.jobs = 1;
+        eopts.progress = false;
+        local = std::make_unique<SweepEngine>(eopts);
+        engine = local.get();
+    }
+    const std::uint64_t graph_fp = opts.graphFingerprint != 0
+                                       ? opts.graphFingerprint
+                                       : fallbackFingerprint(graph);
+
+    // Step 1: k_opt on an effectively infinite matching table. All
+    // candidate k run as one batch; the saturation scan below then
+    // stops exactly where the sequential sweep would have.
     ProcessorConfig cfg = base;
     cfg.relaxLimits = true;
     cfg.pe.matchingEntries = 8192;
     cfg.pe.matchingWays = 8;
-    double best = 0.0;
+    std::vector<ProcessorConfig> k_cfgs;
     for (unsigned k = 1; k <= opts.maxK; ++k) {
         cfg.pe.k = k;
-        const double aipc = measureAipc(graph, cfg, opts.maxCycles);
+        k_cfgs.push_back(cfg);
+    }
+    const std::vector<double> k_aipc =
+        batchAipc(*engine, graph, graph_fp, k_cfgs, opts.maxCycles);
+    double best = 0.0;
+    for (unsigned k = 1; k <= opts.maxK; ++k) {
+        const double aipc = k_aipc[k - 1];
         if (k == 1 || aipc > best * (1.0 + opts.koptThreshold)) {
             best = std::max(best, aipc);
             result.kopt = k;
@@ -38,12 +104,13 @@ tuneMatchingTable(const DataflowGraph &graph, const ProcessorConfig &base,
         }
     }
 
-    // Step 2: u_opt at V = 256, M = V*k_opt/u.
+    // Step 2: u_opt at V = 256, M = V*k_opt/u — same batch-then-scan.
     cfg = base;
     cfg.relaxLimits = true;
     cfg.pe.instStoreEntries = 256;
     cfg.pe.k = result.kopt;
-    double base_aipc = 0.0;
+    std::vector<ProcessorConfig> u_cfgs;
+    std::vector<unsigned> u_values;
     for (unsigned u = 1; u <= opts.maxU; u *= 2) {
         unsigned m = static_cast<unsigned>(
             (256ull * result.kopt) / u);
@@ -51,14 +118,21 @@ tuneMatchingTable(const DataflowGraph &graph, const ProcessorConfig &base,
         if (m % cfg.pe.matchingWays != 0)
             m += cfg.pe.matchingWays - (m % cfg.pe.matchingWays);
         cfg.pe.matchingEntries = m;
-        const double aipc = measureAipc(graph, cfg, opts.maxCycles);
-        if (u == 1) {
+        u_cfgs.push_back(cfg);
+        u_values.push_back(u);
+    }
+    const std::vector<double> u_aipc =
+        batchAipc(*engine, graph, graph_fp, u_cfgs, opts.maxCycles);
+    double base_aipc = 0.0;
+    for (std::size_t i = 0; i < u_values.size(); ++i) {
+        const double aipc = u_aipc[i];
+        if (u_values[i] == 1) {
             base_aipc = aipc;
             result.uopt = 1;
             continue;
         }
         if (aipc >= base_aipc * (1.0 - opts.uoptDrop))
-            result.uopt = u;
+            result.uopt = u_values[i];
         else
             break;  // Performance started to decrease significantly.
     }

@@ -18,6 +18,7 @@
 
 #include "common/types.h"
 #include "core/config.h"
+#include "driver/sweep_engine.h"
 #include "isa/graph.h"
 
 namespace ws {
@@ -29,6 +30,14 @@ struct TuningOptions
     double uoptDrop = 0.08;       ///< Tolerated loss vs u=1 performance.
     unsigned maxK = 8;
     unsigned maxU = 64;
+
+    /**
+     * Program identity for SimCache memoization (e.g. a kernel
+     * fingerprint); 0 derives a fallback from the graph's name, size,
+     * and thread count — sufficient within one process, where equal
+     * names mean the same built graph.
+     */
+    std::uint64_t graphFingerprint = 0;
 };
 
 struct TuningResult
@@ -42,10 +51,20 @@ struct TuningResult
 double measureAipc(const DataflowGraph &graph, const ProcessorConfig &cfg,
                    Cycle max_cycles);
 
-/** The full Table-4 procedure for one application. */
+/**
+ * The full Table-4 procedure for one application.
+ *
+ * Both sweeps (k then u) submit every candidate as one batch to
+ * @p engine, then apply the paper's early-stopping scan to the ordered
+ * results — identical outcomes to the sequential loops, but the
+ * candidate simulations run concurrently and memoize (the u-sweep's
+ * u=1 baseline is a guaranteed re-visit). Passing nullptr runs on a
+ * private single-threaded engine.
+ */
 TuningResult tuneMatchingTable(const DataflowGraph &graph,
                                const ProcessorConfig &base,
-                               const TuningOptions &opts = TuningOptions{});
+                               const TuningOptions &opts = TuningOptions{},
+                               SweepEngine *engine = nullptr);
 
 } // namespace ws
 

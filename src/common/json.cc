@@ -1,0 +1,323 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ws {
+
+Json &
+Json::operator[](const std::string &key)
+{
+    if (type_ == Type::kNull)
+        type_ = Type::kObject;
+    auto it = index_.find(key);
+    if (it != index_.end())
+        return fields_[it->second].second;
+    index_.emplace(key, fields_.size());
+    fields_.emplace_back(key, Json());
+    return fields_.back().second;
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    auto it = index_.find(key);
+    return it == index_.end() ? nullptr : &fields_[it->second].second;
+}
+
+void
+Json::push(Json value)
+{
+    if (type_ == Type::kNull)
+        type_ = Type::kArray;
+    items_.push_back(std::move(value));
+}
+
+std::size_t
+Json::size() const
+{
+    return type_ == Type::kArray ? items_.size() : fields_.size();
+}
+
+namespace {
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+appendNumber(std::string &out, double v)
+{
+    if (!std::isfinite(v)) {
+        out += "null";  // JSON has no inf/nan; null is the least-wrong.
+        return;
+    }
+    if (v == static_cast<double>(static_cast<long long>(v)) &&
+        std::fabs(v) < 9.0e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%lld",
+                      static_cast<long long>(v));
+        out += buf;
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+    out += buf;
+}
+
+void
+appendIndent(std::string &out, int indent, int depth)
+{
+    if (indent > 0) {
+        out += '\n';
+        out.append(static_cast<std::size_t>(indent) * depth, ' ');
+    }
+}
+
+} // namespace
+
+void
+Json::dumpTo(std::string &out, int indent, int depth) const
+{
+    switch (type_) {
+      case Type::kNull:
+        out += "null";
+        break;
+      case Type::kBool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Type::kNumber:
+        appendNumber(out, num_);
+        break;
+      case Type::kString:
+        appendEscaped(out, str_);
+        break;
+      case Type::kArray: {
+        out += '[';
+        for (std::size_t i = 0; i < items_.size(); ++i) {
+            if (i != 0)
+                out += ',';
+            appendIndent(out, indent, depth + 1);
+            items_[i].dumpTo(out, indent, depth + 1);
+        }
+        if (!items_.empty())
+            appendIndent(out, indent, depth);
+        out += ']';
+        break;
+      }
+      case Type::kObject: {
+        out += '{';
+        for (std::size_t i = 0; i < fields_.size(); ++i) {
+            if (i != 0)
+                out += ',';
+            appendIndent(out, indent, depth + 1);
+            appendEscaped(out, fields_[i].first);
+            out += indent > 0 ? ": " : ":";
+            fields_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        if (!fields_.empty())
+            appendIndent(out, indent, depth);
+        out += '}';
+        break;
+      }
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+namespace {
+
+struct Parser
+{
+    const char *p;
+    const char *end;
+    bool ok = true;
+
+    void
+    skipWs()
+    {
+        while (p < end && std::isspace(static_cast<unsigned char>(*p)))
+            ++p;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (p < end && *p == c) {
+            ++p;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *lit)
+    {
+        const char *q = p;
+        while (*lit != '\0') {
+            if (q >= end || *q != *lit)
+                return false;
+            ++q;
+            ++lit;
+        }
+        p = q;
+        return true;
+    }
+
+    Json
+    parseString()
+    {
+        std::string s;
+        ++p;  // Opening quote (caller checked).
+        while (p < end && *p != '"') {
+            if (*p == '\\' && p + 1 < end) {
+                ++p;
+                switch (*p) {
+                  case 'n': s += '\n'; break;
+                  case 't': s += '\t'; break;
+                  case 'r': s += '\r'; break;
+                  case 'b': s += '\b'; break;
+                  case 'f': s += '\f'; break;
+                  case 'u': {
+                    if (end - p < 5) {
+                        ok = false;
+                        return Json();
+                    }
+                    char hex[5] = {p[1], p[2], p[3], p[4], 0};
+                    const long code = std::strtol(hex, nullptr, 16);
+                    // Basic-latin escapes only; others pass through
+                    // as '?' (the harnesses never emit them).
+                    s += code < 0x80 ? static_cast<char>(code) : '?';
+                    p += 4;
+                    break;
+                  }
+                  default: s += *p; break;
+                }
+                ++p;
+            } else {
+                s += *p++;
+            }
+        }
+        if (p >= end) {
+            ok = false;
+            return Json();
+        }
+        ++p;  // Closing quote.
+        return Json(std::move(s));
+    }
+
+    Json
+    parseValue(int depth)
+    {
+        if (depth > 64) {
+            ok = false;
+            return Json();
+        }
+        skipWs();
+        if (p >= end) {
+            ok = false;
+            return Json();
+        }
+        if (*p == '"')
+            return parseString();
+        if (*p == '{') {
+            ++p;
+            Json obj = Json::object();
+            skipWs();
+            if (consume('}'))
+                return obj;
+            do {
+                skipWs();
+                if (p >= end || *p != '"') {
+                    ok = false;
+                    return Json();
+                }
+                Json key = parseString();
+                if (!ok || !consume(':')) {
+                    ok = false;
+                    return Json();
+                }
+                obj[key.asString()] = parseValue(depth + 1);
+                if (!ok)
+                    return Json();
+            } while (consume(','));
+            if (!consume('}'))
+                ok = false;
+            return obj;
+        }
+        if (*p == '[') {
+            ++p;
+            Json arr = Json::array();
+            skipWs();
+            if (consume(']'))
+                return arr;
+            do {
+                arr.push(parseValue(depth + 1));
+                if (!ok)
+                    return Json();
+            } while (consume(','));
+            if (!consume(']'))
+                ok = false;
+            return arr;
+        }
+        if (literal("true"))
+            return Json(true);
+        if (literal("false"))
+            return Json(false);
+        if (literal("null"))
+            return Json();
+        char *num_end = nullptr;
+        const double v = std::strtod(p, &num_end);
+        if (num_end == p || num_end > end) {
+            ok = false;
+            return Json();
+        }
+        p = num_end;
+        return Json(v);
+    }
+};
+
+} // namespace
+
+Json
+Json::parse(const std::string &text, bool *ok)
+{
+    Parser parser{text.data(), text.data() + text.size()};
+    Json v = parser.parseValue(0);
+    parser.skipWs();
+    const bool good = parser.ok && parser.p == parser.end;
+    if (ok != nullptr)
+        *ok = good;
+    return good ? v : Json();
+}
+
+} // namespace ws

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Minimal JSON value tree with a writer and a recursive-descent parser.
+ *
+ * The benchmark harnesses emit machine-readable result files
+ * (bench_results/NAME.json) alongside the paper-style text tables, and the
+ * sweep driver merges its wall-clock/cache statistics into a shared
+ * BENCH_sweep.json — which requires read-modify-write, hence the
+ * parser. This is deliberately not a general-purpose JSON library: no
+ * unicode escapes beyond pass-through, numbers are doubles, objects
+ * preserve insertion order so diffs stay stable across runs.
+ */
+
+#ifndef WS_COMMON_JSON_H_
+#define WS_COMMON_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ws {
+
+class Json
+{
+  public:
+    enum class Type : std::uint8_t
+    {
+        kNull,
+        kBool,
+        kNumber,
+        kString,
+        kArray,
+        kObject,
+    };
+
+    Json() = default;
+    Json(bool b) : type_(Type::kBool), bool_(b) {}
+    Json(double d) : type_(Type::kNumber), num_(d) {}
+    Json(int i) : type_(Type::kNumber), num_(i) {}
+    Json(unsigned u) : type_(Type::kNumber), num_(u) {}
+    Json(std::uint64_t u)
+        : type_(Type::kNumber), num_(static_cast<double>(u))
+    {}
+    Json(std::int64_t i)
+        : type_(Type::kNumber), num_(static_cast<double>(i))
+    {}
+    Json(const char *s) : type_(Type::kString), str_(s) {}
+    Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+
+    static Json object() { Json j; j.type_ = Type::kObject; return j; }
+    static Json array() { Json j; j.type_ = Type::kArray; return j; }
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::kNull; }
+    bool isObject() const { return type_ == Type::kObject; }
+    bool isArray() const { return type_ == Type::kArray; }
+
+    bool asBool() const { return bool_; }
+    double asNumber() const { return num_; }
+    const std::string &asString() const { return str_; }
+
+    /** Object field access; creates the field (null) on a non-const
+     *  object, converting a null value into an object first. */
+    Json &operator[](const std::string &key);
+
+    /** Object field lookup; returns nullptr when absent. */
+    const Json *find(const std::string &key) const;
+
+    /** Array append. */
+    void push(Json value);
+
+    std::size_t size() const;
+    const std::vector<Json> &items() const { return items_; }
+    const std::vector<std::pair<std::string, Json>> &
+    fields() const
+    {
+        return fields_;
+    }
+
+    /** Render with 2-space indentation (stable field order). */
+    std::string dump(int indent = 0) const;
+
+    /**
+     * Parse @p text; returns a null value and sets @p ok to false on any
+     * syntax error (callers treat a corrupt file as absent).
+     */
+    static Json parse(const std::string &text, bool *ok = nullptr);
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Type type_ = Type::kNull;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<Json> items_;                           ///< kArray.
+    std::vector<std::pair<std::string, Json>> fields_;  ///< kObject.
+    std::map<std::string, std::size_t> index_;          ///< kObject.
+};
+
+} // namespace ws
+
+#endif // WS_COMMON_JSON_H_

@@ -15,6 +15,27 @@
 
 namespace ws {
 
+/**
+ * splitmix64 finalizer: a full-avalanche 64-bit mix. mix64(0) == 0,
+ * which the matching-table set hash relies on (thread 0 keeps the
+ * paper's unperturbed I*k + wave%k layout).
+ */
+inline std::uint64_t
+mix64(std::uint64_t x)
+{
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Boost-style order-dependent hash combine over mix64. */
+inline std::uint64_t
+hashCombine(std::uint64_t seed, std::uint64_t value)
+{
+    return seed ^ (mix64(value) + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                   (seed >> 2));
+}
+
 /** xoshiro256** by Blackman & Vigna; public-domain reference algorithm. */
 class Rng
 {

@@ -1,6 +1,7 @@
 #include "core/config.h"
 
 #include "common/log.h"
+#include "common/rng.h"
 #include "verify/verifier.h"
 
 namespace ws {
@@ -35,6 +36,67 @@ ProcessorConfig::baseline()
     cfg.memory.l1Bytes = 32 * 1024;
     cfg.memory.l2Bytes = 0;
     return cfg;
+}
+
+std::uint64_t
+ProcessorConfig::fingerprint() const
+{
+    std::uint64_t h = 0x77617665736c6172ULL;  // "waveslar" salt.
+    for (std::uint64_t v : {
+             static_cast<std::uint64_t>(clusters),
+             static_cast<std::uint64_t>(domainsPerCluster),
+             static_cast<std::uint64_t>(pesPerDomain),
+             // PeConfig.
+             static_cast<std::uint64_t>(pe.matchingEntries),
+             static_cast<std::uint64_t>(pe.matchingWays),
+             static_cast<std::uint64_t>(pe.matchingBanks),
+             static_cast<std::uint64_t>(pe.instStoreEntries),
+             static_cast<std::uint64_t>(pe.outputQueueEntries),
+             static_cast<std::uint64_t>(pe.k),
+             static_cast<std::uint64_t>(pe.overflowRetryLatency),
+             static_cast<std::uint64_t>(pe.instMissLatency),
+             static_cast<std::uint64_t>(pe.overflowReinsertRate),
+             static_cast<std::uint64_t>(pe.podBypass),
+             // StoreBufferConfig.
+             static_cast<std::uint64_t>(storeBuffer.waveSlots),
+             static_cast<std::uint64_t>(storeBuffer.psqCount),
+             static_cast<std::uint64_t>(storeBuffer.psqEntries),
+             static_cast<std::uint64_t>(storeBuffer.issueWidth),
+             static_cast<std::uint64_t>(storeBuffer.waveLookahead),
+             // MemTimingConfig (clusters is wired from the top level).
+             static_cast<std::uint64_t>(memory.l1Bytes),
+             static_cast<std::uint64_t>(memory.l1Ways),
+             static_cast<std::uint64_t>(memory.lineBytes),
+             static_cast<std::uint64_t>(memory.l1HitLatency),
+             static_cast<std::uint64_t>(memory.l1Ports),
+             static_cast<std::uint64_t>(memory.l1Mshrs),
+             static_cast<std::uint64_t>(memory.l2Bytes),
+             static_cast<std::uint64_t>(memory.l2Ways),
+             static_cast<std::uint64_t>(memory.l2Latency),
+             static_cast<std::uint64_t>(memory.memLatency),
+             static_cast<std::uint64_t>(memory.dirOverhead),
+             // MeshConfig.
+             static_cast<std::uint64_t>(mesh.portBandwidth),
+             static_cast<std::uint64_t>(mesh.queueCapacity),
+             // LatencyConfig.
+             static_cast<std::uint64_t>(lat.domainBus),
+             static_cast<std::uint64_t>(lat.toPseudoPe),
+             static_cast<std::uint64_t>(lat.fromPseudoPe),
+             static_cast<std::uint64_t>(lat.clusterLink),
+             static_cast<std::uint64_t>(lat.netInject),
+             static_cast<std::uint64_t>(lat.sbLocal),
+             static_cast<std::uint64_t>(lat.cohLocal),
+             // Top-level scalars.
+             static_cast<std::uint64_t>(netInjectRate),
+             static_cast<std::uint64_t>(memForwardRate),
+             static_cast<std::uint64_t>(placement),
+             seed,
+             static_cast<std::uint64_t>(relaxLimits),
+             static_cast<std::uint64_t>(strictVerify),
+         }) {
+        h = hashCombine(h, v);
+    }
+    return h;
 }
 
 PlacementGeometry

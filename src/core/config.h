@@ -94,6 +94,15 @@ struct ProcessorConfig
     /** Placement geometry view of this configuration. */
     PlacementGeometry placementGeometry() const;
 
+    /**
+     * Order-dependent hash of every field that can affect a simulation
+     * outcome. Two configurations with equal fingerprints run
+     * identically (the simulator is deterministic), so the sweep
+     * driver's SimCache keys memoized results on this value. Extend it
+     * whenever a field is added to this struct or its sub-configs.
+     */
+    std::uint64_t fingerprint() const;
+
     /** fatal() on any 20 FO4 legality or structural violation. */
     void validate() const;
 };

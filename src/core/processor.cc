@@ -80,16 +80,22 @@ Processor::Processor(const DataflowGraph &graph, const ProcessorConfig &cfg)
         }
     }
 
-    // k-loop bounding: one shared wave window, read by every PE.
+    // k-loop bounding: one shared wave window, read by every PE, plus
+    // the shared running sink/useful counters every PE bumps.
     window_.k = cfg_.pe.k == 0 ? 1 : cfg_.pe.k;
     window_.base.assign(graph_.numThreads(), 0);
     for (auto &cluster : clusters_) {
         for (DomainId d = 0; d < cfg_.domainsPerCluster; ++d) {
             Domain &dom = cluster->domain(d);
-            for (PeId p = 0; p < dom.numPes(); ++p)
+            for (PeId p = 0; p < dom.numPes(); ++p) {
                 dom.pe(p).setWaveWindow(&window_);
+                dom.pe(p).setRunCounters(&run_);
+            }
         }
     }
+    threadsByCluster_.resize(cfg_.clusters);
+    for (ThreadId t = 0; t < graph_.numThreads(); ++t)
+        threadsByCluster_[place_.threadHomeCluster(t)].push_back(t);
 
     // Initial memory image and program-input tokens.
     for (const auto &[addr, value] : graph_.memInit())
@@ -206,11 +212,17 @@ void
 Processor::tick()
 {
     const Cycle now = cycle_;
-    // Refresh the k-loop-bounding window from the store buffers.
-    for (ThreadId t = 0; t < window_.base.size(); ++t) {
-        window_.base[t] =
-            clusters_[place_.threadHomeCluster(t)]->storeBuffer()
-                .nextWave(t);
+    // Refresh the k-loop-bounding window from the store buffers — but
+    // only for clusters whose buffer actually retired a wave since the
+    // last refresh (the dirty flag); the unconditional per-tick walk
+    // showed up in the sweep-engine profiles.
+    for (ClusterId c = 0; c < cfg_.clusters; ++c) {
+        StoreBuffer &sb = clusters_[c]->storeBuffer();
+        if (!sb.waveDirty())
+            continue;
+        for (ThreadId t : threadsByCluster_[c])
+            window_.base[t] = sb.nextWave(t);
+        sb.clearWaveDirty();
     }
     mesh_.tick(now);
     drainMesh(now);
@@ -238,7 +250,12 @@ Processor::run(Cycle max_cycles)
             // and coherence transaction has drained.
             return true;
         }
-        if (!sinks_done && (cycle_ & 0x3ff) == 0 && quiescent()) {
+        // Probe on the final cycle too: with max_cycles < 1024 the
+        // 1024-aligned probe never fires and short-budget runs would
+        // misreport a quiesced (completed or deadlocked) program.
+        if (!sinks_done &&
+            ((cycle_ & 0x3ff) == 0 || cycle_ == max_cycles) &&
+            quiescent()) {
             // Nothing in flight anywhere: the program can make no more
             // progress. Either it completed (no sink declaration) or it
             // deadlocked; the caller distinguishes via sinkCount().
@@ -246,34 +263,6 @@ Processor::run(Cycle max_cycles)
         }
     }
     return expected != 0 && sinkCount() >= expected;
-}
-
-Counter
-Processor::sinkCount() const
-{
-    Counter n = 0;
-    for (const auto &cluster : clusters_) {
-        for (DomainId d = 0; d < cfg_.domainsPerCluster; ++d) {
-            const Domain &dom = cluster->domain(d);
-            for (PeId p = 0; p < dom.numPes(); ++p)
-                n += dom.pe(p).stats().sinkTokens;
-        }
-    }
-    return n;
-}
-
-Counter
-Processor::usefulExecuted() const
-{
-    Counter n = 0;
-    for (const auto &cluster : clusters_) {
-        for (DomainId d = 0; d < cfg_.domainsPerCluster; ++d) {
-            const Domain &dom = cluster->domain(d);
-            for (PeId p = 0; p < dom.numPes(); ++p)
-                n += dom.pe(p).stats().usefulExecuted;
-        }
-    }
-    return n;
 }
 
 double

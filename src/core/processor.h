@@ -47,11 +47,15 @@ class Processor
 
     Cycle cycle() const { return cycle_; }
 
-    /** Sink tokens received so far (completion progress). */
-    Counter sinkCount() const;
+    /**
+     * Sink tokens received so far (completion progress). O(1): PEs
+     * maintain the running total at token delivery, because run()
+     * polls this every cycle (it used to walk the whole PE hierarchy).
+     */
+    Counter sinkCount() const { return run_.sinkTokens; }
 
-    /** Useful (Alpha-equivalent) instructions executed so far. */
-    Counter usefulExecuted() const;
+    /** Useful (Alpha-equivalent) instructions executed so far. O(1). */
+    Counter usefulExecuted() const { return run_.usefulExecuted; }
 
     /** AIPC over the cycles simulated so far. */
     double aipc() const;
@@ -88,6 +92,10 @@ class Processor
     std::vector<std::unique_ptr<Cluster>> clusters_;
     std::deque<NetMessage> homeOutRetry_;
     WaveWindow window_;
+    /** Threads whose store buffer lives in each cluster, so the wave-
+     *  window refresh touches only the dirty cluster's threads. */
+    std::vector<std::vector<ThreadId>> threadsByCluster_;
+    RunCounters run_;
     IntervalTracer *tracer_ = nullptr;
     Cycle cycle_ = 0;
 };

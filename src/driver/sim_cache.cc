@@ -1,0 +1,55 @@
+#include "driver/sim_cache.h"
+
+#include <mutex>
+
+namespace ws {
+
+bool
+SimCache::lookup(const Key &key, SimResult *out)
+{
+    {
+        std::shared_lock<std::shared_mutex> lock(mutex_);
+        auto it = map_.find(key);
+        if (it != map_.end()) {
+            *out = it->second;
+            ++hits_;
+            return true;
+        }
+    }
+    ++misses_;
+    return false;
+}
+
+void
+SimCache::insert(const Key &key, const SimResult &result)
+{
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    map_[key] = result;
+    ++insertions_;
+}
+
+std::size_t
+SimCache::size() const
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return map_.size();
+}
+
+void
+SimCache::clear()
+{
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    map_.clear();
+}
+
+SimCacheStats
+SimCache::stats() const
+{
+    SimCacheStats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.insertions = insertions_.load(std::memory_order_relaxed);
+    return s;
+}
+
+} // namespace ws

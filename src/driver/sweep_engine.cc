@@ -1,0 +1,119 @@
+#include "driver/sweep_engine.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+#include "common/log.h"
+
+namespace ws {
+
+SweepEngine::SweepEngine() : SweepEngine(Options{}) {}
+
+SweepEngine::SweepEngine(Options opts)
+    : opts_(std::move(opts)),
+      jobs_(opts_.jobs == 0 ? ThreadPool::hardwareJobs() : opts_.jobs)
+{}
+
+SweepEngine::~SweepEngine() = default;
+
+void
+SweepEngine::reportProgress(std::size_t done, std::size_t total,
+                            Counter hits)
+{
+    std::fprintf(stderr, "\r[%s] %zu/%zu done (%llu cached)   ",
+                 opts_.label.c_str(), done, total,
+                 static_cast<unsigned long long>(hits));
+    if (done == total)
+        std::fputc('\n', stderr);
+    std::fflush(stderr);
+}
+
+std::vector<SimResult>
+SweepEngine::run(const std::vector<SimJob> &jobs)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<SimResult> results(jobs.size());
+
+    // Pass 1: replay memoized points and collect the rest.
+    std::vector<std::size_t> todo;
+    Counter batch_hits = 0;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (jobs[i].graph == nullptr)
+            fatal("SweepEngine: job %zu has no graph", i);
+        if (jobs[i].graphFp != 0) {
+            const SimCache::Key key{jobs[i].graphFp,
+                                    jobs[i].cfg.fingerprint(),
+                                    jobs[i].maxCycles};
+            if (cache_.lookup(key, &results[i])) {
+                ++batch_hits;
+                continue;
+            }
+        }
+        todo.push_back(i);
+    }
+
+    // Pass 2: simulate the misses — inline when serial (or trivially
+    // small), on the pool otherwise. Writing results[i] by submission
+    // index keeps the output order deterministic no matter how the
+    // workers interleave.
+    auto simulate = [&](std::size_t i) {
+        const SimJob &job = jobs[i];
+        SimOptions sim_opts;
+        sim_opts.maxCycles = job.maxCycles;
+        results[i] = runSimulation(*job.graph, job.cfg, sim_opts);
+        if (job.graphFp != 0) {
+            cache_.insert(SimCache::Key{job.graphFp,
+                                        job.cfg.fingerprint(),
+                                        job.maxCycles},
+                          results[i]);
+        }
+    };
+
+    const std::size_t total = jobs.size();
+    std::atomic<std::size_t> done{total - todo.size()};
+    std::mutex progress_mutex;
+    auto tick = [&] {
+        const std::size_t d =
+            done.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (opts_.progress && total > 1) {
+            std::lock_guard<std::mutex> lock(progress_mutex);
+            reportProgress(d, total, batch_hits);
+        }
+    };
+
+    if (jobs_ <= 1 || todo.size() <= 1) {
+        for (std::size_t i : todo) {
+            simulate(i);
+            tick();
+        }
+    } else {
+        if (pool_ == nullptr)
+            pool_ = std::make_unique<ThreadPool>(jobs_);
+        parallelFor(*pool_, todo.size(), [&](std::size_t t) {
+            simulate(todo[t]);
+            tick();
+        });
+    }
+
+    const auto t1 = std::chrono::steady_clock::now();
+    stats_.jobsSubmitted += jobs.size();
+    stats_.simulated += todo.size();
+    stats_.cacheHits += batch_hits;
+    stats_.wallMs +=
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    return results;
+}
+
+SimResult
+SweepEngine::runOne(const SimJob &job)
+{
+    bool saved = opts_.progress;
+    opts_.progress = false;  // A single point needs no ticker.
+    std::vector<SimResult> r = run({job});
+    opts_.progress = saved;
+    return std::move(r.front());
+}
+
+} // namespace ws

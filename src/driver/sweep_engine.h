@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The design-space sweep engine: runs batches of independent
+ * (program, configuration, cycle-budget) simulations concurrently on a
+ * work-stealing thread pool, memoizes completed runs in a SimCache, and
+ * returns results in deterministic submission order regardless of
+ * worker interleaving.
+ *
+ * Every simulation stays single-threaded and bit-reproducible; the
+ * engine only exploits the independence of the paper's evaluation
+ * points (~41 designs x 3 suites x a per-design thread search), so a
+ * batch at --jobs=8 produces byte-identical results to --jobs=1.
+ */
+
+#ifndef WS_DRIVER_SWEEP_ENGINE_H_
+#define WS_DRIVER_SWEEP_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/simulator.h"
+#include "driver/sim_cache.h"
+#include "driver/thread_pool.h"
+#include "isa/graph.h"
+
+namespace ws {
+
+/** One simulation point. Graphs are shared (read-only) across jobs so a
+ *  batch over N designs builds each kernel once, not N times. */
+struct SimJob
+{
+    std::shared_ptr<const DataflowGraph> graph;
+    ProcessorConfig cfg;
+    Cycle maxCycles = 2'000'000;
+
+    /**
+     * Identity of the program for memoization (e.g. a hash of kernel
+     * name + build parameters). 0 disables caching for this job —
+     * correct-by-default for callers that cannot fingerprint their
+     * graph, at the cost of re-simulating.
+     */
+    std::uint64_t graphFp = 0;
+};
+
+/** Cumulative engine statistics across run() batches. */
+struct SweepStats
+{
+    Counter jobsSubmitted = 0;
+    Counter simulated = 0;     ///< Actually executed (cache misses).
+    Counter cacheHits = 0;
+    double wallMs = 0.0;       ///< Wall-clock spent inside run().
+};
+
+class SweepEngine
+{
+  public:
+    struct Options
+    {
+        unsigned jobs = 0;      ///< Worker threads; 0 = hardware.
+        bool progress = true;   ///< Live completion ticker on stderr.
+        std::string label = "sweep";
+    };
+
+    SweepEngine();
+    explicit SweepEngine(Options opts);
+    ~SweepEngine();
+
+    /**
+     * Run every job (skipping cached points) and return results indexed
+     * exactly like @p jobs. Safe to call repeatedly; the cache persists
+     * across batches.
+     */
+    std::vector<SimResult> run(const std::vector<SimJob> &jobs);
+
+    /** Convenience wrapper for a single point. */
+    SimResult runOne(const SimJob &job);
+
+    SimCache &cache() { return cache_; }
+    const SweepStats &stats() const { return stats_; }
+    unsigned jobs() const { return jobs_; }
+
+  private:
+    void reportProgress(std::size_t done, std::size_t total,
+                        Counter hits);
+
+    Options opts_;
+    unsigned jobs_;
+    std::unique_ptr<ThreadPool> pool_;  ///< Lazily built, only if jobs>1.
+    SimCache cache_;
+    SweepStats stats_;
+};
+
+} // namespace ws
+
+#endif // WS_DRIVER_SWEEP_ENGINE_H_

@@ -1,0 +1,170 @@
+#include "driver/thread_pool.h"
+
+#include <algorithm>
+
+namespace ws {
+
+namespace {
+
+/** Worker index of the current thread, or SIZE_MAX off-pool. The pool
+ *  pointer disambiguates nested pools (tests create several). */
+thread_local const ThreadPool *tls_pool = nullptr;
+thread_local std::size_t tls_worker = SIZE_MAX;
+
+} // namespace
+
+unsigned
+ThreadPool::hardwareJobs()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
+}
+
+ThreadPool::ThreadPool(unsigned workers)
+    : size_(workers == 0 ? hardwareJobs() : workers)
+{
+    queues_.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i)
+        queues_.push_back(std::make_unique<WorkerQueue>());
+    threads_.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i)
+        threads_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(sleepMutex_);
+        stop_.store(true, std::memory_order_relaxed);
+        workCv_.notify_all();
+    }
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    // A task submitted from inside a worker goes on that worker's own
+    // deque (popped LIFO, stolen FIFO by others); external submissions
+    // round-robin so the initial batch spreads across all deques.
+    std::size_t target;
+    if (tls_pool == this && tls_worker < size_) {
+        target = tls_worker;
+    } else {
+        target = nextQueue_.fetch_add(1, std::memory_order_relaxed) %
+                 size_;
+    }
+    {
+        std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+        queues_[target]->tasks.push_back(std::move(task));
+    }
+    pending_.fetch_add(1, std::memory_order_relaxed);
+    queued_.fetch_add(1, std::memory_order_release);
+    {
+        std::lock_guard<std::mutex> lock(sleepMutex_);
+        workCv_.notify_one();
+    }
+}
+
+bool
+ThreadPool::takeTask(std::size_t self, std::function<void()> &out)
+{
+    // Own deque first, newest-first.
+    {
+        WorkerQueue &q = *queues_[self];
+        std::lock_guard<std::mutex> lock(q.mutex);
+        if (!q.tasks.empty()) {
+            out = std::move(q.tasks.back());
+            q.tasks.pop_back();
+            queued_.fetch_sub(1, std::memory_order_relaxed);
+            return true;
+        }
+    }
+    // Steal oldest-first from the others, starting just past self so
+    // victims differ across thieves.
+    for (std::size_t d = 1; d < size_; ++d) {
+        WorkerQueue &q = *queues_[(self + d) % size_];
+        std::lock_guard<std::mutex> lock(q.mutex);
+        if (!q.tasks.empty()) {
+            out = std::move(q.tasks.front());
+            q.tasks.pop_front();
+            queued_.fetch_sub(1, std::memory_order_relaxed);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(std::size_t self)
+{
+    tls_pool = this;
+    tls_worker = self;
+    std::function<void()> task;
+    for (;;) {
+        if (takeTask(self, task)) {
+            task();
+            task = nullptr;  // Release captures before sleeping.
+            if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+                std::lock_guard<std::mutex> lock(sleepMutex_);
+                idleCv_.notify_all();
+            }
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(sleepMutex_);
+        workCv_.wait(lock, [this] {
+            return stop_.load(std::memory_order_relaxed) ||
+                   queued_.load(std::memory_order_acquire) != 0;
+        });
+        if (stop_.load(std::memory_order_relaxed) &&
+            queued_.load(std::memory_order_acquire) == 0) {
+            return;
+        }
+    }
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(sleepMutex_);
+    idleCv_.wait(lock, [this] {
+        return pending_.load(std::memory_order_acquire) == 0;
+    });
+}
+
+void
+parallelFor(ThreadPool &pool, std::size_t n,
+            const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    struct Shared
+    {
+        std::atomic<std::size_t> next{0};
+        std::mutex mutex;
+        std::condition_variable done;
+        std::size_t finished = 0;
+    };
+    auto shared = std::make_shared<Shared>();
+    const std::size_t lanes =
+        std::min<std::size_t>(n, pool.workers());
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+        pool.submit([shared, n, &fn] {
+            std::size_t i;
+            while ((i = shared->next.fetch_add(
+                        1, std::memory_order_relaxed)) < n) {
+                fn(i);
+            }
+            std::lock_guard<std::mutex> lock(shared->mutex);
+            ++shared->finished;
+            shared->done.notify_all();
+        });
+    }
+    std::unique_lock<std::mutex> lock(shared->mutex);
+    shared->done.wait(lock,
+                      [&] { return shared->finished == lanes; });
+}
+
+} // namespace ws

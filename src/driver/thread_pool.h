@@ -1,0 +1,93 @@
+/**
+ * @file
+ * A small work-stealing thread pool for the design-space sweep driver.
+ *
+ * Each worker owns a deque: it pushes and pops its own work LIFO (cache
+ * warmth for task chains submitted from within a task) and steals FIFO
+ * from the other workers when its deque runs dry. Tasks are coarse here
+ * — whole simulations, milliseconds to seconds each — so the queues use
+ * plain mutexes; the work-stealing structure is what keeps all workers
+ * busy when per-task runtimes vary by orders of magnitude (a 64-cluster
+ * Splash run vs. a 1-cluster Spec run), not lock-freedom.
+ *
+ * Simulations themselves stay single-threaded and bit-reproducible; the
+ * pool only schedules independent Processor runs side by side.
+ */
+
+#ifndef WS_DRIVER_THREAD_POOL_H_
+#define WS_DRIVER_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ws {
+
+class ThreadPool
+{
+  public:
+    /** @param workers worker-thread count; 0 means hardwareJobs(). */
+    explicit ThreadPool(unsigned workers = 0);
+
+    /** Drains remaining work, then joins every worker. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Enqueue one task. Thread-safe; a task may submit further tasks
+     * (they land on the submitting worker's own deque and are popped
+     * LIFO before it goes stealing).
+     */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task (including nested ones) ran. */
+    void wait();
+
+    unsigned workers() const { return static_cast<unsigned>(size_); }
+
+    /** Host concurrency with a floor of 1 (hardware_concurrency may
+     *  return 0 on exotic platforms). */
+    static unsigned hardwareJobs();
+
+  private:
+    struct WorkerQueue
+    {
+        std::mutex mutex;
+        std::deque<std::function<void()>> tasks;
+    };
+
+    void workerLoop(std::size_t self);
+    bool takeTask(std::size_t self, std::function<void()> &out);
+
+    std::size_t size_;
+    std::vector<std::unique_ptr<WorkerQueue>> queues_;
+    std::vector<std::thread> threads_;
+
+    std::mutex sleepMutex_;             ///< Guards the two CVs below.
+    std::condition_variable workCv_;    ///< Workers sleep here.
+    std::condition_variable idleCv_;    ///< wait() sleeps here.
+    std::atomic<std::size_t> queued_{0};    ///< Tasks not yet taken.
+    std::atomic<std::size_t> pending_{0};   ///< Tasks not yet finished.
+    std::atomic<std::size_t> nextQueue_{0}; ///< Round-robin submit.
+    std::atomic<bool> stop_{false};
+};
+
+/**
+ * Run fn(0..n-1) on the pool, blocking until all calls finish. Indexes
+ * are dealt one at a time through a shared atomic so unequal per-index
+ * runtimes balance automatically.
+ */
+void parallelFor(ThreadPool &pool, std::size_t n,
+                 const std::function<void(std::size_t)> &fn);
+
+} // namespace ws
+
+#endif // WS_DRIVER_THREAD_POOL_H_

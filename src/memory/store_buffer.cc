@@ -244,6 +244,7 @@ StoreBuffer::completeWave(WaveSlot &slot)
     slotIndex_.erase(slot.tag.packed());
     slot.active = false;
     nextWave_[slot.tag.thread] = slot.tag.wave + 1;
+    waveDirty_ = true;
     ++stats_.waveCompletions;
 }
 

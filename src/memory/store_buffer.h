@@ -95,6 +95,17 @@ class StoreBuffer
         return it == nextWave_.end() ? 0 : it->second;
     }
 
+    /**
+     * True when some thread's oldest unretired wave advanced since the
+     * last clearWaveDirty(). The processor refreshes its shared wave
+     * window only then, instead of re-reading every thread's base every
+     * cycle (waves retire every few hundred cycles; the per-tick walk
+     * was pure overhead). Starts dirty so the first tick initializes
+     * the window.
+     */
+    bool waveDirty() const { return waveDirty_; }
+    void clearWaveDirty() { waveDirty_ = false; }
+
     /** True when nothing is buffered or in flight. */
     bool idle() const;
 
@@ -167,6 +178,7 @@ class StoreBuffer
     std::uint64_t nextReqId_ = 0;
     std::vector<LoadDone> loadDones_;
     StoreBufferStats stats_;
+    bool waveDirty_ = true;
 };
 
 } // namespace ws

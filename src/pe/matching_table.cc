@@ -1,6 +1,7 @@
 #include "pe/matching_table.h"
 
 #include "common/log.h"
+#include "common/rng.h"
 
 namespace ws {
 
@@ -17,12 +18,18 @@ MatchingTable::MatchingTable(unsigned entries, unsigned ways, unsigned k)
 std::size_t
 MatchingTable::setOf(std::uint32_t local_idx, const Tag &tag) const
 {
-    // The matching-table equation hash: I*k + (wave mod k), perturbed by
-    // the thread id so threads sharing a PE spread across sets. The
-    // plain modulo preserves the paper's zero-miss guarantee at M = V*k.
+    // The matching-table equation hash: I*k + (wave mod k), offset by a
+    // full-avalanche mix of the thread id so threads sharing a PE
+    // spread across the whole table (the old thread*7 perturbation put
+    // adjacent threads in adjacent sets, which clustered under
+    // power-of-two thread counts). A per-thread *constant* offset
+    // preserves the paper's zero-miss guarantee at M = V*k: within one
+    // thread the (I, wave mod k) pairs still map injectively onto M
+    // row slots, merely rotated; and mix64(0) == 0 keeps the
+    // single-threaded layout exactly the paper's equation.
     const std::uint64_t h = static_cast<std::uint64_t>(local_idx) * k_ +
                             (tag.wave % k_) +
-                            static_cast<std::uint64_t>(tag.thread) * 7;
+                            mix64(static_cast<std::uint64_t>(tag.thread));
     return static_cast<std::size_t>(h % sets_);
 }
 

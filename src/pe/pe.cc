@@ -134,8 +134,11 @@ ProcessingElement::execute(const MatchingTable::Fire &fire, Cycle now)
     const OpcodeInfo &info = opcodeInfo(inst.op);
 
     ++stats_.executed;
-    if (info.useful)
+    if (info.useful) {
         ++stats_.usefulExecuted;
+        if (counters_ != nullptr)
+            ++counters_->usefulExecuted;
+    }
 
     // Iterative (non-pipelined) integer divide occupies EXECUTE.
     if (!info.floatingPoint && info.latency > 1)
@@ -144,6 +147,8 @@ ProcessingElement::execute(const MatchingTable::Fire &fire, Cycle now)
 
     if (inst.op == Opcode::kSink) {
         ++stats_.sinkTokens;
+        if (counters_ != nullptr)
+            ++counters_->sinkTokens;
         return;
     }
 

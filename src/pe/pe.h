@@ -71,6 +71,22 @@ struct PeStats
 };
 
 /**
+ * Machine-wide running totals, bumped by every PE at execute time.
+ *
+ * Processor::run() polls sink progress every cycle; summing per-PE
+ * counters there costs O(total PEs) per cycle, which dominates short
+ * runs on large machines. Instead each PE increments these shared
+ * totals (single-threaded within one simulation) the moment a sink
+ * token arrives or a useful instruction retires, making the per-cycle
+ * poll O(1). Per-PE stats are still kept for the detailed report.
+ */
+struct RunCounters
+{
+    Counter sinkTokens = 0;
+    Counter usefulExecuted = 0;
+};
+
+/**
  * k-loop-bounding wave window (paper §4.2).
  *
  * The WaveScalar compiler bounds each loop so at most k iterations are
@@ -136,6 +152,7 @@ class ProcessingElement
     void setPodPartner(ProcessingElement *partner) { partner_ = partner; }
     void setFpu(DomainFpu *fpu) { fpu_ = fpu; }
     void setWaveWindow(const WaveWindow *w) { window_ = w; }
+    void setRunCounters(RunCounters *rc) { counters_ = rc; }
 
     /**
      * INPUT stage: offer one operand token at cycle @p now. Returns
@@ -191,6 +208,7 @@ class ProcessingElement
     ProcessingElement *partner_ = nullptr;
     DomainFpu *fpu_ = nullptr;
     const WaveWindow *window_ = nullptr;
+    RunCounters *counters_ = nullptr;
 
     MatchingTable match_;
     InstructionStore store_;

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Tests for the parallel sweep driver: the work-stealing ThreadPool,
+ * the SimCache, and the SweepEngine's two contracts — determinism
+ * (byte-identical results at any --jobs setting) and memoization
+ * (repeat points replay from cache; any config change misses).
+ *
+ * Also regression-tests the short-budget quiescence probe in
+ * Processor::run (max_cycles < 1024 must still detect quiescence).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "core/processor.h"
+#include "driver/sim_cache.h"
+#include "driver/sweep_engine.h"
+#include "driver/thread_pool.h"
+#include "isa/graph_builder.h"
+#include "kernels/kernel.h"
+
+namespace ws {
+namespace {
+
+// ---------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.workers(), 4u);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&] { count.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, NestedSubmissionCompletesBeforeWaitReturns)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 8; ++i) {
+        pool.submit([&] {
+            count.fetch_add(1);
+            pool.submit([&] { count.fetch_add(1); });
+        });
+    }
+    pool.wait();
+    EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPool, WaitWithNoWorkReturnsImmediately)
+{
+    ThreadPool pool(2);
+    pool.wait();  // Must not deadlock.
+    SUCCEED();
+}
+
+TEST(ThreadPool, HardwareJobsIsPositive)
+{
+    EXPECT_GE(ThreadPool::hardwareJobs(), 1u);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(257);
+    parallelFor(pool, hits.size(),
+                [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ParallelForZeroIsANoop)
+{
+    ThreadPool pool(2);
+    parallelFor(pool, 0, [&](std::size_t) { FAIL(); });
+    SUCCEED();
+}
+
+// ---------------------------------------------------------------------
+// SimCache
+// ---------------------------------------------------------------------
+
+TEST(SimCache, MissThenHitRoundTrip)
+{
+    SimCache cache;
+    const SimCache::Key key{0x1234, 0x5678, 1000};
+    SimResult out;
+    EXPECT_FALSE(cache.lookup(key, &out));
+    SimResult r;
+    r.completed = true;
+    r.cycles = 42;
+    r.aipc = 1.5;
+    cache.insert(key, r);
+    ASSERT_TRUE(cache.lookup(key, &out));
+    EXPECT_TRUE(out.completed);
+    EXPECT_EQ(out.cycles, 42u);
+    EXPECT_DOUBLE_EQ(out.aipc, 1.5);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(SimCache, AnyKeyComponentChangeMisses)
+{
+    SimCache cache;
+    const SimCache::Key key{1, 2, 3};
+    cache.insert(key, SimResult{});
+    SimResult out;
+    EXPECT_TRUE(cache.lookup(key, &out));
+    EXPECT_FALSE(cache.lookup({9, 2, 3}, &out));  // Program changed.
+    EXPECT_FALSE(cache.lookup({1, 9, 3}, &out));  // Config changed.
+    EXPECT_FALSE(cache.lookup({1, 2, 9}, &out));  // Budget changed.
+}
+
+// ---------------------------------------------------------------------
+// ProcessorConfig::fingerprint (the cache's invalidation mechanism)
+// ---------------------------------------------------------------------
+
+TEST(ConfigFingerprint, StableForEqualConfigs)
+{
+    EXPECT_EQ(ProcessorConfig::baseline().fingerprint(),
+              ProcessorConfig::baseline().fingerprint());
+}
+
+TEST(ConfigFingerprint, SensitiveToEveryTunedField)
+{
+    const std::uint64_t base = ProcessorConfig::baseline().fingerprint();
+    auto differs = [&](auto mutate) {
+        ProcessorConfig cfg = ProcessorConfig::baseline();
+        mutate(cfg);
+        return cfg.fingerprint() != base;
+    };
+    EXPECT_TRUE(differs([](ProcessorConfig &c) { c.clusters = 4; }));
+    EXPECT_TRUE(differs([](ProcessorConfig &c) { c.pe.k = 7; }));
+    EXPECT_TRUE(
+        differs([](ProcessorConfig &c) { c.pe.matchingEntries = 64; }));
+    EXPECT_TRUE(
+        differs([](ProcessorConfig &c) { c.pe.podBypass = false; }));
+    EXPECT_TRUE(
+        differs([](ProcessorConfig &c) { c.storeBuffer.psqCount = 3; }));
+    EXPECT_TRUE(
+        differs([](ProcessorConfig &c) { c.memory.l2Bytes = 1 << 20; }));
+    EXPECT_TRUE(
+        differs([](ProcessorConfig &c) { c.mesh.portBandwidth = 4; }));
+    EXPECT_TRUE(differs(
+        [](ProcessorConfig &c) { c.placement = PlacementPolicy::kRandom; }));
+    EXPECT_TRUE(differs([](ProcessorConfig &c) { c.seed = 99; }));
+    EXPECT_TRUE(differs([](ProcessorConfig &c) { c.relaxLimits = true; }));
+}
+
+// ---------------------------------------------------------------------
+// SweepEngine
+// ---------------------------------------------------------------------
+
+std::vector<SimJob>
+sampleBatch(std::uint64_t fp_base)
+{
+    // A small but heterogeneous batch: two kernels x two configs.
+    std::vector<SimJob> jobs;
+    KernelParams params;
+    params.threads = 1;
+    auto gzip = std::make_shared<const DataflowGraph>(
+        findKernel("gzip").build(params));
+    auto djpeg = std::make_shared<const DataflowGraph>(
+        findKernel("djpeg").build(params));
+
+    for (unsigned k : {2u, 4u}) {
+        ProcessorConfig cfg = ProcessorConfig::baseline();
+        cfg.pe.k = k;
+        SimJob job;
+        job.graph = gzip;
+        job.cfg = cfg;
+        job.maxCycles = 60'000;
+        job.graphFp = fp_base + 1;
+        jobs.push_back(job);
+        job.graph = djpeg;
+        job.graphFp = fp_base + 2;
+        jobs.push_back(job);
+    }
+    return jobs;
+}
+
+SweepEngine::Options
+quietOpts(unsigned jobs)
+{
+    SweepEngine::Options opts;
+    opts.jobs = jobs;
+    opts.progress = false;
+    return opts;
+}
+
+TEST(SweepEngine, ParallelResultsAreByteIdenticalToSerial)
+{
+    SweepEngine serial(quietOpts(1));
+    SweepEngine parallel(quietOpts(8));
+    const std::vector<SimJob> jobs = sampleBatch(0x100);
+    const std::vector<SimResult> a = serial.run(jobs);
+    const std::vector<SimResult> b = parallel.run(jobs);
+    ASSERT_EQ(a.size(), jobs.size());
+    ASSERT_EQ(b.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(a[i].completed, b[i].completed) << "job " << i;
+        EXPECT_EQ(a[i].cycles, b[i].cycles) << "job " << i;
+        EXPECT_EQ(a[i].useful, b[i].useful) << "job " << i;
+        EXPECT_DOUBLE_EQ(a[i].aipc, b[i].aipc) << "job " << i;
+        // The full statistics dump — every counter the simulator keeps —
+        // must match byte for byte.
+        EXPECT_EQ(a[i].report.toString(), b[i].report.toString())
+            << "job " << i;
+    }
+}
+
+TEST(SweepEngine, RepeatBatchReplaysFromCache)
+{
+    SweepEngine engine(quietOpts(2));
+    const std::vector<SimJob> jobs = sampleBatch(0x200);
+    const std::vector<SimResult> first = engine.run(jobs);
+    EXPECT_EQ(engine.stats().simulated, jobs.size());
+    EXPECT_EQ(engine.stats().cacheHits, 0u);
+
+    const std::vector<SimResult> second = engine.run(jobs);
+    EXPECT_EQ(engine.stats().simulated, jobs.size());  // No new sims.
+    EXPECT_EQ(engine.stats().cacheHits, jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(first[i].cycles, second[i].cycles);
+        EXPECT_EQ(first[i].report.toString(), second[i].report.toString());
+    }
+}
+
+TEST(SweepEngine, ConfigChangeInvalidatesStructurally)
+{
+    SweepEngine engine(quietOpts(2));
+    std::vector<SimJob> jobs = sampleBatch(0x300);
+    engine.run(jobs);
+    const Counter sims_before = engine.stats().simulated;
+
+    // Any config-field change gives a different fingerprint → miss.
+    for (SimJob &job : jobs)
+        job.cfg.pe.outputQueueEntries += 1;
+    engine.run(jobs);
+    EXPECT_EQ(engine.stats().simulated, sims_before + jobs.size());
+
+    // A different cycle budget is a different point too.
+    for (SimJob &job : jobs)
+        job.maxCycles += 1'000;
+    engine.run(jobs);
+    EXPECT_EQ(engine.stats().simulated, sims_before + 2 * jobs.size());
+}
+
+TEST(SweepEngine, ZeroFingerprintDisablesCaching)
+{
+    SweepEngine engine(quietOpts(1));
+    std::vector<SimJob> jobs = sampleBatch(0);
+    for (SimJob &job : jobs)
+        job.graphFp = 0;
+    engine.run(jobs);
+    engine.run(jobs);
+    EXPECT_EQ(engine.stats().simulated, 2 * jobs.size());
+    EXPECT_EQ(engine.stats().cacheHits, 0u);
+    EXPECT_EQ(engine.cache().size(), 0u);
+}
+
+TEST(SweepEngine, RunOneMatchesBatchOfOne)
+{
+    SweepEngine engine(quietOpts(1));
+    const std::vector<SimJob> jobs = sampleBatch(0x400);
+    const SimResult one = engine.runOne(jobs[0]);
+    const SimResult again = engine.run({jobs[0]})[0];
+    EXPECT_EQ(one.cycles, again.cycles);
+    EXPECT_EQ(one.report.toString(), again.report.toString());
+}
+
+// ---------------------------------------------------------------------
+// Processor::run short-budget quiescence probe (regression)
+// ---------------------------------------------------------------------
+
+TEST(QuiescenceProbe, FiresUnderShortCycleBudget)
+{
+    // A sink-less graph (expectedSinkTokens == 0) can only report
+    // success through the quiescence probe. The probe used to run on
+    // 1024-aligned cycles only, so with max_cycles < 1024 it never
+    // fired and a fully quiesced program was misreported as incomplete.
+    GraphBuilder b("tiny");
+    b.beginThread(0);
+    auto x = b.param(21);
+    b.muli(x, 2);
+    b.endThread();
+    DataflowGraph g = b.finish();
+
+    Processor proc(g, ProcessorConfig::baseline());
+    EXPECT_TRUE(proc.run(500));
+}
+
+} // namespace
+} // namespace ws

@@ -170,6 +170,47 @@ TEST(MatchingTable, ZeroMissGuaranteeAtFullProvisioning)
     EXPECT_EQ(mt.stats().misses, 0u);
 }
 
+TEST(MatchingTable, ZeroMissGuaranteeHoldsForEveryThreadId)
+{
+    // Regression for the set-index hash: the per-thread offset must be
+    // *constant within a thread* so that at M = V*k a single thread's
+    // V x k live instances still map injectively onto the table — for
+    // any thread id, not just thread 0. (The offset is mix64(thread)
+    // now; an input-dependent perturbation would break this.)
+    const unsigned V = 16;
+    const unsigned k = 4;
+    for (ThreadId thread : {ThreadId(0), ThreadId(1), ThreadId(7),
+                            ThreadId(63), ThreadId(1000)}) {
+        MatchingTable mt(V * k, 2, k);
+        for (unsigned wave = 0; wave < k; ++wave) {
+            for (unsigned i = 0; i < V; ++i)
+                mt.insert(tok(i, 0, wave, 1, thread), 2, i);
+        }
+        EXPECT_EQ(mt.stats().misses, 0u) << "thread " << thread;
+        for (unsigned wave = 0; wave < k; ++wave) {
+            for (unsigned i = 0; i < V; ++i)
+                EXPECT_TRUE(mt.insert(tok(i, 1, wave, 2, thread), 2,
+                                      i).fired);
+        }
+        EXPECT_EQ(mt.stats().misses, 0u) << "thread " << thread;
+    }
+}
+
+TEST(MatchingTable, ThreadOffsetIsIdentityForThreadZero)
+{
+    // Single-threaded programs must see exactly the paper's equation:
+    // set = (I*k + wave mod k) mod sets. mix64(0) == 0 guarantees it.
+    const unsigned V = 8;
+    const unsigned k = 2;
+    MatchingTable mt(V * k, 1, k);  // Direct-mapped: layout-sensitive.
+    for (unsigned wave = 0; wave < k; ++wave) {
+        for (unsigned i = 0; i < V; ++i)
+            mt.insert(tok(i, 0, wave, 1, 0), 2, i);
+    }
+    EXPECT_EQ(mt.stats().misses, 0u);
+    EXPECT_EQ(mt.stats().evictedRows, 0u);
+}
+
 TEST(MatchingTable, OversubscriptionMissesButCompletes)
 {
     // M = V*k/4: conflicts guaranteed, but every match must complete.
