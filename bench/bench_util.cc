@@ -12,6 +12,7 @@
 
 #include "common/log.h"
 #include "common/rng.h"
+#include "driver/static_prune.h"
 
 namespace ws {
 namespace bench {
@@ -40,11 +41,14 @@ parseArgs(int argc, char **argv)
             opts.outDir = arg + 10;
         } else if (std::strcmp(arg, "--no-json") == 0) {
             opts.json = false;
+        } else if (std::strcmp(arg, "--prune-static") == 0) {
+            opts.pruneStatic = true;
         } else {
             std::fprintf(stderr,
                          "usage: %s [--quick] [--max-cycles=N] "
                          "[--scale=N] [--seed=N] [--jobs=N] "
-                         "[--out-dir=PATH] [--no-json]\n", argv[0]);
+                         "[--out-dir=PATH] [--no-json] "
+                         "[--prune-static]\n", argv[0]);
             std::exit(2);
         }
     }
@@ -116,8 +120,35 @@ toRunResult(const SimResult &sim, int threads)
     r.aipc = sim.aipc;
     r.cycles = sim.cycles;
     r.threads = threads;
+    r.pruned = sim.pruned;
     r.report = sim.report;
     return r;
+}
+
+/** StaticProfiles shared across the batch, keyed like SimCache. */
+ProfileCache &
+profileCache()
+{
+    static ProfileCache *instance = new ProfileCache;
+    return *instance;
+}
+
+/** Process-wide log of points --prune-static skipped (never silent). */
+std::mutex g_pruned_mutex;
+std::vector<std::string> g_pruned_points;
+
+void
+logPruned(const CfgRun &run, double bound)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "%s t%d on %ux%ux%u (bound %.3f)",
+                  run.kernel->name.c_str(), run.threads,
+                  static_cast<unsigned>(run.cfg.clusters),
+                  static_cast<unsigned>(run.cfg.domainsPerCluster),
+                  static_cast<unsigned>(run.cfg.pesPerDomain), bound);
+    std::lock_guard<std::mutex> lock(g_pruned_mutex);
+    g_pruned_points.push_back(buf);
 }
 
 /**
@@ -152,6 +183,14 @@ threadCandidates(const Kernel &kernel, const DesignPoint &design,
         candidates.insert(fit_pow2 / 2);
     if (!opts.quick && fit_pow2 < 64)
         candidates.insert(fit_pow2 * 2);  // Mild oversubscription.
+    if (!opts.quick) {
+        // Anchor the low end of the scaling curve: 1- and 2-thread
+        // points are cheap, rarely win, and are exactly what
+        // --prune-static exists to skip once a bigger count has set
+        // the group's bar.
+        candidates.insert(1);
+        candidates.insert(2);
+    }
     return {candidates.begin(), candidates.end()};
 }
 
@@ -197,6 +236,45 @@ runAll(const std::vector<CfgRun> &runs, const BenchOptions &opts)
     return results;
 }
 
+std::vector<RunResult>
+runGroups(const std::vector<CfgRun> &runs,
+          const std::vector<std::size_t> &groupEnd,
+          const BenchOptions &opts)
+{
+    if (!opts.pruneStatic)
+        return runAll(runs, opts);  // Identical results, no bounds.
+
+    std::vector<SimJob> jobs;
+    jobs.reserve(runs.size());
+    for (const CfgRun &r : runs) {
+        SimJob job = makeJob(*r.kernel, r.cfg, r.threads, opts);
+        job.staticBound = staticAipcBound(
+            *profileCache().profileFor(*job.graph, job.graphFp), r.cfg);
+        jobs.push_back(std::move(job));
+    }
+
+    SweepEngine::PruneOptions prune;
+    prune.enabled = true;
+    const std::vector<SimResult> sims =
+        engine(opts).runGrouped(jobs, groupEnd, prune);
+
+    std::vector<RunResult> results;
+    results.reserve(runs.size());
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        results.push_back(toRunResult(sims[i], runs[i].threads));
+        if (sims[i].pruned)
+            logPruned(runs[i], jobs[i].staticBound);
+    }
+    return results;
+}
+
+std::vector<std::string>
+prunedPoints()
+{
+    std::lock_guard<std::mutex> lock(g_pruned_mutex);
+    return g_pruned_points;
+}
+
 RunResult
 runKernelCfg(const Kernel &kernel, const ProcessorConfig &cfg,
              int threads, const BenchOptions &opts)
@@ -221,7 +299,7 @@ runKernelBestThreads(const Kernel &kernel, const DesignPoint &design,
     std::vector<CfgRun> runs;
     for (int t : threadCandidates(kernel, design, opts))
         runs.push_back(CfgRun{&kernel, cfg, t});
-    return pickBest(runAll(runs, opts));
+    return pickBest(runGroups(runs, {runs.size()}, opts));
 }
 
 std::vector<double>
@@ -248,7 +326,8 @@ suiteAipcAll(Suite suite, const std::vector<DesignPoint> &designs,
         }
     }
 
-    const std::vector<RunResult> results = runAll(runs, opts);
+    const std::vector<RunResult> results =
+        runGroups(runs, group_end, opts);
 
     std::vector<double> aipcs;
     aipcs.reserve(designs.size());
@@ -314,6 +393,7 @@ BenchReport::BenchReport(std::string name, const BenchOptions &opts)
     o["seed"] = opts_.seed;
     o["jobs"] = opts_.jobs == 0 ? ThreadPool::hardwareJobs()
                                 : opts_.jobs;
+    o["prune_static"] = opts_.pruneStatic;
 }
 
 void
@@ -345,7 +425,15 @@ BenchReport::finish()
     sweep["cache_hits"] =
         static_cast<std::uint64_t>(eng.stats().cacheHits);
     sweep["sim_wall_ms"] = eng.stats().wallMs;
+    sweep["pruned"] = static_cast<std::uint64_t>(eng.stats().pruned);
+    sweep["prune_errors"] =
+        static_cast<std::uint64_t>(eng.stats().pruneErrors);
     root_["sweep"] = sweep;
+    // --prune-static must never skip silently: list every point.
+    Json skipped = Json::array();
+    for (const std::string &p : prunedPoints())
+        skipped.push(Json(p));
+    root_["pruned_points"] = std::move(skipped);
 
     std::error_code ec;
     std::filesystem::create_directories(opts_.outDir, ec);
@@ -388,10 +476,12 @@ BenchReport::finish()
             out << merged.dump(2) << '\n';
     }
     std::fprintf(stderr,
-                 "[%s] %.0f ms wall, %llu simulated, %llu cached -> %s\n",
+                 "[%s] %.0f ms wall, %llu simulated, %llu cached, "
+                 "%llu pruned -> %s\n",
                  name_.c_str(), wall_ms,
                  static_cast<unsigned long long>(eng.stats().simulated),
                  static_cast<unsigned long long>(eng.stats().cacheHits),
+                 static_cast<unsigned long long>(eng.stats().pruned),
                  path.c_str());
 }
 

@@ -45,11 +45,14 @@ struct BenchOptions
     std::uint64_t seed = 1;
     unsigned jobs = 0;         ///< Concurrent simulations; 0 = all cores.
     bool json = true;          ///< Emit the JSON result twin.
+    bool pruneStatic = false;  ///< Skip candidates whose static AIPC
+                               ///  bound cannot beat the group's best
+                               ///  (logged, never silent).
     std::string outDir = "bench_results";
 };
 
 /** Parse --quick / --max-cycles=N / --scale=N / --seed=N / --jobs=N /
- *  --out-dir=PATH / --no-json. */
+ *  --out-dir=PATH / --no-json / --prune-static. */
 BenchOptions parseArgs(int argc, char **argv);
 
 /** The process-wide sweep engine (created on first use from @p opts;
@@ -63,6 +66,7 @@ struct RunResult
     double aipc = 0.0;
     Cycle cycles = 0;
     int threads = 1;
+    bool pruned = false;  ///< Skipped by --prune-static (aipc is 0).
     StatReport report;
 };
 
@@ -77,6 +81,23 @@ struct CfgRun
 /** Run a whole batch concurrently; results index-match @p runs. */
 std::vector<RunResult> runAll(const std::vector<CfgRun> &runs,
                               const BenchOptions &opts);
+
+/**
+ * Run a batch partitioned into best-of reduction groups (@p groupEnd:
+ * exclusive end index per group, ascending, last == runs.size()).
+ * Under --prune-static each run carries its static AIPC bound
+ * (profiles memoized per program) and provably-dominated candidates
+ * inside a group are skipped — their RunResult comes back with
+ * pruned = true, and the skip is logged for BENCH_sweep.json. The
+ * best-of-group reduction is unaffected by construction.
+ */
+std::vector<RunResult> runGroups(const std::vector<CfgRun> &runs,
+                                 const std::vector<std::size_t> &groupEnd,
+                                 const BenchOptions &opts);
+
+/** Labels of every point --prune-static skipped so far (process-wide,
+ *  submission order; BenchReport::finish records them). */
+std::vector<std::string> prunedPoints();
 
 /** Run @p kernel on @p design with a fixed thread count. */
 RunResult runKernel(const Kernel &kernel, const DesignPoint &design,

@@ -11,6 +11,9 @@
  * Options:
  *   --strict      exit nonzero on warnings as well as errors
  *   --no-config   structural/wave/flow passes only (no capacity lint)
+ *   --analyze     also report WS5xx optimization advisories and the
+ *                 static profile summary (never affects exit status;
+ *                 wsa-opt is the full analyzer)
  *   --quiet       suppress findings; exit status only
  *
  * Exit status: 0 clean, 1 findings at the failing severity, 2 usage or
@@ -23,6 +26,8 @@
 #include <string>
 #include <vector>
 
+#include "analyze/profile.h"
+#include "analyze/rewriter.h"
 #include "common/log.h"
 #include "core/config.h"
 #include "isa/assembly.h"
@@ -37,6 +42,7 @@ struct Options
 {
     bool strict = false;
     bool useConfig = true;
+    bool analyze = false;
     bool quiet = false;
 };
 
@@ -44,8 +50,8 @@ int
 usage()
 {
     std::fprintf(stderr,
-                 "usage: wsa-lint [--strict] [--no-config] [--quiet] "
-                 "file.wsa...\n"
+                 "usage: wsa-lint [--strict] [--no-config] [--analyze] "
+                 "[--quiet] file.wsa...\n"
                  "       wsa-lint [options] --kernels\n"
                  "       wsa-lint --explain\n");
     return 2;
@@ -79,6 +85,21 @@ lintGraph(const std::string &label, const DataflowGraph &g,
         !rep.ok() || (opt.strict && rep.warningCount() != 0);
     if (!opt.quiet && !rep.empty())
         std::fputs(rep.render().c_str(), stdout);
+    if (opt.analyze && !opt.quiet) {
+        // Advisory-only companion pass; never changes the exit status.
+        const VerifyReport advice = adviseGraph(g);
+        if (!advice.empty())
+            std::fputs(advice.render().c_str(), stdout);
+        const StaticProfile p = analyzeGraph(g);
+        std::printf("%s: %llu useful / %llu insts, crit path %llu, "
+                    "peak width %llu, %zu advisories\n",
+                    label.c_str(),
+                    static_cast<unsigned long long>(p.mix.useful),
+                    static_cast<unsigned long long>(p.mix.total),
+                    static_cast<unsigned long long>(p.critPathLatency),
+                    static_cast<unsigned long long>(p.peakWidth),
+                    advice.noteCount());
+    }
     if (!opt.quiet) {
         std::printf("%s: %s (%s)\n", label.c_str(),
                     failed ? "FAIL" : "ok", rep.summary().c_str());
@@ -138,6 +159,8 @@ main(int argc, char **argv)
             opt.strict = true;
         } else if (arg == "--no-config") {
             opt.useConfig = false;
+        } else if (arg == "--analyze") {
+            opt.analyze = true;
         } else if (arg == "--quiet") {
             opt.quiet = true;
         } else if (arg == "--kernels") {

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * wsa-opt: static dataflow analysis and optimization of WaveScalar
+ * assembly (.wsa) files and built-in kernels. Where wsa-lint asks "is
+ * this graph legal?", wsa-opt asks "what is it worth, and can it be
+ * smaller?": it prints the StaticProfile (critical path, ILP widths,
+ * memory chain depths, static AIPC bound) plus WS5xx optimization
+ * advisories, and can perform the advised rewrites.
+ *
+ *   wsa-opt [options] file.wsa...    — analyze assembly files
+ *   wsa-opt [options] --kernels     — analyze every registered kernel
+ *
+ * Options:
+ *   --threads=N       kernel build thread count (default 4)
+ *   --rewrite=OUT     optimize the single input file and write OUT;
+ *                     the rewritten graph must re-verify clean
+ *   --json-dir=DIR    write a <name>.profile.json artifact per input
+ *   --fail-on-advice  exit 1 when any WS5xx advisory fires
+ *   --quiet           suppress reports; exit status only
+ *
+ * Exit status: 0 clean, 1 advisories under --fail-on-advice or a
+ * rewrite that failed re-verification, 2 usage or I/O error.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze/profile.h"
+#include "analyze/rewriter.h"
+#include "common/log.h"
+#include "isa/assembly.h"
+#include "kernels/kernel.h"
+#include "verify/verifier.h"
+
+using namespace ws;
+
+namespace {
+
+struct Options
+{
+    bool quiet = false;
+    bool failOnAdvice = false;
+    int threads = 4;
+    std::string rewriteOut;
+    std::string jsonDir;
+};
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: wsa-opt [--threads=N] [--rewrite=OUT] "
+                 "[--json-dir=DIR]\n"
+                 "               [--fail-on-advice] [--quiet] "
+                 "file.wsa...\n"
+                 "       wsa-opt [options] --kernels\n");
+    return 2;
+}
+
+void
+writeJson(const std::string &name, const StaticProfile &profile,
+          const VerifyReport &advice, const Options &opt)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(opt.jsonDir, ec);
+    if (ec) {
+        fatal("wsa-opt: cannot create %s: %s", opt.jsonDir.c_str(),
+              ec.message().c_str());
+    }
+    Json root = profileToJson(profile);
+    root["static_aipc_bound"] =
+        staticAipcBound(profile, MachineBoundParams{});
+    root["advice_count"] =
+        static_cast<std::uint64_t>(advice.noteCount());
+    const std::string path =
+        opt.jsonDir + "/" + name + ".profile.json";
+    std::ofstream out(path);
+    if (!out)
+        fatal("wsa-opt: cannot write %s", path.c_str());
+    out << root.dump(2) << '\n';
+}
+
+/** Analyze one graph; returns true when advisories fired. */
+bool
+analyzeOne(const std::string &label, const std::string &name,
+           const DataflowGraph &g, const Options &opt)
+{
+    const StaticProfile profile = analyzeGraph(g);
+    const VerifyReport advice = adviseGraph(g);
+
+    if (!opt.quiet) {
+        std::printf("== %s ==\n", label.c_str());
+        std::fputs(renderProfile(profile).c_str(), stdout);
+        std::printf("static AIPC bound (baseline machine): %.3f\n",
+                    staticAipcBound(profile, MachineBoundParams{}));
+        if (!advice.empty())
+            std::fputs(advice.render().c_str(), stdout);
+        std::printf("%s: %zu advisories\n", label.c_str(),
+                    advice.noteCount());
+    }
+    if (!opt.jsonDir.empty())
+        writeJson(name, profile, advice, opt);
+    return !advice.empty();
+}
+
+/** Optimize @p g, re-verify, and write the result as .wsa text. */
+bool
+rewriteOne(const std::string &label, DataflowGraph g, const Options &opt)
+{
+    const RewriteStats stats = optimizeGraph(g);
+    const VerifyReport rep = verify(g);
+    if (!rep.ok()) {
+        std::fprintf(stderr,
+                     "wsa-opt: rewrite of %s failed re-verification:\n%s",
+                     label.c_str(), rep.render().c_str());
+        return true;
+    }
+    std::ofstream out(opt.rewriteOut);
+    if (!out) {
+        std::fprintf(stderr, "wsa-opt: cannot write %s\n",
+                     opt.rewriteOut.c_str());
+        std::exit(2);
+    }
+    out << disassemble(g);
+    if (!opt.quiet) {
+        std::printf("%s: folded %llu, bypassed %llu, removed %llu in "
+                    "%llu rounds -> %s (%zu insts, verifies clean)\n",
+                    label.c_str(),
+                    static_cast<unsigned long long>(stats.folded),
+                    static_cast<unsigned long long>(stats.bypassed),
+                    static_cast<unsigned long long>(stats.removed),
+                    static_cast<unsigned long long>(stats.rounds),
+                    opt.rewriteOut.c_str(), g.size());
+    }
+    return false;
+}
+
+DataflowGraph
+loadFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "wsa-opt: cannot open %s\n", path.c_str());
+        std::exit(2);
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return assemble(ss.str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    bool kernels = false;
+    std::vector<std::string> files;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quiet") {
+            opt.quiet = true;
+        } else if (arg == "--fail-on-advice") {
+            opt.failOnAdvice = true;
+        } else if (arg == "--kernels") {
+            kernels = true;
+        } else if (arg.rfind("--threads=", 0) == 0) {
+            opt.threads = std::atoi(arg.c_str() + 10);
+            if (opt.threads < 1)
+                return usage();
+        } else if (arg.rfind("--rewrite=", 0) == 0) {
+            opt.rewriteOut = arg.substr(10);
+        } else if (arg.rfind("--json-dir=", 0) == 0) {
+            opt.jsonDir = arg.substr(11);
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage();
+        } else {
+            files.push_back(arg);
+        }
+    }
+    if (!kernels && files.empty())
+        return usage();
+    if (!opt.rewriteOut.empty() && (kernels || files.size() != 1)) {
+        std::fprintf(stderr,
+                     "wsa-opt: --rewrite takes exactly one input file\n");
+        return 2;
+    }
+
+    bool advised = false;
+    bool failed = false;
+    try {
+        for (const std::string &f : files) {
+            const DataflowGraph g = loadFile(f);
+            const std::string name =
+                std::filesystem::path(f).stem().string();
+            advised |= analyzeOne(f, name, g, opt);
+            if (!opt.rewriteOut.empty())
+                failed |= rewriteOne(f, g, opt);
+        }
+        if (kernels) {
+            for (const Kernel &k : kernelRegistry()) {
+                KernelParams params;
+                if (k.multithreaded) {
+                    params.threads =
+                        static_cast<std::uint16_t>(opt.threads);
+                }
+                advised |= analyzeOne("kernel:" + k.name, k.name,
+                                      k.build(params), opt);
+            }
+        }
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "wsa-opt: %s\n", e.what());
+        return 2;
+    }
+    if (failed)
+        return 1;
+    return opt.failOnAdvice && advised ? 1 : 0;
+}

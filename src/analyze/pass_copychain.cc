@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Copy-chain detection (WS503): a kMov with exactly one consumer adds
+ * a cycle of latency and a matching-table slot without amplifying
+ * fan-out, so its producers could feed the consumer directly. Movs
+ * with several consumers are deliberate fan-out amplifiers (the ISA's
+ * stated purpose for kMov) and are left alone; movs primed by an
+ * initial token are program inputs and are also exempt.
+ */
+
+#include "analyze/passes.h"
+#include "verify/passes.h"
+
+namespace ws {
+namespace analyze_detail {
+
+std::vector<InstId>
+copyCandidates(const DataflowGraph &g)
+{
+    const auto producers = producerIndex(g);
+    const auto tokens = tokenPorts(g);
+    std::vector<InstId> candidates;
+    for (InstId i = 0; i < g.size(); ++i) {
+        const Instruction &inst = g.inst(i);
+        if (inst.op != Opcode::kMov)
+            continue;
+        if (inst.outs[0].size() != 1 || !inst.outs[1].empty())
+            continue;
+        if (inst.outs[0].front().inst == i)  // Degenerate self-loop.
+            continue;
+        if (tokens[i][0] || producers[i].port[0].empty())
+            continue;
+        candidates.push_back(i);
+    }
+    return candidates;
+}
+
+void
+adviseCopyChain(const DataflowGraph &g, VerifyReport &rep)
+{
+    for (const InstId i : copyCandidates(g)) {
+        const PortRef dst = g.inst(i).outs[0].front();
+        rep.add(DiagCode::kCopyChain, i,
+                verify_detail::msgf(
+                    "single-consumer mov: producer could feed inst %u "
+                    "port %u directly",
+                    dst.inst, dst.port));
+    }
+}
+
+} // namespace analyze_detail
+} // namespace ws

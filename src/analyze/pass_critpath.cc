@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Levelization: ASAP/ALAP levels, the latency-weighted critical path,
+ * and the loop shape of each thread.
+ *
+ * Dataflow loops (wave recurrences) make the raw graph cyclic, so the
+ * pass first classifies cycle-closing edges with a DFS and levelizes
+ * the remaining DAG. Cycle membership (via Tarjan SCCs) then tells the
+ * bound which instructions re-execute every wave, and a shortest-cycle
+ * search through each WAVE_ADVANCE yields the initiation-interval
+ * floor: no machine can start waves faster than the loop-carried
+ * dependency allows.
+ */
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+#include "analyze/passes.h"
+
+namespace ws {
+namespace analyze_detail {
+
+namespace {
+
+std::uint8_t
+latencyOf(const Instruction &inst)
+{
+    return opcodeInfo(inst.op).latency;
+}
+
+std::vector<std::vector<InstId>>
+successors(const DataflowGraph &g)
+{
+    std::vector<std::vector<InstId>> succ(g.size());
+    for (InstId i = 0; i < g.size(); ++i) {
+        for (const auto &side : g.inst(i).outs) {
+            for (const PortRef &out : side)
+                succ[i].push_back(out.inst);
+        }
+    }
+    return succ;
+}
+
+/**
+ * Iterative DFS: classify back edges (target is on the current stack)
+ * and emit a postorder. Reverse postorder is a topological order of
+ * the graph minus its back edges.
+ */
+struct DfsResult
+{
+    std::vector<std::vector<InstId>> dagSucc;  ///< Minus back edges.
+    std::vector<InstId> postorder;
+    Counter backEdges = 0;
+};
+
+DfsResult
+classifyEdges(const DataflowGraph &g,
+              const std::vector<std::vector<InstId>> &succ)
+{
+    enum : std::uint8_t { kWhite, kGray, kBlack };
+    DfsResult res;
+    res.dagSucc.resize(g.size());
+    std::vector<std::uint8_t> color(g.size(), kWhite);
+    std::vector<std::pair<InstId, std::size_t>> stack;
+
+    for (InstId root = 0; root < g.size(); ++root) {
+        if (color[root] != kWhite)
+            continue;
+        color[root] = kGray;
+        stack.emplace_back(root, 0);
+        while (!stack.empty()) {
+            auto &[node, next] = stack.back();
+            if (next < succ[node].size()) {
+                const InstId s = succ[node][next++];
+                if (color[s] == kGray) {
+                    ++res.backEdges;  // Cycle-closing: drop from DAG.
+                } else {
+                    res.dagSucc[node].push_back(s);
+                    if (color[s] == kWhite) {
+                        color[s] = kGray;
+                        stack.emplace_back(s, 0);
+                    }
+                }
+            } else {
+                color[node] = kBlack;
+                res.postorder.push_back(node);
+                stack.pop_back();
+            }
+        }
+    }
+    return res;
+}
+
+/** Tarjan SCCs, iteratively: mark instructions that sit on any cycle
+ *  (SCC of size > 1, or a self-loop). */
+std::vector<bool>
+cycleMembers(const DataflowGraph &g,
+             const std::vector<std::vector<InstId>> &succ)
+{
+    const std::size_t n = g.size();
+    constexpr std::uint32_t kUnvisited = 0xffffffffu;
+    std::vector<std::uint32_t> index(n, kUnvisited);
+    std::vector<std::uint32_t> lowlink(n, 0);
+    std::vector<bool> onStack(n, false);
+    std::vector<bool> inCycle(n, false);
+    std::vector<InstId> sccStack;
+    std::vector<std::pair<InstId, std::size_t>> frames;
+    std::uint32_t counter = 0;
+
+    for (InstId root = 0; root < n; ++root) {
+        if (index[root] != kUnvisited)
+            continue;
+        frames.emplace_back(root, 0);
+        index[root] = lowlink[root] = counter++;
+        sccStack.push_back(root);
+        onStack[root] = true;
+        while (!frames.empty()) {
+            auto &[node, next] = frames.back();
+            if (next < succ[node].size()) {
+                const InstId s = succ[node][next++];
+                if (index[s] == kUnvisited) {
+                    index[s] = lowlink[s] = counter++;
+                    sccStack.push_back(s);
+                    onStack[s] = true;
+                    frames.emplace_back(s, 0);
+                } else if (onStack[s]) {
+                    lowlink[node] = std::min(lowlink[node], index[s]);
+                }
+            } else {
+                if (lowlink[node] == index[node]) {
+                    std::size_t members = 0;
+                    std::size_t top = sccStack.size();
+                    while (sccStack[top - 1] != node)
+                        --top;
+                    members = sccStack.size() - top;
+                    for (std::size_t i = top - 1; i < sccStack.size();
+                         ++i) {
+                        onStack[sccStack[i]] = false;
+                        if (members + 1 > 1)
+                            inCycle[sccStack[i]] = true;
+                    }
+                    if (members + 1 == 1) {
+                        // Singleton: on a cycle only if it self-loops.
+                        inCycle[node] = false;
+                        for (const InstId s : succ[node]) {
+                            if (s == node)
+                                inCycle[node] = true;
+                        }
+                    }
+                    sccStack.resize(top - 1);
+                }
+                const InstId finished = node;
+                frames.pop_back();
+                if (!frames.empty()) {
+                    lowlink[frames.back().first] =
+                        std::min(lowlink[frames.back().first],
+                                 lowlink[finished]);
+                }
+            }
+        }
+    }
+    return inCycle;
+}
+
+/**
+ * Shortest cycle latency through @p start (a WAVE_ADVANCE on a cycle):
+ * Dijkstra where reaching node x costs the sum of execute latencies of
+ * every node after @p start up to and including x. Returning to start
+ * closes the recurrence; its latency is added on arrival.
+ */
+Counter
+shortestCycleThrough(const DataflowGraph &g,
+                     const std::vector<std::vector<InstId>> &succ,
+                     InstId start)
+{
+    constexpr Counter kInf = ~Counter{0};
+    std::vector<Counter> dist(g.size(), kInf);
+    using Entry = std::pair<Counter, InstId>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+    Counter best = kInf;
+
+    for (const InstId s : succ[start]) {
+        const Counter d = s == start
+                              ? Counter{latencyOf(g.inst(start))}
+                              : Counter{latencyOf(g.inst(s))};
+        if (s == start) {
+            best = std::min(best, d);  // Self-loop.
+            continue;
+        }
+        if (d < dist[s]) {
+            dist[s] = d;
+            pq.emplace(d, s);
+        }
+    }
+    while (!pq.empty()) {
+        const auto [d, node] = pq.top();
+        pq.pop();
+        if (d != dist[node] || d >= best)
+            continue;
+        for (const InstId s : succ[node]) {
+            if (s == start) {
+                best = std::min(best,
+                                d + Counter{latencyOf(g.inst(start))});
+                continue;
+            }
+            const Counter nd = d + Counter{latencyOf(g.inst(s))};
+            if (nd < dist[s]) {
+                dist[s] = nd;
+                pq.emplace(nd, s);
+            }
+        }
+    }
+    return best == kInf ? 0 : best;
+}
+
+} // namespace
+
+Levelization
+levelize(const DataflowGraph &g)
+{
+    const std::size_t n = g.size();
+    Levelization lv;
+    lv.asap.assign(n, 0);
+    lv.alap.assign(n, 0);
+    lv.depth.assign(n, 0);
+    lv.minCycleLatency.assign(g.numThreads(), 0);
+    if (n == 0)
+        return lv;
+
+    const auto succ = successors(g);
+    const DfsResult dfs = classifyEdges(g, succ);
+    lv.backEdges = dfs.backEdges;
+
+    // ASAP levels and latency-weighted depths, in topological order
+    // (reverse postorder of the DAG).
+    for (auto it = dfs.postorder.rbegin(); it != dfs.postorder.rend();
+         ++it) {
+        const InstId i = *it;
+        lv.depth[i] += latencyOf(g.inst(i));
+        lv.maxLevel = std::max(lv.maxLevel, lv.asap[i]);
+        for (const InstId s : dfs.dagSucc[i]) {
+            lv.asap[s] = std::max(lv.asap[s], lv.asap[i] + 1);
+            lv.depth[s] = std::max(lv.depth[s], lv.depth[i]);
+        }
+    }
+
+    // ALAP: longest unit path to any DAG leaf, in postorder.
+    std::vector<std::uint32_t> toLeaf(n, 0);
+    for (const InstId i : dfs.postorder) {
+        for (const InstId s : dfs.dagSucc[i])
+            toLeaf[i] = std::max(toLeaf[i], toLeaf[s] + 1);
+    }
+    for (InstId i = 0; i < n; ++i)
+        lv.alap[i] = lv.maxLevel - toLeaf[i];
+
+    // Loop shape: cycle members, then everything downstream of one
+    // (those instructions re-execute every wave).
+    lv.inCycle = cycleMembers(g, succ);
+    lv.perWave = lv.inCycle;
+    std::vector<InstId> worklist;
+    for (InstId i = 0; i < n; ++i) {
+        if (lv.perWave[i])
+            worklist.push_back(i);
+    }
+    while (!worklist.empty()) {
+        const InstId i = worklist.back();
+        worklist.pop_back();
+        for (const InstId s : succ[i]) {
+            if (!lv.perWave[s]) {
+                lv.perWave[s] = true;
+                worklist.push_back(s);
+            }
+        }
+    }
+
+    // Initiation-interval floor per thread: every wave recurrence runs
+    // through a WAVE_ADVANCE (the verifier's WS303 invariant), so the
+    // shortest cycle through one bounds the steady-state wave rate.
+    for (InstId i = 0; i < n; ++i) {
+        if (g.inst(i).op != Opcode::kWaveAdvance || !lv.inCycle[i])
+            continue;
+        const Counter lambda = shortestCycleThrough(g, succ, i);
+        if (lambda == 0)
+            continue;
+        const ThreadId t = g.inst(i).thread;
+        if (t < lv.minCycleLatency.size()) {
+            lv.minCycleLatency[t] =
+                lv.minCycleLatency[t] == 0
+                    ? lambda
+                    : std::min(lv.minCycleLatency[t], lambda);
+        }
+    }
+    return lv;
+}
+
+void
+runCritPath(const DataflowGraph &g, const Levelization &lv,
+            StaticProfile &profile)
+{
+    profile.asap = lv.asap;
+    profile.alap = lv.alap;
+    profile.backEdges = lv.backEdges;
+    profile.levels = g.size() == 0 ? 0 : Counter{lv.maxLevel} + 1;
+
+    for (InstId i = 0; i < g.size(); ++i) {
+        const Instruction &inst = g.inst(i);
+        profile.critPathLatency =
+            std::max(profile.critPathLatency, lv.depth[i]);
+        if (inst.thread >= profile.threads.size())
+            continue;
+        ThreadProfile &tp = profile.threads[inst.thread];
+        tp.critPathLatency = std::max(tp.critPathLatency, lv.depth[i]);
+        tp.levels = std::max(tp.levels, Counter{lv.asap[i]} + 1);
+        if (lv.inCycle[i])
+            tp.cyclic = true;
+        if (lv.perWave[i]) {
+            if (isUsefulOp(inst.op))
+                ++tp.perWaveUseful;
+            if (isMemoryOp(inst.op))
+                ++tp.perWaveMemOps;
+        }
+    }
+    for (ThreadProfile &tp : profile.threads) {
+        if (tp.thread < lv.minCycleLatency.size())
+            tp.minCycleLatency = lv.minCycleLatency[tp.thread];
+    }
+}
+
+} // namespace analyze_detail
+} // namespace ws

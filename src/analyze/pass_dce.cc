@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Dead-value detection (WS502): reverse reachability from every
+ * observable effect. Sinks (program outputs) and memory operations
+ * (stores are effects; loads and MEM-NOPs are load-bearing members of
+ * the wave-ordering chains, which must stay intact for waves to
+ * retire) are the liveness roots; an instruction none of whose
+ * consumers transitively reaches a root computes a value nobody can
+ * observe. Distinct from the verifier's WS301, which flags code
+ * unreachable *from the inputs* — WS502 code runs, then its result
+ * evaporates.
+ */
+
+#include "analyze/passes.h"
+#include "verify/passes.h"
+
+namespace ws {
+namespace analyze_detail {
+
+std::vector<bool>
+liveMask(const DataflowGraph &g)
+{
+    std::vector<std::vector<InstId>> rev(g.size());
+    for (InstId i = 0; i < g.size(); ++i) {
+        for (const auto &side : g.inst(i).outs) {
+            for (const PortRef &out : side) {
+                if (out.inst < g.size())
+                    rev[out.inst].push_back(i);
+            }
+        }
+    }
+
+    std::vector<bool> live(g.size(), false);
+    std::vector<InstId> worklist;
+    for (InstId i = 0; i < g.size(); ++i) {
+        const Instruction &inst = g.inst(i);
+        if (inst.op == Opcode::kSink || isMemoryOp(inst.op)) {
+            live[i] = true;
+            worklist.push_back(i);
+        }
+    }
+    while (!worklist.empty()) {
+        const InstId i = worklist.back();
+        worklist.pop_back();
+        for (const InstId p : rev[i]) {
+            if (!live[p]) {
+                live[p] = true;
+                worklist.push_back(p);
+            }
+        }
+    }
+    return live;
+}
+
+void
+adviseDce(const DataflowGraph &g, VerifyReport &rep)
+{
+    const std::vector<bool> live = liveMask(g);
+    for (InstId i = 0; i < g.size(); ++i) {
+        if (live[i])
+            continue;
+        rep.add(DiagCode::kDeadValue, i,
+                verify_detail::msgf(
+                    "%s result reaches no sink or memory effect",
+                    std::string(opcodeName(g.inst(i).op)).c_str()));
+    }
+}
+
+} // namespace analyze_detail
+} // namespace ws

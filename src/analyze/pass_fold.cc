@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Constant folding detection (WS501): a pure compute instruction whose
+ * every input port is fed by exactly one kConst producer — and no
+ * initial token — computes the same value on every firing, so it could
+ * be a kConst itself. The rewriter performs the fold; this pass (and
+ * the shared producer index it exports) only detects it.
+ */
+
+#include "analyze/passes.h"
+#include "verify/passes.h"
+
+namespace ws {
+namespace analyze_detail {
+
+std::vector<PortProducers>
+producerIndex(const DataflowGraph &g)
+{
+    std::vector<PortProducers> producers(g.size());
+    for (InstId i = 0; i < g.size(); ++i) {
+        for (const auto &side : g.inst(i).outs) {
+            for (const PortRef &out : side) {
+                if (out.inst < g.size() && out.port < 3)
+                    producers[out.inst].port[out.port].push_back(i);
+            }
+        }
+    }
+    return producers;
+}
+
+std::vector<std::array<bool, 3>>
+tokenPorts(const DataflowGraph &g)
+{
+    std::vector<std::array<bool, 3>> ports(
+        g.size(), std::array<bool, 3>{false, false, false});
+    for (const Token &t : g.initialTokens()) {
+        if (t.dst.inst < g.size() && t.dst.port < 3)
+            ports[t.dst.inst][t.dst.port] = true;
+    }
+    return ports;
+}
+
+std::vector<InstId>
+foldCandidates(const DataflowGraph &g)
+{
+    const auto producers = producerIndex(g);
+    const auto tokens = tokenPorts(g);
+    std::vector<InstId> candidates;
+    for (InstId i = 0; i < g.size(); ++i) {
+        const Instruction &inst = g.inst(i);
+        if (opcodeClass(inst.op) != OpClass::kCompute ||
+            inst.op == Opcode::kConst || inst.op == Opcode::kMov) {
+            continue;
+        }
+        bool foldable = true;
+        for (std::uint8_t p = 0; p < inst.arity(); ++p) {
+            const auto &prods = producers[i].port[p];
+            if (prods.size() != 1 || tokens[i][p] ||
+                g.inst(prods.front()).op != Opcode::kConst) {
+                foldable = false;
+                break;
+            }
+        }
+        if (foldable)
+            candidates.push_back(i);
+    }
+    return candidates;
+}
+
+void
+adviseFold(const DataflowGraph &g, VerifyReport &rep)
+{
+    for (const InstId i : foldCandidates(g)) {
+        rep.add(DiagCode::kFoldableConst, i,
+                verify_detail::msgf(
+                    "%s computes a constant: every input is a const",
+                    std::string(opcodeName(g.inst(i).op)).c_str()));
+    }
+}
+
+} // namespace analyze_detail
+} // namespace ws

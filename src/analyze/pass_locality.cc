@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Communication locality under a placement: a thin pass over
+ * Placement::edgeSpans(), recorded in the profile so wsa-opt reports
+ * and placement-quality comparisons share one census (Figure 8's
+ * traffic-distribution axis, measured statically).
+ */
+
+#include "analyze/passes.h"
+
+namespace ws {
+namespace analyze_detail {
+
+void
+runLocality(const DataflowGraph &g, const Placement &placement,
+            StaticProfile &profile)
+{
+    profile.spans = placement.edgeSpans(g);
+    profile.hasLocality = true;
+}
+
+} // namespace analyze_detail
+} // namespace ws

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Wave-ordered memory chain depths. Every wave a thread issues must
+ * retire its region's full ordering chain through the store buffer
+ * (issueWidth chain ops per cycle), so the chain lengths are the
+ * serialization floor of the memory system: the longest chain bounds a
+ * single wave's memory latency, the shortest bounds how little chain
+ * work any wave can get away with (which is what the throughput bound
+ * may safely assume).
+ */
+
+#include <algorithm>
+
+#include "analyze/passes.h"
+
+namespace ws {
+namespace analyze_detail {
+
+void
+runMemChain(const DataflowGraph &g, StaticProfile &profile)
+{
+    for (const std::vector<InstId> &chain : g.memRegions()) {
+        if (chain.empty())
+            continue;
+        const Counter len = chain.size();
+        profile.memChainDepth = std::max(profile.memChainDepth, len);
+        ++profile.memRegionCount;
+
+        const InstId head = chain.front();
+        if (head >= g.size())
+            continue;
+        const ThreadId t = g.inst(head).thread;
+        if (t >= profile.threads.size())
+            continue;
+        ThreadProfile &tp = profile.threads[t];
+        tp.memChainDepth = std::max(tp.memChainDepth, len);
+        tp.minChainLen =
+            tp.minChainLen == 0 ? len : std::min(tp.minChainLen, len);
+        ++tp.memRegionCount;
+    }
+}
+
+} // namespace analyze_detail
+} // namespace ws

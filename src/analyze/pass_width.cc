@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Width/ILP histogram: how many instructions (and how many useful ones
+ * — the single AIPC-numerator definition from opcodeClass()) sit at
+ * each ASAP level. The peak useful width is the most instruction-level
+ * parallelism one wave of the graph can expose to the fabric.
+ */
+
+#include <algorithm>
+
+#include "analyze/passes.h"
+
+namespace ws {
+namespace analyze_detail {
+
+void
+runWidth(const DataflowGraph &g, const Levelization &lv,
+         StaticProfile &profile)
+{
+    if (g.size() == 0)
+        return;
+    const std::size_t levels = static_cast<std::size_t>(lv.maxLevel) + 1;
+    profile.widthHist.assign(levels, 0);
+    profile.usefulWidthHist.assign(levels, 0);
+
+    // Per-thread level histograms for the per-thread peaks.
+    std::vector<std::vector<Counter>> threadHist(
+        profile.threads.size(), std::vector<Counter>(levels, 0));
+    std::vector<std::vector<Counter>> threadUsefulHist(
+        profile.threads.size(), std::vector<Counter>(levels, 0));
+
+    for (InstId i = 0; i < g.size(); ++i) {
+        const Instruction &inst = g.inst(i);
+        const std::uint32_t level = lv.asap[i];
+        ++profile.widthHist[level];
+        const bool useful = isUsefulOp(inst.op);
+        if (useful)
+            ++profile.usefulWidthHist[level];
+        if (inst.thread < threadHist.size()) {
+            ++threadHist[inst.thread][level];
+            if (useful)
+                ++threadUsefulHist[inst.thread][level];
+        }
+    }
+
+    for (std::size_t l = 0; l < levels; ++l) {
+        profile.peakWidth =
+            std::max(profile.peakWidth, profile.widthHist[l]);
+        profile.peakUsefulWidth = std::max(profile.peakUsefulWidth,
+                                           profile.usefulWidthHist[l]);
+    }
+    for (std::size_t t = 0; t < profile.threads.size(); ++t) {
+        ThreadProfile &tp = profile.threads[t];
+        for (std::size_t l = 0; l < levels; ++l) {
+            tp.peakWidth = std::max(tp.peakWidth, threadHist[t][l]);
+            tp.peakUsefulWidth =
+                std::max(tp.peakUsefulWidth, threadUsefulHist[t][l]);
+        }
+    }
+    profile.avgUsefulWidth =
+        static_cast<double>(profile.mix.useful) /
+        static_cast<double>(levels);
+}
+
+} // namespace analyze_detail
+} // namespace ws

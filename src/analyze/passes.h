@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Internal pass entry points of the static analyzer. Like the verifier
+ * passes, each one appends to a shared result and assumes nothing about
+ * the others having run; unlike them, the analyzer requires a graph
+ * that already passed structural verification (analyzeGraph() is only
+ * called on verified graphs, so instruction ids and ports are trusted).
+ */
+
+#ifndef WS_ANALYZE_PASSES_H_
+#define WS_ANALYZE_PASSES_H_
+
+#include <array>
+#include <vector>
+
+#include "analyze/profile.h"
+#include "isa/graph.h"
+#include "verify/diagnostic.h"
+
+namespace ws {
+namespace analyze_detail {
+
+/**
+ * Shared levelization scratch: the DAG view of the graph (back edges of
+ * loops dropped), per-instruction ASAP/ALAP levels and latency-weighted
+ * depths, and the loop-shape facts the bound needs.
+ */
+struct Levelization
+{
+    std::vector<std::uint32_t> asap;   ///< ASAP level per instruction.
+    std::vector<std::uint32_t> alap;   ///< ALAP level per instruction.
+    std::vector<Counter> depth;        ///< Latency-weighted finish time.
+    std::uint32_t maxLevel = 0;
+    Counter backEdges = 0;
+
+    std::vector<bool> inCycle;         ///< Instruction sits on a cycle.
+    std::vector<bool> perWave;         ///< In or downstream of a cycle:
+                                       ///  re-executes every wave.
+    /** Shortest latency of a cycle through a wave-advance, per thread
+     *  (0 = thread acyclic): the wave initiation interval floor. */
+    std::vector<Counter> minCycleLatency;
+};
+
+/** Build the levelization (pass_critpath.cc). */
+Levelization levelize(const DataflowGraph &g);
+
+/** Critical-path / loop-shape numbers into the profile. */
+void runCritPath(const DataflowGraph &g, const Levelization &lv,
+                 StaticProfile &profile);
+
+/** Width/ILP histograms (pass_width.cc). */
+void runWidth(const DataflowGraph &g, const Levelization &lv,
+              StaticProfile &profile);
+
+/** Wave-ordered chain depths (pass_memchain.cc). */
+void runMemChain(const DataflowGraph &g, StaticProfile &profile);
+
+/** Edge-span census under a placement (pass_locality.cc). */
+void runLocality(const DataflowGraph &g, const Placement &placement,
+                 StaticProfile &profile);
+
+// Optimization-opportunity detection. Each detector returns candidate
+// instruction ids; the advice wrappers report them as WS5xx notes and
+// the rewriter consumes the same lists, so advice and rewrite can never
+// disagree about what is optimizable.
+
+/** Static producers of each input port (pass_fold.cc). */
+struct PortProducers
+{
+    std::array<std::vector<InstId>, 3> port;
+};
+std::vector<PortProducers> producerIndex(const DataflowGraph &g);
+
+/** tokenPorts(g)[i][p]: an initial token targets (inst i, port p). */
+std::vector<std::array<bool, 3>> tokenPorts(const DataflowGraph &g);
+
+/** Pure compute ops whose every input is a single kConst (pass_fold.cc). */
+std::vector<InstId> foldCandidates(const DataflowGraph &g);
+
+/** Liveness mask: true = value can reach a sink or memory effect
+ *  (pass_dce.cc). Memory ops and sinks are always live roots. */
+std::vector<bool> liveMask(const DataflowGraph &g);
+
+/** Single-consumer movs whose producer could feed the consumer
+ *  directly (pass_copychain.cc). */
+std::vector<InstId> copyCandidates(const DataflowGraph &g);
+
+/** Advice wrappers: report each candidate as a WS5xx note. */
+void adviseFold(const DataflowGraph &g, VerifyReport &rep);
+void adviseDce(const DataflowGraph &g, VerifyReport &rep);
+void adviseCopyChain(const DataflowGraph &g, VerifyReport &rep);
+
+} // namespace analyze_detail
+} // namespace ws
+
+#endif // WS_ANALYZE_PASSES_H_

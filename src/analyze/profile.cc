@@ -1,0 +1,236 @@
+#include "analyze/profile.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "analyze/passes.h"
+
+namespace ws {
+
+using analyze_detail::Levelization;
+
+StaticProfile
+analyzeGraph(const DataflowGraph &g)
+{
+    StaticProfile profile;
+    profile.graph = g.name();
+    profile.numThreads = g.numThreads();
+    profile.mix = g.mix();
+    profile.threads.resize(g.numThreads());
+    for (ThreadId t = 0; t < g.numThreads(); ++t) {
+        profile.threads[t].thread = t;
+        profile.threads[t].mix = g.threadMix(t);
+    }
+
+    const Levelization lv = analyze_detail::levelize(g);
+    analyze_detail::runCritPath(g, lv, profile);
+    analyze_detail::runWidth(g, lv, profile);
+    analyze_detail::runMemChain(g, profile);
+    return profile;
+}
+
+StaticProfile
+analyzeGraph(const DataflowGraph &g, const Placement &placement)
+{
+    StaticProfile profile = analyzeGraph(g);
+    analyze_detail::runLocality(g, placement, profile);
+    return profile;
+}
+
+double
+staticAipcBound(const StaticProfile &profile, const MachineBoundParams &m)
+{
+    double sum = 0.0;
+    for (const ThreadProfile &tp : profile.threads) {
+        const double useful = static_cast<double>(tp.mix.useful);
+        if (useful == 0.0)
+            continue;
+        double bound = 0.0;
+        if (!tp.cyclic) {
+            // Straight-line thread: every instruction fires once and
+            // the run takes at least the critical path.
+            const double depth = static_cast<double>(
+                std::max<Counter>(tp.critPathLatency, 1));
+            bound = useful / depth;
+        } else {
+            // Looping thread: the steady state is waves retiring at
+            // rate r, each re-executing the per-wave instructions.
+            // r <= 1/lambda (the loop-carried recurrence) and the
+            // store buffer must retire a full ordering chain per wave
+            // at sbIssueWidth ops/cycle. The one-shot remainder
+            // (prologue/epilogue) amortizes over the critical path.
+            const double lambda = static_cast<double>(
+                std::max<Counter>(tp.minCycleLatency, 1));
+            double rate = 1.0 / lambda;
+            if (tp.minChainLen > 0) {
+                rate = std::min(
+                    rate, m.sbIssueWidth /
+                              static_cast<double>(tp.minChainLen));
+            }
+            const double perWave =
+                static_cast<double>(tp.perWaveUseful);
+            const double once = useful - perWave;
+            const double depth = static_cast<double>(
+                std::max<Counter>(tp.critPathLatency, 1));
+            bound = std::min(useful, perWave * rate + once / depth);
+        }
+        sum += bound;
+    }
+    // Machine issue ceiling: one instruction per PE per cycle.
+    return std::min(sum, m.totalPes);
+}
+
+std::string
+renderProfile(const StaticProfile &p)
+{
+    std::ostringstream out;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%s: %llu insts (%llu useful), "
+                  "%u thread%s\n",
+                  p.graph.c_str(),
+                  static_cast<unsigned long long>(p.mix.total),
+                  static_cast<unsigned long long>(p.mix.useful),
+                  p.numThreads, p.numThreads == 1 ? "" : "s");
+    out << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  mix: %llu compute / %llu memory / %llu control / "
+                  "%llu plumbing (%llu fp)\n",
+                  static_cast<unsigned long long>(p.mix.compute),
+                  static_cast<unsigned long long>(p.mix.memory),
+                  static_cast<unsigned long long>(p.mix.control),
+                  static_cast<unsigned long long>(p.mix.plumbing),
+                  static_cast<unsigned long long>(p.mix.fp));
+    out << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  levels %llu, crit path %llu cycles, width peak "
+                  "%llu (useful %llu, avg %.2f), back edges %llu\n",
+                  static_cast<unsigned long long>(p.levels),
+                  static_cast<unsigned long long>(p.critPathLatency),
+                  static_cast<unsigned long long>(p.peakWidth),
+                  static_cast<unsigned long long>(p.peakUsefulWidth),
+                  p.avgUsefulWidth,
+                  static_cast<unsigned long long>(p.backEdges));
+    out << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  memory: %llu ordering chains, depth max %llu\n",
+                  static_cast<unsigned long long>(p.memRegionCount),
+                  static_cast<unsigned long long>(p.memChainDepth));
+    out << buf;
+    for (const ThreadProfile &tp : p.threads) {
+        std::snprintf(buf, sizeof(buf),
+                      "  t%u: %llu useful, crit %llu, %s, per-wave "
+                      "%llu useful / lambda %llu, chains %llu "
+                      "[%llu..%llu]\n",
+                      tp.thread,
+                      static_cast<unsigned long long>(tp.mix.useful),
+                      static_cast<unsigned long long>(
+                          tp.critPathLatency),
+                      tp.cyclic ? "cyclic" : "acyclic",
+                      static_cast<unsigned long long>(tp.perWaveUseful),
+                      static_cast<unsigned long long>(
+                          tp.minCycleLatency),
+                      static_cast<unsigned long long>(
+                          tp.memRegionCount),
+                      static_cast<unsigned long long>(tp.minChainLen),
+                      static_cast<unsigned long long>(
+                          tp.memChainDepth));
+        out << buf;
+    }
+    if (p.hasLocality) {
+        std::snprintf(buf, sizeof(buf),
+                      "  locality: %llu edges: %llu pe / %llu pod / "
+                      "%llu domain / %llu cluster / %llu grid\n",
+                      static_cast<unsigned long long>(p.spans.total),
+                      static_cast<unsigned long long>(p.spans.intraPe),
+                      static_cast<unsigned long long>(p.spans.intraPod),
+                      static_cast<unsigned long long>(
+                          p.spans.intraDomain),
+                      static_cast<unsigned long long>(
+                          p.spans.intraCluster),
+                      static_cast<unsigned long long>(
+                          p.spans.interCluster));
+        out << buf;
+    }
+    return out.str();
+}
+
+namespace {
+
+Json
+mixToJson(const InstructionMix &m)
+{
+    Json j = Json::object();
+    j["total"] = m.total;
+    j["useful"] = m.useful;
+    j["compute"] = m.compute;
+    j["memory"] = m.memory;
+    j["control"] = m.control;
+    j["plumbing"] = m.plumbing;
+    j["fp"] = m.fp;
+    j["memory_all"] = m.memoryAll;
+    return j;
+}
+
+} // namespace
+
+Json
+profileToJson(const StaticProfile &p)
+{
+    Json j = Json::object();
+    j["graph"] = p.graph;
+    j["threads"] = static_cast<std::uint64_t>(p.numThreads);
+    j["mix"] = mixToJson(p.mix);
+    j["levels"] = p.levels;
+    j["crit_path_latency"] = p.critPathLatency;
+    j["peak_width"] = p.peakWidth;
+    j["peak_useful_width"] = p.peakUsefulWidth;
+    j["avg_useful_width"] = p.avgUsefulWidth;
+    j["back_edges"] = p.backEdges;
+    j["mem_chain_depth"] = p.memChainDepth;
+    j["mem_regions"] = p.memRegionCount;
+
+    Json hist = Json::array();
+    for (const Counter w : p.widthHist)
+        hist.push(w);
+    j["width_hist"] = std::move(hist);
+    Json uhist = Json::array();
+    for (const Counter w : p.usefulWidthHist)
+        uhist.push(w);
+    j["useful_width_hist"] = std::move(uhist);
+
+    Json threads = Json::array();
+    for (const ThreadProfile &tp : p.threads) {
+        Json t = Json::object();
+        t["thread"] = static_cast<std::uint64_t>(tp.thread);
+        t["mix"] = mixToJson(tp.mix);
+        t["crit_path_latency"] = tp.critPathLatency;
+        t["levels"] = tp.levels;
+        t["peak_width"] = tp.peakWidth;
+        t["peak_useful_width"] = tp.peakUsefulWidth;
+        t["cyclic"] = tp.cyclic;
+        t["min_cycle_latency"] = tp.minCycleLatency;
+        t["per_wave_useful"] = tp.perWaveUseful;
+        t["per_wave_mem_ops"] = tp.perWaveMemOps;
+        t["mem_chain_depth"] = tp.memChainDepth;
+        t["min_chain_len"] = tp.minChainLen;
+        t["mem_regions"] = tp.memRegionCount;
+        threads.push(std::move(t));
+    }
+    j["per_thread"] = std::move(threads);
+
+    if (p.hasLocality) {
+        Json loc = Json::object();
+        loc["edges"] = p.spans.total;
+        loc["intra_pe"] = p.spans.intraPe;
+        loc["intra_pod"] = p.spans.intraPod;
+        loc["intra_domain"] = p.spans.intraDomain;
+        loc["intra_cluster"] = p.spans.intraCluster;
+        loc["inter_cluster"] = p.spans.interCluster;
+        loc["weighted_cost"] = p.spans.weightedCost;
+        j["locality"] = std::move(loc);
+    }
+    return j;
+}
+
+} // namespace ws

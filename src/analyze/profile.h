@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Static analysis over a verified DataflowGraph: "what is this graph
+ * worth?" where src/verify answers "is this graph legal?".
+ *
+ * analyzeGraph() runs the collect-all analysis passes (mirroring the
+ * verifier's pass architecture) and returns a StaticProfile:
+ *
+ *  - ASAP/ALAP levelization and the latency-weighted dataflow critical
+ *    path, per thread and whole-graph (back edges of loops dropped);
+ *  - width/ILP histogram: instructions per ASAP level, total and useful;
+ *  - wave-ordered memory chain depths (the store-buffer serialization
+ *    floor of each thread);
+ *  - loop shape: which instructions re-execute every wave and the
+ *    minimum latency of a wave-advance recurrence (the initiation
+ *    interval floor);
+ *  - communication locality under a Placement (edge-span census).
+ *
+ * staticAipcBound() turns a profile plus a machine summary into an
+ * upper estimate of the AIPC any simulation of that graph can reach on
+ * that machine; the sweep engine uses it to skip provably-dominated
+ * thread-count candidates (see ARCHITECTURE.md §8 for the soundness
+ * argument and its deliberate approximations).
+ */
+
+#ifndef WS_ANALYZE_PROFILE_H_
+#define WS_ANALYZE_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/types.h"
+#include "isa/graph.h"
+#include "place/placement.h"
+
+namespace ws {
+
+/** Per-thread slice of the static profile. */
+struct ThreadProfile
+{
+    ThreadId thread = 0;
+    InstructionMix mix;
+
+    Counter critPathLatency = 0;  ///< Latency-weighted ASAP depth D_t.
+    Counter levels = 0;           ///< ASAP level count.
+    Counter peakWidth = 0;        ///< Widest ASAP level.
+    Counter peakUsefulWidth = 0;  ///< Widest useful slice of a level.
+
+    bool cyclic = false;          ///< Thread contains a dataflow loop.
+    Counter minCycleLatency = 0;  ///< Shortest wave-advance recurrence
+                                  ///  (0 when acyclic): the initiation
+                                  ///  interval floor of the loop.
+    Counter perWaveUseful = 0;    ///< Useful insts that re-execute every
+                                  ///  wave (in or downstream of a loop).
+    Counter perWaveMemOps = 0;    ///< Chain ops re-executed every wave.
+
+    Counter memChainDepth = 0;    ///< Longest wave-ordering chain L_t.
+    Counter minChainLen = 0;      ///< Shortest registered chain.
+    Counter memRegionCount = 0;
+};
+
+/** Collect-all result of the static analysis passes over one graph. */
+struct StaticProfile
+{
+    std::string graph;
+    std::uint16_t numThreads = 1;
+    InstructionMix mix;
+
+    Counter critPathLatency = 0;  ///< Max over threads.
+    Counter levels = 0;           ///< Whole-graph ASAP level count.
+    Counter peakWidth = 0;
+    Counter peakUsefulWidth = 0;
+    double avgUsefulWidth = 0.0;  ///< useful / levels.
+    Counter backEdges = 0;        ///< Cycle-closing edges dropped.
+
+    Counter memChainDepth = 0;    ///< Max over threads.
+    Counter memRegionCount = 0;
+
+    std::vector<Counter> widthHist;        ///< Insts per ASAP level.
+    std::vector<Counter> usefulWidthHist;  ///< Useful insts per level.
+    std::vector<std::uint32_t> asap;       ///< Per-inst ASAP level.
+    std::vector<std::uint32_t> alap;       ///< Per-inst ALAP level.
+
+    std::vector<ThreadProfile> threads;
+
+    bool hasLocality = false;     ///< edgeSpans populated (placement given).
+    EdgeSpanCounts spans;
+
+    /** Scheduling freedom of @p id (alap - asap). */
+    std::uint32_t slack(InstId id) const { return alap[id] - asap[id]; }
+};
+
+/** Run every analysis pass over @p g. */
+StaticProfile analyzeGraph(const DataflowGraph &g);
+
+/** Same, plus the locality pass under @p placement. */
+StaticProfile analyzeGraph(const DataflowGraph &g,
+                           const Placement &placement);
+
+/**
+ * The machine parameters the static bound consumes. Kept free of
+ * ProcessorConfig so ws_analyze does not depend on ws_core; the driver
+ * provides the bridge (driver/static_prune.h).
+ */
+struct MachineBoundParams
+{
+    double totalPes = 64;        ///< Each PE retires <=1 inst/cycle.
+    double sbIssueWidth = 4;     ///< Store-buffer chain ops/cycle.
+};
+
+/**
+ * Upper estimate of the AIPC any execution of the profiled graph can
+ * reach on machine @p m. Per thread: an acyclic thread executes each
+ * instruction once across at least its critical path, so its rate is
+ * useful/D_t; a looping thread is gated by the wave initiation interval
+ * (shortest wave-advance recurrence) and by the store buffer having to
+ * retire every wave's ordering chain. The sum is capped by machine
+ * issue width (one instruction per PE per cycle).
+ */
+double staticAipcBound(const StaticProfile &profile,
+                       const MachineBoundParams &m);
+
+/** Human-readable profile report (wsa-opt's report mode). */
+std::string renderProfile(const StaticProfile &profile);
+
+/** Machine-readable twin (wsa-opt --json; CI artifacts). */
+Json profileToJson(const StaticProfile &profile);
+
+} // namespace ws
+
+#endif // WS_ANALYZE_PROFILE_H_

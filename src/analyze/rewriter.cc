@@ -1,0 +1,182 @@
+#include "analyze/rewriter.h"
+
+#include <algorithm>
+
+#include "analyze/passes.h"
+#include "common/log.h"
+#include "isa/exec.h"
+
+namespace ws {
+
+using analyze_detail::copyCandidates;
+using analyze_detail::foldCandidates;
+using analyze_detail::liveMask;
+using analyze_detail::producerIndex;
+
+namespace {
+
+/** Erase every output edge of @p producer that targets @p ref. */
+void
+eraseEdge(Instruction &producer, const PortRef &ref)
+{
+    for (auto &side : producer.outs) {
+        side.erase(std::remove(side.begin(), side.end(), ref),
+                   side.end());
+    }
+}
+
+/**
+ * Fold this round's candidates: each becomes a kConst holding its
+ * computed value, keeping exactly one trigger edge (the port-0 const,
+ * whose tag matches the operands the instruction would have matched).
+ */
+Counter
+foldRound(DataflowGraph &g)
+{
+    const std::vector<InstId> candidates = foldCandidates(g);
+    const auto producers = producerIndex(g);
+    for (const InstId id : candidates) {
+        Instruction &inst = g.inst(id);
+        Operands in{};
+        for (std::uint8_t p = 0; p < inst.arity(); ++p)
+            in[p] = g.inst(producers[id].port[p].front()).imm;
+        const Value folded = evaluate(inst.op, inst.imm, in);
+
+        // Drop the port>=1 feeds; the port-0 const stays as trigger.
+        for (std::uint8_t p = 1; p < inst.arity(); ++p) {
+            eraseEdge(g.inst(producers[id].port[p].front()),
+                      PortRef{id, p});
+        }
+        inst.op = Opcode::kConst;
+        inst.imm = folded;
+    }
+    return candidates.size();
+}
+
+/** Bypass single-consumer movs: producers feed the consumer directly. */
+Counter
+bypassRound(DataflowGraph &g)
+{
+    Counter bypassed = 0;
+    for (const InstId id : copyCandidates(g)) {
+        // Recompute producers each step: bypassing one mov of a chain
+        // rewires the feeds of the next.
+        const auto producers = producerIndex(g);
+        if (g.inst(id).outs[0].size() != 1 ||
+            producers[id].port[0].empty()) {
+            continue;  // A previous bypass invalidated this candidate.
+        }
+        const PortRef dst = g.inst(id).outs[0].front();
+        for (const InstId p : producers[id].port[0]) {
+            for (auto &side : g.inst(p).outs) {
+                for (PortRef &out : side) {
+                    if (out == PortRef{id, 0})
+                        out = dst;
+                }
+            }
+        }
+        g.inst(id).outs[0].clear();  // Now unfed and feeding nothing.
+        ++bypassed;
+    }
+    return bypassed;
+}
+
+/** Disconnect this round's dead instructions (removal at compaction). */
+Counter
+dceRound(DataflowGraph &g, std::vector<bool> &removedMask)
+{
+    const std::vector<bool> live = liveMask(g);
+    Counter removed = 0;
+    for (InstId i = 0; i < g.size(); ++i) {
+        if (live[i] || removedMask[i])
+            continue;
+        removedMask[i] = true;
+        ++removed;
+        g.inst(i).outs[0].clear();
+        g.inst(i).outs[1].clear();
+    }
+    if (removed == 0)
+        return 0;
+    // Unhook live producers from the corpses.
+    for (InstId i = 0; i < g.size(); ++i) {
+        for (auto &side : g.inst(i).outs) {
+            side.erase(std::remove_if(side.begin(), side.end(),
+                                      [&](const PortRef &out) {
+                                          return removedMask[out.inst];
+                                      }),
+                       side.end());
+        }
+    }
+    return removed;
+}
+
+/** Rebuild the graph without the removed instructions. */
+DataflowGraph
+compact(const DataflowGraph &g, const std::vector<bool> &removedMask)
+{
+    std::vector<InstId> remap(g.size(), kInvalidInst);
+    DataflowGraph out(g.name(), g.numThreads());
+    for (InstId i = 0; i < g.size(); ++i) {
+        if (removedMask[i])
+            continue;
+        Instruction inst = g.inst(i);
+        remap[i] = out.addInstruction(std::move(inst));
+    }
+    for (InstId i = 0; i < out.size(); ++i) {
+        for (auto &side : out.inst(i).outs) {
+            for (PortRef &ref : side)
+                ref.inst = remap[ref.inst];
+        }
+    }
+    for (Token t : g.initialTokens()) {
+        if (t.dst.inst < g.size() && !removedMask[t.dst.inst]) {
+            t.dst.inst = remap[t.dst.inst];
+            out.addInitialToken(t);
+        }
+    }
+    for (const auto &[addr, value] : g.memInit())
+        out.addMemInit(addr, value);
+    for (std::vector<InstId> chain : g.memRegions()) {
+        for (InstId &member : chain)
+            member = remap[member];
+        out.addMemRegion(std::move(chain));
+    }
+    out.setExpectedSinkTokens(g.expectedSinkTokens());
+    return out;
+}
+
+} // namespace
+
+VerifyReport
+adviseGraph(const DataflowGraph &g)
+{
+    VerifyReport rep(g.name());
+    analyze_detail::adviseFold(g, rep);
+    analyze_detail::adviseDce(g, rep);
+    analyze_detail::adviseCopyChain(g, rep);
+    return rep;
+}
+
+RewriteStats
+optimizeGraph(DataflowGraph &g)
+{
+    RewriteStats stats;
+    std::vector<bool> removedMask(g.size(), false);
+    constexpr Counter kMaxRounds = 100;  // Fixpoint safety valve.
+    while (stats.rounds < kMaxRounds) {
+        ++stats.rounds;
+        const Counter folded = foldRound(g);
+        const Counter bypassed = bypassRound(g);
+        const Counter removed = dceRound(g, removedMask);
+        stats.folded += folded;
+        stats.bypassed += bypassed;
+        stats.removed += removed;
+        if (folded + bypassed + removed == 0)
+            break;
+    }
+    if (stats.changed())
+        g = compact(g, removedMask);
+    return stats;
+}
+
+} // namespace ws

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The optimization side of the analyzer: report WS5xx advisories
+ * (adviseGraph) or actually perform the rewrites (optimizeGraph).
+ *
+ * Both consume the same candidate detectors (analyze/passes.h), so a
+ * graph optimizeGraph() has run to fixpoint produces zero WS5xx
+ * advisories by construction. Rewrites preserve observable semantics —
+ * sink values, final memory, and completion — and every rewritten
+ * graph must still pass the full WS1xx–WS4xx verifier; wsa-opt and the
+ * tests assert both.
+ */
+
+#ifndef WS_ANALYZE_REWRITER_H_
+#define WS_ANALYZE_REWRITER_H_
+
+#include "isa/graph.h"
+#include "verify/diagnostic.h"
+
+namespace ws {
+
+/** What optimizeGraph() did. */
+struct RewriteStats
+{
+    Counter folded = 0;     ///< Ops rewritten to kConst (WS501).
+    Counter bypassed = 0;   ///< Single-consumer movs removed (WS503).
+    Counter removed = 0;    ///< Dead instructions eliminated (WS502).
+    Counter rounds = 0;     ///< Fixpoint iterations.
+
+    bool changed() const { return folded + bypassed + removed != 0; }
+};
+
+/** Report every optimization opportunity as WS5xx notes (no rewrite). */
+VerifyReport adviseGraph(const DataflowGraph &g);
+
+/**
+ * Rewrite @p g in place: constant folding, copy-chain bypass, and
+ * dead-node elimination, iterated to fixpoint, then id compaction.
+ * Wave-ordering chains are never touched (memory ops are liveness
+ * roots), so the wave-ordered memory annotations survive verbatim.
+ */
+RewriteStats optimizeGraph(DataflowGraph &g);
+
+} // namespace ws
+
+#endif // WS_ANALYZE_REWRITER_H_

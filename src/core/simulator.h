@@ -28,6 +28,9 @@ struct SimResult
     Cycle cycles = 0;
     Counter useful = 0;      ///< Alpha-equivalent instructions executed.
     double aipc = 0.0;
+    bool pruned = false;     ///< Never simulated: the sweep engine
+                             ///  proved the point statically dominated
+                             ///  (SweepEngine::runGrouped).
     StatReport report;
 };
 

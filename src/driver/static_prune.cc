@@ -1,0 +1,50 @@
+#include "driver/static_prune.h"
+
+namespace ws {
+
+MachineBoundParams
+boundParams(const ProcessorConfig &cfg)
+{
+    MachineBoundParams m;
+    m.totalPes = static_cast<double>(cfg.totalPes());
+    m.sbIssueWidth = static_cast<double>(cfg.storeBuffer.issueWidth);
+    return m;
+}
+
+double
+staticAipcBound(const StaticProfile &profile, const ProcessorConfig &cfg)
+{
+    return staticAipcBound(profile, boundParams(cfg));
+}
+
+std::shared_ptr<const StaticProfile>
+ProfileCache::profileFor(const DataflowGraph &graph,
+                         std::uint64_t graphFp)
+{
+    if (graphFp == 0) {
+        return std::make_shared<const StaticProfile>(
+            analyzeGraph(graph));
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = map_.find(graphFp);
+        if (it != map_.end())
+            return it->second;
+    }
+    // Analyze outside the lock; a racing duplicate analysis is
+    // harmless (profiles are deterministic) and first-in wins.
+    auto profile =
+        std::make_shared<const StaticProfile>(analyzeGraph(graph));
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = map_.emplace(graphFp, std::move(profile));
+    return it->second;
+}
+
+std::size_t
+ProfileCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return map_.size();
+}
+
+} // namespace ws

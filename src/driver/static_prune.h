@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Bridge between the static analyzer and the sweep driver: turns a
+ * ProcessorConfig into the machine summary staticAipcBound() consumes
+ * (ws_analyze deliberately does not depend on ws_core), and memoizes
+ * StaticProfiles by graph fingerprint so a sweep over N configurations
+ * analyzes each program once, not N times.
+ */
+
+#ifndef WS_DRIVER_STATIC_PRUNE_H_
+#define WS_DRIVER_STATIC_PRUNE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "analyze/profile.h"
+#include "core/config.h"
+
+namespace ws {
+
+/** Machine summary of @p cfg for the static AIPC bound. */
+MachineBoundParams boundParams(const ProcessorConfig &cfg);
+
+/** staticAipcBound() against a full processor configuration. */
+double staticAipcBound(const StaticProfile &profile,
+                       const ProcessorConfig &cfg);
+
+/**
+ * Fingerprint-keyed StaticProfile memo (thread-safe). The fingerprint
+ * contract matches SimCache: same fingerprint, same program.
+ */
+class ProfileCache
+{
+  public:
+    /** Analyze @p graph (once per fingerprint) and return the profile.
+     *  A zero fingerprint disables memoization. */
+    std::shared_ptr<const StaticProfile>
+    profileFor(const DataflowGraph &graph, std::uint64_t graphFp);
+
+    std::size_t size() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::uint64_t, std::shared_ptr<const StaticProfile>> map_;
+};
+
+} // namespace ws
+
+#endif // WS_DRIVER_STATIC_PRUNE_H_

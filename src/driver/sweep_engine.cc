@@ -1,5 +1,6 @@
 #include "driver/sweep_engine.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -101,6 +102,117 @@ SweepEngine::run(const std::vector<SimJob> &jobs)
     stats_.jobsSubmitted += jobs.size();
     stats_.simulated += todo.size();
     stats_.cacheHits += batch_hits;
+    stats_.wallMs +=
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    return results;
+}
+
+std::vector<SimResult>
+SweepEngine::runGrouped(const std::vector<SimJob> &jobs,
+                        const std::vector<std::size_t> &groupEnd,
+                        const PruneOptions &prune)
+{
+    if (groupEnd.empty() || groupEnd.back() != jobs.size())
+        fatal("SweepEngine::runGrouped: groupEnd does not cover jobs");
+    for (std::size_t gi = 1; gi < groupEnd.size(); ++gi) {
+        if (groupEnd[gi] < groupEnd[gi - 1])
+            fatal("SweepEngine::runGrouped: groupEnd not ascending");
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<SimResult> results(jobs.size());
+    std::atomic<Counter> simulated{0};
+    std::atomic<Counter> hits{0};
+    std::atomic<Counter> pruned{0};
+    std::atomic<Counter> pruneErrors{0};
+
+    const std::size_t total = jobs.size();
+    std::atomic<std::size_t> done{0};
+    std::mutex progress_mutex;
+    auto tick = [&] {
+        const std::size_t d =
+            done.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (opts_.progress && total > 1) {
+            std::lock_guard<std::mutex> lock(progress_mutex);
+            reportProgress(d, total,
+                           hits.load(std::memory_order_relaxed));
+        }
+    };
+
+    // One group: candidates in descending-bound order (deterministic —
+    // a pure function of the jobs), so the likely winner simulates
+    // first and later candidates face the hardest pruning test. A
+    // pruned candidate's true AIPC is <= its bound < the group's best
+    // simulated AIPC, so any best-of-group reduction (including
+    // first-strict-max tie-breaks over the original candidate order)
+    // is unchanged.
+    auto processGroup = [&](std::size_t gi) {
+        const std::size_t begin = gi == 0 ? 0 : groupEnd[gi - 1];
+        const std::size_t end = groupEnd[gi];
+        std::vector<std::size_t> order;
+        order.reserve(end - begin);
+        for (std::size_t i = begin; i < end; ++i)
+            order.push_back(i);
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::size_t a, std::size_t b) {
+                             return jobs[a].staticBound >
+                                    jobs[b].staticBound;
+                         });
+
+        double best = 0.0;
+        for (const std::size_t i : order) {
+            const SimJob &job = jobs[i];
+            if (job.graph == nullptr)
+                fatal("SweepEngine: job %zu has no graph", i);
+            if (prune.enabled && job.staticBound > 0.0 &&
+                job.staticBound * (1.0 + prune.margin) < best) {
+                results[i].pruned = true;
+                pruned.fetch_add(1, std::memory_order_relaxed);
+                tick();
+                continue;
+            }
+            bool cached = false;
+            SimCache::Key key{};
+            if (job.graphFp != 0) {
+                key = SimCache::Key{job.graphFp, job.cfg.fingerprint(),
+                                    job.maxCycles};
+                cached = cache_.lookup(key, &results[i]);
+            }
+            if (cached) {
+                hits.fetch_add(1, std::memory_order_relaxed);
+            } else {
+                SimOptions sim_opts;
+                sim_opts.maxCycles = job.maxCycles;
+                results[i] = runSimulation(*job.graph, job.cfg,
+                                           sim_opts);
+                if (job.graphFp != 0)
+                    cache_.insert(key, results[i]);
+                simulated.fetch_add(1, std::memory_order_relaxed);
+            }
+            if (job.staticBound > 0.0 &&
+                results[i].aipc > job.staticBound) {
+                pruneErrors.fetch_add(1, std::memory_order_relaxed);
+            }
+            best = std::max(best, results[i].aipc);
+            tick();
+        }
+    };
+
+    if (jobs_ <= 1 || groupEnd.size() <= 1) {
+        for (std::size_t gi = 0; gi < groupEnd.size(); ++gi)
+            processGroup(gi);
+    } else {
+        if (pool_ == nullptr)
+            pool_ = std::make_unique<ThreadPool>(jobs_);
+        parallelFor(*pool_, groupEnd.size(), processGroup);
+    }
+
+    const auto t1 = std::chrono::steady_clock::now();
+    stats_.jobsSubmitted += jobs.size();
+    stats_.simulated += simulated.load();
+    stats_.cacheHits += hits.load();
+    stats_.pruned += pruned.load();
+    stats_.pruneErrors += pruneErrors.load();
     stats_.wallMs +=
         std::chrono::duration<double, std::milli>(t1 - t0).count();
     return results;

@@ -41,6 +41,13 @@ struct SimJob
      * graph, at the cost of re-simulating.
      */
     std::uint64_t graphFp = 0;
+
+    /**
+     * Static upper bound on this job's achievable AIPC (see
+     * analyze/profile.h), used only by runGrouped() pruning. 0 means
+     * unknown — the job is then never pruned.
+     */
+    double staticBound = 0.0;
 };
 
 /** Cumulative engine statistics across run() batches. */
@@ -49,6 +56,10 @@ struct SweepStats
     Counter jobsSubmitted = 0;
     Counter simulated = 0;     ///< Actually executed (cache misses).
     Counter cacheHits = 0;
+    Counter pruned = 0;        ///< Skipped: static bound below the
+                               ///  group's best simulated AIPC.
+    Counter pruneErrors = 0;   ///< Simulated AIPC exceeded its own
+                               ///  static bound (bound too tight).
     double wallMs = 0.0;       ///< Wall-clock spent inside run().
 };
 
@@ -75,6 +86,38 @@ class SweepEngine
 
     /** Convenience wrapper for a single point. */
     SimResult runOne(const SimJob &job);
+
+    /** Bound-based pruning policy for runGrouped(). */
+    struct PruneOptions
+    {
+        bool enabled = false;
+
+        /**
+         * Safety margin: a candidate is skipped only when
+         * bound * (1 + margin) < best-so-far. The bound is an upper
+         * estimate with documented approximations (ARCHITECTURE.md
+         * §8), so the margin buys slack; prune decisions stay
+         * deterministic because bounds are pure functions of the job.
+         */
+        double margin = 0.25;
+    };
+
+    /**
+     * Run jobs partitioned into reduction groups: @p groupEnd holds the
+     * exclusive end index of each group (ascending; last == jobs.size()).
+     * Groups run concurrently, but within a group candidates run in
+     * bound order (best first) so that, when pruning is enabled, a
+     * candidate whose staticBound cannot beat the group's best already
+     * simulated AIPC is skipped: its result has pruned = true and zero
+     * AIPC. Skipping is sound for best-of-group reductions — a pruned
+     * candidate's true AIPC is strictly below the group's maximum — and
+     * with pruning disabled results are identical to run(). Results are
+     * indexed exactly like @p jobs either way.
+     */
+    std::vector<SimResult> runGrouped(
+        const std::vector<SimJob> &jobs,
+        const std::vector<std::size_t> &groupEnd,
+        const PruneOptions &prune);
 
     SimCache &cache() { return cache_; }
     const SweepStats &stats() const { return stats_; }

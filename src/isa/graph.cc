@@ -18,15 +18,60 @@ DataflowGraph::threadSize(ThreadId t) const
     return n;
 }
 
+namespace {
+
+void
+tally(InstructionMix &mix, const Instruction &inst)
+{
+    ++mix.total;
+    switch (opcodeClass(inst.op)) {
+      case OpClass::kCompute:
+        ++mix.compute;
+        ++mix.useful;
+        break;
+      case OpClass::kMemory:
+        ++mix.memory;
+        ++mix.useful;
+        break;
+      case OpClass::kControl:
+        ++mix.control;
+        break;
+      case OpClass::kPlumbing:
+        ++mix.plumbing;
+        break;
+    }
+    if (opcodeInfo(inst.op).floatingPoint)
+        ++mix.fp;
+    if (isMemoryOp(inst.op))
+        ++mix.memoryAll;
+}
+
+} // namespace
+
 std::size_t
 DataflowGraph::usefulSize() const
 {
-    std::size_t n = 0;
+    return static_cast<std::size_t>(mix().useful);
+}
+
+InstructionMix
+DataflowGraph::mix() const
+{
+    InstructionMix m;
+    for (const auto &inst : insts_)
+        tally(m, inst);
+    return m;
+}
+
+InstructionMix
+DataflowGraph::threadMix(ThreadId t) const
+{
+    InstructionMix m;
     for (const auto &inst : insts_) {
-        if (inst.useful())
-            ++n;
+        if (inst.thread == t)
+            tally(m, inst);
     }
-    return n;
+    return m;
 }
 
 void
@@ -43,25 +88,21 @@ StatReport
 DataflowGraph::staticStats() const
 {
     StatReport r;
-    r.add("static.instructions", static_cast<Counter>(insts_.size()));
-    r.add("static.useful", static_cast<Counter>(usefulSize()));
+    const InstructionMix m = mix();
+    r.add("static.instructions", m.total);
+    r.add("static.useful", m.useful);
     r.add("static.threads", static_cast<Counter>(numThreads_));
     r.add("static.initial_tokens",
           static_cast<Counter>(initialTokens_.size()));
+    r.add("static.memory_ops", m.memoryAll);
+    r.add("static.fp_ops", m.fp);
+    r.add("static.control_ops", m.control);
+    r.add("static.plumbing_ops", m.plumbing);
 
     std::vector<Counter> by_op(static_cast<std::size_t>(Opcode::kNumOpcodes),
                                0);
-    Counter mem_ops = 0;
-    Counter fp_ops = 0;
-    for (const auto &inst : insts_) {
+    for (const auto &inst : insts_)
         ++by_op[static_cast<std::size_t>(inst.op)];
-        if (isMemoryOp(inst.op))
-            ++mem_ops;
-        if (opcodeInfo(inst.op).floatingPoint)
-            ++fp_ops;
-    }
-    r.add("static.memory_ops", mem_ops);
-    r.add("static.fp_ops", fp_ops);
     for (std::size_t i = 0; i < by_op.size(); ++i) {
         if (by_op[i] != 0) {
             r.add("static.op." +

@@ -24,6 +24,25 @@
 namespace ws {
 
 /**
+ * Instruction-mix census of a graph (or one thread of it), bucketed by
+ * opcodeClass(). This is the single definition of the AIPC numerator:
+ * usefulSize(), staticStats(), and the analyzer's width pass all count
+ * through mix(), so "useful" can never drift between them.
+ */
+struct InstructionMix
+{
+    Counter total = 0;
+    Counter useful = 0;    ///< compute + memory (the AIPC numerator).
+    Counter compute = 0;
+    Counter memory = 0;    ///< Useful memory ops (load, store_addr).
+    Counter control = 0;   ///< steer, wave_advance.
+    Counter plumbing = 0;  ///< nop, sink, store_data, mem_nop.
+    Counter fp = 0;        ///< Floating-point subset of compute.
+    Counter memoryAll = 0; ///< Every store-buffer op incl. the overhead
+                           ///  halves (store_data, mem_nop).
+};
+
+/**
  * An executable dataflow program.
  *
  * Construction normally goes through GraphBuilder, which maintains the
@@ -93,6 +112,12 @@ class DataflowGraph
 
     /** Count of instructions whose opcode is "useful" (AIPC numerator). */
     std::size_t usefulSize() const;
+
+    /** Instruction-mix census over the whole graph. */
+    InstructionMix mix() const;
+
+    /** Instruction-mix census over thread @p t only. */
+    InstructionMix threadMix(ThreadId t) const;
 
     /**
      * Strict verification gate: run the static verifier (structural,

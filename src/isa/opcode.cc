@@ -93,4 +93,15 @@ opcodeName(Opcode op)
     return opcodeInfo(op).name;
 }
 
+OpClass
+opcodeClass(Opcode op)
+{
+    const OpcodeInfo &info = opcodeInfo(op);
+    if (info.useful)
+        return info.memory ? OpClass::kMemory : OpClass::kCompute;
+    if (op == Opcode::kSteer || op == Opcode::kWaveAdvance)
+        return OpClass::kControl;
+    return OpClass::kPlumbing;
+}
+
 } // namespace ws

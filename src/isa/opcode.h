@@ -88,6 +88,30 @@ isMemoryOp(Opcode op)
     return opcodeInfo(op).memory;
 }
 
+/**
+ * Coarse opcode classification for instruction-mix accounting. Derived
+ * from the kInfoTable bits, so the AIPC numerator ("useful") has exactly
+ * one definition: kCompute and kMemory count; kControl and kPlumbing are
+ * WaveScalar overhead, excluded from the metric as in the paper.
+ */
+enum class OpClass : std::uint8_t
+{
+    kCompute,   ///< Useful ALU/FP/select work (Alpha-equivalent).
+    kMemory,    ///< Useful memory interface ops (load, store_addr).
+    kControl,   ///< Tag plumbing: steer, wave_advance.
+    kPlumbing,  ///< Pure overhead: nop, sink, store_data, mem_nop.
+};
+
+/** Classify @p op (see OpClass). */
+OpClass opcodeClass(Opcode op);
+
+/** True when @p op counts toward AIPC (kCompute or kMemory). */
+inline bool
+isUsefulOp(Opcode op)
+{
+    return opcodeInfo(op).useful;
+}
+
 } // namespace ws
 
 #endif // WS_ISA_OPCODE_H_

@@ -1,0 +1,121 @@
+#include "kernels/ilp_variants.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "isa/graph_builder.h"
+
+namespace ws {
+
+namespace {
+
+using Node = GraphBuilder::Node;
+
+/** The shared input set: n program inputs from the seeded generator. */
+std::vector<Node>
+makeLeaves(GraphBuilder &b, const KernelParams &params, std::size_t n)
+{
+    Rng rng(params.seed);
+    std::vector<Node> leaves;
+    leaves.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        leaves.push_back(b.param(static_cast<Value>(rng.range(1u << 20))));
+    return leaves;
+}
+
+std::size_t
+reductionWidth(const KernelParams &params)
+{
+    return 256 * std::max<std::uint32_t>(1, params.scale);
+}
+
+/**
+ * Sum the leaves as @p width independent accumulator chains (leaves
+ * taken round-robin so every chain has ~n/width links), then merge the
+ * chain totals serially. Useful work is exactly n-1 ADDs for every
+ * width; the critical path shrinks from n-1 (width 1) to ~n/width.
+ */
+DataflowGraph
+buildChains(const KernelParams &params, unsigned width, const char *name)
+{
+    GraphBuilder b(name);
+    b.beginThread(0);
+    const std::size_t n = reductionWidth(params);
+    const std::vector<Node> leaves = makeLeaves(b, params, n);
+
+    std::vector<Node> totals;
+    for (unsigned c = 0; c < width; ++c) {
+        Node acc = leaves[c];
+        for (std::size_t i = c + width; i < n; i += width)
+            acc = b.add(acc, leaves[i]);
+        totals.push_back(acc);
+    }
+    Node sum = totals[0];
+    for (unsigned c = 1; c < width; ++c)
+        sum = b.add(sum, totals[c]);
+    b.sink(sum);
+    b.endThread();
+    return b.finish();
+}
+
+/** Sum the leaves pairwise: a log2(n)-deep balanced binary tree. */
+DataflowGraph
+buildTree(const KernelParams &params, const char *name)
+{
+    GraphBuilder b(name);
+    b.beginThread(0);
+    std::vector<Node> level = makeLeaves(b, params, reductionWidth(params));
+
+    while (level.size() > 1) {
+        std::vector<Node> next;
+        next.reserve(level.size() / 2 + 1);
+        for (std::size_t i = 0; i + 1 < level.size(); i += 2)
+            next.push_back(b.add(level[i], level[i + 1]));
+        if (level.size() % 2 != 0)
+            next.push_back(level.back());
+        level = std::move(next);
+    }
+    b.sink(level[0]);
+    b.endThread();
+    return b.finish();
+}
+
+} // namespace
+
+DataflowGraph
+buildIlpChain1(const KernelParams &params)
+{
+    return buildChains(params, 1, "ilp_chain1");
+}
+
+DataflowGraph
+buildIlpChain2(const KernelParams &params)
+{
+    return buildChains(params, 2, "ilp_chain2");
+}
+
+DataflowGraph
+buildIlpChain4(const KernelParams &params)
+{
+    return buildChains(params, 4, "ilp_chain4");
+}
+
+DataflowGraph
+buildIlpTree(const KernelParams &params)
+{
+    return buildTree(params, "ilp_tree");
+}
+
+const std::vector<Kernel> &
+ilpVariantKernels()
+{
+    static const std::vector<Kernel> kVariants = {
+        {"ilp_chain1", Suite::kSpec, false, buildIlpChain1},
+        {"ilp_chain2", Suite::kSpec, false, buildIlpChain2},
+        {"ilp_chain4", Suite::kSpec, false, buildIlpChain4},
+        {"ilp_tree", Suite::kSpec, false, buildIlpTree},
+    };
+    return kVariants;
+}
+
+} // namespace ws

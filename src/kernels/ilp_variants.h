@@ -1,0 +1,42 @@
+/**
+ * @file
+ * ILP-structure microbenchmark variants: four dataflow expressions of
+ * the same computation — a wide integer reduction — whose static
+ * dependency structure ranges from a fully serial accumulator chain to
+ * a balanced binary tree. All four execute exactly n-1 useful ADDs
+ * over the same seeded inputs and produce the same sum; only the
+ * critical-path length differs, so the variants isolate how much of a
+ * design's area buys *extractable* instruction-level parallelism.
+ *
+ * The serial variants have provably low static AIPC bounds
+ * (useful / critical-path, see analyze/profile.h), which makes the
+ * best-of-variants sweep the canonical demonstration of
+ * --prune-static: once the tree variant has simulated, the chain
+ * variants' bounds certify they cannot win the group.
+ *
+ * These kernels are deliberately NOT in kernelRegistry(): the
+ * registry mirrors the paper's fifteen-application suite and several
+ * harnesses (and pinned instruction-mix tests) iterate it exhaustively.
+ */
+
+#ifndef WS_KERNELS_ILP_VARIANTS_H_
+#define WS_KERNELS_ILP_VARIANTS_H_
+
+#include "kernels/kernel.h"
+
+namespace ws {
+
+/** The four reduction shapings, widest-parallelism last. Not part of
+ *  kernelRegistry(); suite membership is nominal. */
+const std::vector<Kernel> &ilpVariantKernels();
+
+// Individual builders (exposed for tests). The reduction width is
+// 256 * params.scale values; params.seed selects the input data.
+DataflowGraph buildIlpChain1(const KernelParams &);  ///< 1 serial chain.
+DataflowGraph buildIlpChain2(const KernelParams &);  ///< 2 chains, merged.
+DataflowGraph buildIlpChain4(const KernelParams &);  ///< 4 chains, merged.
+DataflowGraph buildIlpTree(const KernelParams &);    ///< Balanced tree.
+
+} // namespace ws
+
+#endif // WS_KERNELS_ILP_VARIANTS_H_

@@ -39,40 +39,52 @@ Placement::loadPerPe() const
 }
 
 double
-Placement::edgeLocality(const DataflowGraph &graph, int level) const
+EdgeSpanCounts::localFraction(int level) const
 {
-    std::uint64_t edges = 0;
-    std::uint64_t local = 0;
+    if (total == 0)
+        return 1.0;
+    std::uint64_t local = intraPe;
+    if (level >= 1)
+        local += intraPod;
+    if (level >= 2)
+        local += intraDomain;
+    if (level >= 3)
+        local += intraCluster;
+    return static_cast<double>(local) / static_cast<double>(total);
+}
+
+EdgeSpanCounts
+Placement::edgeSpans(const DataflowGraph &graph) const
+{
+    EdgeSpanCounts spans;
     for (InstId i = 0; i < graph.size(); ++i) {
         const PeCoord src = home(i);
-        for (int side = 0; side < 2; ++side) {
-            for (const PortRef &out : graph.inst(i).outs[side]) {
+        for (const auto &side : graph.inst(i).outs) {
+            for (const PortRef &out : side) {
                 const PeCoord dst = home(out.inst);
-                ++edges;
-                bool is_local = false;
-                switch (level) {
-                  case 0:  // Same PE.
-                    is_local = src == dst;
-                    break;
-                  case 1:  // Same pod.
-                    is_local = src.sameDomain(dst) &&
-                               src.pe / 2 == dst.pe / 2;
-                    break;
-                  case 2:  // Same domain.
-                    is_local = src.sameDomain(dst);
-                    break;
-                  default:  // Same cluster.
-                    is_local = src.sameCluster(dst);
-                    break;
-                }
-                if (is_local)
-                    ++local;
+                ++spans.total;
+                spans.weightedCost += static_cast<std::uint64_t>(
+                    edgeCost(src, dst, geom_));
+                if (src == dst)
+                    ++spans.intraPe;
+                else if (src.sameDomain(dst) && src.pe / 2 == dst.pe / 2)
+                    ++spans.intraPod;
+                else if (src.sameDomain(dst))
+                    ++spans.intraDomain;
+                else if (src.sameCluster(dst))
+                    ++spans.intraCluster;
+                else
+                    ++spans.interCluster;
             }
         }
     }
-    return edges == 0 ? 1.0
-                      : static_cast<double>(local) /
-                            static_cast<double>(edges);
+    return spans;
+}
+
+double
+Placement::edgeLocality(const DataflowGraph &graph, int level) const
+{
+    return edgeSpans(graph).localFraction(level);
 }
 
 namespace {

@@ -61,6 +61,27 @@ struct PlacementGeometry
     }
 };
 
+/**
+ * Census of graph edges by the smallest hardware level spanning both
+ * endpoints. Buckets are disjoint and sum to total: an intra-PE edge is
+ * not also counted as intra-pod. Cheap enough to recompute per placement;
+ * the analyzer's locality pass and Placement::edgeLocality() both derive
+ * their ratios from this one count.
+ */
+struct EdgeSpanCounts
+{
+    std::uint64_t total = 0;
+    std::uint64_t intraPe = 0;       ///< Producer and consumer share a PE.
+    std::uint64_t intraPod = 0;      ///< Same pod, different PE (bypass).
+    std::uint64_t intraDomain = 0;   ///< Same domain, different pod.
+    std::uint64_t intraCluster = 0;  ///< Same cluster, different domain.
+    std::uint64_t interCluster = 0;  ///< Crosses the cluster grid.
+    std::uint64_t weightedCost = 0;  ///< Sum of edgeCost() over all edges.
+
+    /** Fraction local at @p level: 0 PE, 1 pod, 2 domain, 3+ cluster. */
+    double localFraction(int level) const;
+};
+
 /** The result: a home PE for every static instruction. */
 class Placement
 {
@@ -90,6 +111,9 @@ class Placement
 
     /** Number of instructions assigned to each PE (diagnostics). */
     std::vector<std::uint32_t> loadPerPe() const;
+
+    /** Classify every graph edge by the hardware level it spans. */
+    EdgeSpanCounts edgeSpans(const DataflowGraph &graph) const;
 
     /** Fraction of graph edges whose endpoints share a PE/domain/cluster. */
     double edgeLocality(const DataflowGraph &graph, int level) const;

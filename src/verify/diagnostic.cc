@@ -25,6 +25,9 @@ diagSeverity(DiagCode code)
       case DiagCode::kCapacityExceeded:
         return Severity::kWarning;
       case DiagCode::kWideFanIn:
+      case DiagCode::kFoldableConst:
+      case DiagCode::kDeadValue:
+      case DiagCode::kCopyChain:
         return Severity::kNote;
       default:
         return Severity::kError;
@@ -98,6 +101,15 @@ diagCodeSummary(DiagCode code)
       case DiagCode::kCapacityExceeded:
         return "static program exceeds the machine's instruction-store "
                "capacity (virtualization thrash)";
+      case DiagCode::kFoldableConst:
+        return "pure instruction computes a compile-time constant "
+               "(all inputs are constants)";
+      case DiagCode::kDeadValue:
+        return "instruction's value reaches no sink or memory effect "
+               "(dead-node elimination candidate)";
+      case DiagCode::kCopyChain:
+        return "mov forwards a value its producer could deliver "
+               "directly (copy-chain bypass candidate)";
     }
     return "unknown diagnostic";
 }
@@ -130,6 +142,9 @@ allDiagCodes()
         DiagCode::kWideFanIn,
         DiagCode::kPortFanInPressure,
         DiagCode::kCapacityExceeded,
+        DiagCode::kFoldableConst,
+        DiagCode::kDeadValue,
+        DiagCode::kCopyChain,
     };
     return kCodes;
 }

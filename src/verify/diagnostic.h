@@ -38,6 +38,7 @@ enum class Severity : std::uint8_t
  *   WS2xx  wave-ordered memory chains (§3.3.1)
  *   WS3xx  flow         (reachability, retirement, deadlock)
  *   WS4xx  capacity     (matching-table / instruction-store lint)
+ *   WS5xx  optimization advisories (src/analyze rewrite passes)
  */
 enum class DiagCode : std::uint16_t
 {
@@ -72,6 +73,11 @@ enum class DiagCode : std::uint16_t
     kWideFanIn = 401,             ///< 3-operand rows vs 2-input tables.
     kPortFanInPressure = 402,     ///< >2 static producers on one port.
     kCapacityExceeded = 403,      ///< Program exceeds instruction stores.
+
+    // Optimization advisories (emitted by src/analyze, never by verify()).
+    kFoldableConst = 501,         ///< Pure op with all-constant inputs.
+    kDeadValue = 502,             ///< No path to a sink or memory effect.
+    kCopyChain = 503,             ///< Single-consumer mov is bypassable.
 };
 
 /** "WS101"-style label for @p code. */

@@ -1,0 +1,536 @@
+/**
+ * @file
+ * Tests for the static analysis & optimization subsystem (src/analyze):
+ * levelization and critical paths, width histograms, memory-chain and
+ * locality metrics, the WS5xx advisory passes, the semantics-preserving
+ * rewriter, and the static AIPC bound the sweep pruner relies on.
+ *
+ * The bound test is the load-bearing one: for every kernel at 1/2/4
+ * threads, a completed baseline simulation must measure
+ * aipc <= staticAipcBound * (1 + eps). If it ever fails, the
+ * --prune-static sweeps could skip a winning configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze/profile.h"
+#include "analyze/rewriter.h"
+#include "core/simulator.h"
+#include "driver/static_prune.h"
+#include "isa/assembly.h"
+#include "isa/graph_builder.h"
+#include "isa/interp.h"
+#include "kernels/kernel.h"
+#include "place/placement.h"
+#include "verify/verifier.h"
+
+namespace ws {
+namespace {
+
+DataflowGraph
+loadFixture(const std::string &name)
+{
+    std::ifstream in(std::string(WS_FIXTURE_DIR) + "/" + name);
+    EXPECT_TRUE(in.is_open()) << name;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return assemble(ss.str());
+}
+
+std::vector<DiagCode>
+adviceCodes(const DataflowGraph &g)
+{
+    const VerifyReport rep = adviseGraph(g);
+    std::vector<DiagCode> codes;
+    for (const Diagnostic &d : rep.diagnostics())
+        codes.push_back(d.code);
+    return codes;
+}
+
+/** Sorted sink values + final memory: the observable behavior. */
+struct Observed
+{
+    bool completed = false;
+    std::vector<Value> sinks;
+    std::map<Addr, Value> memory;
+
+    bool operator==(const Observed &o) const
+    {
+        return completed == o.completed && sinks == o.sinks &&
+               memory == o.memory;
+    }
+};
+
+Observed
+observe(const DataflowGraph &g)
+{
+    InterpResult r = interpret(g);
+    Observed o;
+    o.completed = r.completed;
+    o.sinks = std::move(r.sinkValues);
+    std::sort(o.sinks.begin(), o.sinks.end());
+    o.memory = std::move(r.memory);
+    return o;
+}
+
+// ---------------------------------------------------------------------
+// Levelization / critical path
+// ---------------------------------------------------------------------
+
+TEST(Levelization, AsapAlapAndSlackOnDiamond)
+{
+    GraphBuilder b("diamond");
+    b.beginThread(0);
+    auto p = b.param(10);
+    auto a = b.addi(p, 1);     // Long path: p -> a -> c -> sink.
+    auto c = b.muli(a, 2);
+    b.sink(c);
+    auto d = b.subi(p, 1);     // Short path: p -> d -> sink.
+    b.sink(d);
+    b.endThread();
+    const DataflowGraph g = b.finish();
+
+    const StaticProfile prof = analyzeGraph(g);
+    EXPECT_EQ(prof.asap[p.id], 0u);
+    EXPECT_EQ(prof.asap[a.id], 1u);
+    EXPECT_EQ(prof.asap[c.id], 2u);
+    EXPECT_EQ(prof.asap[d.id], 1u);
+    // The long chain is tight; the short branch has one level of slack.
+    EXPECT_EQ(prof.slack(p.id), 0u);
+    EXPECT_EQ(prof.slack(a.id), 0u);
+    EXPECT_EQ(prof.slack(c.id), 0u);
+    EXPECT_EQ(prof.slack(d.id), 1u);
+    // mov -> addi -> muli -> sink, unit latencies.
+    EXPECT_EQ(prof.critPathLatency, 4u);
+    EXPECT_EQ(prof.levels, 4u);
+    EXPECT_EQ(prof.backEdges, 0u);
+    ASSERT_EQ(prof.threads.size(), 1u);
+    EXPECT_FALSE(prof.threads[0].cyclic);
+    EXPECT_EQ(prof.threads[0].minCycleLatency, 0u);
+}
+
+TEST(Levelization, LoopIsCyclicWithWaveAdvanceRecurrence)
+{
+    GraphBuilder b("loop");
+    b.beginThread(0);
+    auto i0 = b.param(0);
+    auto loop = b.beginLoop({i0});
+    auto next = b.addi(loop.vars[0], 1);
+    auto cond = b.lti(next, 10);
+    b.endLoop(loop, {next}, cond);
+    b.sink(loop.exits[0]);
+    b.endThread();
+    const DataflowGraph g = b.finish();
+
+    const StaticProfile prof = analyzeGraph(g);
+    ASSERT_EQ(prof.threads.size(), 1u);
+    const ThreadProfile &tp = prof.threads[0];
+    EXPECT_TRUE(tp.cyclic);
+    EXPECT_GT(prof.backEdges, 0u);
+    // The recurrence goes through at least wave_advance + body op.
+    EXPECT_GE(tp.minCycleLatency, 2u);
+    EXPECT_GT(tp.perWaveUseful, 0u);
+    EXPECT_LE(tp.perWaveUseful, tp.mix.useful);
+}
+
+TEST(Levelization, HistogramsCoverEveryInstruction)
+{
+    const DataflowGraph g = findKernel("fft").build(KernelParams{});
+    const StaticProfile prof = analyzeGraph(g);
+
+    Counter total = 0;
+    for (Counter w : prof.widthHist)
+        total += w;
+    EXPECT_EQ(total, prof.mix.total);
+    Counter useful = 0;
+    Counter peak = 0;
+    for (Counter w : prof.usefulWidthHist) {
+        useful += w;
+        peak = std::max(peak, w);
+    }
+    EXPECT_EQ(useful, prof.mix.useful);
+    EXPECT_EQ(peak, prof.peakUsefulWidth);
+    EXPECT_EQ(prof.widthHist.size(), prof.levels);
+    EXPECT_GT(prof.avgUsefulWidth, 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Memory chains / locality
+// ---------------------------------------------------------------------
+
+TEST(MemChain, DepthTracksTheOrderingChain)
+{
+    GraphBuilder b("mem");
+    b.beginThread(0);
+    const Addr base = b.alloc(32);
+    b.initMem(base, 3);
+    auto p = b.param(static_cast<Value>(base));
+    auto v = b.load(p);
+    b.store(p, v, 8);
+    b.sink(v);
+    b.endThread();
+    const DataflowGraph g = b.finish();
+
+    const StaticProfile prof = analyzeGraph(g);
+    EXPECT_EQ(prof.memRegionCount, 1u);
+    // load + store_addr share the chain (store_data rides off-chain).
+    EXPECT_EQ(prof.memChainDepth, 2u);
+    ASSERT_EQ(prof.threads.size(), 1u);
+    EXPECT_EQ(prof.threads[0].minChainLen, 2u);
+    EXPECT_EQ(prof.threads[0].memChainDepth, 2u);
+}
+
+TEST(Locality, EdgeSpansPartitionTheEdgesAndMatchEdgeLocality)
+{
+    const DataflowGraph g = findKernel("fft").build(KernelParams{});
+    PlacementGeometry geom;
+    geom.clusters = 4;
+    const Placement pl =
+        place(g, geom, PlacementPolicy::kDepthFirst);
+
+    const StaticProfile prof = analyzeGraph(g, pl);
+    ASSERT_TRUE(prof.hasLocality);
+    const EdgeSpanCounts &s = prof.spans;
+    EXPECT_GT(s.total, 0u);
+    EXPECT_EQ(s.intraPe + s.intraPod + s.intraDomain + s.intraCluster +
+                  s.interCluster,
+              s.total);
+    // localFraction must be cumulative and agree with edgeLocality().
+    double prev = 0.0;
+    for (int level = 0; level <= 3; ++level) {
+        const double f = s.localFraction(level);
+        EXPECT_GE(f, prev);
+        EXPECT_LE(f, 1.0);
+        EXPECT_DOUBLE_EQ(f, pl.edgeLocality(g, level));
+        prev = f;
+    }
+    EXPECT_GT(s.weightedCost, 0u);
+}
+
+// ---------------------------------------------------------------------
+// WS5xx advisory passes
+// ---------------------------------------------------------------------
+
+TEST(Advice, FoldableConstOnHandGraph)
+{
+    GraphBuilder b("fold");
+    b.beginThread(0);
+    auto t = b.param(1);
+    auto c1 = b.lit(6, t);
+    auto c2 = b.lit(7, t);
+    auto prod = b.mul(c1, c2);
+    b.sink(prod);
+    b.endThread();
+    const DataflowGraph g = b.finish();
+
+    const std::vector<DiagCode> codes = adviceCodes(g);
+    ASSERT_EQ(codes.size(), 1u);
+    EXPECT_EQ(codes[0], DiagCode::kFoldableConst);
+}
+
+TEST(Advice, DeadValueOnHandGraph)
+{
+    GraphBuilder b("dead");
+    b.beginThread(0);
+    auto p = b.param(5);
+    auto live = b.addi(p, 1);
+    b.sink(live);
+    auto dead = b.muli(p, 3);  // Never consumed.
+    (void)dead;
+    b.endThread();
+    const DataflowGraph g = b.finish();
+
+    const std::vector<DiagCode> codes = adviceCodes(g);
+    ASSERT_EQ(codes.size(), 1u);
+    EXPECT_EQ(codes[0], DiagCode::kDeadValue);
+}
+
+TEST(Advice, CopyChainOnHandGraph)
+{
+    GraphBuilder b("copy");
+    b.beginThread(0);
+    auto p = b.param(4);
+    auto m = b.emit(Opcode::kMov, {p});
+    b.sink(m);
+    b.endThread();
+    const DataflowGraph g = b.finish();
+
+    // The entry mov holds the initial token (no producer to bypass);
+    // only the forwarding mov is advised.
+    const std::vector<DiagCode> codes = adviceCodes(g);
+    ASSERT_EQ(codes.size(), 1u);
+    EXPECT_EQ(codes[0], DiagCode::kCopyChain);
+}
+
+TEST(Advice, FixturesProduceExactlyTheirSeededCodes)
+{
+    const struct
+    {
+        const char *file;
+        std::vector<DiagCode> expect;
+    } cases[] = {
+        {"opt_foldable.wsa", {DiagCode::kFoldableConst}},
+        {"opt_dead_node.wsa",
+         {DiagCode::kDeadValue, DiagCode::kDeadValue}},
+        {"opt_copy_chain.wsa", {DiagCode::kCopyChain}},
+        {"opt_optimal.wsa", {}},
+    };
+    for (const auto &c : cases) {
+        const DataflowGraph g = loadFixture(c.file);
+        EXPECT_TRUE(verify(g).ok()) << c.file;
+        EXPECT_EQ(adviceCodes(g), c.expect) << c.file;
+    }
+}
+
+TEST(Advice, AdvisoriesAreNotes)
+{
+    for (DiagCode code : {DiagCode::kFoldableConst, DiagCode::kDeadValue,
+                          DiagCode::kCopyChain}) {
+        EXPECT_EQ(diagSeverity(code), Severity::kNote);
+        EXPECT_NE(diagCodeSummary(code), nullptr);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rewriter
+// ---------------------------------------------------------------------
+
+TEST(Rewriter, FoldsConstantsAndPreservesTheSinkValue)
+{
+    DataflowGraph g = loadFixture("opt_foldable.wsa");
+    const Observed before = observe(g);
+    ASSERT_TRUE(before.completed);
+    EXPECT_EQ(before.sinks, std::vector<Value>{42});
+
+    const RewriteStats stats = optimizeGraph(g);
+    EXPECT_EQ(stats.folded, 1u);
+    EXPECT_TRUE(verify(g).ok());
+    EXPECT_TRUE(adviceCodes(g).empty());  // Fixpoint reached.
+    EXPECT_TRUE(observe(g) == before);
+}
+
+TEST(Rewriter, EliminatesTheDeadIsland)
+{
+    DataflowGraph g = loadFixture("opt_dead_node.wsa");
+    const Observed before = observe(g);
+    const std::size_t size_before = g.size();
+
+    const RewriteStats stats = optimizeGraph(g);
+    EXPECT_EQ(stats.removed, 2u);
+    EXPECT_EQ(g.size(), size_before - 2);
+    EXPECT_TRUE(verify(g).ok());
+    EXPECT_TRUE(adviceCodes(g).empty());
+    EXPECT_TRUE(observe(g) == before);
+}
+
+TEST(Rewriter, BypassesTheForwardingMov)
+{
+    DataflowGraph g = loadFixture("opt_copy_chain.wsa");
+    const Observed before = observe(g);
+
+    const RewriteStats stats = optimizeGraph(g);
+    EXPECT_EQ(stats.bypassed, 1u);
+    EXPECT_TRUE(verify(g).ok());
+    EXPECT_TRUE(adviceCodes(g).empty());
+    EXPECT_TRUE(observe(g) == before);
+}
+
+TEST(Rewriter, LeavesTheOptimalFixtureAlone)
+{
+    DataflowGraph g = loadFixture("opt_optimal.wsa");
+    const std::size_t size_before = g.size();
+    const RewriteStats stats = optimizeGraph(g);
+    EXPECT_FALSE(stats.changed());
+    EXPECT_EQ(g.size(), size_before);
+}
+
+TEST(Rewriter, KernelsStayEquivalentAndVerifyCleanAfterRewrite)
+{
+    for (const Kernel &k : kernelRegistry()) {
+        std::vector<std::uint16_t> threads{1};
+        if (k.multithreaded)
+            threads = {1, 2, 4};
+        for (std::uint16_t t : threads) {
+            KernelParams params;
+            params.threads = t;
+            DataflowGraph g = k.build(params);
+            const Observed before = observe(g);
+
+            const RewriteStats stats = optimizeGraph(g);
+            const VerifyReport rep = verify(g);
+            EXPECT_TRUE(rep.ok())
+                << k.name << " t" << t << ": " << rep.summary();
+            EXPECT_TRUE(adviceCodes(g).empty()) << k.name << " t" << t;
+            EXPECT_TRUE(observe(g) == before) << k.name << " t" << t;
+            (void)stats;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Instruction mix (shared opcode classification)
+// ---------------------------------------------------------------------
+
+TEST(InstructionMix, PinnedPerKernelCounts)
+{
+    // One row per kernel at 1 thread:
+    // {total, useful, compute, memory, control, plumbing, fp}.
+    // Regenerate with: wsa-opt --threads=1 --kernels.
+    const std::map<std::string, std::array<Counter, 7>> expect = {
+        {"gzip", {3136, 2738, 2342, 396, 216, 182, 0}},
+        {"mcf", {1374, 1060, 868, 192, 288, 26, 0}},
+        {"twolf", {1924, 1562, 1282, 280, 240, 122, 0}},
+        {"ammp", {1912, 1622, 1370, 252, 216, 74, 468}},
+        {"art", {1476, 1218, 1058, 160, 192, 66, 256}},
+        {"equake", {1306, 1044, 862, 182, 204, 58, 180}},
+        {"djpeg", {786, 646, 558, 88, 84, 56, 0}},
+        {"mpeg2encode", {1269, 1107, 979, 128, 144, 18, 0}},
+        {"rawdaudio", {645, 547, 499, 48, 72, 26, 0}},
+        {"fft", {299, 242, 192, 50, 30, 27, 55}},
+        {"lu", {361, 296, 240, 56, 42, 23, 42}},
+        {"ocean", {476, 410, 362, 48, 48, 18, 72}},
+        {"radix", {308, 234, 194, 40, 48, 26, 0}},
+        {"raytrace", {580, 536, 476, 60, 36, 8, 228}},
+        {"water", {389, 331, 275, 56, 42, 16, 91}},
+    };
+    std::set<std::string> seen;
+    for (const Kernel &k : kernelRegistry()) {
+        const auto it = expect.find(k.name);
+        ASSERT_NE(it, expect.end()) << "unpinned kernel " << k.name;
+        seen.insert(k.name);
+        const InstructionMix m = k.build(KernelParams{}).mix();
+        const auto &e = it->second;
+        EXPECT_EQ(m.total, e[0]) << k.name;
+        EXPECT_EQ(m.useful, e[1]) << k.name;
+        EXPECT_EQ(m.compute, e[2]) << k.name;
+        EXPECT_EQ(m.memory, e[3]) << k.name;
+        EXPECT_EQ(m.control, e[4]) << k.name;
+        EXPECT_EQ(m.plumbing, e[5]) << k.name;
+        EXPECT_EQ(m.fp, e[6]) << k.name;
+    }
+    EXPECT_EQ(seen.size(), expect.size());
+}
+
+TEST(InstructionMix, ClassesPartitionAndUsefulIsComputePlusMemory)
+{
+    for (const Kernel &k : kernelRegistry()) {
+        const DataflowGraph g = k.build(KernelParams{});
+        const InstructionMix m = g.mix();
+        EXPECT_EQ(m.compute + m.memory + m.control + m.plumbing, m.total)
+            << k.name;
+        EXPECT_EQ(m.compute + m.memory, m.useful) << k.name;
+        EXPECT_EQ(m.useful, g.usefulSize()) << k.name;
+
+        // Thread mixes partition the whole-graph mix.
+        Counter total = 0;
+        for (ThreadId t = 0; t < g.numThreads(); ++t)
+            total += g.threadMix(t).total;
+        EXPECT_EQ(total, m.total) << k.name;
+    }
+}
+
+TEST(InstructionMix, StaticStatsReportsTheMix)
+{
+    const DataflowGraph g = findKernel("fft").build(KernelParams{});
+    const StatReport stats = g.staticStats();
+    const InstructionMix m = g.mix();
+    EXPECT_EQ(stats.get("static.instructions"),
+              static_cast<double>(m.total));
+    EXPECT_EQ(stats.get("static.useful"),
+              static_cast<double>(m.useful));
+    EXPECT_EQ(stats.get("static.control_ops"),
+              static_cast<double>(m.control));
+    EXPECT_EQ(stats.get("static.plumbing_ops"),
+              static_cast<double>(m.plumbing));
+    EXPECT_EQ(stats.get("static.fp_ops"), static_cast<double>(m.fp));
+    EXPECT_EQ(stats.get("static.memory_ops"),
+              static_cast<double>(m.memoryAll));
+}
+
+// ---------------------------------------------------------------------
+// Static AIPC bound (the pruning soundness property)
+// ---------------------------------------------------------------------
+
+TEST(StaticBound, SimulatedAipcNeverExceedsTheBound)
+{
+    // eps covers floating-point noise only; the bound itself must hold.
+    const double eps = 1e-9;
+    const ProcessorConfig cfg = ProcessorConfig::baseline();
+    for (const Kernel &k : kernelRegistry()) {
+        std::vector<std::uint16_t> threads{1};
+        if (k.multithreaded)
+            threads = {1, 2, 4};
+        for (std::uint16_t t : threads) {
+            KernelParams params;
+            params.threads = t;
+            const DataflowGraph g = k.build(params);
+            const double bound =
+                staticAipcBound(analyzeGraph(g), cfg);
+            ASSERT_GT(bound, 0.0) << k.name << " t" << t;
+
+            SimOptions opts;
+            opts.maxCycles = 600'000;
+            const SimResult sim = runSimulation(g, cfg, opts);
+            EXPECT_TRUE(sim.completed) << k.name << " t" << t;
+            if (sim.completed) {
+                EXPECT_LE(sim.aipc, bound * (1.0 + eps))
+                    << k.name << " t" << t << ": aipc " << sim.aipc
+                    << " vs bound " << bound;
+            }
+        }
+    }
+}
+
+TEST(StaticBound, CappedByMachineIssueWidth)
+{
+    MachineBoundParams m;
+    m.totalPes = 2;
+    const DataflowGraph g = findKernel("gzip").build(KernelParams{});
+    EXPECT_LE(staticAipcBound(analyzeGraph(g), m), 2.0);
+}
+
+TEST(StaticBound, ProfileCacheMemoizesByFingerprint)
+{
+    ProfileCache cache;
+    const DataflowGraph g = findKernel("fft").build(KernelParams{});
+    const auto a = cache.profileFor(g, 0x42);
+    const auto b = cache.profileFor(g, 0x42);
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_EQ(cache.size(), 1u);
+    // Zero fingerprint: fresh analysis, nothing cached.
+    const auto c = cache.profileFor(g, 0);
+    EXPECT_NE(c.get(), a.get());
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Report plumbing
+// ---------------------------------------------------------------------
+
+TEST(ProfileReport, RenderAndJsonCarryTheHeadlineNumbers)
+{
+    const DataflowGraph g = findKernel("fft").build(KernelParams{});
+    const StaticProfile prof = analyzeGraph(g);
+
+    const std::string text = renderProfile(prof);
+    EXPECT_NE(text.find("fft"), std::string::npos);
+    EXPECT_NE(text.find("crit path"), std::string::npos);
+
+    Json j = profileToJson(prof);
+    EXPECT_EQ(j["graph"].asString(), "fft");
+    EXPECT_EQ(j["mix"]["total"].asNumber(),
+              static_cast<double>(prof.mix.total));
+    EXPECT_EQ(j["per_thread"].size(), prof.threads.size());
+}
+
+} // namespace
+} // namespace ws

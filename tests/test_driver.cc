@@ -18,8 +18,10 @@
 #include "core/processor.h"
 #include "driver/sim_cache.h"
 #include "driver/sweep_engine.h"
+#include "driver/static_prune.h"
 #include "driver/thread_pool.h"
 #include "isa/graph_builder.h"
+#include "kernels/ilp_variants.h"
 #include "kernels/kernel.h"
 
 namespace ws {
@@ -275,6 +277,173 @@ TEST(SweepEngine, RunOneMatchesBatchOfOne)
     const SimResult again = engine.run({jobs[0]})[0];
     EXPECT_EQ(one.cycles, again.cycles);
     EXPECT_EQ(one.report.toString(), again.report.toString());
+}
+
+// ---------------------------------------------------------------------
+// SweepEngine::runGrouped (bound-based pruning)
+// ---------------------------------------------------------------------
+
+TEST(SweepEngine, GroupedWithoutPruningMatchesRun)
+{
+    SweepEngine plain(quietOpts(4));
+    SweepEngine grouped(quietOpts(4));
+    const std::vector<SimJob> jobs = sampleBatch(0x500);
+    const std::vector<std::size_t> group_end{2, jobs.size()};
+    const std::vector<SimResult> a = plain.run(jobs);
+    const std::vector<SimResult> b =
+        grouped.runGrouped(jobs, group_end, SweepEngine::PruneOptions{});
+    ASSERT_EQ(b.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_FALSE(b[i].pruned) << "job " << i;
+        EXPECT_EQ(a[i].cycles, b[i].cycles) << "job " << i;
+        EXPECT_EQ(a[i].report.toString(), b[i].report.toString())
+            << "job " << i;
+    }
+    EXPECT_EQ(grouped.stats().pruned, 0u);
+}
+
+TEST(SweepEngine, PruningSkipsDominatedCandidatesAndKeepsTheGroupMax)
+{
+    SweepEngine::PruneOptions prune;
+    prune.enabled = true;
+
+    // One group: the gzip point carries a valid-but-low bound (its
+    // true AIPC at this budget is ~0.086 < 0.1), the djpeg point a
+    // generous one so it runs first and sets the bar well above
+    // 0.1 * (1 + margin). gzip must be skipped without changing the
+    // group's best result.
+    std::vector<SimJob> jobs = sampleBatch(0x600);
+    jobs.resize(2);
+    jobs[0].staticBound = 0.1;   // gzip: dominated.
+    jobs[1].staticBound = 1e6;   // djpeg: the group winner.
+
+    SweepEngine plain(quietOpts(2));
+    const std::vector<SimResult> full = plain.run(jobs);
+    double full_max = 0.0;
+    for (const SimResult &r : full)
+        full_max = std::max(full_max, r.aipc);
+
+    for (unsigned workers : {1u, 8u}) {
+        SweepEngine engine(quietOpts(workers));
+        const std::vector<SimResult> res =
+            engine.runGrouped(jobs, {jobs.size()}, prune);
+        EXPECT_FALSE(res[1].pruned);
+        EXPECT_TRUE(res[0].pruned) << "workers " << workers;
+        EXPECT_EQ(res[0].aipc, 0.0);
+        EXPECT_EQ(res[0].cycles, 0u);
+        EXPECT_EQ(engine.stats().pruned, 1u);
+        double max = 0.0;
+        for (const SimResult &r : res)
+            max = std::max(max, r.aipc);
+        EXPECT_DOUBLE_EQ(max, full_max) << "workers " << workers;
+    }
+}
+
+TEST(SweepEngine, PruneDecisionsAreScopedToTheirGroup)
+{
+    SweepEngine::PruneOptions prune;
+    prune.enabled = true;
+
+    // Same tiny-bound job in two groups: in the first it follows a
+    // strong candidate and is pruned; alone in the second group there
+    // is no bar to beat, so it must simulate (and flag a pruneError if
+    // its AIPC exceeds its fake bound — that telemetry is the point).
+    std::vector<SimJob> jobs = sampleBatch(0x700);
+    jobs.resize(3);
+    jobs[0].staticBound = 1e6;
+    jobs[1].staticBound = 1e-6;
+    jobs[2] = jobs[1];
+
+    SweepEngine engine(quietOpts(2));
+    const std::vector<SimResult> res =
+        engine.runGrouped(jobs, {2, 3}, prune);
+    EXPECT_FALSE(res[0].pruned);
+    EXPECT_TRUE(res[1].pruned);
+    EXPECT_FALSE(res[2].pruned);
+    EXPECT_GT(res[2].aipc, 0.0);
+    EXPECT_EQ(engine.stats().pruned, 1u);
+    EXPECT_EQ(engine.stats().pruneErrors, 1u);  // aipc > 1e-6 bound.
+}
+
+TEST(SweepEngine, ZeroBoundIsNeverPruned)
+{
+    SweepEngine::PruneOptions prune;
+    prune.enabled = true;
+    std::vector<SimJob> jobs = sampleBatch(0x800);
+    jobs.resize(2);
+    jobs[0].staticBound = 1e6;
+    jobs[1].staticBound = 0.0;  // Unknown bound: must always simulate.
+
+    SweepEngine engine(quietOpts(2));
+    const std::vector<SimResult> res =
+        engine.runGrouped(jobs, {jobs.size()}, prune);
+    EXPECT_FALSE(res[1].pruned);
+    EXPECT_GT(res[1].aipc, 0.0);
+    EXPECT_EQ(engine.stats().pruned, 0u);
+}
+
+TEST(SweepEngine, RealBoundsPruneTheIlpChainVariantsWithoutMovingTheMax)
+{
+    // End-to-end over *genuine* bounds (no synthetic staticBound
+    // values): the four ILP reduction variants compete best-of on the
+    // baseline machine. The acyclic serial chain's bound
+    // (useful / critical path ~ 2.0) falls below what the tree variant
+    // actually achieves (~3.7), so with pruning enabled at least one
+    // candidate is skipped — while the group winner and its AIPC stay
+    // bit-identical to the unpruned sweep. This is the acceptance
+    // property of --prune-static in miniature.
+    const ProcessorConfig cfg = ProcessorConfig::baseline();
+    ProfileCache profiles;
+    std::vector<SimJob> jobs;
+    std::uint64_t fp = 0x900;
+    for (const Kernel &variant : ilpVariantKernels()) {
+        SimJob job;
+        job.graph = std::make_shared<const DataflowGraph>(
+            variant.build(KernelParams{}));
+        job.cfg = cfg;
+        job.maxCycles = 100'000;
+        job.graphFp = ++fp;
+        job.staticBound = staticAipcBound(
+            *profiles.profileFor(*job.graph, job.graphFp), cfg);
+        EXPECT_GT(job.staticBound, 0.0);
+        jobs.push_back(std::move(job));
+    }
+
+    SweepEngine plain(quietOpts(4));
+    const std::vector<SimResult> full =
+        plain.runGrouped(jobs, {jobs.size()}, SweepEngine::PruneOptions{});
+    std::size_t full_win = 0;
+    for (std::size_t i = 0; i < full.size(); ++i) {
+        EXPECT_LE(full[i].aipc, jobs[i].staticBound) << "variant " << i;
+        if (full[i].aipc > full[full_win].aipc)
+            full_win = i;
+    }
+
+    SweepEngine::PruneOptions prune;
+    prune.enabled = true;
+    SweepEngine engine(quietOpts(4));
+    const std::vector<SimResult> res =
+        engine.runGrouped(jobs, {jobs.size()}, prune);
+
+    EXPECT_GT(engine.stats().pruned, 0u);
+    EXPECT_EQ(engine.stats().pruneErrors, 0u);
+    std::size_t win = 0;
+    for (std::size_t i = 0; i < res.size(); ++i) {
+        if (res[i].pruned) {
+            // Sound skip: the candidate could provably not win.
+            EXPECT_LT(jobs[i].staticBound * (1.0 + prune.margin),
+                      full[full_win].aipc) << "variant " << i;
+            EXPECT_LT(full[i].aipc, full[full_win].aipc) << "variant " << i;
+        } else {
+            EXPECT_EQ(res[i].cycles, full[i].cycles) << "variant " << i;
+            EXPECT_EQ(res[i].report.toString(), full[i].report.toString())
+                << "variant " << i;
+        }
+        if (res[i].aipc > res[win].aipc)
+            win = i;
+    }
+    EXPECT_EQ(win, full_win);
+    EXPECT_DOUBLE_EQ(res[win].aipc, full[full_win].aipc);
 }
 
 // ---------------------------------------------------------------------

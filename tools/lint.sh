@@ -29,6 +29,15 @@ if command -v clang-tidy >/dev/null 2>&1; then
         echo "== clang-tidy =="
         # shellcheck disable=SC2086
         clang-tidy -p "$build" --quiet $sources || status=1
+        # The static-analysis subsystems hold themselves to a stricter
+        # bar: any clang-tidy finding in src/analyze or src/verify is
+        # an error, not a warning.
+        strict=$(find "$repo/src/analyze" "$repo/src/verify" \
+                     -name '*.cc' -o -name '*.h' 2>/dev/null)
+        echo "== clang-tidy (strict: src/analyze src/verify) =="
+        # shellcheck disable=SC2086
+        clang-tidy -p "$build" --quiet --warnings-as-errors='*' \
+            $strict || status=1
     else
         echo "-- no $build/compile_commands.json; configure first" \
              "(cmake -B build -S .); skipping clang-tidy"
@@ -50,6 +59,23 @@ if [ -x "$build/examples/wsa-lint" ]; then
     done
 else
     echo "-- $build/examples/wsa-lint not built; skipping graph lint"
+fi
+
+if [ -x "$build/examples/wsa-opt" ]; then
+    echo "== wsa-opt =="
+    # The already-optimal fixture must be advisory-free...
+    "$build/examples/wsa-opt" --fail-on-advice --quiet \
+        "$repo/tests/fixtures/opt_optimal.wsa" || status=1
+    # ...and every seeded WS5xx fixture must trip --fail-on-advice.
+    for seeded in opt_foldable opt_dead_node opt_copy_chain; do
+        if "$build/examples/wsa-opt" --fail-on-advice --quiet \
+               "$repo/tests/fixtures/$seeded.wsa"; then
+            echo "lint.sh: $seeded.wsa produced no WS5xx advisory" >&2
+            status=1
+        fi
+    done
+else
+    echo "-- $build/examples/wsa-opt not built; skipping advisory check"
 fi
 
 exit $status
