@@ -43,12 +43,14 @@ parseArgs(int argc, char **argv)
             opts.json = false;
         } else if (std::strcmp(arg, "--prune-static") == 0) {
             opts.pruneStatic = true;
+        } else if (std::strcmp(arg, "--always-tick") == 0) {
+            opts.alwaysTick = true;
         } else {
             std::fprintf(stderr,
                          "usage: %s [--quick] [--max-cycles=N] "
                          "[--scale=N] [--seed=N] [--jobs=N] "
                          "[--out-dir=PATH] [--no-json] "
-                         "[--prune-static]\n", argv[0]);
+                         "[--prune-static] [--always-tick]\n", argv[0]);
             std::exit(2);
         }
     }
@@ -107,10 +109,17 @@ makeJob(const Kernel &kernel, const ProcessorConfig &cfg, int threads,
     SimJob job;
     job.graph = cachedGraph(kernel, params);
     job.cfg = cfg;
+    // The clocking mode participates in the config fingerprint, so
+    // gated and reference runs never alias in the SimCache.
+    job.cfg.alwaysTick = opts.alwaysTick;
     job.maxCycles = opts.quick ? opts.maxCycles / 2 : opts.maxCycles;
     job.graphFp = kernelFingerprint(kernel, params);
     return job;
 }
+
+/** Process-wide activity accumulator (see activityTotals()). */
+std::mutex g_activity_mutex;
+ActivityTotals g_activity;
 
 RunResult
 toRunResult(const SimResult &sim, int threads)
@@ -122,6 +131,14 @@ toRunResult(const SimResult &sim, int threads)
     r.threads = threads;
     r.pruned = sim.pruned;
     r.report = sim.report;
+    // Pruned points carry an empty report; everything else exports the
+    // scheduler's activity counters.
+    if (r.report.has("activity.active_cycles")) {
+        std::lock_guard<std::mutex> lock(g_activity_mutex);
+        g_activity.activeCycles += r.report.get("activity.active_cycles");
+        g_activity.skippedCycles +=
+            r.report.get("activity.skipped_cycles");
+    }
     return r;
 }
 
@@ -275,6 +292,13 @@ prunedPoints()
     return g_pruned_points;
 }
 
+ActivityTotals
+activityTotals()
+{
+    std::lock_guard<std::mutex> lock(g_activity_mutex);
+    return g_activity;
+}
+
 RunResult
 runKernelCfg(const Kernel &kernel, const ProcessorConfig &cfg,
              int threads, const BenchOptions &opts)
@@ -394,6 +418,7 @@ BenchReport::BenchReport(std::string name, const BenchOptions &opts)
     o["jobs"] = opts_.jobs == 0 ? ThreadPool::hardwareJobs()
                                 : opts_.jobs;
     o["prune_static"] = opts_.pruneStatic;
+    o["always_tick"] = opts_.alwaysTick;
 }
 
 void
@@ -429,6 +454,17 @@ BenchReport::finish()
     sweep["prune_errors"] =
         static_cast<std::uint64_t>(eng.stats().pruneErrors);
     root_["sweep"] = sweep;
+    // Component activity across every run this process collected: how
+    // much of the machine the activity-gated clock actually skipped
+    // (identical numbers under --always-tick, which only refuses to
+    // exploit them).
+    const ActivityTotals activity = activityTotals();
+    Json act = Json::object();
+    act["always_tick"] = opts_.alwaysTick;
+    act["active_cycles"] = activity.activeCycles;
+    act["skipped_cycles"] = activity.skippedCycles;
+    act["skip_rate"] = activity.skipRate();
+    root_["activity"] = act;
     // --prune-static must never skip silently: list every point.
     Json skipped = Json::array();
     for (const std::string &p : prunedPoints())
@@ -469,6 +505,7 @@ BenchReport::finish()
     }
     Json entry = sweep;
     entry["quick"] = opts_.quick;
+    entry["activity"] = act;
     merged["harnesses"][name_] = std::move(entry);
     {
         std::ofstream out(sweep_path);

@@ -48,11 +48,15 @@ struct BenchOptions
     bool pruneStatic = false;  ///< Skip candidates whose static AIPC
                                ///  bound cannot beat the group's best
                                ///  (logged, never silent).
+    bool alwaysTick = false;   ///< Reference clocking: tick every
+                               ///  component every cycle instead of
+                               ///  activity-gated wakeups. Results must
+                               ///  be byte-identical either way.
     std::string outDir = "bench_results";
 };
 
 /** Parse --quick / --max-cycles=N / --scale=N / --seed=N / --jobs=N /
- *  --out-dir=PATH / --no-json / --prune-static. */
+ *  --out-dir=PATH / --no-json / --prune-static / --always-tick. */
 BenchOptions parseArgs(int argc, char **argv);
 
 /** The process-wide sweep engine (created on first use from @p opts;
@@ -98,6 +102,25 @@ std::vector<RunResult> runGroups(const std::vector<CfgRun> &runs,
 /** Labels of every point --prune-static skipped so far (process-wide,
  *  submission order; BenchReport::finish records them). */
 std::vector<std::string> prunedPoints();
+
+/** Aggregate component activity across every simulation this process
+ *  has collected (from the per-run activity.* stats). */
+struct ActivityTotals
+{
+    double activeCycles = 0.0;
+    double skippedCycles = 0.0;
+
+    /** Fraction of component-cycles gating skipped (0 when empty). */
+    double
+    skipRate() const
+    {
+        const double total = activeCycles + skippedCycles;
+        return total == 0.0 ? 0.0 : skippedCycles / total;
+    }
+};
+
+/** Process-wide activity totals (BenchReport::finish records them). */
+ActivityTotals activityTotals();
 
 /** Run @p kernel on @p design with a fixed thread count. */
 RunResult runKernel(const Kernel &kernel, const DesignPoint &design,

@@ -1,0 +1,53 @@
+#include "core/clock.h"
+
+#include <algorithm>
+
+namespace ws {
+
+ComponentId
+WakeupScheduler::add(Clocked *c)
+{
+    const ComponentId id = static_cast<ComponentId>(components_.size());
+    components_.push_back(c);
+    armed_.push_back(kCycleNever);
+    return id;
+}
+
+void
+WakeupScheduler::wake(ComponentId id, Cycle at)
+{
+    if (at >= armed_[id])
+        return;  // Already armed at least as early (or at == never).
+    if (armed_[id] == kCycleNever)
+        ++armedCount_;
+    armed_[id] = at;
+    heap_.push_back(HeapEntry{at, id});
+    std::push_heap(heap_.begin(), heap_.end(), later);
+}
+
+void
+WakeupScheduler::consume(ComponentId id)
+{
+    if (armed_[id] == kCycleNever)
+        return;
+    armed_[id] = kCycleNever;
+    --armedCount_;
+    // The heap entry goes stale and is pruned by the next nextWake().
+}
+
+Cycle
+WakeupScheduler::nextWake()
+{
+    while (!heap_.empty()) {
+        const HeapEntry &top = heap_.front();
+        if (armed_[top.id] == top.at)
+            return top.at;
+        // Stale: the component was consumed (and possibly re-armed with
+        // a fresh entry) since this was pushed.
+        std::pop_heap(heap_.begin(), heap_.end(), later);
+        heap_.pop_back();
+    }
+    return kCycleNever;
+}
+
+} // namespace ws

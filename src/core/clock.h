@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Activity-gated clocking: the Clocked component interface and the
+ * deterministic wakeup scheduler that drives it.
+ *
+ * The simulator's hot loop used to tick every cluster/domain/PE/cache
+ * every cycle; on the paper's large-area design points most of those
+ * thousands of tiles are idle on any given cycle. Instead, components
+ * now *register wakeups* — "I have work at cycle T" — and the
+ * Processor only ticks components whose wakeup is due. Ticking an idle
+ * component is a no-op by construction, so gated and ungated runs are
+ * byte-identical; the `--always-tick` reference mode (which still
+ * ticks everything while keeping identical scheduler bookkeeping) is
+ * retained as the oracle the parity suite checks against.
+ *
+ * Determinism rules:
+ *  - Component ids are fixed at construction (clusters in id order,
+ *    then home, then mesh) and all ordering ties break by id, so a
+ *    simulation is bit-reproducible regardless of host concurrency.
+ *  - Every wakeup targets a cycle strictly after the cycle that
+ *    registers it, so the set of due components for cycle N is fully
+ *    determined before any phase of cycle N runs.
+ *  - A due component is consumed (disarmed) before it ticks and
+ *    re-armed from its own nextEventCycle() afterwards; external event
+ *    sources (mesh deliveries, coherence routing) wake the destination
+ *    directly at the event's ready cycle.
+ *
+ * Quiescence falls out for free: an empty wake set means no component
+ * can ever have work again, making Processor::quiescent() O(1), and
+ * run() can fast-forward dead cycles to the nearest wakeup.
+ */
+
+#ifndef WS_CORE_CLOCK_H_
+#define WS_CORE_CLOCK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ws {
+
+/** Index of a registered component in its WakeupScheduler. */
+using ComponentId = std::uint32_t;
+
+/** A component advanced by the activity-gated clock tree. */
+class Clocked
+{
+  public:
+    virtual ~Clocked() = default;
+
+    /** Advance one cycle. Must be a no-op when nextEventCycle() > now. */
+    virtual void tickComponent(Cycle now) = 0;
+
+    /**
+     * Earliest cycle at which this component has queued work
+     * (kCycleNever when idle). May be a cached lower bound maintained
+     * by the component; it must never exceed the true next event.
+     */
+    virtual Cycle nextEventCycle() const = 0;
+};
+
+/**
+ * Deterministic wakeup scheduler: per-component armed cycles plus a
+ * lazy min-heap over (cycle, id) for O(log n) nearest-wakeup queries.
+ *
+ * armed_[id] is authoritative; heap entries whose cycle no longer
+ * matches armed_[id] are stale and pruned on pop. wake() only ever
+ * *lowers* an armed cycle (arming earlier is always safe — an early
+ * tick of an idle component is a no-op), and consume() disarms a
+ * component as it ticks so its re-arm reflects post-tick state.
+ */
+class WakeupScheduler
+{
+  public:
+    /** Register a component; ids are assigned densely in call order.
+     *  @p c may be null for components ticked by their owner. */
+    ComponentId add(Clocked *c);
+
+    /** Arm @p id at cycle @p at if that is earlier than its current
+     *  wakeup. kCycleNever is ignored. */
+    void wake(ComponentId id, Cycle at);
+
+    /** True when @p id has a wakeup at or before @p now. */
+    bool
+    due(ComponentId id, Cycle now) const
+    {
+        return armed_[id] <= now;
+    }
+
+    /** Disarm @p id (called just before a due component ticks). */
+    void consume(ComponentId id);
+
+    /** Earliest armed wakeup cycle (kCycleNever when none). Prunes
+     *  stale heap entries, hence non-const. */
+    Cycle nextWake();
+
+    /** O(1): true when any component is armed. An un-armed machine can
+     *  never make progress again (quiescence fast path). */
+    bool anyArmed() const { return armedCount_ != 0; }
+
+    std::size_t size() const { return components_.size(); }
+    Clocked *component(ComponentId id) const { return components_[id]; }
+
+  private:
+    struct HeapEntry
+    {
+        Cycle at;
+        ComponentId id;
+    };
+
+    /** Min-heap order on (cycle, id): ties break by fixed component
+     *  id, keeping wake order deterministic. */
+    static bool
+    later(const HeapEntry &a, const HeapEntry &b)
+    {
+        if (a.at != b.at)
+            return a.at > b.at;
+        return a.id > b.id;
+    }
+
+    std::vector<Clocked *> components_;
+    std::vector<Cycle> armed_;       ///< Authoritative wakeup per id.
+    std::vector<HeapEntry> heap_;    ///< Lazy min-heap (may hold stale).
+    std::size_t armedCount_ = 0;
+};
+
+} // namespace ws
+
+#endif // WS_CORE_CLOCK_H_

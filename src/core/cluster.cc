@@ -1,5 +1,7 @@
 #include "core/cluster.h"
 
+#include <algorithm>
+
 #include "common/log.h"
 
 namespace ws {
@@ -41,38 +43,51 @@ Cluster::receiveMemRequest(const MemRequest &req, Cycle now)
 void
 Cluster::tick(Cycle now)
 {
-    // Memory side first: the store buffer consumes completions the L1
-    // produced last cycle, then issues new work.
-    l1_->tick(now);
-    while (sbIn_.ready(now))
-        sb_->push(sbIn_.pop(now), now);
-    sb_->tick(now);
+    const bool gated = !cfg_.alwaysTick;
 
-    // Route completed loads to the consumers of the load instruction.
-    for (const LoadDone &ld : sb_->drainLoadDones()) {
-        for (const PortRef &ref : graph_->inst(ld.inst).outs[0]) {
-            const Token token{ld.tag, ref, ld.value};
-            const PeCoord dst = place_->home(ref.inst);
-            if (dst.cluster == id_) {
-                traffic_->record(TrafficLevel::kIntraCluster,
-                                 TrafficKind::kMemory);
-                domains_.at(dst.domain)->pushMemIn(
-                    token, now + cfg_.lat.sbLocal);
-            } else {
-                NetMessage msg;
-                msg.src = id_;
-                msg.dst = dst.cluster;
-                msg.vc = 1;
-                msg.memTraffic = true;
-                msg.payload = OperandMsg{token, dst, true};
-                outboundNet_.push_back(std::move(msg));
+    // Memory side first: the store buffer consumes completions the L1
+    // produced last cycle, then issues new work. The L1/SB pair is
+    // gated as one block — skipping it is a no-op exactly when the L1
+    // has nothing due, no request is inbound, and the buffer is empty
+    // (load completions only exist intra-tick, produced by the L1 tick
+    // and consumed by the SB tick right after).
+    const bool mem_due = !gated || !sb_->idle() || sbIn_.ready(now) ||
+                         l1_->nextEventCycle() <= now;
+    if (mem_due) {
+        l1_->tick(now);
+        while (sbIn_.ready(now))
+            sb_->push(sbIn_.pop(now), now);
+        sb_->tick(now);
+
+        // Route completed loads to the consumers of the load
+        // instruction.
+        for (const LoadDone &ld : sb_->drainLoadDones()) {
+            for (const PortRef &ref : graph_->inst(ld.inst).outs[0]) {
+                const Token token{ld.tag, ref, ld.value};
+                const PeCoord dst = place_->home(ref.inst);
+                if (dst.cluster == id_) {
+                    traffic_->record(TrafficLevel::kIntraCluster,
+                                     TrafficKind::kMemory);
+                    domains_.at(dst.domain)->pushMemIn(
+                        token, now + cfg_.lat.sbLocal);
+                } else {
+                    NetMessage msg;
+                    msg.src = id_;
+                    msg.dst = dst.cluster;
+                    msg.vc = 1;
+                    msg.memTraffic = true;
+                    msg.payload = OperandMsg{token, dst, true};
+                    outboundNet_.push_back(std::move(msg));
+                }
             }
         }
+        sb_->drainLoadDones().clear();
     }
-    sb_->drainLoadDones().clear();
 
-    for (auto &dom : domains_)
-        dom->tick(now);
+    for (auto &dom : domains_) {
+        if (!gated || dom->nextEventCycle() <= now)
+            dom->tick(now);
+    }
 
     // Intra-cluster network: tokens leaving each domain's NET pseudo-PE.
     for (auto &dom : domains_) {
@@ -125,6 +140,22 @@ Cluster::tick(Cycle now)
         const PeCoord dst = place_->home(token.dst.inst);
         domains_.at(dst.domain)->pushNetIn(token, now + cfg_.lat.netInject);
     }
+
+    // Refresh the next-event cache the processor re-arms this cluster
+    // from. A non-idle store buffer conservatively pins the cluster to
+    // next cycle: its internal state (parked stores, issue chains,
+    // outstanding lines) has no single next-ready view.
+    Cycle next = l1_->nextEventCycle();
+    if (!sb_->idle())
+        next = std::min(next, now + 1);
+    next = std::min(next, sbIn_.nextReady());
+    next = std::min(next, interDomain_.nextReady());
+    for (const auto &dom : domains_) {
+        next = std::min(next, dom->nextEventCycle());
+        next = std::min(next, dom->netOut().nextReady());
+        next = std::min(next, dom->memOut().nextReady());
+    }
+    nextEvent_ = next;
 }
 
 bool

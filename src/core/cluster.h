@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "core/clock.h"
 #include "core/config.h"
 #include "core/domain.h"
 #include "memory/coherence.h"
@@ -24,7 +25,7 @@
 
 namespace ws {
 
-class Cluster
+class Cluster : public Clocked
 {
   public:
     Cluster(const ProcessorConfig &cfg, const DataflowGraph *graph,
@@ -35,6 +36,19 @@ class Cluster
 
     /** Advance the whole cluster by one cycle. */
     void tick(Cycle now);
+
+    void tickComponent(Cycle now) override { tick(now); }
+
+    /**
+     * Cached earliest cycle at which anything in this cluster has work,
+     * refreshed at the end of every tick. The processor re-arms the
+     * cluster's wakeup from this after each tick; arrivals between
+     * ticks (mesh deliveries, coherence routing) wake the scheduler
+     * directly, so staleness while skipped is harmless. Excludes
+     * outboundNet_: a non-empty outbound queue implies a full (hence
+     * armed) mesh, which keeps the retry loop running.
+     */
+    Cycle nextEventCycle() const override { return nextEvent_; }
 
     /** Operand arriving from the grid network. */
     void receiveOperand(const OperandMsg &msg, Cycle now);
@@ -65,6 +79,7 @@ class Cluster
     std::vector<std::unique_ptr<Domain>> domains_;
     std::unique_ptr<L1Controller> l1_;
     std::unique_ptr<StoreBuffer> sb_;
+    Cycle nextEvent_ = 0;  ///< See nextEventCycle(); 0 = armed at start.
 
     TimedQueue<Token> interDomain_;   ///< Cross-domain operand hops.
     TimedQueue<MemRequest> sbIn_;     ///< Requests en route to the SB.

@@ -93,6 +93,7 @@ ProcessorConfig::fingerprint() const
              seed,
              static_cast<std::uint64_t>(relaxLimits),
              static_cast<std::uint64_t>(strictVerify),
+             static_cast<std::uint64_t>(alwaysTick),
          }) {
         h = hashCombine(h, v);
     }

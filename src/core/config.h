@@ -72,6 +72,16 @@ struct ProcessorConfig
      */
     bool strictVerify = false;
 
+    /**
+     * Reference clocking mode: tick every component every cycle instead
+     * of skipping idle ones via the wakeup scheduler (src/core/clock.h).
+     * Both modes keep identical scheduler bookkeeping and must produce
+     * byte-identical results (the parity suite enforces it); this mode
+     * is the oracle, and the debugging fallback if gating is ever
+     * suspected. Exposed as --always-tick on every bench harness.
+     */
+    bool alwaysTick = false;
+
     /** The paper's Table-1 baseline single-cluster machine. */
     static ProcessorConfig baseline();
 

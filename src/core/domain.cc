@@ -1,5 +1,7 @@
 #include "core/domain.h"
 
+#include <algorithm>
+
 #include "common/log.h"
 
 namespace ws {
@@ -38,8 +40,13 @@ Domain::assignHomes(const std::vector<std::vector<InstId>> &per_pe)
 void
 Domain::tick(Cycle now)
 {
-    for (auto &pe : pes_)
-        pe->tick(now);
+    // Activity gating: a PE whose queues hold nothing due is a no-op
+    // tick, so skip it. The reference mode ticks everything.
+    const bool gated = !cfg_.alwaysTick;
+    for (auto &pe : pes_) {
+        if (!gated || pe->nextEventCycle() <= now)
+            pe->tick(now);
+    }
 
     // OUTPUT stage: each PE's dedicated result bus carries one executed
     // instruction's outbound work per cycle.
@@ -90,6 +97,18 @@ Domain::tick(Cycle now)
     }
     for (const Token &token : rejected_)
         delivery_.push(token, now + 1);
+
+    // Refresh the next-event cache. Work created mid-tick by other
+    // components lands through the push entry points (which lower the
+    // cache directly) or inside a pod partner's tick (covered here,
+    // since pods never span domains).
+    Cycle next = kCycleNever;
+    for (const auto &pe : pes_)
+        next = std::min(next, pe->nextEventCycle());
+    next = std::min(next, delivery_.nextReady());
+    next = std::min(next, netIn_.nextReady());
+    next = std::min(next, memIn_.nextReady());
+    nextEvent_ = next;
 }
 
 bool

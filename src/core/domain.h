@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "core/clock.h"
 #include "core/config.h"
 #include "isa/graph.h"
 #include "network/message.h"
@@ -27,7 +28,7 @@
 
 namespace ws {
 
-class Domain
+class Domain : public Clocked
 {
   public:
     Domain(const ProcessorConfig &cfg, const DataflowGraph *graph,
@@ -40,6 +41,16 @@ class Domain
     /** Advance PEs, drain result buses, run pseudo-PE gateways. */
     void tick(Cycle now);
 
+    void tickComponent(Cycle now) override { tick(now); }
+
+    /**
+     * Cached earliest cycle at which this domain has work. Refreshed at
+     * the end of every tick; lowered eagerly by the push entry points,
+     * so the cluster can skip the domain in between. Excludes
+     * netOut_/memOut_, which the *cluster* drains and accounts for.
+     */
+    Cycle nextEventCycle() const override { return nextEvent_; }
+
     /** Tokens leaving the domain (drained by the cluster). */
     TimedQueue<Token> &netOut() { return netOut_; }
 
@@ -49,16 +60,19 @@ class Domain
     /** Entry point for operands arriving from other domains/clusters. */
     void pushNetIn(const Token &token, Cycle ready) {
         netIn_.push(token, ready);
+        noteEvent(ready);
     }
 
     /** Entry point for load replies from the memory system. */
     void pushMemIn(const Token &token, Cycle ready) {
         memIn_.push(token, ready);
+        noteEvent(ready);
     }
 
     /** Direct local-delivery entry (initial token injection at setup). */
     void pushDelivery(const Token &token, Cycle ready) {
         delivery_.push(token, ready);
+        noteEvent(ready);
     }
 
     ProcessingElement &pe(PeId p) { return *pes_.at(p); }
@@ -69,10 +83,19 @@ class Domain
     bool idle() const;
 
   private:
+    /** Lower the cached next-event cycle (external work arrived). */
+    void
+    noteEvent(Cycle at)
+    {
+        if (at < nextEvent_)
+            nextEvent_ = at;
+    }
+
     const ProcessorConfig &cfg_;
     const Placement *place_;
     TrafficStats *traffic_;
     PeCoord base_;   ///< cluster/domain of this domain (pe field unused).
+    Cycle nextEvent_ = 0;  ///< See nextEventCycle(); 0 = armed at start.
 
     std::vector<std::unique_ptr<ProcessingElement>> pes_;
     DomainFpu fpu_;

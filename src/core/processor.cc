@@ -104,6 +104,21 @@ Processor::Processor(const DataflowGraph &graph, const ProcessorConfig &cfg)
         const PeCoord dst = place_.home(token.dst.inst);
         clusters_[dst.cluster]->domain(dst.domain).pushDelivery(token, 0);
     }
+
+    // Clocking: register the top-level components with the wakeup
+    // scheduler — clusters in id order (component id == ClusterId),
+    // then home, then mesh, fixing the deterministic tie-break order —
+    // and arm everything for cycle 0 so the first tick sees the whole
+    // machine. Home and mesh are ticked directly by Processor::tick,
+    // so they register as bare wakeup slots.
+    gated_ = !cfg_.alwaysTick;
+    for (auto &cluster : clusters_)
+        sched_.add(cluster.get());
+    homeId_ = sched_.add(nullptr);
+    meshId_ = sched_.add(nullptr);
+    activeCycles_.assign(sched_.size(), 0);
+    for (ComponentId id = 0; id < sched_.size(); ++id)
+        sched_.wake(id, 0);
 }
 
 bool
@@ -128,14 +143,19 @@ Processor::drainMesh(Cycle now)
         for (NetMessage &msg : mesh_.delivered(c)) {
             if (auto *op = std::get_if<OperandMsg>(&msg.payload)) {
                 clusters_[c]->receiveOperand(*op, now);
+                sched_.wake(c, now + cfg_.lat.netInject);
             } else if (auto *req = std::get_if<MemRequest>(&msg.payload)) {
                 clusters_[c]->receiveMemRequest(*req, now);
+                sched_.wake(c, now + cfg_.lat.sbLocal);
             } else {
                 const CohMsg &coh = std::get<CohMsg>(msg.payload);
-                if (towardHome(coh.type))
+                if (towardHome(coh.type)) {
+                    // The end-of-tick home re-arm covers this arrival.
                     home_.receive(coh, now);
-                else
+                } else {
                     clusters_[c]->l1().receive(coh, now);
+                    sched_.wake(c, clusters_[c]->l1().nextEventCycle());
+                }
             }
         }
         mesh_.delivered(c).clear();
@@ -153,7 +173,9 @@ Processor::routeCoherence(Cycle now)
         const ClusterId bank = home_.homeOf(msg.line);
         if (dst == bank || cfg_.clusters == 1) {
             // The L1 and the home bank share a router; stay local.
-            clusters_[dst]->l1().receive(msg, now + cfg_.lat.cohLocal);
+            L1Controller &l1 = clusters_[dst]->l1();
+            l1.receive(msg, now + cfg_.lat.cohLocal);
+            sched_.wake(dst, l1.nextEventCycle());
         } else {
             NetMessage net;
             net.src = bank;
@@ -191,21 +213,21 @@ Processor::routeCoherence(Cycle now)
 }
 
 void
+Processor::injectWithRetry(std::deque<NetMessage> &q, Cycle now)
+{
+    while (!q.empty()) {
+        if (!mesh_.inject(q.front(), now))
+            break;
+        q.pop_front();
+    }
+}
+
+void
 Processor::injectOutbound(Cycle now)
 {
-    while (!homeOutRetry_.empty()) {
-        if (!mesh_.inject(homeOutRetry_.front(), now))
-            break;
-        homeOutRetry_.pop_front();
-    }
-    for (ClusterId c = 0; c < cfg_.clusters; ++c) {
-        auto &q = clusters_[c]->outboundNet();
-        while (!q.empty()) {
-            if (!mesh_.inject(q.front(), now))
-                break;
-            q.pop_front();
-        }
-    }
+    injectWithRetry(homeOutRetry_, now);
+    for (ClusterId c = 0; c < cfg_.clusters; ++c)
+        injectWithRetry(clusters_[c]->outboundNet(), now);
 }
 
 void
@@ -224,13 +246,56 @@ Processor::tick()
             window_.base[t] = sb.nextWave(t);
         sb.clearWaveDirty();
     }
-    mesh_.tick(now);
-    drainMesh(now);
-    home_.tick(now);
-    for (auto &cluster : clusters_)
-        cluster->tick(now);
+    // Activity-gated clocking. Due-ness at `now` is fixed before any
+    // phase runs: every wake registered while ticking targets a later
+    // cycle (or only lowers an already-due arming), so checking due()
+    // phase by phase is race-free. The reference mode (--always-tick)
+    // performs identical scheduler bookkeeping — same wakes, same
+    // consumes, same activity counts — and merely refuses to skip, so
+    // the two modes stay byte-identical (ticking a non-due component
+    // is a no-op by construction; the parity suite enforces it).
+    const bool mesh_due = sched_.due(meshId_, now);
+    if (mesh_due) {
+        ++activeCycles_[meshId_];
+        sched_.consume(meshId_);
+    }
+    if (!gated_ || mesh_due) {
+        mesh_.tick(now);
+        drainMesh(now);
+    }
+
+    const bool home_due = sched_.due(homeId_, now);
+    if (home_due) {
+        ++activeCycles_[homeId_];
+        sched_.consume(homeId_);
+    }
+    if (!gated_ || home_due)
+        home_.tick(now);
+
+    for (ClusterId c = 0; c < cfg_.clusters; ++c) {
+        const bool due = sched_.due(c, now);
+        if (due) {
+            ++activeCycles_[c];
+            sched_.consume(c);
+        }
+        if (!gated_ || due)
+            clusters_[c]->tick(now);
+    }
+
+    // Routing and injection are cheap self-gating scans that must run
+    // every cycle: outboxes filled this tick have to reach the mesh (or
+    // a retry queue) in the same cycle to preserve timing.
     routeCoherence(now);
     injectOutbound(now);
+
+    // Re-arm everything from post-tick state. Re-arming a component
+    // that did not tick recomputes an unchanged answer (wake() only
+    // ever lowers an arming), which is what keeps the bookkeeping
+    // identical across modes.
+    for (ClusterId c = 0; c < cfg_.clusters; ++c)
+        sched_.wake(c, clusters_[c]->nextEventCycle());
+    sched_.wake(homeId_, home_.nextEventCycle());
+    sched_.wake(meshId_, mesh_.nextEventCycle(now));
     ++cycle_;
 }
 
@@ -248,6 +313,8 @@ Processor::run(Cycle max_cycles)
         if (sinks_done && quiescent()) {
             // All results delivered *and* every in-flight store, token,
             // and coherence transaction has drained.
+            if (tracer_ != nullptr)
+                tracer_->finish(*this);
             return true;
         }
         // Probe on the final cycle too: with max_cycles < 1024 the
@@ -259,9 +326,40 @@ Processor::run(Cycle max_cycles)
             // Nothing in flight anywhere: the program can make no more
             // progress. Either it completed (no sink declaration) or it
             // deadlocked; the caller distinguishes via sinkCount().
+            if (tracer_ != nullptr)
+                tracer_->finish(*this);
             return expected == 0 || sinkCount() >= expected;
         }
+
+        // Fast-forward: with gated clocking the scheduler knows the
+        // next cycle anything can happen. When it is more than one
+        // cycle away, every tick in between is provably dead — skip
+        // straight to it, stopping early for cycle-count-driven side
+        // effects (quiescence probes and tracer samples) so observable
+        // behaviour stays identical to the reference mode. An armed
+        // component is never idle, so no skipped probe could have
+        // fired; tracer rows sample frozen state at exact boundaries.
+        if (gated_ && cycle_ < max_cycles) {
+            const Cycle nw = sched_.nextWake();
+            Cycle target;
+            if (nw == kCycleNever) {
+                // Quiescent but unfinished: only the next probe (or
+                // the budget) can end the run.
+                target = std::min(((cycle_ >> 10) + 1) << 10,
+                                  max_cycles) - 1;
+            } else {
+                target = std::min(nw, max_cycles - 1);
+            }
+            if (tracer_ != nullptr) {
+                const Cycle iv = tracer_->interval();
+                target = std::min(target, (cycle_ / iv + 1) * iv - 1);
+            }
+            if (target > cycle_)
+                cycle_ = target;
+        }
     }
+    if (tracer_ != nullptr)
+        tracer_->finish(*this);
     return expected != 0 && sinkCount() >= expected;
 }
 
@@ -276,6 +374,15 @@ Processor::aipc() const
 bool
 Processor::quiescent() const
 {
+    // O(1) fast path: an empty wake set proves quiescence. Every
+    // in-flight token, request, or coherence transaction lives in a
+    // queue that keeps its component armed, in homeOutRetry_, or in an
+    // outbound deque — and a non-empty outbound deque implies a full
+    // (hence armed) mesh. Spurious armings (a stale direct wake whose
+    // work already drained) only delay taking this path, never falsify
+    // it, so the full walk remains as the fallback.
+    if (!sched_.anyArmed() && homeOutRetry_.empty())
+        return true;
     for (const auto &cluster : clusters_) {
         if (!cluster->idle())
             return false;
@@ -383,6 +490,37 @@ Processor::report() const
     r.add("l1.hits", l1_hits);
     r.add("l1.misses", l1_misses);
     r.add("l1.writebacks", l1_writebacks);
+    // Per-component activity from the wakeup scheduler: cycles each
+    // component was due (and hence ticked under gated clocking) versus
+    // skipped. Identical in both clocking modes — the due set is a
+    // function of the shared scheduler bookkeeping, not of gating.
+    {
+        Counter active_total = 0;
+        for (ClusterId c = 0; c < cfg_.clusters; ++c) {
+            const Counter active = activeCycles_[c];
+            r.add("activity.cluster" + std::to_string(c) +
+                      ".active_cycles", active);
+            r.add("activity.cluster" + std::to_string(c) +
+                      ".skipped_cycles", cycle_ - active);
+            active_total += active;
+        }
+        r.add("activity.home.active_cycles", activeCycles_[homeId_]);
+        r.add("activity.home.skipped_cycles",
+              cycle_ - activeCycles_[homeId_]);
+        r.add("activity.mesh.active_cycles", activeCycles_[meshId_]);
+        r.add("activity.mesh.skipped_cycles",
+              cycle_ - activeCycles_[meshId_]);
+        active_total += activeCycles_[homeId_] + activeCycles_[meshId_];
+        const Counter slots =
+            cycle_ * static_cast<Counter>(sched_.size());
+        r.add("activity.active_cycles", active_total);
+        r.add("activity.skipped_cycles", slots - active_total);
+        r.add("activity.skip_rate",
+              slots == 0 ? 0.0
+                         : 1.0 - static_cast<double>(active_total) /
+                                     static_cast<double>(slots));
+    }
+
     r.add("home.getS", home_.stats().getS);
     r.add("home.getM", home_.stats().getM);
     r.add("home.putM", home_.stats().putM);

@@ -13,6 +13,7 @@
 
 #include "common/stats.h"
 #include "common/types.h"
+#include "core/clock.h"
 #include "core/cluster.h"
 #include "core/config.h"
 #include "isa/graph.h"
@@ -60,8 +61,17 @@ class Processor
     /** AIPC over the cycles simulated so far. */
     double aipc() const;
 
-    /** True when no token, request, or message remains anywhere. */
+    /**
+     * True when no token, request, or message remains anywhere.
+     * O(1) fast path: an empty wake set proves quiescence without
+     * walking the machine; otherwise falls back to the full walk
+     * (a future-armed component may still turn out to be idle).
+     */
     bool quiescent() const;
+
+    /** The wakeup scheduler (observability / tests). Component ids are
+     *  clusters in id order, then home, then mesh. */
+    const WakeupScheduler &scheduler() const { return sched_; }
 
     /** Full statistics report (execution, memory, network, traffic). */
     StatReport report() const;
@@ -78,6 +88,11 @@ class Processor
     void routeCoherence(Cycle now);
     void drainMesh(Cycle now);
     void injectOutbound(Cycle now);
+
+    /** Inject queued messages into the mesh until it refuses; whatever
+     *  stays queued retries next cycle (shared by the home retry queue
+     *  and every cluster's outbound queue). */
+    void injectWithRetry(std::deque<NetMessage> &q, Cycle now);
 
     /** True when CohType travels L1 → home. */
     static bool towardHome(CohType type);
@@ -98,6 +113,18 @@ class Processor
     RunCounters run_;
     IntervalTracer *tracer_ = nullptr;
     Cycle cycle_ = 0;
+
+    /** Wakeup scheduler over the top-level components: clusters (ids
+     *  0..N-1, matching ClusterId), then home (homeId_), then mesh
+     *  (meshId_). Bookkeeping is identical in both clocking modes; only
+     *  whether a non-due component still gets ticked differs. */
+    WakeupScheduler sched_;
+    ComponentId homeId_ = 0;
+    ComponentId meshId_ = 0;
+    bool gated_ = true;  ///< !cfg_.alwaysTick, cached.
+    /** Cycles each component was due (ticked in gated mode). Indexed by
+     *  component id; identical across clocking modes by construction. */
+    std::vector<Counter> activeCycles_;
 };
 
 } // namespace ws

@@ -11,6 +11,20 @@ IntervalTracer::IntervalTracer(std::ostream &os, Cycle interval)
 void
 IntervalTracer::sample(const Processor &proc)
 {
+    emitRow(proc, static_cast<double>(interval_));
+}
+
+void
+IntervalTracer::finish(const Processor &proc)
+{
+    if (proc.cycle() <= lastSample_)
+        return;
+    emitRow(proc, static_cast<double>(proc.cycle() - lastSample_));
+}
+
+void
+IntervalTracer::emitRow(const Processor &proc, double window)
+{
     if (!wroteHeader_) {
         os_ << "cycle,aipc_window,aipc_cumulative,executed_window,"
                "sb_requests_window,messages_window,l1_misses_window\n";
@@ -24,7 +38,6 @@ IntervalTracer::sample(const Processor &proc)
     const double traffic = r.get("traffic.total");
     const double l1_misses = r.get("l1.misses");
 
-    const double window = static_cast<double>(interval_);
     os_ << proc.cycle() << ',' << (useful - prevUseful_) / window << ','
         << proc.aipc() << ',' << executed - prevExecuted_ << ','
         << sb - prevSbRequests_ << ',' << traffic - prevTraffic_ << ','
@@ -35,6 +48,7 @@ IntervalTracer::sample(const Processor &proc)
     prevSbRequests_ = sb;
     prevTraffic_ = traffic;
     prevL1Misses_ = l1_misses;
+    lastSample_ = proc.cycle();
 }
 
 } // namespace ws

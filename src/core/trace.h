@@ -30,9 +30,22 @@ class IntervalTracer
     /** Emit one sample row; called by Processor::run(). */
     void sample(const Processor &proc);
 
+    /**
+     * Flush the final partial window. Called by Processor::run() when
+     * the run ends (completion, quiescence, or budget) between interval
+     * boundaries; the trailing cycles would otherwise be dropped. The
+     * row's window rates use the actual cycle delta, not interval().
+     * No-op when the run ended exactly on a boundary.
+     */
+    void finish(const Processor &proc);
+
   private:
+    /** Write one row covering @p window cycles ending now. */
+    void emitRow(const Processor &proc, double window);
+
     std::ostream &os_;
     Cycle interval_;
+    Cycle lastSample_ = 0;  ///< Cycle of the most recent row.
     bool wroteHeader_ = false;
     double prevUseful_ = 0;
     double prevExecuted_ = 0;

@@ -103,6 +103,20 @@ class L1Controller
     /** True when no request or transaction is outstanding. */
     bool idle() const;
 
+    /**
+     * Earliest cycle at which queued work becomes processable
+     * (kCycleNever when both timed queues are empty). MSHRs waiting on
+     * the home system carry no local event; the reply that unblocks
+     * them arrives through the scheduler-armed home/mesh path.
+     */
+    Cycle
+    nextEventCycle() const
+    {
+        const Cycle in = inQueue_.nextReady();
+        const Cycle done = doneTimed_.nextReady();
+        return in < done ? in : done;
+    }
+
   private:
     struct Access
     {
@@ -179,6 +193,22 @@ class HomeSystem
 
     /** True when no transaction or queued work remains. */
     bool idle() const;
+
+    /**
+     * Earliest cycle at which any queued directory work becomes ready
+     * (kCycleNever when none). Busy lines awaiting L1 acks have no
+     * local event; the ack wakes this component when it arrives.
+     */
+    Cycle
+    nextEventCycle() const
+    {
+        Cycle next = inQueue_.nextReady();
+        const Cycle out = outDelay_.nextReady();
+        if (out < next)
+            next = out;
+        const Cycle grant = grantDone_.nextReady();
+        return grant < next ? grant : next;
+    }
 
   private:
     enum class DirState : std::uint8_t

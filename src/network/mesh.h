@@ -62,6 +62,16 @@ class MeshNetwork
     /** True when no message is anywhere in the network. */
     bool idle() const;
 
+    /**
+     * Next-event view for the wakeup scheduler: any in-flight message
+     * can hop (or eject) next cycle; an empty network never wakes.
+     */
+    Cycle
+    nextEventCycle(Cycle now) const
+    {
+        return idle() ? kCycleNever : now + 1;
+    }
+
     int gridWidth() const { return gridW_; }
     int gridHeight() const { return gridH_; }
 

@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Activity-gated clocking tests.
+ *
+ * Three layers:
+ *  - WakeupScheduler unit tests: deterministic ordering, wake-only-
+ *    lowers, lazy-heap staleness pruning, O(1) anyArmed().
+ *  - GatedClocking: fast-forward and O(1) quiescence behave exactly
+ *    like the reference mode on single runs.
+ *  - ClockParity: the acceptance property — every kernel, at every
+ *    thread count, produces an *identical* SimResult and a
+ *    byte-identical StatReport under gated clocking and --always-tick,
+ *    on both the baseline machine and a multi-cluster grid (which
+ *    exercises the mesh, the coherence directory, and the inject-retry
+ *    paths). Also run through the SweepEngine at jobs > 1 so the TSan
+ *    CI job can race-check the gated hot loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "core/clock.h"
+#include "core/processor.h"
+#include "core/simulator.h"
+#include "core/trace.h"
+#include "driver/sweep_engine.h"
+#include "kernels/kernel.h"
+
+namespace ws {
+namespace {
+
+// ---------------------------------------------------------------------
+// WakeupScheduler
+// ---------------------------------------------------------------------
+
+TEST(WakeupScheduler, WakeDueConsumeRoundTrip)
+{
+    WakeupScheduler s;
+    const ComponentId a = s.add(nullptr);
+    const ComponentId b = s.add(nullptr);
+    EXPECT_EQ(a, 0u);
+    EXPECT_EQ(b, 1u);
+    EXPECT_EQ(s.size(), 2u);
+    EXPECT_FALSE(s.anyArmed());
+    EXPECT_EQ(s.nextWake(), kCycleNever);
+
+    s.wake(a, 5);
+    EXPECT_TRUE(s.anyArmed());
+    EXPECT_FALSE(s.due(a, 4));
+    EXPECT_TRUE(s.due(a, 5));
+    EXPECT_TRUE(s.due(a, 6));
+    EXPECT_FALSE(s.due(b, 100));
+    EXPECT_EQ(s.nextWake(), 5u);
+
+    s.consume(a);
+    EXPECT_FALSE(s.anyArmed());
+    EXPECT_FALSE(s.due(a, 1000));
+    EXPECT_EQ(s.nextWake(), kCycleNever);
+}
+
+TEST(WakeupScheduler, WakeOnlyEverLowers)
+{
+    WakeupScheduler s;
+    const ComponentId a = s.add(nullptr);
+    s.wake(a, 5);
+    s.wake(a, 10);  // Later: ignored.
+    EXPECT_EQ(s.nextWake(), 5u);
+    s.wake(a, 3);   // Earlier: lowers.
+    EXPECT_EQ(s.nextWake(), 3u);
+}
+
+TEST(WakeupScheduler, NeverIsIgnored)
+{
+    WakeupScheduler s;
+    const ComponentId a = s.add(nullptr);
+    s.wake(a, kCycleNever);
+    EXPECT_FALSE(s.anyArmed());
+    s.wake(a, 7);
+    s.wake(a, kCycleNever);  // Must not disturb the real arming.
+    EXPECT_EQ(s.nextWake(), 7u);
+}
+
+TEST(WakeupScheduler, StaleHeapEntriesArePruned)
+{
+    WakeupScheduler s;
+    const ComponentId a = s.add(nullptr);
+    const ComponentId b = s.add(nullptr);
+    s.wake(a, 4);
+    s.wake(b, 9);
+    s.wake(a, 2);          // Leaves a stale (4, a) entry behind.
+    EXPECT_EQ(s.nextWake(), 2u);
+    s.consume(a);          // Both (2, a) and (4, a) are now stale.
+    EXPECT_EQ(s.nextWake(), 9u);
+    s.consume(b);
+    EXPECT_EQ(s.nextWake(), kCycleNever);
+    EXPECT_FALSE(s.anyArmed());
+}
+
+TEST(WakeupScheduler, ConsumeThenRewakeSameCycleStaysValid)
+{
+    WakeupScheduler s;
+    const ComponentId a = s.add(nullptr);
+    s.wake(a, 6);
+    s.consume(a);
+    s.wake(a, 6);  // Re-arm at the very cycle just consumed.
+    EXPECT_TRUE(s.due(a, 6));
+    EXPECT_EQ(s.nextWake(), 6u);
+    s.consume(a);
+    EXPECT_EQ(s.nextWake(), kCycleNever);
+}
+
+TEST(WakeupScheduler, ArmedCountTracksDistinctComponents)
+{
+    WakeupScheduler s;
+    const ComponentId a = s.add(nullptr);
+    const ComponentId b = s.add(nullptr);
+    const ComponentId c = s.add(nullptr);
+    s.wake(a, 1);
+    s.wake(a, 1);  // Duplicate wake of an armed component.
+    s.wake(b, 2);
+    EXPECT_TRUE(s.anyArmed());
+    s.consume(a);
+    EXPECT_TRUE(s.anyArmed());
+    s.consume(c);  // Consuming an un-armed component is a no-op.
+    EXPECT_TRUE(s.anyArmed());
+    s.consume(b);
+    EXPECT_FALSE(s.anyArmed());
+}
+
+TEST(WakeupScheduler, EarliestWakeWinsAcrossComponents)
+{
+    WakeupScheduler s;
+    std::vector<ComponentId> ids;
+    for (int i = 0; i < 8; ++i)
+        ids.push_back(s.add(nullptr));
+    // Arm in scrambled order; nextWake must always report the min.
+    s.wake(ids[3], 30);
+    s.wake(ids[7], 10);
+    s.wake(ids[1], 20);
+    EXPECT_EQ(s.nextWake(), 10u);
+    s.consume(ids[7]);
+    EXPECT_EQ(s.nextWake(), 20u);
+    s.consume(ids[1]);
+    EXPECT_EQ(s.nextWake(), 30u);
+}
+
+// ---------------------------------------------------------------------
+// GatedClocking: fast-forward and quiescence on real runs
+// ---------------------------------------------------------------------
+
+/** Baseline config with an L2 large enough for every kernel. */
+ProcessorConfig
+testConfig(bool always_tick)
+{
+    ProcessorConfig cfg = ProcessorConfig::baseline();
+    cfg.memory.l2Bytes = 1 << 20;
+    cfg.alwaysTick = always_tick;
+    return cfg;
+}
+
+/** A 4-cluster grid: exercises mesh routing, the coherence directory,
+ *  and the outbound inject-retry paths under gating. */
+ProcessorConfig
+gridConfig(bool always_tick)
+{
+    ProcessorConfig cfg = testConfig(always_tick);
+    cfg.clusters = 4;
+    return cfg;
+}
+
+TEST(GatedClocking, FastForwardMatchesReferenceCycleCount)
+{
+    KernelParams p;
+    DataflowGraph g = buildRawdaudio(p);
+    Processor gated(g, testConfig(false));
+    Processor ref(g, testConfig(true));
+    ASSERT_TRUE(gated.run(2'000'000));
+    ASSERT_TRUE(ref.run(2'000'000));
+    EXPECT_EQ(gated.cycle(), ref.cycle());
+    EXPECT_EQ(gated.usefulExecuted(), ref.usefulExecuted());
+    EXPECT_TRUE(gated.quiescent());
+    EXPECT_TRUE(ref.quiescent());
+}
+
+TEST(GatedClocking, SchedulerRegistersClustersHomeAndMesh)
+{
+    KernelParams p;
+    DataflowGraph g = buildRawdaudio(p);
+    Processor proc(g, gridConfig(false));
+    // Clusters in id order, then home, then mesh.
+    EXPECT_EQ(proc.scheduler().size(), 4u + 2u);
+    for (ClusterId c = 0; c < 4; ++c)
+        EXPECT_EQ(proc.scheduler().component(c), &proc.cluster(c));
+}
+
+TEST(GatedClocking, QuiescentMachineHasEmptyWakeSet)
+{
+    // After a completed run the O(1) fast path and the structural walk
+    // must agree: nothing armed, everything idle.
+    KernelParams p;
+    DataflowGraph g = buildRawdaudio(p);
+    Processor proc(g, testConfig(false));
+    ASSERT_TRUE(proc.run(2'000'000));
+    EXPECT_TRUE(proc.quiescent());
+    EXPECT_FALSE(proc.scheduler().anyArmed());
+}
+
+TEST(GatedClocking, ActivityStatsAreExportedAndConsistent)
+{
+    KernelParams p;
+    DataflowGraph g = buildRawdaudio(p);
+    Processor proc(g, gridConfig(false));
+    ASSERT_TRUE(proc.run(2'000'000));
+    StatReport r = proc.report();
+    const double cycles = r.get("sim.cycles");
+    double active_sum = 0.0;
+    for (int c = 0; c < 4; ++c) {
+        const std::string key = "activity.cluster" + std::to_string(c);
+        const double active = r.get(key + ".active_cycles");
+        const double skipped = r.get(key + ".skipped_cycles");
+        EXPECT_DOUBLE_EQ(active + skipped, cycles) << key;
+        active_sum += active;
+    }
+    active_sum += r.get("activity.home.active_cycles");
+    active_sum += r.get("activity.mesh.active_cycles");
+    EXPECT_DOUBLE_EQ(r.get("activity.active_cycles"), active_sum);
+    EXPECT_DOUBLE_EQ(r.get("activity.active_cycles") +
+                         r.get("activity.skipped_cycles"),
+                     cycles * 6);
+    const double rate = r.get("activity.skip_rate");
+    EXPECT_GE(rate, 0.0);
+    EXPECT_LE(rate, 1.0);
+    // A single-threaded kernel on a 4-cluster grid leaves most of the
+    // machine idle most of the time; gating must actually skip work.
+    EXPECT_GT(r.get("activity.skipped_cycles"), 0.0);
+}
+
+TEST(GatedClocking, TracerRowsAreIdenticalAcrossModes)
+{
+    // Interval samples observe frozen state at exact cycle boundaries,
+    // so fast-forwarding must not change a single byte of the trace —
+    // including the final partial-window flush.
+    KernelParams p;
+    DataflowGraph g = buildRawdaudio(p);
+    std::ostringstream gated_csv;
+    std::ostringstream ref_csv;
+    {
+        Processor proc(g, testConfig(false));
+        IntervalTracer tracer(gated_csv, 256);
+        proc.attachTracer(&tracer);
+        ASSERT_TRUE(proc.run(2'000'000));
+    }
+    {
+        Processor proc(g, testConfig(true));
+        IntervalTracer tracer(ref_csv, 256);
+        proc.attachTracer(&tracer);
+        ASSERT_TRUE(proc.run(2'000'000));
+    }
+    EXPECT_EQ(gated_csv.str(), ref_csv.str());
+}
+
+// ---------------------------------------------------------------------
+// ClockParity: every kernel, both machine shapes, byte-identical
+// ---------------------------------------------------------------------
+
+void
+expectParity(const Kernel &kernel, const ProcessorConfig &gated_cfg,
+             unsigned threads)
+{
+    KernelParams p;
+    p.threads = threads;
+    DataflowGraph g = kernel.build(p);
+    ProcessorConfig ref_cfg = gated_cfg;
+    ref_cfg.alwaysTick = true;
+
+    const SimResult a = runSimulation(g, gated_cfg);
+    const SimResult b = runSimulation(g, ref_cfg);
+    EXPECT_EQ(a.completed, b.completed) << kernel.name;
+    EXPECT_EQ(a.cycles, b.cycles) << kernel.name;
+    EXPECT_EQ(a.useful, b.useful) << kernel.name;
+    EXPECT_DOUBLE_EQ(a.aipc, b.aipc) << kernel.name;
+    EXPECT_EQ(a.report.toString(), b.report.toString()) << kernel.name;
+}
+
+TEST(ClockParity, EveryKernelOnTheBaselineMachine)
+{
+    for (const Kernel &k : kernelRegistry())
+        expectParity(k, testConfig(false), 1);
+}
+
+TEST(ClockParity, EveryKernelOnAFourClusterGrid)
+{
+    for (const Kernel &k : kernelRegistry()) {
+        expectParity(k, gridConfig(false), 1);
+        if (k.multithreaded) {
+            expectParity(k, gridConfig(false), 2);
+            expectParity(k, gridConfig(false), 4);
+        }
+    }
+}
+
+TEST(ClockParity, EngineBatchesMatchAcrossModesAtJobsFour)
+{
+    // The same parity, but driven through the work-stealing sweep
+    // engine so the TSan CI job exercises the gated hot loop under
+    // real concurrency.
+    std::vector<SimJob> jobs[2];
+    for (int mode = 0; mode < 2; ++mode) {
+        for (const Kernel &k : kernelRegistry()) {
+            KernelParams p;
+            p.threads = k.multithreaded ? 2 : 1;
+            SimJob job;
+            job.graph =
+                std::make_shared<const DataflowGraph>(k.build(p));
+            job.cfg = gridConfig(mode == 0);
+            job.maxCycles = 400'000;
+            jobs[mode].push_back(std::move(job));
+        }
+    }
+    SweepEngine::Options opts;
+    opts.jobs = 4;
+    opts.progress = false;
+    SweepEngine engine(opts);
+    const std::vector<SimResult> ref = engine.run(jobs[0]);
+    const std::vector<SimResult> gated = engine.run(jobs[1]);
+    ASSERT_EQ(ref.size(), gated.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+        EXPECT_EQ(gated[i].cycles, ref[i].cycles) << "job " << i;
+        EXPECT_EQ(gated[i].report.toString(), ref[i].report.toString())
+            << "job " << i;
+    }
+}
+
+} // namespace
+} // namespace ws

@@ -49,11 +49,10 @@ TEST(Tracer, EmitsHeaderAndRows)
         executed_sum += std::stod(cell);
     }
     EXPECT_GT(rows, 3);
-    // Window deltas must sum to (at most) the final total: the last
-    // partial window is not sampled.
+    // Window deltas must sum to exactly the final total: run() flushes
+    // the last partial window through IntervalTracer::finish().
     const double total = proc.report().get("pe.executed");
-    EXPECT_LE(executed_sum, total + 1e-9);
-    EXPECT_GT(executed_sum, 0.8 * total);
+    EXPECT_NEAR(executed_sum, total, 1e-6);
 }
 
 TEST(Tracer, IntervalZeroIsClamped)
