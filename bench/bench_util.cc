@@ -1,6 +1,7 @@
 #include "bench/bench_util.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -45,12 +46,22 @@ parseArgs(int argc, char **argv)
             opts.pruneStatic = true;
         } else if (std::strcmp(arg, "--always-tick") == 0) {
             opts.alwaysTick = true;
+        } else if (std::strcmp(arg, "--check") == 0) {
+            opts.check = CheckLevel::kFull;
+        } else if (std::strncmp(arg, "--check=", 8) == 0) {
+            if (!parseCheckLevel(arg + 8, &opts.check)) {
+                std::fprintf(stderr,
+                             "%s: bad --check level '%s' (want off, "
+                             "cheap, or full)\n", argv[0], arg + 8);
+                std::exit(2);
+            }
         } else {
             std::fprintf(stderr,
                          "usage: %s [--quick] [--max-cycles=N] "
                          "[--scale=N] [--seed=N] [--jobs=N] "
                          "[--out-dir=PATH] [--no-json] "
-                         "[--prune-static] [--always-tick]\n", argv[0]);
+                         "[--prune-static] [--always-tick] "
+                         "[--check[=off|cheap|full]]\n", argv[0]);
             std::exit(2);
         }
     }
@@ -109,9 +120,11 @@ makeJob(const Kernel &kernel, const ProcessorConfig &cfg, int threads,
     SimJob job;
     job.graph = cachedGraph(kernel, params);
     job.cfg = cfg;
-    // The clocking mode participates in the config fingerprint, so
-    // gated and reference runs never alias in the SimCache.
+    // The clocking mode and check level participate in the config
+    // fingerprint, so differently-instrumented runs never alias in the
+    // SimCache.
     job.cfg.alwaysTick = opts.alwaysTick;
+    job.cfg.checkLevel = opts.check;
     job.maxCycles = opts.quick ? opts.maxCycles / 2 : opts.maxCycles;
     job.graphFp = kernelFingerprint(kernel, params);
     return job;
@@ -120,6 +133,10 @@ makeJob(const Kernel &kernel, const ProcessorConfig &cfg, int threads,
 /** Process-wide activity accumulator (see activityTotals()). */
 std::mutex g_activity_mutex;
 ActivityTotals g_activity;
+
+/** Process-wide wscheck violation accumulator (--check runs). */
+std::mutex g_check_mutex;
+Counter g_check_violations = 0;
 
 RunResult
 toRunResult(const SimResult &sim, int threads)
@@ -138,6 +155,13 @@ toRunResult(const SimResult &sim, int threads)
         g_activity.activeCycles += r.report.get("activity.active_cycles");
         g_activity.skippedCycles +=
             r.report.get("activity.skipped_cycles");
+    }
+    if (sim.checkViolations != 0) {
+        // Never silent: the rendered findings go to stderr immediately,
+        // and the total lands in the JSON twin at finish().
+        std::lock_guard<std::mutex> lock(g_check_mutex);
+        g_check_violations += sim.checkViolations;
+        std::fputs(sim.checkLog.c_str(), stderr);
     }
     return r;
 }
@@ -299,6 +323,13 @@ activityTotals()
     return g_activity;
 }
 
+Counter
+checkViolationTotal()
+{
+    std::lock_guard<std::mutex> lock(g_check_mutex);
+    return g_check_violations;
+}
+
 RunResult
 runKernelCfg(const Kernel &kernel, const ProcessorConfig &cfg,
              int threads, const BenchOptions &opts)
@@ -396,6 +427,41 @@ benchDesigns(const BenchOptions &opts)
     return thin;
 }
 
+namespace {
+
+/**
+ * Every number in an emitted JSON twin must be finite: a NaN or Inf
+ * means some rate was computed over a zero-length window (or similar)
+ * and would silently serialize as an unparseable token. Failing loudly
+ * at the writer pins the bug to the harness that produced it.
+ */
+void
+assertFinite(const Json &node, const std::string &path)
+{
+    switch (node.type()) {
+      case Json::Type::kNumber:
+        if (!std::isfinite(node.asNumber())) {
+            fatal("BenchReport: non-finite number at %s in the JSON "
+                  "twin (%f)", path.c_str(), node.asNumber());
+        }
+        return;
+      case Json::Type::kArray: {
+        std::size_t i = 0;
+        for (const Json &item : node.items())
+            assertFinite(item, path + "[" + std::to_string(i++) + "]");
+        return;
+      }
+      case Json::Type::kObject:
+        for (const auto &[key, value] : node.fields())
+            assertFinite(value, path.empty() ? key : path + "." + key);
+        return;
+      default:
+        return;
+    }
+}
+
+} // namespace
+
 void
 rule(int width)
 {
@@ -470,6 +536,16 @@ BenchReport::finish()
     for (const std::string &p : prunedPoints())
         skipped.push(Json(p));
     root_["pruned_points"] = std::move(skipped);
+    // wscheck: level this process ran at and total violations found.
+    {
+        Json check = Json::object();
+        check["level"] = checkLevelName(opts_.check);
+        check["violations"] =
+            static_cast<std::uint64_t>(checkViolationTotal());
+        root_["check"] = std::move(check);
+    }
+
+    assertFinite(root_, "");
 
     std::error_code ec;
     std::filesystem::create_directories(opts_.outDir, ec);
@@ -506,6 +582,7 @@ BenchReport::finish()
     Json entry = sweep;
     entry["quick"] = opts_.quick;
     entry["activity"] = act;
+    entry["check"] = root_["check"];
     merged["harnesses"][name_] = std::move(entry);
     {
         std::ofstream out(sweep_path);

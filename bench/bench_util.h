@@ -52,11 +52,17 @@ struct BenchOptions
                                ///  component every cycle instead of
                                ///  activity-gated wakeups. Results must
                                ///  be byte-identical either way.
+    CheckLevel check = CheckLevel::kOff;  ///< wscheck runtime invariant
+                               ///  level (--check[=cheap|full]). Never
+                               ///  changes any reported statistic;
+                               ///  violations are surfaced separately
+                               ///  and counted in the JSON twin.
     std::string outDir = "bench_results";
 };
 
 /** Parse --quick / --max-cycles=N / --scale=N / --seed=N / --jobs=N /
- *  --out-dir=PATH / --no-json / --prune-static / --always-tick. */
+ *  --out-dir=PATH / --no-json / --prune-static / --always-tick /
+ *  --check[=LEVEL]. */
 BenchOptions parseArgs(int argc, char **argv);
 
 /** The process-wide sweep engine (created on first use from @p opts;
@@ -121,6 +127,11 @@ struct ActivityTotals
 
 /** Process-wide activity totals (BenchReport::finish records them). */
 ActivityTotals activityTotals();
+
+/** Total wscheck violations across every run this process collected
+ *  (0 unless --check found real trouble; BenchReport::finish records
+ *  it and the first offending logs go to stderr as they happen). */
+Counter checkViolationTotal();
 
 /** Run @p kernel on @p design with a fixed thread count. */
 RunResult runKernel(const Kernel &kernel, const DesignPoint &design,

@@ -14,6 +14,10 @@
  *   --analyze     also report WS5xx optimization advisories and the
  *                 static profile summary (never affects exit status;
  *                 wsa-opt is the full analyzer)
+ *   --check       also *run* each graph briefly on the baseline machine
+ *                 with the wscheck runtime invariant layer at level
+ *                 full, reporting any WS6xx violations (and failing on
+ *                 them) — the dynamic complement of the static passes
  *   --quiet       suppress findings; exit status only
  *
  * Exit status: 0 clean, 1 findings at the failing severity, 2 usage or
@@ -30,6 +34,7 @@
 #include "analyze/rewriter.h"
 #include "common/log.h"
 #include "core/config.h"
+#include "core/simulator.h"
 #include "isa/assembly.h"
 #include "kernels/kernel.h"
 #include "verify/verifier.h"
@@ -43,6 +48,7 @@ struct Options
     bool strict = false;
     bool useConfig = true;
     bool analyze = false;
+    bool check = false;
     bool quiet = false;
 };
 
@@ -51,7 +57,7 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: wsa-lint [--strict] [--no-config] [--analyze] "
-                 "[--quiet] file.wsa...\n"
+                 "[--check] [--quiet] file.wsa...\n"
                  "       wsa-lint [options] --kernels\n"
                  "       wsa-lint --explain\n");
     return 2;
@@ -100,11 +106,26 @@ lintGraph(const std::string &label, const DataflowGraph &g,
                     static_cast<unsigned long long>(p.peakWidth),
                     advice.noteCount());
     }
+    bool check_failed = false;
+    if (opt.check && rep.ok()) {
+        // Dynamic pass: run the graph on the baseline machine with the
+        // runtime invariant layer at level full. Only statically-clean
+        // graphs run (the Processor refuses the others anyway).
+        ProcessorConfig cfg = ProcessorConfig::baseline();
+        cfg.checkLevel = CheckLevel::kFull;
+        SimOptions sim;
+        sim.maxCycles = 200'000;
+        const SimResult res = runSimulation(g, cfg, sim);
+        check_failed = res.checkViolations != 0;
+        if (check_failed && !opt.quiet)
+            std::fputs(res.checkLog.c_str(), stdout);
+    }
     if (!opt.quiet) {
         std::printf("%s: %s (%s)\n", label.c_str(),
-                    failed ? "FAIL" : "ok", rep.summary().c_str());
+                    (failed || check_failed) ? "FAIL" : "ok",
+                    rep.summary().c_str());
     }
-    return failed;
+    return failed || check_failed;
 }
 
 bool
@@ -161,6 +182,8 @@ main(int argc, char **argv)
             opt.useConfig = false;
         } else if (arg == "--analyze") {
             opt.analyze = true;
+        } else if (arg == "--check") {
+            opt.check = true;
         } else if (arg == "--quiet") {
             opt.quiet = true;
         } else if (arg == "--kernels") {

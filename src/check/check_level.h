@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The runtime-checker enablement level (src/check/checker.h).
+ *
+ * Kept standalone (no dependencies beyond <cstdint>) so that
+ * core/config.h can carry a CheckLevel field without the core layer
+ * depending on the checker implementation.
+ */
+
+#ifndef WS_CHECK_CHECK_LEVEL_H_
+#define WS_CHECK_CHECK_LEVEL_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace ws {
+
+/**
+ * How much dynamic invariant checking a simulation performs.
+ *
+ *  - kOff: no checker is constructed; the only residual cost is a
+ *    null-pointer test on a handful of hook sites. Output is
+ *    byte-identical to a build that never heard of wscheck.
+ *  - kCheap: O(1) event hooks (token conservation counters, wave-order
+ *    monotonicity, timed-queue pop contracts) plus the quiescence
+ *    audits that run once per quiescence detection.
+ *  - kFull: everything in kCheap plus periodic structural audits
+ *    (matching-table accounting, cross-L1 MESI pair legality), the
+ *    quiescence fast-path cross-check, and — under --always-tick —
+ *    the unarmed-work scheduler-soundness check.
+ *
+ * Checking never changes simulation behaviour: every level produces a
+ * byte-identical StatReport; levels differ only in what violations
+ * they can detect.
+ */
+enum class CheckLevel : std::uint8_t
+{
+    kOff = 0,
+    kCheap = 1,
+    kFull = 2,
+};
+
+/** "off"/"cheap"/"full" name for @p level. */
+inline const char *
+checkLevelName(CheckLevel level)
+{
+    switch (level) {
+      case CheckLevel::kOff:
+        return "off";
+      case CheckLevel::kCheap:
+        return "cheap";
+      case CheckLevel::kFull:
+        return "full";
+    }
+    return "?";
+}
+
+/** Parse "off"/"cheap"/"full" into @p out; false on anything else. */
+inline bool
+parseCheckLevel(const char *s, CheckLevel *out)
+{
+    if (std::strcmp(s, "off") == 0) {
+        *out = CheckLevel::kOff;
+        return true;
+    }
+    if (std::strcmp(s, "cheap") == 0) {
+        *out = CheckLevel::kCheap;
+        return true;
+    }
+    if (std::strcmp(s, "full") == 0) {
+        *out = CheckLevel::kFull;
+        return true;
+    }
+    return false;
+}
+
+} // namespace ws
+
+#endif // WS_CHECK_CHECK_LEVEL_H_

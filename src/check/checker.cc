@@ -1,0 +1,197 @@
+#include "check/checker.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace ws {
+
+CheckLevel
+effectiveCheckLevel(CheckLevel configured)
+{
+    if (configured != CheckLevel::kOff)
+        return configured;
+    // Read and parse WS_CHECK once; a malformed value is ignored (the
+    // harnesses expose --check for explicit control).
+    static const CheckLevel env_level = [] {
+        CheckLevel parsed = CheckLevel::kOff;
+        const char *env = std::getenv("WS_CHECK");
+        if (env != nullptr)
+            parseCheckLevel(env, &parsed);
+        return parsed;
+    }();
+    return env_level;
+}
+
+void
+CheckReport::add(DiagCode code, Cycle cycle, std::string where,
+                 std::string message)
+{
+    const std::size_t seen =
+        countByCode_[static_cast<std::uint16_t>(code)]++;
+    ++total_;
+    if (seen < kMaxStoredPerCode) {
+        events_.push_back(CheckEvent{code, cycle, std::move(where),
+                                     std::move(message)});
+    }
+}
+
+std::size_t
+CheckReport::count(DiagCode code) const
+{
+    auto it = countByCode_.find(static_cast<std::uint16_t>(code));
+    return it == countByCode_.end() ? 0 : it->second;
+}
+
+std::string
+CheckReport::summary() const
+{
+    std::ostringstream out;
+    out << total_ << (total_ == 1 ? " violation" : " violations");
+    if (total_ != 0) {
+        out << " (";
+        bool first = true;
+        // Report per-code counts in ascending code order for stable
+        // output (the map iteration order is not deterministic).
+        for (DiagCode code : allDiagCodes()) {
+            const std::size_t n = count(code);
+            if (n == 0)
+                continue;
+            if (!first)
+                out << ", ";
+            out << diagCodeLabel(code) << " x" << n;
+            first = false;
+        }
+        out << ")";
+    }
+    return out.str();
+}
+
+std::string
+CheckReport::render() const
+{
+    if (total_ == 0)
+        return "";
+    std::ostringstream out;
+    for (const CheckEvent &e : events_) {
+        out << "check[" << diagCodeLabel(e.code) << "] cycle " << e.cycle;
+        if (!e.where.empty())
+            out << " @ " << e.where;
+        out << ": " << e.message << "\n";
+    }
+    if (events_.size() < total_) {
+        out << "... " << (total_ - events_.size())
+            << " further events not stored\n";
+    }
+    out << summary() << "\n";
+    return out.str();
+}
+
+void
+RuntimeChecker::onWaveRetired(ClusterId sb, ThreadId thread, WaveNum wave,
+                              Cycle now)
+{
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(sb) << 16) | thread;
+    auto [it, inserted] = lastRetired_.try_emplace(key, wave);
+    if (!inserted) {
+        // Strictly increasing per thread; gaps are legal (a thread may
+        // skip waves that carry no memory operations).
+        if (wave <= it->second) {
+            std::ostringstream msg;
+            msg << "thread " << thread << " retired wave " << wave
+                << " at or below already-retired wave " << it->second;
+            report_.add(DiagCode::kWaveOrderRegression, now,
+                        "cluster " + std::to_string(sb) + " sb",
+                        msg.str());
+            return;
+        }
+        it->second = wave;
+    }
+}
+
+void
+RuntimeChecker::recordPopEarly(Cycle ready, Cycle now)
+{
+    std::ostringstream msg;
+    msg << "item with ready cycle " << ready << " popped at cycle "
+        << now;
+    report_.add(DiagCode::kQueuePopEarly, now, "timed queue", msg.str());
+}
+
+void
+RuntimeChecker::onUnarmedWork(const std::string &what, Cycle now)
+{
+    report_.add(DiagCode::kUnarmedWork, now, what,
+                "observable state changed on a tick the scheduler had "
+                "not armed this component for");
+}
+
+void
+RuntimeChecker::onQuiescenceMismatch(bool fast_path, Cycle now)
+{
+    report_.add(DiagCode::kQuiescenceMismatch, now, "processor",
+                fast_path
+                    ? "empty wake set claimed quiescence but the "
+                      "structural walk found live state"
+                    : "structural walk found the machine idle while "
+                      "components remain armed with due work");
+}
+
+void
+RuntimeChecker::auditMatching(const std::string &where, std::size_t valid,
+                              std::size_t recount, std::size_t capacity,
+                              Cycle now)
+{
+    if (valid != recount) {
+        std::ostringstream msg;
+        msg << "cached valid-row count " << valid
+            << " != structural recount " << recount;
+        report_.add(DiagCode::kMatchAccounting, now, where, msg.str());
+    }
+    if (recount > capacity) {
+        std::ostringstream msg;
+        msg << recount << " valid rows exceed the " << capacity
+            << "-row capacity";
+        report_.add(DiagCode::kMatchAccounting, now, where, msg.str());
+    }
+}
+
+void
+RuntimeChecker::auditConservation(Counter resident, bool completed,
+                                  Cycle now)
+{
+    if (created_ != consumed_ + resident) {
+        std::ostringstream msg;
+        msg << "created " << created_ << " != consumed " << consumed_
+            << " + resident " << resident << " (delta "
+            << (static_cast<std::int64_t>(created_) -
+                static_cast<std::int64_t>(consumed_ + resident))
+            << ")";
+        report_.add(DiagCode::kTokenConservation, now, "processor",
+                    msg.str());
+    }
+    // Resident unmatched tokens at *completed* quiescence are legal:
+    // steer emits on one side only, so consumers on the untaken path
+    // keep partially-filled rows forever. They are a bug report only
+    // when the program could not finish — the tokens that would have
+    // completed it are provably dead.
+    if (!completed && resident != 0) {
+        std::ostringstream msg;
+        msg << resident << " operand tokens remain in matching tables "
+            << "but the machine is quiescent: they can never match";
+        report_.add(DiagCode::kDeadTokens, now, "processor", msg.str());
+    }
+}
+
+void
+RuntimeChecker::onIllegalMesiPair(Addr line, unsigned em_holders,
+                                  unsigned s_holders, Cycle now)
+{
+    std::ostringstream msg;
+    msg << "line 0x" << std::hex << line << std::dec << ": "
+        << em_holders << " L1(s) in E/M alongside " << s_holders
+        << " in S";
+    report_.add(DiagCode::kIllegalMesiPair, now, "coherence", msg.str());
+}
+
+} // namespace ws

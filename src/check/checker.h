@@ -1,0 +1,216 @@
+/**
+ * @file
+ * wscheck: the runtime invariant checker (the dynamic sibling of
+ * src/verify).
+ *
+ * The static verifier proves properties of a *graph* before it runs;
+ * this layer watches the *machine* while it runs. It mirrors the
+ * verifier's architecture — stable WS6xx codes, collect-all report,
+ * one renderer — but findings are cycle-stamped events, not
+ * instruction-stamped ones.
+ *
+ * Layering: the checker depends only on common + the diagnostics
+ * engine (ws_isa). It never includes pe/memory/core headers; instead,
+ * components call the inline event hooks below, and the Processor
+ * (which already sees the whole machine) walks the hierarchy and feeds
+ * the structural audits plain numbers. That keeps ws_pe/ws_memory/
+ * ws_core free to link against ws_check without a cycle.
+ *
+ * Invariant families and their codes:
+ *   WS601 token conservation   created == consumed + resident at
+ *                              quiescence (every token injected is
+ *                              consumed, matched, or provably dead)
+ *   WS602 dead tokens          resident unmatched tokens when the
+ *                              program quiesced *incomplete* (resident
+ *                              tokens at completed quiescence are
+ *                              legal: steer feeds one side, so
+ *                              partially-fed consumers remain)
+ *   WS603 matching accounting  per-PE valid-row count matches a
+ *                              structural recount and never exceeds
+ *                              capacity
+ *   WS604 wave-order           store buffers retire waves strictly
+ *                              monotonically per thread
+ *   WS605 MESI pair legality   across L1s, at most one E/M holder per
+ *                              line and never E/M alongside S (the
+ *                              only pair invariant that survives
+ *                              silent clean evictions)
+ *   WS606 scheduler soundness  no component changes observable state
+ *                              on a cycle it was not armed for (the
+ *                              key gated-clocking invariant; checked
+ *                              under --always-tick at level full)
+ *   WS607 queue pop contract   TimedQueue::pop(now) only removes items
+ *                              whose ready cycle has arrived
+ *   WS608 quiescence agreement the O(1) empty-wake-set fast path
+ *                              agrees with the structural idle walk
+ *
+ * Checking never changes simulation behaviour at any level; the
+ * StatReport stays byte-identical, violations are reported separately.
+ */
+
+#ifndef WS_CHECK_CHECKER_H_
+#define WS_CHECK_CHECKER_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "check/check_level.h"
+#include "common/runtime_hook.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "verify/diagnostic.h"
+
+namespace ws {
+
+/**
+ * The check level a simulation should actually run at: the configured
+ * level, unless it is kOff and the WS_CHECK environment variable
+ * ("off" | "cheap" | "full", read once per process) raises it. The
+ * override lets CI run the entire existing suite under full checking
+ * without touching any test; explicitly-configured non-off levels
+ * always win. The config fingerprint keeps the *configured* value —
+ * checking never changes statistics, so cache aliasing across
+ * env-raised levels is harmless.
+ */
+CheckLevel effectiveCheckLevel(CheckLevel configured);
+
+/** One runtime finding: a WS6xx code stamped with the cycle and the
+ *  component ("cluster 2 sb", "pe (0,1,3)") it was observed at. */
+struct CheckEvent
+{
+    DiagCode code;
+    Cycle cycle = 0;
+    std::string where;
+    std::string message;
+};
+
+/**
+ * Collect-all result of one checked simulation (mirrors VerifyReport).
+ * Every violation is counted; per code, only the first
+ * kMaxStoredPerCode events keep their full text, so a hot broken
+ * invariant cannot balloon memory.
+ */
+class CheckReport
+{
+  public:
+    static constexpr std::size_t kMaxStoredPerCode = 32;
+
+    /** Record one violation of @p code observed at @p cycle. */
+    void add(DiagCode code, Cycle cycle, std::string where,
+             std::string message);
+
+    /** True when no violation was recorded. */
+    bool ok() const { return total_ == 0; }
+
+    /** Total violations (including ones beyond the storage cap). */
+    std::size_t violationCount() const { return total_; }
+
+    /** Occurrences of @p code. */
+    std::size_t count(DiagCode code) const;
+    bool has(DiagCode code) const { return count(code) != 0; }
+
+    const std::vector<CheckEvent> &events() const { return events_; }
+
+    /**
+     * Render every stored finding, one line each:
+     *
+     *   check[WS604] cycle 1042 @ cluster 0 sb: wave 3 retired after 5
+     *
+     * followed by a summary line. Returns "" when the report is empty.
+     */
+    std::string render() const;
+
+    /** "3 violations (WS601 x1, WS604 x2)"-style roll-up. */
+    std::string summary() const;
+
+  private:
+    std::vector<CheckEvent> events_;
+    std::unordered_map<std::uint16_t, std::size_t> countByCode_;
+    std::size_t total_ = 0;
+};
+
+/**
+ * The per-simulation runtime checker. Owned by the Processor when
+ * ProcessorConfig::checkLevel != kOff; every hook site in the machine
+ * holds a raw pointer that is null when checking is off, so the
+ * off-level cost is one branch per site.
+ */
+class RuntimeChecker : public QueueCheckHook
+{
+  public:
+    explicit RuntimeChecker(CheckLevel level) : level_(level) {}
+
+    CheckLevel level() const { return level_; }
+    bool cheap() const { return level_ >= CheckLevel::kCheap; }
+    bool full() const { return level_ == CheckLevel::kFull; }
+
+    // ---- event hooks (inline; called from the machine's hot paths) ----
+
+    /** @p n tokens entered the machine (initial injection, PE fan-out,
+     *  or load-reply fan-out). */
+    void onTokensCreated(Counter n) { created_ += n; }
+
+    /** A fired instruction consumed @p n operand tokens. */
+    void onTokensConsumed(Counter n) { consumed_ += n; }
+
+    /** Store buffer @p sb retired @p wave for @p thread (WS604). */
+    void onWaveRetired(ClusterId sb, ThreadId thread, WaveNum wave,
+                       Cycle now);
+
+    /** QueueCheckHook: a timed queue popped an item (WS607). */
+    void
+    onQueuePop(Cycle ready, Cycle now) override
+    {
+        if (ready > now)
+            recordPopEarly(ready, now);
+    }
+
+    /** A non-due component's tick changed observable state (WS606). */
+    void onUnarmedWork(const std::string &what, Cycle now);
+
+    /** The quiescence fast path contradicted the full walk (WS608). */
+    void onQuiescenceMismatch(bool fast_path, Cycle now);
+
+    // ---- structural audits (fed plain numbers by the Processor) ----
+
+    /**
+     * WS603: one matching table's accounting. @p valid is the cached
+     * valid-row count, @p recount the structural recount, @p capacity
+     * the configured row count.
+     */
+    void auditMatching(const std::string &where, std::size_t valid,
+                       std::size_t recount, std::size_t capacity,
+                       Cycle now);
+
+    /**
+     * WS601/WS602: conservation at quiescence. @p resident is the
+     * machine-wide count of operand tokens held in matching tables
+     * (cache + overflow); @p completed whether the program delivered
+     * its expected sink tokens.
+     */
+    void auditConservation(Counter resident, bool completed, Cycle now);
+
+    /** WS605: record one illegal MESI pair the Processor's scan found. */
+    void onIllegalMesiPair(Addr line, unsigned em_holders,
+                           unsigned s_holders, Cycle now);
+
+    Counter tokensCreated() const { return created_; }
+    Counter tokensConsumed() const { return consumed_; }
+
+    const CheckReport &report() const { return report_; }
+
+  private:
+    void recordPopEarly(Cycle ready, Cycle now);
+
+    CheckLevel level_;
+    CheckReport report_;
+    Counter created_ = 0;
+    Counter consumed_ = 0;
+    /** (store buffer, thread) → highest wave retired so far. */
+    std::unordered_map<std::uint64_t, WaveNum> lastRetired_;
+};
+
+} // namespace ws
+
+#endif // WS_CHECK_CHECKER_H_

@@ -1,0 +1,7 @@
+#include "common/runtime_hook.h"
+
+namespace ws {
+
+thread_local QueueCheckHook *tlsQueueCheckHook = nullptr;
+
+} // namespace ws

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Thread-local runtime-check hook for layers below src/check.
+ *
+ * TimedQueue (src/network) sits at the bottom of the layering and
+ * cannot see the RuntimeChecker, so its pop() contract ("ready(now)
+ * must hold") is checked through this indirection: the Processor
+ * installs its checker here for the duration of each tick (per
+ * simulation thread — sweeps run simulations concurrently), and the
+ * queue reports through whatever is installed. With no checker the
+ * cost is one thread-local load and branch per pop.
+ */
+
+#ifndef WS_COMMON_RUNTIME_HOOK_H_
+#define WS_COMMON_RUNTIME_HOOK_H_
+
+#include "common/types.h"
+
+namespace ws {
+
+/** Receiver side of the hook (implemented by RuntimeChecker). */
+class QueueCheckHook
+{
+  public:
+    virtual ~QueueCheckHook() = default;
+
+    /** A timed queue popped an item stamped @p ready at cycle @p now. */
+    virtual void onQueuePop(Cycle ready, Cycle now) = 0;
+};
+
+/** The per-thread installed hook (null when checking is off). */
+extern thread_local QueueCheckHook *tlsQueueCheckHook;
+
+/** RAII install/restore of the thread's hook. */
+class ScopedQueueCheckHook
+{
+  public:
+    explicit ScopedQueueCheckHook(QueueCheckHook *hook)
+        : saved_(tlsQueueCheckHook)
+    {
+        tlsQueueCheckHook = hook;
+    }
+
+    ~ScopedQueueCheckHook() { tlsQueueCheckHook = saved_; }
+
+    ScopedQueueCheckHook(const ScopedQueueCheckHook &) = delete;
+    ScopedQueueCheckHook &operator=(const ScopedQueueCheckHook &) = delete;
+
+  private:
+    QueueCheckHook *saved_;
+};
+
+} // namespace ws
+
+#endif // WS_COMMON_RUNTIME_HOOK_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "common/rng.h"
 
 namespace ws {
 
@@ -62,6 +63,12 @@ Cluster::tick(Cycle now)
         // Route completed loads to the consumers of the load
         // instruction.
         for (const LoadDone &ld : sb_->drainLoadDones()) {
+            // Load replies are token creation outside any PE (wscheck
+            // WS601).
+            if (checker_ != nullptr) {
+                checker_->onTokensCreated(
+                    graph_->inst(ld.inst).outs[0].size());
+            }
             for (const PortRef &ref : graph_->inst(ld.inst).outs[0]) {
                 const Token token{ld.tag, ref, ld.value};
                 const PeCoord dst = place_->home(ref.inst);
@@ -156,6 +163,27 @@ Cluster::tick(Cycle now)
         next = std::min(next, dom->memOut().nextReady());
     }
     nextEvent_ = next;
+}
+
+void
+Cluster::setChecker(RuntimeChecker *checker)
+{
+    checker_ = checker;
+    sb_->setChecker(checker);
+}
+
+std::uint64_t
+Cluster::workSignature() const
+{
+    std::uint64_t h = 0x636c757374657200ULL;  // "cluster" salt.
+    for (const auto &dom : domains_)
+        h = hashCombine(h, dom->workSignature());
+    h = hashCombine(h, sb_->workSignature());
+    h = hashCombine(h, l1_->workSignature());
+    h = hashCombine(h, static_cast<std::uint64_t>(interDomain_.size()));
+    h = hashCombine(h, static_cast<std::uint64_t>(sbIn_.size()));
+    h = hashCombine(h, static_cast<std::uint64_t>(outboundNet_.size()));
+    return h;
 }
 
 bool

@@ -67,6 +67,17 @@ class Cluster : public Clocked
     L1Controller &l1() { return *l1_; }
     const L1Controller &l1() const { return *l1_; }
 
+    /**
+     * Attach the runtime invariant checker (wscheck). Forwards to the
+     * store buffer (WS604) and is kept locally so load-reply fanout —
+     * token creation that happens here, not in a PE — is counted for
+     * WS601 conservation.
+     */
+    void setChecker(RuntimeChecker *checker);
+
+    /** Progress-indicator hash over the whole cluster (wscheck WS606). */
+    std::uint64_t workSignature() const;
+
     bool idle() const;
 
   private:
@@ -79,6 +90,7 @@ class Cluster : public Clocked
     std::vector<std::unique_ptr<Domain>> domains_;
     std::unique_ptr<L1Controller> l1_;
     std::unique_ptr<StoreBuffer> sb_;
+    RuntimeChecker *checker_ = nullptr;  ///< Null when checking is off.
     Cycle nextEvent_ = 0;  ///< See nextEventCycle(); 0 = armed at start.
 
     TimedQueue<Token> interDomain_;   ///< Cross-domain operand hops.

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 
+#include "check/check_level.h"
 #include "common/types.h"
 #include "memory/coherence.h"
 #include "memory/store_buffer.h"
@@ -81,6 +82,20 @@ struct ProcessorConfig
      * suspected. Exposed as --always-tick on every bench harness.
      */
     bool alwaysTick = false;
+
+    /**
+     * Runtime invariant checking (src/check). kOff constructs no
+     * checker; kCheap adds O(1) event hooks and quiescence audits;
+     * kFull adds periodic structural audits and (with alwaysTick) the
+     * scheduler-soundness check. Never changes simulation results —
+     * but it *is* part of the fingerprint, so the sweep driver's
+     * SimCache never aliases checked and unchecked runs (their
+     * SimResults differ in the check fields). The WS_CHECK environment
+     * variable (off/cheap/full) raises kOff at Processor construction;
+     * explicit non-off settings always win. Exposed as --check[=level]
+     * on every bench harness.
+     */
+    CheckLevel checkLevel = CheckLevel::kOff;
 
     /** The paper's Table-1 baseline single-cluster machine. */
     static ProcessorConfig baseline();

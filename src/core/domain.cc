@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "common/rng.h"
 
 namespace ws {
 
@@ -109,6 +110,21 @@ Domain::tick(Cycle now)
     next = std::min(next, netIn_.nextReady());
     next = std::min(next, memIn_.nextReady());
     nextEvent_ = next;
+}
+
+std::uint64_t
+Domain::workSignature() const
+{
+    std::uint64_t h = 0x646f6d5f7369676eULL;  // "dom_sign" salt.
+    for (const auto &pe : pes_)
+        h = hashCombine(h, pe->workSignature());
+    h = hashCombine(h, fpu_.issued());
+    h = hashCombine(h, static_cast<std::uint64_t>(delivery_.size()));
+    h = hashCombine(h, static_cast<std::uint64_t>(netOut_.size()));
+    h = hashCombine(h, static_cast<std::uint64_t>(memOut_.size()));
+    h = hashCombine(h, static_cast<std::uint64_t>(netIn_.size()));
+    h = hashCombine(h, static_cast<std::uint64_t>(memIn_.size()));
+    return h;
 }
 
 bool

@@ -80,6 +80,13 @@ class Domain : public Clocked
     std::size_t numPes() const { return pes_.size(); }
     const DomainFpu &fpu() const { return fpu_; }
 
+    /**
+     * Hash of every observable-progress indicator of this domain and
+     * its PEs (wscheck WS606): ticking on a cycle the domain was not
+     * armed for must leave this unchanged.
+     */
+    std::uint64_t workSignature() const;
+
     bool idle() const;
 
   private:

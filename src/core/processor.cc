@@ -1,6 +1,7 @@
 #include "core/processor.h"
 
 #include <string>
+#include <unordered_map>
 
 #include "core/trace.h"
 
@@ -46,6 +47,13 @@ Processor::Processor(const DataflowGraph &graph, const ProcessorConfig &cfg)
              graph_.name().c_str(), rep.render().c_str());
     }
 
+    // Runtime invariant checking (wscheck): instantiated only when the
+    // effective level (config, or the WS_CHECK env override) is on, so
+    // every hook site below stays a null-pointer branch when off.
+    const CheckLevel check_level = effectiveCheckLevel(cfg_.checkLevel);
+    if (check_level != CheckLevel::kOff)
+        checker_ = std::make_unique<RuntimeChecker>(check_level);
+
     // Build the tile hierarchy.
     clusters_.reserve(cfg_.clusters);
     for (ClusterId c = 0; c < cfg_.clusters; ++c) {
@@ -90,8 +98,10 @@ Processor::Processor(const DataflowGraph &graph, const ProcessorConfig &cfg)
             for (PeId p = 0; p < dom.numPes(); ++p) {
                 dom.pe(p).setWaveWindow(&window_);
                 dom.pe(p).setRunCounters(&run_);
+                dom.pe(p).setChecker(checker_.get());
             }
         }
+        cluster->setChecker(checker_.get());
     }
     threadsByCluster_.resize(cfg_.clusters);
     for (ThreadId t = 0; t < graph_.numThreads(); ++t)
@@ -104,6 +114,9 @@ Processor::Processor(const DataflowGraph &graph, const ProcessorConfig &cfg)
         const PeCoord dst = place_.home(token.dst.inst);
         clusters_[dst.cluster]->domain(dst.domain).pushDelivery(token, 0);
     }
+    // Program-input tokens enter the conservation ledger here (WS601).
+    if (checker_ != nullptr)
+        checker_->onTokensCreated(graph_.initialTokens().size());
 
     // Clocking: register the top-level components with the wakeup
     // scheduler — clusters in id order (component id == ClusterId),
@@ -234,6 +247,12 @@ void
 Processor::tick()
 {
     const Cycle now = cycle_;
+    // Install the checker as this thread's TimedQueue pop hook (WS607)
+    // for the duration of the tick. TimedQueue sits below src/check in
+    // the layering, so it reports through the thread-local indirection;
+    // scoping the install per tick keeps concurrent sweep simulations
+    // (one per thread) from observing each other's checkers.
+    const ScopedQueueCheckHook queue_hook(checker_.get());
     // Refresh the k-loop-bounding window from the store buffers — but
     // only for clusters whose buffer actually retired a wave since the
     // last refresh (the dirty flag); the unconditional per-tick walk
@@ -264,13 +283,30 @@ Processor::tick()
         drainMesh(now);
     }
 
+    // WS606 (scheduler soundness): in the reference mode at level full,
+    // every component ticks every cycle, so a non-due tick can be
+    // directly audited — its progress signature must not move. (Under
+    // gated clocking non-due components are skipped, so the same bug
+    // would surface as a parity divergence instead; the mesh has no
+    // cheap signature and is covered by the parity suite alone.)
+    const bool audit_unarmed =
+        checker_ != nullptr && checker_->full() && !gated_;
+
     const bool home_due = sched_.due(homeId_, now);
     if (home_due) {
         ++activeCycles_[homeId_];
         sched_.consume(homeId_);
     }
-    if (!gated_ || home_due)
-        home_.tick(now);
+    if (!gated_ || home_due) {
+        if (audit_unarmed && !home_due) {
+            const std::uint64_t before = home_.workSignature();
+            home_.tick(now);
+            if (home_.workSignature() != before)
+                checker_->onUnarmedWork("home", now);
+        } else {
+            home_.tick(now);
+        }
+    }
 
     for (ClusterId c = 0; c < cfg_.clusters; ++c) {
         const bool due = sched_.due(c, now);
@@ -278,8 +314,18 @@ Processor::tick()
             ++activeCycles_[c];
             sched_.consume(c);
         }
-        if (!gated_ || due)
-            clusters_[c]->tick(now);
+        if (!gated_ || due) {
+            if (audit_unarmed && !due) {
+                const std::uint64_t before = clusters_[c]->workSignature();
+                clusters_[c]->tick(now);
+                if (clusters_[c]->workSignature() != before) {
+                    checker_->onUnarmedWork(
+                        "cluster " + std::to_string(c), now);
+                }
+            } else {
+                clusters_[c]->tick(now);
+            }
+        }
     }
 
     // Routing and injection are cheap self-gating scans that must run
@@ -296,6 +342,12 @@ Processor::tick()
         sched_.wake(c, clusters_[c]->nextEventCycle());
     sched_.wake(homeId_, home_.nextEventCycle());
     sched_.wake(meshId_, mesh_.nextEventCycle(now));
+
+    // Periodic structural audits at level full: cheap enough at a
+    // 256-cycle stride to run on every simulation, frequent enough to
+    // localize a corruption to within one stride of its cause.
+    if (checker_ != nullptr && checker_->full() && (now & 0xff) == 0)
+        auditStructures(now);
     ++cycle_;
 }
 
@@ -315,6 +367,7 @@ Processor::run(Cycle max_cycles)
             // and coherence transaction has drained.
             if (tracer_ != nullptr)
                 tracer_->finish(*this);
+            auditQuiescence(/*completed=*/true);
             return true;
         }
         // Probe on the final cycle too: with max_cycles < 1024 the
@@ -328,7 +381,13 @@ Processor::run(Cycle max_cycles)
             // deadlocked; the caller distinguishes via sinkCount().
             if (tracer_ != nullptr)
                 tracer_->finish(*this);
-            return expected == 0 || sinkCount() >= expected;
+            const bool completed =
+                expected == 0 || sinkCount() >= expected;
+            // An incomplete quiescence with resident tokens is the
+            // dead-token signature (WS602): the machine terminated
+            // instead of hanging, and the checker names the reason.
+            auditQuiescence(completed);
+            return completed;
         }
 
         // Fast-forward: with gated clocking the scheduler knows the
@@ -360,6 +419,11 @@ Processor::run(Cycle max_cycles)
     }
     if (tracer_ != nullptr)
         tracer_->finish(*this);
+    // Budget exhausted mid-flight: conservation cannot be asserted (the
+    // in-flight queues hold uncounted tokens), but the structural
+    // invariants hold at any cycle.
+    if (checker_ != nullptr && checker_->full())
+        auditStructures(cycle_);
     return expected != 0 && sinkCount() >= expected;
 }
 
@@ -381,13 +445,109 @@ Processor::quiescent() const
     // (hence armed) mesh. Spurious armings (a stale direct wake whose
     // work already drained) only delay taking this path, never falsify
     // it, so the full walk remains as the fallback.
-    if (!sched_.anyArmed() && homeOutRetry_.empty())
+    if (!sched_.anyArmed() && homeOutRetry_.empty()) {
+        // WS608: the fast path's claim must agree with the structural
+        // walk. Cross-checked only when a checker is attached (the walk
+        // is what the fast path exists to avoid); the claim is still
+        // returned either way so checking never changes behaviour.
+        if (checker_ != nullptr && checker_->cheap()) {
+            bool walk_idle = mesh_.idle() && home_.idle();
+            for (const auto &cluster : clusters_) {
+                if (!walk_idle)
+                    break;
+                walk_idle = cluster->idle();
+            }
+            if (!walk_idle)
+                checker_->onQuiescenceMismatch(/*fast_path=*/true, cycle_);
+        }
         return true;
+    }
     for (const auto &cluster : clusters_) {
         if (!cluster->idle())
             return false;
     }
     return mesh_.idle() && home_.idle() && homeOutRetry_.empty();
+}
+
+Counter
+Processor::residentTokens() const
+{
+    // At quiescence every queue is empty, so the only place an operand
+    // token can rest is a matching-table row (cache or overflow).
+    Counter resident = 0;
+    for (const auto &cluster : clusters_) {
+        for (DomainId d = 0; d < cfg_.domainsPerCluster; ++d) {
+            const Domain &dom = cluster->domain(d);
+            for (PeId p = 0; p < dom.numPes(); ++p)
+                resident += dom.pe(p).matching().residentOperands();
+        }
+    }
+    return resident;
+}
+
+void
+Processor::auditStructures(Cycle now)
+{
+    if (checker_ == nullptr)
+        return;
+
+    // WS603: every matching table's incremental accounting.
+    for (ClusterId c = 0; c < cfg_.clusters; ++c) {
+        for (DomainId d = 0; d < cfg_.domainsPerCluster; ++d) {
+            const Domain &dom = clusters_[c]->domain(d);
+            for (PeId p = 0; p < dom.numPes(); ++p) {
+                const MatchingTable &mt = dom.pe(p).matching();
+                checker_->auditMatching(
+                    "pe (" + std::to_string(c) + "," + std::to_string(d) +
+                        "," + std::to_string(p) + ")",
+                    mt.validRows(), mt.recountValidRows(), mt.entries(),
+                    now);
+            }
+        }
+    }
+
+    // WS605: cross-L1 MESI pair legality. Lines with an in-flight
+    // directory transaction are skipped — transient overlap is the
+    // protocol working, not a violation. Silent clean evictions make
+    // directory-vs-L1 agreement uncheckable; the pair invariant across
+    // L1s is what must always hold for stable states.
+    std::vector<std::pair<Addr, std::uint8_t>> lines;
+    std::unordered_map<Addr, std::pair<unsigned, unsigned>> holders;
+    for (ClusterId c = 0; c < cfg_.clusters; ++c) {
+        lines.clear();
+        clusters_[c]->l1().collectLines(lines);
+        for (const auto &[line, state] : lines) {
+            auto &[em, s] = holders[line];
+            if (state == kMesiExclusive || state == kMesiModified)
+                ++em;
+            else if (state == kMesiShared)
+                ++s;
+        }
+    }
+    for (const auto &[line, counts] : holders) {
+        const auto &[em, s] = counts;
+        if (em == 0 || (em == 1 && s == 0))
+            continue;
+        if (home_.lineBusy(line))
+            continue;
+        checker_->onIllegalMesiPair(line, em, s, now);
+    }
+}
+
+void
+Processor::auditQuiescence(bool completed)
+{
+    if (checker_ == nullptr)
+        return;
+    checker_->auditConservation(residentTokens(), completed, cycle_);
+    if (checker_->full())
+        auditStructures(cycle_);
+}
+
+void
+Processor::auditNow()
+{
+    auditStructures(cycle_);
 }
 
 StatReport

@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "check/checker.h"
 #include "common/stats.h"
 #include "common/types.h"
 #include "core/clock.h"
@@ -76,6 +77,21 @@ class Processor
     /** Full statistics report (execution, memory, network, traffic). */
     StatReport report() const;
 
+    /**
+     * The runtime invariant checker (wscheck), or null when the
+     * effective check level is off. Violations accumulate in
+     * checker()->report(); they never alter simulation behaviour.
+     */
+    const RuntimeChecker *checker() const { return checker_.get(); }
+
+    /**
+     * Run the structural audits (WS603 matching accounting, WS605 MESI
+     * pair legality) immediately. No-op when checking is off. Exposed
+     * so tests and wsa-lint can audit at chosen points instead of
+     * waiting for the periodic full-level sweep.
+     */
+    void auditNow();
+
     const Placement &placement() const { return place_; }
     const TrafficStats &traffic() const { return traffic_; }
     Cluster &cluster(ClusterId c) { return *clusters_.at(c); }
@@ -88,6 +104,14 @@ class Processor
     void routeCoherence(Cycle now);
     void drainMesh(Cycle now);
     void injectOutbound(Cycle now);
+
+    /** WS603 + WS605 structural audits (full level, periodic). */
+    void auditStructures(Cycle now);
+    /** WS601/WS602 conservation + structural audits at a quiescence
+     *  exit of run(). @p completed: the program delivered its sinks. */
+    void auditQuiescence(bool completed);
+    /** Operand tokens resident in matching tables machine-wide. */
+    Counter residentTokens() const;
 
     /** Inject queued messages into the mesh until it refuses; whatever
      *  stays queued retries next cycle (shared by the home retry queue
@@ -113,6 +137,8 @@ class Processor
     RunCounters run_;
     IntervalTracer *tracer_ = nullptr;
     Cycle cycle_ = 0;
+    /** wscheck; null when the effective check level is off. */
+    std::unique_ptr<RuntimeChecker> checker_;
 
     /** Wakeup scheduler over the top-level components: clusters (ids
      *  0..N-1, matching ClusterId), then home (homeId_), then mesh

@@ -13,6 +13,10 @@ runSimulation(const DataflowGraph &graph, const ProcessorConfig &cfg,
     result.useful = proc.usefulExecuted();
     result.aipc = proc.aipc();
     result.report = proc.report();
+    if (proc.checker() != nullptr) {
+        result.checkViolations = proc.checker()->report().violationCount();
+        result.checkLog = proc.checker()->report().render();
+    }
     return result;
 }
 

@@ -8,6 +8,8 @@
 #ifndef WS_CORE_SIMULATOR_H_
 #define WS_CORE_SIMULATOR_H_
 
+#include <string>
+
 #include "common/stats.h"
 #include "common/types.h"
 #include "core/config.h"
@@ -32,6 +34,12 @@ struct SimResult
                              ///  proved the point statically dominated
                              ///  (SweepEngine::runGrouped).
     StatReport report;
+    /** wscheck: runtime invariant violations (0 when checking is off
+     *  or the run was clean). Never part of `report` — checking must
+     *  not perturb the statistics surface. */
+    Counter checkViolations = 0;
+    /** Rendered wscheck findings ("" when none). */
+    std::string checkLog;
 };
 
 /** Build, run, and summarize one simulation. */

@@ -137,4 +137,14 @@ TagArray::validLines() const
     return n;
 }
 
+void
+TagArray::collectValid(
+    std::vector<std::pair<Addr, std::uint8_t>> &out) const
+{
+    for (const Line &line : lines_) {
+        if (line.state != 0)
+            out.emplace_back(line.addr, line.state);
+    }
+}
+
 } // namespace ws

@@ -63,6 +63,9 @@ class TagArray
     /** Number of valid lines (tests). */
     std::size_t validLines() const;
 
+    /** Append every valid (lineAddr, state) pair to @p out (wscheck). */
+    void collectValid(std::vector<std::pair<Addr, std::uint8_t>> &out) const;
+
     unsigned numSets() const { return sets_; }
     unsigned ways() const { return ways_; }
     unsigned lineBytes() const { return lineBytes_; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "common/rng.h"
 
 namespace ws {
 
@@ -183,6 +184,33 @@ L1Controller::idle() const
 {
     return inQueue_.empty() && doneTimed_.empty() && done_.empty() &&
            outbox_.empty() && mshrs_.empty();
+}
+
+std::uint64_t
+L1Controller::workSignature() const
+{
+    std::uint64_t h = 0x6c315f7369676e00ULL;  // "l1_sign" salt.
+    for (std::uint64_t v : {
+             stats_.reads,
+             stats_.writes,
+             stats_.hits,
+             stats_.misses,
+             stats_.mshrHits,
+             stats_.upgrades,
+             stats_.writebacks,
+             stats_.invsReceived,
+             stats_.downgradesReceived,
+             stats_.portRetries,
+             static_cast<std::uint64_t>(inQueue_.size()),
+             static_cast<std::uint64_t>(doneTimed_.size()),
+             static_cast<std::uint64_t>(done_.size()),
+             static_cast<std::uint64_t>(outbox_.size()),
+             static_cast<std::uint64_t>(mshrs_.size()),
+             static_cast<std::uint64_t>(tags_.validLines()),
+         }) {
+        h = hashCombine(h, v);
+    }
+    return h;
 }
 
 // ---------------------------------------------------------------------
@@ -450,6 +478,31 @@ HomeSystem::idle() const
 {
     return inQueue_.empty() && outDelay_.empty() && outbox_.empty() &&
            grantDone_.empty() && busyLines_ == 0;
+}
+
+std::uint64_t
+HomeSystem::workSignature() const
+{
+    std::uint64_t h = 0x686f6d655f736700ULL;  // "home_sg" salt.
+    for (std::uint64_t v : {
+             stats_.getS,
+             stats_.getM,
+             stats_.putM,
+             stats_.l2Hits,
+             stats_.l2Misses,
+             stats_.memFetches,
+             stats_.invsSent,
+             stats_.downgradesSent,
+             stats_.queuedRequests,
+             static_cast<std::uint64_t>(inQueue_.size()),
+             static_cast<std::uint64_t>(outDelay_.size()),
+             static_cast<std::uint64_t>(grantDone_.size()),
+             static_cast<std::uint64_t>(outbox_.size()),
+             busyLines_,
+         }) {
+        h = hashCombine(h, v);
+    }
+    return h;
 }
 
 } // namespace ws

@@ -100,6 +100,30 @@ class L1Controller
     /** MESI state of the line containing @p addr (tests/diagnostics). */
     std::uint8_t probeLine(Addr addr) const { return tags_.probe(addr); }
 
+    /** Every valid (line, MESI state) pair (wscheck WS605 audit). */
+    void
+    collectLines(std::vector<std::pair<Addr, std::uint8_t>> &out) const
+    {
+        tags_.collectValid(out);
+    }
+
+    /**
+     * Test seam: force a line into the tag array in @p state without any
+     * protocol transaction. Exists solely so wscheck mutant tests can
+     * construct illegal cross-L1 state pairs; never called by the model.
+     */
+    void debugInstallLine(Addr addr, std::uint8_t state)
+    {
+        tags_.insert(tags_.lineAddr(addr), state);
+    }
+
+    /**
+     * Hash of every observable-progress indicator (wscheck WS606):
+     * ticking this controller on a cycle it was not armed for must
+     * leave the signature unchanged.
+     */
+    std::uint64_t workSignature() const;
+
     /** True when no request or transaction is outstanding. */
     bool idle() const;
 
@@ -190,6 +214,21 @@ class HomeSystem
     std::vector<std::pair<ClusterId, CohMsg>> &outbox() { return outbox_; }
 
     const HomeStats &stats() const { return stats_; }
+
+    /**
+     * True when the directory has an in-flight transaction on @p line
+     * (wscheck skips the MESI pair audit for such lines: transient
+     * states legally overlap mid-transaction).
+     */
+    bool
+    lineBusy(Addr line) const
+    {
+        auto it = dir_.find(line);
+        return it != dir_.end() && it->second.busy;
+    }
+
+    /** Progress-indicator hash (wscheck WS606); see L1Controller. */
+    std::uint64_t workSignature() const;
 
     /** True when no transaction or queued work remains. */
     bool idle() const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "common/rng.h"
 
 namespace ws {
 
@@ -243,6 +244,12 @@ StoreBuffer::completeWave(WaveSlot &slot)
     }
     slotIndex_.erase(slot.tag.packed());
     slot.active = false;
+    // Wave-order monotonicity (wscheck WS604): retirement must be
+    // strictly increasing per thread.
+    if (checker_ != nullptr) {
+        checker_->onWaveRetired(self_, slot.tag.thread, slot.tag.wave,
+                                now_);
+    }
     nextWave_[slot.tag.thread] = slot.tag.wave + 1;
     waveDirty_ = true;
     ++stats_.waveCompletions;
@@ -291,6 +298,7 @@ void
 StoreBuffer::tick(Cycle now)
 {
     ++stats_.cycles;
+    now_ = now;
 
     // Collect L1 completions (the cluster ticks the L1 first).
     for (std::uint64_t id : l1_->drainDone()) {
@@ -429,6 +437,52 @@ StoreBuffer::debugDump() const
                   parkedCount_, earlyData_.size(), outstanding_.size());
     out += buf;
     return out;
+}
+
+std::uint64_t
+StoreBuffer::workSignature() const
+{
+    std::uint64_t h = 0x73625f7369676e00ULL;  // "sb_sign" salt.
+    std::size_t active_slots = 0;
+    std::size_t pending_ops = 0;
+    for (const WaveSlot &slot : slots_) {
+        if (slot.active) {
+            ++active_slots;
+            pending_ops += slot.pending.size();
+        }
+    }
+    std::size_t active_psqs = 0;
+    std::size_t psq_ops = 0;
+    for (const Psq &psq : psqs_) {
+        if (psq.active) {
+            ++active_psqs;
+            psq_ops += psq.ops.size();
+        }
+    }
+    for (std::uint64_t v : {
+             stats_.requests,
+             stats_.loads,
+             stats_.stores,
+             stats_.memNops,
+             stats_.waveCompletions,
+             stats_.psqAllocations,
+             stats_.psqAppends,
+             stats_.psqFullStalls,
+             stats_.noPsqStalls,
+             stats_.parkedRequests,
+             stats_.slotPreemptions,
+             static_cast<std::uint64_t>(active_slots),
+             static_cast<std::uint64_t>(pending_ops),
+             static_cast<std::uint64_t>(active_psqs),
+             static_cast<std::uint64_t>(psq_ops),
+             static_cast<std::uint64_t>(parkedCount_),
+             static_cast<std::uint64_t>(earlyData_.size()),
+             static_cast<std::uint64_t>(outstanding_.size()),
+             static_cast<std::uint64_t>(loadDones_.size()),
+         }) {
+        h = hashCombine(h, v);
+    }
+    return h;
 }
 
 bool

@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "check/checker.h"
 #include "common/stats.h"
 #include "common/types.h"
 #include "memory/coherence.h"
@@ -109,6 +110,17 @@ class StoreBuffer
     /** True when nothing is buffered or in flight. */
     bool idle() const;
 
+    /** Runtime invariant checker (wscheck WS604; null when off). */
+    void setChecker(RuntimeChecker *checker) { checker_ = checker; }
+
+    /**
+     * Hash of every observable-progress indicator (wscheck WS606).
+     * Excludes the unconditional per-tick counters (cycles,
+     * slotOccupancySum), which advance in --always-tick mode even when
+     * no work exists and are not exported by Processor::report().
+     */
+    std::uint64_t workSignature() const;
+
     /** Human-readable snapshot of slots/PSQs/parked state (debugging). */
     std::string debugDump() const;
 
@@ -179,6 +191,8 @@ class StoreBuffer
     std::vector<LoadDone> loadDones_;
     StoreBufferStats stats_;
     bool waveDirty_ = true;
+    RuntimeChecker *checker_ = nullptr;  ///< Null when checking is off.
+    Cycle now_ = 0;  ///< Cycle of the current/last tick (check stamps).
 };
 
 } // namespace ws

@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/runtime_hook.h"
 #include "common/types.h"
 
 namespace ws {
@@ -52,7 +53,11 @@ class TimedQueue
     T
     pop(Cycle now)
     {
-        (void)now;
+        // The pop contract (WS607) is checked through the thread-local
+        // hook so this bottom-layer header stays ignorant of the
+        // checker; with checking off this is one load and one branch.
+        if (tlsQueueCheckHook != nullptr)
+            tlsQueueCheckHook->onQueuePop(entries_.front().ready, now);
         std::pop_heap(entries_.begin(), entries_.end(), later);
         T item = std::move(entries_.back().item);
         entries_.pop_back();

@@ -1,5 +1,7 @@
 #include "pe/matching_table.h"
 
+#include <bit>
+
 #include "common/log.h"
 #include "common/rng.h"
 
@@ -129,6 +131,30 @@ MatchingTable::insert(const Token &token, std::uint8_t arity,
         --validCount_;
     }
     return result;
+}
+
+std::size_t
+MatchingTable::recountValidRows() const
+{
+    std::size_t n = 0;
+    for (const Row &row : rows_) {
+        if (row.valid)
+            ++n;
+    }
+    return n;
+}
+
+std::size_t
+MatchingTable::residentOperands() const
+{
+    std::size_t n = 0;
+    for (const Row &row : rows_) {
+        if (row.valid)
+            n += static_cast<std::size_t>(std::popcount(row.present));
+    }
+    for (const auto &[key, row] : overflow_)
+        n += static_cast<std::size_t>(std::popcount(row.present));
+    return n;
 }
 
 } // namespace ws

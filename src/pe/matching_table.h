@@ -86,6 +86,14 @@ class MatchingTable
     std::size_t validRows() const { return validCount_; }
     std::size_t overflowSize() const { return overflow_.size(); }
 
+    /** Structural recount of valid rows (wscheck WS603: must equal
+     *  validRows(), which is maintained incrementally). */
+    std::size_t recountValidRows() const;
+
+    /** Operand tokens currently held by this table: present bits over
+     *  valid cache rows plus overflow rows (wscheck WS601/WS602). */
+    std::size_t residentOperands() const;
+
     const MatchingTableStats &stats() const { return stats_; }
 
   private:

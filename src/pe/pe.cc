@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "common/rng.h"
 
 namespace ws {
 
@@ -98,6 +99,8 @@ ProcessingElement::fanOut(const Instruction &inst, InstId inst_id,
                           Cycle result_delay)
 {
     (void)inst_id;
+    if (checker_ != nullptr)
+        checker_->onTokensCreated(inst.outs[out_side].size());
     for (const PortRef &ref : inst.outs[out_side]) {
         const Token token{tag, ref, value};
         const PeCoord dst = place_->home(ref.inst);
@@ -132,6 +135,11 @@ ProcessingElement::execute(const MatchingTable::Fire &fire, Cycle now)
 
     const Instruction &inst = graph_->inst(id);
     const OpcodeInfo &info = opcodeInfo(inst.op);
+
+    // Token conservation (wscheck WS601): firing consumes the matched
+    // operands; any results fanOut() emits are counted as created.
+    if (checker_ != nullptr)
+        checker_->onTokensConsumed(inst.arity());
 
     ++stats_.executed;
     if (info.useful) {
@@ -272,6 +280,42 @@ ProcessingElement::nextEventCycle() const
     next = std::min(next, pendingInsert_.nextReady());
     next = std::min(next, waveWait_.nextReady());
     return next;
+}
+
+std::uint64_t
+ProcessingElement::workSignature() const
+{
+    std::uint64_t h = 0x70655f7369676e00ULL;  // "pe_sign" salt.
+    for (std::uint64_t v : {
+             stats_.executed,
+             stats_.usefulExecuted,
+             stats_.accepted,
+             stats_.rejected,
+             stats_.bypassDeliveries,
+             stats_.bankConflicts,
+             stats_.waveThrottled,
+             stats_.overflowReinserts,
+             stats_.instMissWaits,
+             stats_.fpuStalls,
+             stats_.outputStalls,
+             stats_.sinkTokens,
+             match_.stats().inserts,
+             match_.stats().fires,
+             match_.stats().misses,
+             match_.stats().overflowFires,
+             static_cast<std::uint64_t>(match_.validRows()),
+             static_cast<std::uint64_t>(match_.overflowSize()),
+             store_.stats().hits,
+             store_.stats().misses,
+             static_cast<std::uint64_t>(sched_.size()),
+             static_cast<std::uint64_t>(missWait_.size()),
+             static_cast<std::uint64_t>(pendingInsert_.size()),
+             static_cast<std::uint64_t>(waveWait_.size()),
+             static_cast<std::uint64_t>(output_.size()),
+         }) {
+        h = hashCombine(h, v);
+    }
+    return h;
 }
 
 } // namespace ws

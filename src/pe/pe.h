@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "check/checker.h"
 #include "common/stats.h"
 #include "common/types.h"
 #include "isa/exec.h"
@@ -153,6 +154,7 @@ class ProcessingElement
     void setFpu(DomainFpu *fpu) { fpu_ = fpu; }
     void setWaveWindow(const WaveWindow *w) { window_ = w; }
     void setRunCounters(RunCounters *rc) { counters_ = rc; }
+    void setChecker(RuntimeChecker *checker) { checker_ = checker; }
 
     /**
      * INPUT stage: offer one operand token at cycle @p now. Returns
@@ -190,6 +192,15 @@ class ProcessingElement
     std::size_t waveWaitSize() const { return waveWait_.size(); }
     std::size_t schedSize() const { return sched_.size(); }
 
+    /**
+     * Hash of every observable-progress indicator of this PE (wscheck
+     * WS606): ticking a PE on a cycle it was not armed for must leave
+     * this unchanged. Deliberately excludes counters that advance on
+     * every tick without representing work and are not exported by
+     * Processor::report() (the matching table's occupancySum).
+     */
+    std::uint64_t workSignature() const;
+
   private:
     /** Claim one matching-bank write port for this cycle. */
     bool claimBank(Cycle now);
@@ -209,6 +220,7 @@ class ProcessingElement
     DomainFpu *fpu_ = nullptr;
     const WaveWindow *window_ = nullptr;
     RunCounters *counters_ = nullptr;
+    RuntimeChecker *checker_ = nullptr;  ///< Null when checking is off.
 
     MatchingTable match_;
     InstructionStore store_;

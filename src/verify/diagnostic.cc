@@ -110,6 +110,29 @@ diagCodeSummary(DiagCode code)
       case DiagCode::kCopyChain:
         return "mov forwards a value its producer could deliver "
                "directly (copy-chain bypass candidate)";
+      case DiagCode::kTokenConservation:
+        return "token conservation violated: tokens created != tokens "
+               "consumed + tokens resident at quiescence";
+      case DiagCode::kDeadTokens:
+        return "program quiesced incomplete with tokens resident in "
+               "matching tables that can never match";
+      case DiagCode::kMatchAccounting:
+        return "matching-table occupancy accounting drifted from a "
+               "structural recount (or exceeded capacity)";
+      case DiagCode::kWaveOrderRegression:
+        return "store buffer retired a wave at or below one already "
+               "retired for the same thread";
+      case DiagCode::kIllegalMesiPair:
+        return "two L1 caches hold one line in an illegal MESI state "
+               "pair (E/M next to E/M or S)";
+      case DiagCode::kUnarmedWork:
+        return "component changed observable state on a cycle the "
+               "wakeup scheduler had not armed it for";
+      case DiagCode::kQueuePopEarly:
+        return "timed queue popped an item before its ready cycle";
+      case DiagCode::kQuiescenceMismatch:
+        return "quiescence fast path (empty wake set) disagreed with "
+               "the structural idle walk";
     }
     return "unknown diagnostic";
 }
@@ -145,6 +168,14 @@ allDiagCodes()
         DiagCode::kFoldableConst,
         DiagCode::kDeadValue,
         DiagCode::kCopyChain,
+        DiagCode::kTokenConservation,
+        DiagCode::kDeadTokens,
+        DiagCode::kMatchAccounting,
+        DiagCode::kWaveOrderRegression,
+        DiagCode::kIllegalMesiPair,
+        DiagCode::kUnarmedWork,
+        DiagCode::kQueuePopEarly,
+        DiagCode::kQuiescenceMismatch,
     };
     return kCodes;
 }

@@ -39,6 +39,7 @@ enum class Severity : std::uint8_t
  *   WS3xx  flow         (reachability, retirement, deadlock)
  *   WS4xx  capacity     (matching-table / instruction-store lint)
  *   WS5xx  optimization advisories (src/analyze rewrite passes)
+ *   WS6xx  runtime invariants (src/check, emitted during simulation)
  */
 enum class DiagCode : std::uint16_t
 {
@@ -78,6 +79,16 @@ enum class DiagCode : std::uint16_t
     kFoldableConst = 501,         ///< Pure op with all-constant inputs.
     kDeadValue = 502,             ///< No path to a sink or memory effect.
     kCopyChain = 503,             ///< Single-consumer mov is bypassable.
+
+    // Runtime invariants (emitted by src/check during simulation).
+    kTokenConservation = 601,     ///< created != consumed + resident.
+    kDeadTokens = 602,            ///< Unmatchable tokens at quiescence.
+    kMatchAccounting = 603,       ///< Matching-table occupancy drift.
+    kWaveOrderRegression = 604,   ///< Wave retirement not monotonic.
+    kIllegalMesiPair = 605,       ///< Two L1s in an illegal state pair.
+    kUnarmedWork = 606,           ///< Work on a cycle not armed for.
+    kQueuePopEarly = 607,         ///< TimedQueue popped before ready.
+    kQuiescenceMismatch = 608,    ///< Fast path vs structural walk.
 };
 
 /** "WS101"-style label for @p code. */

@@ -1,0 +1,365 @@
+/**
+ * @file
+ * wscheck (runtime invariant checker) tests.
+ *
+ * Three layers:
+ *  - CheckReport / RuntimeChecker unit tests: counting, storage caps,
+ *    rendering, and the per-hook detection logic fed synthetic events.
+ *  - Seeded-bad mutants: a real Processor is corrupted in a controlled
+ *    way (ghost token, unmatchable tokens, illegal MESI install,
+ *    unarmed tick) and the checker must name the specific WS6xx code —
+ *    proving each invariant can actually fire outside a unit test.
+ *  - Clean-machine properties: every kernel at every thread count runs
+ *    violation-free at level full, and checking at any level never
+ *    perturbs a single byte of the StatReport.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "check/checker.h"
+#include "common/runtime_hook.h"
+#include "core/processor.h"
+#include "core/simulator.h"
+#include "isa/graph.h"
+#include "kernels/kernel.h"
+#include "network/timed_queue.h"
+
+namespace ws {
+namespace {
+
+// ---------------------------------------------------------------------
+// CheckReport
+// ---------------------------------------------------------------------
+
+TEST(CheckReport, EmptyReportIsOk)
+{
+    CheckReport rep;
+    EXPECT_TRUE(rep.ok());
+    EXPECT_EQ(rep.violationCount(), 0u);
+    EXPECT_EQ(rep.render(), "");
+    EXPECT_EQ(rep.summary(), "0 violations");
+}
+
+TEST(CheckReport, CountsEveryEventButCapsStorage)
+{
+    CheckReport rep;
+    for (int i = 0; i < 40; ++i)
+        rep.add(DiagCode::kDeadTokens, i, "processor", "event");
+    EXPECT_FALSE(rep.ok());
+    EXPECT_EQ(rep.violationCount(), 40u);
+    EXPECT_EQ(rep.count(DiagCode::kDeadTokens), 40u);
+    EXPECT_EQ(rep.events().size(), CheckReport::kMaxStoredPerCode);
+    const std::string text = rep.render();
+    EXPECT_NE(text.find("8 further events not stored"), std::string::npos);
+}
+
+TEST(CheckReport, SummaryRollsUpPerCodeInCodeOrder)
+{
+    CheckReport rep;
+    rep.add(DiagCode::kWaveOrderRegression, 10, "cluster 0 sb", "x");
+    rep.add(DiagCode::kTokenConservation, 20, "processor", "y");
+    rep.add(DiagCode::kWaveOrderRegression, 30, "cluster 1 sb", "z");
+    EXPECT_EQ(rep.summary(), "3 violations (WS601 x1, WS604 x2)");
+    const std::string text = rep.render();
+    EXPECT_NE(text.find("check[WS604] cycle 10 @ cluster 0 sb"),
+              std::string::npos);
+}
+
+TEST(EffectiveCheckLevel, ExplicitLevelAlwaysWins)
+{
+    EXPECT_EQ(effectiveCheckLevel(CheckLevel::kCheap), CheckLevel::kCheap);
+    EXPECT_EQ(effectiveCheckLevel(CheckLevel::kFull), CheckLevel::kFull);
+}
+
+// ---------------------------------------------------------------------
+// RuntimeChecker hooks fed synthetic events
+// ---------------------------------------------------------------------
+
+TEST(RuntimeChecker, QueuePopContractWS607)
+{
+    RuntimeChecker checker(CheckLevel::kFull);
+    const ScopedQueueCheckHook hook(&checker);
+    TimedQueue<int> q;
+    q.push(1, 10);
+    EXPECT_FALSE(q.ready(5));
+    // A legal pop (ready cycle arrived) is silent...
+    q.push(2, 3);
+    (void)q.pop(5);
+    EXPECT_TRUE(checker.report().ok());
+    // ...popping the not-yet-ready item is the contract violation.
+    (void)q.pop(5);
+    EXPECT_EQ(checker.report().count(DiagCode::kQueuePopEarly), 1u);
+}
+
+TEST(RuntimeChecker, WaveOrderMonotonicityWS604)
+{
+    RuntimeChecker checker(CheckLevel::kCheap);
+    checker.onWaveRetired(0, 0, 5, 100);
+    checker.onWaveRetired(0, 0, 7, 110);   // Gap: legal.
+    checker.onWaveRetired(0, 1, 3, 120);   // Other thread: independent.
+    checker.onWaveRetired(1, 0, 2, 130);   // Other store buffer: too.
+    EXPECT_TRUE(checker.report().ok());
+
+    checker.onWaveRetired(0, 0, 7, 140);   // Repeat: violation.
+    checker.onWaveRetired(0, 0, 4, 150);   // Regression: violation.
+    EXPECT_EQ(checker.report().count(DiagCode::kWaveOrderRegression), 2u);
+}
+
+TEST(RuntimeChecker, MatchingAccountingWS603)
+{
+    RuntimeChecker checker(CheckLevel::kFull);
+    checker.auditMatching("pe (0,0,0)", 4, 4, 16, 10);  // Consistent.
+    EXPECT_TRUE(checker.report().ok());
+    checker.auditMatching("pe (0,0,1)", 4, 3, 16, 20);  // Drift.
+    checker.auditMatching("pe (0,0,2)", 17, 17, 16, 30);  // Overflow.
+    EXPECT_EQ(checker.report().count(DiagCode::kMatchAccounting), 2u);
+}
+
+TEST(RuntimeChecker, ConservationAndDeadTokensWS601WS602)
+{
+    RuntimeChecker checker(CheckLevel::kCheap);
+    checker.onTokensCreated(3);
+    checker.onTokensConsumed(2);
+    checker.auditConservation(/*resident=*/1, /*completed=*/true, 50);
+    EXPECT_TRUE(checker.report().ok());  // 3 == 2 + 1, completed.
+
+    // Resident tokens at an *incomplete* quiescence are dead (WS602).
+    checker.auditConservation(1, /*completed=*/false, 60);
+    EXPECT_EQ(checker.report().count(DiagCode::kDeadTokens), 1u);
+    EXPECT_EQ(checker.report().count(DiagCode::kTokenConservation), 0u);
+
+    // A lost token breaks the ledger (WS601).
+    checker.onTokensConsumed(2);  // consumed 4 > created 3 + resident.
+    checker.auditConservation(0, true, 70);
+    EXPECT_EQ(checker.report().count(DiagCode::kTokenConservation), 1u);
+}
+
+TEST(RuntimeChecker, QuiescenceMismatchWS608)
+{
+    RuntimeChecker checker(CheckLevel::kCheap);
+    checker.onQuiescenceMismatch(/*fast_path=*/true, 99);
+    EXPECT_EQ(checker.report().count(DiagCode::kQuiescenceMismatch), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Seeded-bad mutants on a real machine
+// ---------------------------------------------------------------------
+
+/** Baseline machine with wscheck at @p level. */
+ProcessorConfig
+checkedConfig(CheckLevel level)
+{
+    ProcessorConfig cfg = ProcessorConfig::baseline();
+    cfg.memory.l2Bytes = 1 << 20;
+    cfg.checkLevel = level;
+    return cfg;
+}
+
+/** Per thread: one mov fed by an initial token, into a sink. The
+ *  simplest graph that runs to completion. */
+DataflowGraph
+movSinkGraph(std::uint16_t threads)
+{
+    DataflowGraph g("mov_sink", threads);
+    for (ThreadId t = 0; t < threads; ++t) {
+        Instruction mov;
+        mov.op = Opcode::kMov;
+        mov.thread = t;
+        Instruction sink;
+        sink.op = Opcode::kSink;
+        sink.thread = t;
+        const InstId movId = g.addInstruction(mov);
+        const InstId sinkId = g.addInstruction(sink);
+        g.inst(movId).outs[0].push_back(PortRef{sinkId, 0});
+        g.addInitialToken(Token{Tag{t, 0}, PortRef{movId, 0}, 1});
+    }
+    g.setExpectedSinkTokens(threads);
+    return g;
+}
+
+/**
+ * Per thread: a two-input add whose operands arrive in *different
+ * waves* — tags that can never match. The machine must terminate (via
+ * the quiescence probe) instead of spinning, and the checker must name
+ * the dead tokens.
+ */
+DataflowGraph
+deadTokenGraph(std::uint16_t threads)
+{
+    DataflowGraph g("dead_tokens", threads);
+    for (ThreadId t = 0; t < threads; ++t) {
+        Instruction add;
+        add.op = Opcode::kAdd;
+        add.thread = t;
+        Instruction sink;
+        sink.op = Opcode::kSink;
+        sink.thread = t;
+        const InstId addId = g.addInstruction(add);
+        const InstId sinkId = g.addInstruction(sink);
+        g.inst(addId).outs[0].push_back(PortRef{sinkId, 0});
+        g.addInitialToken(Token{Tag{t, 0}, PortRef{addId, 0}, 1});
+        g.addInitialToken(Token{Tag{t, 1}, PortRef{addId, 1}, 2});
+    }
+    g.setExpectedSinkTokens(threads);
+    return g;
+}
+
+TEST(WscheckMutant, CleanRunStaysClean)
+{
+    const DataflowGraph g = movSinkGraph(1);
+    Processor proc(g, checkedConfig(CheckLevel::kFull));
+    EXPECT_TRUE(proc.run(100'000));
+    ASSERT_NE(proc.checker(), nullptr);
+    proc.auditNow();
+    EXPECT_TRUE(proc.checker()->report().ok())
+        << proc.checker()->report().render();
+}
+
+TEST(WscheckMutant, GhostTokenTripsConservationWS601)
+{
+    // Inject a token the checker never saw created — the model of a
+    // component fabricating (or double-delivering) a token. The ledger
+    // must come up short at quiescence.
+    const DataflowGraph g = movSinkGraph(1);
+    Processor proc(g, checkedConfig(CheckLevel::kCheap));
+    // Wave 1 stays inside the k-loop wave window, so the PE accepts it.
+    const PeCoord home = proc.placement().home(0);
+    proc.cluster(home.cluster)
+        .domain(home.domain)
+        .pushDelivery(Token{Tag{0, 1}, PortRef{0, 0}, 99}, 0);
+    proc.run(100'000);
+    ASSERT_NE(proc.checker(), nullptr);
+    EXPECT_EQ(proc.checker()->report().count(DiagCode::kTokenConservation),
+              1u)
+        << proc.checker()->report().render() << " created "
+        << proc.checker()->tokensCreated() << " consumed "
+        << proc.checker()->tokensConsumed() << " sinks "
+        << proc.sinkCount() << " cycle " << proc.cycle();
+}
+
+class WscheckDeadTokens : public ::testing::TestWithParam<std::uint16_t>
+{};
+
+TEST_P(WscheckDeadTokens, QuiescesIncompleteWithWS602)
+{
+    const std::uint16_t threads = GetParam();
+    const DataflowGraph g = deadTokenGraph(threads);
+    Processor proc(g, checkedConfig(CheckLevel::kCheap));
+    // Must terminate via the quiescence probe — far short of the
+    // budget — and report incompletion, not hang until max_cycles.
+    EXPECT_FALSE(proc.run(200'000));
+    EXPECT_LE(proc.cycle(), 2'048u);
+    EXPECT_TRUE(proc.quiescent());
+    ASSERT_NE(proc.checker(), nullptr);
+    const CheckReport &rep = proc.checker()->report();
+    EXPECT_EQ(rep.count(DiagCode::kDeadTokens), 1u) << rep.render();
+    // The tokens are dead but not *lost*: conservation still balances
+    // (created == resident), so WS601 must stay silent.
+    EXPECT_EQ(rep.count(DiagCode::kTokenConservation), 0u)
+        << rep.render();
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, WscheckDeadTokens,
+                         ::testing::Values(1, 2, 4));
+
+TEST(WscheckMutant, IllegalMesiPairIsCaughtWS605)
+{
+    ProcessorConfig cfg = checkedConfig(CheckLevel::kFull);
+    cfg.clusters = 4;
+    const DataflowGraph g = movSinkGraph(1);
+    Processor proc(g, cfg);
+    // Legal sharing: two S holders — must not fire.
+    proc.cluster(2).l1().debugInstallLine(0x2000, kMesiShared);
+    proc.cluster(3).l1().debugInstallLine(0x2000, kMesiShared);
+    // Illegal pair: one Modified holder alongside a Shared copy.
+    proc.cluster(0).l1().debugInstallLine(0x1000, kMesiModified);
+    proc.cluster(1).l1().debugInstallLine(0x1000, kMesiShared);
+    proc.auditNow();
+    ASSERT_NE(proc.checker(), nullptr);
+    const CheckReport &rep = proc.checker()->report();
+    EXPECT_EQ(rep.count(DiagCode::kIllegalMesiPair), 1u) << rep.render();
+}
+
+TEST(WscheckMutant, TwoExclusiveHoldersAreCaughtWS605)
+{
+    ProcessorConfig cfg = checkedConfig(CheckLevel::kFull);
+    cfg.clusters = 4;
+    const DataflowGraph g = movSinkGraph(1);
+    Processor proc(g, cfg);
+    proc.cluster(0).l1().debugInstallLine(0x3000, kMesiExclusive);
+    proc.cluster(1).l1().debugInstallLine(0x3000, kMesiModified);
+    proc.auditNow();
+    ASSERT_NE(proc.checker(), nullptr);
+    EXPECT_EQ(proc.checker()->report().count(DiagCode::kIllegalMesiPair),
+              1u);
+}
+
+TEST(WscheckMutant, UnarmedTickWorkIsCaughtWS606)
+{
+    // Run to completion under the reference clocking, then slip a token
+    // into a domain *behind the scheduler's back* — the model of a
+    // component whose wake registration is missing. The next tick finds
+    // the cluster un-armed yet doing observable work.
+    ProcessorConfig cfg = checkedConfig(CheckLevel::kFull);
+    cfg.alwaysTick = true;
+    const DataflowGraph g = movSinkGraph(1);
+    Processor proc(g, cfg);
+    ASSERT_TRUE(proc.run(100'000));
+    ASSERT_NE(proc.checker(), nullptr);
+    ASSERT_TRUE(proc.checker()->report().ok());
+
+    const PeCoord home = proc.placement().home(0);
+    proc.cluster(home.cluster)
+        .domain(home.domain)
+        .pushDelivery(Token{Tag{0, 9}, PortRef{0, 0}, 5}, proc.cycle());
+    proc.tick();
+    EXPECT_GE(proc.checker()->report().count(DiagCode::kUnarmedWork), 1u)
+        << proc.checker()->report().render();
+}
+
+// ---------------------------------------------------------------------
+// Clean-machine properties
+// ---------------------------------------------------------------------
+
+TEST(WscheckClean, CheckingNeverPerturbsTheReport)
+{
+    KernelParams p;
+    const DataflowGraph g = buildRawdaudio(p);
+    const SimResult off = runSimulation(g, checkedConfig(CheckLevel::kOff));
+    const SimResult cheap =
+        runSimulation(g, checkedConfig(CheckLevel::kCheap));
+    const SimResult full =
+        runSimulation(g, checkedConfig(CheckLevel::kFull));
+    EXPECT_TRUE(off.completed);
+    EXPECT_EQ(off.report.toString(), cheap.report.toString());
+    EXPECT_EQ(off.report.toString(), full.report.toString());
+    EXPECT_EQ(cheap.checkViolations, 0u) << cheap.checkLog;
+    EXPECT_EQ(full.checkViolations, 0u) << full.checkLog;
+}
+
+TEST(WscheckClean, EveryKernelAtEveryThreadCountIsViolationFree)
+{
+    const ProcessorConfig cfg = checkedConfig(CheckLevel::kFull);
+    for (const Kernel &k : kernelRegistry()) {
+        std::vector<unsigned> thread_counts{1};
+        if (k.multithreaded) {
+            thread_counts.push_back(2);
+            thread_counts.push_back(4);
+        }
+        for (unsigned threads : thread_counts) {
+            KernelParams p;
+            p.threads = threads;
+            const SimResult res = runSimulation(k.build(p), cfg);
+            EXPECT_EQ(res.checkViolations, 0u)
+                << k.name << " @" << threads << " threads:\n"
+                << res.checkLog;
+        }
+    }
+}
+
+} // namespace
+} // namespace ws

@@ -147,6 +147,22 @@ TEST(WakeupScheduler, EarliestWakeWinsAcrossComponents)
     EXPECT_EQ(s.nextWake(), 30u);
 }
 
+TEST(WakeupScheduler, RewakeAtPastCycleIsStillDue)
+{
+    // A component woken for a cycle that has already passed must be
+    // picked up on the *current* cycle, not dropped: due() is
+    // "armed cycle <= now", never equality.
+    WakeupScheduler s;
+    const ComponentId a = s.add(nullptr);
+    s.wake(a, 5);
+    s.consume(a);
+    s.wake(a, 3);  // Re-arm in the past (late wake registration).
+    EXPECT_TRUE(s.due(a, 9));
+    EXPECT_EQ(s.nextWake(), 3u);
+    s.consume(a);
+    EXPECT_FALSE(s.anyArmed());
+}
+
 // ---------------------------------------------------------------------
 // GatedClocking: fast-forward and quiescence on real runs
 // ---------------------------------------------------------------------
@@ -208,6 +224,70 @@ TEST(GatedClocking, QuiescentMachineHasEmptyWakeSet)
     EXPECT_FALSE(proc.scheduler().anyArmed());
 }
 
+TEST(GatedClocking, QuiescentMachineCachesAreNever)
+{
+    // After a completed run every per-component next-event cache must
+    // read kCycleNever — a finite stale value would re-wake a dead
+    // machine on the next re-arm and defeat the O(1) quiescence test.
+    KernelParams p;
+    DataflowGraph g = buildRawdaudio(p);
+    Processor proc(g, gridConfig(false));
+    ASSERT_TRUE(proc.run(2'000'000));
+    for (ClusterId c = 0; c < 4; ++c)
+        EXPECT_EQ(proc.cluster(c).nextEventCycle(), kCycleNever)
+            << "cluster " << c;
+}
+
+TEST(GatedClocking, DomainPushLowersNextEventCache)
+{
+    // The push entry points must lower the domain's cached next-event
+    // cycle eagerly; a push that leaves the cache at kCycleNever would
+    // strand the token until some unrelated event ticked the domain.
+    KernelParams p;
+    DataflowGraph g = buildRawdaudio(p);
+    Processor proc(g, testConfig(false));
+    ASSERT_TRUE(proc.run(2'000'000));
+    Domain &dom = proc.cluster(0).domain(0);
+    ASSERT_EQ(dom.nextEventCycle(), kCycleNever);
+    const Cycle ready = proc.cycle() + 5;
+    dom.pushDelivery(Token{Tag{0, 9}, PortRef{0, 0}, 1}, ready);
+    EXPECT_EQ(dom.nextEventCycle(), ready);
+}
+
+/** mov → sink but the sink expects a second token that never comes: a
+ *  graph that quiesces *incomplete*, exercising the deadlock probe. */
+DataflowGraph
+incompleteGraph()
+{
+    DataflowGraph g("incomplete", 1);
+    Instruction mov;
+    mov.op = Opcode::kMov;
+    Instruction sink;
+    sink.op = Opcode::kSink;
+    const InstId movId = g.addInstruction(mov);
+    const InstId sinkId = g.addInstruction(sink);
+    g.inst(movId).outs[0].push_back(PortRef{sinkId, 0});
+    g.addInitialToken(Token{Tag{0, 0}, PortRef{movId, 0}, 1});
+    g.setExpectedSinkTokens(2);
+    return g;
+}
+
+TEST(GatedClocking, DeadlockProbeFiresAroundThe1024Boundary)
+{
+    // The quiescence probe is 1024-aligned with an extra probe on the
+    // final cycle. Budgets straddling the boundary (1023 / 1024 / 1025)
+    // must all detect the quiesced-incomplete machine within budget
+    // instead of spinning to max_cycles only in some of them.
+    for (const Cycle budget : {1023u, 1024u, 1025u}) {
+        const DataflowGraph g = incompleteGraph();
+        Processor proc(g, testConfig(false));
+        EXPECT_FALSE(proc.run(budget)) << "budget " << budget;
+        EXPECT_TRUE(proc.quiescent()) << "budget " << budget;
+        EXPECT_LE(proc.cycle(), budget) << "budget " << budget;
+        EXPECT_EQ(proc.sinkCount(), 1u) << "budget " << budget;
+    }
+}
+
 TEST(GatedClocking, ActivityStatsAreExportedAndConsistent)
 {
     KernelParams p;
@@ -256,6 +336,30 @@ TEST(GatedClocking, TracerRowsAreIdenticalAcrossModes)
     {
         Processor proc(g, testConfig(true));
         IntervalTracer tracer(ref_csv, 256);
+        proc.attachTracer(&tracer);
+        ASSERT_TRUE(proc.run(2'000'000));
+    }
+    EXPECT_EQ(gated_csv.str(), ref_csv.str());
+}
+
+TEST(GatedClocking, TracerOddIntervalParity)
+{
+    // A non-power-of-two interval (7) puts sample boundaries at cycles
+    // the fast-forward clamp must hit exactly; any off-by-one in the
+    // (cycle / iv + 1) * iv - 1 arithmetic shows up as divergent rows.
+    KernelParams p;
+    DataflowGraph g = buildRawdaudio(p);
+    std::ostringstream gated_csv;
+    std::ostringstream ref_csv;
+    {
+        Processor proc(g, testConfig(false));
+        IntervalTracer tracer(gated_csv, 7);
+        proc.attachTracer(&tracer);
+        ASSERT_TRUE(proc.run(2'000'000));
+    }
+    {
+        Processor proc(g, testConfig(true));
+        IntervalTracer tracer(ref_csv, 7);
         proc.attachTracer(&tracer);
         ASSERT_TRUE(proc.run(2'000'000));
     }

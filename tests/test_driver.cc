@@ -157,6 +157,21 @@ TEST(ConfigFingerprint, SensitiveToEveryTunedField)
     EXPECT_TRUE(differs([](ProcessorConfig &c) { c.relaxLimits = true; }));
 }
 
+TEST(ConfigFingerprint, CheckLevelIsPartOfTheKey)
+{
+    // Regression: checkLevel was once absent from fingerprint(), so a
+    // checked run could alias an unchecked SimCache entry (and vice
+    // versa), silently skipping the invariant sweep on cache hits.
+    const std::uint64_t base = ProcessorConfig::baseline().fingerprint();
+    ProcessorConfig cheap = ProcessorConfig::baseline();
+    cheap.checkLevel = CheckLevel::kCheap;
+    ProcessorConfig full = ProcessorConfig::baseline();
+    full.checkLevel = CheckLevel::kFull;
+    EXPECT_NE(cheap.fingerprint(), base);
+    EXPECT_NE(full.fingerprint(), base);
+    EXPECT_NE(cheap.fingerprint(), full.fingerprint());
+}
+
 // ---------------------------------------------------------------------
 // SweepEngine
 // ---------------------------------------------------------------------
@@ -254,6 +269,30 @@ TEST(SweepEngine, ConfigChangeInvalidatesStructurally)
         job.maxCycles += 1'000;
     engine.run(jobs);
     EXPECT_EQ(engine.stats().simulated, sims_before + 2 * jobs.size());
+}
+
+TEST(SweepEngine, CheckedRunsDoNotAliasUncheckedCacheEntries)
+{
+    SweepEngine engine(quietOpts(1));
+    std::vector<SimJob> jobs = sampleBatch(0x500);
+    const std::vector<SimResult> plain = engine.run(jobs);
+    const Counter sims_before = engine.stats().simulated;
+
+    for (SimJob &job : jobs)
+        job.cfg.checkLevel = CheckLevel::kFull;
+    const std::vector<SimResult> checked = engine.run(jobs);
+    // checkLevel participates in the fingerprint, so the checked batch
+    // must simulate fresh — not replay the unchecked entries.
+    EXPECT_EQ(engine.stats().simulated, sims_before + jobs.size());
+    ASSERT_EQ(checked.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        // Checking never perturbs a single reported statistic, and the
+        // seed kernels are invariant-clean.
+        EXPECT_EQ(checked[i].report.toString(),
+                  plain[i].report.toString())
+            << "job " << i;
+        EXPECT_EQ(checked[i].checkViolations, 0u) << "job " << i;
+    }
 }
 
 TEST(SweepEngine, ZeroFingerprintDisablesCaching)

@@ -1,0 +1,488 @@
+/**
+ * @file
+ * wsfuzz: differential fuzzing for the simulator.
+ *
+ * Each iteration builds a random (but verifier-clean) dataflow program
+ * with the GraphBuilder, draws a random legal machine configuration,
+ * and runs the same point several ways that are contractually
+ * byte-identical:
+ *
+ *   parity        gated clocking vs --always-tick (the clocking oracle)
+ *   transparency  wscheck at level full vs checking off (checking must
+ *                 never perturb a statistic)
+ *   invariants    the checked runs must report zero WS6xx violations
+ *   engine        every 8 iterations the accumulated points re-run
+ *                 through the SweepEngine at --jobs=1 and --jobs=N,
+ *                 which must agree with each other byte for byte
+ *
+ * Any divergence (or a program that fails to complete) is a finding:
+ * it is printed, written to a repro file in --out (the generator is
+ * seed-deterministic, so the seed + config reproduce the graph
+ * exactly), and flips the exit status to 1.
+ *
+ *   wsfuzz [--seed=N] [--iters=N] [--seconds=S] [--jobs=N]
+ *          [--out=DIR] [--quiet]
+ *
+ * --seconds bounds wall-clock (0 = unbounded); the run stops at
+ * whichever of --iters / --seconds is reached first.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/processor.h"
+#include "core/simulator.h"
+#include "driver/sweep_engine.h"
+#include "isa/graph_builder.h"
+
+using namespace ws;
+
+namespace {
+
+struct Options
+{
+    std::uint64_t seed = 1;
+    std::uint64_t iters = 100;
+    double seconds = 0.0;
+    unsigned jobs = 4;
+    std::string outDir = "wsfuzz_corpus";
+    bool quiet = false;
+};
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: wsfuzz [--seed=N] [--iters=N] [--seconds=S] "
+                 "[--jobs=N] [--out=DIR] [--quiet]\n");
+    return 2;
+}
+
+// ---------------------------------------------------------------------
+// Random program generation (seed-deterministic)
+// ---------------------------------------------------------------------
+
+using Node = GraphBuilder::Node;
+
+/** Builds one random verifier-clean program per (seed, threads). */
+class RandomProgram
+{
+  public:
+    RandomProgram(std::uint64_t seed, std::uint16_t threads)
+        : rng_(seed), threads_(threads)
+    {}
+
+    DataflowGraph
+    build()
+    {
+        GraphBuilder b("fuzz", threads_);
+        for (ThreadId t = 0; t < threads_; ++t) {
+            // Disjoint per-thread scratch array: multithreaded runs
+            // stay order-independent, so every oracle still applies.
+            const Addr arr = b.alloc(kWords * 8);
+            for (std::size_t i = 0; i < kWords; ++i)
+                b.initMem(arr + 8 * i, static_cast<Value>(rng_.range(97)));
+            b.beginThread(t);
+            emitThread(b, arr);
+            b.endThread();
+        }
+        return b.finish();
+    }
+
+  private:
+    static constexpr std::size_t kWords = 32;
+
+    Node
+    pick(std::vector<Node> &pool)
+    {
+        return pool[rng_.range(pool.size())];
+    }
+
+    /** One random compute or memory op over the live-value pool. */
+    void
+    emitOp(GraphBuilder &b, std::vector<Node> &pool, Addr arr)
+    {
+        switch (rng_.range(8)) {
+          case 0:
+            pool.push_back(b.add(pick(pool), pick(pool)));
+            break;
+          case 1:
+            pool.push_back(b.sub(pick(pool), pick(pool)));
+            break;
+          case 2:
+            pool.push_back(b.emit(Opcode::kXor, {pick(pool), pick(pool)}));
+            break;
+          case 3:
+            pool.push_back(b.select(b.lti(pick(pool), 50), pick(pool),
+                                    pick(pool)));
+            break;
+          case 4: {
+            Node idx = b.andi(pick(pool), static_cast<Value>(kWords - 1));
+            pool.push_back(
+                b.load(b.addi(b.shli(idx, 3), static_cast<Value>(arr))));
+            break;
+          }
+          case 5: {
+            Node idx = b.andi(pick(pool), static_cast<Value>(kWords - 1));
+            b.store(b.addi(b.shli(idx, 3), static_cast<Value>(arr)),
+                    pick(pool));
+            break;
+          }
+          case 6:
+            pool.push_back(b.shri(pick(pool), 1));
+            break;
+          default:
+            pool.push_back(
+                b.addi(pick(pool), static_cast<Value>(rng_.range(64))));
+            break;
+        }
+    }
+
+    /** A conditional diamond; arms may touch memory, which exercises
+     *  the store buffer's '?' wildcard ordering links. */
+    void
+    emitDiamond(GraphBuilder &b, std::vector<Node> &pool, Addr arr)
+    {
+        Node cond = b.lti(pick(pool), static_cast<Value>(rng_.range(80)));
+        GraphBuilder::IfElse ie = b.beginIf(cond, {pick(pool), pick(pool)});
+        auto arm = [&](std::vector<Node> vars) {
+            std::vector<Node> local = std::move(vars);
+            const int ops = 1 + static_cast<int>(rng_.range(3));
+            for (int i = 0; i < ops; ++i) {
+                switch (rng_.range(4)) {
+                  case 0:
+                    local.push_back(b.add(pick(local), pick(local)));
+                    break;
+                  case 1:
+                    local.push_back(b.shri(pick(local), 1));
+                    break;
+                  case 2: {
+                    Node idx = b.andi(pick(local),
+                                      static_cast<Value>(kWords - 1));
+                    Node addr =
+                        b.addi(b.shli(idx, 3), static_cast<Value>(arr));
+                    if (rng_.chance(0.5))
+                        local.push_back(b.load(addr));
+                    else
+                        b.store(addr, pick(local));
+                    break;
+                  }
+                  default:
+                    local.push_back(
+                        b.emit(Opcode::kXor, {pick(local), pick(local)}));
+                    break;
+                }
+            }
+            return std::vector<Node>{local[local.size() - 1],
+                                     local[local.size() - 2]};
+        };
+        std::vector<Node> then_out = arm(ie.vars);
+        b.elseArm(ie, then_out);
+        std::vector<Node> else_out = arm(ie.vars);
+        b.endIf(ie, else_out);
+        pool.insert(pool.end(), ie.merged.begin(), ie.merged.end());
+    }
+
+    /** A bounded counting loop over 2-3 carried values. */
+    void
+    emitLoop(GraphBuilder &b, std::vector<Node> &pool, Addr arr)
+    {
+        const std::size_t carried = 2 + rng_.range(2);
+        std::vector<Node> inits;
+        // Carried value 0 is a fresh zero-based counter, so the trip
+        // count is exactly `bound` regardless of what the pool holds.
+        inits.push_back(b.lit(0, pool[0]));
+        for (std::size_t i = 1; i < carried; ++i)
+            inits.push_back(pick(pool));
+        GraphBuilder::Loop loop = b.beginLoop(inits);
+
+        std::vector<Node> body(loop.vars.begin(), loop.vars.end());
+        const int ops = 2 + static_cast<int>(rng_.range(4));
+        for (int i = 0; i < ops; ++i)
+            emitOp(b, body, arr);
+        if (rng_.chance(0.35))
+            emitDiamond(b, body, arr);
+
+        Node counter = b.addi(body[0], 1);
+        std::vector<Node> nexts;
+        nexts.push_back(counter);
+        for (std::size_t i = 1; i < carried; ++i)
+            nexts.push_back(body[rng_.range(body.size())]);
+        const Value bound = 2 + static_cast<Value>(rng_.range(6));
+        b.endLoop(loop, nexts, b.lti(counter, bound));
+
+        pool.clear();
+        pool.insert(pool.end(), loop.exits.begin(), loop.exits.end());
+    }
+
+    void
+    emitThread(GraphBuilder &b, Addr arr)
+    {
+        std::vector<Node> pool;
+        pool.push_back(b.param(static_cast<Value>(rng_.range(40))));
+        pool.push_back(b.param(static_cast<Value>(rng_.range(40))));
+        const int pre = 2 + static_cast<int>(rng_.range(4));
+        for (int i = 0; i < pre; ++i)
+            emitOp(b, pool, arr);
+        const int loops = 1 + static_cast<int>(rng_.range(2));
+        for (int l = 0; l < loops; ++l) {
+            emitLoop(b, pool, arr);
+            for (int i = 0; i < 2; ++i)
+                emitOp(b, pool, arr);
+        }
+        b.sink(pool.back(), 1);
+    }
+
+    Rng rng_;
+    std::uint16_t threads_;
+};
+
+/** Draw a random machine configuration from the legal design space. */
+ProcessorConfig
+randomConfig(Rng &rng)
+{
+    ProcessorConfig cfg = ProcessorConfig::baseline();
+    cfg.memory.l2Bytes = 1 << 20;
+    static constexpr std::uint16_t kClusters[] = {1, 1, 2, 4};
+    static constexpr unsigned kK[] = {1, 2, 4, 8};
+    static constexpr unsigned kMatching[] = {16, 32, 64, 128};
+    static constexpr PlacementPolicy kPolicies[] = {
+        PlacementPolicy::kDepthFirst, PlacementPolicy::kBreadthFirst,
+        PlacementPolicy::kRandom};
+    cfg.clusters = kClusters[rng.range(4)];
+    cfg.pe.k = kK[rng.range(4)];
+    cfg.pe.matchingEntries = kMatching[rng.range(4)];
+    cfg.pe.podBypass = rng.chance(0.75);
+    cfg.mesh.portBandwidth = static_cast<std::uint8_t>(1 + rng.range(3));
+    cfg.storeBuffer.psqCount = 2 + static_cast<unsigned>(rng.range(3));
+    cfg.placement = kPolicies[rng.range(3)];
+    cfg.seed = rng.range(1 << 20) + 1;
+    return cfg;
+}
+
+std::string
+describeConfig(const ProcessorConfig &cfg)
+{
+    std::ostringstream out;
+    out << "clusters=" << cfg.clusters << " k=" << cfg.pe.k
+        << " matching=" << cfg.pe.matchingEntries
+        << " podBypass=" << cfg.pe.podBypass
+        << " portBandwidth=" << unsigned(cfg.mesh.portBandwidth)
+        << " psqCount=" << cfg.storeBuffer.psqCount
+        << " placement=" << placementPolicyName(cfg.placement)
+        << " seed=" << cfg.seed;
+    return out.str();
+}
+
+// ---------------------------------------------------------------------
+// Findings
+// ---------------------------------------------------------------------
+
+struct Fuzzer
+{
+    Options opt;
+    Counter findings = 0;
+    Counter iterations = 0;
+    Counter simulations = 0;
+
+    void
+    report(std::uint64_t seed, std::uint16_t threads,
+           const ProcessorConfig &cfg, const std::string &oracle,
+           const std::string &detail)
+    {
+        ++findings;
+        std::ostringstream out;
+        out << "wsfuzz FINDING (" << oracle << ")\n"
+            << "  seed=" << seed << " threads=" << threads << "\n"
+            << "  config: " << describeConfig(cfg) << "\n"
+            << detail << "\n";
+        std::fputs(out.str().c_str(), stderr);
+
+        std::error_code ec;
+        std::filesystem::create_directories(opt.outDir, ec);
+        const std::string path = opt.outDir + "/wsfuzz_seed" +
+                                 std::to_string(seed) + "_" + oracle +
+                                 ".txt";
+        std::ofstream f(path);
+        if (f)
+            f << out.str();
+    }
+};
+
+/** Two reports that must match byte for byte; "" when they do. */
+std::string
+diffReports(const char *a_label, const StatReport &a, const char *b_label,
+            const StatReport &b)
+{
+    const std::string as = a.toString();
+    const std::string bs = b.toString();
+    if (as == bs)
+        return "";
+    // Show the first diverging line of each side.
+    std::istringstream ai(as);
+    std::istringstream bi(bs);
+    std::string al;
+    std::string bl;
+    while (std::getline(ai, al) && std::getline(bi, bl)) {
+        if (al != bl)
+            break;
+    }
+    return "  " + std::string(a_label) + ": " + al + "\n  " + b_label +
+           ": " + bl;
+}
+
+void
+fuzzOne(Fuzzer &fz, std::uint64_t seed, std::vector<SimJob> &batch)
+{
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+    const std::uint16_t threads =
+        static_cast<std::uint16_t>(1u << rng.range(3));  // 1, 2, or 4.
+    const auto graph = std::make_shared<const DataflowGraph>(
+        RandomProgram(seed, threads).build());
+    const ProcessorConfig base = randomConfig(rng);
+
+    SimOptions sim;
+    sim.maxCycles = 2'000'000;
+
+    ProcessorConfig gated = base;
+    gated.checkLevel = CheckLevel::kFull;
+    ProcessorConfig ref = gated;
+    ref.alwaysTick = true;
+    ProcessorConfig off = base;
+    off.checkLevel = CheckLevel::kOff;
+
+    const SimResult r_gated = runSimulation(*graph, gated, sim);
+    const SimResult r_ref = runSimulation(*graph, ref, sim);
+    const SimResult r_off = runSimulation(*graph, off, sim);
+    fz.simulations += 3;
+
+    if (!r_gated.completed) {
+        fz.report(seed, threads, base, "completion",
+                  "  program failed to complete within " +
+                      std::to_string(sim.maxCycles) + " cycles\n" +
+                      r_gated.checkLog);
+    }
+    if (r_gated.checkViolations != 0) {
+        fz.report(seed, threads, base, "invariants-gated",
+                  r_gated.checkLog);
+    }
+    if (r_ref.checkViolations != 0) {
+        fz.report(seed, threads, base, "invariants-ref", r_ref.checkLog);
+    }
+    const std::string parity =
+        diffReports("gated", r_gated.report, "always-tick", r_ref.report);
+    if (!parity.empty() || r_gated.completed != r_ref.completed)
+        fz.report(seed, threads, base, "parity", parity);
+    const std::string transparency =
+        diffReports("checked", r_gated.report, "unchecked", r_off.report);
+    if (!transparency.empty())
+        fz.report(seed, threads, base, "transparency", transparency);
+
+    // Queue the point for the engine-concurrency oracle. graphFp = 0
+    // disables memoization: both engines must really re-simulate.
+    SimJob job;
+    job.graph = graph;
+    job.cfg = off;
+    job.maxCycles = sim.maxCycles;
+    batch.push_back(std::move(job));
+}
+
+void
+flushBatch(Fuzzer &fz, std::vector<SimJob> &batch)
+{
+    if (batch.empty())
+        return;
+    SweepEngine::Options serial_opts;
+    serial_opts.jobs = 1;
+    serial_opts.progress = false;
+    SweepEngine::Options par_opts = serial_opts;
+    par_opts.jobs = fz.opt.jobs;
+    SweepEngine serial(serial_opts);
+    SweepEngine parallel(par_opts);
+    const std::vector<SimResult> a = serial.run(batch);
+    const std::vector<SimResult> b = parallel.run(batch);
+    fz.simulations += 2 * batch.size();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const std::string diff =
+            diffReports("jobs=1", a[i].report, "jobs=N", b[i].report);
+        if (!diff.empty()) {
+            fz.report(0, 0, batch[i].cfg, "engine",
+                      "  batch index " + std::to_string(i) + "\n" + diff);
+        }
+    }
+    batch.clear();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--seed=", 0) == 0) {
+            opt.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+        } else if (arg.rfind("--iters=", 0) == 0) {
+            opt.iters = std::strtoull(arg.c_str() + 8, nullptr, 10);
+        } else if (arg.rfind("--seconds=", 0) == 0) {
+            opt.seconds = std::strtod(arg.c_str() + 10, nullptr);
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            opt.jobs = static_cast<unsigned>(
+                std::strtoul(arg.c_str() + 7, nullptr, 10));
+        } else if (arg.rfind("--out=", 0) == 0) {
+            opt.outDir = arg.substr(6);
+        } else if (arg == "--quiet") {
+            opt.quiet = true;
+        } else {
+            return usage();
+        }
+    }
+    if (opt.jobs == 0)
+        opt.jobs = 4;
+
+    Fuzzer fz;
+    fz.opt = opt;
+    std::vector<SimJob> batch;
+    const auto start = std::chrono::steady_clock::now();
+    auto elapsed = [&] {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    };
+
+    for (std::uint64_t i = 0; i < opt.iters; ++i) {
+        if (opt.seconds > 0.0 && elapsed() >= opt.seconds)
+            break;
+        fuzzOne(fz, opt.seed + i, batch);
+        ++fz.iterations;
+        if (batch.size() >= 8)
+            flushBatch(fz, batch);
+        if (!opt.quiet && fz.iterations % 16 == 0) {
+            std::fprintf(stderr, "wsfuzz: %llu iterations, %llu sims, "
+                                 "%llu findings, %.1fs\r",
+                         static_cast<unsigned long long>(fz.iterations),
+                         static_cast<unsigned long long>(fz.simulations),
+                         static_cast<unsigned long long>(fz.findings),
+                         elapsed());
+        }
+    }
+    flushBatch(fz, batch);
+
+    std::printf("wsfuzz: %llu iterations (%llu simulations) in %.1fs, "
+                "%llu finding%s\n",
+                static_cast<unsigned long long>(fz.iterations),
+                static_cast<unsigned long long>(fz.simulations), elapsed(),
+                static_cast<unsigned long long>(fz.findings),
+                fz.findings == 1 ? "" : "s");
+    return fz.findings == 0 ? 0 : 1;
+}
