@@ -179,17 +179,65 @@ std::mutex g_pruned_mutex;
 std::vector<std::string> g_pruned_points;
 
 void
-logPruned(const CfgRun &run, double bound)
+logPruned(const CfgRun &run, double bound, BoundTerm term)
 {
-    char buf[160];
-    std::snprintf(buf, sizeof buf,
-                  "%s t%d on %ux%ux%u (bound %.3f)",
-                  run.kernel->name.c_str(), run.threads,
-                  static_cast<unsigned>(run.cfg.clusters),
-                  static_cast<unsigned>(run.cfg.domainsPerCluster),
-                  static_cast<unsigned>(run.cfg.pesPerDomain), bound);
+    std::ostringstream out;
+    out.setf(std::ios::fixed);
+    out.precision(3);
+    out << run.kernel->name << " t" << run.threads << " on "
+        << run.cfg.clusters << "x" << run.cfg.domainsPerCluster << "x"
+        << run.cfg.pesPerDomain << " (bound " << bound << ", "
+        << boundTermName(term) << ")";
     std::lock_guard<std::mutex> lock(g_pruned_mutex);
-    g_pruned_points.push_back(buf);
+    g_pruned_points.push_back(out.str());
+}
+
+/**
+ * Bound-vs-measured tightness log: one row per simulation point that
+ * had a static bound computed (every runAll/runGroups point). The rows
+ * land in each harness twin's `bound` object — the free training
+ * signal a future learned pre-ranker gets from every bench run, and
+ * the evidence base for EXPERIMENTS.md's tightness table.
+ */
+struct BoundRow
+{
+    std::string kernel;
+    int threads = 1;
+    unsigned clusters = 0;
+    unsigned domains = 0;
+    unsigned pes = 0;
+    double bound = 0.0;
+    BoundTerm term = BoundTerm::kNone;
+    double aipc = 0.0;
+    bool pruned = false;
+};
+
+std::mutex g_bound_mutex;
+std::vector<BoundRow> g_bound_rows;
+
+void
+recordBoundRow(const CfgRun &run, double bound, BoundTerm term,
+               const RunResult &result)
+{
+    BoundRow row;
+    row.kernel = run.kernel->name;
+    row.threads = run.threads;
+    row.clusters = run.cfg.clusters;
+    row.domains = run.cfg.domainsPerCluster;
+    row.pes = run.cfg.pesPerDomain;
+    row.bound = bound;
+    row.term = term;
+    row.aipc = result.aipc;
+    row.pruned = result.pruned;
+    std::lock_guard<std::mutex> lock(g_bound_mutex);
+    g_bound_rows.push_back(std::move(row));
+}
+
+std::vector<BoundRow>
+boundRows()
+{
+    std::lock_guard<std::mutex> lock(g_bound_mutex);
+    return g_bound_rows;
 }
 
 /**
@@ -265,15 +313,27 @@ kernelFingerprint(const Kernel &kernel, const KernelParams &params)
 std::vector<RunResult>
 runAll(const std::vector<CfgRun> &runs, const BenchOptions &opts)
 {
+    // Every point gets its placement-resolved bound (memoized analysis,
+    // cheap next to a simulation) even when pruning is off: the bound
+    // travels into the twin's tightness rows, never into run().
     std::vector<SimJob> jobs;
     jobs.reserve(runs.size());
-    for (const CfgRun &r : runs)
-        jobs.push_back(makeJob(*r.kernel, r.cfg, r.threads, opts));
+    for (const CfgRun &r : runs) {
+        SimJob job = makeJob(*r.kernel, r.cfg, r.threads, opts);
+        const BoundBreakdown b =
+            profileCache().boundFor(*job.graph, job.graphFp, job.cfg);
+        job.staticBound = b.bound;
+        job.boundTerm = b.binding;
+        jobs.push_back(std::move(job));
+    }
     const std::vector<SimResult> sims = engine(opts).run(jobs);
     std::vector<RunResult> results;
     results.reserve(runs.size());
-    for (std::size_t i = 0; i < runs.size(); ++i)
+    for (std::size_t i = 0; i < runs.size(); ++i) {
         results.push_back(toRunResult(sims[i], runs[i].threads));
+        recordBoundRow(runs[i], jobs[i].staticBound, jobs[i].boundTerm,
+                       results[i]);
+    }
     return results;
 }
 
@@ -283,14 +343,16 @@ runGroups(const std::vector<CfgRun> &runs,
           const BenchOptions &opts)
 {
     if (!opts.pruneStatic)
-        return runAll(runs, opts);  // Identical results, no bounds.
+        return runAll(runs, opts);  // Identical results, same bounds.
 
     std::vector<SimJob> jobs;
     jobs.reserve(runs.size());
     for (const CfgRun &r : runs) {
         SimJob job = makeJob(*r.kernel, r.cfg, r.threads, opts);
-        job.staticBound = staticAipcBound(
-            *profileCache().profileFor(*job.graph, job.graphFp), r.cfg);
+        const BoundBreakdown b =
+            profileCache().boundFor(*job.graph, job.graphFp, job.cfg);
+        job.staticBound = b.bound;
+        job.boundTerm = b.binding;
         jobs.push_back(std::move(job));
     }
 
@@ -303,8 +365,10 @@ runGroups(const std::vector<CfgRun> &runs,
     results.reserve(runs.size());
     for (std::size_t i = 0; i < runs.size(); ++i) {
         results.push_back(toRunResult(sims[i], runs[i].threads));
+        recordBoundRow(runs[i], jobs[i].staticBound, jobs[i].boundTerm,
+                       results[i]);
         if (sims[i].pruned)
-            logPruned(runs[i], jobs[i].staticBound);
+            logPruned(runs[i], jobs[i].staticBound, jobs[i].boundTerm);
     }
     return results;
 }
@@ -334,9 +398,8 @@ RunResult
 runKernelCfg(const Kernel &kernel, const ProcessorConfig &cfg,
              int threads, const BenchOptions &opts)
 {
-    const SimResult sim =
-        engine(opts).runOne(makeJob(kernel, cfg, threads, opts));
-    return toRunResult(sim, threads);
+    // Through runAll so single points also land in the tightness log.
+    return runAll({CfgRun{&kernel, cfg, threads}}, opts).front();
 }
 
 RunResult
@@ -519,7 +582,68 @@ BenchReport::finish()
     sweep["pruned"] = static_cast<std::uint64_t>(eng.stats().pruned);
     sweep["prune_errors"] =
         static_cast<std::uint64_t>(eng.stats().pruneErrors);
+    {
+        // Prune attribution: which bound constraint each skipped
+        // candidate was provably limited by.
+        Json by_term = Json::object();
+        for (std::size_t t = 0; t < kBoundTermCount; ++t) {
+            const Counter n = eng.stats().prunedByTerm[t];
+            if (n != 0) {
+                by_term[boundTermName(static_cast<BoundTerm>(t))] =
+                    static_cast<std::uint64_t>(n);
+            }
+        }
+        sweep["pruned_by_term"] = std::move(by_term);
+    }
     root_["sweep"] = sweep;
+    // Bound-vs-measured tightness: one row per point this process
+    // bounded, plus summary statistics over the simulated (non-pruned)
+    // rows. tightness = measured/bound in (0, 1]; higher = tighter.
+    {
+        Json bound = Json::object();
+        Json rows = Json::array();
+        double sum_tight = 0.0;
+        double min_tight = 0.0;
+        double max_tight = 0.0;
+        std::uint64_t measured = 0;
+        std::uint64_t pruned_rows = 0;
+        for (const BoundRow &r : boundRows()) {
+            Json row = Json::object();
+            row["kernel"] = r.kernel;
+            row["threads"] = static_cast<std::uint64_t>(r.threads);
+            row["clusters"] = static_cast<std::uint64_t>(r.clusters);
+            row["domains"] = static_cast<std::uint64_t>(r.domains);
+            row["pes"] = static_cast<std::uint64_t>(r.pes);
+            row["bound"] = r.bound;
+            row["binding"] = std::string(boundTermName(r.term));
+            row["aipc"] = r.aipc;
+            row["pruned"] = r.pruned;
+            rows.push(std::move(row));
+            if (r.pruned) {
+                ++pruned_rows;
+            } else if (r.bound > 0.0) {
+                const double tight = r.aipc / r.bound;
+                if (measured == 0 || tight < min_tight)
+                    min_tight = tight;
+                if (measured == 0 || tight > max_tight)
+                    max_tight = tight;
+                sum_tight += tight;
+                ++measured;
+            }
+        }
+        bound["rows"] = std::move(rows);
+        Json summary = Json::object();
+        summary["points"] = measured + pruned_rows;
+        summary["measured"] = measured;
+        summary["pruned"] = pruned_rows;
+        summary["mean_tightness"] =
+            measured == 0 ? 0.0
+                          : sum_tight / static_cast<double>(measured);
+        summary["min_tightness"] = min_tight;
+        summary["max_tightness"] = max_tight;
+        bound["summary"] = std::move(summary);
+        root_["bound"] = std::move(bound);
+    }
     // Component activity across every run this process collected: how
     // much of the machine the activity-gated clock actually skipped
     // (identical numbers under --always-tick, which only refuses to

@@ -97,13 +97,21 @@ lintGraph(const std::string &label, const DataflowGraph &g,
         if (!advice.empty())
             std::fputs(advice.render().c_str(), stdout);
         const StaticProfile p = analyzeGraph(g);
+        const Placement placement =
+            place(g, PlacementGeometry{}, PlacementPolicy::kDepthFirst);
+        const PlacedProfile placed =
+            analyzePlacedProfile(g, placement, TransitFloors{});
+        const BoundBreakdown bound =
+            staticAipcBoundDetail(p, placed, MachineBoundParams{});
         std::printf("%s: %llu useful / %llu insts, crit path %llu, "
-                    "peak width %llu, %zu advisories\n",
+                    "peak width %llu, bound %.3f aipc (%s), "
+                    "%zu advisories\n",
                     label.c_str(),
                     static_cast<unsigned long long>(p.mix.useful),
                     static_cast<unsigned long long>(p.mix.total),
                     static_cast<unsigned long long>(p.critPathLatency),
                     static_cast<unsigned long long>(p.peakWidth),
+                    bound.bound, boundTermName(bound.binding),
                     advice.noteCount());
     }
     bool check_failed = false;

@@ -62,9 +62,22 @@ usage()
     return 2;
 }
 
+/** Baseline-machine placed bound: the graph placed with the default
+ *  policy on the default geometry, default transit floors. */
+BoundBreakdown
+baselineBound(const DataflowGraph &g, const StaticProfile &profile)
+{
+    const Placement placement =
+        place(g, PlacementGeometry{}, PlacementPolicy::kDepthFirst);
+    const PlacedProfile placed =
+        analyzePlacedProfile(g, placement, TransitFloors{});
+    return staticAipcBoundDetail(profile, placed, MachineBoundParams{});
+}
+
 void
 writeJson(const std::string &name, const StaticProfile &profile,
-          const VerifyReport &advice, const Options &opt)
+          const BoundBreakdown &bound, const VerifyReport &advice,
+          const Options &opt)
 {
     std::error_code ec;
     std::filesystem::create_directories(opt.jsonDir, ec);
@@ -73,8 +86,9 @@ writeJson(const std::string &name, const StaticProfile &profile,
               ec.message().c_str());
     }
     Json root = profileToJson(profile);
-    root["static_aipc_bound"] =
-        staticAipcBound(profile, MachineBoundParams{});
+    // Back-compat scalar plus the attributed breakdown.
+    root["static_aipc_bound"] = bound.bound;
+    root["bound"] = boundToJson(bound);
     root["advice_count"] =
         static_cast<std::uint64_t>(advice.noteCount());
     const std::string path =
@@ -91,20 +105,22 @@ analyzeOne(const std::string &label, const std::string &name,
            const DataflowGraph &g, const Options &opt)
 {
     const StaticProfile profile = analyzeGraph(g);
+    const BoundBreakdown bound = baselineBound(g, profile);
     const VerifyReport advice = adviseGraph(g);
 
     if (!opt.quiet) {
         std::printf("== %s ==\n", label.c_str());
         std::fputs(renderProfile(profile).c_str(), stdout);
         std::printf("static AIPC bound (baseline machine): %.3f\n",
-                    staticAipcBound(profile, MachineBoundParams{}));
+                    bound.bound);
+        std::fputs(renderBound(bound).c_str(), stdout);
         if (!advice.empty())
             std::fputs(advice.render().c_str(), stdout);
         std::printf("%s: %zu advisories\n", label.c_str(),
                     advice.noteCount());
     }
     if (!opt.jsonDir.empty())
-        writeJson(name, profile, advice, opt);
+        writeJson(name, profile, bound, advice, opt);
     return !advice.empty();
 }
 

@@ -1,0 +1,723 @@
+/**
+ * @file
+ * WS7xx resource-aware throughput bound.
+ *
+ * Three layers, from graph to machine:
+ *
+ *  1. threadCycleRatios(): the exact initiation-interval floor of each
+ *     thread's loops as a max cycle ratio — over every dependence cycle
+ *     C, max weight(C)/waveAdvances(C) — under a caller-supplied edge
+ *     weight model. Solved per SCC by a Lawler parametric search:
+ *     binary-search lambda, testing each guess with a Bellman-Ford
+ *     positive-cycle detector over w(e) - lambda*[enters a
+ *     WAVE_ADVANCE]. The search keeps the invariant "a positive cycle
+ *     exists at lo" and returns lo, so the reported ratio never exceeds
+ *     the true one: under-estimating lambda over-estimates the wave
+ *     rate, which keeps the AIPC bound an upper bound.
+ *
+ *  2. analyzePlacedProfile(): placement-resolved facts. Edge weights
+ *     become dispatch-to-dispatch delivery times — a pod-bypass hop is
+ *     1 cycle regardless of the producer's latency (speculative
+ *     scheduling), a same-PE hop is the producer's latency, and wider
+ *     spans add the TransitFloors under-estimates of the bus/network
+ *     paths. This both tightens the bound for spread-out placements
+ *     and FIXES a soundness hazard in the old latency-weighted
+ *     recurrence: a multi-cycle op's pod partner really does dispatch
+ *     the next cycle, so charging the full execute latency per hop
+ *     could under-estimate the achievable rate. The pass also counts
+ *     the PEs each thread's useful instructions occupy (each PE
+ *     dispatches one instruction per cycle, so a thread can never
+ *     sustain more AIPC than it has PEs) and records home clusters for
+ *     the shared store-buffer ceiling.
+ *
+ *  3. staticAipcBoundDetail(): per-thread rate ceilings combined with
+ *     machine-level caps, every min() remembered as a BoundTerm so the
+ *     sweep engine can attribute prunes and the JSON twins can report
+ *     which resource a configuration is provably limited by.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "analyze/passes.h"
+
+namespace ws {
+
+namespace analyze_detail {
+
+namespace {
+
+/** One SCC's view: local node ids, internal edges, wave-advance marks. */
+struct SccProblem
+{
+    std::vector<InstId> nodes;                  ///< Global inst ids.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+    std::vector<double> weight;                 ///< Per edge.
+    std::vector<bool> isWaveAdvance;            ///< Per local node.
+    ThreadId thread = 0;
+    Counter waveAdvances = 0;
+};
+
+/** Tarjan SCC ids (iterative); singletons get an id only when they
+ *  self-loop, everything else acyclic gets kNoScc. */
+constexpr std::uint32_t kNoScc = 0xffffffffu;
+
+std::vector<std::uint32_t>
+sccIds(const DataflowGraph &g,
+       const std::vector<std::vector<InstId>> &succ,
+       std::uint32_t *scc_count)
+{
+    const std::size_t n = g.size();
+    std::vector<std::uint32_t> index(n, kNoScc);
+    std::vector<std::uint32_t> lowlink(n, 0);
+    std::vector<std::uint32_t> scc(n, kNoScc);
+    std::vector<bool> onStack(n, false);
+    std::vector<InstId> sccStack;
+    std::vector<std::pair<InstId, std::size_t>> frames;
+    std::uint32_t counter = 0;
+    std::uint32_t next_scc = 0;
+
+    for (InstId root = 0; root < n; ++root) {
+        if (index[root] != kNoScc)
+            continue;
+        frames.emplace_back(root, 0);
+        index[root] = lowlink[root] = counter++;
+        sccStack.push_back(root);
+        onStack[root] = true;
+        while (!frames.empty()) {
+            auto &[node, next] = frames.back();
+            if (next < succ[node].size()) {
+                const InstId s = succ[node][next++];
+                if (index[s] == kNoScc) {
+                    index[s] = lowlink[s] = counter++;
+                    sccStack.push_back(s);
+                    onStack[s] = true;
+                    frames.emplace_back(s, 0);
+                } else if (onStack[s]) {
+                    lowlink[node] = std::min(lowlink[node], index[s]);
+                }
+            } else {
+                if (lowlink[node] == index[node]) {
+                    std::size_t top = sccStack.size();
+                    while (sccStack[top - 1] != node)
+                        --top;
+                    const std::size_t members = sccStack.size() - top + 1;
+                    bool cyclic = members > 1;
+                    if (!cyclic) {
+                        for (const InstId s : succ[node]) {
+                            if (s == node)
+                                cyclic = true;
+                        }
+                    }
+                    const std::uint32_t id =
+                        cyclic ? next_scc++ : kNoScc;
+                    for (std::size_t i = top - 1; i < sccStack.size();
+                         ++i) {
+                        onStack[sccStack[i]] = false;
+                        scc[sccStack[i]] = id;
+                    }
+                    sccStack.resize(top - 1);
+                }
+                const InstId finished = node;
+                frames.pop_back();
+                if (!frames.empty()) {
+                    lowlink[frames.back().first] =
+                        std::min(lowlink[frames.back().first],
+                                 lowlink[finished]);
+                }
+            }
+        }
+    }
+    *scc_count = next_scc;
+    return scc;
+}
+
+/**
+ * Does a positive-weight cycle exist under w'(e) = w(e) - lambda per
+ * wave-advance head? Bellman-Ford longest-path over the SCC: if any
+ * node still relaxes after |nodes| rounds, a positive cycle exists.
+ */
+bool
+hasPositiveCycle(const SccProblem &p, double lambda)
+{
+    const std::size_t n = p.nodes.size();
+    std::vector<double> dist(n, 0.0);
+    for (std::size_t round = 0; round <= n; ++round) {
+        bool relaxed = false;
+        for (std::size_t e = 0; e < p.edges.size(); ++e) {
+            const auto [u, v] = p.edges[e];
+            const double w =
+                p.weight[e] - (p.isWaveAdvance[v] ? lambda : 0.0);
+            if (dist[u] + w > dist[v] + 1e-12) {
+                dist[v] = dist[u] + w;
+                relaxed = true;
+            }
+        }
+        if (!relaxed)
+            return false;
+    }
+    return true;
+}
+
+/**
+ * Max cycle ratio of one SCC: the largest lambda such that some cycle
+ * has weight(C) > lambda * waveAdvances(C). Returns the lower (sound)
+ * end of the parametric search.
+ */
+double
+sccCycleRatio(const SccProblem &p)
+{
+    if (p.waveAdvances == 0) {
+        // A loop no wave passes through constrains no wave rate. The
+        // verifier (WS303) rejects such graphs; analyzing one anyway
+        // must stay sound, so report "no recurrence constraint".
+        return 0.0;
+    }
+    double lo = 0.0;
+    double hi = 1.0;
+    for (const double w : p.weight)
+        hi += w;
+    // Invariant: positive cycle at lo (lambda* > lo), none at hi.
+    // Every cycle has >=1 positive-weight edge per wave advance, so
+    // lambda* > 0 and the initial lo is feasible.
+    for (int iter = 0; iter < 48 && hi - lo > 1e-9 * hi; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (hasPositiveCycle(p, mid))
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+std::vector<std::vector<InstId>>
+boundSuccessors(const DataflowGraph &g)
+{
+    std::vector<std::vector<InstId>> succ(g.size());
+    for (InstId i = 0; i < g.size(); ++i) {
+        for (const auto &side : g.inst(i).outs) {
+            for (const PortRef &out : side)
+                succ[i].push_back(out.inst);
+        }
+    }
+    return succ;
+}
+
+} // namespace
+
+std::vector<double>
+threadCycleRatios(const DataflowGraph &g, const EdgeWeightFn &weight)
+{
+    std::vector<double> ratios(g.numThreads(), 0.0);
+    if (g.size() == 0)
+        return ratios;
+
+    const auto succ = boundSuccessors(g);
+    std::uint32_t scc_count = 0;
+    const std::vector<std::uint32_t> scc = sccIds(g, succ, &scc_count);
+    if (scc_count == 0)
+        return ratios;
+
+    std::vector<SccProblem> problems(scc_count);
+    std::vector<std::uint32_t> local(g.size(), 0);
+    for (InstId i = 0; i < g.size(); ++i) {
+        if (scc[i] == kNoScc)
+            continue;
+        SccProblem &p = problems[scc[i]];
+        local[i] = static_cast<std::uint32_t>(p.nodes.size());
+        p.nodes.push_back(i);
+        p.isWaveAdvance.push_back(g.inst(i).op == Opcode::kWaveAdvance);
+        if (p.isWaveAdvance.back()) {
+            ++p.waveAdvances;
+            p.thread = g.inst(i).thread;
+        }
+    }
+    for (InstId i = 0; i < g.size(); ++i) {
+        if (scc[i] == kNoScc)
+            continue;
+        SccProblem &p = problems[scc[i]];
+        for (const InstId s : succ[i]) {
+            if (scc[s] != scc[i])
+                continue;
+            p.edges.emplace_back(local[i], local[s]);
+            p.weight.push_back(weight(i, s));
+        }
+    }
+
+    for (const SccProblem &p : problems) {
+        if (p.waveAdvances == 0)
+            continue;
+        double lambda = sccCycleRatio(p);
+        // Iterative (non-pipelined) integer ops serialize their PE for
+        // latency-1 extra cycles between firings, so any cycle through
+        // one needs at least that long per lap no matter how its edges
+        // are placed.
+        for (const InstId i : p.nodes) {
+            const OpcodeInfo &info = opcodeInfo(g.inst(i).op);
+            if (!info.floatingPoint && info.latency > 1) {
+                lambda = std::max(
+                    lambda, static_cast<double>(info.latency - 1) /
+                                static_cast<double>(p.waveAdvances));
+            }
+        }
+        const ThreadId t = p.thread;
+        if (t >= ratios.size())
+            continue;
+        // Sequential loops each gate only their own waves: the weakest
+        // (smallest-ratio) loop is the only thread-wide sound floor.
+        ratios[t] = ratios[t] == 0.0 ? lambda
+                                     : std::min(ratios[t], lambda);
+    }
+    return ratios;
+}
+
+} // namespace analyze_detail
+
+using analyze_detail::threadCycleRatios;
+
+namespace {
+
+/** Dispatch-to-dispatch delivery weight of edge u -> v under @p place. */
+double
+placedEdgeWeight(const DataflowGraph &g, const Placement &place,
+                 const TransitFloors &floors, InstId u, InstId v)
+{
+    const double lat =
+        static_cast<double>(opcodeInfo(g.inst(u).op).latency);
+    const PeCoord a = place.home(u);
+    const PeCoord b = place.home(v);
+    if (a == b)
+        return lat;
+    if (a.cluster == b.cluster && a.domain == b.domain) {
+        // Same pod = adjacent even/odd PE pair within the domain.
+        if (floors.podBypass && (a.pe >> 1) == (b.pe >> 1))
+            return 1.0;  // Speculative bypass beats the latency.
+        return lat + floors.domain;
+    }
+    if (a.cluster == b.cluster)
+        return lat + floors.cluster;
+    return lat + floors.grid;
+}
+
+} // namespace
+
+PlacedProfile
+analyzePlacedProfile(const DataflowGraph &g, const Placement &placement,
+                     const TransitFloors &floors)
+{
+    PlacedProfile placed;
+    placed.spans = placement.edgeSpans(g);
+    placed.threads.resize(g.numThreads());
+    for (ThreadId t = 0; t < g.numThreads(); ++t)
+        placed.threads[t].thread = t;
+    if (g.size() == 0)
+        return placed;
+
+    // PE occupancy: how many PEs host each thread's useful work, and
+    // how much of it piles onto the most loaded one.
+    std::map<std::pair<ThreadId, std::uint64_t>, Counter> pe_load;
+    for (InstId i = 0; i < g.size(); ++i) {
+        const Instruction &inst = g.inst(i);
+        if (!isUsefulOp(inst.op) || inst.thread >= placed.threads.size())
+            continue;
+        const PeCoord home = placement.home(i);
+        const std::uint64_t pe_key =
+            (static_cast<std::uint64_t>(home.cluster) << 32) |
+            (static_cast<std::uint64_t>(home.domain) << 16) | home.pe;
+        ++pe_load[{inst.thread, pe_key}];
+    }
+    for (const auto &[key, load] : pe_load) {
+        PlacedThreadStats &ts = placed.threads[key.first];
+        ++ts.usefulPes;
+        ts.maxPeUsefulLoad = std::max(ts.maxPeUsefulLoad, load);
+    }
+    for (ThreadId t = 0; t < g.numThreads(); ++t)
+        placed.threads[t].homeCluster = placement.threadHomeCluster(t);
+
+    // Transit-weighted recurrence (the placed initiation interval).
+    const std::vector<double> ratios = threadCycleRatios(
+        g, [&](InstId u, InstId v) {
+            return placedEdgeWeight(g, placement, floors, u, v);
+        });
+    for (ThreadId t = 0; t < g.numThreads(); ++t)
+        placed.threads[t].lambda = ratios[t];
+
+    // Transit-weighted critical path over the DAG (back edges of loops
+    // dropped, exactly as levelize() classifies them): the earliest
+    // dispatch time of each instruction under the same delivery model,
+    // so acyclic threads see honest depths on spread-out placements.
+    const analyze_detail::Levelization lv = analyze_detail::levelize(g);
+    std::vector<std::vector<InstId>> succ(g.size());
+    for (InstId i = 0; i < g.size(); ++i) {
+        for (const auto &side : g.inst(i).outs) {
+            for (const PortRef &out : side) {
+                // Every DAG edge strictly raises the ASAP level, so a
+                // non-increasing edge is cycle-closing: drop it. (A
+                // dropped edge can only shrink depths, which keeps the
+                // useful/depth bound an over-estimate — sound.)
+                if (lv.asap[out.inst] > lv.asap[i])
+                    succ[i].push_back(out.inst);
+            }
+        }
+    }
+    // Ascending-asap is a topological order of the kept edges.
+    std::vector<InstId> order(g.size());
+    for (InstId i = 0; i < g.size(); ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](InstId a, InstId b) {
+                         return lv.asap[a] < lv.asap[b];
+                     });
+    std::vector<double> start(g.size(), 1.0);
+    for (const InstId i : order) {
+        for (const InstId s : succ[i]) {
+            start[s] = std::max(
+                start[s],
+                start[i] + placedEdgeWeight(g, placement, floors, i, s));
+        }
+    }
+    for (InstId i = 0; i < g.size(); ++i) {
+        const ThreadId t = g.inst(i).thread;
+        if (t < placed.threads.size()) {
+            placed.threads[t].placedDepth =
+                std::max(placed.threads[t].placedDepth, start[i]);
+        }
+    }
+    return placed;
+}
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** Per-thread ingredients shared by the free and placed bounds. */
+struct ThreadTerm
+{
+    double bound = 0.0;
+    BoundTerm binding = BoundTerm::kNone;
+    double lambda = 0.0;
+    double waveRate = 0.0;   ///< Waves/cycle ceiling (kInf = none).
+    double depth = 1.0;
+    // For the shared store-buffer reduction (cyclic threads only):
+    double wavePart = 0.0;   ///< perWave * waveRate contribution.
+    double oncePart = 0.0;   ///< once / depth contribution.
+    double chainLen = 0.0;   ///< SB ops one wave must retire (>=0).
+    bool cyclic = false;
+};
+
+/** Track a running min() while remembering which term set it. */
+void
+applyCap(double cap, BoundTerm term, double *value, BoundTerm *binding)
+{
+    if (cap < *value) {
+        *value = cap;
+        *binding = term;
+    }
+}
+
+ThreadTerm
+threadBound(const ThreadProfile &tp, const PlacedThreadStats *ts,
+            const MachineBoundParams &m)
+{
+    ThreadTerm term;
+    const double useful = static_cast<double>(tp.mix.useful);
+    if (useful == 0.0)
+        return term;
+
+    term.cyclic = tp.cyclic;
+    if (!tp.cyclic) {
+        // Straight-line thread: every instruction fires once, across at
+        // least the critical path. Placement-free, the depth is the hop
+        // count when pod bypass can hide latencies, the latency-
+        // weighted path when it cannot; placed, it is the transit-
+        // weighted dispatch time. Either way the most loaded PE also
+        // serializes its share at one dispatch per cycle.
+        double depth = m.podBypass
+                           ? static_cast<double>(
+                                 std::max<Counter>(tp.levels, 1))
+                           : static_cast<double>(std::max<Counter>(
+                                 tp.critPathLatency, 1));
+        term.binding = BoundTerm::kDepth;
+        if (ts != nullptr) {
+            depth = std::max(
+                {ts->placedDepth, 1.0,
+                 static_cast<double>(ts->maxPeUsefulLoad)});
+            if (static_cast<double>(ts->maxPeUsefulLoad) > ts->placedDepth)
+                term.binding = BoundTerm::kPeOccupancy;
+        }
+        term.depth = depth;
+        term.bound = useful / depth;
+        term.oncePart = term.bound;
+    } else {
+        // Looping thread: waves retire at rate r, re-executing the
+        // per-wave instructions; the one-shot remainder amortizes over
+        // the critical path.
+        term.lambda = ts != nullptr
+                          ? ts->lambda
+                          : tp.cycleRatio;
+        term.waveRate = kInf;
+        BoundTerm rate_term = BoundTerm::kNone;
+        if (term.lambda > 0.0) {
+            term.waveRate = 1.0 / term.lambda;
+            rate_term = BoundTerm::kRecurrence;
+        }
+        term.chainLen = static_cast<double>(tp.minChainLen);
+        if (tp.minChainLen > 0) {
+            applyCap(m.sbIssueWidth / term.chainLen,
+                     BoundTerm::kStoreBuffer, &term.waveRate,
+                     &rate_term);
+        }
+        const double perWave = static_cast<double>(tp.perWaveUseful);
+        const double once = useful - perWave;
+        term.depth = static_cast<double>(
+            std::max<Counter>(tp.critPathLatency, 1));
+        term.wavePart =
+            term.waveRate == kInf ? perWave : perWave * term.waveRate;
+        term.oncePart = once / term.depth;
+        term.bound = useful;
+        term.binding = BoundTerm::kUseful;
+        applyCap(term.wavePart + term.oncePart,
+                 rate_term == BoundTerm::kNone ? BoundTerm::kUseful
+                                               : rate_term,
+                 &term.bound, &term.binding);
+    }
+    if (ts != nullptr && ts->usefulPes > 0) {
+        applyCap(static_cast<double>(ts->usefulPes),
+                 BoundTerm::kPeOccupancy, &term.bound, &term.binding);
+    }
+    return term;
+}
+
+BoundBreakdown
+combineBounds(const StaticProfile &profile, const PlacedProfile *placed,
+              const MachineBoundParams &m)
+{
+    BoundBreakdown b;
+    b.placed = placed != nullptr;
+    b.machineCap = m.totalPes;
+
+    std::vector<ThreadTerm> terms(profile.threads.size());
+    for (std::size_t i = 0; i < profile.threads.size(); ++i) {
+        const PlacedThreadStats *ts =
+            placed != nullptr && i < placed->threads.size()
+                ? &placed->threads[i]
+                : nullptr;
+        terms[i] = threadBound(profile.threads[i], ts, m);
+        BoundBreakdown::Thread bt;
+        bt.thread = profile.threads[i].thread;
+        bt.bound = terms[i].bound;
+        bt.binding = terms[i].binding;
+        bt.lambda = terms[i].lambda;
+        bt.waveRate = terms[i].waveRate == kInf ? 0.0 : terms[i].waveRate;
+        bt.depth = terms[i].depth;
+        b.threads.push_back(bt);
+    }
+
+    double sum = 0.0;
+    for (const ThreadTerm &t : terms)
+        sum += t.bound;
+    b.threadSum = sum;
+
+    // Shared store buffer: threads homed on one cluster split that
+    // store buffer's issueWidth. The fractional-knapsack relaxation —
+    // hand bandwidth to the threads that convert it into the most
+    // useful work first — upper-bounds any schedule the hardware could
+    // achieve, so replacing the solo wave terms with the shared cap
+    // keeps the bound sound while making 1-cluster many-thread configs
+    // honestly slower.
+    double shared_adjust = 0.0;
+    if (placed != nullptr) {
+        std::map<ClusterId, std::vector<std::size_t>> by_cluster;
+        for (std::size_t i = 0; i < terms.size(); ++i) {
+            if (terms[i].cyclic && terms[i].chainLen > 0.0 &&
+                terms[i].bound > 0.0 &&
+                i < placed->threads.size()) {
+                by_cluster[placed->threads[i].homeCluster].push_back(i);
+            }
+        }
+        for (const auto &[cluster, idx] : by_cluster) {
+            if (idx.size() < 2)
+                continue;
+            // Solo terms already include each thread's PRIVATE
+            // sbIssueWidth/chainLen cap, so waveRate is finite here;
+            // perWave = wavePart / waveRate recovers the useful work
+            // one wave retires.
+            double unshared = 0.0;
+            for (const std::size_t i : idx)
+                unshared += terms[i].wavePart;
+            // Optimal fractional allocation of the shared issueWidth:
+            // greedy by useful work per unit of retire bandwidth
+            // (perWave/chainLen) is exact for the LP relaxation, and
+            // the relaxation upper-bounds any schedule the hardware
+            // could achieve — so substituting it keeps the bound sound.
+            std::vector<std::size_t> order = idx;
+            std::stable_sort(
+                order.begin(), order.end(),
+                [&](std::size_t a, std::size_t b2) {
+                    const double da = terms[a].wavePart /
+                                      (terms[a].waveRate *
+                                       terms[a].chainLen);
+                    const double db = terms[b2].wavePart /
+                                      (terms[b2].waveRate *
+                                       terms[b2].chainLen);
+                    return da > db;
+                });
+            double budget = m.sbIssueWidth;
+            double shared = 0.0;
+            for (const std::size_t i : order) {
+                if (budget <= 0.0)
+                    break;
+                const double rate = std::min(
+                    terms[i].waveRate, budget / terms[i].chainLen);
+                shared += rate * (terms[i].wavePart / terms[i].waveRate);
+                budget -= rate * terms[i].chainLen;
+            }
+            if (shared < unshared) {
+                BoundBreakdown::SharedSb s;
+                s.cluster = cluster;
+                s.unshared = unshared;
+                s.shared = shared;
+                b.sbShared.push_back(s);
+                shared_adjust += unshared - shared;
+            }
+        }
+    }
+
+    // Attribute the whole-machine bound: the per-thread sum, reduced by
+    // store-buffer sharing, capped by machine issue width.
+    BoundTerm binding = BoundTerm::kNone;
+    if (!b.threads.empty()) {
+        // Dominant per-thread term: the binding constraint of the
+        // thread contributing the most to the sum.
+        double best = -1.0;
+        for (const BoundBreakdown::Thread &t : b.threads) {
+            if (t.bound > best) {
+                best = t.bound;
+                binding = t.binding;
+            }
+        }
+    }
+    double bound = sum;
+    if (shared_adjust > 0.0) {
+        bound -= shared_adjust;
+        binding = BoundTerm::kSbShared;
+    }
+    if (m.totalPes < bound) {
+        bound = m.totalPes;
+        binding = BoundTerm::kMachineIssue;
+    }
+    b.bound = bound;
+    b.binding = binding;
+    return b;
+}
+
+} // namespace
+
+const char *
+boundTermName(BoundTerm term)
+{
+    switch (term) {
+      case BoundTerm::kNone:         return "none";
+      case BoundTerm::kUseful:       return "useful";
+      case BoundTerm::kDepth:        return "depth";
+      case BoundTerm::kRecurrence:   return "recurrence";
+      case BoundTerm::kStoreBuffer:  return "store-buffer";
+      case BoundTerm::kSbShared:     return "sb-shared";
+      case BoundTerm::kPeOccupancy:  return "pe-occupancy";
+      case BoundTerm::kMachineIssue: return "machine-issue";
+    }
+    return "none";
+}
+
+BoundBreakdown
+staticAipcBoundDetail(const StaticProfile &profile,
+                      const MachineBoundParams &m)
+{
+    return combineBounds(profile, nullptr, m);
+}
+
+BoundBreakdown
+staticAipcBoundDetail(const StaticProfile &profile,
+                      const PlacedProfile &placed,
+                      const MachineBoundParams &m)
+{
+    return combineBounds(profile, &placed, m);
+}
+
+double
+staticAipcBound(const StaticProfile &profile, const MachineBoundParams &m)
+{
+    return staticAipcBoundDetail(profile, m).bound;
+}
+
+double
+staticAipcBound(const StaticProfile &profile, const PlacedProfile &placed,
+                const MachineBoundParams &m)
+{
+    return staticAipcBoundDetail(profile, placed, m).bound;
+}
+
+std::string
+renderBound(const BoundBreakdown &b)
+{
+    std::ostringstream out;
+    out.setf(std::ios::fixed);
+    out.precision(3);
+    out << "  bound " << b.bound << " aipc ("
+        << (b.placed ? "placed" : "placement-free") << ", binding: "
+        << boundTermName(b.binding) << ", thread sum " << b.threadSum
+        << ", machine cap " << b.machineCap << ")\n";
+    for (const BoundBreakdown::Thread &t : b.threads) {
+        out << "    t" << t.thread << ": " << t.bound << " via "
+            << boundTermName(t.binding);
+        if (t.lambda > 0.0)
+            out << ", lambda " << t.lambda;
+        if (t.waveRate > 0.0)
+            out << ", wave rate " << t.waveRate;
+        out << ", depth " << t.depth << "\n";
+    }
+    for (const BoundBreakdown::SharedSb &s : b.sbShared) {
+        out << "    cluster " << s.cluster << " store buffer shared: "
+            << s.unshared << " -> " << s.shared << "\n";
+    }
+    return out.str();
+}
+
+Json
+boundToJson(const BoundBreakdown &b)
+{
+    Json j = Json::object();
+    j["bound"] = b.bound;
+    j["binding"] = std::string(boundTermName(b.binding));
+    j["placed"] = b.placed;
+    j["thread_sum"] = b.threadSum;
+    j["machine_cap"] = b.machineCap;
+    Json threads = Json::array();
+    for (const BoundBreakdown::Thread &t : b.threads) {
+        Json tj = Json::object();
+        tj["thread"] = static_cast<std::uint64_t>(t.thread);
+        tj["bound"] = t.bound;
+        tj["binding"] = std::string(boundTermName(t.binding));
+        tj["lambda"] = t.lambda;
+        tj["wave_rate"] = t.waveRate;
+        tj["depth"] = t.depth;
+        threads.push(std::move(tj));
+    }
+    j["threads"] = std::move(threads);
+    Json shared = Json::array();
+    for (const BoundBreakdown::SharedSb &s : b.sbShared) {
+        Json sj = Json::object();
+        sj["cluster"] = static_cast<std::uint64_t>(s.cluster);
+        sj["unshared"] = s.unshared;
+        sj["shared"] = s.shared;
+        shared.push(std::move(sj));
+    }
+    j["sb_shared"] = std::move(shared);
+    return j;
+}
+
+} // namespace ws

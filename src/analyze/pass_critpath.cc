@@ -274,9 +274,16 @@ levelize(const DataflowGraph &g)
         }
     }
 
-    // Initiation-interval floor per thread: every wave recurrence runs
-    // through a WAVE_ADVANCE (the verifier's WS303 invariant), so the
-    // shortest cycle through one bounds the steady-state wave rate.
+    // Placement-free initiation-interval floor per thread: the max
+    // cycle ratio under unit edge weights (every dependence hop costs
+    // at least one cycle, even a pod-bypass hop). See pass_bound.cc.
+    lv.cycleRatio =
+        threadCycleRatios(g, [](InstId, InstId) { return 1.0; });
+
+    // Legacy probe, kept for reports: shortest LATENCY-weighted cycle
+    // through a WAVE_ADVANCE. Not a sound II floor under pod bypass
+    // (a multi-cycle op's pod partner dispatches the next cycle), so
+    // the bound uses cycleRatio; this stays descriptive.
     for (InstId i = 0; i < n; ++i) {
         if (g.inst(i).op != Opcode::kWaveAdvance || !lv.inCycle[i])
             continue;
@@ -324,6 +331,8 @@ runCritPath(const DataflowGraph &g, const Levelization &lv,
     for (ThreadProfile &tp : profile.threads) {
         if (tp.thread < lv.minCycleLatency.size())
             tp.minCycleLatency = lv.minCycleLatency[tp.thread];
+        if (tp.thread < lv.cycleRatio.size())
+            tp.cycleRatio = lv.cycleRatio[tp.thread];
     }
 }
 

@@ -11,6 +11,7 @@
 #define WS_ANALYZE_PASSES_H_
 
 #include <array>
+#include <functional>
 #include <vector>
 
 #include "analyze/profile.h"
@@ -39,6 +40,11 @@ struct Levelization
     /** Shortest latency of a cycle through a wave-advance, per thread
      *  (0 = thread acyclic): the wave initiation interval floor. */
     std::vector<Counter> minCycleLatency;
+
+    /** Unit-weight max cycle ratio per thread (pass_bound.cc): the
+     *  most dependence hops per wave advance over any loop, 0 when
+     *  acyclic. See threadCycleRatios(). */
+    std::vector<double> cycleRatio;
 };
 
 /** Build the levelization (pass_critpath.cc). */
@@ -58,6 +64,25 @@ void runMemChain(const DataflowGraph &g, StaticProfile &profile);
 /** Edge-span census under a placement (pass_locality.cc). */
 void runLocality(const DataflowGraph &g, const Placement &placement,
                  StaticProfile &profile);
+
+/** Producer-to-consumer dispatch-time weight of one dependence edge. */
+using EdgeWeightFn = std::function<double(InstId, InstId)>;
+
+/**
+ * Max cycle ratio per thread (pass_bound.cc): over every dependence
+ * cycle C, the maximum of weight(C) / waveAdvances(C) — the tightest
+ * sound initiation-interval floor the weight model supports. Computed
+ * per SCC with a Lawler-style parametric search (binary search on
+ * lambda, Bellman-Ford positive-cycle test on w(e) - lambda per wave
+ * advance); the search returns the infeasible-side endpoint, so the
+ * result never exceeds the true ratio (under-estimating lambda keeps
+ * the throughput bound sound). Iterative non-pipelined ops add a
+ * serialization floor of (latency-1)/waveAdvances. A thread owning
+ * several loops reports the SMALLEST of their ratios (sequential loops
+ * each only gate their own waves). 0 = thread acyclic.
+ */
+std::vector<double> threadCycleRatios(const DataflowGraph &g,
+                                      const EdgeWeightFn &weight);
 
 // Optimization-opportunity detection. Each detector returns candidate
 // instruction ids; the advice wrappers report them as WS5xx notes and

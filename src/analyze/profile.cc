@@ -1,7 +1,5 @@
 #include "analyze/profile.h"
 
-#include <algorithm>
-#include <cstdio>
 #include <sstream>
 
 #include "analyze/passes.h"
@@ -38,119 +36,57 @@ analyzeGraph(const DataflowGraph &g, const Placement &placement)
     return profile;
 }
 
-double
-staticAipcBound(const StaticProfile &profile, const MachineBoundParams &m)
-{
-    double sum = 0.0;
-    for (const ThreadProfile &tp : profile.threads) {
-        const double useful = static_cast<double>(tp.mix.useful);
-        if (useful == 0.0)
-            continue;
-        double bound = 0.0;
-        if (!tp.cyclic) {
-            // Straight-line thread: every instruction fires once and
-            // the run takes at least the critical path.
-            const double depth = static_cast<double>(
-                std::max<Counter>(tp.critPathLatency, 1));
-            bound = useful / depth;
-        } else {
-            // Looping thread: the steady state is waves retiring at
-            // rate r, each re-executing the per-wave instructions.
-            // r <= 1/lambda (the loop-carried recurrence) and the
-            // store buffer must retire a full ordering chain per wave
-            // at sbIssueWidth ops/cycle. The one-shot remainder
-            // (prologue/epilogue) amortizes over the critical path.
-            const double lambda = static_cast<double>(
-                std::max<Counter>(tp.minCycleLatency, 1));
-            double rate = 1.0 / lambda;
-            if (tp.minChainLen > 0) {
-                rate = std::min(
-                    rate, m.sbIssueWidth /
-                              static_cast<double>(tp.minChainLen));
-            }
-            const double perWave =
-                static_cast<double>(tp.perWaveUseful);
-            const double once = useful - perWave;
-            const double depth = static_cast<double>(
-                std::max<Counter>(tp.critPathLatency, 1));
-            bound = std::min(useful, perWave * rate + once / depth);
-        }
-        sum += bound;
-    }
-    // Machine issue ceiling: one instruction per PE per cycle.
-    return std::min(sum, m.totalPes);
-}
-
 std::string
 renderProfile(const StaticProfile &p)
 {
+    // Stream formatting throughout: graph names are user-controlled and
+    // arbitrarily long, so no fixed-size buffers anywhere in this path.
     std::ostringstream out;
-    char buf[160];
-    std::snprintf(buf, sizeof(buf), "%s: %llu insts (%llu useful), "
-                  "%u thread%s\n",
-                  p.graph.c_str(),
-                  static_cast<unsigned long long>(p.mix.total),
-                  static_cast<unsigned long long>(p.mix.useful),
-                  p.numThreads, p.numThreads == 1 ? "" : "s");
-    out << buf;
-    std::snprintf(buf, sizeof(buf),
-                  "  mix: %llu compute / %llu memory / %llu control / "
-                  "%llu plumbing (%llu fp)\n",
-                  static_cast<unsigned long long>(p.mix.compute),
-                  static_cast<unsigned long long>(p.mix.memory),
-                  static_cast<unsigned long long>(p.mix.control),
-                  static_cast<unsigned long long>(p.mix.plumbing),
-                  static_cast<unsigned long long>(p.mix.fp));
-    out << buf;
-    std::snprintf(buf, sizeof(buf),
-                  "  levels %llu, crit path %llu cycles, width peak "
-                  "%llu (useful %llu, avg %.2f), back edges %llu\n",
-                  static_cast<unsigned long long>(p.levels),
-                  static_cast<unsigned long long>(p.critPathLatency),
-                  static_cast<unsigned long long>(p.peakWidth),
-                  static_cast<unsigned long long>(p.peakUsefulWidth),
-                  p.avgUsefulWidth,
-                  static_cast<unsigned long long>(p.backEdges));
-    out << buf;
-    std::snprintf(buf, sizeof(buf),
-                  "  memory: %llu ordering chains, depth max %llu\n",
-                  static_cast<unsigned long long>(p.memRegionCount),
-                  static_cast<unsigned long long>(p.memChainDepth));
-    out << buf;
+    out << p.graph << ": " << p.mix.total << " insts (" << p.mix.useful
+        << " useful), " << p.numThreads
+        << (p.numThreads == 1 ? " thread\n" : " threads\n");
+    out << "  mix: " << p.mix.compute << " compute / " << p.mix.memory
+        << " memory / " << p.mix.control << " control / "
+        << p.mix.plumbing << " plumbing (" << p.mix.fp << " fp)\n";
+    out << "  levels " << p.levels << ", crit path "
+        << p.critPathLatency << " cycles, width peak " << p.peakWidth
+        << " (useful " << p.peakUsefulWidth << ", avg ";
+    {
+        const auto flags = out.flags();
+        const auto precision = out.precision();
+        out.setf(std::ios::fixed);
+        out.precision(2);
+        out << p.avgUsefulWidth;
+        out.flags(flags);
+        out.precision(precision);
+    }
+    out << "), back edges " << p.backEdges << "\n";
+    out << "  memory: " << p.memRegionCount
+        << " ordering chains, depth max " << p.memChainDepth << "\n";
     for (const ThreadProfile &tp : p.threads) {
-        std::snprintf(buf, sizeof(buf),
-                      "  t%u: %llu useful, crit %llu, %s, per-wave "
-                      "%llu useful / lambda %llu, chains %llu "
-                      "[%llu..%llu]\n",
-                      tp.thread,
-                      static_cast<unsigned long long>(tp.mix.useful),
-                      static_cast<unsigned long long>(
-                          tp.critPathLatency),
-                      tp.cyclic ? "cyclic" : "acyclic",
-                      static_cast<unsigned long long>(tp.perWaveUseful),
-                      static_cast<unsigned long long>(
-                          tp.minCycleLatency),
-                      static_cast<unsigned long long>(
-                          tp.memRegionCount),
-                      static_cast<unsigned long long>(tp.minChainLen),
-                      static_cast<unsigned long long>(
-                          tp.memChainDepth));
-        out << buf;
+        out << "  t" << tp.thread << ": " << tp.mix.useful
+            << " useful, crit " << tp.critPathLatency << ", "
+            << (tp.cyclic ? "cyclic" : "acyclic") << ", per-wave "
+            << tp.perWaveUseful << " useful / lambda "
+            << tp.minCycleLatency;
+        if (tp.cycleRatio > 0.0) {
+            const auto flags = out.flags();
+            const auto precision = out.precision();
+            out.setf(std::ios::fixed);
+            out.precision(2);
+            out << " (ratio " << tp.cycleRatio << ")";
+            out.flags(flags);
+            out.precision(precision);
+        }
+        out << ", chains " << tp.memRegionCount << " ["
+            << tp.minChainLen << ".." << tp.memChainDepth << "]\n";
     }
     if (p.hasLocality) {
-        std::snprintf(buf, sizeof(buf),
-                      "  locality: %llu edges: %llu pe / %llu pod / "
-                      "%llu domain / %llu cluster / %llu grid\n",
-                      static_cast<unsigned long long>(p.spans.total),
-                      static_cast<unsigned long long>(p.spans.intraPe),
-                      static_cast<unsigned long long>(p.spans.intraPod),
-                      static_cast<unsigned long long>(
-                          p.spans.intraDomain),
-                      static_cast<unsigned long long>(
-                          p.spans.intraCluster),
-                      static_cast<unsigned long long>(
-                          p.spans.interCluster));
-        out << buf;
+        out << "  locality: " << p.spans.total << " edges: "
+            << p.spans.intraPe << " pe / " << p.spans.intraPod
+            << " pod / " << p.spans.intraDomain << " domain / "
+            << p.spans.intraCluster << " cluster / "
+            << p.spans.interCluster << " grid\n";
     }
     return out.str();
 }
@@ -210,6 +146,7 @@ profileToJson(const StaticProfile &p)
         t["peak_useful_width"] = tp.peakUsefulWidth;
         t["cyclic"] = tp.cyclic;
         t["min_cycle_latency"] = tp.minCycleLatency;
+        t["cycle_ratio"] = tp.cycleRatio;
         t["per_wave_useful"] = tp.perWaveUseful;
         t["per_wave_mem_ops"] = tp.perWaveMemOps;
         t["mem_chain_depth"] = tp.memChainDepth;

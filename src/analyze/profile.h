@@ -52,6 +52,13 @@ struct ThreadProfile
     Counter minCycleLatency = 0;  ///< Shortest wave-advance recurrence
                                   ///  (0 when acyclic): the initiation
                                   ///  interval floor of the loop.
+    double cycleRatio = 0.0;      ///< Unit-weight max cycle ratio: the
+                                  ///  most dependence hops any loop
+                                  ///  takes per wave advance (0 when
+                                  ///  acyclic). Placement-free floor of
+                                  ///  the initiation interval — every
+                                  ///  hop costs >=1 cycle even under
+                                  ///  pod bypass.
     Counter perWaveUseful = 0;    ///< Useful insts that re-execute every
                                   ///  wave (in or downstream of a loop).
     Counter perWaveMemOps = 0;    ///< Chain ops re-executed every wave.
@@ -106,27 +113,156 @@ StaticProfile analyzeGraph(const DataflowGraph &g,
  */
 struct MachineBoundParams
 {
-    double totalPes = 64;        ///< Each PE retires <=1 inst/cycle.
-    double sbIssueWidth = 4;     ///< Store-buffer chain ops/cycle.
+    double totalPes = 64;          ///< Each PE retires <=1 inst/cycle.
+    double sbIssueWidth = 4;       ///< Store-buffer chain ops/cycle,
+                                   ///  shared by every thread homed on
+                                   ///  one cluster.
+    bool podBypass = true;         ///< Pod partners dispatch dependents
+                                   ///  on the next cycle (speculative
+                                   ///  bypass), regardless of latency.
+    // Capacity context, reported with the bound breakdown. Matching
+    // tables and operand queues bound *occupancy*, not steady-state
+    // rate: both spill into latency-soft paths (overflow, deferred
+    // inserts), so no hard rate ceiling can be soundly derived from
+    // them (ARCHITECTURE.md §8.3). They still travel with the bound so
+    // tightness reports can correlate looseness with capacity pressure.
+    double matchingEntries = 128;
+    double outputQueueEntries = 4;
+    double waveWindow = 4;         ///< k-loop bound (waves in flight).
+};
+
+/**
+ * Minimum extra producer-dispatch-to-consumer-dispatch transit per
+ * placement span, in cycles, on top of the producer's execute latency.
+ * Sound under-estimates of the simulator's delivery paths; the driver
+ * derives them from LatencyConfig (driver/static_prune.h), and the
+ * defaults match the baseline machine. A pod-bypass edge costs 1 cycle
+ * TOTAL (speculative scheduling beats the producer's own latency).
+ */
+struct TransitFloors
+{
+    bool podBypass = true;  ///< Pod edges use the 1-cycle bypass.
+    double domain = 2;      ///< Same domain, different pod (domain bus).
+    double cluster = 6;     ///< Same cluster, different domain.
+    double grid = 7;        ///< Crosses the cluster grid (>=1 hop).
+};
+
+/** Placement-resolved per-thread facts the resource bound consumes. */
+struct PlacedThreadStats
+{
+    ThreadId thread = 0;
+    Counter usefulPes = 0;       ///< Distinct PEs hosting useful insts.
+    Counter maxPeUsefulLoad = 0; ///< Most useful insts homed on one PE.
+    ClusterId homeCluster = 0;   ///< Store buffer owning wave ordering.
+    double placedDepth = 0.0;    ///< Transit-weighted critical path.
+    double lambda = 0.0;         ///< Transit-weighted max cycle ratio
+                                 ///  (0 = acyclic): cycles per wave.
+};
+
+/** Placement-resolved augmentation of a StaticProfile. */
+struct PlacedProfile
+{
+    EdgeSpanCounts spans;
+    std::vector<PlacedThreadStats> threads;
+};
+
+/** Resolve @p g under @p placement: per-thread PE occupancy, home
+ *  clusters, and the transit-weighted depth/recurrence analyses. */
+PlacedProfile analyzePlacedProfile(const DataflowGraph &g,
+                                   const Placement &placement,
+                                   const TransitFloors &floors);
+
+/** The constraint a bound (or one thread's slice of it) binds on. */
+enum class BoundTerm : std::uint8_t
+{
+    kNone,         ///< No useful work; the bound is trivially 0.
+    kUseful,       ///< Total useful instruction count (short runs).
+    kDepth,        ///< Dataflow critical path (acyclic threads).
+    kRecurrence,   ///< Loop-carried wave recurrence (max cycle ratio).
+    kStoreBuffer,  ///< Per-thread ordering-chain retire bandwidth.
+    kSbShared,     ///< Cluster store buffer shared across threads.
+    kPeOccupancy,  ///< Distinct PEs hosting the thread's useful insts.
+    kMachineIssue, ///< One instruction per PE per cycle, machine-wide.
+};
+constexpr std::size_t kBoundTermCount = 8;
+
+/** Stable lower-case label, e.g. "recurrence" (JSON and logs). */
+const char *boundTermName(BoundTerm term);
+
+/** staticAipcBound() with per-constraint attribution. */
+struct BoundBreakdown
+{
+    double bound = 0.0;                  ///< The machine-level bound.
+    BoundTerm binding = BoundTerm::kNone;///< Constraint that set it.
+    double threadSum = 0.0;              ///< Sum of per-thread bounds
+                                         ///  before machine-level caps.
+    double machineCap = 0.0;             ///< totalPes issue ceiling.
+    bool placed = false;                 ///< Placement terms applied.
+
+    struct Thread
+    {
+        ThreadId thread = 0;
+        double bound = 0.0;              ///< This thread's contribution.
+        BoundTerm binding = BoundTerm::kNone;
+        double lambda = 0.0;             ///< Recurrence used (0 = none).
+        double waveRate = 0.0;           ///< Waves/cycle ceiling (cyclic).
+        double depth = 0.0;              ///< Denominator of the one-shot
+                                         ///  (acyclic) term.
+    };
+    std::vector<Thread> threads;
+
+    struct SharedSb
+    {
+        ClusterId cluster = 0;
+        double unshared = 0.0;  ///< Sum of solo per-thread wave terms.
+        double shared = 0.0;    ///< After splitting issueWidth fairly.
+    };
+    std::vector<SharedSb> sbShared;      ///< Clusters where sharing bit.
 };
 
 /**
  * Upper estimate of the AIPC any execution of the profiled graph can
- * reach on machine @p m. Per thread: an acyclic thread executes each
- * instruction once across at least its critical path, so its rate is
- * useful/D_t; a looping thread is gated by the wave initiation interval
- * (shortest wave-advance recurrence) and by the store buffer having to
- * retire every wave's ordering chain. The sum is capped by machine
- * issue width (one instruction per PE per cycle).
+ * reach on machine @p m, with the binding constraint named per thread
+ * and machine-wide. Placement-free: transit, PE occupancy, and shared
+ * store-buffer terms are unavailable, so recurrences weigh every
+ * dependence hop at the 1-cycle pod-bypass floor (the best any
+ * placement could do when m.podBypass is set).
  */
+BoundBreakdown staticAipcBoundDetail(const StaticProfile &profile,
+                                     const MachineBoundParams &m);
+
+/**
+ * Placement-resolved bound: recurrence and depth terms use the
+ * transit-weighted analyses in @p placed, each thread is additionally
+ * capped by the PEs its useful instructions actually occupy, and
+ * threads sharing a home cluster split that store buffer's issue
+ * bandwidth (fractional-knapsack relaxation — an upper bound on any
+ * schedule the hardware could achieve).
+ */
+BoundBreakdown staticAipcBoundDetail(const StaticProfile &profile,
+                                     const PlacedProfile &placed,
+                                     const MachineBoundParams &m);
+
+/** The bound alone (wraps staticAipcBoundDetail). */
 double staticAipcBound(const StaticProfile &profile,
+                       const MachineBoundParams &m);
+
+/** The placed bound alone. */
+double staticAipcBound(const StaticProfile &profile,
+                       const PlacedProfile &placed,
                        const MachineBoundParams &m);
 
 /** Human-readable profile report (wsa-opt's report mode). */
 std::string renderProfile(const StaticProfile &profile);
 
+/** Human-readable bound breakdown (wsa-opt / wsa-lint --analyze). */
+std::string renderBound(const BoundBreakdown &b);
+
 /** Machine-readable twin (wsa-opt --json; CI artifacts). */
 Json profileToJson(const StaticProfile &profile);
+
+/** Machine-readable bound breakdown (harness JSON twins). */
+Json boundToJson(const BoundBreakdown &b);
 
 } // namespace ws
 

@@ -2,13 +2,62 @@
 
 namespace ws {
 
+namespace {
+
+/** FNV-1a over the facts a PlacedProfile depends on. Zero is reserved
+ *  as the "memoization off" sentinel, so it never collides with a real
+ *  key (the hash is remapped away from zero). */
+std::uint64_t
+placementKey(const ProcessorConfig &cfg)
+{
+    const TransitFloors floors = transitFloors(cfg);
+    std::uint64_t h = 1469598103934665603ull;
+    const auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ull;
+    };
+    mix(cfg.clusters);
+    mix(cfg.domainsPerCluster);
+    mix(cfg.pesPerDomain);
+    mix(cfg.pe.instStoreEntries);
+    mix(static_cast<std::uint64_t>(cfg.placement));
+    mix(cfg.seed);
+    mix(floors.podBypass ? 1 : 0);
+    mix(static_cast<std::uint64_t>(floors.domain));
+    mix(static_cast<std::uint64_t>(floors.cluster));
+    mix(static_cast<std::uint64_t>(floors.grid));
+    return h == 0 ? 1 : h;
+}
+
+} // namespace
+
 MachineBoundParams
 boundParams(const ProcessorConfig &cfg)
 {
     MachineBoundParams m;
     m.totalPes = static_cast<double>(cfg.totalPes());
     m.sbIssueWidth = static_cast<double>(cfg.storeBuffer.issueWidth);
+    m.podBypass = cfg.pe.podBypass;
+    m.matchingEntries = static_cast<double>(cfg.pe.matchingEntries);
+    m.outputQueueEntries =
+        static_cast<double>(cfg.pe.outputQueueEntries);
+    m.waveWindow = static_cast<double>(cfg.pe.k);
     return m;
+}
+
+TransitFloors
+transitFloors(const ProcessorConfig &cfg)
+{
+    TransitFloors f;
+    f.podBypass = cfg.pe.podBypass;
+    f.domain = static_cast<double>(cfg.lat.domainBus);
+    f.cluster = static_cast<double>(cfg.lat.toPseudoPe) +
+                static_cast<double>(cfg.lat.clusterLink) +
+                static_cast<double>(cfg.lat.fromPseudoPe);
+    f.grid = static_cast<double>(cfg.lat.toPseudoPe) +
+             static_cast<double>(cfg.lat.netInject) +
+             static_cast<double>(cfg.lat.fromPseudoPe) + 1.0;
+    return f;
 }
 
 double
@@ -40,11 +89,53 @@ ProfileCache::profileFor(const DataflowGraph &graph,
     return it->second;
 }
 
+std::shared_ptr<const PlacedProfile>
+ProfileCache::placedFor(const DataflowGraph &graph, std::uint64_t graphFp,
+                        const ProcessorConfig &cfg)
+{
+    const std::uint64_t key = placementKey(cfg);
+    if (graphFp != 0) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = placed_.find({graphFp, key});
+        if (it != placed_.end())
+            return it->second;
+    }
+    // Reproduce Processor's placement exactly: same geometry, policy,
+    // and seed, so the bound reasons about the very homes the
+    // simulation will use.
+    const Placement placement = place(graph, cfg.placementGeometry(),
+                                      cfg.placement, cfg.seed);
+    auto placed = std::make_shared<const PlacedProfile>(
+        analyzePlacedProfile(graph, placement, transitFloors(cfg)));
+    if (graphFp == 0)
+        return placed;
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] =
+        placed_.emplace(std::make_pair(graphFp, key), std::move(placed));
+    return it->second;
+}
+
+BoundBreakdown
+ProfileCache::boundFor(const DataflowGraph &graph, std::uint64_t graphFp,
+                       const ProcessorConfig &cfg)
+{
+    const auto profile = profileFor(graph, graphFp);
+    const auto placed = placedFor(graph, graphFp, cfg);
+    return staticAipcBoundDetail(*profile, *placed, boundParams(cfg));
+}
+
 std::size_t
 ProfileCache::size() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return map_.size();
+}
+
+std::size_t
+ProfileCache::placedSize() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return placed_.size();
 }
 
 } // namespace ws

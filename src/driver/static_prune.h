@@ -1,10 +1,12 @@
 /**
  * @file
  * Bridge between the static analyzer and the sweep driver: turns a
- * ProcessorConfig into the machine summary staticAipcBound() consumes
- * (ws_analyze deliberately does not depend on ws_core), and memoizes
- * StaticProfiles by graph fingerprint so a sweep over N configurations
- * analyzes each program once, not N times.
+ * ProcessorConfig into the machine summary and transit floors the
+ * resource bound consumes (ws_analyze deliberately does not depend on
+ * ws_core), and memoizes both StaticProfiles (by graph fingerprint)
+ * and PlacedProfiles (by graph x placement-relevant config) so a sweep
+ * over N configurations analyzes each program once per distinct
+ * placement, not N times.
  */
 
 #ifndef WS_DRIVER_STATIC_PRUNE_H_
@@ -13,6 +15,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <utility>
 
 #include "analyze/profile.h"
 #include "core/config.h"
@@ -22,13 +25,34 @@ namespace ws {
 /** Machine summary of @p cfg for the static AIPC bound. */
 MachineBoundParams boundParams(const ProcessorConfig &cfg);
 
-/** staticAipcBound() against a full processor configuration. */
+/**
+ * Transit floors of @p cfg's delivery paths: the minimum extra cycles
+ * between a producer's dispatch and a consumer's dispatch at each
+ * placement span, on top of the producer's execute latency. Derived as
+ * sound UNDER-estimates of the simulator's pipelines — each floor drops
+ * at least the per-stage arbitration and queueing delays, so no
+ * placement can deliver faster than the floor claims:
+ *   domain   = domainBus (skips the output-queue drain cycle);
+ *   cluster  = toPseudoPe + clusterLink + fromPseudoPe (skips the NET
+ *              pseudo-PE injection-rate arbitration and netInject hop);
+ *   grid     = toPseudoPe + netInject + fromPseudoPe + 1 mesh hop
+ *              (skips the return-side cluster switch and any extra
+ *              hops).
+ */
+TransitFloors transitFloors(const ProcessorConfig &cfg);
+
+/** staticAipcBound() against a full processor configuration
+ *  (placement-free: no occupancy, transit, or SB-sharing terms). */
 double staticAipcBound(const StaticProfile &profile,
                        const ProcessorConfig &cfg);
 
 /**
- * Fingerprint-keyed StaticProfile memo (thread-safe). The fingerprint
- * contract matches SimCache: same fingerprint, same program.
+ * Fingerprint-keyed profile memo (thread-safe). The fingerprint
+ * contract matches SimCache: same fingerprint, same program. The
+ * second level memoizes placement-resolved profiles per distinct
+ * (geometry, policy, seed, bypass, floors) — the only configuration
+ * facts a PlacedProfile depends on — so a sweep that varies matching
+ * tables or store buffers at fixed geometry re-places nothing.
  */
 class ProfileCache
 {
@@ -38,11 +62,30 @@ class ProfileCache
     std::shared_ptr<const StaticProfile>
     profileFor(const DataflowGraph &graph, std::uint64_t graphFp);
 
+    /** Place @p graph exactly as Processor would under @p cfg and
+     *  return the placement-resolved profile (memoized alongside). */
+    std::shared_ptr<const PlacedProfile>
+    placedFor(const DataflowGraph &graph, std::uint64_t graphFp,
+              const ProcessorConfig &cfg);
+
+    /**
+     * The placement-resolved resource bound of @p graph under @p cfg,
+     * with per-constraint attribution: the sweep engine's pruning
+     * predicate and the harness twins' `bound` object.
+     */
+    BoundBreakdown boundFor(const DataflowGraph &graph,
+                            std::uint64_t graphFp,
+                            const ProcessorConfig &cfg);
+
     std::size_t size() const;
+    std::size_t placedSize() const;
 
   private:
     mutable std::mutex mutex_;
     std::map<std::uint64_t, std::shared_ptr<const StaticProfile>> map_;
+    std::map<std::pair<std::uint64_t, std::uint64_t>,
+             std::shared_ptr<const PlacedProfile>>
+        placed_;
 };
 
 } // namespace ws

@@ -125,6 +125,7 @@ SweepEngine::runGrouped(const std::vector<SimJob> &jobs,
     std::atomic<Counter> hits{0};
     std::atomic<Counter> pruned{0};
     std::atomic<Counter> pruneErrors{0};
+    std::array<std::atomic<Counter>, kBoundTermCount> prunedByTerm{};
 
     const std::size_t total = jobs.size();
     std::atomic<std::size_t> done{0};
@@ -168,6 +169,11 @@ SweepEngine::runGrouped(const std::vector<SimJob> &jobs,
                 job.staticBound * (1.0 + prune.margin) < best) {
                 results[i].pruned = true;
                 pruned.fetch_add(1, std::memory_order_relaxed);
+                const auto term = static_cast<std::size_t>(job.boundTerm);
+                if (term < kBoundTermCount) {
+                    prunedByTerm[term].fetch_add(
+                        1, std::memory_order_relaxed);
+                }
                 tick();
                 continue;
             }
@@ -213,6 +219,8 @@ SweepEngine::runGrouped(const std::vector<SimJob> &jobs,
     stats_.cacheHits += hits.load();
     stats_.pruned += pruned.load();
     stats_.pruneErrors += pruneErrors.load();
+    for (std::size_t t = 0; t < kBoundTermCount; ++t)
+        stats_.prunedByTerm[t] += prunedByTerm[t].load();
     stats_.wallMs +=
         std::chrono::duration<double, std::milli>(t1 - t0).count();
     return results;

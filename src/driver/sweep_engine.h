@@ -15,10 +15,12 @@
 #ifndef WS_DRIVER_SWEEP_ENGINE_H_
 #define WS_DRIVER_SWEEP_ENGINE_H_
 
+#include <array>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "analyze/profile.h"
 #include "core/simulator.h"
 #include "driver/sim_cache.h"
 #include "driver/thread_pool.h"
@@ -48,6 +50,10 @@ struct SimJob
      * unknown — the job is then never pruned.
      */
     double staticBound = 0.0;
+
+    /** Constraint that set staticBound (prune attribution; kNone when
+     *  the bound is unknown). */
+    BoundTerm boundTerm = BoundTerm::kNone;
 };
 
 /** Cumulative engine statistics across run() batches. */
@@ -60,6 +66,9 @@ struct SweepStats
                                ///  group's best simulated AIPC.
     Counter pruneErrors = 0;   ///< Simulated AIPC exceeded its own
                                ///  static bound (bound too tight).
+    /** pruned, attributed to the constraint that set each pruned job's
+     *  bound (indexed by BoundTerm; sums to pruned). */
+    std::array<Counter, kBoundTermCount> prunedByTerm{};
     double wallMs = 0.0;       ///< Wall-clock spent inside run().
 };
 

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "analyze/passes.h"
 #include "analyze/profile.h"
 #include "analyze/rewriter.h"
 #include "core/simulator.h"
@@ -457,6 +458,154 @@ TEST(InstructionMix, StaticStatsReportsTheMix)
 }
 
 // ---------------------------------------------------------------------
+// Max cycle ratio (min initiation interval) analysis
+// ---------------------------------------------------------------------
+
+/** Single-carried loop whose body is a chain of @p bodyOps addi ops
+ *  followed by the lti condition. Unit-weight recurrence cycles:
+ *  wave_advance -> body chain -> steer -> wave_advance (bodyOps + 2
+ *  hops) and the condition detour through lti (bodyOps + 3 hops), one
+ *  wave advance each, so the max cycle ratio is bodyOps + 3. */
+DataflowGraph
+chainLoop(const char *name, int bodyOps)
+{
+    GraphBuilder b(name);
+    b.beginThread(0);
+    auto i0 = b.param(0);
+    auto loop = b.beginLoop({i0});
+    GraphBuilder::Node next = loop.vars[0];
+    for (int i = 0; i < bodyOps; ++i)
+        next = b.addi(next, 1);
+    auto cond = b.lti(next, 100);
+    b.endLoop(loop, {next}, cond);
+    b.sink(loop.exits[0]);
+    b.endThread();
+    return b.finish();
+}
+
+const analyze_detail::EdgeWeightFn kUnitWeight =
+    [](InstId, InstId) { return 1.0; };
+
+TEST(CycleRatio, SingleLoopCountsHopsPerWaveAdvance)
+{
+    // One-op body: the binding cycle is wave_advance -> addi -> lti ->
+    // steer -> wave_advance, 4 hops per wave advance.
+    const DataflowGraph g = chainLoop("loop1", 1);
+    const std::vector<double> r =
+        analyze_detail::threadCycleRatios(g, kUnitWeight);
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_NEAR(r[0], 4.0, 1e-6);
+
+    // The published per-thread profile carries the same number.
+    const StaticProfile prof = analyzeGraph(g);
+    ASSERT_EQ(prof.threads.size(), 1u);
+    EXPECT_NEAR(prof.threads[0].cycleRatio, 4.0, 1e-6);
+}
+
+TEST(CycleRatio, LongerBodyRaisesTheRatio)
+{
+    const DataflowGraph g = chainLoop("loop3", 3);
+    const std::vector<double> r =
+        analyze_detail::threadCycleRatios(g, kUnitWeight);
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_NEAR(r[0], 6.0, 1e-6);
+}
+
+TEST(CycleRatio, SequentialLoopsGateOnlyTheirOwnWaves)
+{
+    // Two sequential loops are separate SCCs; a thread's waves advance
+    // at the rate of its FASTEST loop while that loop runs, so the
+    // thread-level initiation-interval floor is the minimum ratio.
+    GraphBuilder b("seqloops");
+    b.beginThread(0);
+    auto i0 = b.param(0);
+    auto la = b.beginLoop({i0});
+    auto na = b.addi(la.vars[0], 1);            // ratio 4
+    b.endLoop(la, {na}, b.lti(na, 100));
+    auto lb = b.beginLoop({la.exits[0]});
+    auto nb = b.addi(b.addi(lb.vars[0], 1), 1); // ratio 5
+    b.endLoop(lb, {nb}, b.lti(nb, 200));
+    b.sink(lb.exits[0]);
+    b.endThread();
+    const DataflowGraph g = b.finish();
+
+    const std::vector<double> r =
+        analyze_detail::threadCycleRatios(g, kUnitWeight);
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_NEAR(r[0], 4.0, 1e-6);
+}
+
+TEST(CycleRatio, EntangledCarriesShareOneScc)
+{
+    // Two carried values whose bodies read each other: one SCC with two
+    // wave advances and many simple cycles. The single-carry condition
+    // detour (4 hops / 1 advance) still dominates the cross cycle
+    // through both steers (7 hops / 2 advances).
+    GraphBuilder b("twocarry");
+    b.beginThread(0);
+    auto i0 = b.param(0);
+    auto j0 = b.param(1);
+    auto loop = b.beginLoop({i0, j0});
+    auto sum = b.add(loop.vars[0], loop.vars[1]);
+    auto nj = b.addi(loop.vars[1], 1);
+    auto cond = b.lti(sum, 100);
+    b.endLoop(loop, {sum, nj}, cond);
+    b.sink(loop.exits[0]);
+    b.sink(loop.exits[1]);
+    b.endThread();
+    const DataflowGraph g = b.finish();
+
+    const std::vector<double> r =
+        analyze_detail::threadCycleRatios(g, kUnitWeight);
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_NEAR(r[0], 4.0, 1e-6);
+}
+
+TEST(CycleRatio, WeightFunctionIsRespected)
+{
+    const DataflowGraph g = chainLoop("loopw", 1);
+
+    // Cycle ratios are linear in the edge weights.
+    const std::vector<double> doubled =
+        analyze_detail::threadCycleRatios(
+            g, [](InstId, InstId) { return 2.0; });
+    ASSERT_EQ(doubled.size(), 1u);
+    EXPECT_NEAR(doubled[0], 8.0, 1e-6);
+
+    // Zero-weight edges into the steer (a bypassed hop): the binding
+    // condition cycle drops from 4 hops to 3.
+    const std::vector<double> bypassed =
+        analyze_detail::threadCycleRatios(
+            g, [&](InstId, InstId to) {
+                return g.inst(to).op == Opcode::kSteer ? 0.0 : 1.0;
+            });
+    ASSERT_EQ(bypassed.size(), 1u);
+    EXPECT_NEAR(bypassed[0], 3.0, 1e-6);
+
+    // All-zero weights: cycles cost nothing, no recurrence constraint.
+    const std::vector<double> zero =
+        analyze_detail::threadCycleRatios(
+            g, [](InstId, InstId) { return 0.0; });
+    ASSERT_EQ(zero.size(), 1u);
+    EXPECT_NEAR(zero[0], 0.0, 1e-6);
+}
+
+TEST(CycleRatio, AcyclicThreadReportsZero)
+{
+    GraphBuilder b("straight");
+    b.beginThread(0);
+    auto p = b.param(3);
+    b.sink(b.muli(b.addi(p, 1), 2));
+    b.endThread();
+    const DataflowGraph g = b.finish();
+
+    const std::vector<double> r =
+        analyze_detail::threadCycleRatios(g, kUnitWeight);
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_EQ(r[0], 0.0);
+}
+
+// ---------------------------------------------------------------------
 // Static AIPC bound (the pruning soundness property)
 // ---------------------------------------------------------------------
 
@@ -490,6 +639,53 @@ TEST(StaticBound, SimulatedAipcNeverExceedsTheBound)
     }
 }
 
+TEST(StaticBound, PlacedBoundHoldsAcrossMachinesAndThreads)
+{
+    // The placement-resolved bound (occupancy, transit floors, shared
+    // store buffers) is the one --prune-static compares against, so it
+    // must hold on every machine a sweep visits, not just baseline.
+    const double eps = 1e-9;
+
+    ProcessorConfig small = ProcessorConfig::baseline();
+    small.pe.matchingEntries = 32;
+    small.pe.outputQueueEntries = 2;
+    ProcessorConfig quad = ProcessorConfig::baseline();
+    quad.clusters = 4;
+    const std::array<ProcessorConfig, 3> grid{
+        small, ProcessorConfig::baseline(), quad};
+
+    ProfileCache cache;
+    std::uint64_t fp = 1;
+    for (const Kernel &k : kernelRegistry()) {
+        std::vector<std::uint16_t> threads{1};
+        if (k.multithreaded)
+            threads = {1, 2, 4};
+        for (std::uint16_t t : threads) {
+            KernelParams params;
+            params.threads = t;
+            const DataflowGraph g = k.build(params);
+            const std::uint64_t graphFp = fp++;
+            for (const ProcessorConfig &cfg : grid) {
+                const BoundBreakdown bound =
+                    cache.boundFor(g, graphFp, cfg);
+                ASSERT_GT(bound.bound, 0.0) << k.name << " t" << t;
+
+                SimOptions opts;
+                opts.maxCycles = 600'000;
+                const SimResult sim = runSimulation(g, cfg, opts);
+                EXPECT_TRUE(sim.completed) << k.name << " t" << t;
+                if (sim.completed) {
+                    EXPECT_LE(sim.aipc, bound.bound * (1.0 + eps))
+                        << k.name << " t" << t << " C"
+                        << cfg.clusters << ": aipc " << sim.aipc
+                        << " vs bound " << bound.bound << " ("
+                        << boundTermName(bound.binding) << ")";
+                }
+            }
+        }
+    }
+}
+
 TEST(StaticBound, CappedByMachineIssueWidth)
 {
     MachineBoundParams m;
@@ -512,6 +708,37 @@ TEST(StaticBound, ProfileCacheMemoizesByFingerprint)
     EXPECT_EQ(cache.size(), 1u);
 }
 
+TEST(StaticBound, PlacedCacheKeysOnPlacementRelevantConfig)
+{
+    ProfileCache cache;
+    const DataflowGraph g = findKernel("fft").build(KernelParams{});
+
+    const ProcessorConfig base = ProcessorConfig::baseline();
+    const auto a = cache.placedFor(g, 0x42, base);
+    const auto b = cache.placedFor(g, 0x42, base);
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_EQ(cache.placedSize(), 1u);
+
+    // Matching-table capacity does not move instructions: same memo
+    // entry. Geometry does: a new one.
+    ProcessorConfig bigger_mt = base;
+    bigger_mt.pe.matchingEntries = 256;
+    bigger_mt.relaxLimits = true;
+    EXPECT_EQ(cache.placedFor(g, 0x42, bigger_mt).get(), a.get());
+    EXPECT_EQ(cache.placedSize(), 1u);
+
+    ProcessorConfig quad = base;
+    quad.clusters = 4;
+    const auto c = cache.placedFor(g, 0x42, quad);
+    EXPECT_NE(c.get(), a.get());
+    EXPECT_EQ(cache.placedSize(), 2u);
+
+    // Zero fingerprint: fresh analysis, nothing cached.
+    const auto d = cache.placedFor(g, 0, base);
+    EXPECT_NE(d.get(), a.get());
+    EXPECT_EQ(cache.placedSize(), 2u);
+}
+
 // ---------------------------------------------------------------------
 // Report plumbing
 // ---------------------------------------------------------------------
@@ -530,6 +757,30 @@ TEST(ProfileReport, RenderAndJsonCarryTheHeadlineNumbers)
     EXPECT_EQ(j["mix"]["total"].asNumber(),
               static_cast<double>(prof.mix.total));
     EXPECT_EQ(j["per_thread"].size(), prof.threads.size());
+}
+
+TEST(ProfileReport, LongGraphNamesRenderUnclipped)
+{
+    // renderProfile once used fixed 160-byte snprintf scratch buffers;
+    // a name longer than that must survive intact now that the report
+    // is stream-formatted.
+    const std::string name(200, 'x');
+    GraphBuilder b(name);
+    b.beginThread(0);
+    auto i0 = b.param(0);
+    auto loop = b.beginLoop({i0});
+    auto next = b.addi(loop.vars[0], 1);
+    b.endLoop(loop, {next}, b.lti(next, 10));
+    b.sink(loop.exits[0]);
+    b.endThread();
+    const DataflowGraph g = b.finish();
+
+    const StaticProfile prof = analyzeGraph(g);
+    const std::string text = renderProfile(prof);
+    EXPECT_NE(text.find(name), std::string::npos);
+    EXPECT_NE(text.find("crit path"), std::string::npos);
+    // The cyclic thread line reports the unit-weight cycle ratio.
+    EXPECT_NE(text.find("ratio"), std::string::npos);
 }
 
 } // namespace

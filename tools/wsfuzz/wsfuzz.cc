@@ -11,6 +11,10 @@
  *   transparency  wscheck at level full vs checking off (checking must
  *                 never perturb a statistic)
  *   invariants    the checked runs must report zero WS6xx violations
+ *   bound         measured AIPC <= the placement-resolved static AIPC
+ *                 bound (the --prune-static soundness contract: a
+ *                 single violation means the pruner could discard a
+ *                 group's true winner)
  *   engine        every 8 iterations the accumulated points re-run
  *                 through the SweepEngine at --jobs=1 and --jobs=N,
  *                 which must agree with each other byte for byte
@@ -41,6 +45,7 @@
 #include "common/rng.h"
 #include "core/processor.h"
 #include "core/simulator.h"
+#include "driver/static_prune.h"
 #include "driver/sweep_engine.h"
 #include "isa/graph_builder.h"
 
@@ -386,6 +391,38 @@ fuzzOne(Fuzzer &fz, std::uint64_t seed, std::vector<SimJob> &batch)
         diffReports("checked", r_gated.report, "unchecked", r_off.report);
     if (!transparency.empty())
         fz.report(seed, threads, base, "transparency", transparency);
+
+    // Bound-soundness oracle: the placement-resolved static bound is an
+    // UPPER estimate of any achievable AIPC, so every variant's measured
+    // AIPC must stay at or below it (tiny epsilon: FP noise only, the
+    // claim itself is exact). One violation means --prune-static could
+    // skip a group's true winner.
+    {
+        const StaticProfile profile = analyzeGraph(*graph);
+        const Placement placement =
+            place(*graph, base.placementGeometry(), base.placement,
+                  base.seed);
+        const PlacedProfile placed = analyzePlacedProfile(
+            *graph, placement, transitFloors(base));
+        const BoundBreakdown bound =
+            staticAipcBoundDetail(profile, placed, boundParams(base));
+        const double limit = bound.bound * (1.0 + 1e-9) + 1e-12;
+        const SimResult *variants[] = {&r_gated, &r_ref, &r_off};
+        const char *labels[] = {"gated", "always-tick", "unchecked"};
+        for (int v = 0; v < 3; ++v) {
+            if (variants[v]->aipc > limit) {
+                std::ostringstream detail;
+                detail.setf(std::ios::fixed);
+                detail.precision(6);
+                detail << "  " << labels[v] << " measured aipc "
+                       << variants[v]->aipc << " > static bound "
+                       << bound.bound << " (binding "
+                       << boundTermName(bound.binding) << ")\n"
+                       << renderBound(bound);
+                fz.report(seed, threads, base, "bound", detail.str());
+            }
+        }
+    }
 
     // Queue the point for the engine-concurrency oracle. graphFp = 0
     // disables memoization: both engines must really re-simulate.
