@@ -233,11 +233,17 @@ recordBoundRow(const CfgRun &run, double bound, BoundTerm term,
     g_bound_rows.push_back(std::move(row));
 }
 
+/** Take (and clear) the accumulated rows: each report publishes the
+ *  rows recorded since the previous finish(), so a process emitting
+ *  several BenchReports never duplicates earlier sweeps' rows or skews
+ *  later tightness summaries. */
 std::vector<BoundRow>
-boundRows()
+drainBoundRows()
 {
     std::lock_guard<std::mutex> lock(g_bound_mutex);
-    return g_bound_rows;
+    std::vector<BoundRow> rows;
+    rows.swap(g_bound_rows);
+    return rows;
 }
 
 /**
@@ -607,7 +613,7 @@ BenchReport::finish()
         double max_tight = 0.0;
         std::uint64_t measured = 0;
         std::uint64_t pruned_rows = 0;
-        for (const BoundRow &r : boundRows()) {
+        for (const BoundRow &r : drainBoundRows()) {
             Json row = Json::object();
             row["kernel"] = r.kernel;
             row["threads"] = static_cast<std::uint64_t>(r.threads);

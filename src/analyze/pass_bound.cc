@@ -58,7 +58,7 @@ struct SccProblem
     std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
     std::vector<double> weight;                 ///< Per edge.
     std::vector<bool> isWaveAdvance;            ///< Per local node.
-    ThreadId thread = 0;
+    std::vector<ThreadId> threads;              ///< Wave-advance owners.
     Counter waveAdvances = 0;
 };
 
@@ -233,7 +233,11 @@ threadCycleRatios(const DataflowGraph &g, const EdgeWeightFn &weight)
         p.isWaveAdvance.push_back(g.inst(i).op == Opcode::kWaveAdvance);
         if (p.isWaveAdvance.back()) {
             ++p.waveAdvances;
-            p.thread = g.inst(i).thread;
+            const ThreadId t = g.inst(i).thread;
+            if (std::find(p.threads.begin(), p.threads.end(), t) ==
+                p.threads.end()) {
+                p.threads.push_back(t);
+            }
         }
     }
     for (InstId i = 0; i < g.size(); ++i) {
@@ -264,13 +268,20 @@ threadCycleRatios(const DataflowGraph &g, const EdgeWeightFn &weight)
                                 static_cast<double>(p.waveAdvances));
             }
         }
-        const ThreadId t = p.thread;
-        if (t >= ratios.size())
-            continue;
-        // Sequential loops each gate only their own waves: the weakest
-        // (smallest-ratio) loop is the only thread-wide sound floor.
-        ratios[t] = ratios[t] == 0.0 ? lambda
-                                     : std::min(ratios[t], lambda);
+        // The floor applies to EVERY thread owning a wave advance in
+        // the SCC: lambda divides by the SCC's total advance count, so
+        // it under-estimates each owner's true per-thread interval
+        // (weight / own advances) — tighter than leaving the other
+        // owners unconstrained, still sound.
+        for (const ThreadId t : p.threads) {
+            if (t >= ratios.size())
+                continue;
+            // Sequential loops each gate only their own waves: the
+            // weakest (smallest-ratio) loop is the only thread-wide
+            // sound floor.
+            ratios[t] = ratios[t] == 0.0 ? lambda
+                                         : std::min(ratios[t], lambda);
+        }
     }
     return ratios;
 }
@@ -350,7 +361,11 @@ analyzePlacedProfile(const DataflowGraph &g, const Placement &placement,
     // dropped, exactly as levelize() classifies them): the earliest
     // dispatch time of each instruction under the same delivery model,
     // so acyclic threads see honest depths on spread-out placements.
-    const analyze_detail::Levelization lv = analyze_detail::levelize(g);
+    // Only the ASAP levels are needed here; the placed recurrence was
+    // just computed above under placed weights, so skip levelize()'s
+    // unit-weight cycle-ratio search.
+    const analyze_detail::Levelization lv =
+        analyze_detail::levelize(g, /*cycleRatios=*/false);
     std::vector<std::vector<InstId>> succ(g.size());
     for (InstId i = 0; i < g.size(); ++i) {
         for (const auto &side : g.inst(i).outs) {
@@ -526,9 +541,9 @@ combineBounds(const StaticProfile &profile, const PlacedProfile *placed,
     // store buffer's issueWidth. The fractional-knapsack relaxation —
     // hand bandwidth to the threads that convert it into the most
     // useful work first — upper-bounds any schedule the hardware could
-    // achieve, so replacing the solo wave terms with the shared cap
-    // keeps the bound sound while making 1-cluster many-thread configs
-    // honestly slower.
+    // achieve, so replacing the group's solo bounds with the shared
+    // group total keeps the bound sound while making 1-cluster
+    // many-thread configs honestly slower.
     double shared_adjust = 0.0;
     if (placed != nullptr) {
         std::map<ClusterId, std::vector<std::size_t>> by_cluster;
@@ -542,47 +557,78 @@ combineBounds(const StaticProfile &profile, const PlacedProfile *placed,
         for (const auto &[cluster, idx] : by_cluster) {
             if (idx.size() < 2)
                 continue;
-            // Solo terms already include each thread's PRIVATE
-            // sbIssueWidth/chainLen cap, so waveRate is finite here;
-            // perWave = wavePart / waveRate recovers the useful work
-            // one wave retires.
-            double unshared = 0.0;
-            for (const std::size_t i : idx)
-                unshared += terms[i].wavePart;
+            // A member's solo bound may already sit BELOW its
+            // wavePart + oncePart (useful- or PE-occupancy-capped), so
+            // the group total is rebuilt member by member as
+            // min(bound_i, oncePart_i + allocated wave work_i) rather
+            // than subtracting wave terms that were never fully in the
+            // sum — subtracting blindly could undercut the achievable
+            // rate (even go negative) and prune a group's true winner.
+            //
+            // Per member: floor_i = throughput at zero wave rate (never
+            // above the solo bound), capW_i = wave-work headroom the
+            // solo bound leaves, perWave_i = useful work one wave
+            // retires (waveRate is finite here: chainLen > 0 applied
+            // the private sbIssueWidth/chainLen cap).
+            double solo = 0.0;
+            std::vector<double> floor_part(idx.size(), 0.0);
+            std::vector<double> per_wave(idx.size(), 0.0);
+            std::vector<double> cap_w(idx.size(), 0.0);
+            for (std::size_t k = 0; k < idx.size(); ++k) {
+                const ThreadTerm &t = terms[idx[k]];
+                solo += t.bound;
+                floor_part[k] = std::min(t.bound, t.oncePart);
+                if (t.waveRate > 0.0 && t.waveRate != kInf &&
+                    t.wavePart > 0.0) {
+                    per_wave[k] = t.wavePart / t.waveRate;
+                    cap_w[k] = std::min(
+                        t.wavePart, std::max(0.0, t.bound - t.oncePart));
+                }
+            }
             // Optimal fractional allocation of the shared issueWidth:
-            // greedy by useful work per unit of retire bandwidth
-            // (perWave/chainLen) is exact for the LP relaxation, and
-            // the relaxation upper-bounds any schedule the hardware
-            // could achieve — so substituting it keeps the bound sound.
-            std::vector<std::size_t> order = idx;
+            // each member's objective is concave piecewise-linear in
+            // its rate (slope perWave until the solo bound saturates,
+            // then 0), so greedy by useful work per unit of retire
+            // bandwidth (perWave/chainLen) is exact for the LP
+            // relaxation, and the relaxation upper-bounds any schedule
+            // the hardware could achieve — sound to substitute.
+            std::vector<std::size_t> order(idx.size());
+            for (std::size_t k = 0; k < idx.size(); ++k)
+                order[k] = k;
             std::stable_sort(
                 order.begin(), order.end(),
-                [&](std::size_t a, std::size_t b2) {
-                    const double da = terms[a].wavePart /
-                                      (terms[a].waveRate *
-                                       terms[a].chainLen);
-                    const double db = terms[b2].wavePart /
-                                      (terms[b2].waveRate *
-                                       terms[b2].chainLen);
+                [&](std::size_t ka, std::size_t kb) {
+                    const double da =
+                        per_wave[ka] / terms[idx[ka]].chainLen;
+                    const double db =
+                        per_wave[kb] / terms[idx[kb]].chainLen;
                     return da > db;
                 });
             double budget = m.sbIssueWidth;
             double shared = 0.0;
-            for (const std::size_t i : order) {
-                if (budget <= 0.0)
-                    break;
-                const double rate = std::min(
-                    terms[i].waveRate, budget / terms[i].chainLen);
-                shared += rate * (terms[i].wavePart / terms[i].waveRate);
-                budget -= rate * terms[i].chainLen;
+            for (const std::size_t k : order) {
+                shared += floor_part[k];
+                if (budget <= 0.0 || cap_w[k] <= 0.0 ||
+                    per_wave[k] <= 0.0) {
+                    continue;
+                }
+                // Wave work w costs w * chainLen / perWave issue slots.
+                const double chain = terms[idx[k]].chainLen;
+                const double w = std::min(
+                    cap_w[k], budget * per_wave[k] / chain);
+                shared += w;
+                budget -= w * chain / per_wave[k];
             }
-            if (shared < unshared) {
+            // floor_i + capW_i <= bound_i per member, so shared <= solo
+            // by construction and the adjustment can never push the
+            // group below its achievable total.
+            if (shared < solo) {
                 BoundBreakdown::SharedSb s;
                 s.cluster = cluster;
-                s.unshared = unshared;
+                s.unshared = solo;
                 s.shared = shared;
                 b.sbShared.push_back(s);
-                shared_adjust += unshared - shared;
+                shared_adjust += solo - shared;
             }
         }
     }

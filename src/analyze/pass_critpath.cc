@@ -217,7 +217,7 @@ shortestCycleThrough(const DataflowGraph &g,
 } // namespace
 
 Levelization
-levelize(const DataflowGraph &g)
+levelize(const DataflowGraph &g, bool cycleRatios)
 {
     const std::size_t n = g.size();
     Levelization lv;
@@ -277,8 +277,12 @@ levelize(const DataflowGraph &g)
     // Placement-free initiation-interval floor per thread: the max
     // cycle ratio under unit edge weights (every dependence hop costs
     // at least one cycle, even a pod-bypass hop). See pass_bound.cc.
-    lv.cycleRatio =
-        threadCycleRatios(g, [](InstId, InstId) { return 1.0; });
+    // The parametric search is the priciest piece of levelization, so
+    // callers that never read it can opt out.
+    if (cycleRatios) {
+        lv.cycleRatio =
+            threadCycleRatios(g, [](InstId, InstId) { return 1.0; });
+    }
 
     // Legacy probe, kept for reports: shortest LATENCY-weighted cycle
     // through a WAVE_ADVANCE. Not a sound II floor under pod bypass

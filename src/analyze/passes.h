@@ -43,12 +43,16 @@ struct Levelization
 
     /** Unit-weight max cycle ratio per thread (pass_bound.cc): the
      *  most dependence hops per wave advance over any loop, 0 when
-     *  acyclic. See threadCycleRatios(). */
+     *  acyclic. See threadCycleRatios(). Empty when levelize() was
+     *  asked to skip it. */
     std::vector<double> cycleRatio;
 };
 
-/** Build the levelization (pass_critpath.cc). */
-Levelization levelize(const DataflowGraph &g);
+/** Build the levelization (pass_critpath.cc). @p cycleRatios gates the
+ *  parametric cycle-ratio search (48 Bellman-Ford passes per SCC) —
+ *  pass false on paths that recompute ratios under their own weight
+ *  model or never read them. */
+Levelization levelize(const DataflowGraph &g, bool cycleRatios = true);
 
 /** Critical-path / loop-shape numbers into the profile. */
 void runCritPath(const DataflowGraph &g, const Levelization &lv,

@@ -214,8 +214,10 @@ struct BoundBreakdown
     struct SharedSb
     {
         ClusterId cluster = 0;
-        double unshared = 0.0;  ///< Sum of solo per-thread wave terms.
-        double shared = 0.0;    ///< After splitting issueWidth fairly.
+        double unshared = 0.0;  ///< Sum of the group's solo bounds.
+        double shared = 0.0;    ///< Group total after splitting
+                                ///  issueWidth (each member still
+                                ///  capped by its solo bound).
     };
     std::vector<SharedSb> sbShared;      ///< Clusters where sharing bit.
 };

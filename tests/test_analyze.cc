@@ -694,6 +694,64 @@ TEST(StaticBound, CappedByMachineIssueWidth)
     EXPECT_LE(staticAipcBound(analyzeGraph(g), m), 2.0);
 }
 
+TEST(StaticBound, SharedSbRespectsCappedSoloBounds)
+{
+    // Two same-cluster cyclic threads whose solo bounds are already
+    // PE-occupancy-capped (2 and 5) far below their wave terms (10
+    // each). The shared store-buffer reduction used to subtract the
+    // full wave-term surplus from the capped sum, driving the machine
+    // bound negative (7 - 10 = -3 here) and letting --prune-static
+    // discard a group's true winner; the group total must instead be
+    // rebuilt member by member, each capped at its solo bound.
+    StaticProfile profile;
+    profile.numThreads = 2;
+    profile.threads.resize(2);
+    PlacedProfile placed;
+    placed.threads.resize(2);
+    for (std::size_t t = 0; t < 2; ++t) {
+        ThreadProfile &tp = profile.threads[t];
+        tp.thread = static_cast<ThreadId>(t);
+        tp.mix.useful = 10;  // == perWaveUseful: no one-shot part.
+        tp.cyclic = true;
+        tp.perWaveUseful = 10;
+        tp.minChainLen = 1;
+        tp.critPathLatency = 1;
+        PlacedThreadStats &ts = placed.threads[t];
+        ts.thread = static_cast<ThreadId>(t);
+        ts.lambda = 1.0;     // waveRate 1 -> wave term 10.
+        ts.homeCluster = 0;  // Both split cluster 0's store buffer.
+        ts.placedDepth = 1.0;
+        ts.maxPeUsefulLoad = 1;
+    }
+    placed.threads[0].usefulPes = 2;  // Solo bounds: 2 and 5.
+    placed.threads[1].usefulPes = 5;
+
+    MachineBoundParams m;
+    m.totalPes = 64;
+
+    // issueWidth 1.0 covers both capped retire rates (0.2 + 0.5 chain
+    // ops/cycle), so sharing must not bite at all: the group keeps its
+    // solo total of 7.
+    m.sbIssueWidth = 1.0;
+    const BoundBreakdown full =
+        staticAipcBoundDetail(profile, placed, m);
+    EXPECT_NEAR(full.bound, 7.0, 1e-9);
+    EXPECT_TRUE(full.sbShared.empty());
+
+    // issueWidth 0.5: thread 0 keeps its capped 2.0 (0.2 of the
+    // budget) and thread 1 converts the remaining 0.3 into 3.0 — the
+    // LP optimum 5.0 is exactly the best schedule the caps admit,
+    // never below it.
+    m.sbIssueWidth = 0.5;
+    const BoundBreakdown tight =
+        staticAipcBoundDetail(profile, placed, m);
+    EXPECT_NEAR(tight.bound, 5.0, 1e-9);
+    EXPECT_EQ(tight.binding, BoundTerm::kSbShared);
+    ASSERT_EQ(tight.sbShared.size(), 1u);
+    EXPECT_NEAR(tight.sbShared[0].unshared, 7.0, 1e-9);
+    EXPECT_NEAR(tight.sbShared[0].shared, 5.0, 1e-9);
+}
+
 TEST(StaticBound, ProfileCacheMemoizesByFingerprint)
 {
     ProfileCache cache;
