@@ -6,6 +6,8 @@
  *
  *   wsa-lint [options] file.wsa...     — lint assembly files
  *   wsa-lint [options] --kernels      — lint every registered kernel
+ *   wsa-lint --equiv a.wsa b.wsa      — prove the two graphs observably
+ *                                       equivalent (WS8xx on divergence)
  *   wsa-lint --explain                — print the diagnostic-code table
  *
  * Options:
@@ -30,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "analyze/equiv.h"
 #include "analyze/profile.h"
 #include "analyze/rewriter.h"
 #include "common/log.h"
@@ -59,6 +62,7 @@ usage()
                  "usage: wsa-lint [--strict] [--no-config] [--analyze] "
                  "[--check] [--quiet] file.wsa...\n"
                  "       wsa-lint [options] --kernels\n"
+                 "       wsa-lint [--quiet] --equiv a.wsa b.wsa\n"
                  "       wsa-lint --explain\n");
     return 2;
 }
@@ -173,6 +177,49 @@ lintKernels(const Options &opt)
     return failed;
 }
 
+DataflowGraph
+loadGraph(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "wsa-lint: cannot open %s\n", path.c_str());
+        std::exit(2);
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    try {
+        return parseWsa(ss.str());
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "wsa-lint: %s: parse error: %s\n",
+                     path.c_str(), e.what());
+        std::exit(2);
+    }
+}
+
+/** --equiv mode: prove two assembly files observably equivalent. */
+int
+equivMode(const std::string &pathA, const std::string &pathB,
+          const Options &opt)
+{
+    const DataflowGraph a = loadGraph(pathA);
+    const DataflowGraph b = loadGraph(pathB);
+    const EquivResult res = checkEquivalence(a, b);
+    if (!opt.quiet) {
+        if (!res.report.empty())
+            std::fputs(res.report.render().c_str(), stdout);
+        std::printf("%s vs %s: %s (%llu entities, %llu value classes, "
+                    "%llu support classes, %llu iterations)\n",
+                    pathA.c_str(), pathB.c_str(),
+                    res.equivalent() ? "equivalent" : "NOT equivalent",
+                    static_cast<unsigned long long>(res.stats.entities),
+                    static_cast<unsigned long long>(res.stats.valueClasses),
+                    static_cast<unsigned long long>(
+                        res.stats.supportClasses),
+                    static_cast<unsigned long long>(res.stats.iterations));
+    }
+    return res.equivalent() ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -180,11 +227,14 @@ main(int argc, char **argv)
 {
     Options opt;
     bool kernels = false;
+    bool equiv = false;
     std::vector<std::string> files;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--strict") {
+        if (arg == "--equiv") {
+            equiv = true;
+        } else if (arg == "--strict") {
             opt.strict = true;
         } else if (arg == "--no-config") {
             opt.useConfig = false;
@@ -203,6 +253,14 @@ main(int argc, char **argv)
         } else {
             files.push_back(arg);
         }
+    }
+    if (equiv) {
+        if (kernels || files.size() != 2) {
+            std::fprintf(stderr,
+                         "wsa-lint: --equiv takes exactly two files\n");
+            return 2;
+        }
+        return equivMode(files[0], files[1], opt);
     }
     if (!kernels && files.empty())
         return usage();

@@ -14,12 +14,19 @@
  *   --threads=N       kernel build thread count (default 4)
  *   --rewrite=OUT     optimize the single input file and write OUT;
  *                     the rewritten graph must re-verify clean
+ *   --optimize        optimize each input (and each kernel under
+ *                     --kernels) in memory, reporting rewrite stats;
+ *                     fails if the equivalence gate rolled anything back
+ *   --verify-equiv    translation-validate every rewrite round with the
+ *                     WS8xx symbolic equivalence checker (default ON)
+ *   --no-verify-equiv disable the gate (rewrites are applied blindly)
  *   --json-dir=DIR    write a <name>.profile.json artifact per input
  *   --fail-on-advice  exit 1 when any WS5xx advisory fires
  *   --quiet           suppress reports; exit status only
  *
- * Exit status: 0 clean, 1 advisories under --fail-on-advice or a
- * rewrite that failed re-verification, 2 usage or I/O error.
+ * Exit status: 0 clean, 1 advisories under --fail-on-advice, a rewrite
+ * that failed re-verification, or a WS8xx equivalence rollback; 2 usage
+ * or I/O error. On a rollback the WS8xx findings are printed to stderr.
  */
 
 #include <cstdio>
@@ -45,6 +52,8 @@ struct Options
 {
     bool quiet = false;
     bool failOnAdvice = false;
+    bool optimize = false;
+    bool verifyEquiv = true;
     int threads = 4;
     std::string rewriteOut;
     std::string jsonDir;
@@ -56,6 +65,8 @@ usage()
     std::fprintf(stderr,
                  "usage: wsa-opt [--threads=N] [--rewrite=OUT] "
                  "[--json-dir=DIR]\n"
+                 "               [--optimize] [--verify-equiv | "
+                 "--no-verify-equiv]\n"
                  "               [--fail-on-advice] [--quiet] "
                  "file.wsa...\n"
                  "       wsa-opt [options] --kernels\n");
@@ -124,11 +135,25 @@ analyzeOne(const std::string &label, const std::string &name,
     return !advice.empty();
 }
 
-/** Optimize @p g, re-verify, and write the result as .wsa text. */
+/**
+ * Optimize @p g under the equivalence gate (unless disabled); returns
+ * true on failure. Reports rollbacks with their WS8xx findings.
+ */
 bool
-rewriteOne(const std::string &label, DataflowGraph g, const Options &opt)
+optimizeOne(const std::string &label, DataflowGraph &g, const Options &opt)
 {
-    const RewriteStats stats = optimizeGraph(g);
+    RewriteOptions ropt;
+    ropt.verifyEquiv = opt.verifyEquiv;
+    const RewriteStats stats = optimizeGraph(g, ropt);
+    if (stats.rollbacks != 0) {
+        std::fprintf(stderr,
+                     "wsa-opt: %s: equivalence gate rolled back %llu "
+                     "round(s):\n%s",
+                     label.c_str(),
+                     static_cast<unsigned long long>(stats.rollbacks),
+                     stats.rollbackDiff.c_str());
+        return true;
+    }
     const VerifyReport rep = verify(g);
     if (!rep.ok()) {
         std::fprintf(stderr,
@@ -136,6 +161,29 @@ rewriteOne(const std::string &label, DataflowGraph g, const Options &opt)
                      label.c_str(), rep.render().c_str());
         return true;
     }
+    if (!opt.quiet) {
+        std::printf("%s: folded %llu, simplified %llu, merged %llu, "
+                    "bypassed %llu, removed %llu in %llu rounds "
+                    "(%zu insts, verifies clean%s)\n",
+                    label.c_str(),
+                    static_cast<unsigned long long>(stats.folded),
+                    static_cast<unsigned long long>(stats.simplified),
+                    static_cast<unsigned long long>(stats.merged),
+                    static_cast<unsigned long long>(stats.bypassed),
+                    static_cast<unsigned long long>(stats.removed),
+                    static_cast<unsigned long long>(stats.rounds),
+                    g.size(),
+                    opt.verifyEquiv ? ", equivalence proven" : "");
+    }
+    return false;
+}
+
+/** Optimize @p g, re-verify, and write the result as .wsa text. */
+bool
+rewriteOne(const std::string &label, DataflowGraph g, const Options &opt)
+{
+    if (optimizeOne(label, g, opt))
+        return true;
     std::ofstream out(opt.rewriteOut);
     if (!out) {
         std::fprintf(stderr, "wsa-opt: cannot write %s\n",
@@ -143,16 +191,8 @@ rewriteOne(const std::string &label, DataflowGraph g, const Options &opt)
         std::exit(2);
     }
     out << disassemble(g);
-    if (!opt.quiet) {
-        std::printf("%s: folded %llu, bypassed %llu, removed %llu in "
-                    "%llu rounds -> %s (%zu insts, verifies clean)\n",
-                    label.c_str(),
-                    static_cast<unsigned long long>(stats.folded),
-                    static_cast<unsigned long long>(stats.bypassed),
-                    static_cast<unsigned long long>(stats.removed),
-                    static_cast<unsigned long long>(stats.rounds),
-                    opt.rewriteOut.c_str(), g.size());
-    }
+    if (!opt.quiet)
+        std::printf("%s: wrote %s\n", label.c_str(), opt.rewriteOut.c_str());
     return false;
 }
 
@@ -184,6 +224,12 @@ main(int argc, char **argv)
             opt.quiet = true;
         } else if (arg == "--fail-on-advice") {
             opt.failOnAdvice = true;
+        } else if (arg == "--optimize") {
+            opt.optimize = true;
+        } else if (arg == "--verify-equiv") {
+            opt.verifyEquiv = true;
+        } else if (arg == "--no-verify-equiv") {
+            opt.verifyEquiv = false;
         } else if (arg == "--kernels") {
             kernels = true;
         } else if (arg.rfind("--threads=", 0) == 0) {
@@ -212,12 +258,14 @@ main(int argc, char **argv)
     bool failed = false;
     try {
         for (const std::string &f : files) {
-            const DataflowGraph g = loadFile(f);
+            DataflowGraph g = loadFile(f);
             const std::string name =
                 std::filesystem::path(f).stem().string();
             advised |= analyzeOne(f, name, g, opt);
             if (!opt.rewriteOut.empty())
                 failed |= rewriteOne(f, g, opt);
+            else if (opt.optimize)
+                failed |= optimizeOne(f, g, opt);
         }
         if (kernels) {
             for (const Kernel &k : kernelRegistry()) {
@@ -226,8 +274,10 @@ main(int argc, char **argv)
                     params.threads =
                         static_cast<std::uint16_t>(opt.threads);
                 }
-                advised |= analyzeOne("kernel:" + k.name, k.name,
-                                      k.build(params), opt);
+                DataflowGraph g = k.build(params);
+                advised |= analyzeOne("kernel:" + k.name, k.name, g, opt);
+                if (opt.optimize)
+                    failed |= optimizeOne("kernel:" + k.name, g, opt);
             }
         }
     } catch (const FatalError &e) {

@@ -1,0 +1,1145 @@
+/**
+ * @file
+ * Symbolic equivalence checker (see equiv.h for the proof strategy).
+ *
+ * Layout of one check:
+ *
+ *   1. Build a combined entity universe over both graphs: one SOURCE
+ *      entity per output side of every instruction, one PORT entity
+ *      per input port, and one shared TOKEN entity per distinct
+ *      (thread, wave, value) initial-token key.
+ *   2. Pre-passes (partition independent): forward constant
+ *      propagation (constVal / portConstant) and wave-chain
+ *      positions.
+ *   3. Optimistic joint refinement of VAL (value stream) and SUPP
+ *      (tag support) partitions, with alias resolution so mov chains,
+ *      identity forwards, and single-feeder ports collapse onto their
+ *      sources instead of forming distinct classes.
+ *   4. Checks: completion structure (WS803), wave-ordered memory
+ *      effects (WS802), and per-sink value streams (WS801) with a
+ *      lockstep backward walk for a minimal diverging witness.
+ */
+
+#include "analyze/equiv.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/exec.h"
+#include "verify/passes.h"
+
+namespace ws {
+namespace {
+
+using verify_detail::msgf;
+
+constexpr std::uint32_t kUnset = 0xffffffffu;
+
+// --------------------------------------------------------------- universe
+
+enum class Kind : std::uint8_t
+{
+    kToken,   ///< One distinct (thread, wave, value) initial-token key.
+    kSource,  ///< One output side of one instruction.
+    kPort,    ///< One input port of one instruction.
+};
+
+struct Entity
+{
+    Kind kind;
+    std::uint8_t graph = 0;  ///< 0 = a, 1 = b (tokens: unused).
+    InstId inst = 0;         ///< Owner (tokens: token-key index).
+    std::uint8_t slot = 0;   ///< Source: side. Port: port index.
+};
+
+using TokenKey = std::tuple<ThreadId, WaveNum, Value>;
+
+/** Per-graph instruction facts and entity ids. */
+struct GraphSide
+{
+    const DataflowGraph *g = nullptr;
+    std::vector<std::uint32_t> src0;                 ///< Side-0 sources.
+    std::vector<std::uint32_t> src1;                 ///< Steer side-1.
+    std::vector<std::array<std::uint32_t, 3>> port;  ///< Input ports.
+    std::vector<std::optional<Value>> constVal;      ///< Per instruction.
+    std::vector<std::array<std::optional<Value>, 3>> portConst;
+    std::vector<std::uint32_t> chainId;   ///< Chain ordinal in thread.
+    std::vector<std::uint32_t> chainPos;  ///< Position within chain.
+};
+
+struct Universe
+{
+    std::vector<Entity> ents;
+    std::vector<TokenKey> tokenKeys;
+    /** Port entity id -> feeder entity ids (sources and tokens), in
+     *  deterministic scan order, duplicates preserved (multiset). */
+    std::vector<std::vector<std::uint32_t>> feeders;
+    GraphSide side[2];
+};
+
+void
+collectTokenKeys(const DataflowGraph &g, std::vector<TokenKey> &keys)
+{
+    for (const Token &t : g.initialTokens())
+        keys.emplace_back(t.tag.thread, t.tag.wave, t.value);
+}
+
+Universe
+buildUniverse(const DataflowGraph &a, const DataflowGraph &b)
+{
+    Universe u;
+    collectTokenKeys(a, u.tokenKeys);
+    collectTokenKeys(b, u.tokenKeys);
+    std::sort(u.tokenKeys.begin(), u.tokenKeys.end());
+    u.tokenKeys.erase(
+        std::unique(u.tokenKeys.begin(), u.tokenKeys.end()),
+        u.tokenKeys.end());
+    for (std::uint32_t k = 0; k < u.tokenKeys.size(); ++k)
+        u.ents.push_back(Entity{Kind::kToken, 0, k, 0});
+
+    for (int gi = 0; gi < 2; ++gi) {
+        GraphSide &side = u.side[gi];
+        side.g = (gi == 0) ? &a : &b;
+        const DataflowGraph &g = *side.g;
+        side.src0.assign(g.size(), kUnset);
+        side.src1.assign(g.size(), kUnset);
+        side.port.assign(g.size(), {kUnset, kUnset, kUnset});
+        for (InstId i = 0; i < g.size(); ++i) {
+            const Instruction &inst = g.inst(i);
+            side.src0[i] = static_cast<std::uint32_t>(u.ents.size());
+            u.ents.push_back(
+                Entity{Kind::kSource, static_cast<std::uint8_t>(gi), i, 0});
+            if (inst.isSteer()) {
+                side.src1[i] = static_cast<std::uint32_t>(u.ents.size());
+                u.ents.push_back(Entity{Kind::kSource,
+                                        static_cast<std::uint8_t>(gi), i, 1});
+            }
+            for (std::uint8_t p = 0; p < inst.arity(); ++p) {
+                side.port[i][p] = static_cast<std::uint32_t>(u.ents.size());
+                u.ents.push_back(Entity{Kind::kPort,
+                                        static_cast<std::uint8_t>(gi), i, p});
+            }
+        }
+    }
+
+    // Feeder lists: producer edges first (instruction order), then
+    // initial tokens (token order) — a stable multiset per port.
+    u.feeders.assign(u.ents.size(), {});
+    for (int gi = 0; gi < 2; ++gi) {
+        GraphSide &side = u.side[gi];
+        const DataflowGraph &g = *side.g;
+        for (InstId i = 0; i < g.size(); ++i) {
+            const Instruction &inst = g.inst(i);
+            for (int s = 0; s < 2; ++s) {
+                const std::uint32_t src =
+                    (s == 0) ? side.src0[i] : side.src1[i];
+                for (const PortRef &out : inst.outs[s]) {
+                    if (out.inst < g.size() && out.port < 3 &&
+                        side.port[out.inst][out.port] != kUnset) {
+                        u.feeders[side.port[out.inst][out.port]].push_back(
+                            src);
+                    }
+                }
+            }
+        }
+        for (const Token &t : g.initialTokens()) {
+            if (t.dst.inst < g.size() && t.dst.port < 3 &&
+                side.port[t.dst.inst][t.dst.port] != kUnset) {
+                const TokenKey key{t.tag.thread, t.tag.wave, t.value};
+                const auto it = std::lower_bound(
+                    u.tokenKeys.begin(), u.tokenKeys.end(), key);
+                u.feeders[side.port[t.dst.inst][t.dst.port]].push_back(
+                    static_cast<std::uint32_t>(it - u.tokenKeys.begin()));
+            }
+        }
+    }
+    return u;
+}
+
+// -------------------------------------------------------------- pre-passes
+
+/** Known-constant value of every feeder of (inst, port), if they agree. */
+std::optional<Value>
+feederConst(const Universe &u, int gi, InstId i, std::uint8_t p)
+{
+    const GraphSide &side = u.side[gi];
+    const std::uint32_t pe = side.port[i][p];
+    if (pe == kUnset || u.feeders[pe].empty())
+        return std::nullopt;
+    std::optional<Value> agreed;
+    for (const std::uint32_t f : u.feeders[pe]) {
+        const Entity &e = u.ents[f];
+        std::optional<Value> v;
+        if (e.kind == Kind::kToken)
+            v = std::get<2>(u.tokenKeys[e.inst]);
+        else
+            v = side.constVal[e.inst];
+        if (!v || (agreed && *agreed != *v))
+            return std::nullopt;
+        agreed = v;
+    }
+    return agreed;
+}
+
+/** One forward constant-propagation step for instruction @p i. */
+std::optional<Value>
+stepConst(const Universe &u, int gi, InstId i)
+{
+    const DataflowGraph &g = *u.side[gi].g;
+    const Instruction &inst = g.inst(i);
+    switch (inst.op) {
+      case Opcode::kConst:
+        return inst.imm;
+      case Opcode::kMov:
+      case Opcode::kWaveAdvance:
+      case Opcode::kSteer:
+        return feederConst(u, gi, i, 0);
+      case Opcode::kSelect: {
+        const auto pred = feederConst(u, gi, i, 0);
+        if (pred)
+            return feederConst(u, gi, i, (*pred != 0) ? 1 : 2);
+        return std::nullopt;
+      }
+      default:
+        break;
+    }
+    if (isMemoryOp(inst.op) || inst.op == Opcode::kSink ||
+        inst.op == Opcode::kNop) {
+        return std::nullopt;
+    }
+    // Pure compute (register and immediate forms). Annihilators first:
+    // they need only one known operand.
+    std::array<std::optional<Value>, 3> in;
+    for (std::uint8_t p = 0; p < inst.arity(); ++p)
+        in[p] = feederConst(u, gi, i, p);
+    if ((inst.op == Opcode::kMul || inst.op == Opcode::kAnd) &&
+        ((in[0] && *in[0] == 0) || (in[1] && *in[1] == 0))) {
+        return Value{0};
+    }
+    if ((inst.op == Opcode::kMuli || inst.op == Opcode::kAndi) &&
+        inst.imm == 0 && !u.feeders[u.side[gi].port[i][0]].empty()) {
+        return Value{0};
+    }
+    Operands ops{};
+    for (std::uint8_t p = 0; p < inst.arity(); ++p) {
+        if (!in[p])
+            return std::nullopt;
+        ops[p] = *in[p];
+    }
+    return evaluate(inst.op, inst.imm, ops);
+}
+
+void
+propagateConstants(Universe &u)
+{
+    for (int gi = 0; gi < 2; ++gi) {
+        GraphSide &side = u.side[gi];
+        side.constVal.assign(side.g->size(), std::nullopt);
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (InstId i = 0; i < side.g->size(); ++i) {
+                if (side.constVal[i])
+                    continue;
+                if (auto v = stepConst(u, gi, i)) {
+                    side.constVal[i] = v;
+                    changed = true;
+                }
+            }
+        }
+        side.portConst.assign(side.g->size(), {});
+        for (InstId i = 0; i < side.g->size(); ++i) {
+            for (std::uint8_t p = 0; p < side.g->inst(i).arity(); ++p)
+                side.portConst[i][p] = feederConst(u, gi, i, p);
+        }
+    }
+}
+
+void
+indexChains(Universe &u)
+{
+    for (int gi = 0; gi < 2; ++gi) {
+        GraphSide &side = u.side[gi];
+        const DataflowGraph &g = *side.g;
+        side.chainId.assign(g.size(), kUnset);
+        side.chainPos.assign(g.size(), kUnset);
+        std::vector<std::uint32_t> perThread(g.numThreads() + 1, 0);
+        for (const auto &chain : g.memRegions()) {
+            if (chain.empty())
+                continue;
+            const ThreadId t = g.inst(chain.front()).thread;
+            const std::uint32_t ordinal =
+                (t < perThread.size()) ? perThread[t]++ : 0;
+            for (std::uint32_t pos = 0; pos < chain.size(); ++pos) {
+                if (chain[pos] < g.size()) {
+                    side.chainId[chain[pos]] = ordinal;
+                    side.chainPos[chain[pos]] = pos;
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- refinement
+
+/** Signature word stream; first word is a shape tag. */
+using Sig = std::vector<std::uint64_t>;
+
+struct SigHash
+{
+    std::size_t
+    operator()(const Sig &s) const
+    {
+        std::uint64_t h = 0xcbf29ce484222325ull;
+        for (const std::uint64_t w : s) {
+            h ^= w;
+            h *= 0x100000001b3ull;
+        }
+        return static_cast<std::size_t>(h);
+    }
+};
+
+enum : std::uint64_t
+{
+    kTokV = 1, kPortV, kConstV, kSteerV, kWaveV, kLoadV, kOpaqueV, kGenV,
+    kTokS, kPortS, kWaveS, kSteerS, kIsectS,
+    kDescV, kDescL,
+};
+
+/** Register-form base opcode of an immediate form (or the op itself). */
+Opcode
+baseOpcode(Opcode op, bool &immOperand)
+{
+    immOperand = true;
+    switch (op) {
+      case Opcode::kAddi: return Opcode::kAdd;
+      case Opcode::kSubi: return Opcode::kSub;
+      case Opcode::kMuli: return Opcode::kMul;
+      case Opcode::kDivi: return Opcode::kDiv;
+      case Opcode::kRemi: return Opcode::kRem;
+      case Opcode::kAndi: return Opcode::kAnd;
+      case Opcode::kShli: return Opcode::kShl;
+      case Opcode::kShri: return Opcode::kShr;
+      case Opcode::kLti:  return Opcode::kLt;
+      case Opcode::kLei:  return Opcode::kLe;
+      case Opcode::kEqi:  return Opcode::kEq;
+      case Opcode::kNei:  return Opcode::kNe;
+      default:
+        immOperand = false;
+        return op;
+    }
+}
+
+bool
+isCommutative(Opcode base)
+{
+    switch (base) {
+      case Opcode::kAdd:
+      case Opcode::kMul:
+      case Opcode::kAnd:
+      case Opcode::kOr:
+      case Opcode::kXor:
+      case Opcode::kMin:
+      case Opcode::kMax:
+      case Opcode::kEq:
+      case Opcode::kNe:
+      case Opcode::kFadd:
+      case Opcode::kFmul:
+      case Opcode::kFeq:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** The whole refinement state for one check. */
+class Refiner
+{
+  public:
+    explicit Refiner(const Universe &u)
+        : u_(u), n_(u.ents.size()), val_(n_, 0), sup_(n_, 0),
+          rv_(n_, kUnset), rs_(n_, kUnset), deadV_(n_, false),
+          deadS_(n_, false)
+    {}
+
+    /**
+     * Run joint refinement to fixpoint; false = iteration cap hit.
+     *
+     * Runs in segments. Each segment starts from the coarsest
+     * partition with a FIXED alias structure, so classes only ever
+     * split and the segment converges within n_+1 rounds. A segment
+     * ends early when a support-gated alias's condition fails under
+     * the now-finer partition: the alias is disabled for good (sticky
+     * — always conservative, disabling only distinguishes more) and
+     * refinement restarts. Without the restart the alias could
+     * re-enable on the next Jacobi round and the iteration oscillate
+     * forever; with it, the finitely many gated aliases bound the
+     * segment count.
+     */
+    bool
+    run(EquivStats &stats)
+    {
+        const std::size_t cap = n_ + 8;
+        for (std::size_t seg = 0; seg <= 2 * n_ + 1; ++seg) {
+            std::fill(val_.begin(), val_.end(), 0);
+            std::fill(sup_.begin(), sup_.end(), 0);
+            disabled_ = false;
+            for (std::size_t iter = 0; iter < cap; ++iter) {
+                resolveAll();
+                if (disabled_)
+                    break;  // Alias structure shrank: restart segment.
+                std::vector<std::uint32_t> newSup = assign(false);
+                std::vector<std::uint32_t> newVal = assign(true);
+                ++stats.iterations;
+                if (newSup == sup_ && newVal == val_) {
+                    stats.supportClasses = countClasses(sup_);
+                    stats.valueClasses = countClasses(val_);
+                    return true;
+                }
+                sup_.swap(newSup);
+                val_.swap(newVal);
+            }
+            if (!disabled_)
+                return false;  // Cap hit without progress: fail closed.
+        }
+        return false;
+    }
+
+    std::uint32_t valClassOf(std::uint32_t e) const { return val_[e]; }
+    std::uint32_t supClassOf(std::uint32_t e) const { return sup_[e]; }
+    std::uint32_t valRepOf(std::uint32_t e) const { return rv_[e]; }
+
+  private:
+    static Counter
+    countClasses(const std::vector<std::uint32_t> &cls)
+    {
+        std::uint32_t hi = 0;
+        for (const std::uint32_t c : cls)
+            hi = std::max(hi, c + 1);
+        return hi;
+    }
+
+    const GraphSide &gs(const Entity &e) const { return u_.side[e.graph]; }
+    const Instruction &instOf(const Entity &e) const
+    {
+        return gs(e).g->inst(e.inst);
+    }
+
+    // --- alias resolution (per iteration, memoized) ---------------------
+
+    void
+    resolveAll()
+    {
+        std::fill(rv_.begin(), rv_.end(), kUnset);
+        std::fill(rs_.begin(), rs_.end(), kUnset);
+        stateV_.assign(n_, 0);
+        stateS_.assign(n_, 0);
+        for (std::uint32_t e = 0; e < n_; ++e) {
+            resolveS(e);
+            resolveV(e);
+        }
+    }
+
+    std::uint32_t
+    resolveS(std::uint32_t e)
+    {
+        if (rs_[e] != kUnset)
+            return rs_[e];
+        if (stateS_[e] == 1)
+            return e;  // Cycle guard (only reachable on malformed input).
+        stateS_[e] = 1;
+        std::uint32_t rep = e;
+        const Entity &ent = u_.ents[e];
+        if (ent.kind == Kind::kPort) {
+            if (u_.feeders[e].size() == 1)
+                rep = resolveS(u_.feeders[e].front());
+        } else if (ent.kind == Kind::kSource) {
+            const Instruction &inst = instOf(ent);
+            if (inst.op != Opcode::kSteer &&
+                inst.op != Opcode::kWaveAdvance) {
+                const auto &ports = gs(ent).port[ent.inst];
+                if (inst.arity() == 1) {
+                    rep = resolveS(ports[0]);
+                } else if (!deadS_[e]) {
+                    // n-ary firing set is the operand intersection; it
+                    // collapses onto the operands when their supports
+                    // already share a class.
+                    bool allEqual = true;
+                    const std::uint32_t first =
+                        sup_[resolveS(ports[0])];
+                    for (std::uint8_t p = 1; p < inst.arity(); ++p) {
+                        if (sup_[resolveS(ports[p])] != first) {
+                            allEqual = false;
+                            break;
+                        }
+                    }
+                    if (allEqual) {
+                        rep = resolveS(ports[0]);
+                    } else {
+                        deadS_[e] = true;
+                        disabled_ = true;
+                    }
+                }
+            }
+        }
+        stateS_[e] = 2;
+        rs_[e] = rep;
+        return rep;
+    }
+
+    /** Identity keep-port of a register-form binary op, if any. */
+    std::optional<std::uint8_t>
+    identityKeepPort(const Entity &ent) const
+    {
+        const GraphSide &side = gs(ent);
+        const Instruction &inst = instOf(ent);
+        const auto &pc = side.portConst[ent.inst];
+        const auto is = [&](std::uint8_t p, Value v) {
+            return pc[p] && *pc[p] == v;
+        };
+        switch (inst.op) {
+          case Opcode::kAdd:
+          case Opcode::kOr:
+          case Opcode::kXor:
+            if (is(1, 0)) return std::uint8_t{0};
+            if (is(0, 0)) return std::uint8_t{1};
+            break;
+          case Opcode::kSub:
+          case Opcode::kShl:
+          case Opcode::kShr:
+            if (is(1, 0)) return std::uint8_t{0};
+            break;
+          case Opcode::kMul:
+            if (is(1, 1)) return std::uint8_t{0};
+            if (is(0, 1)) return std::uint8_t{1};
+            break;
+          case Opcode::kDiv:
+            if (is(1, 1)) return std::uint8_t{0};
+            break;
+          case Opcode::kAnd:
+            if (is(1, -1)) return std::uint8_t{0};
+            if (is(0, -1)) return std::uint8_t{1};
+            break;
+          default:
+            break;
+        }
+        return std::nullopt;
+    }
+
+    /** Unconditional unary identity (support trivially preserved). */
+    bool
+    isUnaryIdentity(const Instruction &inst) const
+    {
+        switch (inst.op) {
+          case Opcode::kAddi:
+          case Opcode::kSubi:
+          case Opcode::kShli:
+          case Opcode::kShri:
+            return inst.imm == 0;
+          case Opcode::kMuli:
+          case Opcode::kDivi:
+            return inst.imm == 1;
+          case Opcode::kAndi:
+            return inst.imm == -1;
+          default:
+            return false;
+        }
+    }
+
+    std::uint32_t
+    resolveV(std::uint32_t e)
+    {
+        if (rv_[e] != kUnset)
+            return rv_[e];
+        if (stateV_[e] == 1)
+            return e;
+        stateV_[e] = 1;
+        std::uint32_t rep = e;
+        const Entity &ent = u_.ents[e];
+        if (ent.kind == Kind::kPort) {
+            if (u_.feeders[e].size() == 1)
+                rep = resolveV(u_.feeders[e].front());
+        } else if (ent.kind == Kind::kSource && ent.slot == 0) {
+            const GraphSide &side = gs(ent);
+            const Instruction &inst = instOf(ent);
+            const auto &ports = side.port[ent.inst];
+            // Constant-valued nodes keep their K signature; everything
+            // below is value forwarding.
+            if (!side.constVal[ent.inst]) {
+                std::optional<std::uint8_t> keep;
+                bool conditional = true;
+                if (inst.op == Opcode::kMov || isUnaryIdentity(inst)) {
+                    keep = 0;
+                    conditional = false;
+                } else if (inst.op == Opcode::kSelect) {
+                    if (const auto pred = side.portConst[ent.inst][0])
+                        keep = (*pred != 0) ? std::uint8_t{1}
+                                            : std::uint8_t{2};
+                } else if (inst.arity() == 2) {
+                    keep = identityKeepPort(ent);
+                    if (!keep &&
+                        (inst.op == Opcode::kAnd ||
+                         inst.op == Opcode::kOr ||
+                         inst.op == Opcode::kMin ||
+                         inst.op == Opcode::kMax) &&
+                        u_.feeders[ports[0]].size() == 1 &&
+                        u_.feeders[ports[1]].size() == 1 &&
+                        u_.feeders[ports[0]].front() ==
+                            u_.feeders[ports[1]].front()) {
+                        // Idempotent op on the same operand twice:
+                        // supports are equal by construction.
+                        keep = 0;
+                        conditional = false;
+                    }
+                }
+                if (keep) {
+                    bool suppOk = !conditional;
+                    if (conditional && !deadV_[e]) {
+                        suppOk = sup_[resolveS(e)] ==
+                                 sup_[resolveS(ports[*keep])];
+                        if (!suppOk) {
+                            deadV_[e] = true;
+                            disabled_ = true;
+                        }
+                    }
+                    if (suppOk)
+                        rep = resolveV(ports[*keep]);
+                }
+            }
+        }
+        stateV_[e] = 2;
+        rv_[e] = rep;
+        return rep;
+    }
+
+    // --- signatures (of representatives only) ---------------------------
+
+    Sig
+    suppSig(std::uint32_t e) const
+    {
+        const Entity &ent = u_.ents[e];
+        if (ent.kind == Kind::kToken) {
+            const TokenKey &k = u_.tokenKeys[ent.inst];
+            return {kTokS, std::get<0>(k), std::get<1>(k)};
+        }
+        if (ent.kind == Kind::kPort) {
+            Sig sig{kPortS};
+            for (const std::uint32_t f : u_.feeders[e])
+                sig.push_back(sup_[rs_[f]]);
+            std::sort(sig.begin() + 1, sig.end());
+            return sig;
+        }
+        const Instruction &inst = instOf(ent);
+        const auto &ports = gs(ent).port[ent.inst];
+        if (inst.op == Opcode::kWaveAdvance)
+            return {kWaveS, sup_[rs_[ports[0]]]};
+        if (inst.op == Opcode::kSteer) {
+            std::uint64_t s0 = sup_[rs_[ports[0]]];
+            std::uint64_t s1 = sup_[rs_[ports[1]]];
+            if (s1 < s0)
+                std::swap(s0, s1);
+            return {kSteerS, ent.slot, s0, s1, val_[rv_[ports[1]]]};
+        }
+        // n-ary with differing operand supports: the intersection.
+        Sig sig{kIsectS};
+        for (std::uint8_t p = 0; p < inst.arity(); ++p)
+            sig.push_back(sup_[rs_[ports[p]]]);
+        std::sort(sig.begin() + 1, sig.end());
+        sig.erase(std::unique(sig.begin() + 1, sig.end()), sig.end());
+        return sig;
+    }
+
+    Sig
+    valSig(std::uint32_t e) const
+    {
+        const Entity &ent = u_.ents[e];
+        if (ent.kind == Kind::kToken) {
+            // A token is a constant stream: it emits its value exactly
+            // on its support (which pins thread and wave). Sharing the
+            // kConstV shape lets a retargeted initial token merge with
+            // the constant-valued entry mov it used to flow through.
+            const TokenKey &k = u_.tokenKeys[ent.inst];
+            return {kConstV,
+                    static_cast<std::uint64_t>(std::get<2>(k)),
+                    sup_[rs_[e]]};
+        }
+        if (ent.kind == Kind::kPort) {
+            Sig sig{kPortV};
+            for (const std::uint32_t f : u_.feeders[e])
+                sig.push_back(val_[rv_[f]]);
+            std::sort(sig.begin() + 1, sig.end());
+            return sig;
+        }
+        const GraphSide &side = gs(ent);
+        const Instruction &inst = instOf(ent);
+        const auto &ports = side.port[ent.inst];
+        if (ent.slot == 0 && side.constVal[ent.inst]) {
+            return {kConstV,
+                    static_cast<std::uint64_t>(*side.constVal[ent.inst]),
+                    sup_[rs_[e]]};
+        }
+        switch (inst.op) {
+          case Opcode::kSteer:
+            return {kSteerV, ent.slot, val_[rv_[ports[0]]],
+                    val_[rv_[ports[1]]]};
+          case Opcode::kWaveAdvance:
+            return {kWaveV, val_[rv_[ports[0]]]};
+          case Opcode::kLoad: {
+            Sig sig{kLoadV, inst.thread, side.chainId[ent.inst],
+                    side.chainPos[ent.inst],
+                    static_cast<std::uint64_t>(inst.imm)};
+            appendDescs(sig, ent, Opcode::kLoad, false);
+            return sig;
+          }
+          case Opcode::kStoreAddr:
+          case Opcode::kStoreData:
+          case Opcode::kMemNop:
+          case Opcode::kSink:
+          case Opcode::kNop:
+            // Never consumed along a value path that matters; give each
+            // its own class.
+            return {kOpaqueV, ent.graph, ent.inst};
+          default:
+            break;
+        }
+        bool immOperand = false;
+        const Opcode base = baseOpcode(inst.op, immOperand);
+        Sig sig{kGenV, static_cast<std::uint64_t>(base)};
+        appendDescs(sig, ent, base, immOperand);
+        return sig;
+    }
+
+    /**
+     * Append normalized operand descriptors (and, when any operand is
+     * a literal, the node's own support class — a literal descriptor
+     * erases the operand's firing set, so the signature must pin it).
+     * Normalizations: immediate forms become base-op + literal,
+     * commutative operand pairs sort, mul-by-2^k becomes shl-by-k.
+     */
+    void
+    appendDescs(Sig &sig, const Entity &ent, Opcode base,
+                bool immOperand) const
+    {
+        const GraphSide &side = gs(ent);
+        const Instruction &inst = instOf(ent);
+        const auto &ports = side.port[ent.inst];
+        using Desc = std::array<std::uint64_t, 2>;
+        std::vector<Desc> descs;
+        for (std::uint8_t p = 0; p < inst.arity(); ++p) {
+            const auto &pc = side.portConst[ent.inst][p];
+            if (pc) {
+                descs.push_back(
+                    Desc{kDescL, static_cast<std::uint64_t>(*pc)});
+            } else {
+                descs.push_back(Desc{kDescV, val_[rv_[ports[p]]]});
+            }
+        }
+        if (immOperand) {
+            descs.push_back(
+                Desc{kDescL, static_cast<std::uint64_t>(inst.imm)});
+        }
+        if (isCommutative(base) && descs.size() == 2 &&
+            descs[1] < descs[0]) {
+            std::swap(descs[0], descs[1]);
+        }
+        if (base == Opcode::kMul && descs.size() == 2) {
+            // x * 2^k == x << k (mod 2^64; kMul wraps through uint64).
+            const bool lit0 = descs[0][0] == kDescL;
+            const bool lit1 = descs[1][0] == kDescL;
+            if (lit0 != lit1) {
+                const Desc &lit = lit0 ? descs[0] : descs[1];
+                const Desc other = lit0 ? descs[1] : descs[0];
+                const auto c = static_cast<Value>(lit[1]);
+                if (c >= 2 && (c & (c - 1)) == 0) {
+                    std::uint64_t k = 0;
+                    for (Value v = c; v > 1; v >>= 1)
+                        ++k;
+                    sig[1] = static_cast<std::uint64_t>(Opcode::kShl);
+                    descs = {other, Desc{kDescL, k}};
+                }
+            }
+        }
+        bool anyLit = false;
+        for (const Desc &d : descs) {
+            sig.push_back(d[0]);
+            sig.push_back(d[1]);
+            anyLit = anyLit || d[0] == kDescL;
+        }
+        if (anyLit)
+            sig.push_back(sup_[rs_[static_cast<std::uint32_t>(
+                &ent - u_.ents.data())]]);
+    }
+
+    std::vector<std::uint32_t>
+    assign(bool value)
+    {
+        const std::vector<std::uint32_t> &res = value ? rv_ : rs_;
+        std::vector<std::uint32_t> out(n_, kUnset);
+        std::unordered_map<Sig, std::uint32_t, SigHash> ids;
+        ids.reserve(n_);
+        for (std::uint32_t e = 0; e < n_; ++e) {
+            if (res[e] != e)
+                continue;
+            const Sig sig = value ? valSig(e) : suppSig(e);
+            const auto it =
+                ids.emplace(sig,
+                            static_cast<std::uint32_t>(ids.size()));
+            out[e] = it.first->second;
+        }
+        for (std::uint32_t e = 0; e < n_; ++e) {
+            if (res[e] != e)
+                out[e] = out[res[e]];
+        }
+        return out;
+    }
+
+    const Universe &u_;
+    const std::size_t n_;
+    std::vector<std::uint32_t> val_, sup_;
+    std::vector<std::uint32_t> rv_, rs_;
+    std::vector<std::uint8_t> stateV_, stateS_;
+    // Sticky kill switches for support-gated aliases (see run()).
+    std::vector<bool> deadV_, deadS_;
+    bool disabled_ = false;
+};
+
+// ------------------------------------------------------------- the checks
+
+/** Human name of an entity for witness messages. */
+std::string
+describeEntity(const Universe &u, std::uint32_t e)
+{
+    const Entity &ent = u.ents[e];
+    switch (ent.kind) {
+      case Kind::kToken: {
+        const TokenKey &k = u.tokenKeys[ent.inst];
+        return msgf("token t%u w%u v%lld",
+                    static_cast<unsigned>(std::get<0>(k)),
+                    static_cast<unsigned>(std::get<1>(k)),
+                    static_cast<long long>(std::get<2>(k)));
+      }
+      case Kind::kPort:
+        return msgf("inst %u port %u (multi-producer)", ent.inst,
+                    static_cast<unsigned>(ent.slot));
+      case Kind::kSource: {
+        const Instruction &inst = u.side[ent.graph].g->inst(ent.inst);
+        std::string name(opcodeName(inst.op));
+        if (inst.op == Opcode::kConst || inst.imm != 0) {
+            return msgf("inst %u (%s imm=%lld)", ent.inst, name.c_str(),
+                        static_cast<long long>(inst.imm));
+        }
+        return msgf("inst %u (%s)", ent.inst, name.c_str());
+      }
+    }
+    return "?";
+}
+
+/**
+ * Lockstep backward walk from a diverging sink pair to the first
+ * diverging node pair: the minimal witness of WS801.
+ */
+std::string
+witness(const Universe &u, const Refiner &r, std::uint32_t portA,
+        std::uint32_t portB)
+{
+    std::uint32_t ea = r.valRepOf(portA);
+    std::uint32_t eb = r.valRepOf(portB);
+    for (int depth = 0; depth < 64; ++depth) {
+        const Entity &a = u.ents[ea];
+        const Entity &b = u.ents[eb];
+        if (a.kind != Kind::kSource || b.kind != Kind::kSource)
+            break;
+        const Instruction &ia = u.side[a.graph].g->inst(a.inst);
+        const Instruction &ib = u.side[b.graph].g->inst(b.inst);
+        if (ia.op != ib.op || ia.imm != ib.imm ||
+            ia.arity() != ib.arity()) {
+            break;
+        }
+        // Same local shape: descend into the first diverging operand.
+        std::uint32_t nextA = kUnset;
+        std::uint32_t nextB = kUnset;
+        for (std::uint8_t p = 0; p < ia.arity(); ++p) {
+            const std::uint32_t pa = u.side[a.graph].port[a.inst][p];
+            const std::uint32_t pb = u.side[b.graph].port[b.inst][p];
+            if (r.valClassOf(pa) != r.valClassOf(pb)) {
+                nextA = r.valRepOf(pa);
+                nextB = r.valRepOf(pb);
+                break;
+            }
+        }
+        if (nextA == kUnset)
+            break;  // Divergence is in the firing sets, not a value.
+        ea = nextA;
+        eb = nextB;
+    }
+    return "first divergence: a " + describeEntity(u, ea) + " vs b " +
+           describeEntity(u, eb);
+}
+
+void
+checkCompletion(const Universe &u, VerifyReport &rep)
+{
+    const DataflowGraph &a = *u.side[0].g;
+    const DataflowGraph &b = *u.side[1].g;
+    if (a.numThreads() != b.numThreads()) {
+        rep.add(DiagCode::kCompletionMismatch, kInvalidInst,
+                msgf("thread count changed: %u vs %u",
+                     static_cast<unsigned>(a.numThreads()),
+                     static_cast<unsigned>(b.numThreads())));
+    }
+    if (a.expectedSinkTokens() != b.expectedSinkTokens()) {
+        rep.add(DiagCode::kCompletionMismatch, kInvalidInst,
+                msgf("expected sink tokens changed: %llu vs %llu",
+                     static_cast<unsigned long long>(
+                         a.expectedSinkTokens()),
+                     static_cast<unsigned long long>(
+                         b.expectedSinkTokens())));
+    }
+}
+
+std::vector<std::vector<InstId>>
+sinksByThread(const DataflowGraph &g)
+{
+    std::vector<std::vector<InstId>> sinks(
+        std::max<std::size_t>(1, g.numThreads()));
+    for (InstId i = 0; i < g.size(); ++i) {
+        const Instruction &inst = g.inst(i);
+        if (inst.op == Opcode::kSink && inst.thread < sinks.size())
+            sinks[inst.thread].push_back(i);
+    }
+    return sinks;
+}
+
+void
+checkSinks(const Universe &u, const Refiner &r, VerifyReport &rep,
+           EquivStats &stats)
+{
+    const auto sinksA = sinksByThread(*u.side[0].g);
+    const auto sinksB = sinksByThread(*u.side[1].g);
+    const std::size_t threads = std::max(sinksA.size(), sinksB.size());
+    for (std::size_t t = 0; t < threads; ++t) {
+        const auto &sa = (t < sinksA.size()) ? sinksA[t]
+                                             : std::vector<InstId>{};
+        const auto &sb = (t < sinksB.size()) ? sinksB[t]
+                                             : std::vector<InstId>{};
+        if (sa.size() != sb.size()) {
+            rep.add(DiagCode::kCompletionMismatch, kInvalidInst,
+                    msgf("thread %u sink count changed: %zu vs %zu "
+                         "(liveness roots dropped or added)",
+                         static_cast<unsigned>(t), sa.size(), sb.size()));
+            continue;
+        }
+        for (std::size_t k = 0; k < sa.size(); ++k) {
+            ++stats.sinkPairs;
+            const std::uint32_t pa = u.side[0].port[sa[k]][0];
+            const std::uint32_t pb = u.side[1].port[sb[k]][0];
+            const bool valOk =
+                r.valClassOf(pa) == r.valClassOf(pb);
+            const bool supOk =
+                r.supClassOf(pa) == r.supClassOf(pb);
+            if (valOk && supOk)
+                continue;
+            rep.add(DiagCode::kSinkMismatch, sa[k],
+                    msgf("sink pair %zu of thread %u (a inst %u vs b "
+                         "inst %u): %s; %s",
+                         k, static_cast<unsigned>(t), sa[k], sb[k],
+                         valOk ? "value streams match but firing sets "
+                                 "diverge"
+                               : "value streams diverge",
+                         witness(u, r, pa, pb).c_str()));
+        }
+    }
+}
+
+void
+checkMemory(const Universe &u, const Refiner &r, VerifyReport &rep,
+            EquivStats &stats)
+{
+    const DataflowGraph &a = *u.side[0].g;
+    const DataflowGraph &b = *u.side[1].g;
+
+    auto initImage = [](const DataflowGraph &g) {
+        auto init = g.memInit();
+        std::sort(init.begin(), init.end());
+        return init;
+    };
+    if (initImage(a) != initImage(b)) {
+        rep.add(DiagCode::kMemEffectMismatch, kInvalidInst,
+                "initial memory image differs");
+    }
+
+    auto chainsByThread = [](const DataflowGraph &g) {
+        std::vector<std::vector<std::vector<InstId>>> chains(
+            std::max<std::size_t>(1, g.numThreads()));
+        for (const auto &chain : g.memRegions()) {
+            if (chain.empty())
+                continue;
+            const ThreadId t = g.inst(chain.front()).thread;
+            if (t < chains.size())
+                chains[t].push_back(chain);
+        }
+        return chains;
+    };
+    const auto chainsA = chainsByThread(a);
+    const auto chainsB = chainsByThread(b);
+    const std::size_t threads = std::max(chainsA.size(), chainsB.size());
+    for (std::size_t t = 0; t < threads; ++t) {
+        const auto &ca = (t < chainsA.size())
+                             ? chainsA[t]
+                             : std::vector<std::vector<InstId>>{};
+        const auto &cb = (t < chainsB.size())
+                             ? chainsB[t]
+                             : std::vector<std::vector<InstId>>{};
+        if (ca.size() != cb.size()) {
+            rep.add(DiagCode::kMemEffectMismatch, kInvalidInst,
+                    msgf("thread %u wave-ordering chain count changed: "
+                         "%zu vs %zu",
+                         static_cast<unsigned>(t), ca.size(), cb.size()));
+            continue;
+        }
+        for (std::size_t c = 0; c < ca.size(); ++c) {
+            ++stats.chainPairs;
+            if (ca[c].size() != cb[c].size()) {
+                rep.add(DiagCode::kMemEffectMismatch, kInvalidInst,
+                        msgf("thread %u chain %zu length changed: %zu "
+                             "vs %zu (effects dropped or added)",
+                             static_cast<unsigned>(t), c, ca[c].size(),
+                             cb[c].size()));
+                continue;
+            }
+            for (std::size_t k = 0; k < ca[c].size(); ++k) {
+                const InstId ia = ca[c][k];
+                const InstId ib = cb[c][k];
+                const Instruction &xa = a.inst(ia);
+                const Instruction &xb = b.inst(ib);
+                if (xa.op != xb.op || xa.imm != xb.imm) {
+                    rep.add(DiagCode::kMemEffectMismatch, ia,
+                            msgf("thread %u chain %zu effect %zu "
+                                 "changed: a %s imm=%lld vs b %s "
+                                 "imm=%lld (reordered or replaced)",
+                                 static_cast<unsigned>(t), c, k,
+                                 std::string(opcodeName(xa.op)).c_str(),
+                                 static_cast<long long>(xa.imm),
+                                 std::string(opcodeName(xb.op)).c_str(),
+                                 static_cast<long long>(xb.imm)));
+                    continue;
+                }
+                if (xa.mem.prev != xb.mem.prev ||
+                    xa.mem.seq != xb.mem.seq ||
+                    xa.mem.next != xb.mem.next) {
+                    rep.add(DiagCode::kMemEffectMismatch, ia,
+                            msgf("thread %u chain %zu effect %zu: "
+                                 "sequence links changed (%d:%d:%d vs "
+                                 "%d:%d:%d)",
+                                 static_cast<unsigned>(t), c, k,
+                                 xa.mem.prev, xa.mem.seq, xa.mem.next,
+                                 xb.mem.prev, xb.mem.seq, xb.mem.next));
+                }
+                const std::uint32_t pa = u.side[0].port[ia][0];
+                const std::uint32_t pb = u.side[1].port[ib][0];
+                if (r.valClassOf(pa) != r.valClassOf(pb)) {
+                    rep.add(DiagCode::kMemEffectMismatch, ia,
+                            msgf("thread %u chain %zu effect %zu (%s): "
+                                 "address stream diverges; %s",
+                                 static_cast<unsigned>(t), c, k,
+                                 std::string(opcodeName(xa.op)).c_str(),
+                                 witness(u, r, pa, pb).c_str()));
+                }
+                const std::uint32_t sa = u.side[0].src0[ia];
+                const std::uint32_t sb = u.side[1].src0[ib];
+                if (r.supClassOf(sa) != r.supClassOf(sb)) {
+                    rep.add(DiagCode::kMemEffectMismatch, ia,
+                            msgf("thread %u chain %zu effect %zu (%s): "
+                                 "firing set diverges",
+                                 static_cast<unsigned>(t), c, k,
+                                 std::string(
+                                     opcodeName(xa.op)).c_str()));
+                }
+            }
+        }
+    }
+
+    // Store data halves (not chain members): pair per thread in
+    // instruction order and compare the value streams.
+    auto dataHalves = [](const DataflowGraph &g) {
+        std::vector<std::vector<InstId>> sd(
+            std::max<std::size_t>(1, g.numThreads()));
+        for (InstId i = 0; i < g.size(); ++i) {
+            if (g.inst(i).op == Opcode::kStoreData &&
+                g.inst(i).thread < sd.size()) {
+                sd[g.inst(i).thread].push_back(i);
+            }
+        }
+        return sd;
+    };
+    const auto sdA = dataHalves(a);
+    const auto sdB = dataHalves(b);
+    const std::size_t sdThreads = std::max(sdA.size(), sdB.size());
+    for (std::size_t t = 0; t < sdThreads; ++t) {
+        const auto &da = (t < sdA.size()) ? sdA[t] : std::vector<InstId>{};
+        const auto &db = (t < sdB.size()) ? sdB[t] : std::vector<InstId>{};
+        if (da.size() != db.size()) {
+            rep.add(DiagCode::kMemEffectMismatch, kInvalidInst,
+                    msgf("thread %u store_data count changed: %zu vs %zu",
+                         static_cast<unsigned>(t), da.size(), db.size()));
+            continue;
+        }
+        for (std::size_t k = 0; k < da.size(); ++k) {
+            const InstId ia = da[k];
+            const InstId ib = db[k];
+            if (a.inst(ia).mem.seq != b.inst(ib).mem.seq) {
+                rep.add(DiagCode::kMemEffectMismatch, ia,
+                        msgf("thread %u store_data %zu: sequence "
+                             "changed (%d vs %d)",
+                             static_cast<unsigned>(t), k,
+                             a.inst(ia).mem.seq, b.inst(ib).mem.seq));
+                continue;
+            }
+            const std::uint32_t pa = u.side[0].port[ia][0];
+            const std::uint32_t pb = u.side[1].port[ib][0];
+            if (r.valClassOf(pa) != r.valClassOf(pb) ||
+                r.supClassOf(pa) != r.supClassOf(pb)) {
+                rep.add(DiagCode::kMemEffectMismatch, ia,
+                        msgf("thread %u store seq %d: stored value "
+                             "stream diverges; %s",
+                             static_cast<unsigned>(t), a.inst(ia).mem.seq,
+                             witness(u, r, pa, pb).c_str()));
+            }
+        }
+    }
+}
+
+} // namespace
+
+EquivResult
+checkEquivalence(const DataflowGraph &a, const DataflowGraph &b)
+{
+    EquivResult result;
+    result.report = VerifyReport(a.name() + " vs " + b.name());
+
+    Universe u = buildUniverse(a, b);
+    propagateConstants(u);
+    indexChains(u);
+    result.stats.entities = u.ents.size();
+
+    Refiner refiner(u);
+    if (!refiner.run(result.stats)) {
+        // Unreachable in practice (refinement only splits classes);
+        // fail closed rather than certify an unproven translation.
+        result.report.add(DiagCode::kCompletionMismatch, kInvalidInst,
+                          "partition refinement did not converge");
+        return result;
+    }
+
+    checkCompletion(u, result.report);
+    checkMemory(u, refiner, result.report, result.stats);
+    checkSinks(u, refiner, result.report, result.stats);
+    return result;
+}
+
+} // namespace ws

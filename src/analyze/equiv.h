@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Symbolic equivalence checking (translation validation, WS8xx).
+ *
+ * checkEquivalence(a, b) proves — or refutes with a stable WS8xx
+ * diagnostic — that two dataflow graphs have identical observable
+ * behaviour: the value stream arriving at every sink, the wave-ordered
+ * memory effect sequence of every thread, and the completion structure.
+ * The rewriter uses it as a validate-or-rollback gate: a rewrite round
+ * whose result cannot be proven equivalent is reverted, never shipped.
+ *
+ * The proof engine is an optimistic joint partition refinement (a
+ * greatest-fixpoint global value numbering) over the combined node
+ * universe of both graphs. Two kinds of entity are refined together:
+ *
+ *   - VAL classes partition value streams (which tagged values a
+ *     source emits / a port receives);
+ *   - SUPP classes partition tag supports (for which tags a node
+ *     fires at all).
+ *
+ * Both are needed because rewrites change port structure: a folded
+ * constant keeps only a trigger edge, so proving it equivalent to the
+ * expression it replaced requires showing the trigger's firing set
+ * matches the expression's operand intersection. Signatures normalize
+ * the algebra the rewriter exploits — symbolic constant folding,
+ * commutative operand sorting, immediate-form/register-form merging,
+ * mul-by-2^k as shift, and mov-chain collapsing via class aliasing —
+ * so the checker always proves at least what the catalog rewrites.
+ *
+ * Soundness: tagged-token dataflow is a deterministic Kahn network, so
+ * any signature-consistent partition only equates sources with
+ * identical streams (coinduction over the defining equations); the
+ * checker errs only toward false mismatches, never false proofs.
+ */
+
+#ifndef WS_ANALYZE_EQUIV_H_
+#define WS_ANALYZE_EQUIV_H_
+
+#include "isa/graph.h"
+#include "verify/diagnostic.h"
+
+namespace ws {
+
+/** Proof-effort counters of one checkEquivalence() run. */
+struct EquivStats
+{
+    Counter entities = 0;        ///< Refined entities (both graphs).
+    Counter valueClasses = 0;    ///< Final VAL partition size.
+    Counter supportClasses = 0;  ///< Final SUPP partition size.
+    Counter iterations = 0;      ///< Refinement sweeps to fixpoint.
+    Counter sinkPairs = 0;       ///< Sink pairs compared (WS801).
+    Counter chainPairs = 0;      ///< Memory chain pairs compared (WS802).
+};
+
+/** Outcome of comparing two graphs. */
+struct EquivResult
+{
+    VerifyReport report;  ///< WS801/WS802/WS803 findings (errors).
+    EquivStats stats;
+
+    bool equivalent() const { return report.ok(); }
+};
+
+/**
+ * Prove @p a and @p b observably equivalent. Both graphs are expected
+ * to have passed structural verification (ws::verify) — instruction
+ * ids, ports, and chain annotations are trusted. The check is
+ * symmetric in what it proves but reports divergences as "a vs b"
+ * (a is the reference, b the candidate translation).
+ */
+EquivResult checkEquivalence(const DataflowGraph &a, const DataflowGraph &b);
+
+} // namespace ws
+
+#endif // WS_ANALYZE_EQUIV_H_

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Algebraic identity / strength reduction detection (WS505).
+ *
+ * Immediate forms are unconditionally sound: the instruction is unary,
+ * so replacing it with a mov (identity), a shift (mul by 2^k), or a
+ * const (annihilator) preserves the firing set trivially.
+ *
+ * Register forms are sound only when erasing the literal operand's edge
+ * provably keeps the firing set: an n-ary instruction fires on the
+ * *intersection* of its operand tag sets, so dropping the constant's
+ * feed requires its support to equal the kept operand's. The detector
+ * demands the "literal rider" shape the GraphBuilder emits: the
+ * constant's trigger chain (through movs and consts) must resolve to
+ * the same (instruction, side) anchor as the kept operand. Divisions
+ * and remainders are never strength-reduced (signed semantics), and
+ * floating-point ops are never simplified (NaN breaks idempotence).
+ */
+
+#include "analyze/passes.h"
+#include "verify/passes.h"
+
+namespace ws {
+namespace analyze_detail {
+namespace {
+
+/**
+ * Follow single-feed chains from producer output (inst, side) to its
+ * ultimate anchor. @p through_consts additionally hops through kConst
+ * (which preserves support but not value): pass true when comparing
+ * firing sets, false when comparing value streams.
+ */
+PortFeed
+anchorOf(const DataflowGraph &g,
+         const std::vector<std::array<std::vector<PortFeed>, 3>> &feeds,
+         const std::vector<std::array<bool, 3>> &tokens, PortFeed from,
+         bool through_consts)
+{
+    for (int depth = 0; depth < 64; ++depth) {
+        if (from.side != 0)
+            return from;
+        const Opcode op = g.inst(from.inst).op;
+        if (op != Opcode::kMov &&
+            (op != Opcode::kConst || !through_consts)) {
+            return from;
+        }
+        if (feeds[from.inst][0].size() != 1 || tokens[from.inst][0])
+            return from;
+        from = feeds[from.inst][0].front();
+    }
+    return from;
+}
+
+bool
+samePortFeed(const PortFeed &a, const PortFeed &b)
+{
+    return a.inst == b.inst && a.side == b.side;
+}
+
+/** log2 of @p v when v is a power of two >= 2, else 0. */
+Value
+shiftAmount(Value v)
+{
+    if (v < 2 || (v & (v - 1)) != 0)
+        return 0;
+    Value k = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++k;
+    }
+    return k;
+}
+
+} // namespace
+
+std::vector<AlgebraicRewrite>
+algebraCandidates(const DataflowGraph &g)
+{
+    const auto feeds = feedIndex(g);
+    const auto tokens = tokenPorts(g);
+    std::vector<AlgebraicRewrite> candidates;
+
+    for (InstId i = 0; i < g.size(); ++i) {
+        const Instruction &inst = g.inst(i);
+        if (inst.outs[0].empty() && inst.outs[1].empty())
+            continue;  // Dead; DCE owns it.
+
+        // Immediate forms: unary, unconditionally sound.
+        bool matched = true;
+        switch (inst.op) {
+          case Opcode::kAddi:
+          case Opcode::kSubi:
+          case Opcode::kShli:
+          case Opcode::kShri:
+            if (inst.imm == 0)
+                candidates.push_back({i, Opcode::kMov, 0, 0});
+            else
+                matched = false;
+            break;
+          case Opcode::kDivi:
+            if (inst.imm == 1)
+                candidates.push_back({i, Opcode::kMov, 0, 0});
+            else
+                matched = false;
+            break;
+          case Opcode::kMuli:
+            if (inst.imm == 1)
+                candidates.push_back({i, Opcode::kMov, 0, 0});
+            else if (inst.imm == 0)
+                candidates.push_back({i, Opcode::kConst, 0, 0});
+            else if (shiftAmount(inst.imm) != 0)
+                candidates.push_back(
+                    {i, Opcode::kShli, shiftAmount(inst.imm), 0});
+            else
+                matched = false;
+            break;
+          case Opcode::kAndi:
+            if (inst.imm == -1)
+                candidates.push_back({i, Opcode::kMov, 0, 0});
+            else if (inst.imm == 0)
+                candidates.push_back({i, Opcode::kConst, 0, 0});
+            else
+                matched = false;
+            break;
+          default:
+            matched = false;
+            break;
+        }
+        if (matched)
+            continue;
+
+        if (inst.arity() != 2)
+            continue;
+        const bool singleFed = feeds[i][0].size() == 1 && !tokens[i][0] &&
+                               feeds[i][1].size() == 1 && !tokens[i][1];
+        if (!singleFed)
+            continue;
+        const PortFeed f0 = feeds[i][0].front();
+        const PortFeed f1 = feeds[i][1].front();
+
+        // Idempotent op over the same value stream (mov chains only;
+        // consts change the value, so don't hop through them here).
+        if (inst.op == Opcode::kAnd || inst.op == Opcode::kOr ||
+            inst.op == Opcode::kMin || inst.op == Opcode::kMax) {
+            if (samePortFeed(anchorOf(g, feeds, tokens, f0, false),
+                             anchorOf(g, feeds, tokens, f1, false))) {
+                candidates.push_back({i, Opcode::kMov, 0, 0});
+                continue;
+            }
+        }
+
+        // Register-form identities: one port fed by a literal whose
+        // support anchor matches the kept operand's (see file comment).
+        for (std::uint8_t c = 0; c < 2; ++c) {
+            const PortFeed cf = (c == 0) ? f0 : f1;
+            const std::uint8_t keep = static_cast<std::uint8_t>(1 - c);
+            const PortFeed kf = (c == 0) ? f1 : f0;
+            if (cf.side != 0 || g.inst(cf.inst).op != Opcode::kConst)
+                continue;
+            const Value lit = g.inst(cf.inst).imm;
+            Opcode newOp = Opcode::kNop;
+            Value newImm = 0;
+            switch (inst.op) {
+              case Opcode::kAdd:
+              case Opcode::kOr:
+              case Opcode::kXor:
+                if (lit == 0)
+                    newOp = Opcode::kMov;
+                break;
+              case Opcode::kSub:
+              case Opcode::kShl:
+              case Opcode::kShr:
+                if (c == 1 && lit == 0)
+                    newOp = Opcode::kMov;
+                break;
+              case Opcode::kMul:
+                if (lit == 1) {
+                    newOp = Opcode::kMov;
+                } else if (lit == 0) {
+                    newOp = Opcode::kConst;
+                } else if (shiftAmount(lit) != 0) {
+                    newOp = Opcode::kShli;
+                    newImm = shiftAmount(lit);
+                }
+                break;
+              case Opcode::kDiv:
+                if (c == 1 && lit == 1)
+                    newOp = Opcode::kMov;
+                break;
+              case Opcode::kAnd:
+                if (lit == -1)
+                    newOp = Opcode::kMov;
+                else if (lit == 0)
+                    newOp = Opcode::kConst;
+                break;
+              default:
+                break;
+            }
+            if (newOp == Opcode::kNop)
+                continue;
+            if (!samePortFeed(
+                    anchorOf(g, feeds, tokens, PortFeed{cf.inst, 0},
+                             true),
+                    anchorOf(g, feeds, tokens, kf, true))) {
+                continue;  // Firing-set equality not provable.
+            }
+            candidates.push_back({i, newOp, newImm, keep});
+            break;
+        }
+    }
+    return candidates;
+}
+
+void
+adviseAlgebra(const DataflowGraph &g, VerifyReport &rep)
+{
+    for (const AlgebraicRewrite &r : algebraCandidates(g)) {
+        const char *what = "algebraic identity: result equals its "
+                           "operand (becomes a mov)";
+        if (r.newOp == Opcode::kShli)
+            what = "strength reduction: multiply by a power of two "
+                   "(becomes a shift)";
+        else if (r.newOp == Opcode::kConst)
+            what = "annihilator: result is always zero (becomes a "
+                   "const)";
+        rep.add(DiagCode::kAlgebraicIdentity, r.inst,
+                verify_detail::msgf(
+                    "%s: %s",
+                    std::string(opcodeName(g.inst(r.inst).op)).c_str(),
+                    what));
+    }
+}
+
+} // namespace analyze_detail
+} // namespace ws

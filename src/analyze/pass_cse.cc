@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Common-subexpression detection (WS504): two flavors of GVN-style
+ * redundancy the rewriter can remove under the equivalence gate.
+ *
+ *   - *Congruent merge.* Two pure instructions of one thread with the
+ *     same opcode, immediate, and per-port feeder multiset (producer
+ *     edges by (instruction, side) plus initial-token keys) compute
+ *     identical tagged value streams, so one can feed both consumer
+ *     sets. One-level congruence iterated to fixpoint by the rewriter's
+ *     round loop is full GVN.
+ *   - *Entry-mov retarget.* A mov whose only input is initial tokens
+ *     and whose consumers it feeds exclusively is pure plumbing: the
+ *     tokens can be retargeted to the consumer ports directly and the
+ *     mov dies. This is what shrinks the ilp-variants family, whose
+ *     leaves are all token-fed movs.
+ *
+ * Wave-ordering chains are natural barriers: memory operations are
+ * never candidates (they are effects, not values), so no merge can
+ * reorder the chain.
+ */
+
+#include <algorithm>
+#include <map>
+
+#include "analyze/passes.h"
+#include "verify/passes.h"
+
+namespace ws {
+namespace analyze_detail {
+
+std::vector<std::array<std::vector<PortFeed>, 3>>
+feedIndex(const DataflowGraph &g)
+{
+    std::vector<std::array<std::vector<PortFeed>, 3>> feeds(g.size());
+    for (InstId i = 0; i < g.size(); ++i) {
+        for (std::uint8_t s = 0; s < 2; ++s) {
+            for (const PortRef &out : g.inst(i).outs[s]) {
+                if (out.inst < g.size() && out.port < 3)
+                    feeds[out.inst][out.port].push_back(PortFeed{i, s});
+            }
+        }
+    }
+    return feeds;
+}
+
+namespace {
+
+/** Congruence key: thread, op, imm, then per port a sorted feeder
+ *  multiset (producer edges and initial-token keys). */
+using Key = std::vector<std::uint64_t>;
+
+constexpr std::uint64_t kPortMark = ~std::uint64_t{0};
+constexpr std::uint64_t kFeedEdge = 0;
+constexpr std::uint64_t kFeedToken = 1;
+
+} // namespace
+
+std::vector<CseCandidate>
+cseCandidates(const DataflowGraph &g)
+{
+    const auto feeds = feedIndex(g);
+    const auto tokens = tokenPorts(g);
+    std::vector<CseCandidate> candidates;
+
+    // Entry-mov retargets first (instruction order).
+    for (InstId i = 0; i < g.size(); ++i) {
+        const Instruction &inst = g.inst(i);
+        if (inst.op != Opcode::kMov || !feeds[i][0].empty() ||
+            !tokens[i][0] || !inst.outs[1].empty() ||
+            inst.outs[0].empty()) {
+            continue;
+        }
+        bool exclusive = true;
+        for (const PortRef &out : inst.outs[0]) {
+            if (out.inst == i || out.inst >= g.size() || out.port >= 3 ||
+                tokens[out.inst][out.port]) {
+                exclusive = false;
+                break;
+            }
+            for (const PortFeed &f : feeds[out.inst][out.port]) {
+                if (f.inst != i) {
+                    exclusive = false;
+                    break;
+                }
+            }
+            if (!exclusive)
+                break;
+        }
+        if (exclusive)
+            candidates.push_back(CseCandidate{i, i});
+    }
+
+    // Congruent pairs: key every eligible pure instruction and merge
+    // later ids into the first occurrence.
+    std::map<std::tuple<ThreadId, WaveNum, Value>, std::uint64_t> tokenIds;
+    for (const Token &t : g.initialTokens()) {
+        tokenIds.emplace(std::make_tuple(t.tag.thread, t.tag.wave, t.value),
+                         tokenIds.size());
+    }
+    std::map<Key, InstId> classes;
+    for (InstId i = 0; i < g.size(); ++i) {
+        const Instruction &inst = g.inst(i);
+        const bool pure = opcodeClass(inst.op) == OpClass::kCompute ||
+                          inst.op == Opcode::kConst ||
+                          inst.op == Opcode::kMov;
+        if (!pure || inst.mem.valid)
+            continue;
+        if (inst.outs[0].empty() && inst.outs[1].empty())
+            continue;  // Dead or already disconnected; DCE owns it.
+        if (inst.op == Opcode::kMov && feeds[i][0].empty())
+            continue;  // Entry mov: the retarget rule above owns it.
+        Key key{inst.thread, static_cast<std::uint64_t>(inst.op),
+                static_cast<std::uint64_t>(inst.imm)};
+        bool eligible = true;
+        for (std::uint8_t p = 0; p < inst.arity() && eligible; ++p) {
+            key.push_back(kPortMark);
+            std::vector<std::array<std::uint64_t, 3>> descs;
+            for (const PortFeed &f : feeds[i][p]) {
+                if (f.inst == i)
+                    eligible = false;  // Self-loop: never merge.
+                descs.push_back({kFeedEdge, f.inst, f.side});
+            }
+            for (const Token &t : g.initialTokens()) {
+                if (t.dst == PortRef{i, p}) {
+                    descs.push_back(
+                        {kFeedToken,
+                         tokenIds.at(std::make_tuple(
+                             t.tag.thread, t.tag.wave, t.value)),
+                         0});
+                }
+            }
+            std::sort(descs.begin(), descs.end());
+            for (const auto &d : descs)
+                key.insert(key.end(), d.begin(), d.end());
+        }
+        if (!eligible)
+            continue;
+        const auto [it, inserted] = classes.emplace(std::move(key), i);
+        if (inserted)
+            continue;
+        const InstId keep = it->second;
+        // Guard against feeding each other (impossible with identical
+        // keys unless self-referential; stay conservative).
+        bool entangled = false;
+        for (std::uint8_t s = 0; s < 2 && !entangled; ++s) {
+            for (const PortRef &out : g.inst(keep).outs[s])
+                entangled = entangled || out.inst == i;
+            for (const PortRef &out : inst.outs[s])
+                entangled = entangled || out.inst == keep;
+        }
+        if (!entangled)
+            candidates.push_back(CseCandidate{keep, i});
+    }
+    return candidates;
+}
+
+void
+adviseCse(const DataflowGraph &g, VerifyReport &rep)
+{
+    for (const CseCandidate &c : cseCandidates(g)) {
+        if (c.entryMov()) {
+            rep.add(DiagCode::kCommonSubexpr, c.drop,
+                    "entry mov only relays initial tokens; they can "
+                    "target its consumers directly");
+        } else {
+            rep.add(DiagCode::kCommonSubexpr, c.drop,
+                    verify_detail::msgf(
+                        "%s recomputes the value of inst %u (same "
+                        "opcode, immediate, and feeds)",
+                        std::string(opcodeName(g.inst(c.drop).op)).c_str(),
+                        c.keep));
+        }
+    }
+}
+
+} // namespace analyze_detail
+} // namespace ws

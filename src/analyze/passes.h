@@ -114,10 +114,53 @@ std::vector<bool> liveMask(const DataflowGraph &g);
  *  directly (pass_copychain.cc). */
 std::vector<InstId> copyCandidates(const DataflowGraph &g);
 
+/** One static feed of an input port: producer instruction and side. */
+struct PortFeed
+{
+    InstId inst;
+    std::uint8_t side;
+};
+
+/** Side-aware producer edges per (inst, port) (pass_cse.cc). */
+std::vector<std::array<std::vector<PortFeed>, 3>>
+feedIndex(const DataflowGraph &g);
+
+/**
+ * One WS504 redundancy (pass_cse.cc). keep != drop: @p drop recomputes
+ * @p keep's value stream, so keep can absorb drop's consumers.
+ * keep == drop: @p drop is an entry mov whose initial tokens can be
+ * retargeted to its consumers directly.
+ */
+struct CseCandidate
+{
+    InstId keep;
+    InstId drop;
+
+    bool entryMov() const { return keep == drop; }
+};
+std::vector<CseCandidate> cseCandidates(const DataflowGraph &g);
+
+/**
+ * One WS505 rewrite (pass_algebra.cc): @p inst becomes @p newOp with
+ * immediate @p newImm, keeping input port @p keepPort as its (only)
+ * operand; a binary instruction's other port feed is erased. Only
+ * rewrites whose firing set provably survives are reported.
+ */
+struct AlgebraicRewrite
+{
+    InstId inst;
+    Opcode newOp;
+    Value newImm;
+    std::uint8_t keepPort;
+};
+std::vector<AlgebraicRewrite> algebraCandidates(const DataflowGraph &g);
+
 /** Advice wrappers: report each candidate as a WS5xx note. */
 void adviseFold(const DataflowGraph &g, VerifyReport &rep);
 void adviseDce(const DataflowGraph &g, VerifyReport &rep);
 void adviseCopyChain(const DataflowGraph &g, VerifyReport &rep);
+void adviseCse(const DataflowGraph &g, VerifyReport &rep);
+void adviseAlgebra(const DataflowGraph &g, VerifyReport &rep);
 
 } // namespace analyze_detail
 } // namespace ws

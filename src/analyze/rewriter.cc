@@ -1,14 +1,20 @@
 #include "analyze/rewriter.h"
 
 #include <algorithm>
+#include <cstdlib>
 
+#include "analyze/equiv.h"
 #include "analyze/passes.h"
 #include "common/log.h"
 #include "isa/exec.h"
 
 namespace ws {
 
+using analyze_detail::AlgebraicRewrite;
+using analyze_detail::CseCandidate;
+using analyze_detail::algebraCandidates;
 using analyze_detail::copyCandidates;
+using analyze_detail::cseCandidates;
 using analyze_detail::foldCandidates;
 using analyze_detail::liveMask;
 using analyze_detail::producerIndex;
@@ -51,6 +57,78 @@ foldRound(DataflowGraph &g)
         inst.imm = folded;
     }
     return candidates.size();
+}
+
+/**
+ * Apply this round's WS505 rewrites: the instruction keeps exactly one
+ * operand feed (moved to port 0 if needed) and becomes newOp/newImm.
+ */
+Counter
+algebraRound(DataflowGraph &g)
+{
+    const std::vector<AlgebraicRewrite> candidates = algebraCandidates(g);
+    const auto feeds = analyze_detail::feedIndex(g);
+    for (const AlgebraicRewrite &r : candidates) {
+        Instruction &inst = g.inst(r.inst);
+        if (inst.arity() == 2) {
+            const std::uint8_t drop =
+                static_cast<std::uint8_t>(1 - r.keepPort);
+            for (const analyze_detail::PortFeed &f : feeds[r.inst][drop])
+                eraseEdge(g.inst(f.inst), PortRef{r.inst, drop});
+            if (r.keepPort == 1) {
+                for (const analyze_detail::PortFeed &f :
+                     feeds[r.inst][1]) {
+                    for (auto &side : g.inst(f.inst).outs) {
+                        for (PortRef &out : side) {
+                            if (out == PortRef{r.inst, 1})
+                                out.port = 0;
+                        }
+                    }
+                }
+            }
+        }
+        inst.op = r.newOp;
+        inst.imm = r.newImm;
+    }
+    return candidates.size();
+}
+
+/**
+ * Apply this round's WS504 candidates: retarget entry-mov tokens to
+ * the consumers, and graft merged instructions' consumers onto their
+ * keeper (the dropped instruction dies at the next DCE round).
+ */
+Counter
+cseRound(DataflowGraph &g)
+{
+    const std::vector<CseCandidate> candidates = cseCandidates(g);
+    Counter applied = 0;
+    for (const CseCandidate &c : candidates) {
+        if (c.entryMov()) {
+            Instruction &mov = g.inst(c.drop);
+            std::vector<Token> retargeted;
+            for (const Token &t : g.initialTokens()) {
+                if (t.dst == PortRef{c.drop, 0}) {
+                    for (const PortRef &out : mov.outs[0])
+                        retargeted.push_back(Token{t.tag, out, t.value});
+                } else {
+                    retargeted.push_back(t);
+                }
+            }
+            g.initialTokens() = std::move(retargeted);
+            mov.outs[0].clear();  // Unfed and feeding nothing: dead.
+        } else {
+            Instruction &keep = g.inst(c.keep);
+            Instruction &drop = g.inst(c.drop);
+            // Appending verbatim preserves the delivered multiset: a
+            // port fed by both still receives two tokens per tag.
+            keep.outs[0].insert(keep.outs[0].end(), drop.outs[0].begin(),
+                                drop.outs[0].end());
+            drop.outs[0].clear();
+        }
+        ++applied;
+    }
+    return applied;
 }
 
 /** Bypass single-consumer movs: producers feed the consumer directly. */
@@ -145,6 +223,31 @@ compact(const DataflowGraph &g, const std::vector<bool> &removedMask)
     return out;
 }
 
+/**
+ * Test hook: with WS_REWRITE_SABOTAGE set in the environment, corrupt
+ * the last live constant's value. Last, not first: folded results are
+ * appended late in instruction order and feed real consumers, whereas
+ * early constants are often mere triggers whose value nothing reads
+ * (corrupting those is genuinely semantics-preserving). The
+ * equivalence gate must catch the corruption and roll the round back;
+ * tests and CI assert it does.
+ */
+bool
+sabotageForTest(DataflowGraph &g)
+{
+    const char *mode = std::getenv("WS_REWRITE_SABOTAGE");
+    if (mode == nullptr || *mode == '\0')
+        return false;
+    for (InstId i = g.size(); i > 0; --i) {
+        Instruction &inst = g.inst(i - 1);
+        if (inst.op == Opcode::kConst && !inst.outs[0].empty()) {
+            ++inst.imm;
+            return true;
+        }
+    }
+    return false;
+}
+
 } // namespace
 
 VerifyReport
@@ -154,28 +257,67 @@ adviseGraph(const DataflowGraph &g)
     analyze_detail::adviseFold(g, rep);
     analyze_detail::adviseDce(g, rep);
     analyze_detail::adviseCopyChain(g, rep);
+    analyze_detail::adviseCse(g, rep);
+    analyze_detail::adviseAlgebra(g, rep);
     return rep;
 }
 
 RewriteStats
-optimizeGraph(DataflowGraph &g)
+optimizeGraph(DataflowGraph &g, const RewriteOptions &opts)
 {
     RewriteStats stats;
+    const DataflowGraph original = opts.verifyEquiv ? g : DataflowGraph();
     std::vector<bool> removedMask(g.size(), false);
+    bool sabotaged = false;
     constexpr Counter kMaxRounds = 100;  // Fixpoint safety valve.
     while (stats.rounds < kMaxRounds) {
         ++stats.rounds;
+        DataflowGraph snapshot;
+        std::vector<bool> snapshotMask;
+        if (opts.verifyEquiv) {
+            snapshot = g;
+            snapshotMask = removedMask;
+        }
         const Counter folded = foldRound(g);
+        const Counter simplified = opts.algebraic ? algebraRound(g) : 0;
+        const Counter merged = opts.cse ? cseRound(g) : 0;
         const Counter bypassed = bypassRound(g);
         const Counter removed = dceRound(g, removedMask);
+        if (folded + simplified + merged + bypassed + removed == 0)
+            break;
+        if (!sabotaged && folded + simplified + merged + bypassed != 0)
+            sabotaged = sabotageForTest(g);
+        if (opts.verifyEquiv) {
+            const EquivResult check = checkEquivalence(snapshot, g);
+            if (!check.equivalent()) {
+                // Roll the round back and stop: better a missed
+                // optimization than an unproven one.
+                g = std::move(snapshot);
+                removedMask = std::move(snapshotMask);
+                ++stats.rollbacks;
+                stats.rollbackDiff = check.report.render();
+                break;
+            }
+        }
         stats.folded += folded;
+        stats.simplified += simplified;
+        stats.merged += merged;
         stats.bypassed += bypassed;
         stats.removed += removed;
-        if (folded + bypassed + removed == 0)
-            break;
     }
     if (stats.changed())
         g = compact(g, removedMask);
+    if (opts.verifyEquiv && stats.changed()) {
+        // Belt and braces: the compacted result against the original.
+        const EquivResult check = checkEquivalence(original, g);
+        if (!check.equivalent()) {
+            g = original;
+            ++stats.rollbacks;
+            stats.rollbackDiff = check.report.render();
+            stats.folded = stats.bypassed = stats.removed = 0;
+            stats.merged = stats.simplified = 0;
+        }
+    }
     return stats;
 }
 

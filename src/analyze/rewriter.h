@@ -9,37 +9,73 @@
  * sink values, final memory, and completion — and every rewritten
  * graph must still pass the full WS1xx–WS4xx verifier; wsa-opt and the
  * tests assert both.
+ *
+ * By default every rewrite round is translation-validated: the result
+ * is proven equivalent to the pre-round graph by the symbolic checker
+ * (analyze/equiv.h), and a round that cannot be proven is rolled back
+ * and optimization stops — a miscompile can surface as a missed
+ * optimization plus WS8xx findings, never as a wrong program. A final
+ * end-to-end check compares the compacted result against the original.
  */
 
 #ifndef WS_ANALYZE_REWRITER_H_
 #define WS_ANALYZE_REWRITER_H_
+
+#include <string>
 
 #include "isa/graph.h"
 #include "verify/diagnostic.h"
 
 namespace ws {
 
+/** Knobs for optimizeGraph(). Defaults: everything on. */
+struct RewriteOptions
+{
+    bool verifyEquiv = true;  ///< Validate-or-rollback every round.
+    bool cse = true;          ///< WS504 merges + entry-mov retargets.
+    bool algebraic = true;    ///< WS505 identities / strength reduction.
+};
+
 /** What optimizeGraph() did. */
 struct RewriteStats
 {
-    Counter folded = 0;     ///< Ops rewritten to kConst (WS501).
-    Counter bypassed = 0;   ///< Single-consumer movs removed (WS503).
-    Counter removed = 0;    ///< Dead instructions eliminated (WS502).
-    Counter rounds = 0;     ///< Fixpoint iterations.
+    Counter folded = 0;      ///< Ops rewritten to kConst (WS501).
+    Counter bypassed = 0;    ///< Single-consumer movs removed (WS503).
+    Counter removed = 0;     ///< Dead instructions eliminated (WS502).
+    Counter merged = 0;      ///< WS504 merges + entry-mov retargets.
+    Counter simplified = 0;  ///< WS505 algebraic rewrites.
+    Counter rounds = 0;      ///< Fixpoint iterations.
+    Counter rollbacks = 0;   ///< Rounds reverted by the equivalence gate.
 
-    bool changed() const { return folded + bypassed + removed != 0; }
+    /** Rendered WS8xx findings of the last rollback ("" when none). */
+    std::string rollbackDiff;
+
+    bool
+    changed() const
+    {
+        return folded + bypassed + removed + merged + simplified != 0;
+    }
 };
 
 /** Report every optimization opportunity as WS5xx notes (no rewrite). */
 VerifyReport adviseGraph(const DataflowGraph &g);
 
 /**
- * Rewrite @p g in place: constant folding, copy-chain bypass, and
- * dead-node elimination, iterated to fixpoint, then id compaction.
- * Wave-ordering chains are never touched (memory ops are liveness
- * roots), so the wave-ordered memory annotations survive verbatim.
+ * Rewrite @p g in place: constant folding, algebraic simplification,
+ * common-subexpression merging, copy-chain bypass, and dead-node
+ * elimination, iterated to fixpoint, then id compaction. Wave-ordering
+ * chains are never touched (memory ops are liveness roots and never
+ * rewrite candidates), so the wave-ordered memory annotations survive
+ * verbatim.
+ *
+ * With opts.verifyEquiv (the default), every round and the final
+ * result are proven equivalent to their input by checkEquivalence();
+ * unprovable rounds are rolled back (stats.rollbacks, rollbackDiff).
+ * Setting WS_REWRITE_SABOTAGE in the environment deliberately corrupts
+ * one rewritten instruction — a self-test hook proving the gate works.
  */
-RewriteStats optimizeGraph(DataflowGraph &g);
+RewriteStats optimizeGraph(DataflowGraph &g,
+                           const RewriteOptions &opts = RewriteOptions{});
 
 } // namespace ws
 

@@ -1,17 +1,17 @@
 #include "area/area_model.h"
 
-#include <cstdio>
+#include <sstream>
 
 namespace ws {
 
 std::string
 DesignPoint::describe() const
 {
-    char buf[96];
-    std::snprintf(buf, sizeof(buf), "C%u D%u P%u V%u M%u L1:%uK L2:%uM",
-                  clusters, domainsPerCluster, pesPerDomain, virt,
-                  matching, l1KB, l2MB);
-    return buf;
+    std::ostringstream out;
+    out << 'C' << clusters << " D" << domainsPerCluster << " P"
+        << pesPerDomain << " V" << virt << " M" << matching << " L1:"
+        << l1KB << "K L2:" << l2MB << 'M';
+    return out.str();
 }
 
 double

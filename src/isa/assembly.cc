@@ -16,10 +16,9 @@ memSuffix(const MemOrder &mem)
 {
     if (!mem.valid)
         return "";
-    char buf[48];
-    std::snprintf(buf, sizeof(buf), " mem=%d:%d:%d", mem.prev, mem.seq,
-                  mem.next);
-    return buf;
+    std::ostringstream out;
+    out << " mem=" << mem.prev << ':' << mem.seq << ':' << mem.next;
+    return out.str();
 }
 
 /** Tokenize one line, dropping ';' comments. */

@@ -97,6 +97,9 @@ class DataflowGraph
     const std::vector<Instruction> &instructions() const { return insts_; }
 
     const std::vector<Token> &initialTokens() const { return initialTokens_; }
+
+    /** Mutable token access for rewrite passes (entry-mov retargeting). */
+    std::vector<Token> &initialTokens() { return initialTokens_; }
     const std::vector<std::pair<Addr, Value>> &memInit() const
     {
         return memInit_;

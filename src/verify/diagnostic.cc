@@ -28,6 +28,8 @@ diagSeverity(DiagCode code)
       case DiagCode::kFoldableConst:
       case DiagCode::kDeadValue:
       case DiagCode::kCopyChain:
+      case DiagCode::kCommonSubexpr:
+      case DiagCode::kAlgebraicIdentity:
         return Severity::kNote;
       default:
         return Severity::kError;
@@ -110,6 +112,12 @@ diagCodeSummary(DiagCode code)
       case DiagCode::kCopyChain:
         return "mov forwards a value its producer could deliver "
                "directly (copy-chain bypass candidate)";
+      case DiagCode::kCommonSubexpr:
+        return "instruction recomputes a value that is already "
+               "available (common-subexpression / redundant entry mov)";
+      case DiagCode::kAlgebraicIdentity:
+        return "algebraic identity or strength reduction applies "
+               "(x+0, x*1, x*2^k, idempotent same-source operands)";
       case DiagCode::kTokenConservation:
         return "token conservation violated: tokens created != tokens "
                "consumed + tokens resident at quiescence";
@@ -133,6 +141,15 @@ diagCodeSummary(DiagCode code)
       case DiagCode::kQuiescenceMismatch:
         return "quiescence fast path (empty wake set) disagreed with "
                "the structural idle walk";
+      case DiagCode::kSinkMismatch:
+        return "a paired sink's symbolic value stream diverges between "
+               "the two graphs (translation changed an observable value)";
+      case DiagCode::kMemEffectMismatch:
+        return "the wave-ordered memory effect sequence diverges "
+               "(effects reordered, dropped, added, or values changed)";
+      case DiagCode::kCompletionMismatch:
+        return "completion structure diverges (thread count, sink "
+               "count, or expected sink tokens changed)";
     }
     return "unknown diagnostic";
 }
@@ -168,6 +185,8 @@ allDiagCodes()
         DiagCode::kFoldableConst,
         DiagCode::kDeadValue,
         DiagCode::kCopyChain,
+        DiagCode::kCommonSubexpr,
+        DiagCode::kAlgebraicIdentity,
         DiagCode::kTokenConservation,
         DiagCode::kDeadTokens,
         DiagCode::kMatchAccounting,
@@ -176,6 +195,9 @@ allDiagCodes()
         DiagCode::kUnarmedWork,
         DiagCode::kQueuePopEarly,
         DiagCode::kQuiescenceMismatch,
+        DiagCode::kSinkMismatch,
+        DiagCode::kMemEffectMismatch,
+        DiagCode::kCompletionMismatch,
     };
     return kCodes;
 }

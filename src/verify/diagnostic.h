@@ -40,6 +40,8 @@ enum class Severity : std::uint8_t
  *   WS4xx  capacity     (matching-table / instruction-store lint)
  *   WS5xx  optimization advisories (src/analyze rewrite passes)
  *   WS6xx  runtime invariants (src/check, emitted during simulation)
+ *   WS8xx  translation validation (src/analyze/equiv symbolic
+ *          equivalence checker; emitted when two graphs diverge)
  */
 enum class DiagCode : std::uint16_t
 {
@@ -79,6 +81,10 @@ enum class DiagCode : std::uint16_t
     kFoldableConst = 501,         ///< Pure op with all-constant inputs.
     kDeadValue = 502,             ///< No path to a sink or memory effect.
     kCopyChain = 503,             ///< Single-consumer mov is bypassable.
+    kCommonSubexpr = 504,         ///< Instruction recomputes an available
+                                  ///  value (GVN redundancy).
+    kAlgebraicIdentity = 505,     ///< Algebraic identity / strength
+                                  ///  reduction applies.
 
     // Runtime invariants (emitted by src/check during simulation).
     kTokenConservation = 601,     ///< created != consumed + resident.
@@ -89,6 +95,14 @@ enum class DiagCode : std::uint16_t
     kUnarmedWork = 606,           ///< Work on a cycle not armed for.
     kQueuePopEarly = 607,         ///< TimedQueue popped before ready.
     kQuiescenceMismatch = 608,    ///< Fast path vs structural walk.
+
+    // Translation validation (emitted by src/analyze/equiv when two
+    // graphs are compared; "a" is the reference, "b" the candidate).
+    kSinkMismatch = 801,          ///< A sink's value stream diverges.
+    kMemEffectMismatch = 802,     ///< Wave-ordered memory effects
+                                  ///  reordered, dropped, or changed.
+    kCompletionMismatch = 803,    ///< Completion structure (threads,
+                                  ///  sinks, expected tokens) changed.
 };
 
 /** "WS101"-style label for @p code. */

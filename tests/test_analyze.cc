@@ -233,9 +233,12 @@ TEST(Advice, FoldableConstOnHandGraph)
     b.endThread();
     const DataflowGraph g = b.finish();
 
+    // The entry mov's tokens could feed the const triggers directly,
+    // so the retarget advisory (WS504) rides along with the fold.
     const std::vector<DiagCode> codes = adviceCodes(g);
-    ASSERT_EQ(codes.size(), 1u);
+    ASSERT_EQ(codes.size(), 2u);
     EXPECT_EQ(codes[0], DiagCode::kFoldableConst);
+    EXPECT_EQ(codes[1], DiagCode::kCommonSubexpr);
 }
 
 TEST(Advice, DeadValueOnHandGraph)
@@ -251,8 +254,9 @@ TEST(Advice, DeadValueOnHandGraph)
     const DataflowGraph g = b.finish();
 
     const std::vector<DiagCode> codes = adviceCodes(g);
-    ASSERT_EQ(codes.size(), 1u);
+    ASSERT_EQ(codes.size(), 2u);
     EXPECT_EQ(codes[0], DiagCode::kDeadValue);
+    EXPECT_EQ(codes[1], DiagCode::kCommonSubexpr);  // Entry-mov retarget.
 }
 
 TEST(Advice, CopyChainOnHandGraph)
@@ -265,11 +269,13 @@ TEST(Advice, CopyChainOnHandGraph)
     b.endThread();
     const DataflowGraph g = b.finish();
 
-    // The entry mov holds the initial token (no producer to bypass);
-    // only the forwarding mov is advised.
+    // The entry mov holds the initial token (no producer to bypass),
+    // so WS503 names only the forwarding mov; the entry mov itself is
+    // a WS504 retarget candidate instead.
     const std::vector<DiagCode> codes = adviceCodes(g);
-    ASSERT_EQ(codes.size(), 1u);
+    ASSERT_EQ(codes.size(), 2u);
     EXPECT_EQ(codes[0], DiagCode::kCopyChain);
+    EXPECT_EQ(codes[1], DiagCode::kCommonSubexpr);
 }
 
 TEST(Advice, FixturesProduceExactlyTheirSeededCodes)
@@ -279,10 +285,13 @@ TEST(Advice, FixturesProduceExactlyTheirSeededCodes)
         const char *file;
         std::vector<DiagCode> expect;
     } cases[] = {
-        {"opt_foldable.wsa", {DiagCode::kFoldableConst}},
+        {"opt_foldable.wsa",
+         {DiagCode::kFoldableConst, DiagCode::kCommonSubexpr}},
         {"opt_dead_node.wsa",
-         {DiagCode::kDeadValue, DiagCode::kDeadValue}},
-        {"opt_copy_chain.wsa", {DiagCode::kCopyChain}},
+         {DiagCode::kDeadValue, DiagCode::kDeadValue,
+          DiagCode::kCommonSubexpr}},
+        {"opt_copy_chain.wsa",
+         {DiagCode::kCopyChain, DiagCode::kCommonSubexpr}},
         {"opt_optimal.wsa", {}},
     };
     for (const auto &c : cases) {
@@ -295,7 +304,8 @@ TEST(Advice, FixturesProduceExactlyTheirSeededCodes)
 TEST(Advice, AdvisoriesAreNotes)
 {
     for (DiagCode code : {DiagCode::kFoldableConst, DiagCode::kDeadValue,
-                          DiagCode::kCopyChain}) {
+                          DiagCode::kCopyChain, DiagCode::kCommonSubexpr,
+                          DiagCode::kAlgebraicIdentity}) {
         EXPECT_EQ(diagSeverity(code), Severity::kNote);
         EXPECT_NE(diagCodeSummary(code), nullptr);
     }
@@ -325,9 +335,12 @@ TEST(Rewriter, EliminatesTheDeadIsland)
     const Observed before = observe(g);
     const std::size_t size_before = g.size();
 
+    // The dead island (2 nodes) dies, and the entry mov's tokens are
+    // retargeted (WS504) so the mov itself becomes dead too.
     const RewriteStats stats = optimizeGraph(g);
-    EXPECT_EQ(stats.removed, 2u);
-    EXPECT_EQ(g.size(), size_before - 2);
+    EXPECT_EQ(stats.removed, 3u);
+    EXPECT_EQ(stats.merged, 1u);
+    EXPECT_EQ(g.size(), size_before - 3);
     EXPECT_TRUE(verify(g).ok());
     EXPECT_TRUE(adviceCodes(g).empty());
     EXPECT_TRUE(observe(g) == before);

@@ -139,6 +139,23 @@ TEST(AreaModel, MostAreaIsSram)
     EXPECT_GT(sram / AreaModel::clusterArea(d), 0.7);
 }
 
+TEST(AreaModel, DescribeSurvivesExtremeFieldValues)
+{
+    // describe() used to go through a fixed-size stack buffer; seven
+    // maxed-out uint16 fields must render untruncated.
+    DesignPoint d;
+    d.clusters = 65535;
+    d.domainsPerCluster = 65535;
+    d.pesPerDomain = 65535;
+    d.virt = 65535;
+    d.matching = 65535;
+    d.l1KB = 65535;
+    d.l2MB = 65535;
+    EXPECT_EQ(d.describe(),
+              "C65535 D65535 P65535 V65535 M65535 L1:65535K L2:65535M");
+    EXPECT_EQ(DesignPoint{}.describe(), "C1 D4 P8 V128 M128 L1:32K L2:0M");
+}
+
 // ---------------------------------------------------------------------
 // Design-space enumeration
 // ---------------------------------------------------------------------

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/log.h"
 #include "core/simulator.h"
 #include "isa/assembly.h"
@@ -133,6 +135,26 @@ TEST(Assembly, OpcodeNamesRoundTrip)
         EXPECT_EQ(opcodeFromName(std::string(opcodeName(op))), op);
     }
     EXPECT_THROW(opcodeFromName("frobnicate"), FatalError);
+}
+
+TEST(Assembly, MemSuffixSurvivesExtremeSequenceNumbers)
+{
+    // The mem=prev:seq:next disassembly suffix used to go through a
+    // fixed-size stack buffer; INT32_MIN/MAX links must round-trip
+    // untruncated.
+    DataflowGraph g("extreme", 1);
+    Instruction load;
+    load.op = Opcode::kLoad;
+    load.thread = 0;
+    load.mem.valid = true;
+    load.mem.prev = std::numeric_limits<std::int32_t>::min();
+    load.mem.seq = std::numeric_limits<std::int32_t>::max();
+    load.mem.next = std::numeric_limits<std::int32_t>::min();
+    g.addInstruction(std::move(load));
+    const std::string text = disassemble(g);
+    EXPECT_NE(text.find("mem=-2147483648:2147483647:-2147483648"),
+              std::string::npos)
+        << text;
 }
 
 TEST(Assembly, CommentsAndBlankLinesIgnored)

@@ -1,0 +1,417 @@
+/**
+ * @file
+ * Tests for the symbolic equivalence checker (src/analyze/equiv) and the
+ * validate-or-rollback rewriter built on top of it.
+ *
+ * Three layers:
+ *   - canonicalization units: pairs of hand-built graphs the checker
+ *     must prove equivalent (commutativity, constant folding, mov
+ *     chains, immediate/register forms, strength reduction) and pairs
+ *     it must reject with the right WS8xx code;
+ *   - seeded-mutant fixtures: .wsa pairs where the "optimized" side
+ *     carries a classic miscompile (wrong constant, swapped
+ *     non-commutative operands, reordered wave chain, dropped sink);
+ *   - end-to-end: every kernel optimizes under the equivalence gate
+ *     with zero findings, and the optimized graph simulates to the
+ *     byte-identical observable behavior at 1/2/4 threads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze/equiv.h"
+#include "analyze/rewriter.h"
+#include "isa/assembly.h"
+#include "isa/graph_builder.h"
+#include "isa/interp.h"
+#include "kernels/ilp_variants.h"
+#include "kernels/kernel.h"
+
+namespace ws {
+namespace {
+
+DataflowGraph
+loadFixture(const std::string &name)
+{
+    std::ifstream in(std::string(WS_FIXTURE_DIR) + "/" + name);
+    EXPECT_TRUE(in.is_open()) << name;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return assemble(ss.str());
+}
+
+/** True when the report contains @p code (and the check failed). */
+bool
+rejectsWith(const EquivResult &r, DiagCode code)
+{
+    return !r.equivalent() && r.report.has(code);
+}
+
+// --------------------------------------------------------- canonicalization
+
+TEST(EquivCanon, IdenticalGraphIsEquivalent)
+{
+    GraphBuilder b("canon", 1);
+    b.beginThread(0);
+    auto x = b.param(3);
+    auto y = b.param(4);
+    b.sink(b.add(x, y));
+    b.endThread();
+    const DataflowGraph g = b.finish();
+    const EquivResult r = checkEquivalence(g, g);
+    EXPECT_TRUE(r.equivalent()) << r.report.render();
+    EXPECT_GT(r.stats.sinkPairs, 0u);
+}
+
+TEST(EquivCanon, CommutativeOperandSwap)
+{
+    auto build = [](bool swapped) {
+        GraphBuilder b("comm", 1);
+        b.beginThread(0);
+        auto x = b.param(3);
+        auto y = b.param(4);
+        b.sink(swapped ? b.add(y, x) : b.add(x, y));
+        b.endThread();
+        return b.finish();
+    };
+    const EquivResult r = checkEquivalence(build(false), build(true));
+    EXPECT_TRUE(r.equivalent()) << r.report.render();
+}
+
+TEST(EquivCanon, NonCommutativeOperandSwapRejected)
+{
+    auto build = [](bool swapped) {
+        GraphBuilder b("sub", 1);
+        b.beginThread(0);
+        auto x = b.param(10);
+        auto y = b.param(4);
+        b.sink(swapped ? b.sub(y, x) : b.sub(x, y));
+        b.endThread();
+        return b.finish();
+    };
+    const EquivResult r = checkEquivalence(build(false), build(true));
+    EXPECT_TRUE(rejectsWith(r, DiagCode::kSinkMismatch))
+        << r.report.render();
+}
+
+TEST(EquivCanon, ConstantFoldingIsProvable)
+{
+    GraphBuilder a("folded.a", 1);
+    a.beginThread(0);
+    auto t = a.param(1);
+    a.sink(a.mul(a.lit(6, t), a.lit(7, t)));
+    a.endThread();
+
+    GraphBuilder b("folded.b", 1);
+    b.beginThread(0);
+    auto t2 = b.param(1);
+    b.sink(b.lit(42, t2));
+    b.endThread();
+
+    const EquivResult r = checkEquivalence(a.finish(), b.finish());
+    EXPECT_TRUE(r.equivalent()) << r.report.render();
+}
+
+TEST(EquivCanon, WrongFoldedConstantRejected)
+{
+    GraphBuilder a("folded.a", 1);
+    a.beginThread(0);
+    auto t = a.param(1);
+    a.sink(a.mul(a.lit(6, t), a.lit(7, t)));
+    a.endThread();
+
+    GraphBuilder b("folded.bad", 1);
+    b.beginThread(0);
+    auto t2 = b.param(1);
+    b.sink(b.lit(43, t2));
+    b.endThread();
+
+    const EquivResult r = checkEquivalence(a.finish(), b.finish());
+    EXPECT_TRUE(rejectsWith(r, DiagCode::kSinkMismatch))
+        << r.report.render();
+}
+
+TEST(EquivCanon, MovChainsCollapse)
+{
+    GraphBuilder a("mov.a", 1);
+    a.beginThread(0);
+    auto x = a.param(9);
+    a.sink(a.addi(x, 1));
+    a.endThread();
+
+    GraphBuilder b("mov.b", 1);
+    b.beginThread(0);
+    auto y = b.param(9);
+    auto m1 = b.emit(Opcode::kMov, {y});
+    auto m2 = b.emit(Opcode::kMov, {m1});
+    b.sink(b.addi(b.emit(Opcode::kMov, {m2}), 1));
+    b.endThread();
+
+    const EquivResult r = checkEquivalence(a.finish(), b.finish());
+    EXPECT_TRUE(r.equivalent()) << r.report.render();
+}
+
+TEST(EquivCanon, ImmediateAndRegisterFormsMerge)
+{
+    GraphBuilder a("imm.a", 1);
+    a.beginThread(0);
+    auto x = a.param(11);
+    a.sink(a.addi(x, 5));
+    a.endThread();
+
+    GraphBuilder b("imm.b", 1);
+    b.beginThread(0);
+    auto y = b.param(11);
+    b.sink(b.add(y, b.lit(5, y)));
+    b.endThread();
+
+    const EquivResult r = checkEquivalence(a.finish(), b.finish());
+    EXPECT_TRUE(r.equivalent()) << r.report.render();
+}
+
+TEST(EquivCanon, MulByPowerOfTwoEqualsShift)
+{
+    GraphBuilder a("str.a", 1);
+    a.beginThread(0);
+    auto x = a.param(11);
+    a.sink(a.muli(x, 8));
+    a.endThread();
+
+    GraphBuilder b("str.b", 1);
+    b.beginThread(0);
+    auto y = b.param(11);
+    b.sink(b.shli(y, 3));
+    b.endThread();
+
+    const EquivResult r = checkEquivalence(a.finish(), b.finish());
+    EXPECT_TRUE(r.equivalent()) << r.report.render();
+}
+
+TEST(EquivCanon, AlgebraicIdentityIsProvable)
+{
+    GraphBuilder a("id.a", 1);
+    a.beginThread(0);
+    auto x = a.param(11);
+    a.sink(a.add(x, a.lit(0, x)));
+    a.endThread();
+
+    GraphBuilder b("id.b", 1);
+    b.beginThread(0);
+    auto y = b.param(11);
+    b.sink(b.emit(Opcode::kMov, {y}));
+    b.endThread();
+
+    const EquivResult r = checkEquivalence(a.finish(), b.finish());
+    EXPECT_TRUE(r.equivalent()) << r.report.render();
+}
+
+TEST(EquivCanon, DroppedSinkRejected)
+{
+    GraphBuilder a("sinks.a", 1);
+    a.beginThread(0);
+    auto x = a.param(3);
+    a.sink(x);
+    a.sink(a.addi(x, 1));
+    a.endThread();
+
+    GraphBuilder b("sinks.b", 1);
+    b.beginThread(0);
+    auto y = b.param(3);
+    b.sink(y);
+    b.endThread();
+
+    const EquivResult r = checkEquivalence(a.finish(), b.finish());
+    EXPECT_TRUE(rejectsWith(r, DiagCode::kCompletionMismatch))
+        << r.report.render();
+}
+
+TEST(EquivCanon, StoredValueChangeRejected)
+{
+    auto build = [](Value stored) {
+        GraphBuilder b("store", 1);
+        b.beginThread(0);
+        const Addr buf = b.alloc(8);
+        auto x = b.param(3);
+        b.store(b.lit(static_cast<Value>(buf), x),
+                b.addi(x, stored));
+        b.sink(x);
+        b.endThread();
+        return b.finish();
+    };
+    const EquivResult r = checkEquivalence(build(1), build(2));
+    EXPECT_TRUE(rejectsWith(r, DiagCode::kMemEffectMismatch))
+        << r.report.render();
+}
+
+TEST(EquivCanon, LoadOffsetChangeRejected)
+{
+    auto build = [](Value offset) {
+        GraphBuilder b("load", 1);
+        b.beginThread(0);
+        const Addr buf = b.alloc(16);
+        b.initMem(buf, 5);
+        b.initMem(buf + 8, 7);
+        auto x = b.param(3);
+        b.sink(b.load(b.lit(static_cast<Value>(buf), x), offset));
+        b.endThread();
+        return b.finish();
+    };
+    const EquivResult r = checkEquivalence(build(0), build(8));
+    EXPECT_FALSE(r.equivalent());
+}
+
+TEST(EquivCanon, SelfEquivalenceEveryKernel)
+{
+    for (const Kernel &k : kernelRegistry()) {
+        KernelParams p;
+        p.threads = k.multithreaded ? 2 : 1;
+        const DataflowGraph g = k.build(p);
+        const EquivResult r = checkEquivalence(g, g);
+        EXPECT_TRUE(r.equivalent())
+            << k.name << ": " << r.report.render();
+    }
+}
+
+// ------------------------------------------------------- seeded mutants
+
+TEST(EquivFixtures, HandOptimizedTwinProvesEquivalent)
+{
+    const DataflowGraph base = loadFixture("equiv_base.wsa");
+    const DataflowGraph good = loadFixture("equiv_opt_good.wsa");
+    const EquivResult r = checkEquivalence(base, good);
+    EXPECT_TRUE(r.equivalent()) << r.report.render();
+}
+
+TEST(EquivFixtures, WrongConstantRejectedWithWS801)
+{
+    const EquivResult r =
+        checkEquivalence(loadFixture("equiv_base.wsa"),
+                         loadFixture("equiv_wrong_const.wsa"));
+    EXPECT_TRUE(rejectsWith(r, DiagCode::kSinkMismatch))
+        << r.report.render();
+}
+
+TEST(EquivFixtures, SwappedNonCommutativeOperandsRejectedWithWS801)
+{
+    const EquivResult r =
+        checkEquivalence(loadFixture("equiv_base.wsa"),
+                         loadFixture("equiv_swapped_ops.wsa"));
+    EXPECT_TRUE(rejectsWith(r, DiagCode::kSinkMismatch))
+        << r.report.render();
+}
+
+TEST(EquivFixtures, ReorderedWaveChainRejectedWithWS802)
+{
+    const EquivResult r =
+        checkEquivalence(loadFixture("equiv_base.wsa"),
+                         loadFixture("equiv_reordered_chain.wsa"));
+    EXPECT_TRUE(rejectsWith(r, DiagCode::kMemEffectMismatch))
+        << r.report.render();
+}
+
+TEST(EquivFixtures, DroppedSinkRejectedWithWS803)
+{
+    const EquivResult r =
+        checkEquivalence(loadFixture("equiv_base.wsa"),
+                         loadFixture("equiv_dropped_sink.wsa"));
+    EXPECT_TRUE(rejectsWith(r, DiagCode::kCompletionMismatch))
+        << r.report.render();
+}
+
+// ------------------------------------------------------------ end-to-end
+
+/** Sorted sink values + final memory: the observable behavior. */
+struct Observed
+{
+    bool completed = false;
+    std::vector<Value> sinks;
+    std::map<Addr, Value> memory;
+
+    bool operator==(const Observed &o) const
+    {
+        return completed == o.completed && sinks == o.sinks &&
+               memory == o.memory;
+    }
+};
+
+Observed
+observe(const DataflowGraph &g)
+{
+    InterpResult r = interpret(g);
+    Observed o;
+    o.completed = r.completed;
+    o.sinks = std::move(r.sinkValues);
+    std::sort(o.sinks.begin(), o.sinks.end());
+    o.memory = std::move(r.memory);
+    return o;
+}
+
+TEST(EquivEndToEnd, EveryKernelOptimizesDifferentiallyCleanAt124Threads)
+{
+    for (const Kernel &k : kernelRegistry()) {
+        for (const std::uint16_t threads : {1, 2, 4}) {
+            if (threads > 1 && !k.multithreaded)
+                continue;
+            KernelParams p;
+            p.threads = threads;
+            const DataflowGraph original = k.build(p);
+            DataflowGraph optimized = original;
+            const RewriteStats stats = optimizeGraph(optimized);
+            EXPECT_EQ(stats.rollbacks, 0u)
+                << k.name << " t" << threads << ": "
+                << stats.rollbackDiff;
+            const EquivResult r = checkEquivalence(original, optimized);
+            EXPECT_TRUE(r.equivalent())
+                << k.name << " t" << threads << ": "
+                << r.report.render();
+            EXPECT_TRUE(observe(original) == observe(optimized))
+                << k.name << " t" << threads
+                << ": observable behavior diverged after optimization";
+        }
+    }
+}
+
+TEST(EquivEndToEnd, IlpVariantsShrinkUnderCseAndAlgebra)
+{
+    // The expanded WS504/WS505 catalog must earn its keep on the
+    // ILP-sensitivity family (the graphs behind bench_ext_ilp_variants):
+    // every variant loses nodes, provably.
+    for (const Kernel &k : ilpVariantKernels()) {
+        const DataflowGraph original = k.build(KernelParams{});
+        DataflowGraph optimized = original;
+        const RewriteStats stats = optimizeGraph(optimized);
+        EXPECT_EQ(stats.rollbacks, 0u) << k.name << ": "
+                                       << stats.rollbackDiff;
+        EXPECT_LT(optimized.size(), original.size()) << k.name;
+        const EquivResult r = checkEquivalence(original, optimized);
+        EXPECT_TRUE(r.equivalent()) << k.name << ": " << r.report.render();
+        EXPECT_TRUE(observe(original) == observe(optimized)) << k.name;
+    }
+}
+
+TEST(EquivEndToEnd, SabotagedRewriteRollsBackAndLeavesGraphUntouched)
+{
+    const DataflowGraph original = loadFixture("opt_foldable.wsa");
+    DataflowGraph g = original;
+    ::setenv("WS_REWRITE_SABOTAGE", "fold", 1);
+    const RewriteStats stats = optimizeGraph(g);
+    ::unsetenv("WS_REWRITE_SABOTAGE");
+    EXPECT_GE(stats.rollbacks, 1u);
+    EXPECT_NE(stats.rollbackDiff.find("WS801"), std::string::npos)
+        << stats.rollbackDiff;
+    // The rollback restored the pre-round graph: still equivalent to
+    // (indeed byte-identical in behavior with) the original.
+    const EquivResult r = checkEquivalence(original, g);
+    EXPECT_TRUE(r.equivalent()) << r.report.render();
+    EXPECT_TRUE(observe(original) == observe(g));
+}
+
+} // namespace
+} // namespace ws

@@ -29,19 +29,20 @@ if command -v clang-tidy >/dev/null 2>&1; then
         echo "== clang-tidy =="
         # shellcheck disable=SC2086
         clang-tidy -p "$build" --quiet $sources || status=1
-        # The static-analysis, runtime-checking, clocking, and sweep
-        # subsystems hold themselves to a stricter bar: any clang-tidy
-        # finding there is an error, not a warning. (clock is a file
-        # pair inside src/core, not a directory, so it is listed
-        # explicitly.)
+        # The static-analysis, runtime-checking, clocking, sweep,
+        # placement, and area subsystems hold themselves to a stricter
+        # bar: any clang-tidy finding there is an error, not a warning.
+        # (clock is a file pair inside src/core, not a directory, so it
+        # is listed explicitly.)
         strict=$(find "$repo/src/analyze" "$repo/src/verify" \
                      "$repo/src/check" "$repo/src/driver" \
+                     "$repo/src/place" "$repo/src/area" \
                      -name '*.cc' -o -name '*.h' 2>/dev/null)
         strict="$strict
 $repo/src/core/clock.cc
 $repo/src/core/clock.h"
         echo "== clang-tidy (strict: src/analyze src/verify" \
-             "src/check src/driver src/core/clock) =="
+             "src/check src/driver src/place src/area src/core/clock) =="
         # shellcheck disable=SC2086
         clang-tidy -p "$build" --quiet --warnings-as-errors='*' \
             $strict || status=1
@@ -61,6 +62,21 @@ if [ -x "$build/examples/wsa-lint" ]; then
     for bad in "$repo"/tests/fixtures/bad_*.wsa; do
         if "$build/examples/wsa-lint" --quiet "$bad"; then
             echo "lint.sh: $bad unexpectedly passed wsa-lint" >&2
+            status=1
+        fi
+    done
+    # Equivalence fixtures: the hand-optimized twin must prove
+    # equivalent, and every seeded mutant must be rejected with a WS8xx.
+    echo "== wsa-lint --equiv =="
+    "$build/examples/wsa-lint" --equiv --quiet \
+        "$repo/tests/fixtures/equiv_base.wsa" \
+        "$repo/tests/fixtures/equiv_opt_good.wsa" || status=1
+    for mutant in wrong_const swapped_ops reordered_chain dropped_sink; do
+        if "$build/examples/wsa-lint" --equiv --quiet \
+               "$repo/tests/fixtures/equiv_base.wsa" \
+               "$repo/tests/fixtures/equiv_$mutant.wsa"; then
+            echo "lint.sh: equiv_$mutant.wsa unexpectedly proved" \
+                 "equivalent" >&2
             status=1
         fi
     done

@@ -18,6 +18,12 @@
  *   engine        every 8 iterations the accumulated points re-run
  *                 through the SweepEngine at --jobs=1 and --jobs=N,
  *                 which must agree with each other byte for byte
+ *   rewrite       the program built at 1, 2, and 4 threads is pushed
+ *                 through optimizeGraph() under the WS8xx equivalence
+ *                 gate: zero rollbacks, an independent equivalence
+ *                 proof of original vs optimized, and byte-identical
+ *                 observable behavior (sorted sink values + final
+ *                 memory) under the reference interpreter
  *
  * Any divergence (or a program that fails to complete) is a finding:
  * it is printed, written to a repro file in --out (the generator is
@@ -25,29 +31,36 @@
  * exactly), and flips the exit status to 1.
  *
  *   wsfuzz [--seed=N] [--iters=N] [--seconds=S] [--jobs=N]
- *          [--out=DIR] [--quiet]
+ *          [--out=DIR] [--rewrite-only] [--quiet]
  *
  * --seconds bounds wall-clock (0 = unbounded); the run stops at
- * whichever of --iters / --seconds is reached first.
+ * whichever of --iters / --seconds is reached first. --rewrite-only
+ * skips the cycle-level oracles and runs only the (much cheaper)
+ * rewrite oracle, making 10k+ iteration sessions practical.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "analyze/equiv.h"
+#include "analyze/rewriter.h"
 #include "common/rng.h"
 #include "core/processor.h"
 #include "core/simulator.h"
 #include "driver/static_prune.h"
 #include "driver/sweep_engine.h"
 #include "isa/graph_builder.h"
+#include "isa/interp.h"
 
 using namespace ws;
 
@@ -60,6 +73,7 @@ struct Options
     double seconds = 0.0;
     unsigned jobs = 4;
     std::string outDir = "wsfuzz_corpus";
+    bool rewriteOnly = false;
     bool quiet = false;
 };
 
@@ -68,7 +82,7 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: wsfuzz [--seed=N] [--iters=N] [--seconds=S] "
-                 "[--jobs=N] [--out=DIR] [--quiet]\n");
+                 "[--jobs=N] [--out=DIR] [--rewrite-only] [--quiet]\n");
     return 2;
 }
 
@@ -433,6 +447,80 @@ fuzzOne(Fuzzer &fz, std::uint64_t seed, std::vector<SimJob> &batch)
     batch.push_back(std::move(job));
 }
 
+// ---------------------------------------------------------------------
+// Rewrite oracle (interpreter-level, no cycle simulation)
+// ---------------------------------------------------------------------
+
+/** Observable behavior: sorted sink values + final memory image. */
+struct Observed
+{
+    bool completed = false;
+    std::vector<Value> sinks;
+    std::map<Addr, Value> memory;
+
+    bool operator==(const Observed &o) const
+    {
+        return completed == o.completed && sinks == o.sinks &&
+               memory == o.memory;
+    }
+};
+
+Observed
+observe(const DataflowGraph &g)
+{
+    InterpResult r = interpret(g);
+    Observed o;
+    o.completed = r.completed;
+    o.sinks = std::move(r.sinkValues);
+    std::sort(o.sinks.begin(), o.sinks.end());
+    o.memory = std::move(r.memory);
+    return o;
+}
+
+/**
+ * Push the seed's program (at 1, 2, and 4 threads) through the
+ * translation-validated optimizer: the gate must never roll back, an
+ * independent WS8xx check of original vs optimized must prove them
+ * equivalent, and both must behave identically under the reference
+ * interpreter.
+ */
+void
+rewriteOracle(Fuzzer &fz, std::uint64_t seed)
+{
+    const ProcessorConfig cfg = ProcessorConfig::baseline();
+    for (const std::uint16_t threads : {1, 2, 4}) {
+        const DataflowGraph original =
+            RandomProgram(seed, threads).build();
+        DataflowGraph optimized = original;
+        const RewriteStats stats = optimizeGraph(optimized);
+        if (stats.rollbacks != 0) {
+            fz.report(seed, threads, cfg, "rewrite-rollback",
+                      "  equivalence gate rolled a round back:\n" +
+                          stats.rollbackDiff);
+            continue;
+        }
+        const EquivResult eq = checkEquivalence(original, optimized);
+        if (!eq.equivalent()) {
+            fz.report(seed, threads, cfg, "rewrite-equiv",
+                      eq.report.render());
+        }
+        const Observed a = observe(original);
+        const Observed b = observe(optimized);
+        if (!(a == b)) {
+            std::ostringstream detail;
+            detail << "  original (" << original.size()
+                   << " insts): completed=" << a.completed << ", "
+                   << a.sinks.size() << " sinks, " << a.memory.size()
+                   << " memory words\n  optimized (" << optimized.size()
+                   << " insts): completed=" << b.completed << ", "
+                   << b.sinks.size() << " sinks, " << b.memory.size()
+                   << " memory words";
+            fz.report(seed, threads, cfg, "rewrite-differential",
+                      detail.str());
+        }
+    }
+}
+
 void
 flushBatch(Fuzzer &fz, std::vector<SimJob> &batch)
 {
@@ -478,6 +566,8 @@ main(int argc, char **argv)
                 std::strtoul(arg.c_str() + 7, nullptr, 10));
         } else if (arg.rfind("--out=", 0) == 0) {
             opt.outDir = arg.substr(6);
+        } else if (arg == "--rewrite-only") {
+            opt.rewriteOnly = true;
         } else if (arg == "--quiet") {
             opt.quiet = true;
         } else {
@@ -500,7 +590,9 @@ main(int argc, char **argv)
     for (std::uint64_t i = 0; i < opt.iters; ++i) {
         if (opt.seconds > 0.0 && elapsed() >= opt.seconds)
             break;
-        fuzzOne(fz, opt.seed + i, batch);
+        if (!opt.rewriteOnly)
+            fuzzOne(fz, opt.seed + i, batch);
+        rewriteOracle(fz, opt.seed + i);
         ++fz.iterations;
         if (batch.size() >= 8)
             flushBatch(fz, batch);
