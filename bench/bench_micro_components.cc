@@ -9,6 +9,7 @@
 
 #include "common/rng.h"
 #include "core/simulator.h"
+#include "core/soa.h"
 #include "kernels/kernel.h"
 #include "memory/cache.h"
 #include "network/mesh.h"
@@ -81,6 +82,98 @@ BM_TimedQueuePushPop(benchmark::State &state)
     }
 }
 BENCHMARK(BM_TimedQueuePushPop);
+
+void
+BM_TokenPoolAllocRelease(benchmark::State &state)
+{
+    // The free-list churn pattern of the domain queues: a small working
+    // set of live tokens recycling through the same few cache lines.
+    TokenPool pool;
+    Rng rng(1);
+    TokenHandle ring[16] = {};
+    for (int i = 0; i < 16; ++i)
+        ring[i] = pool.alloc(Token{Tag{0, 0}, PortRef{0, 0}, i});
+    std::size_t at = 0;
+    for (auto _ : state) {
+        pool.release(ring[at]);
+        ring[at] = pool.alloc(Token{
+            Tag{0, static_cast<WaveNum>(rng.range(8))},
+            PortRef{static_cast<InstId>(rng.range(64)), 0}, 7});
+        benchmark::DoNotOptimize(pool.get(ring[at]).value);
+        at = (at + 1) % 16;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TokenPoolAllocRelease);
+
+void
+BM_TimedTokenQueuePushPop(benchmark::State &state)
+{
+    // Same traffic shape as BM_TimedQueuePushPop, but through the SoA
+    // (pool + sorted handle vector) token queue the event core uses —
+    // the head-to-head is the cost of the flattened layout per op.
+    TokenPool pool;
+    TimedTokenQueue q(&pool);
+    const Token t{Tag{0, 0}, PortRef{3, 0}, 42};
+    Cycle now = 0;
+    for (auto _ : state) {
+        q.push(t, now + 3);
+        q.push(t, now + 1);
+        ++now;
+        while (q.ready(now))
+            benchmark::DoNotOptimize(q.pop(now).value);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TimedTokenQueuePushPop);
+
+void
+BM_OverflowMapInsertEraseCycle(benchmark::State &state)
+{
+    // The matching table's overflow path under oversubscription: probe,
+    // insert, merge, erase — at a residency set by the benchmark arg.
+    OverflowMap map;
+    Rng rng(1);
+    const std::uint64_t residency =
+        static_cast<std::uint64_t>(state.range(0));
+    for (std::uint64_t k = 0; k < residency; ++k) {
+        bool inserted = false;
+        map.insert(k * 0x9e3779b97f4a7c15ULL, inserted);
+    }
+    std::uint64_t next = residency;
+    for (auto _ : state) {
+        bool inserted = false;
+        const std::uint64_t key = next++ * 0x9e3779b97f4a7c15ULL;
+        const std::size_t slot = map.insert(key, inserted);
+        map.ops(slot)[0] = 1;
+        const std::size_t found = map.find(key);
+        benchmark::DoNotOptimize(map.presentBits(found));
+        map.erase(found);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OverflowMapInsertEraseCycle)->Arg(8)->Arg(256);
+
+void
+BM_SmallVecFanOut(benchmark::State &state)
+{
+    // The execute-stage fan-out list: arg = consumers per instruction.
+    // Below the inline capacity this must not allocate at all.
+    const int consumers = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        SmallVec<Token, 4> out;
+        for (int i = 0; i < consumers; ++i)
+            out.push_back(Token{Tag{0, 0},
+                                PortRef{static_cast<InstId>(i), 0}, i});
+        Value sum = 0;
+        for (const Token &t : out)
+            sum += t.value;
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::size_t>(consumers));
+}
+BENCHMARK(BM_SmallVecFanOut)->Arg(2)->Arg(4)->Arg(12);
 
 void
 BM_MeshAllToAll(benchmark::State &state)

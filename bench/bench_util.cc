@@ -46,6 +46,8 @@ parseArgs(int argc, char **argv)
             opts.pruneStatic = true;
         } else if (std::strcmp(arg, "--always-tick") == 0) {
             opts.alwaysTick = true;
+        } else if (std::strcmp(arg, "--reference-core") == 0) {
+            opts.referenceCore = true;
         } else if (std::strcmp(arg, "--check") == 0) {
             opts.check = CheckLevel::kFull;
         } else if (std::strncmp(arg, "--check=", 8) == 0) {
@@ -61,6 +63,7 @@ parseArgs(int argc, char **argv)
                          "[--scale=N] [--seed=N] [--jobs=N] "
                          "[--out-dir=PATH] [--no-json] "
                          "[--prune-static] [--always-tick] "
+                         "[--reference-core] "
                          "[--check[=off|cheap|full]]\n", argv[0]);
             std::exit(2);
         }
@@ -124,6 +127,7 @@ makeJob(const Kernel &kernel, const ProcessorConfig &cfg, int threads,
     // fingerprint, so differently-instrumented runs never alias in the
     // SimCache.
     job.cfg.alwaysTick = opts.alwaysTick;
+    job.cfg.referenceCore = opts.referenceCore;
     job.cfg.checkLevel = opts.check;
     job.maxCycles = opts.quick ? opts.maxCycles / 2 : opts.maxCycles;
     job.graphFp = kernelFingerprint(kernel, params);
@@ -554,6 +558,7 @@ BenchReport::BenchReport(std::string name, const BenchOptions &opts)
                                 : opts_.jobs;
     o["prune_static"] = opts_.pruneStatic;
     o["always_tick"] = opts_.alwaysTick;
+    o["reference_core"] = opts_.referenceCore;
 }
 
 void
@@ -657,6 +662,7 @@ BenchReport::finish()
     const ActivityTotals activity = activityTotals();
     Json act = Json::object();
     act["always_tick"] = opts_.alwaysTick;
+    act["reference_core"] = opts_.referenceCore;
     act["active_cycles"] = activity.activeCycles;
     act["skipped_cycles"] = activity.skippedCycles;
     act["skip_rate"] = activity.skipRate();

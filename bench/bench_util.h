@@ -52,6 +52,10 @@ struct BenchOptions
                                ///  component every cycle instead of
                                ///  activity-gated wakeups. Results must
                                ///  be byte-identical either way.
+    bool referenceCore = false;  ///< Reference cycle core: poll every
+                               ///  PE's queues instead of the event
+                               ///  rings. Results must be byte-identical
+                               ///  either way (the SoA parity oracle).
     CheckLevel check = CheckLevel::kOff;  ///< wscheck runtime invariant
                                ///  level (--check[=cheap|full]). Never
                                ///  changes any reported statistic;
@@ -62,7 +66,7 @@ struct BenchOptions
 
 /** Parse --quick / --max-cycles=N / --scale=N / --seed=N / --jobs=N /
  *  --out-dir=PATH / --no-json / --prune-static / --always-tick /
- *  --check[=LEVEL]. */
+ *  --reference-core / --check[=LEVEL]. */
 BenchOptions parseArgs(int argc, char **argv);
 
 /** The process-wide sweep engine (created on first use from @p opts;

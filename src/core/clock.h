@@ -33,6 +33,7 @@
 #ifndef WS_CORE_CLOCK_H_
 #define WS_CORE_CLOCK_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -73,13 +74,47 @@ class Clocked
 class WakeupScheduler
 {
   public:
+    WakeupScheduler() = default;
+
+    /**
+     * @p use_heap false selects the heapless small-ring mode: wake()
+     * skips the lazy heap entirely and nearest-wakeup queries go
+     * through minArmed()'s linear scan. For single-digit rings (a
+     * domain's eight PEs) the scan beats the heap's push/prune churn
+     * and allocates nothing; nextWake() is then off-limits (the heap
+     * it prunes is never fed).
+     */
+    explicit WakeupScheduler(bool use_heap) : useHeap_(use_heap) {}
+
     /** Register a component; ids are assigned densely in call order.
-     *  @p c may be null for components ticked by their owner. */
-    ComponentId add(Clocked *c);
+     *  @p c may be null for components ticked by their owner.
+     *  (Header-only so layers below src/core — the PEs feeding their
+     *  domain's event ring — can use the scheduler without a link
+     *  cycle.) */
+    ComponentId
+    add(Clocked *c)
+    {
+        const ComponentId id = static_cast<ComponentId>(components_.size());
+        components_.push_back(c);
+        armed_.push_back(kCycleNever);
+        return id;
+    }
 
     /** Arm @p id at cycle @p at if that is earlier than its current
      *  wakeup. kCycleNever is ignored. */
-    void wake(ComponentId id, Cycle at);
+    void
+    wake(ComponentId id, Cycle at)
+    {
+        if (at >= armed_[id])
+            return;  // Already armed at least as early (or at == never).
+        if (armed_[id] == kCycleNever)
+            ++armedCount_;
+        armed_[id] = at;
+        if (useHeap_) {
+            heap_.push_back(HeapEntry{at, id});
+            std::push_heap(heap_.begin(), heap_.end(), later);
+        }
+    }
 
     /** True when @p id has a wakeup at or before @p now. */
     bool
@@ -89,11 +124,44 @@ class WakeupScheduler
     }
 
     /** Disarm @p id (called just before a due component ticks). */
-    void consume(ComponentId id);
+    void
+    consume(ComponentId id)
+    {
+        if (armed_[id] == kCycleNever)
+            return;
+        armed_[id] = kCycleNever;
+        --armedCount_;
+        // The heap entry goes stale and is pruned by the next nextWake().
+    }
 
     /** Earliest armed wakeup cycle (kCycleNever when none). Prunes
      *  stale heap entries, hence non-const. */
-    Cycle nextWake();
+    Cycle
+    nextWake()
+    {
+        while (!heap_.empty()) {
+            const HeapEntry &top = heap_.front();
+            if (armed_[top.id] == top.at)
+                return top.at;
+            // Stale: the component was consumed (and possibly re-armed
+            // with a fresh entry) since this was pushed.
+            std::pop_heap(heap_.begin(), heap_.end(), later);
+            heap_.pop_back();
+        }
+        return kCycleNever;
+    }
+
+    /** Earliest armed wakeup by linear scan over the authoritative
+     *  array (kCycleNever when none). The heapless-ring counterpart of
+     *  nextWake(); exact in either mode. */
+    Cycle
+    minArmed() const
+    {
+        Cycle next = kCycleNever;
+        for (const Cycle at : armed_)
+            next = std::min(next, at);
+        return next;
+    }
 
     /** O(1): true when any component is armed. An un-armed machine can
      *  never make progress again (quiescence fast path). */
@@ -123,6 +191,7 @@ class WakeupScheduler
     std::vector<Cycle> armed_;       ///< Authoritative wakeup per id.
     std::vector<HeapEntry> heap_;    ///< Lazy min-heap (may hold stale).
     std::size_t armedCount_ = 0;
+    bool useHeap_ = true;            ///< False: heapless ring (minArmed).
 };
 
 } // namespace ws

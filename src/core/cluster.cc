@@ -21,6 +21,8 @@ Cluster::Cluster(const ProcessorConfig &cfg, const DataflowGraph *graph,
         domains_.push_back(std::make_unique<Domain>(cfg, graph, placement,
                                                     traffic, id, d));
     }
+    domNext_.assign(domains_.size(), 0);  // Armed at start, like Domain.
+    domOutNext_.assign(domains_.size(), kCycleNever);
 }
 
 void
@@ -33,12 +35,15 @@ Cluster::receiveOperand(const OperandMsg &msg, Cycle now)
         dom.pushMemIn(msg.token, now + cfg_.lat.netInject);
     else
         dom.pushNetIn(msg.token, now + cfg_.lat.netInject);
+    domNext_[msg.dst.domain] =
+        std::min(domNext_[msg.dst.domain], now + cfg_.lat.netInject);
 }
 
 void
 Cluster::receiveMemRequest(const MemRequest &req, Cycle now)
 {
     sbIn_.push(req, now + cfg_.lat.sbLocal);
+    memNext_ = std::min(memNext_, now + cfg_.lat.sbLocal);
 }
 
 void
@@ -49,11 +54,12 @@ Cluster::tick(Cycle now)
     // Memory side first: the store buffer consumes completions the L1
     // produced last cycle, then issues new work. The L1/SB pair is
     // gated as one block — skipping it is a no-op exactly when the L1
-    // has nothing due, no request is inbound, and the buffer is empty
-    // (load completions only exist intra-tick, produced by the L1 tick
-    // and consumed by the SB tick right after).
-    const bool mem_due = !gated || !sb_->idle() || sbIn_.ready(now) ||
-                         l1_->nextEventCycle() <= now;
+    // has nothing due, no request is inbound, and the store buffer's
+    // own event cache shows no due work (load completions only exist
+    // intra-tick, produced by the L1 tick and consumed by the SB tick
+    // right after; a buffer that is merely *occupied* — parked ops
+    // waiting on in-flight tokens — no longer forces the block on).
+    const bool mem_due = !gated || memNext_ <= now;
     if (mem_due) {
         l1_->tick(now);
         while (sbIn_.ready(now))
@@ -77,6 +83,8 @@ Cluster::tick(Cycle now)
                                      TrafficKind::kMemory);
                     domains_.at(dst.domain)->pushMemIn(
                         token, now + cfg_.lat.sbLocal);
+                    domNext_[dst.domain] = std::min(
+                        domNext_[dst.domain], now + cfg_.lat.sbLocal);
                 } else {
                     NetMessage msg;
                     msg.src = id_;
@@ -89,54 +97,88 @@ Cluster::tick(Cycle now)
             }
         }
         sb_->drainLoadDones().clear();
+
+        // Exact again until the next external event lowers it.
+        memNext_ = std::min({l1_->nextEventCycle(), sb_->nextEventCycle(),
+                             sbIn_.nextReady()});
+        cohPending_ = !l1_->outbox().empty();
+        if (sb_->waveDirty())
+            sbWaveHint_ = true;
+    } else {
+        // No L1 tick, so nothing new could land in the outbox; traffic
+        // delivered via l1().receive() is flagged by the processor at
+        // the receive site itself.
+        cohPending_ = false;
     }
 
-    for (auto &dom : domains_) {
-        if (!gated || dom->nextEventCycle() <= now)
-            dom->tick(now);
-    }
-
-    // Intra-cluster network: tokens leaving each domain's NET pseudo-PE.
-    for (auto &dom : domains_) {
-        while (dom->netOut().ready(now)) {
-            Token token = dom->netOut().pop(now);
-            const PeCoord dst = place_->home(token.dst.inst);
-            if (dst.cluster == id_) {
-                traffic_->record(TrafficLevel::kIntraCluster,
-                                 TrafficKind::kOperand);
-                interDomain_.push(token, now + cfg_.lat.clusterLink);
-            } else {
-                NetMessage msg;
-                msg.src = id_;
-                msg.dst = dst.cluster;
-                msg.vc = 0;
-                msg.memTraffic = false;
-                msg.payload = OperandMsg{token, dst, false};
-                outboundNet_.push_back(std::move(msg));
-            }
+    for (DomainId d = 0; d < domains_.size(); ++d) {
+        if (!gated || domNext_[d] <= now) {
+            Domain &dom = *domains_[d];
+            dom.tick(now);
+            domNext_[d] = dom.nextEventCycle();
+            // Refresh immediately (not at the bottom): the tick may
+            // have pushed gateway output, and with zero-latency config
+            // it could even be ready this very cycle.
+            domOutNext_[d] = std::min(dom.netOut().nextReady(),
+                                      dom.memOut().nextReady());
+            outNext_ = std::min(outNext_, domOutNext_[d]);
         }
     }
 
-    // MEM pseudo-PEs: forward memory requests toward the owning store
-    // buffer (rate-limited per domain).
-    for (auto &dom : domains_) {
-        for (unsigned i = 0;
-             i < cfg_.memForwardRate && dom->memOut().ready(now); ++i) {
-            MemRequest req = dom->memOut().pop(now);
-            const ClusterId home =
-                place_->threadHomeCluster(req.tag.thread);
-            if (home == id_) {
-                traffic_->record(TrafficLevel::kIntraCluster,
-                                 TrafficKind::kMemory);
-                sbIn_.push(req, now + cfg_.lat.sbLocal);
-            } else {
-                NetMessage msg;
-                msg.src = id_;
-                msg.dst = home;
-                msg.vc = 0;
-                msg.memTraffic = true;
-                msg.payload = req;
-                outboundNet_.push_back(std::move(msg));
+    // Gateway drains, gated as a block on the cached min over the
+    // per-domain caches: most ticks move no gateway traffic at all.
+    if (!gated || outNext_ <= now) {
+        // Intra-cluster network: tokens leaving each domain's NET
+        // pseudo-PE.
+        for (DomainId d = 0; d < domains_.size(); ++d) {
+            if (gated && domOutNext_[d] > now)
+                continue;
+            Domain *dom = domains_[d].get();
+            while (dom->netOut().ready(now)) {
+                Token token = dom->netOut().pop(now);
+                const PeCoord dst = place_->home(token.dst.inst);
+                if (dst.cluster == id_) {
+                    traffic_->record(TrafficLevel::kIntraCluster,
+                                     TrafficKind::kOperand);
+                    interDomain_.push(token, now + cfg_.lat.clusterLink);
+                } else {
+                    NetMessage msg;
+                    msg.src = id_;
+                    msg.dst = dst.cluster;
+                    msg.vc = 0;
+                    msg.memTraffic = false;
+                    msg.payload = OperandMsg{token, dst, false};
+                    outboundNet_.push_back(std::move(msg));
+                }
+            }
+        }
+
+        // MEM pseudo-PEs: forward memory requests toward the owning
+        // store buffer (rate-limited per domain).
+        for (DomainId d = 0; d < domains_.size(); ++d) {
+            if (gated && domOutNext_[d] > now)
+                continue;
+            Domain *dom = domains_[d].get();
+            for (unsigned i = 0;
+                 i < cfg_.memForwardRate && dom->memOut().ready(now);
+                 ++i) {
+                MemRequest req = dom->memOut().pop(now);
+                const ClusterId home =
+                    place_->threadHomeCluster(req.tag.thread);
+                if (home == id_) {
+                    traffic_->record(TrafficLevel::kIntraCluster,
+                                     TrafficKind::kMemory);
+                    sbIn_.push(req, now + cfg_.lat.sbLocal);
+                    memNext_ = std::min(memNext_, now + cfg_.lat.sbLocal);
+                } else {
+                    NetMessage msg;
+                    msg.src = id_;
+                    msg.dst = home;
+                    msg.vc = 0;
+                    msg.memTraffic = true;
+                    msg.payload = req;
+                    outboundNet_.push_back(std::move(msg));
+                }
             }
         }
     }
@@ -146,23 +188,28 @@ Cluster::tick(Cycle now)
         Token token = interDomain_.pop(now);
         const PeCoord dst = place_->home(token.dst.inst);
         domains_.at(dst.domain)->pushNetIn(token, now + cfg_.lat.netInject);
+        domNext_[dst.domain] =
+            std::min(domNext_[dst.domain], now + cfg_.lat.netInject);
     }
 
     // Refresh the next-event cache the processor re-arms this cluster
-    // from. A non-idle store buffer conservatively pins the cluster to
-    // next cycle: its internal state (parked stores, issue chains,
-    // outstanding lines) has no single next-ready view.
-    Cycle next = l1_->nextEventCycle();
-    if (!sb_->idle())
-        next = std::min(next, now + 1);
-    next = std::min(next, sbIn_.nextReady());
-    next = std::min(next, interDomain_.nextReady());
-    for (const auto &dom : domains_) {
-        next = std::min(next, dom->nextEventCycle());
-        next = std::min(next, dom->netOut().nextReady());
-        next = std::min(next, dom->memOut().nextReady());
+    // from. The store buffer maintains its own next-event view (chain
+    // issue, PSQ drains, parked-retry arming), so an occupied-but-
+    // stalled buffer no longer pins the cluster to every cycle.
+    Cycle next = std::min(memNext_, interDomain_.nextReady());
+    Cycle out_next = kCycleNever;
+    for (DomainId d = 0; d < domains_.size(); ++d) {
+        if (domOutNext_[d] <= now) {
+            // The drains above popped from (or were rate-limited on)
+            // these queues; everyone else's cache is still exact.
+            domOutNext_[d] = std::min(domains_[d]->netOut().nextReady(),
+                                      domains_[d]->memOut().nextReady());
+        }
+        next = std::min(next, domNext_[d]);
+        out_next = std::min(out_next, domOutNext_[d]);
     }
-    nextEvent_ = next;
+    outNext_ = out_next;
+    nextEvent_ = std::min(next, out_next);
 }
 
 void

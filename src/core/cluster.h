@@ -16,6 +16,7 @@
 #include "core/clock.h"
 #include "core/config.h"
 #include "core/domain.h"
+#include "core/soa.h"
 #include "memory/coherence.h"
 #include "memory/main_memory.h"
 #include "memory/store_buffer.h"
@@ -56,8 +57,31 @@ class Cluster : public Clocked
     /** Memory request arriving from the grid network. */
     void receiveMemRequest(const MemRequest &req, Cycle now);
 
+    /**
+     * Lower the cached memory-side next-event cycle. The processor
+     * calls this when it delivers coherence traffic straight into this
+     * cluster's L1 (l1().receive()) — the one path that changes the
+     * L1/SB event horizon without passing through tick() or a
+     * cluster-local push site.
+     */
+    void noteMemEvent(Cycle at) { memNext_ = std::min(memNext_, at); }
+
     /** Messages this cluster wants to put on the grid network. */
     std::deque<NetMessage> &outboundNet() { return outboundNet_; }
+
+    /**
+     * True when the last tick left coherence messages in the L1 outbox.
+     * Computed at the end of tick() while the L1 is hot in cache, so
+     * the processor's routing pass learns whether a visit is needed
+     * without chasing into the L1 itself. Traffic that lands in the
+     * outbox outside tick() (l1().receive()) is flagged directly by the
+     * caller, so a false here never hides work.
+     */
+    bool cohPending() const { return cohPending_; }
+
+    /** See sbWaveHint_. */
+    bool sbWaveHint() const { return sbWaveHint_; }
+    void clearSbWaveHint() { sbWaveHint_ = false; }
 
     Domain &domain(DomainId d) { return *domains_.at(d); }
     const Domain &domain(DomainId d) const { return *domains_.at(d); }
@@ -88,12 +112,50 @@ class Cluster : public Clocked
     ClusterId id_;
 
     std::vector<std::unique_ptr<Domain>> domains_;
+    /**
+     * Dense mirrors of each domain's next-event state, so the per-tick
+     * gating/drain/refresh loops read one cache line instead of chasing
+     * four separately-allocated Domain objects (and their queues).
+     * domNext_[d] mirrors domains_[d]->nextEventCycle(): recomputed
+     * after the domain ticks, lowered at every push this cluster routes
+     * into it — which are the only paths that lower the original.
+     * domOutNext_[d] caches min(netOut, memOut nextReady): the outbound
+     * gateways are written only by the domain's own tick, so a refresh
+     * after each tick (plus after a drain pops them) keeps it exact.
+     */
+    std::vector<Cycle> domNext_;
+    std::vector<Cycle> domOutNext_;
+    /**
+     * min over domOutNext_, so the common no-gateway-traffic tick skips
+     * both drain loops with one compare. Lowered whenever a
+     * domOutNext_[d] entry is lowered; recomputed with them in the
+     * end-of-tick refresh, hence always exact at the gate.
+     */
+    Cycle outNext_ = kCycleNever;
     std::unique_ptr<L1Controller> l1_;
     std::unique_ptr<StoreBuffer> sb_;
     RuntimeChecker *checker_ = nullptr;  ///< Null when checking is off.
     Cycle nextEvent_ = 0;  ///< See nextEventCycle(); 0 = armed at start.
+    /**
+     * Dense cache of min(l1, store buffer, sbIn next event), so the
+     * per-tick memory gate and refresh read one member instead of
+     * chasing the separately-allocated L1 and SB objects. Recomputed
+     * exactly after every run of the memory block; lowered by every
+     * cluster-local sbIn push and by noteMemEvent() in between.
+     */
+    Cycle memNext_ = kCycleNever;
+    bool cohPending_ = false;  ///< See cohPending().
+    /**
+     * Hint that the store buffer's wave-dirty flag is set, copied out
+     * while the buffer is hot at the end of the memory block. The
+     * processor's per-cycle wave-window refresh reads this instead of
+     * chasing into the (cold) StoreBuffer object; it clears both flags
+     * together, so hint and flag agree whenever the processor looks.
+     */
+    bool sbWaveHint_ = false;
 
-    TimedQueue<Token> interDomain_;   ///< Cross-domain operand hops.
+    TokenPool pool_;  ///< Backs the cluster-level token queue below.
+    TimedTokenQueue interDomain_{&pool_};  ///< Cross-domain operand hops.
     TimedQueue<MemRequest> sbIn_;     ///< Requests en route to the SB.
     std::deque<NetMessage> outboundNet_;
 };

@@ -94,6 +94,7 @@ ProcessorConfig::fingerprint() const
              static_cast<std::uint64_t>(relaxLimits),
              static_cast<std::uint64_t>(strictVerify),
              static_cast<std::uint64_t>(alwaysTick),
+             static_cast<std::uint64_t>(referenceCore),
              static_cast<std::uint64_t>(checkLevel),
          }) {
         h = hashCombine(h, v);

@@ -84,6 +84,18 @@ struct ProcessorConfig
     bool alwaysTick = false;
 
     /**
+     * Reference cycle core: keep the polled per-PE tick loops inside an
+     * active domain instead of the event-ring visits of the SoA core
+     * (src/core/domain.cc). Both cores compute identical next-event
+     * values — so scheduler bookkeeping, activity.* counters, and every
+     * simulation result are byte-identical (the parity suite and the
+     * wsfuzz core oracle enforce it); this mode exists as that oracle
+     * and as the debugging fallback if the event rings are ever
+     * suspected. Exposed as --reference-core on every bench harness.
+     */
+    bool referenceCore = false;
+
+    /**
      * Runtime invariant checking (src/check). kOff constructs no
      * checker; kCheap adds O(1) event hooks and quiescence audits;
      * kFull adds periodic structural audits and (with alwaysTick) the

@@ -10,16 +10,23 @@ namespace ws {
 Domain::Domain(const ProcessorConfig &cfg, const DataflowGraph *graph,
                const Placement *placement, TrafficStats *traffic,
                ClusterId cluster, DomainId id)
-    : cfg_(cfg), place_(placement), traffic_(traffic)
+    : cfg_(cfg), place_(placement), traffic_(traffic),
+      eventCore_(!cfg.alwaysTick && !cfg.referenceCore)
 {
     base_.cluster = cluster;
     base_.domain = id;
     pes_.reserve(cfg.pesPerDomain);
+    duePes_.reserve(cfg.pesPerDomain);
     for (PeId p = 0; p < cfg.pesPerDomain; ++p) {
         PeCoord coord{cluster, id, p};
         pes_.push_back(std::make_unique<ProcessingElement>(
             cfg.pe, graph, placement, coord));
         pes_.back()->setFpu(&fpu_);
+        // Ring id == PE index; the ring is fed only in event mode (the
+        // polled reference core scans nextEventCycle() directly).
+        const ComponentId ring_id = peRing_.add(nullptr);
+        if (eventCore_)
+            pes_.back()->setWakeup(&peRing_, ring_id);
     }
     // Couple PE pairs into pods (an odd trailing PE stays unpaired).
     for (std::size_t p = 0; p + 1 < pes_.size(); p += 2) {
@@ -41,75 +48,116 @@ Domain::assignHomes(const std::vector<std::vector<InstId>> &per_pe)
 void
 Domain::tick(Cycle now)
 {
-    // Activity gating: a PE whose queues hold nothing due is a no-op
-    // tick, so skip it. The reference mode ticks everything.
-    const bool gated = !cfg_.alwaysTick;
-    for (auto &pe : pes_) {
-        if (!gated || pe->nextEventCycle() <= now)
-            pe->tick(now);
+    ++tickCount_;
+
+    // Visit the PEs that have due work. Event mode consumes the ring
+    // armed by the PEs' own queue pushes; the reference core polls every
+    // PE's queues. The visit sets are provably identical (every push
+    // arms its ready cycle; a consumed PE re-arms from its exact
+    // next-event below), and all intra-tick wakes target cycles
+    // strictly after `now`, so the due set is fixed at tick entry
+    // either way. alwaysTick visits everything.
+    duePes_.clear();
+    if (eventCore_) {
+        for (PeId p = 0; p < pes_.size(); ++p) {
+            if (peRing_.due(p, now)) {
+                peRing_.consume(p);
+                duePes_.push_back(p);
+                pes_[p]->tick(now);
+            }
+        }
+    } else {
+        const bool gated = !cfg_.alwaysTick;
+        for (PeId p = 0; p < pes_.size(); ++p) {
+            if (!gated || pes_[p]->nextEventCycle() <= now) {
+                duePes_.push_back(p);
+                pes_[p]->tick(now);
+            }
+        }
     }
 
     // OUTPUT stage: each PE's dedicated result bus carries one executed
-    // instruction's outbound work per cycle.
-    for (auto &pe : pes_) {
-        if (!pe->hasOutput(now))
+    // instruction's outbound work per cycle. A PE with output ready is
+    // necessarily in duePes_ (a ready output queue arms/polls the PE).
+    for (const PeId p : duePes_) {
+        ProcessingElement &pe = *pes_[p];
+        if (!pe.hasOutput(now))
             continue;
-        OutputEntry entry = pe->popOutput(now);
+        OutputEntry entry = pe.popOutput(now);
         if (entry.hasMem)
             memOut_.push(entry.mem, now + cfg_.lat.toPseudoPe);
         for (const Token &token : entry.tokens) {
             const PeCoord dst = place_->home(token.dst.inst);
-            if (dst.sameDomain(pe->self())) {
+            if (dst.sameDomain(pe.self())) {
                 traffic_->record(TrafficLevel::kIntraDomain,
                                  TrafficKind::kOperand);
                 delivery_.push(token, now + cfg_.lat.domainBus);
+                qNext_ = std::min(qNext_, now + cfg_.lat.domainBus);
             } else {
                 netOut_.push(token, now + cfg_.lat.toPseudoPe);
             }
         }
     }
 
-    // NET pseudo-PE: introduces up to netInjectRate operands per cycle
-    // into the domain.
-    for (unsigned i = 0; i < cfg_.netInjectRate && netIn_.ready(now); ++i) {
-        Token token = netIn_.pop(now);
-        delivery_.push(token, now + cfg_.lat.fromPseudoPe);
-    }
+    // Gateway and delivery traffic, gated on the cached earliest ready
+    // cycle so a purely PE-driven tick touches none of the queues. The
+    // gate is exact: qNext_ is lowered at every push, so skipping means
+    // no pop below could have fired.
+    const bool q_due = cfg_.alwaysTick || qNext_ <= now;
+    if (q_due) {
+        // NET pseudo-PE: introduces up to netInjectRate operands per
+        // cycle into the domain.
+        for (unsigned i = 0;
+             i < cfg_.netInjectRate && netIn_.ready(now); ++i) {
+            Token token = netIn_.pop(now);
+            delivery_.push(token, now + cfg_.lat.fromPseudoPe);
+        }
 
-    // MEM pseudo-PE, inbound side: load replies.
-    for (unsigned i = 0;
-         i < cfg_.memForwardRate && memIn_.ready(now); ++i) {
-        Token token = memIn_.pop(now);
-        delivery_.push(token, now + cfg_.lat.fromPseudoPe);
-    }
+        // MEM pseudo-PE, inbound side: load replies.
+        for (unsigned i = 0;
+             i < cfg_.memForwardRate && memIn_.ready(now); ++i) {
+            Token token = memIn_.pop(now);
+            delivery_.push(token, now + cfg_.lat.fromPseudoPe);
+        }
 
-    // Deliver ready tokens; receivers may reject on bandwidth (INPUT
-    // stage), in which case the sender retries next cycle.
-    rejected_.clear();
-    while (delivery_.ready(now)) {
-        Token token = delivery_.pop(now);
-        const PeCoord dst = place_->home(token.dst.inst);
-        if (!dst.sameDomain(base_))
-            panic("Domain (%u,%u): delivery for PE (%u,%u,%u)",
-                  base_.cluster, base_.domain, dst.cluster, dst.domain,
-                  dst.pe);
-        if (!pes_.at(dst.pe)->tryAccept(token, now))
-            rejected_.push_back(token);
+        // Deliver ready tokens; receivers may reject on bandwidth
+        // (INPUT stage), in which case the sender retries next cycle.
+        rejected_.clear();
+        while (delivery_.ready(now)) {
+            Token token = delivery_.pop(now);
+            const PeCoord dst = place_->home(token.dst.inst);
+            if (!dst.sameDomain(base_))
+                panic("Domain (%u,%u): delivery for PE (%u,%u,%u)",
+                      base_.cluster, base_.domain, dst.cluster,
+                      dst.domain, dst.pe);
+            if (!pes_.at(dst.pe)->tryAccept(token, now))
+                rejected_.push_back(token);
+        }
+        for (const Token &token : rejected_)
+            delivery_.push(token, now + 1);
+
+        qNext_ = std::min(delivery_.nextReady(),
+                          std::min(netIn_.nextReady(),
+                                   memIn_.nextReady()));
     }
-    for (const Token &token : rejected_)
-        delivery_.push(token, now + 1);
 
     // Refresh the next-event cache. Work created mid-tick by other
     // components lands through the push entry points (which lower the
     // cache directly) or inside a pod partner's tick (covered here,
-    // since pods never span domains).
+    // since pods never span domains). In event mode the re-arm below
+    // restores the ring invariant armed[p] == pe[p].nextEventCycle(),
+    // so the ring minimum equals the reference core's full scan and the
+    // cluster-level arming stays byte-identical across cores.
     Cycle next = kCycleNever;
-    for (const auto &pe : pes_)
-        next = std::min(next, pe->nextEventCycle());
-    next = std::min(next, delivery_.nextReady());
-    next = std::min(next, netIn_.nextReady());
-    next = std::min(next, memIn_.nextReady());
-    nextEvent_ = next;
+    if (eventCore_) {
+        for (const PeId p : duePes_)
+            peRing_.wake(p, pes_[p]->nextEventCycle());
+        next = peRing_.minArmed();
+    } else {
+        for (const auto &pe : pes_)
+            next = std::min(next, pe->nextEventCycle());
+    }
+    nextEvent_ = std::min(next, qNext_);
 }
 
 std::uint64_t

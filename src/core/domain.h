@@ -8,6 +8,15 @@
  * no sender-side contention; contention appears at the receivers (each
  * PE accepts up to four operands per cycle — its matching-table banks)
  * and at the pseudo-PE gateways (one operand per cycle each way).
+ *
+ * Tick protocol: the domain keeps a per-PE event ring (a nested
+ * WakeupScheduler). Every PE queue push reports its ready cycle, so an
+ * active domain visits only the PEs that actually have due work —
+ * instead of polling all eight PEs' queues every live cycle. The
+ * reference core (ProcessorConfig::referenceCore) retains the polled
+ * loops; both modes compute identical next-event values, so the
+ * cluster-level arming (and hence the exported activity.* counters)
+ * is byte-identical between them.
  */
 
 #ifndef WS_CORE_DOMAIN_H_
@@ -19,6 +28,7 @@
 #include "common/types.h"
 #include "core/clock.h"
 #include "core/config.h"
+#include "core/soa.h"
 #include "isa/graph.h"
 #include "network/message.h"
 #include "network/timed_queue.h"
@@ -52,7 +62,7 @@ class Domain : public Clocked
     Cycle nextEventCycle() const override { return nextEvent_; }
 
     /** Tokens leaving the domain (drained by the cluster). */
-    TimedQueue<Token> &netOut() { return netOut_; }
+    TimedTokenQueue &netOut() { return netOut_; }
 
     /** Memory requests heading for a store buffer (drained by cluster). */
     TimedQueue<MemRequest> &memOut() { return memOut_; }
@@ -61,24 +71,30 @@ class Domain : public Clocked
     void pushNetIn(const Token &token, Cycle ready) {
         netIn_.push(token, ready);
         noteEvent(ready);
+        qNext_ = std::min(qNext_, ready);
     }
 
     /** Entry point for load replies from the memory system. */
     void pushMemIn(const Token &token, Cycle ready) {
         memIn_.push(token, ready);
         noteEvent(ready);
+        qNext_ = std::min(qNext_, ready);
     }
 
     /** Direct local-delivery entry (initial token injection at setup). */
     void pushDelivery(const Token &token, Cycle ready) {
         delivery_.push(token, ready);
         noteEvent(ready);
+        qNext_ = std::min(qNext_, ready);
     }
 
     ProcessingElement &pe(PeId p) { return *pes_.at(p); }
     const ProcessingElement &pe(PeId p) const { return *pes_.at(p); }
     std::size_t numPes() const { return pes_.size(); }
     const DomainFpu &fpu() const { return fpu_; }
+
+    /** Times tick() ran (test/debug only; never exported or hashed). */
+    std::uint64_t tickCount() const { return tickCount_; }
 
     /**
      * Hash of every observable-progress indicator of this domain and
@@ -102,16 +118,32 @@ class Domain : public Clocked
     const Placement *place_;
     TrafficStats *traffic_;
     PeCoord base_;   ///< cluster/domain of this domain (pe field unused).
+    bool eventCore_;       ///< Ring-driven PE ticks (vs polled loops).
     Cycle nextEvent_ = 0;  ///< See nextEventCycle(); 0 = armed at start.
+    /**
+     * Cached min ready cycle over delivery_/netIn_/memIn_, so a tick
+     * that only serves PE work skips the three gateway/delivery loops
+     * without touching the queue objects at all. Lowered at every push
+     * site (external entry points above, OUTPUT-stage and gateway
+     * forwards inside tick()); recomputed exactly whenever the loops
+     * run. 0 = check on the first tick, like nextEvent_.
+     */
+    Cycle qNext_ = 0;
+    std::uint64_t tickCount_ = 0;
 
     std::vector<std::unique_ptr<ProcessingElement>> pes_;
     DomainFpu fpu_;
+    /** Per-PE event ring (ids == PE index), heapless: eight slots make
+     *  the linear minArmed() scan cheaper than heap churn. */
+    WakeupScheduler peRing_{/*use_heap=*/false};
+    std::vector<PeId> duePes_;   ///< Scratch: PEs visited this tick.
 
-    TimedQueue<Token> delivery_;  ///< Tokens awaiting PE acceptance.
-    TimedQueue<Token> netOut_;
+    TokenPool pool_;  ///< Backs the domain-level token queues below.
+    TimedTokenQueue delivery_{&pool_};  ///< Tokens awaiting PE acceptance.
+    TimedTokenQueue netOut_{&pool_};
     TimedQueue<MemRequest> memOut_;
-    TimedQueue<Token> netIn_;
-    TimedQueue<Token> memIn_;
+    TimedTokenQueue netIn_{&pool_};
+    TimedTokenQueue memIn_{&pool_};
     std::vector<Token> rejected_;  ///< Scratch for delivery retries.
 };
 

@@ -1,5 +1,6 @@
 #include "core/processor.h"
 
+#include <optional>
 #include <string>
 #include <unordered_map>
 
@@ -130,8 +131,23 @@ Processor::Processor(const DataflowGraph &graph, const ProcessorConfig &cfg)
     homeId_ = sched_.add(nullptr);
     meshId_ = sched_.add(nullptr);
     activeCycles_.assign(sched_.size(), 0);
+    tickedClusters_.reserve(cfg_.clusters);
+    netPending_.assign(cfg_.clusters, 0);
+    cohScan_.assign(cfg_.clusters, 1);
+    cohScanCount_ = cfg_.clusters;
     for (ComponentId id = 0; id < sched_.size(); ++id)
         sched_.wake(id, 0);
+
+    // Seed the wave window from the freshly built store buffers: the
+    // per-tick refresh only revisits clusters that ticked last cycle
+    // (a retire can only happen inside a cluster's own tick), so the
+    // construction-time dirty flags are consumed here instead.
+    for (ClusterId c = 0; c < cfg_.clusters; ++c) {
+        StoreBuffer &sb = clusters_[c]->storeBuffer();
+        for (ThreadId t : threadsByCluster_[c])
+            window_.base[t] = sb.nextWave(t);
+        sb.clearWaveDirty();
+    }
 }
 
 bool
@@ -153,6 +169,8 @@ void
 Processor::drainMesh(Cycle now)
 {
     for (ClusterId c = 0; c < cfg_.clusters; ++c) {
+        if (!mesh_.hasDelivered(c))
+            continue;
         for (NetMessage &msg : mesh_.delivered(c)) {
             if (auto *op = std::get_if<OperandMsg>(&msg.payload)) {
                 clusters_[c]->receiveOperand(*op, now);
@@ -165,13 +183,23 @@ Processor::drainMesh(Cycle now)
                 if (towardHome(coh.type)) {
                     // The end-of-tick home re-arm covers this arrival.
                     home_.receive(coh, now);
+                    homeTouched_ = true;
                 } else {
                     clusters_[c]->l1().receive(coh, now);
-                    sched_.wake(c, clusters_[c]->l1().nextEventCycle());
+                    const Cycle at = clusters_[c]->l1().nextEventCycle();
+                    clusters_[c]->noteMemEvent(at);
+                    sched_.wake(c, at);
+                    // receive() emits acks synchronously; make sure the
+                    // coherence routing below still visits this L1 even
+                    // if the cluster itself is skipped this cycle.
+                    if (cohScan_[c] == 0) {
+                        cohScan_[c] = 1;
+                        ++cohScanCount_;
+                    }
                 }
             }
         }
-        mesh_.delivered(c).clear();
+        mesh_.clearDelivered(c);
     }
 }
 
@@ -188,7 +216,13 @@ Processor::routeCoherence(Cycle now)
             // The L1 and the home bank share a router; stay local.
             L1Controller &l1 = clusters_[dst]->l1();
             l1.receive(msg, now + cfg_.lat.cohLocal);
+            clusters_[dst]->noteMemEvent(l1.nextEventCycle());
             sched_.wake(dst, l1.nextEventCycle());
+            // receive() may emit acks synchronously.
+            if (cohScan_[dst] == 0) {
+                cohScan_[dst] = 1;
+                ++cohScanCount_;
+            }
         } else {
             NetMessage net;
             net.src = bank;
@@ -201,12 +235,23 @@ Processor::routeCoherence(Cycle now)
     }
     home_.outbox().clear();
 
-    // L1 → home messages.
+    // L1 → home messages. An L1 outbox fills during the cluster's own
+    // tick or synchronously inside receive() (InvAck/DownAck, and
+    // writeback/retry traffic from a fill) — every such site sets
+    // cohScan_, so unflagged clusters provably have empty outboxes and
+    // the scan stays O(flagged) without chasing each cluster's L1.
     for (ClusterId c = 0; c < cfg_.clusters; ++c) {
+        if (cohScan_[c] == 0)
+            continue;
+        cohScan_[c] = 0;
+        --cohScanCount_;
+        if (clusters_[c]->l1().outbox().empty())
+            continue;
         for (CohMsg &msg : clusters_[c]->l1().outbox()) {
             const ClusterId bank = home_.homeOf(msg.line);
             if (bank == c || cfg_.clusters == 1) {
                 home_.receive(msg, now + cfg_.lat.cohLocal);
+                homeTouched_ = true;
             } else {
                 NetMessage net;
                 net.src = c;
@@ -219,6 +264,12 @@ Processor::routeCoherence(Cycle now)
                 net.memTraffic = true;
                 net.payload = msg;
                 clusters_[c]->outboundNet().push_back(std::move(net));
+                // The cluster may not have ticked this cycle; flag its
+                // outbound queue so injectOutbound() still visits it.
+                if (netPending_[c] == 0) {
+                    netPending_[c] = 1;
+                    ++netPendingCount_;
+                }
             }
         }
         clusters_[c]->l1().outbox().clear();
@@ -232,15 +283,30 @@ Processor::injectWithRetry(std::deque<NetMessage> &q, Cycle now)
         if (!mesh_.inject(q.front(), now))
             break;
         q.pop_front();
+        meshTouched_ = true;
     }
 }
 
 void
 Processor::injectOutbound(Cycle now)
 {
-    injectWithRetry(homeOutRetry_, now);
-    for (ClusterId c = 0; c < cfg_.clusters; ++c)
-        injectWithRetry(clusters_[c]->outboundNet(), now);
+    if (!homeOutRetry_.empty())
+        injectWithRetry(homeOutRetry_, now);
+    // Outbound queues fill during a cluster's tick (the cluster loop
+    // sets netPending_ when the queue came out non-empty) or when
+    // coherence routing forwards L1 traffic (which sets it directly);
+    // a queue the mesh refused keeps netPending_ set and retries every
+    // cycle until drained. Order stays ascending id.
+    for (ClusterId c = 0; c < cfg_.clusters; ++c) {
+        if (netPending_[c] == 0)
+            continue;
+        auto &q = clusters_[c]->outboundNet();
+        injectWithRetry(q, now);
+        if (q.empty()) {
+            netPending_[c] = 0;
+            --netPendingCount_;
+        }
+    }
 }
 
 void
@@ -251,19 +317,30 @@ Processor::tick()
     // for the duration of the tick. TimedQueue sits below src/check in
     // the layering, so it reports through the thread-local indirection;
     // scoping the install per tick keeps concurrent sweep simulations
-    // (one per thread) from observing each other's checkers.
-    const ScopedQueueCheckHook queue_hook(checker_.get());
+    // (one per thread) from observing each other's checkers. With no
+    // checker the install would write nullptr over nullptr — skip the
+    // two TLS accesses, which are pure per-tick overhead then.
+    std::optional<ScopedQueueCheckHook> queue_hook;
+    if (checker_ != nullptr)
+        queue_hook.emplace(checker_.get());
     // Refresh the k-loop-bounding window from the store buffers — but
     // only for clusters whose buffer actually retired a wave since the
-    // last refresh (the dirty flag); the unconditional per-tick walk
-    // showed up in the sweep-engine profiles.
-    for (ClusterId c = 0; c < cfg_.clusters; ++c) {
-        StoreBuffer &sb = clusters_[c]->storeBuffer();
-        if (!sb.waveDirty())
+    // last refresh (the dirty flag). A retire happens only inside a
+    // cluster's own tick, so it suffices to check the clusters that
+    // ticked last cycle (tickedClusters_ is cleared just before the
+    // cluster loop below, so it still holds last cycle's set here;
+    // construction-time dirt is consumed by the ctor's seed pass).
+    for (const ClusterId c : tickedClusters_) {
+        // The cluster copies the buffer's wave-dirty flag into its own
+        // header at the end of its memory block, so the common clean
+        // case never touches the cold StoreBuffer object.
+        if (!clusters_[c]->sbWaveHint())
             continue;
+        StoreBuffer &sb = clusters_[c]->storeBuffer();
         for (ThreadId t : threadsByCluster_[c])
             window_.base[t] = sb.nextWave(t);
         sb.clearWaveDirty();
+        clusters_[c]->clearSbWaveHint();
     }
     // Activity-gated clocking. Due-ness at `now` is fixed before any
     // phase runs: every wake registered while ticking targets a later
@@ -273,6 +350,8 @@ Processor::tick()
     // consumes, same activity counts — and merely refuses to skip, so
     // the two modes stay byte-identical (ticking a non-due component
     // is a no-op by construction; the parity suite enforces it).
+    homeTouched_ = false;
+    meshTouched_ = false;
     const bool mesh_due = sched_.due(meshId_, now);
     if (mesh_due) {
         ++activeCycles_[meshId_];
@@ -281,6 +360,7 @@ Processor::tick()
     if (!gated_ || mesh_due) {
         mesh_.tick(now);
         drainMesh(now);
+        meshTouched_ = true;
     }
 
     // WS606 (scheduler soundness): in the reference mode at level full,
@@ -306,8 +386,10 @@ Processor::tick()
         } else {
             home_.tick(now);
         }
+        homeTouched_ = true;
     }
 
+    tickedClusters_.clear();
     for (ClusterId c = 0; c < cfg_.clusters; ++c) {
         const bool due = sched_.due(c, now);
         if (due) {
@@ -325,23 +407,50 @@ Processor::tick()
             } else {
                 clusters_[c]->tick(now);
             }
+            tickedClusters_.push_back(c);
+            // Flag follow-up routing work only when the tick actually
+            // produced any — the cluster checks its L1 outbox and
+            // outbound queue while they are hot, so the every-cycle
+            // routing/injection passes can skip quiet clusters without
+            // touching them at all.
+            if (clusters_[c]->cohPending() && cohScan_[c] == 0) {
+                cohScan_[c] = 1;
+                ++cohScanCount_;
+            }
+            if (!clusters_[c]->outboundNet().empty() &&
+                netPending_[c] == 0) {
+                netPending_[c] = 1;
+                ++netPendingCount_;
+            }
+            // Re-arm from post-tick state. A cluster that did not tick
+            // keeps its old (still-correct) arming — re-computing it
+            // was the old per-cycle O(clusters) loop — and arrivals
+            // while skipped wake the scheduler directly (drainMesh,
+            // routeCoherence), never through this cache.
+            sched_.wake(c, clusters_[c]->nextEventCycle());
         }
     }
 
-    // Routing and injection are cheap self-gating scans that must run
-    // every cycle: outboxes filled this tick have to reach the mesh (or
-    // a retry queue) in the same cycle to preserve timing.
-    routeCoherence(now);
-    injectOutbound(now);
+    // Routing and injection only visit flagged clusters, and are
+    // skipped outright when nothing is flagged: work created this tick
+    // reaches the mesh (or a retry queue) the same cycle, preserving
+    // timing. The home outbox only fills while the home ticks or
+    // receives — both set homeTouched_ — so an untouched home with no
+    // flagged L1s makes routeCoherence a provable no-op.
+    if (homeTouched_ || cohScanCount_ != 0)
+        routeCoherence(now);
+    if (netPendingCount_ != 0 || !homeOutRetry_.empty())
+        injectOutbound(now);
 
-    // Re-arm everything from post-tick state. Re-arming a component
-    // that did not tick recomputes an unchanged answer (wake() only
-    // ever lowers an arming), which is what keeps the bookkeeping
-    // identical across modes.
-    for (ClusterId c = 0; c < cfg_.clusters; ++c)
-        sched_.wake(c, clusters_[c]->nextEventCycle());
-    sched_.wake(homeId_, home_.nextEventCycle());
-    sched_.wake(meshId_, mesh_.nextEventCycle(now));
+    // Re-arm only components whose state changed this tick: an
+    // untouched component's next event is unchanged and it is already
+    // armed at (or before) it, so the wake would be a no-op. An
+    // untouched mesh in particular is provably idle — a non-idle mesh
+    // is armed one cycle out, hence due, hence ticked (touched).
+    if (homeTouched_)
+        sched_.wake(homeId_, home_.nextEventCycle());
+    if (meshTouched_)
+        sched_.wake(meshId_, mesh_.nextEventCycle(now));
 
     // Periodic structural audits at level full: cheap enough at a
     // 256-cycle stride to run on every simulation, frequent enough to
@@ -399,7 +508,7 @@ Processor::run(Cycle max_cycles)
         // component is never idle, so no skipped probe could have
         // fired; tracer rows sample frozen state at exact boundaries.
         if (gated_ && cycle_ < max_cycles) {
-            const Cycle nw = sched_.nextWake();
+            const Cycle nw = sched_.minArmed();
             Cycle target;
             if (nw == kCycleNever) {
                 // Quiescent but unfinished: only the next probe (or

@@ -143,14 +143,40 @@ class Processor
     /** Wakeup scheduler over the top-level components: clusters (ids
      *  0..N-1, matching ClusterId), then home (homeId_), then mesh
      *  (meshId_). Bookkeeping is identical in both clocking modes; only
-     *  whether a non-due component still gets ticked differs. */
-    WakeupScheduler sched_;
+     *  whether a non-due component still gets ticked differs. Heapless:
+     *  with at most clusters+2 slots, run()'s once-per-cycle
+     *  minArmed() scan is cheaper than per-wake heap churn. */
+    WakeupScheduler sched_{/*use_heap=*/false};
     ComponentId homeId_ = 0;
     ComponentId meshId_ = 0;
     bool gated_ = true;  ///< !cfg_.alwaysTick, cached.
     /** Cycles each component was due (ticked in gated mode). Indexed by
      *  component id; identical across clocking modes by construction. */
     std::vector<Counter> activeCycles_;
+    /** Scratch: clusters ticked this cycle (ascending id order). The
+     *  wave-window refresh reads it one cycle later, before it is
+     *  cleared for the current one. */
+    std::vector<ClusterId> tickedClusters_;
+    /** Per-cluster flag: outboundNet() holds messages (set after a tick
+     *  that produced some, by coherence routing, and kept while the
+     *  mesh refuses injection). injectOutbound() visits only flagged
+     *  clusters. netPendingCount_/cohScanCount_ count the set flags so
+     *  the all-clear case skips the per-cluster pass entirely. */
+    std::vector<std::uint8_t> netPending_;
+    std::size_t netPendingCount_ = 0;
+    /** Per-cluster flag: the L1 outbox may be non-empty (set when the
+     *  cluster ticks or when l1().receive() runs outside its tick —
+     *  receive emits acks synchronously). routeCoherence() visits only
+     *  flagged clusters and clears the flag. */
+    std::vector<std::uint8_t> cohScan_;
+    std::size_t cohScanCount_ = 0;
+    /** Set whenever home/mesh state changes during the current tick
+     *  (their own tick, a receive, a successful injection). The
+     *  end-of-tick re-arm only runs for a touched component — an
+     *  untouched one has an unchanged next event, already armed, so
+     *  skipping the wake (and its next-event computation) is a no-op. */
+    bool homeTouched_ = false;
+    bool meshTouched_ = false;
 };
 
 } // namespace ws

@@ -1,0 +1,512 @@
+/**
+ * @file
+ * Struct-of-arrays pools for the hot per-cycle state.
+ *
+ * The cycle core used to keep its in-flight tokens and overflow matching
+ * rows in pointer-heavy containers (per-entry heap nodes inside
+ * `std::unordered_map`, 40-byte array-of-struct heap entries). On the
+ * paper's large design points those structures dominate live-cycle wall
+ * clock through cache misses, not through algorithmic cost. This header
+ * flattens them:
+ *
+ *  - TokenPool: a struct-of-arrays store of Token payloads (tag thread /
+ *    tag wave / destination / value in parallel arrays) with a free-list
+ *    and stable 32-bit handles. Handles stay valid across pool growth
+ *    and across unrelated release/alloc churn; only releasing a handle
+ *    invalidates it.
+ *  - TimedTokenQueue: TimedQueue<Token> semantics — (ready cycle,
+ *    insertion order) pop order, the WS607 pop contract through
+ *    tlsQueueCheckHook — but stored as a sorted (cycle, handle) vector
+ *    over a TokenPool, consumed through a head index, instead of
+ *    sifting 40-byte Token entries through a binary heap.
+ *  - OverflowMap: an open-addressed (linear probe, backward-shift
+ *    delete) map from the matching table's 64-bit row key to an inline
+ *    struct-of-arrays row (instruction, tag, arity, present bits, three
+ *    operand slots). Row references are positional and invalidated by
+ *    any insert or erase; callers complete one lookup-merge-erase
+ *    operation before the next mutation, which the matching table does.
+ *  - SmallVec: a small inline vector (spills to the heap past N) for
+ *    fan-out token lists, so executing an instruction does not allocate
+ *    in the common ≤N-consumer case.
+ *
+ * Everything here is header-only and layerless on purpose: it depends
+ * only on common/ and isa/ types, so both src/pe and src/core can use
+ * it without inverting the library layering.
+ */
+
+#ifndef WS_CORE_SOA_H_
+#define WS_CORE_SOA_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "common/runtime_hook.h"
+#include "common/types.h"
+#include "isa/token.h"
+
+namespace ws {
+
+/** Index-based reference into a TokenPool. */
+using TokenHandle = std::uint32_t;
+inline constexpr TokenHandle kInvalidTokenHandle = 0xffffffffu;
+
+/**
+ * Struct-of-arrays token store with a free-list and stable handles.
+ *
+ * alloc() reuses the most recently released slot (LIFO free-list, so
+ * churn stays within a few cache lines) or grows every array by one.
+ * A handle is stable until its release(): growth never moves logical
+ * slots, only the arrays behind them, and indices survive reallocation.
+ */
+class TokenPool
+{
+  public:
+    TokenHandle
+    alloc(const Token &t)
+    {
+        TokenHandle h;
+        if (!free_.empty()) {
+            h = free_.back();
+            free_.pop_back();
+        } else {
+            h = static_cast<TokenHandle>(thread_.size());
+            thread_.push_back(0);
+            wave_.push_back(0);
+            inst_.push_back(kInvalidInst);
+            port_.push_back(0);
+            value_.push_back(0);
+        }
+        thread_[h] = t.tag.thread;
+        wave_[h] = t.tag.wave;
+        inst_[h] = t.dst.inst;
+        port_[h] = t.dst.port;
+        value_[h] = t.value;
+        ++live_;
+        return h;
+    }
+
+    void
+    release(TokenHandle h)
+    {
+        free_.push_back(h);
+        --live_;
+    }
+
+    Token
+    get(TokenHandle h) const
+    {
+        Token t;
+        t.tag.thread = thread_[h];
+        t.tag.wave = wave_[h];
+        t.dst.inst = inst_[h];
+        t.dst.port = port_[h];
+        t.value = value_[h];
+        return t;
+    }
+
+    Tag
+    tagOf(TokenHandle h) const
+    {
+        return Tag{thread_[h], wave_[h]};
+    }
+
+    std::size_t live() const { return live_; }
+    std::size_t capacity() const { return thread_.size(); }
+
+  private:
+    std::vector<ThreadId> thread_;
+    std::vector<WaveNum> wave_;
+    std::vector<InstId> inst_;
+    std::vector<std::uint8_t> port_;
+    std::vector<Value> value_;
+    std::vector<TokenHandle> free_;
+    std::size_t live_ = 0;
+};
+
+/**
+ * TimedQueue<Token> with the payload in a shared TokenPool.
+ *
+ * Pop order — (ready cycle, per-queue insertion seq), ties impossible —
+ * and the WS607 pop-contract hook are identical to TimedQueue, so a
+ * queue-by-queue swap preserves byte-identical simulation.
+ */
+class TimedTokenQueue
+{
+  public:
+    explicit TimedTokenQueue(TokenPool *pool) : pool_(pool) {}
+
+    void
+    push(const Token &token, Cycle ready)
+    {
+        // Same sorted-vector-with-head-index layout as TimedQueue (see
+        // network/timed_queue.h): pushes are near-monotone in ready, so
+        // append is the common case and an out-of-order push inserts
+        // after every entry with ready <= the new one — identical order
+        // to the old (ready, seq) heap.
+        const TokenHandle h = pool_->alloc(token);
+        if (entries_.size() == head_ || entries_.back().ready <= ready) {
+            entries_.push_back(Entry{ready, h});
+            return;
+        }
+        const auto it = std::upper_bound(
+            entries_.begin() + static_cast<std::ptrdiff_t>(head_),
+            entries_.end(), ready,
+            [](Cycle r, const Entry &e) { return r < e.ready; });
+        entries_.insert(it, Entry{ready, h});
+    }
+
+    bool
+    ready(Cycle now) const
+    {
+        return head_ != entries_.size() && entries_[head_].ready <= now;
+    }
+
+    Cycle
+    nextReady() const
+    {
+        return head_ == entries_.size() ? kCycleNever
+                                        : entries_[head_].ready;
+    }
+
+    /** Frontmost token (by value — assembled from the pool). */
+    Token peek() const { return pool_->get(entries_[head_].handle); }
+
+    /** Frontmost token's tag without assembling the whole token. */
+    Tag peekTag() const { return pool_->tagOf(entries_[head_].handle); }
+
+    Token
+    pop(Cycle now)
+    {
+        if (tlsQueueCheckHook != nullptr)
+            tlsQueueCheckHook->onQueuePop(entries_[head_].ready, now);
+        const TokenHandle h = entries_[head_].handle;
+        ++head_;
+        const Token token = pool_->get(h);
+        pool_->release(h);
+        if (head_ == entries_.size()) {
+            entries_.clear();
+            head_ = 0;
+        } else if (head_ >= 32 && head_ * 2 >= entries_.size()) {
+            entries_.erase(entries_.begin(),
+                           entries_.begin() +
+                               static_cast<std::ptrdiff_t>(head_));
+            head_ = 0;
+        }
+        return token;
+    }
+
+    std::size_t size() const { return entries_.size() - head_; }
+    bool empty() const { return head_ == entries_.size(); }
+
+  private:
+    struct Entry
+    {
+        Cycle ready;
+        TokenHandle handle;
+    };
+
+    TokenPool *pool_;
+    std::vector<Entry> entries_;
+    std::size_t head_ = 0;  ///< Index of the frontmost live entry.
+};
+
+/**
+ * Open-addressed map from 64-bit matching keys to inline SoA rows.
+ *
+ * Replaces `std::unordered_map<std::uint64_t, Row>` on the matching
+ * table's overflow path: one mix64 probe touches a contiguous key
+ * array, the row fields live in parallel arrays indexed by the same
+ * slot, and erase uses backward-shift deletion so the table never
+ * accumulates tombstones. Slot indices are invalidated by insert()
+ * and erase().
+ *
+ * Insert keeps unordered_map::emplace semantics deliberately: a key
+ * that is already present is returned as-is and never overwritten.
+ */
+class OverflowMap
+{
+  public:
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    std::size_t
+    find(std::uint64_t key) const
+    {
+        if (size_ == 0)
+            return npos;
+        std::size_t i = probeStart(key);
+        while (used_[i]) {
+            if (key_[i] == key)
+                return i;
+            i = (i + 1) & mask();
+        }
+        return npos;
+    }
+
+    /**
+     * Slot for @p key, allocating a zeroed row when absent. Like
+     * unordered_map::emplace, an existing row is returned untouched;
+     * @p inserted reports which happened.
+     */
+    std::size_t
+    insert(std::uint64_t key, bool &inserted)
+    {
+        if (capacity() == 0 || (size_ + 1) * 4 > capacity() * 3)
+            grow();
+        std::size_t i = probeStart(key);
+        while (used_[i]) {
+            if (key_[i] == key) {
+                inserted = false;
+                return i;
+            }
+            i = (i + 1) & mask();
+        }
+        used_[i] = 1;
+        key_[i] = key;
+        inst_[i] = kInvalidInst;
+        tagPacked_[i] = 0;
+        arity_[i] = 0;
+        present_[i] = 0;
+        ops_[i * 3 + 0] = 0;
+        ops_[i * 3 + 1] = 0;
+        ops_[i * 3 + 2] = 0;
+        ++size_;
+        inserted = true;
+        return i;
+    }
+
+    /** Backward-shift deletion: later probe-chain entries slide down. */
+    void
+    erase(std::size_t slot)
+    {
+        --size_;
+        std::size_t i = slot;
+        std::size_t j = slot;
+        while (true) {
+            used_[i] = 0;
+            std::size_t home;
+            do {
+                j = (j + 1) & mask();
+                if (!used_[j])
+                    return;
+                home = probeStart(key_[j]);
+                // Keep j in place while its natural slot lies cyclically
+                // in (i, j] — moving it would break its probe chain.
+            } while (i <= j ? (home > i && home <= j)
+                            : (home > i || home <= j));
+            moveSlot(i, j);
+            i = j;
+        }
+    }
+
+    InstId &inst(std::size_t slot) { return inst_[slot]; }
+    std::uint64_t &tagPacked(std::size_t slot) { return tagPacked_[slot]; }
+    std::uint8_t &arity(std::size_t slot) { return arity_[slot]; }
+    std::uint8_t &present(std::size_t slot) { return present_[slot]; }
+    Value *ops(std::size_t slot) { return &ops_[slot * 3]; }
+    std::uint8_t presentBits(std::size_t slot) const
+    {
+        return present_[slot];
+    }
+
+    /** Visit every row slot (order-independent aggregation only). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (std::size_t i = 0; i < used_.size(); ++i) {
+            if (used_[i])
+                fn(i);
+        }
+    }
+
+  private:
+    std::size_t capacity() const { return used_.size(); }
+    std::size_t mask() const { return used_.size() - 1; }
+
+    std::size_t
+    probeStart(std::uint64_t key) const
+    {
+        return static_cast<std::size_t>(mix64(key)) & mask();
+    }
+
+    void
+    moveSlot(std::size_t to, std::size_t from)
+    {
+        used_[to] = 1;
+        key_[to] = key_[from];
+        inst_[to] = inst_[from];
+        tagPacked_[to] = tagPacked_[from];
+        arity_[to] = arity_[from];
+        present_[to] = present_[from];
+        ops_[to * 3 + 0] = ops_[from * 3 + 0];
+        ops_[to * 3 + 1] = ops_[from * 3 + 1];
+        ops_[to * 3 + 2] = ops_[from * 3 + 2];
+    }
+
+    void
+    grow()
+    {
+        const std::size_t old_cap = capacity();
+        const std::size_t new_cap = old_cap == 0 ? 16 : old_cap * 2;
+        std::vector<std::uint8_t> used(new_cap, 0);
+        std::vector<std::uint64_t> key(new_cap);
+        std::vector<InstId> inst(new_cap);
+        std::vector<std::uint64_t> tag(new_cap);
+        std::vector<std::uint8_t> arity(new_cap);
+        std::vector<std::uint8_t> present(new_cap);
+        std::vector<Value> ops(new_cap * 3);
+        used.swap(used_);
+        key.swap(key_);
+        inst.swap(inst_);
+        tag.swap(tagPacked_);
+        arity.swap(arity_);
+        present.swap(present_);
+        ops.swap(ops_);
+        for (std::size_t i = 0; i < used.size(); ++i) {
+            if (!used[i])
+                continue;
+            std::size_t j = probeStart(key[i]);
+            while (used_[j])
+                j = (j + 1) & mask();
+            used_[j] = 1;
+            key_[j] = key[i];
+            inst_[j] = inst[i];
+            tagPacked_[j] = tag[i];
+            arity_[j] = arity[i];
+            present_[j] = present[i];
+            ops_[j * 3 + 0] = ops[i * 3 + 0];
+            ops_[j * 3 + 1] = ops[i * 3 + 1];
+            ops_[j * 3 + 2] = ops[i * 3 + 2];
+        }
+    }
+
+    std::vector<std::uint8_t> used_;
+    std::vector<std::uint64_t> key_;
+    std::vector<InstId> inst_;
+    std::vector<std::uint64_t> tagPacked_;
+    std::vector<std::uint8_t> arity_;
+    std::vector<std::uint8_t> present_;
+    std::vector<Value> ops_;   ///< 3 operand slots per row.
+    std::size_t size_ = 0;
+};
+
+/**
+ * Inline-storage vector: the first N elements live in the object, the
+ * rest (rare) spill to the heap. Invariant: size() <= N means all
+ * elements are inline; the first push past N moves everything into the
+ * spill vector, which then holds all elements.
+ */
+template <typename T, unsigned N>
+class SmallVec
+{
+  public:
+    SmallVec() = default;
+
+    SmallVec(const SmallVec &other) { copyFrom(other); }
+
+    SmallVec(SmallVec &&other) noexcept
+        : size_(other.size_), spill_(std::move(other.spill_))
+    {
+        if (size_ <= N) {
+            for (unsigned i = 0; i < size_; ++i)
+                inline_[i] = std::move(other.inline_[i]);
+        }
+        other.size_ = 0;
+        other.spill_.clear();
+    }
+
+    SmallVec &
+    operator=(const SmallVec &other)
+    {
+        if (this != &other)
+            copyFrom(other);
+        return *this;
+    }
+
+    SmallVec &
+    operator=(SmallVec &&other) noexcept
+    {
+        if (this != &other) {
+            size_ = other.size_;
+            spill_ = std::move(other.spill_);
+            if (size_ <= N) {
+                for (unsigned i = 0; i < size_; ++i)
+                    inline_[i] = std::move(other.inline_[i]);
+            }
+            other.size_ = 0;
+            other.spill_.clear();
+        }
+        return *this;
+    }
+
+    void
+    push_back(const T &v)
+    {
+        if (size_ < N) {
+            inline_[size_++] = v;
+            return;
+        }
+        if (size_ == N && spill_.empty())
+            spill_.assign(inline_, inline_ + N);
+        spill_.push_back(v);
+        ++size_;
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    const T *begin() const { return data(); }
+    const T *end() const { return data() + size_; }
+    T *begin() { return data(); }
+    T *end() { return data() + size_; }
+    const T &operator[](std::size_t i) const { return data()[i]; }
+    T &operator[](std::size_t i) { return data()[i]; }
+
+    void
+    clear()
+    {
+        size_ = 0;
+        spill_.clear();
+    }
+
+  private:
+    const T *
+    data() const
+    {
+        return size_ <= N ? inline_ : spill_.data();
+    }
+
+    T *
+    data()
+    {
+        return size_ <= N ? inline_ : spill_.data();
+    }
+
+    void
+    copyFrom(const SmallVec &other)
+    {
+        size_ = other.size_;
+        if (size_ <= N) {
+            spill_.clear();
+            for (unsigned i = 0; i < size_; ++i)
+                inline_[i] = other.inline_[i];
+        } else {
+            spill_ = other.spill_;
+        }
+    }
+
+    unsigned size_ = 0;
+    T inline_[N] = {};
+    std::vector<T> spill_;
+};
+
+} // namespace ws
+
+#endif // WS_CORE_SOA_H_

@@ -42,9 +42,7 @@ StoreBuffer::push(const MemRequest &req, Cycle now)
         slots_[slotIndex_[req.tag.packed()]].pending.emplace(req.seq, req);
         return;
     }
-    const WaveNum current = nextWave_.count(req.tag.thread)
-                                ? nextWave_[req.tag.thread]
-                                : 0;
+    const WaveNum current = nextWave(req.tag.thread);
     if (!tryAllocate(req, /*allow_evict=*/req.tag.wave == current)) {
         ++stats_.parkedRequests;
         parked_[req.tag.thread][req.tag.wave].push_back(req);
@@ -64,9 +62,7 @@ StoreBuffer::evictFutureSlot()
         const WaveSlot &slot = slots_[i];
         if (!slot.active)
             continue;
-        const WaveNum cur = nextWave_.count(slot.tag.thread)
-                                ? nextWave_[slot.tag.thread]
-                                : 0;
+        const WaveNum cur = nextWave(slot.tag.thread);
         if (slot.tag.wave <= cur)
             continue;
         const WaveNum ahead = slot.tag.wave - cur;
@@ -96,9 +92,7 @@ StoreBuffer::evictFutureSlot()
 bool
 StoreBuffer::tryAllocate(const MemRequest &req, bool allow_evict)
 {
-    const WaveNum base = nextWave_.count(req.tag.thread)
-                             ? nextWave_[req.tag.thread]
-                             : 0;
+    const WaveNum base = nextWave(req.tag.thread);
     if (req.tag.wave < base) {
         panic("StoreBuffer %u: request for retired wave %u of thread %u "
               "(current %u)", self_, req.tag.wave, req.tag.thread, base);
@@ -250,6 +244,8 @@ StoreBuffer::completeWave(WaveSlot &slot)
         checker_->onWaveRetired(self_, slot.tag.thread, slot.tag.wave,
                                 now_);
     }
+    if (slot.tag.thread >= nextWave_.size())
+        nextWave_.resize(slot.tag.thread + 1, 0);
     nextWave_[slot.tag.thread] = slot.tag.wave + 1;
     waveDirty_ = true;
     ++stats_.waveCompletions;
@@ -314,6 +310,13 @@ StoreBuffer::tick(Cycle now)
     }
     l1_->drainDone().clear();
 
+    // Event arming: track whether this tick changed any state a parked
+    // re-admission retry could depend on (slots freed or allocated,
+    // waves advanced, PSQ space drained). Failed retries are pure
+    // re-reads — without a state change they fail again — so the
+    // refresh below only re-arms for them after actual progress.
+    bool progress = false;
+
     // Re-admit parked arrivals. Only waves inside a thread's lookahead
     // window are eligible, so the per-wave buckets are scanned in wave
     // order and far-future arrivals cannot block the current wave.
@@ -324,9 +327,7 @@ StoreBuffer::tick(Cycle now)
                 auto &reqs = w_it->second;
                 bool admitted_all = true;
                 std::size_t taken = 0;
-                const WaveNum cur = nextWave_.count(t_it->first)
-                                        ? nextWave_[t_it->first]
-                                        : 0;
+                const WaveNum cur = nextWave(t_it->first);
                 for (MemRequest &req : reqs) {
                     const auto packed = req.tag.packed();
                     auto slot_it = slotIndex_.find(packed);
@@ -344,6 +345,8 @@ StoreBuffer::tick(Cycle now)
                     break;
                 }
                 parkedCount_ -= taken;
+                if (taken != 0)
+                    progress = true;
                 if (admitted_all) {
                     w_it = waves.erase(w_it);
                     continue;
@@ -356,18 +359,22 @@ StoreBuffer::tick(Cycle now)
         }
     }
 
-    unsigned budget = cfg_.issueWidth;
+    const unsigned budget0 = cfg_.issueWidth;
+    unsigned budget = budget0;
     drainPsqs(now, budget);
 
-    // Issue chains: only a thread's *current* wave may issue.
+    // Issue chains: only a thread's *current* wave may issue. The loop
+    // doubles as the issuability census for the event arming below: a
+    // structural stall or a retirement proves (or may create) issuable
+    // work for next cycle without a separate slot scan.
+    bool stalled = false;
+    bool retired = false;
     for (WaveSlot &slot : slots_) {
         if (budget == 0)
             break;
         if (!slot.active)
             continue;
-        const WaveNum current = nextWave_.count(slot.tag.thread)
-                                    ? nextWave_[slot.tag.thread]
-                                    : 0;
+        const WaveNum current = nextWave(slot.tag.thread);
         if (slot.tag.wave != current)
             continue;
         ++stats_.slotOccupancySum;
@@ -394,8 +401,10 @@ StoreBuffer::tick(Cycle now)
             if (op == nullptr)
                 break;  // Next op has not arrived yet.
             MemRequest copy = *op;
-            if (!issueOp(copy, now))
+            if (!issueOp(copy, now)) {
+                stalled = true;
                 break;  // Structural stall (PSQ pressure).
+            }
             slot.pending.erase(copy.seq);
             slot.lastIssued = copy.seq;
             slot.nextExpected = copy.next;
@@ -403,9 +412,42 @@ StoreBuffer::tick(Cycle now)
             progress = true;
             if (copy.next == kSeqNone) {
                 completeWave(slot);
+                retired = true;
             }
         }
     }
+    // Any budget consumed means an op issued or a PSQ entry drained —
+    // both can unblock parked admission (slots freed, waves advanced).
+    if (budget != budget0)
+        progress = true;
+
+    // Event arming, derived from what this tick itself observed (no
+    // slot scan; identical computation in every clocking mode, so the
+    // cluster arming — and the exported activity counters — stay
+    // byte-identical across cores):
+    //  - a structural stall leaves an issuable chain behind, and it
+    //    must be re-attempted every cycle so psqFullStalls/noPsqStalls
+    //    keep their per-cycle semantics;
+    //  - a retirement may make the thread's next wave (possibly already
+    //    passed by this loop) issuable;
+    //  - an exhausted budget means slots were left unexamined;
+    //  - an active PSQ with data drains next cycle (psqs_ is the tiny
+    //    2-entry filter, so this scan is constant work);
+    //  - progress with parked arrivals makes a re-admission retry
+    //    worthwhile (without progress it provably fails again).
+    // Anything else waits on an external event (a push or an L1
+    // completion), which the cluster's mem gate observes directly.
+    bool due_next = stalled || retired || budget == 0 ||
+                    (progress && parkedCount_ != 0);
+    if (!due_next) {
+        for (const Psq &psq : psqs_) {
+            if (psq.active && psq.dataReady) {
+                due_next = true;
+                break;
+            }
+        }
+    }
+    nextEvent_ = due_next ? now + 1 : kCycleNever;
 }
 
 std::string

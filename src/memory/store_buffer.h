@@ -86,14 +86,27 @@ class StoreBuffer
     /** Completed loads; the cluster drains and routes them. */
     std::vector<LoadDone> &drainLoadDones() { return loadDones_; }
 
+    /**
+     * Cached earliest cycle at which this buffer can make progress on
+     * its own: now+1 while an issuable chain op, a drainable PSQ, or a
+     * parked re-admission retry (after a state change) exists;
+     * kCycleNever otherwise. Every external unblocking event arrives
+     * through a path the cluster's mem gate already watches (sbIn_
+     * pushes, L1 completions), and pushes are always followed by a
+     * tick in the same cycle, so the cache is refreshed before it can
+     * go stale. Replaces the old "non-idle pins the cluster to next
+     * cycle" rule: a buffer full of parked ops waiting on in-flight
+     * tokens no longer keeps the whole cluster ticking.
+     */
+    Cycle nextEventCycle() const { return nextEvent_; }
+
     const StoreBufferStats &stats() const { return stats_; }
 
     /** Oldest unretired wave of thread @p t (k-loop-bounding input). */
     WaveNum
     nextWave(ThreadId t) const
     {
-        auto it = nextWave_.find(t);
-        return it == nextWave_.end() ? 0 : it->second;
+        return t < nextWave_.size() ? nextWave_[t] : 0;
     }
 
     /**
@@ -178,7 +191,11 @@ class StoreBuffer
 
     std::vector<WaveSlot> slots_;
     std::unordered_map<std::uint64_t, int> slotIndex_;  ///< tag → slot.
-    std::unordered_map<ThreadId, WaveNum> nextWave_;
+    /** Oldest unretired wave, indexed by thread; grown on retirement.
+     *  Threads past the end are implicitly at wave 0. The issue loop
+     *  reads this once per active slot per tick — as a hashtable the
+     *  lookups alone showed up in profiles. */
+    std::vector<WaveNum> nextWave_;
     /** Arrivals with no allocatable slot, bucketed so far-future waves
      *  can never block the current wave (per thread, per wave). */
     std::unordered_map<ThreadId, std::map<WaveNum, std::vector<MemRequest>>>
@@ -193,6 +210,7 @@ class StoreBuffer
     bool waveDirty_ = true;
     RuntimeChecker *checker_ = nullptr;  ///< Null when checking is off.
     Cycle now_ = 0;  ///< Cycle of the current/last tick (check stamps).
+    Cycle nextEvent_ = kCycleNever;  ///< See nextEventCycle().
 };
 
 } // namespace ws

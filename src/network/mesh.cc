@@ -16,6 +16,8 @@ MeshNetwork::MeshNetwork(const MeshConfig &cfg, TrafficStats *traffic)
     gridH_ = (static_cast<int>(cfg_.clusters) + gridW_ - 1) / gridW_;
     routers_.resize(cfg_.clusters);
     out_.resize(cfg_.clusters);
+    occ_.assign(cfg_.clusters, 0);
+    outPending_.assign(cfg_.clusters, 0);
 }
 
 int
@@ -95,7 +97,10 @@ MeshNetwork::inject(NetMessage msg, Cycle now)
         return false;
     }
     const std::uint8_t vc = msg.vc;
+    const ClusterId src = msg.src;
     r.outQueue[port][vc].push_back(QEntry{std::move(msg), now, now});
+    occ_[src] |= static_cast<std::uint16_t>(1u << (port * kNumVcs + vc));
+    ++queued_;
     return true;
 }
 
@@ -103,8 +108,17 @@ void
 MeshNetwork::tick(Cycle now)
 {
     for (ClusterId c = 0; c < cfg_.clusters; ++c) {
+        // Empty routers have nothing to move and (provably) would not
+        // touch their round-robin pointers; messages hopped in later
+        // this cycle carry stamp == now and could not move anyway.
+        if (occ_[c] == 0)
+            continue;
         Router &r = routers_[c];
         for (int port = 0; port < kNumPorts; ++port) {
+            // Both VC queues empty: nothing can move and the VC
+            // round-robin pointer would come back to where it started.
+            if (((occ_[c] >> (port * kNumVcs)) & ((1u << kNumVcs) - 1)) == 0)
+                continue;
             int moved = 0;
             int vc = r.vcRR[port];
             int attempts = 0;
@@ -116,21 +130,34 @@ MeshNetwork::tick(Cycle now)
                     ++attempts;
                     continue;
                 }
-                QEntry entry = q.front();
+                // Move the entry straight from the queue head — an
+                // eligible message always leaves this queue (the only
+                // bail-out, a full next-hop queue, is checked before
+                // touching it).
+                QEntry &head = q.front();
                 if (port == kLocalOperand || port == kLocalMem) {
-                    q.pop_front();
                     traffic_->record(TrafficLevel::kInterCluster,
-                                     entry.msg.memTraffic
+                                     head.msg.memTraffic
                                          ? TrafficKind::kMemory
                                          : TrafficKind::kOperand);
                     traffic_->recordHops(static_cast<std::uint64_t>(
-                        hopDistance(entry.msg.src, entry.msg.dst)));
-                    traffic_->recordLatency(now - entry.injectedAt);
-                    out_[c].push_back(std::move(entry.msg));
+                        hopDistance(head.msg.src, head.msg.dst)));
+                    traffic_->recordLatency(now - head.injectedAt);
+                    out_[c].push_back(std::move(head.msg));
+                    q.pop_front();
+                    if (q.empty()) {
+                        occ_[c] &= static_cast<std::uint16_t>(
+                            ~(1u << (port * kNumVcs + vc)));
+                    }
+                    --queued_;
+                    if (outPending_[c] == 0) {
+                        outPending_[c] = 1;
+                        ++outPendingCount_;
+                    }
                 } else {
                     const ClusterId n = neighbor(c, port);
                     Router &nr = routers_[n];
-                    const int nport = routePort(n, entry.msg);
+                    const int nport = routePort(n, head.msg);
                     if (queueFull(nr, nport, vc)) {
                         traffic_->recordCongestion();
                         // Head-of-line blocked; try the other VC.
@@ -138,9 +165,15 @@ MeshNetwork::tick(Cycle now)
                         ++attempts;
                         continue;
                     }
+                    head.stamp = now;
+                    nr.outQueue[nport][vc].push_back(std::move(head));
                     q.pop_front();
-                    entry.stamp = now;
-                    nr.outQueue[nport][vc].push_back(std::move(entry));
+                    if (q.empty()) {
+                        occ_[c] &= static_cast<std::uint16_t>(
+                            ~(1u << (port * kNumVcs + vc)));
+                    }
+                    occ_[n] |= static_cast<std::uint16_t>(
+                        1u << (nport * kNumVcs + vc));
                 }
                 ++moved;
                 attempts = 0;
@@ -154,14 +187,16 @@ MeshNetwork::tick(Cycle now)
 bool
 MeshNetwork::idle() const
 {
-    for (const Router &r : routers_) {
-        for (int port = 0; port < kNumPorts; ++port) {
-            for (int vc = 0; vc < kNumVcs; ++vc) {
-                if (!r.outQueue[port][vc].empty())
-                    return false;
-            }
-        }
-    }
+    // queued_ mirrors the router queues exactly (inject/hop/eject), so
+    // the per-queue walk reduces to one counter read. The delivery
+    // vectors are normally drained via clearDelivered(), which keeps
+    // outPendingCount_ exact — two counter loads decide the common
+    // case. A caller that clears a vector directly (tests) leaves a
+    // stale pending hint, so a non-zero count falls back to the scan.
+    if (queued_ != 0)
+        return false;
+    if (outPendingCount_ == 0)
+        return true;
     for (const auto &v : out_) {
         if (!v.empty())
             return false;

@@ -59,6 +59,26 @@ class MeshNetwork
      */
     std::vector<NetMessage> &delivered(ClusterId c) { return out_.at(c); }
 
+    /**
+     * Cheap may-have-deliveries hint for @p c: set on every ejection,
+     * cleared by clearDelivered(). Never false while messages wait, so
+     * the per-cycle drain can skip unflagged clusters without touching
+     * their vectors; a stale true (a caller cleared the vector
+     * directly) merely costs one empty visit.
+     */
+    bool hasDelivered(ClusterId c) const { return outPending_[c] != 0; }
+
+    /** Drop cluster @p c's delivered messages and its pending hint. */
+    void
+    clearDelivered(ClusterId c)
+    {
+        out_[c].clear();
+        if (outPending_[c] != 0) {
+            outPending_[c] = 0;
+            --outPendingCount_;
+        }
+    }
+
     /** True when no message is anywhere in the network. */
     bool idle() const;
 
@@ -115,6 +135,23 @@ class MeshNetwork
     int gridH_;
     std::vector<Router> routers_;
     std::vector<std::vector<NetMessage>> out_;
+    /**
+     * Per-router queue-occupancy bitmask, one bit per (port, vc): bit
+     * port*kNumVcs+vc set iff outQueue[port][vc] is non-empty. Held in
+     * a dense side array (a Router is ~1KB of deques, so scanning a
+     * flag inside each Router costs a cache miss per router; this scan
+     * touches one line for a 16-cluster grid). tick() skips routers
+     * with no bits set and, within a live router, ports with no bits —
+     * exact, because an empty port's VC loop would only flip the VC
+     * pointer back to where it started, leaving vcRR unchanged.
+     */
+    std::vector<std::uint16_t> occ_;
+    /** Per-cluster delivered-messages hint; see hasDelivered(). */
+    std::vector<std::uint8_t> outPending_;
+    /** Clusters with the hint set, so idle() — read every cycle by the
+     *  processor's mesh re-arm — is two counter loads, not a scan. */
+    std::size_t outPendingCount_ = 0;
+    std::size_t queued_ = 0;  ///< Total entries in all router queues.
 };
 
 } // namespace ws

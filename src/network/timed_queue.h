@@ -5,6 +5,14 @@
  * Producers push items with a future ready cycle; consumers pop items
  * whose ready cycle has arrived, in (ready cycle, insertion order) order,
  * so simulation stays deterministic even when latencies differ.
+ *
+ * Storage is a sorted vector consumed through a head index rather than
+ * a binary heap: almost every producer pushes `now + <constant>` with
+ * nondecreasing `now`, so new items belong at the tail and push is an
+ * append. Mixed latencies (an instruction with a shorter execute
+ * latency, a delivery retry at now+1) take the rare path — an insertion
+ * found by binary search, placed after every item with the same ready
+ * cycle, which reproduces the (ready, seq) heap order exactly.
  */
 
 #ifndef WS_NETWORK_TIMED_QUEUE_H_
@@ -28,26 +36,36 @@ class TimedQueue
     void
     push(T item, Cycle ready)
     {
-        entries_.push_back(Entry{ready, seq_++, std::move(item)});
-        std::push_heap(entries_.begin(), entries_.end(), later);
+        if (entries_.size() == head_ || entries_.back().ready <= ready) {
+            entries_.push_back(Entry{ready, std::move(item)});
+            return;
+        }
+        // Out-of-order push (shorter latency than something already
+        // queued): insert after every entry with ready <= the new one.
+        const auto it = std::upper_bound(
+            entries_.begin() + static_cast<std::ptrdiff_t>(head_),
+            entries_.end(), ready,
+            [](Cycle r, const Entry &e) { return r < e.ready; });
+        entries_.insert(it, Entry{ready, std::move(item)});
     }
 
     /** True when an item is ready at cycle @p now. */
     bool
     ready(Cycle now) const
     {
-        return !entries_.empty() && entries_.front().ready <= now;
+        return head_ != entries_.size() && entries_[head_].ready <= now;
     }
 
     /** Earliest ready cycle of any queued item (kCycleNever if empty). */
     Cycle
     nextReady() const
     {
-        return entries_.empty() ? kCycleNever : entries_.front().ready;
+        return head_ == entries_.size() ? kCycleNever
+                                        : entries_[head_].ready;
     }
 
     /** The frontmost item (min ready cycle); queue must be non-empty. */
-    const T &peek() const { return entries_.front().item; }
+    const T &peek() const { return entries_[head_].item; }
 
     /** Remove and return the frontmost ready item; ready(now) must hold. */
     T
@@ -57,38 +75,44 @@ class TimedQueue
         // hook so this bottom-layer header stays ignorant of the
         // checker; with checking off this is one load and one branch.
         if (tlsQueueCheckHook != nullptr)
-            tlsQueueCheckHook->onQueuePop(entries_.front().ready, now);
-        std::pop_heap(entries_.begin(), entries_.end(), later);
-        T item = std::move(entries_.back().item);
-        entries_.pop_back();
+            tlsQueueCheckHook->onQueuePop(entries_[head_].ready, now);
+        T item = std::move(entries_[head_].item);
+        ++head_;
+        compact();
         return item;
     }
 
     /** Re-enqueue an item for retry at a later cycle. */
     void retry(T item, Cycle ready) { push(std::move(item), ready); }
 
-    std::size_t size() const { return entries_.size(); }
-    bool empty() const { return entries_.empty(); }
+    std::size_t size() const { return entries_.size() - head_; }
+    bool empty() const { return head_ == entries_.size(); }
 
   private:
     struct Entry
     {
         Cycle ready;
-        std::uint64_t seq;
         T item;
     };
 
-    /** Heap comparator: true when @p a becomes ready after @p b. */
-    static bool
-    later(const Entry &a, const Entry &b)
+    /** Reclaim the consumed prefix: free when drained, amortized-O(1)
+     *  trim when a long-lived queue keeps more dead than live. */
+    void
+    compact()
     {
-        if (a.ready != b.ready)
-            return a.ready > b.ready;
-        return a.seq > b.seq;
+        if (head_ == entries_.size()) {
+            entries_.clear();
+            head_ = 0;
+        } else if (head_ >= 32 && head_ * 2 >= entries_.size()) {
+            entries_.erase(entries_.begin(),
+                           entries_.begin() +
+                               static_cast<std::ptrdiff_t>(head_));
+            head_ = 0;
+        }
     }
 
     std::vector<Entry> entries_;
-    std::uint64_t seq_ = 0;
+    std::size_t head_ = 0;  ///< Index of the frontmost live entry.
 };
 
 } // namespace ws

@@ -7,6 +7,33 @@
 
 namespace ws {
 
+namespace {
+
+Tag
+unpackTag(std::uint64_t packed)
+{
+    Tag tag;
+    tag.thread = static_cast<ThreadId>(packed >> 32);
+    tag.wave = static_cast<WaveNum>(packed);
+    return tag;
+}
+
+/** Merge one operand into (present, ops); true when the row completes. */
+bool
+mergeOperand(std::uint8_t &present, std::uint8_t arity, Value *ops,
+             const Token &token)
+{
+    if (token.dst.port >= 3)
+        panic("MatchingTable: port %u out of range", token.dst.port);
+    ops[token.dst.port] = token.value;
+    present |= static_cast<std::uint8_t>(1u << token.dst.port);
+    const std::uint8_t full_mask =
+        static_cast<std::uint8_t>((1u << arity) - 1);
+    return (present & full_mask) == full_mask;
+}
+
+} // namespace
+
 MatchingTable::MatchingTable(unsigned entries, unsigned ways, unsigned k)
     : ways_(ways), k_(k == 0 ? 1 : k)
 {
@@ -14,7 +41,13 @@ MatchingTable::MatchingTable(unsigned entries, unsigned ways, unsigned k)
         fatal("MatchingTable: bad geometry (%u entries, %u ways)", entries,
               ways);
     sets_ = entries / ways;
-    rows_.resize(entries);
+    valid_.assign(entries, 0);
+    inst_.assign(entries, kInvalidInst);
+    tagPacked_.assign(entries, 0);
+    arity_.assign(entries, 0);
+    present_.assign(entries, 0);
+    lru_.assign(entries, 0);
+    ops_.assign(static_cast<std::size_t>(entries) * 3, 0);
 }
 
 std::size_t
@@ -35,18 +68,6 @@ MatchingTable::setOf(std::uint32_t local_idx, const Tag &tag) const
     return static_cast<std::size_t>(h % sets_);
 }
 
-bool
-MatchingTable::mergeToken(Row &row, const Token &token)
-{
-    if (token.dst.port >= 3)
-        panic("MatchingTable: port %u out of range", token.dst.port);
-    row.ops[token.dst.port] = token.value;
-    row.present |= static_cast<std::uint8_t>(1u << token.dst.port);
-    const std::uint8_t full_mask =
-        static_cast<std::uint8_t>((1u << row.arity) - 1);
-    return (row.present & full_mask) == full_mask;
-}
-
 MatchingTable::InsertResult
 MatchingTable::insert(const Token &token, std::uint8_t arity,
                       std::uint32_t local_idx)
@@ -59,75 +80,93 @@ MatchingTable::insert(const Token &token, std::uint8_t arity,
     InsertResult result;
 
     // If this instance already spilled to the in-memory table, the
-    // lookup misses the cache and matches in memory.
-    auto of_it = overflow_.find(key);
-    if (of_it != overflow_.end()) {
-        ++stats_.misses;
-        Row &row = of_it->second;
-        if (mergeToken(row, token)) {
-            ++stats_.overflowFires;
-            result.fired = true;
-            result.fire.inst = row.inst;
-            result.fire.tag = row.tag;
-            result.fire.ops[0] = row.ops[0];
-            result.fire.ops[1] = row.ops[1];
-            result.fire.ops[2] = row.ops[2];
-            result.fire.fromOverflow = true;
-            overflow_.erase(of_it);
+    // lookup misses the cache and matches in memory. The empty() guard
+    // keeps the overflow probe off the zero-miss fast path entirely.
+    if (!overflow_.empty()) {
+        const std::size_t of = overflow_.find(key);
+        if (of != OverflowMap::npos) {
+            ++stats_.misses;
+            if (mergeOperand(overflow_.present(of), overflow_.arity(of),
+                             overflow_.ops(of), token)) {
+                ++stats_.overflowFires;
+                result.fired = true;
+                result.fire.inst = overflow_.inst(of);
+                result.fire.tag = unpackTag(overflow_.tagPacked(of));
+                result.fire.ops[0] = overflow_.ops(of)[0];
+                result.fire.ops[1] = overflow_.ops(of)[1];
+                result.fire.ops[2] = overflow_.ops(of)[2];
+                result.fire.fromOverflow = true;
+                overflow_.erase(of);
+            }
+            return result;
         }
-        return result;
     }
 
-    Row *set = &rows_[setOf(local_idx, token.tag) * ways_];
-    Row *row = nullptr;
+    const std::size_t base = setOf(local_idx, token.tag) * ways_;
+    const std::uint64_t packed = token.tag.packed();
+    std::size_t row = OverflowMap::npos;
     for (unsigned w = 0; w < ways_; ++w) {
-        if (set[w].valid && set[w].inst == token.dst.inst &&
-            set[w].tag == token.tag) {
-            row = &set[w];
+        const std::size_t i = base + w;
+        if (valid_[i] && inst_[i] == token.dst.inst &&
+            tagPacked_[i] == packed) {
+            row = i;
             break;
         }
     }
 
-    if (row == nullptr) {
+    if (row == OverflowMap::npos) {
         // Allocate: a free way, else evict the LRU row to memory.
         for (unsigned w = 0; w < ways_; ++w) {
-            if (!set[w].valid) {
-                row = &set[w];
+            if (!valid_[base + w]) {
+                row = base + w;
                 break;
             }
         }
-        if (row == nullptr) {
-            Row *victim = &set[0];
+        if (row == OverflowMap::npos) {
+            std::size_t victim = base;
             for (unsigned w = 1; w < ways_; ++w) {
-                if (set[w].lru < victim->lru)
-                    victim = &set[w];
+                if (lru_[base + w] < lru_[victim])
+                    victim = base + w;
             }
             ++stats_.misses;
             ++stats_.evictedRows;
-            overflow_.emplace(keyOf(victim->inst, victim->tag), *victim);
-            victim->valid = false;
+            const std::uint64_t victim_key =
+                (static_cast<std::uint64_t>(inst_[victim]) << 48) ^
+                tagPacked_[victim];
+            bool inserted = false;
+            const std::size_t of = overflow_.insert(victim_key, inserted);
+            if (inserted) {
+                overflow_.inst(of) = inst_[victim];
+                overflow_.tagPacked(of) = tagPacked_[victim];
+                overflow_.arity(of) = arity_[victim];
+                overflow_.present(of) = present_[victim];
+                overflow_.ops(of)[0] = ops_[victim * 3 + 0];
+                overflow_.ops(of)[1] = ops_[victim * 3 + 1];
+                overflow_.ops(of)[2] = ops_[victim * 3 + 2];
+            }
+            valid_[victim] = 0;
             --validCount_;
             row = victim;
         }
-        row->valid = true;
+        valid_[row] = 1;
         ++validCount_;
-        row->inst = token.dst.inst;
-        row->tag = token.tag;
-        row->arity = arity;
-        row->present = 0;
+        inst_[row] = token.dst.inst;
+        tagPacked_[row] = packed;
+        arity_[row] = arity;
+        present_[row] = 0;
     }
 
-    row->lru = ++clock_;
-    if (mergeToken(*row, token)) {
+    lru_[row] = ++clock_;
+    if (mergeOperand(present_[row], arity_[row], &ops_[row * 3], token)) {
         ++stats_.fires;
         result.fired = true;
-        result.fire.inst = row->inst;
-        result.fire.tag = row->tag;
-        result.fire.ops[0] = row->ops[0];
-        result.fire.ops[1] = row->ops[1];
-        result.fire.ops[2] = row->ops[2];
+        result.fire.inst = inst_[row];
+        result.fire.tag = unpackTag(tagPacked_[row]);
+        result.fire.ops[0] = ops_[row * 3 + 0];
+        result.fire.ops[1] = ops_[row * 3 + 1];
+        result.fire.ops[2] = ops_[row * 3 + 2];
         result.fire.fromOverflow = false;
-        row->valid = false;
+        valid_[row] = 0;
         --validCount_;
     }
     return result;
@@ -137,8 +176,8 @@ std::size_t
 MatchingTable::recountValidRows() const
 {
     std::size_t n = 0;
-    for (const Row &row : rows_) {
-        if (row.valid)
+    for (const std::uint8_t v : valid_) {
+        if (v)
             ++n;
     }
     return n;
@@ -148,12 +187,14 @@ std::size_t
 MatchingTable::residentOperands() const
 {
     std::size_t n = 0;
-    for (const Row &row : rows_) {
-        if (row.valid)
-            n += static_cast<std::size_t>(std::popcount(row.present));
+    for (std::size_t i = 0; i < valid_.size(); ++i) {
+        if (valid_[i])
+            n += static_cast<std::size_t>(std::popcount(present_[i]));
     }
-    for (const auto &[key, row] : overflow_)
-        n += static_cast<std::size_t>(std::popcount(row.present));
+    overflow_.forEach([&](std::size_t slot) {
+        n += static_cast<std::size_t>(
+            std::popcount(overflow_.presentBits(slot)));
+    });
     return n;
 }
 

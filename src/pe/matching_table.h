@@ -19,17 +19,24 @@
  *
  * The row hash is the paper's matching-table-equation hash,
  * I*k + (wave mod k), which guarantees zero misses when M = V*k.
+ *
+ * Storage is struct-of-arrays: the way-scan in insert() touches only the
+ * valid/instruction/tag key arrays (dense, contiguous per set), and the
+ * operand values live in a parallel array touched only on merge. The
+ * overflow table is an open-addressed SoA map (core/soa.h) instead of a
+ * node-based unordered_map, and is only probed when non-empty — the
+ * common zero-overflow kernel pays nothing for it.
  */
 
 #ifndef WS_PE_MATCHING_TABLE_H_
 #define WS_PE_MATCHING_TABLE_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "common/stats.h"
 #include "common/types.h"
+#include "core/soa.h"
 #include "isa/tag.h"
 #include "isa/token.h"
 
@@ -42,7 +49,8 @@ struct MatchingTableStats
     Counter misses = 0;           ///< Conflict evictions + overflow hits.
     Counter overflowFires = 0;    ///< Matches completed in memory.
     Counter evictedRows = 0;
-    Counter occupancySum = 0;     ///< Valid rows, summed per cycle.
+    Counter occupancySum = 0;     ///< Waiting rows (cache + overflow),
+                                  ///  summed per cycle.
 };
 
 class MatchingTable
@@ -77,10 +85,16 @@ class MatchingTable
     InsertResult insert(const Token &token, std::uint8_t arity,
                         std::uint32_t local_idx);
 
-    /** Per-cycle bookkeeping (occupancy statistics). */
-    void tickStats() { stats_.occupancySum += validCount_; }
+    /** Per-cycle bookkeeping (occupancy statistics). Overflow rows are
+     *  waiting instances too, so they count toward occupancy. */
+    void
+    tickStats()
+    {
+        stats_.occupancySum +=
+            validCount_ + static_cast<Counter>(overflow_.size());
+    }
 
-    unsigned entries() const { return static_cast<unsigned>(rows_.size()); }
+    unsigned entries() const { return static_cast<unsigned>(valid_.size()); }
     unsigned ways() const { return ways_; }
     unsigned k() const { return k_; }
     std::size_t validRows() const { return validCount_; }
@@ -97,17 +111,6 @@ class MatchingTable
     const MatchingTableStats &stats() const { return stats_; }
 
   private:
-    struct Row
-    {
-        bool valid = false;
-        InstId inst = kInvalidInst;
-        Tag tag;
-        std::uint8_t arity = 0;
-        std::uint8_t present = 0;
-        Value ops[3] = {0, 0, 0};
-        std::uint64_t lru = 0;
-    };
-
     std::size_t setOf(std::uint32_t local_idx, const Tag &tag) const;
 
     static std::uint64_t
@@ -116,16 +119,24 @@ class MatchingTable
         return (static_cast<std::uint64_t>(inst) << 48) ^ tag.packed();
     }
 
-    /** Merge a token into @p row; returns true when the row completes. */
-    static bool mergeToken(Row &row, const Token &token);
-
     unsigned ways_;
     unsigned k_;
     unsigned sets_;
     std::uint64_t clock_ = 0;
     std::size_t validCount_ = 0;
-    std::vector<Row> rows_;   ///< sets_ * ways_, set-major.
-    std::unordered_map<std::uint64_t, Row> overflow_;
+
+    // Cache rows, struct-of-arrays, set-major (sets_ * ways_ each). The
+    // (inst, tagPacked) pair is the full row identity; tags round-trip
+    // losslessly through Tag::packed().
+    std::vector<std::uint8_t> valid_;
+    std::vector<InstId> inst_;
+    std::vector<std::uint64_t> tagPacked_;
+    std::vector<std::uint8_t> arity_;
+    std::vector<std::uint8_t> present_;
+    std::vector<std::uint64_t> lru_;
+    std::vector<Value> ops_;   ///< 3 operand slots per row.
+
+    OverflowMap overflow_;
     MatchingTableStats stats_;
 };
 

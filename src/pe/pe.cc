@@ -57,6 +57,7 @@ ProcessingElement::deliverBypass(const Token &token, Cycle now)
         // cycle rather than bouncing back to its producer.
         ++stats_.bankConflicts;
         pendingInsert_.push(token, now + 1);
+        notify(now + 1);
         return;
     }
     insertToken(token, now, 1);
@@ -71,6 +72,7 @@ ProcessingElement::insertToken(const Token &token, Cycle now,
     if (window_ != nullptr && !window_->admits(token.tag)) {
         ++stats_.waveThrottled;
         waveWait_.push(token, now + 4);
+        notify(now + 4);
         return;
     }
     // Instruction store: the decoded instruction must be bound before
@@ -78,6 +80,7 @@ ProcessingElement::insertToken(const Token &token, Cycle now,
     if (!store_.access(token.dst.inst)) {
         ++stats_.instMissWaits;
         missWait_.push(token, now + cfg_.instMissLatency);
+        notify(now + cfg_.instMissLatency);
         return;
     }
     const std::uint8_t arity = graph_->inst(token.dst.inst).arity();
@@ -89,6 +92,7 @@ ProcessingElement::insertToken(const Token &token, Cycle now,
                                 ? cfg_.overflowRetryLatency
                                 : dispatch_delay;
         sched_.push(res.fire, now + delay);
+        notify(now + delay);
     }
 }
 
@@ -112,6 +116,7 @@ ProcessingElement::fanOut(const Instruction &inst, InstId inst_id,
             if (!claimBank(now)) {
                 ++stats_.bankConflicts;
                 pendingInsert_.push(token, now + 1);
+                notify(now + 1);
             } else {
                 insertToken(token, now, result_delay);
             }
@@ -190,6 +195,7 @@ ProcessingElement::execute(const MatchingTable::Fire &fire, Cycle now)
         entry.hasMem = true;
         entry.mem = req;
         output_.push(std::move(entry), now + result_delay);
+        notify(now + result_delay);
         return;
     }
 
@@ -202,19 +208,23 @@ ProcessingElement::execute(const MatchingTable::Fire &fire, Cycle now)
         out_tag = tag.nextWave();
 
     fanOut(inst, id, side, out_tag, value, entry, now, result_delay);
-    if (!entry.tokens.empty())
+    if (!entry.tokens.empty()) {
         output_.push(std::move(entry), now + result_delay);
+        notify(now + result_delay);
+    }
 }
 
 void
 ProcessingElement::tick(Cycle now)
 {
+    ++tickCount_;
+
     // Re-admit wave-throttled tokens as the window slides.
     for (int i = 0; i < 8 && waveWait_.ready(now); ++i) {
-        const Token &head = waveWait_.peek();
-        if (window_ != nullptr && !window_->admits(head.tag)) {
+        if (window_ != nullptr && !window_->admits(waveWait_.peekTag())) {
             Token token = waveWait_.pop(now);
             waveWait_.push(token, now + 4);
+            notify(now + 4);
             break;
         }
         insertToken(waveWait_.pop(now), now, 2);
@@ -228,6 +238,7 @@ ProcessingElement::tick(Cycle now)
             Token token = pendingInsert_.pop(now);
             ++stats_.bankConflicts;
             pendingInsert_.push(token, now + 1);
+            notify(now + 1);
             break;
         }
         insertToken(pendingInsert_.pop(now), now, 1);

@@ -29,6 +29,8 @@
 #include "check/checker.h"
 #include "common/stats.h"
 #include "common/types.h"
+#include "core/clock.h"
+#include "core/soa.h"
 #include "isa/exec.h"
 #include "isa/graph.h"
 #include "network/message.h"
@@ -136,7 +138,8 @@ class DomainFpu
 /** One executed instruction's outbound work, drained by the domain. */
 struct OutputEntry
 {
-    std::vector<Token> tokens;   ///< Consumers beyond the pod.
+    SmallVec<Token, 4> tokens;   ///< Consumers beyond the pod; inline
+                                 ///  storage covers typical fan-out.
     bool hasMem = false;
     MemRequest mem;
 };
@@ -155,6 +158,19 @@ class ProcessingElement
     void setWaveWindow(const WaveWindow *w) { window_ = w; }
     void setRunCounters(RunCounters *rc) { counters_ = rc; }
     void setChecker(RuntimeChecker *checker) { checker_ = checker; }
+
+    /**
+     * Attach this PE to its domain's event ring (event-driven mode
+     * only). Every queue push reports its ready cycle, so the domain
+     * visits exactly the PEs that have due work. Unattached PEs (the
+     * reference core, standalone unit tests) skip the bookkeeping.
+     */
+    void
+    setWakeup(WakeupScheduler *sched, ComponentId id)
+    {
+        wake_ = sched;
+        wakeId_ = id;
+    }
 
     /**
      * INPUT stage: offer one operand token at cycle @p now. Returns
@@ -192,6 +208,11 @@ class ProcessingElement
     std::size_t waveWaitSize() const { return waveWait_.size(); }
     std::size_t schedSize() const { return sched_.size(); }
 
+    /** Times tick() ran (test/debug only; never exported or hashed —
+     *  it advances on no-op ticks, which is exactly what the
+     *  un-notified-PE tests measure). */
+    std::uint64_t tickCount() const { return tickCount_; }
+
     /**
      * Hash of every observable-progress indicator of this PE (wscheck
      * WS606): ticking a PE on a cycle it was not armed for must leave
@@ -204,6 +225,14 @@ class ProcessingElement
   private:
     /** Claim one matching-bank write port for this cycle. */
     bool claimBank(Cycle now);
+
+    /** Report queued work at @p at to the domain's event ring. */
+    void
+    notify(Cycle at)
+    {
+        if (wake_ != nullptr)
+            wake_->wake(wakeId_, at);
+    }
 
     /** MATCH: route a token into the matching table (or miss paths). */
     void insertToken(const Token &token, Cycle now, Cycle dispatch_delay);
@@ -224,15 +253,20 @@ class ProcessingElement
 
     MatchingTable match_;
     InstructionStore store_;
+    TokenPool pool_;  ///< Backs the three token queues below.
     TimedQueue<MatchingTable::Fire> sched_;  ///< Matches awaiting dispatch.
-    TimedQueue<Token> missWait_;      ///< Tokens awaiting instruction bind.
-    TimedQueue<Token> pendingInsert_; ///< Bypass tokens past bank limits.
-    TimedQueue<Token> waveWait_;      ///< Tokens beyond the wave window.
+    TimedTokenQueue missWait_{&pool_};   ///< Awaiting instruction bind.
+    TimedTokenQueue pendingInsert_{&pool_};  ///< Bypass past bank limits.
+    TimedTokenQueue waveWait_{&pool_};   ///< Beyond the wave window.
     TimedQueue<OutputEntry> output_;
+
+    WakeupScheduler *wake_ = nullptr;  ///< Domain event ring (may be null).
+    ComponentId wakeId_ = 0;
 
     Cycle acceptCycle_ = kCycleNever;
     unsigned acceptsThisCycle_ = 0;
     Cycle execBusyUntil_ = 0;
+    std::uint64_t tickCount_ = 0;
 
     PeStats stats_;
 };

@@ -2,12 +2,15 @@
  * @file
  * Unit tests for the PE's storage structures: the matching table (cache
  * + in-memory overflow) and the instruction store, plus the TimedQueue
- * primitive they build on.
+ * primitive and the core/soa.h pools they build on.
  */
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "common/log.h"
+#include "core/soa.h"
 #include "network/timed_queue.h"
 #include "pe/instruction_store.h"
 #include "pe/matching_table.h"
@@ -236,6 +239,268 @@ TEST(MatchingTable, BadGeometryIsFatal)
 {
     EXPECT_THROW(MatchingTable(0, 2, 1), FatalError);
     EXPECT_THROW(MatchingTable(15, 2, 1), FatalError);
+}
+
+TEST(MatchingTable, OccupancyCountsOverflowRows)
+{
+    // Regression: tickStats() must count overflow rows as waiting
+    // instances. It once summed only the cache's valid rows, so a
+    // heavily oversubscribed table looked near-empty in the occupancy
+    // statistic even while instances waited in memory.
+    MatchingTable mt(2, 2, 1);
+    EXPECT_FALSE(mt.insert(tok(0, 0, 0, 1), 2, 0).fired);
+    EXPECT_FALSE(mt.insert(tok(1, 0, 0, 2), 2, 1).fired);
+    EXPECT_FALSE(mt.insert(tok(2, 0, 0, 3), 2, 2).fired);  // Evicts LRU.
+    ASSERT_EQ(mt.validRows(), 2u);
+    ASSERT_EQ(mt.overflowSize(), 1u);
+    mt.tickStats();
+    EXPECT_EQ(mt.stats().occupancySum, 3u);  // 2 cache + 1 overflow.
+    mt.tickStats();
+    EXPECT_EQ(mt.stats().occupancySum, 6u);
+}
+
+// ---------------------------------------------------------------------
+// TokenPool / TimedTokenQueue (core/soa.h)
+// ---------------------------------------------------------------------
+
+Token
+poolTok(InstId inst, Value v, WaveNum wave = 0, ThreadId thread = 0)
+{
+    return Token{Tag{thread, wave}, PortRef{inst, 0}, v};
+}
+
+TEST(TokenPool, FreeListReusesMostRecentSlot)
+{
+    TokenPool pool;
+    const TokenHandle a = pool.alloc(poolTok(1, 10));
+    const TokenHandle b = pool.alloc(poolTok(2, 20));
+    EXPECT_EQ(pool.live(), 2u);
+    pool.release(a);
+    pool.release(b);
+    EXPECT_EQ(pool.live(), 0u);
+    // LIFO free-list: the most recently released slot comes back first,
+    // and no new capacity is grown for it.
+    const std::size_t cap = pool.capacity();
+    EXPECT_EQ(pool.alloc(poolTok(3, 30)), b);
+    EXPECT_EQ(pool.alloc(poolTok(4, 40)), a);
+    EXPECT_EQ(pool.capacity(), cap);
+    EXPECT_EQ(pool.get(b).value, 30);
+    EXPECT_EQ(pool.get(a).value, 40);
+}
+
+TEST(TokenPool, HandlesStableAcrossGrowth)
+{
+    TokenPool pool;
+    std::vector<TokenHandle> handles;
+    for (int i = 0; i < 1000; ++i)
+        handles.push_back(pool.alloc(poolTok(
+            static_cast<InstId>(i), i, static_cast<WaveNum>(i % 7),
+            static_cast<ThreadId>(i % 3))));
+    // Growth reallocated the arrays many times over; every handle must
+    // still read back its own payload.
+    for (int i = 0; i < 1000; ++i) {
+        const Token t = pool.get(handles[static_cast<std::size_t>(i)]);
+        EXPECT_EQ(t.dst.inst, static_cast<InstId>(i));
+        EXPECT_EQ(t.value, i);
+        EXPECT_EQ(t.tag.wave, static_cast<WaveNum>(i % 7));
+        EXPECT_EQ(t.tag.thread, static_cast<ThreadId>(i % 3));
+    }
+    EXPECT_EQ(pool.live(), 1000u);
+}
+
+TEST(TokenPool, HandleSurvivesUnrelatedChurn)
+{
+    // A held handle stays valid across release/alloc churn of *other*
+    // handles — the property the matching-table eviction path depends
+    // on while a row's tokens move between queue and overflow storage.
+    TokenPool pool;
+    const TokenHandle keep = pool.alloc(poolTok(42, 4242));
+    for (int round = 0; round < 100; ++round) {
+        const TokenHandle t1 = pool.alloc(poolTok(1, round));
+        const TokenHandle t2 = pool.alloc(poolTok(2, -round));
+        pool.release(t1);
+        pool.release(t2);
+    }
+    const Token t = pool.get(keep);
+    EXPECT_EQ(t.dst.inst, 42u);
+    EXPECT_EQ(t.value, 4242);
+    EXPECT_EQ(pool.live(), 1u);
+}
+
+TEST(TimedTokenQueue, MatchesTimedQueuePopOrder)
+{
+    // The SoA queue must pop in exactly the (ready, insertion order)
+    // sequence of the reference TimedQueue — that identity is what lets
+    // the event core swap it in without perturbing any simulation.
+    TokenPool pool;
+    TimedTokenQueue soa(&pool);
+    TimedQueue<Token> ref;
+    const Cycle readies[] = {10, 5, 10, 7, 5, 20, 1, 10};
+    int i = 0;
+    for (const Cycle r : readies) {
+        const Token t = poolTok(static_cast<InstId>(i), i);
+        soa.push(t, r);
+        ref.push(t, r);
+        ++i;
+    }
+    EXPECT_EQ(soa.size(), ref.size());
+    EXPECT_EQ(soa.nextReady(), ref.nextReady());
+    for (Cycle now = 0; now <= 20; ++now) {
+        ASSERT_EQ(soa.ready(now), ref.ready(now)) << "cycle " << now;
+        while (ref.ready(now)) {
+            const Token want = ref.pop(now);
+            const Token got = soa.pop(now);
+            EXPECT_EQ(got.dst.inst, want.dst.inst);
+            EXPECT_EQ(got.value, want.value);
+            ASSERT_EQ(soa.ready(now), ref.ready(now));
+        }
+    }
+    EXPECT_TRUE(soa.empty());
+    EXPECT_EQ(pool.live(), 0u);  // Pops released every handle.
+}
+
+TEST(TimedTokenQueue, HeadCompactionKeepsContents)
+{
+    // Drive the head index deep enough to trigger prefix compaction
+    // while entries remain, and confirm nothing is lost or reordered.
+    TokenPool pool;
+    TimedTokenQueue q(&pool);
+    const int n = 200;
+    for (int i = 0; i < n; ++i)
+        q.push(poolTok(static_cast<InstId>(i), i), static_cast<Cycle>(i));
+    for (int i = 0; i < n; ++i) {
+        ASSERT_TRUE(q.ready(static_cast<Cycle>(i)));
+        EXPECT_EQ(q.pop(static_cast<Cycle>(i)).value, i);
+        // Interleave fresh pushes so compaction runs with a live tail.
+        if (i % 3 == 0)
+            q.push(poolTok(static_cast<InstId>(n + i), n + i),
+                   static_cast<Cycle>(n + i));
+    }
+    // Drain the interleaved tail in order.
+    int expect = n;
+    while (!q.empty()) {
+        const Cycle at = q.nextReady();
+        EXPECT_EQ(q.pop(at).value, expect);
+        expect += 3;
+    }
+    EXPECT_EQ(pool.live(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// OverflowMap (core/soa.h)
+// ---------------------------------------------------------------------
+
+TEST(OverflowMap, InsertFindEraseRoundTrip)
+{
+    OverflowMap map;
+    EXPECT_TRUE(map.empty());
+    EXPECT_EQ(map.find(1), OverflowMap::npos);
+    bool inserted = false;
+    const std::size_t slot = map.insert(0xabcd, inserted);
+    EXPECT_TRUE(inserted);
+    map.inst(slot) = 7;
+    map.arity(slot) = 2;
+    map.present(slot) = 0x1;
+    map.ops(slot)[0] = 55;
+    const std::size_t found = map.find(0xabcd);
+    ASSERT_NE(found, OverflowMap::npos);
+    EXPECT_EQ(map.inst(found), 7u);
+    EXPECT_EQ(map.ops(found)[0], 55);
+    // Re-inserting an existing key returns it untouched.
+    const std::size_t again = map.insert(0xabcd, inserted);
+    EXPECT_FALSE(inserted);
+    EXPECT_EQ(map.inst(again), 7u);
+    EXPECT_EQ(map.size(), 1u);
+    map.erase(found);
+    EXPECT_TRUE(map.empty());
+    EXPECT_EQ(map.find(0xabcd), OverflowMap::npos);
+}
+
+TEST(OverflowMap, SurvivesGrowthAndChurn)
+{
+    // Push far past the initial capacity (growth + rehash), then erase
+    // every other key (backward-shift deletion across probe chains) and
+    // verify the survivors still resolve with their payloads.
+    OverflowMap map;
+    const std::uint64_t n = 500;
+    for (std::uint64_t k = 1; k <= n; ++k) {
+        bool inserted = false;
+        const std::size_t slot = map.insert(k * 0x9e3779b9u, inserted);
+        ASSERT_TRUE(inserted);
+        map.inst(slot) = static_cast<InstId>(k);
+        map.ops(slot)[2] = static_cast<Value>(k * 3);
+    }
+    EXPECT_EQ(map.size(), n);
+    for (std::uint64_t k = 1; k <= n; k += 2) {
+        const std::size_t slot = map.find(k * 0x9e3779b9u);
+        ASSERT_NE(slot, OverflowMap::npos) << "key " << k;
+        map.erase(slot);
+    }
+    EXPECT_EQ(map.size(), n / 2);
+    for (std::uint64_t k = 1; k <= n; ++k) {
+        const std::size_t slot = map.find(k * 0x9e3779b9u);
+        if (k % 2 == 1) {
+            EXPECT_EQ(slot, OverflowMap::npos) << "key " << k;
+        } else {
+            ASSERT_NE(slot, OverflowMap::npos) << "key " << k;
+            EXPECT_EQ(map.inst(slot), static_cast<InstId>(k));
+            EXPECT_EQ(map.ops(slot)[2], static_cast<Value>(k * 3));
+        }
+    }
+    std::size_t visited = 0;
+    map.forEach([&](std::size_t) { ++visited; });
+    EXPECT_EQ(visited, n / 2);
+}
+
+// ---------------------------------------------------------------------
+// SmallVec (core/soa.h)
+// ---------------------------------------------------------------------
+
+TEST(SmallVec, StaysInlineThenSpills)
+{
+    SmallVec<int, 4> v;
+    for (int i = 0; i < 4; ++i)
+        v.push_back(i);
+    EXPECT_EQ(v.size(), 4u);
+    // The fifth push crosses into the heap; everything must carry over
+    // and later pushes append normally.
+    for (int i = 4; i < 32; ++i)
+        v.push_back(i);
+    ASSERT_EQ(v.size(), 32u);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+    int sum = 0;
+    for (const int x : v)
+        sum += x;
+    EXPECT_EQ(sum, 31 * 32 / 2);
+    v.clear();
+    EXPECT_TRUE(v.empty());
+    // Reuse after clear starts inline again.
+    v.push_back(99);
+    EXPECT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0], 99);
+}
+
+TEST(SmallVec, CopyAndMovePreserveBothModes)
+{
+    SmallVec<int, 2> small;
+    small.push_back(1);
+    SmallVec<int, 2> big;
+    for (int i = 0; i < 10; ++i)
+        big.push_back(i);
+    SmallVec<int, 2> smallCopy(small);
+    SmallVec<int, 2> bigCopy(big);
+    EXPECT_EQ(smallCopy.size(), 1u);
+    EXPECT_EQ(smallCopy[0], 1);
+    ASSERT_EQ(bigCopy.size(), 10u);
+    EXPECT_EQ(bigCopy[9], 9);
+    SmallVec<int, 2> moved(std::move(bigCopy));
+    ASSERT_EQ(moved.size(), 10u);
+    EXPECT_EQ(moved[5], 5);
+    EXPECT_TRUE(bigCopy.empty());
+    moved = std::move(smallCopy);
+    ASSERT_EQ(moved.size(), 1u);
+    EXPECT_EQ(moved[0], 1);
 }
 
 // ---------------------------------------------------------------------

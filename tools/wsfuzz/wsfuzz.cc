@@ -8,6 +8,8 @@
  * byte-identical:
  *
  *   parity        gated clocking vs --always-tick (the clocking oracle)
+ *   core          the SoA event core vs --reference-core (the polled
+ *                 cycle core) — byte-identical SimResult required
  *   transparency  wscheck at level full vs checking off (checking must
  *                 never perturb a statistic)
  *   invariants    the checked runs must report zero WS6xx violations
@@ -376,13 +378,16 @@ fuzzOne(Fuzzer &fz, std::uint64_t seed, std::vector<SimJob> &batch)
     gated.checkLevel = CheckLevel::kFull;
     ProcessorConfig ref = gated;
     ref.alwaysTick = true;
+    ProcessorConfig refcore = gated;
+    refcore.referenceCore = true;
     ProcessorConfig off = base;
     off.checkLevel = CheckLevel::kOff;
 
     const SimResult r_gated = runSimulation(*graph, gated, sim);
     const SimResult r_ref = runSimulation(*graph, ref, sim);
+    const SimResult r_core = runSimulation(*graph, refcore, sim);
     const SimResult r_off = runSimulation(*graph, off, sim);
-    fz.simulations += 3;
+    fz.simulations += 4;
 
     if (!r_gated.completed) {
         fz.report(seed, threads, base, "completion",
@@ -397,10 +402,18 @@ fuzzOne(Fuzzer &fz, std::uint64_t seed, std::vector<SimJob> &batch)
     if (r_ref.checkViolations != 0) {
         fz.report(seed, threads, base, "invariants-ref", r_ref.checkLog);
     }
+    if (r_core.checkViolations != 0) {
+        fz.report(seed, threads, base, "invariants-core",
+                  r_core.checkLog);
+    }
     const std::string parity =
         diffReports("gated", r_gated.report, "always-tick", r_ref.report);
     if (!parity.empty() || r_gated.completed != r_ref.completed)
         fz.report(seed, threads, base, "parity", parity);
+    const std::string core = diffReports("event-core", r_gated.report,
+                                         "reference-core", r_core.report);
+    if (!core.empty() || r_gated.completed != r_core.completed)
+        fz.report(seed, threads, base, "core", core);
     const std::string transparency =
         diffReports("checked", r_gated.report, "unchecked", r_off.report);
     if (!transparency.empty())
@@ -421,9 +434,10 @@ fuzzOne(Fuzzer &fz, std::uint64_t seed, std::vector<SimJob> &batch)
         const BoundBreakdown bound =
             staticAipcBoundDetail(profile, placed, boundParams(base));
         const double limit = bound.bound * (1.0 + 1e-9) + 1e-12;
-        const SimResult *variants[] = {&r_gated, &r_ref, &r_off};
-        const char *labels[] = {"gated", "always-tick", "unchecked"};
-        for (int v = 0; v < 3; ++v) {
+        const SimResult *variants[] = {&r_gated, &r_ref, &r_core, &r_off};
+        const char *labels[] = {"gated", "always-tick", "reference-core",
+                                "unchecked"};
+        for (int v = 0; v < 4; ++v) {
             if (variants[v]->aipc > limit) {
                 std::ostringstream detail;
                 detail.setf(std::ios::fixed);
