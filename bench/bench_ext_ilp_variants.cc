@@ -89,7 +89,7 @@ main(int argc, char **argv)
         std::size_t off = 0;
         for (std::size_t v = 0; v < variants.size(); ++v) {
             const std::uint64_t fp =
-                bench::kernelFingerprint(variants[v], params);
+                kernelFingerprint(variants[v], params);
             const auto profile =
                 profiles.profileFor(variants[v].build(params), fp);
             off += static_cast<std::size_t>(std::snprintf(

@@ -63,7 +63,7 @@ main(int argc, char **argv)
 
         // Shared engine: the per-k/per-u candidates run concurrently
         // and memoize under this kernel's fingerprint.
-        topts.graphFingerprint = bench::kernelFingerprint(k, params);
+        topts.graphFingerprint = kernelFingerprint(k, params);
         TuningResult r =
             tuneMatchingTable(graph, base, topts, &bench::engine(opts));
         max_ratio = std::max(max_ratio, r.virtRatio);

@@ -40,6 +40,8 @@ parseArgs(int argc, char **argv)
                 opts.jobs = 1;
         } else if (std::strncmp(arg, "--out-dir=", 10) == 0) {
             opts.outDir = arg + 10;
+        } else if (std::strncmp(arg, "--cache-dir=", 12) == 0) {
+            opts.cacheDir = arg + 12;
         } else if (std::strcmp(arg, "--no-json") == 0) {
             opts.json = false;
         } else if (std::strcmp(arg, "--prune-static") == 0) {
@@ -61,7 +63,8 @@ parseArgs(int argc, char **argv)
             std::fprintf(stderr,
                          "usage: %s [--quick] [--max-cycles=N] "
                          "[--scale=N] [--seed=N] [--jobs=N] "
-                         "[--out-dir=PATH] [--no-json] "
+                         "[--out-dir=PATH] [--cache-dir=PATH] "
+                         "[--no-json] "
                          "[--prune-static] [--always-tick] "
                          "[--reference-core] "
                          "[--check[=off|cheap|full]]\n", argv[0]);
@@ -79,6 +82,7 @@ engine(const BenchOptions &opts)
         SweepEngine::Options eopts;
         eopts.jobs = opts.jobs;
         eopts.label = "sweep";
+        eopts.cacheDir = opts.cacheDir;
         return new SweepEngine(eopts);
     }();
     return *instance;
@@ -307,18 +311,6 @@ pickBest(const std::vector<RunResult> &runs)
 }
 
 } // namespace
-
-std::uint64_t
-kernelFingerprint(const Kernel &kernel, const KernelParams &params)
-{
-    std::uint64_t h = 0x6b65726e656c6670ULL;  // "kernelfp" salt.
-    for (char c : kernel.name)
-        h = hashCombine(h, static_cast<std::uint64_t>(c));
-    h = hashCombine(h, params.threads);
-    h = hashCombine(h, params.scale);
-    h = hashCombine(h, params.seed);
-    return h;
-}
 
 std::vector<RunResult>
 runAll(const std::vector<CfgRun> &runs, const BenchOptions &opts)
@@ -559,6 +551,7 @@ BenchReport::BenchReport(std::string name, const BenchOptions &opts)
     o["prune_static"] = opts_.pruneStatic;
     o["always_tick"] = opts_.alwaysTick;
     o["reference_core"] = opts_.referenceCore;
+    o["cache_dir"] = opts_.cacheDir;
 }
 
 void
@@ -589,6 +582,22 @@ BenchReport::finish()
         static_cast<std::uint64_t>(eng.stats().simulated);
     sweep["cache_hits"] =
         static_cast<std::uint64_t>(eng.stats().cacheHits);
+    {
+        // Tiered hit attribution: where did this process's replays
+        // actually come from? cache_hits above counts both tiers;
+        // disk hits are the cross-process wins --cache-dir buys.
+        const SimCacheStats cs = eng.cache().stats();
+        sweep["cache_hits_memory"] =
+            static_cast<std::uint64_t>(cs.memoryHits);
+        sweep["cache_hits_disk"] =
+            static_cast<std::uint64_t>(cs.diskHits);
+        sweep["cache_disk_writes"] =
+            static_cast<std::uint64_t>(cs.diskWrites);
+        sweep["cache_disk_rejected"] =
+            static_cast<std::uint64_t>(cs.diskRejected);
+        sweep["cache_disk_write_errors"] =
+            static_cast<std::uint64_t>(cs.diskWriteErrors);
+    }
     sweep["sim_wall_ms"] = eng.stats().wallMs;
     sweep["pruned"] = static_cast<std::uint64_t>(eng.stats().pruned);
     sweep["prune_errors"] =
@@ -726,11 +735,13 @@ BenchReport::finish()
             out << merged.dump(2) << '\n';
     }
     std::fprintf(stderr,
-                 "[%s] %.0f ms wall, %llu simulated, %llu cached, "
-                 "%llu pruned -> %s\n",
+                 "[%s] %.0f ms wall, %llu simulated, %llu cached "
+                 "(%llu from disk), %llu pruned -> %s\n",
                  name_.c_str(), wall_ms,
                  static_cast<unsigned long long>(eng.stats().simulated),
                  static_cast<unsigned long long>(eng.stats().cacheHits),
+                 static_cast<unsigned long long>(
+                     eng.cache().stats().diskHits),
                  static_cast<unsigned long long>(eng.stats().pruned),
                  path.c_str());
 }

@@ -62,11 +62,14 @@ struct BenchOptions
                                ///  violations are surfaced separately
                                ///  and counted in the JSON twin.
     std::string outDir = "bench_results";
+    std::string cacheDir;      ///< Persistent simulation store shared
+                               ///  across harnesses/processes
+                               ///  (--cache-dir; empty = memory-only).
 };
 
 /** Parse --quick / --max-cycles=N / --scale=N / --seed=N / --jobs=N /
- *  --out-dir=PATH / --no-json / --prune-static / --always-tick /
- *  --reference-core / --check[=LEVEL]. */
+ *  --out-dir=PATH / --cache-dir=PATH / --no-json / --prune-static /
+ *  --always-tick / --reference-core / --check[=LEVEL]. */
 BenchOptions parseArgs(int argc, char **argv);
 
 /** The process-wide sweep engine (created on first use from @p opts;
@@ -171,11 +174,6 @@ std::vector<double> suiteAipcAll(Suite suite,
 
 /** Candidate designs, optionally thinned by --quick. */
 std::vector<DesignPoint> benchDesigns(const BenchOptions &opts);
-
-/** Program-identity hash for SimCache memoization of @p kernel built
- *  with @p params (e.g. for TuningOptions::graphFingerprint). */
-std::uint64_t kernelFingerprint(const Kernel &kernel,
-                                const KernelParams &params);
 
 /** printf a horizontal rule of the given width. */
 void rule(int width);

@@ -5,13 +5,39 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/log.h"
+
 namespace ws {
+
+namespace {
+
+const char *
+typeName(Json::Type t)
+{
+    switch (t) {
+      case Json::Type::kNull: return "null";
+      case Json::Type::kBool: return "bool";
+      case Json::Type::kNumber: return "number";
+      case Json::Type::kString: return "string";
+      case Json::Type::kArray: return "array";
+      case Json::Type::kObject: return "object";
+    }
+    return "?";
+}
+
+} // namespace
 
 Json &
 Json::operator[](const std::string &key)
 {
     if (type_ == Type::kNull)
         type_ = Type::kObject;
+    // Fields appended to a number/string/array would never be emitted
+    // by dumpTo — silent data loss. Fail fast instead.
+    if (type_ != Type::kObject) {
+        fatal("Json: operator[](\"%s\") on a %s value (only objects "
+              "have fields)", key.c_str(), typeName(type_));
+    }
     auto it = index_.find(key);
     if (it != index_.end())
         return fields_[it->second].second;
@@ -82,8 +108,15 @@ appendNumber(std::string &out, double v)
         out += buf;
         return;
     }
+    // Shortest decimal form that parses back to exactly this double:
+    // persisted results (driver/disk_cache) are replayed through
+    // Json::parse and must compare bit-equal to the fresh run.
     char buf[40];
-    std::snprintf(buf, sizeof buf, "%.10g", v);
+    for (int prec = 15; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
     out += buf;
 }
 
@@ -155,6 +188,49 @@ Json::dump(int indent) const
 
 namespace {
 
+/** Parse exactly four hex digits at @p q; false on any non-hex char
+ *  (strtol would silently accept a shorter prefix). */
+bool
+hex4(const char *q, unsigned *out)
+{
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+        const char c = q[i];
+        unsigned digit = 0;
+        if (c >= '0' && c <= '9')
+            digit = static_cast<unsigned>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            digit = static_cast<unsigned>(c - 'a') + 10;
+        else if (c >= 'A' && c <= 'F')
+            digit = static_cast<unsigned>(c - 'A') + 10;
+        else
+            return false;
+        v = v * 16 + digit;
+    }
+    *out = v;
+    return true;
+}
+
+void
+appendUtf8(std::string &s, unsigned cp)
+{
+    if (cp < 0x80) {
+        s += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+        s += static_cast<char>(0xC0 | (cp >> 6));
+        s += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+        s += static_cast<char>(0xE0 | (cp >> 12));
+        s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+        s += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+        s += static_cast<char>(0xF0 | (cp >> 18));
+        s += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+        s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+        s += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+}
+
 struct Parser
 {
     const char *p;
@@ -208,16 +284,30 @@ struct Parser
                   case 'b': s += '\b'; break;
                   case 'f': s += '\f'; break;
                   case 'u': {
-                    if (end - p < 5) {
+                    unsigned cp = 0;
+                    if (end - p < 5 || !hex4(p + 1, &cp)) {
                         ok = false;
                         return Json();
                     }
-                    char hex[5] = {p[1], p[2], p[3], p[4], 0};
-                    const long code = std::strtol(hex, nullptr, 16);
-                    // Basic-latin escapes only; others pass through
-                    // as '?' (the harnesses never emit them).
-                    s += code < 0x80 ? static_cast<char>(code) : '?';
-                    p += 4;
+                    p += 4;  // Now at the last hex digit.
+                    if (cp >= 0xD800 && cp <= 0xDBFF) {
+                        // Lead surrogate: the trail must follow
+                        // immediately as another \uXXXX escape.
+                        unsigned trail = 0;
+                        if (end - p < 7 || p[1] != '\\' || p[2] != 'u' ||
+                            !hex4(p + 3, &trail) || trail < 0xDC00 ||
+                            trail > 0xDFFF) {
+                            ok = false;
+                            return Json();
+                        }
+                        cp = 0x10000 + ((cp - 0xD800) << 10) +
+                             (trail - 0xDC00);
+                        p += 6;
+                    } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+                        ok = false;  // Unpaired trail surrogate.
+                        return Json();
+                    }
+                    appendUtf8(s, cp);
                     break;
                   }
                   default: s += *p; break;

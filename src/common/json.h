@@ -6,9 +6,13 @@
  * (bench_results/NAME.json) alongside the paper-style text tables, and the
  * sweep driver merges its wall-clock/cache statistics into a shared
  * BENCH_sweep.json — which requires read-modify-write, hence the
- * parser. This is deliberately not a general-purpose JSON library: no
- * unicode escapes beyond pass-through, numbers are doubles, objects
- * preserve insertion order so diffs stay stable across runs.
+ * parser. The persistent simulation store (driver/disk_cache) replays
+ * records through this parser and demands exact fidelity: numbers are
+ * doubles written in the shortest form that re-parses bit-equal, and
+ * \uXXXX escapes are validated (all four hex digits, surrogates must
+ * pair) and decoded to UTF-8. This is deliberately not a
+ * general-purpose JSON library: objects preserve insertion order so
+ * diffs stay stable across runs, and that is about all it promises.
  */
 
 #ifndef WS_COMMON_JSON_H_
@@ -62,7 +66,9 @@ class Json
     const std::string &asString() const { return str_; }
 
     /** Object field access; creates the field (null) on a non-const
-     *  object, converting a null value into an object first. */
+     *  object, converting a null value into an object first. fatal()
+     *  on any other type — fields of a number/string/array would be
+     *  silently dropped by dump(). */
     Json &operator[](const std::string &key);
 
     /** Object field lookup; returns nullptr when absent. */

@@ -1,0 +1,131 @@
+#include "core/sim_io.h"
+
+namespace ws {
+
+namespace {
+
+/** Bump when the record layout changes; old records then read as
+ *  misses instead of mis-parsing. */
+constexpr double kFormatVersion = 1;
+
+bool
+getNumber(const Json &j, const std::string &key, double *out)
+{
+    const Json *f = j.find(key);
+    if (f == nullptr || f->type() != Json::Type::kNumber)
+        return false;
+    *out = f->asNumber();
+    return true;
+}
+
+bool
+getBool(const Json &j, const std::string &key, bool *out)
+{
+    const Json *f = j.find(key);
+    if (f == nullptr || f->type() != Json::Type::kBool)
+        return false;
+    *out = f->asBool();
+    return true;
+}
+
+bool
+getString(const Json &j, const std::string &key, std::string *out)
+{
+    const Json *f = j.find(key);
+    if (f == nullptr || f->type() != Json::Type::kString)
+        return false;
+    *out = f->asString();
+    return true;
+}
+
+} // namespace
+
+Json
+simResultToJson(const SimResult &result)
+{
+    Json j = Json::object();
+    j["version"] = kFormatVersion;
+    j["completed"] = result.completed;
+    j["cycles"] = static_cast<std::uint64_t>(result.cycles);
+    j["useful"] = static_cast<std::uint64_t>(result.useful);
+    j["aipc"] = result.aipc;
+    j["pruned"] = result.pruned;
+    j["check_violations"] =
+        static_cast<std::uint64_t>(result.checkViolations);
+    j["check_log"] = result.checkLog;
+    // The report as an array of [name, value] pairs: order is part of
+    // the identity (toString() renders in insertion order).
+    Json report = Json::array();
+    for (const auto &[name, value] : result.report.entries()) {
+        Json entry = Json::array();
+        entry.push(Json(name));
+        entry.push(Json(value));
+        report.push(std::move(entry));
+    }
+    j["report"] = std::move(report);
+    return j;
+}
+
+bool
+simResultFromJson(const Json &j, SimResult *out)
+{
+    *out = SimResult{};
+    if (!j.isObject())
+        return false;
+    double version = 0.0;
+    if (!getNumber(j, "version", &version) || version != kFormatVersion)
+        return false;
+    double cycles = 0.0;
+    double useful = 0.0;
+    double violations = 0.0;
+    SimResult r;
+    if (!getBool(j, "completed", &r.completed) ||
+        !getNumber(j, "cycles", &cycles) ||
+        !getNumber(j, "useful", &useful) ||
+        !getNumber(j, "aipc", &r.aipc) ||
+        !getBool(j, "pruned", &r.pruned) ||
+        !getNumber(j, "check_violations", &violations) ||
+        !getString(j, "check_log", &r.checkLog)) {
+        return false;
+    }
+    r.cycles = static_cast<Cycle>(cycles);
+    r.useful = static_cast<Counter>(useful);
+    r.checkViolations = static_cast<Counter>(violations);
+    const Json *report = j.find("report");
+    if (report == nullptr || !report->isArray())
+        return false;
+    for (const Json &entry : report->items()) {
+        if (!entry.isArray() || entry.size() != 2 ||
+            entry.items()[0].type() != Json::Type::kString ||
+            entry.items()[1].type() != Json::Type::kNumber) {
+            return false;
+        }
+        r.report.add(entry.items()[0].asString(),
+                     entry.items()[1].asNumber());
+    }
+    *out = std::move(r);
+    return true;
+}
+
+bool
+simResultsEqual(const SimResult &a, const SimResult &b)
+{
+    if (a.completed != b.completed || a.cycles != b.cycles ||
+        a.useful != b.useful || a.aipc != b.aipc ||
+        a.pruned != b.pruned ||
+        a.checkViolations != b.checkViolations ||
+        a.checkLog != b.checkLog) {
+        return false;
+    }
+    const auto &ea = a.report.entries();
+    const auto &eb = b.report.entries();
+    if (ea.size() != eb.size())
+        return false;
+    for (std::size_t i = 0; i < ea.size(); ++i) {
+        if (ea[i].first != eb[i].first || ea[i].second != eb[i].second)
+            return false;
+    }
+    return true;
+}
+
+} // namespace ws

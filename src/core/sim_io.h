@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Exact JSON serialization of completed simulation results.
+ *
+ * The persistent simulation store (driver/disk_cache) writes one JSON
+ * record per SimResult and replays it in later processes, and a
+ * replayed result must be indistinguishable from a fresh run — the
+ * bench tables printed from it have to be byte-identical. That forces
+ * the contract here to be exactness, not readability: every field of
+ * SimResult (including the full StatReport, in insertion order) is
+ * emitted, doubles round-trip bit-equal through Json's shortest-form
+ * writer, and deserialization is strict — any missing or mistyped
+ * field rejects the whole record (the store treats that as a miss).
+ */
+
+#ifndef WS_CORE_SIM_IO_H_
+#define WS_CORE_SIM_IO_H_
+
+#include "common/json.h"
+#include "core/simulator.h"
+
+namespace ws {
+
+/** Serialize every field of @p result (lossless; see file comment). */
+Json simResultToJson(const SimResult &result);
+
+/**
+ * Rebuild a SimResult from simResultToJson output. Returns false and
+ * leaves @p out default-constructed when @p j is not a well-formed
+ * image (wrong version, missing field, type mismatch).
+ */
+bool simResultFromJson(const Json &j, SimResult *out);
+
+/** Field-by-field equality, exact on doubles — the replay-fidelity
+ *  oracle used by the store tests and wsa-serve's self-audit. */
+bool simResultsEqual(const SimResult &a, const SimResult &b);
+
+} // namespace ws
+
+#endif // WS_CORE_SIM_IO_H_

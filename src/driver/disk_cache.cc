@@ -1,0 +1,186 @@
+#include "driver/disk_cache.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.h"
+#include "core/sim_io.h"
+
+namespace fs = std::filesystem;
+
+namespace ws {
+
+namespace {
+
+std::string
+hex64(std::uint64_t v)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/** The record carries its own key so a renamed/truncated-name file can
+ *  never masquerade as a different point. */
+Json
+keyToJson(const SimKey &key)
+{
+    Json j = Json::object();
+    j["graph_fp"] = hex64(key.graphFp);
+    j["config_fp"] = hex64(key.configFp);
+    j["max_cycles"] = static_cast<std::uint64_t>(key.maxCycles);
+    return j;
+}
+
+bool
+keyMatches(const Json &j, const SimKey &key)
+{
+    const Json *graph = j.find("graph_fp");
+    const Json *config = j.find("config_fp");
+    const Json *cycles = j.find("max_cycles");
+    return graph != nullptr &&
+           graph->type() == Json::Type::kString &&
+           graph->asString() == hex64(key.graphFp) &&
+           config != nullptr &&
+           config->type() == Json::Type::kString &&
+           config->asString() == hex64(key.configFp) &&
+           cycles != nullptr &&
+           cycles->type() == Json::Type::kNumber &&
+           cycles->asNumber() ==
+               static_cast<double>(key.maxCycles);
+}
+
+} // namespace
+
+DiskSimCache::DiskSimCache(std::string dir) : dir_(std::move(dir))
+{
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec) {
+        fatal("DiskSimCache: cannot create store directory %s: %s",
+              dir_.c_str(), ec.message().c_str());
+    }
+}
+
+std::string
+DiskSimCache::recordPath(const SimKey &key) const
+{
+    const unsigned shard =
+        static_cast<unsigned>(SimKeyHash{}(key)) & 0xFF;
+    char shard_buf[4];
+    std::snprintf(shard_buf, sizeof shard_buf, "%02x", shard);
+    return dir_ + "/" + shard_buf + "/" + hex64(key.graphFp) + "-" +
+           hex64(key.configFp) + "-" +
+           std::to_string(static_cast<unsigned long long>(
+               key.maxCycles)) +
+           ".json";
+}
+
+bool
+DiskSimCache::contains(const SimKey &key) const
+{
+    std::error_code ec;
+    return fs::exists(recordPath(key), ec);
+}
+
+bool
+DiskSimCache::lookup(const SimKey &key, SimResult *out)
+{
+    const std::string path = recordPath(key);
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        ++misses_;
+        return false;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    bool ok = false;
+    const Json record = Json::parse(ss.str(), &ok);
+    const Json *result_json = nullptr;
+    if (ok && record.isObject()) {
+        const Json *key_json = record.find("key");
+        if (key_json != nullptr && key_json->isObject() &&
+            keyMatches(*key_json, key)) {
+            result_json = record.find("result");
+        }
+    }
+    if (result_json == nullptr ||
+        !simResultFromJson(*result_json, out)) {
+        // Corrupt/truncated/mismatched record: a miss, not a crash.
+        // The caller re-simulates and the insert overwrites it.
+        ++rejected_;
+        return false;
+    }
+    ++hits_;
+    return true;
+}
+
+void
+DiskSimCache::insert(const SimKey &key, const SimResult &result)
+{
+    const std::string path = recordPath(key);
+    std::error_code ec;
+    fs::create_directories(fs::path(path).parent_path(), ec);
+    if (ec) {
+        ++writeErrors_;
+        warn("DiskSimCache: cannot create shard directory for %s: %s",
+             path.c_str(), ec.message().c_str());
+        return;
+    }
+
+    Json record = Json::object();
+    record["key"] = keyToJson(key);
+    record["result"] = simResultToJson(result);
+
+    // Temp name unique per (process, insert): concurrent writers from
+    // any number of processes never collide, and the final rename is
+    // atomic on POSIX — readers see a whole record or none.
+    std::ostringstream tmp_name;
+    tmp_name << path << ".tmp." << ::getpid() << "."
+             << tmpSeq_.fetch_add(1, std::memory_order_relaxed);
+    const std::string tmp = tmp_name.str();
+    {
+        std::ofstream tmp_out(tmp, std::ios::binary | std::ios::trunc);
+        if (!tmp_out) {
+            ++writeErrors_;
+            warn("DiskSimCache: cannot write %s", tmp.c_str());
+            return;
+        }
+        tmp_out << record.dump() << '\n';
+        if (!tmp_out) {
+            ++writeErrors_;
+            warn("DiskSimCache: short write to %s", tmp.c_str());
+            tmp_out.close();
+            fs::remove(tmp, ec);
+            return;
+        }
+    }
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        ++writeErrors_;
+        warn("DiskSimCache: cannot rename %s into place: %s",
+             tmp.c_str(), ec.message().c_str());
+        fs::remove(tmp, ec);
+        return;
+    }
+    ++writes_;
+}
+
+DiskCacheStats
+DiskSimCache::stats() const
+{
+    DiskCacheStats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.rejected = rejected_.load(std::memory_order_relaxed);
+    s.writes = writes_.load(std::memory_order_relaxed);
+    s.writeErrors = writeErrors_.load(std::memory_order_relaxed);
+    return s;
+}
+
+} // namespace ws

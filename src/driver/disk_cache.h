@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Content-addressed on-disk store of completed simulation results.
+ *
+ * One JSON record per (graph, config, budget) point, laid out as
+ *
+ *     <dir>/<ss>/<graphFp>-<configFp>-<maxCycles>.json
+ *
+ * where <ss> is a two-hex-digit shard derived from the key hash (256
+ * shards keep directory listings small at fleet scale). Records are
+ * written to a process/sequence-unique temp file in the shard
+ * directory and atomically renamed into place, so any number of
+ * concurrent writer processes sharing one store stay safe: readers
+ * see either the complete old record or the complete new one, never a
+ * torn write, and last writer wins on a tie (both wrote the same
+ * deterministic result).
+ *
+ * Reads are forgiving where writes are strict: a missing file is a
+ * plain miss, and a corrupt, truncated, or mismatched record (version
+ * bump, hand-edited key) is a *counted* miss, never a crash — the
+ * caller simply re-simulates and overwrites it.
+ */
+
+#ifndef WS_DRIVER_DISK_CACHE_H_
+#define WS_DRIVER_DISK_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/stats.h"
+#include "core/simulator.h"
+#include "driver/sim_key.h"
+
+namespace ws {
+
+struct DiskCacheStats
+{
+    Counter hits = 0;
+    Counter misses = 0;      ///< Record absent.
+    Counter rejected = 0;    ///< Record present but unusable (corrupt,
+                             ///  truncated, version/key mismatch).
+    Counter writes = 0;
+    Counter writeErrors = 0; ///< Failed temp write/rename (disk full,
+                             ///  permissions); warned, never fatal.
+};
+
+class DiskSimCache
+{
+  public:
+    /** Opens (creating if needed) the store rooted at @p dir. */
+    explicit DiskSimCache(std::string dir);
+
+    const std::string &dir() const { return dir_; }
+
+    /** True and fills @p out on a usable record; counts stats. */
+    bool lookup(const SimKey &key, SimResult *out);
+
+    /** True when a record file exists (no parse, no stats) — the
+     *  tier probe wsa-serve uses to label result provenance. */
+    bool contains(const SimKey &key) const;
+
+    /** Persist one completed run via temp file + atomic rename. */
+    void insert(const SimKey &key, const SimResult &result);
+
+    /** Full path of the record for @p key (exposed for tests that
+     *  corrupt/truncate records on purpose). */
+    std::string recordPath(const SimKey &key) const;
+
+    DiskCacheStats stats() const;
+
+  private:
+    std::string dir_;
+    std::atomic<Counter> hits_{0};
+    std::atomic<Counter> misses_{0};
+    std::atomic<Counter> rejected_{0};
+    std::atomic<Counter> writes_{0};
+    std::atomic<Counter> writeErrors_{0};
+    std::atomic<std::uint64_t> tmpSeq_{0};  ///< Unique temp names
+                                            ///  within this process.
+};
+
+} // namespace ws
+
+#endif // WS_DRIVER_DISK_CACHE_H_

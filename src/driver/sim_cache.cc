@@ -4,6 +4,13 @@
 
 namespace ws {
 
+void
+SimCache::attachDisk(const std::string &dir)
+{
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    disk_ = std::make_unique<DiskSimCache>(dir);
+}
+
 bool
 SimCache::lookup(const Key &key, SimResult *out)
 {
@@ -12,9 +19,16 @@ SimCache::lookup(const Key &key, SimResult *out)
         auto it = map_.find(key);
         if (it != map_.end()) {
             *out = it->second;
-            ++hits_;
+            ++memoryHits_;
             return true;
         }
+    }
+    if (disk_ != nullptr && disk_->lookup(key, out)) {
+        ++diskHits_;
+        // Promote: repeats within this process become memory hits.
+        std::unique_lock<std::shared_mutex> lock(mutex_);
+        map_.emplace(key, *out);
+        return true;
     }
     ++misses_;
     return false;
@@ -23,9 +37,26 @@ SimCache::lookup(const Key &key, SimResult *out)
 void
 SimCache::insert(const Key &key, const SimResult &result)
 {
-    std::unique_lock<std::shared_mutex> lock(mutex_);
-    map_[key] = result;
-    ++insertions_;
+    {
+        std::unique_lock<std::shared_mutex> lock(mutex_);
+        map_[key] = result;
+        ++insertions_;
+    }
+    if (disk_ != nullptr)
+        disk_->insert(key, result);
+}
+
+SimCache::Tier
+SimCache::probe(const Key &key) const
+{
+    {
+        std::shared_lock<std::shared_mutex> lock(mutex_);
+        if (map_.count(key) != 0)
+            return Tier::kMemory;
+    }
+    if (disk_ != nullptr && disk_->contains(key))
+        return Tier::kDisk;
+    return Tier::kNone;
 }
 
 std::size_t
@@ -46,9 +77,17 @@ SimCacheStats
 SimCache::stats() const
 {
     SimCacheStats s;
-    s.hits = hits_.load(std::memory_order_relaxed);
+    s.memoryHits = memoryHits_.load(std::memory_order_relaxed);
+    s.diskHits = diskHits_.load(std::memory_order_relaxed);
+    s.hits = s.memoryHits + s.diskHits;
     s.misses = misses_.load(std::memory_order_relaxed);
     s.insertions = insertions_.load(std::memory_order_relaxed);
+    if (disk_ != nullptr) {
+        const DiskCacheStats d = disk_->stats();
+        s.diskWrites = d.writes;
+        s.diskRejected = d.rejected;
+        s.diskWriteErrors = d.writeErrors;
+    }
     return s;
 }
 

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Identity of one simulation point, shared by both tiers of the result
+ * cache (the in-memory SimCache and the on-disk DiskSimCache).
+ *
+ * The key is content-addressed: the graph fingerprint names the
+ * program (kernel, threads, scale, seed), the config fingerprint
+ * hashes every ProcessorConfig field that can affect the outcome
+ * (including checkLevel/alwaysTick/referenceCore), and the cycle
+ * budget completes it. Equal keys imply identical simulations — the
+ * simulator is deterministic — so invalidation is structural: change
+ * any knob and the key changes.
+ */
+
+#ifndef WS_DRIVER_SIM_KEY_H_
+#define WS_DRIVER_SIM_KEY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace ws {
+
+struct SimKey
+{
+    std::uint64_t graphFp = 0;   ///< Program identity (kernel name,
+                                 ///  threads, scale, seed...).
+    std::uint64_t configFp = 0;  ///< ProcessorConfig::fingerprint().
+    Cycle maxCycles = 0;
+
+    bool operator==(const SimKey &) const = default;
+};
+
+struct SimKeyHash
+{
+    std::size_t
+    operator()(const SimKey &k) const
+    {
+        std::uint64_t h = k.graphFp * 0x9e3779b97f4a7c15ULL;
+        h ^= k.configFp + (h << 6) + (h >> 2);
+        h ^= k.maxCycles + (h << 6) + (h >> 2);
+        return static_cast<std::size_t>(h);
+    }
+};
+
+} // namespace ws
+
+#endif // WS_DRIVER_SIM_KEY_H_

@@ -15,7 +15,10 @@ SweepEngine::SweepEngine() : SweepEngine(Options{}) {}
 SweepEngine::SweepEngine(Options opts)
     : opts_(std::move(opts)),
       jobs_(opts_.jobs == 0 ? ThreadPool::hardwareJobs() : opts_.jobs)
-{}
+{
+    if (!opts_.cacheDir.empty())
+        cache_.attachDisk(opts_.cacheDir);
+}
 
 SweepEngine::~SweepEngine() = default;
 
@@ -74,6 +77,14 @@ SweepEngine::run(const std::vector<SimJob> &jobs)
 
     const std::size_t total = jobs.size();
     std::atomic<std::size_t> done{total - todo.size()};
+    // Report replayed points up front: an all-hits batch would
+    // otherwise print nothing (tick() only fires for simulated jobs,
+    // so neither the summary line nor its trailing newline appeared),
+    // and a mixed batch's first tick would claim the cached points as
+    // if the first simulation had completed them. This mirrors
+    // runGrouped, where every job — hit or miss — ticks exactly once.
+    if (opts_.progress && total > 1 && todo.size() < total)
+        reportProgress(total - todo.size(), total, batch_hits);
     std::mutex progress_mutex;
     auto tick = [&] {
         const std::size_t d =

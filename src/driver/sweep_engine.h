@@ -80,6 +80,9 @@ class SweepEngine
         unsigned jobs = 0;      ///< Worker threads; 0 = hardware.
         bool progress = true;   ///< Live completion ticker on stderr.
         std::string label = "sweep";
+        /** Root of the persistent result store shared across processes
+         *  (driver/disk_cache). Empty = memory-only memoization. */
+        std::string cacheDir;
     };
 
     SweepEngine();

@@ -58,6 +58,15 @@ const Kernel &findKernel(const std::string &name);
 /** Names of all kernels in @p suite. */
 std::vector<std::string> kernelsInSuite(Suite suite);
 
+/**
+ * Program-identity hash of @p kernel built with @p params — the
+ * graph-fingerprint half of the simulation cache key (driver/sim_key.h).
+ * One definition shared by the bench harnesses and wsa-serve, so every
+ * client of one persistent store addresses the same records.
+ */
+std::uint64_t kernelFingerprint(const Kernel &kernel,
+                                const KernelParams &params);
+
 // Individual builders (exposed for tests and examples).
 DataflowGraph buildGzip(const KernelParams &);
 DataflowGraph buildMcf(const KernelParams &);

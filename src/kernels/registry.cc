@@ -1,6 +1,7 @@
 #include "kernels/kernel.h"
 
 #include "common/log.h"
+#include "common/rng.h"
 
 namespace ws {
 
@@ -46,6 +47,18 @@ kernelsInSuite(Suite suite)
             names.push_back(k.name);
     }
     return names;
+}
+
+std::uint64_t
+kernelFingerprint(const Kernel &kernel, const KernelParams &params)
+{
+    std::uint64_t h = 0x6b65726e656c6670ULL;  // "kernelfp" salt.
+    for (char c : kernel.name)
+        h = hashCombine(h, static_cast<std::uint64_t>(c));
+    h = hashCombine(h, params.threads);
+    h = hashCombine(h, params.scale);
+    h = hashCombine(h, params.seed);
+    return h;
 }
 
 } // namespace ws

@@ -1,13 +1,18 @@
 /**
  * @file
- * Unit tests for the common substrate: RNG, statistics, logging.
+ * Unit tests for the common substrate: RNG, statistics, logging, and
+ * the JSON round-trip fidelity the persistent simulation store
+ * depends on (parse(dump(x)) must be bit-equal for every double).
  */
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <limits>
 #include <set>
 
+#include "common/json.h"
 #include "common/log.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -199,6 +204,193 @@ TEST(Log, MessagesCarryFormatting)
         EXPECT_NE(std::string(e.what()).find("name=abc"),
                   std::string::npos);
     }
+}
+
+// ---------------------------------------------------------------------
+// Json: number round-trip fidelity
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** parse(dump(x)) must reproduce x bit-for-bit: persisted SimResults
+ *  are replayed through this path and compared byte-identical. */
+void
+expectNumberRoundTrips(double v)
+{
+    Json j(v);
+    bool ok = false;
+    const Json back = Json::parse(j.dump(), &ok);
+    ASSERT_TRUE(ok) << "value " << v << " dumped as " << j.dump();
+    ASSERT_EQ(back.type(), Json::Type::kNumber) << j.dump();
+    const double r = back.asNumber();
+    // Compare representations, not values: catches -0.0 vs 0.0 too.
+    EXPECT_TRUE(std::memcmp(&r, &v, sizeof v) == 0 ||
+                (v == 0.0 && r == 0.0))
+        << "value " << v << " dumped as " << j.dump()
+        << " re-parsed as " << r;
+}
+
+} // namespace
+
+TEST(JsonNumbers, AwkwardDoublesRoundTripExactly)
+{
+    // The %.10g writer this replaces lost 1.0/3 and 0.1 (and with
+    // them, replayed AIPC values diverged from fresh runs).
+    expectNumberRoundTrips(1.0 / 3.0);
+    expectNumberRoundTrips(0.1);
+    expectNumberRoundTrips(0.1 + 0.2);  // 0.30000000000000004.
+    expectNumberRoundTrips(2.0 / 3.0);
+    expectNumberRoundTrips(1.0 / 7.0);
+    expectNumberRoundTrips(3.141592653589793);
+    expectNumberRoundTrips(2.718281828459045e-10);
+    // Denormals.
+    expectNumberRoundTrips(std::numeric_limits<double>::denorm_min());
+    expectNumberRoundTrips(1e-310);
+    expectNumberRoundTrips(4.9406564584124654e-324);
+    // Extremes of the normal range.
+    expectNumberRoundTrips(std::numeric_limits<double>::max());
+    expectNumberRoundTrips(std::numeric_limits<double>::min());
+    expectNumberRoundTrips(std::numeric_limits<double>::epsilon());
+    // The 2^53 boundary where integers stop being exact.
+    expectNumberRoundTrips(9007199254740991.0);  // 2^53 - 1.
+    expectNumberRoundTrips(9007199254740992.0);  // 2^53.
+    expectNumberRoundTrips(9007199254740994.0);  // 2^53 + 2.
+    expectNumberRoundTrips(-9007199254740991.0);
+    expectNumberRoundTrips(1.8446744073709552e19);  // 2^64.
+}
+
+TEST(JsonNumbers, RandomDoublesRoundTripExactly)
+{
+    // Property sweep: uniformly random mantissas across a wide
+    // exponent range, plus the integer fast path.
+    Rng rng(0x1234);
+    for (int i = 0; i < 2000; ++i) {
+        const double mant = rng.uniform() * 2.0 - 1.0;
+        const int exp = static_cast<int>(rng.range(600)) - 300;
+        const double v = std::ldexp(mant, exp);
+        if (!std::isfinite(v))
+            continue;
+        expectNumberRoundTrips(v);
+        expectNumberRoundTrips(static_cast<double>(
+            static_cast<std::int64_t>(rng.next())));
+    }
+}
+
+TEST(JsonNumbers, NonFiniteSerializesAsNull)
+{
+    EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(),
+              "null");
+    EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(),
+              "null");
+}
+
+// ---------------------------------------------------------------------
+// Json: \uXXXX escape validation
+// ---------------------------------------------------------------------
+
+namespace {
+
+std::string
+parseJsonString(const std::string &text, bool *ok)
+{
+    const Json j = Json::parse(text, ok);
+    return j.type() == Json::Type::kString ? j.asString() : "";
+}
+
+} // namespace
+
+TEST(JsonStrings, ValidUnicodeEscapesDecodeToUtf8)
+{
+    bool ok = false;
+    EXPECT_EQ(parseJsonString("\"\\u0041\"", &ok), "A");
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(parseJsonString("\"\\u00e9\"", &ok), "\xc3\xa9");
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(parseJsonString("\"\\u20ac\"", &ok), "\xe2\x82\xac");
+    EXPECT_TRUE(ok);
+    // Surrogate pair: U+1F600.
+    EXPECT_EQ(parseJsonString("\"\\ud83d\\ude00\"", &ok),
+              "\xf0\x9f\x98\x80");
+    EXPECT_TRUE(ok);
+    // Case-insensitive hex digits.
+    EXPECT_EQ(parseJsonString("\"\\u004A\"", &ok), "J");
+    EXPECT_TRUE(ok);
+}
+
+TEST(JsonStrings, MalformedUnicodeEscapesAreRejected)
+{
+    // strtol used to accept these silently, yielding a truncated
+    // code (often embedding NUL) instead of failing.
+    bool ok = true;
+    Json::parse("\"\\u12g4\"", &ok);
+    EXPECT_FALSE(ok) << "non-hex digit must reject";
+    ok = true;
+    Json::parse("\"\\uzzzz\"", &ok);
+    EXPECT_FALSE(ok);
+    ok = true;
+    Json::parse("\"\\u 123\"", &ok);
+    EXPECT_FALSE(ok) << "space is not a hex digit";
+    ok = true;
+    Json::parse("\"\\u12\"", &ok);
+    EXPECT_FALSE(ok) << "truncated escape must reject";
+    ok = true;
+    Json::parse("\"\\u123\\\"", &ok);
+    EXPECT_FALSE(ok);
+}
+
+TEST(JsonStrings, UnpairedSurrogatesAreRejected)
+{
+    bool ok = true;
+    Json::parse("\"\\ud800\"", &ok);
+    EXPECT_FALSE(ok) << "lone lead surrogate";
+    ok = true;
+    Json::parse("\"\\ud83dx\"", &ok);
+    EXPECT_FALSE(ok) << "lead surrogate followed by a plain char";
+    ok = true;
+    Json::parse("\"\\ud83d\\u0041\"", &ok);
+    EXPECT_FALSE(ok) << "lead surrogate followed by a non-trail escape";
+    ok = true;
+    Json::parse("\"\\udc00\"", &ok);
+    EXPECT_FALSE(ok) << "lone trail surrogate";
+}
+
+TEST(JsonStrings, EscapedStringsRoundTripThroughDump)
+{
+    Json j(std::string("line\nwith\ttabs \"quotes\" and \x01 ctrl"));
+    bool ok = false;
+    const Json back = Json::parse(j.dump(), &ok);
+    ASSERT_TRUE(ok);
+    EXPECT_EQ(back.asString(), j.asString());
+}
+
+// ---------------------------------------------------------------------
+// Json: operator[] type discipline
+// ---------------------------------------------------------------------
+
+TEST(JsonObjects, IndexingANonObjectIsFatal)
+{
+    // Appending fields to a number used to "work" — dump() silently
+    // dropped them (data loss with no diagnostic).
+    Json num(1.5);
+    EXPECT_THROW(num["field"], FatalError);
+    Json str("text");
+    EXPECT_THROW(str["field"], FatalError);
+    Json arr = Json::array();
+    EXPECT_THROW(arr["field"], FatalError);
+    Json flag(true);
+    EXPECT_THROW(flag["field"], FatalError);
+}
+
+TEST(JsonObjects, IndexingNullPromotesToObject)
+{
+    Json j;
+    j["a"] = 1;
+    ASSERT_TRUE(j.isObject());
+    EXPECT_EQ(j.find("a")->asNumber(), 1.0);
+    // And a real object keeps working.
+    Json obj = Json::object();
+    obj["x"]["y"] = 2;  // Nested null-promotion.
+    EXPECT_EQ(obj.find("x")->find("y")->asNumber(), 2.0);
 }
 
 } // namespace

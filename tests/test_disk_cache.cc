@@ -1,0 +1,354 @@
+/**
+ * @file
+ * Tests for the persistent simulation store: exact SimResult JSON
+ * round-trips (sim_io), the on-disk record store (DiskSimCache —
+ * atomic writes, forgiving reads), the two-tier SimCache hierarchy,
+ * and the end-to-end contract that a second engine/process sharing
+ * one --cache-dir replays byte-identical results without simulating.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/sim_io.h"
+#include "driver/disk_cache.h"
+#include "driver/sim_cache.h"
+#include "driver/sweep_engine.h"
+#include "kernels/kernel.h"
+
+namespace ws {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** A fresh, empty store directory unique to @p name. */
+std::string
+storeDir(const std::string &name)
+{
+    const std::string dir = testing::TempDir() + "ws_store_" + name;
+    fs::remove_all(dir);
+    return dir;
+}
+
+/** One real simulation: a small kernel at a short budget, so the
+ *  SimResult carries a fully-populated StatReport. */
+SimResult
+simulateKernel(const std::string &name, int threads, Cycle budget)
+{
+    KernelParams params;
+    params.threads = static_cast<std::uint16_t>(threads);
+    const DataflowGraph g = findKernel(name).build(params);
+    SimOptions opts;
+    opts.maxCycles = budget;
+    return runSimulation(g, ProcessorConfig::baseline(), opts);
+}
+
+SimJob
+kernelJob(const std::string &name, int threads, Cycle budget)
+{
+    KernelParams params;
+    params.threads = static_cast<std::uint16_t>(threads);
+    const Kernel &k = findKernel(name);
+    SimJob job;
+    job.graph =
+        std::make_shared<const DataflowGraph>(k.build(params));
+    job.cfg = ProcessorConfig::baseline();
+    job.maxCycles = budget;
+    job.graphFp = kernelFingerprint(k, params);
+    return job;
+}
+
+// ---------------------------------------------------------------------
+// sim_io: exact serialization
+// ---------------------------------------------------------------------
+
+TEST(SimIo, JsonRoundTripIsExact)
+{
+    const SimResult fresh = simulateKernel("gzip", 1, 40'000);
+    ASSERT_GT(fresh.report.entries().size(), 0u);
+
+    // Through the same path the store uses: dump to text, re-parse.
+    bool ok = false;
+    const Json j = Json::parse(simResultToJson(fresh).dump(), &ok);
+    ASSERT_TRUE(ok);
+    SimResult back;
+    ASSERT_TRUE(simResultFromJson(j, &back));
+    EXPECT_TRUE(simResultsEqual(fresh, back));
+    // The printed statistics — what the bench tables are made of —
+    // must match byte for byte.
+    EXPECT_EQ(fresh.report.toString(), back.report.toString());
+}
+
+TEST(SimIo, MissingOrMistypedFieldsReject)
+{
+    const SimResult fresh = simulateKernel("gzip", 1, 20'000);
+    SimResult out;
+
+    Json no_version = simResultToJson(fresh);
+    no_version["version"] = Json();  // null: wrong type.
+    EXPECT_FALSE(simResultFromJson(no_version, &out));
+
+    Json wrong_version = simResultToJson(fresh);
+    wrong_version["version"] = 999;
+    EXPECT_FALSE(simResultFromJson(wrong_version, &out));
+
+    Json bad_cycles = simResultToJson(fresh);
+    bad_cycles["cycles"] = "not-a-number";
+    EXPECT_FALSE(simResultFromJson(bad_cycles, &out));
+
+    EXPECT_FALSE(simResultFromJson(Json(), &out));
+    EXPECT_FALSE(simResultFromJson(Json(3.5), &out));
+}
+
+// ---------------------------------------------------------------------
+// DiskSimCache
+// ---------------------------------------------------------------------
+
+TEST(DiskSimCache, InsertLookupRoundTrip)
+{
+    DiskSimCache store(storeDir("roundtrip"));
+    const SimKey key{0x1111, 0x2222, 40'000};
+    const SimResult fresh = simulateKernel("fft", 2, 40'000);
+
+    SimResult out;
+    EXPECT_FALSE(store.lookup(key, &out));
+    EXPECT_EQ(store.stats().misses, 1u);
+
+    store.insert(key, fresh);
+    EXPECT_EQ(store.stats().writes, 1u);
+    EXPECT_EQ(store.stats().writeErrors, 0u);
+
+    ASSERT_TRUE(store.lookup(key, &out));
+    EXPECT_TRUE(simResultsEqual(fresh, out));
+    EXPECT_EQ(store.stats().hits, 1u);
+
+    // A second store instance on the same directory (a later process)
+    // sees the same record.
+    DiskSimCache reopened(store.dir());
+    SimResult again;
+    ASSERT_TRUE(reopened.lookup(key, &again));
+    EXPECT_TRUE(simResultsEqual(fresh, again));
+}
+
+TEST(DiskSimCache, AnyKeyComponentChangeMisses)
+{
+    DiskSimCache store(storeDir("keymiss"));
+    const SimKey key{7, 8, 9};
+    store.insert(key, SimResult{});
+    SimResult out;
+    EXPECT_TRUE(store.lookup(key, &out));
+    EXPECT_FALSE(store.lookup({1, 8, 9}, &out));
+    EXPECT_FALSE(store.lookup({7, 1, 9}, &out));
+    EXPECT_FALSE(store.lookup({7, 8, 1}, &out));
+}
+
+TEST(DiskSimCache, CorruptRecordIsACountedMissNotACrash)
+{
+    DiskSimCache store(storeDir("corrupt"));
+    const SimKey key{0xAAAA, 0xBBBB, 10'000};
+    store.insert(key, simulateKernel("rawdaudio", 1, 10'000));
+
+    // Stomp the record with garbage.
+    {
+        std::ofstream f(store.recordPath(key), std::ios::trunc);
+        f << "{\"this is\": not json at all";
+    }
+    SimResult out;
+    EXPECT_FALSE(store.lookup(key, &out));
+    EXPECT_EQ(store.stats().rejected, 1u);
+
+    // Overwriting with a fresh insert repairs it.
+    const SimResult fresh = simulateKernel("rawdaudio", 1, 10'000);
+    store.insert(key, fresh);
+    ASSERT_TRUE(store.lookup(key, &out));
+    EXPECT_TRUE(simResultsEqual(fresh, out));
+}
+
+TEST(DiskSimCache, TruncatedRecordIsACountedMissNotACrash)
+{
+    DiskSimCache store(storeDir("truncated"));
+    const SimKey key{0xCCCC, 0xDDDD, 10'000};
+    store.insert(key, simulateKernel("rawdaudio", 1, 10'000));
+
+    const std::string path = store.recordPath(key);
+    std::string text;
+    {
+        std::ifstream f(path);
+        std::getline(f, text, '\0');
+    }
+    ASSERT_GT(text.size(), 40u);
+    {
+        // A torn write: the first half of a valid record.
+        std::ofstream f(path, std::ios::trunc);
+        f << text.substr(0, text.size() / 2);
+    }
+    SimResult out;
+    EXPECT_FALSE(store.lookup(key, &out));
+    EXPECT_EQ(store.stats().rejected, 1u);
+}
+
+TEST(DiskSimCache, RecordUnderTheWrongKeyIsRejected)
+{
+    // A record that parses fine but embeds a different key (e.g. a
+    // hand-copied file) must not replay as this key's result.
+    DiskSimCache store(storeDir("wrongkey"));
+    const SimKey a{0x1234, 0x5678, 10'000};
+    const SimKey b{0x4321, 0x8765, 10'000};
+    store.insert(a, simulateKernel("rawdaudio", 1, 10'000));
+    fs::create_directories(fs::path(store.recordPath(b)).parent_path());
+    fs::copy_file(store.recordPath(a), store.recordPath(b));
+
+    SimResult out;
+    EXPECT_FALSE(store.lookup(b, &out));
+    EXPECT_EQ(store.stats().rejected, 1u);
+    EXPECT_TRUE(store.lookup(a, &out));  // The original is untouched.
+}
+
+// ---------------------------------------------------------------------
+// SimCache: the two-tier hierarchy
+// ---------------------------------------------------------------------
+
+TEST(SimCacheTwoTier, DiskHitsPromoteIntoMemory)
+{
+    const std::string dir = storeDir("promote");
+    const SimKey key{0x9999, 0x8888, 20'000};
+    const SimResult fresh = simulateKernel("mcf", 1, 20'000);
+    {
+        SimCache writer;
+        writer.attachDisk(dir);
+        writer.insert(key, fresh);
+        EXPECT_EQ(writer.stats().diskWrites, 1u);
+    }
+
+    // A later process: memory tier empty, record on disk.
+    SimCache reader;
+    reader.attachDisk(dir);
+    EXPECT_EQ(reader.probe(key), SimCache::Tier::kDisk);
+
+    SimResult out;
+    ASSERT_TRUE(reader.lookup(key, &out));
+    EXPECT_TRUE(simResultsEqual(fresh, out));
+    EXPECT_EQ(reader.stats().diskHits, 1u);
+    EXPECT_EQ(reader.stats().memoryHits, 0u);
+
+    // Promoted: the second lookup is served from memory.
+    EXPECT_EQ(reader.probe(key), SimCache::Tier::kMemory);
+    ASSERT_TRUE(reader.lookup(key, &out));
+    EXPECT_EQ(reader.stats().memoryHits, 1u);
+    EXPECT_EQ(reader.stats().diskHits, 1u);
+}
+
+TEST(SimCacheTwoTier, ClearDropsMemoryButNotDisk)
+{
+    SimCache cache;
+    cache.attachDisk(storeDir("clear"));
+    const SimKey key{1, 2, 3};
+    cache.insert(key, SimResult{});
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.probe(key), SimCache::Tier::kDisk);
+    SimResult out;
+    EXPECT_TRUE(cache.lookup(key, &out));
+}
+
+TEST(SimCacheTwoTier, MemoryOnlyProbeReportsNone)
+{
+    SimCache cache;
+    EXPECT_FALSE(cache.hasDisk());
+    EXPECT_EQ(cache.probe({1, 2, 3}), SimCache::Tier::kNone);
+}
+
+// ---------------------------------------------------------------------
+// SweepEngine sharing one store across engines (≈ processes)
+// ---------------------------------------------------------------------
+
+SweepEngine::Options
+storeOpts(unsigned jobs, const std::string &dir)
+{
+    SweepEngine::Options opts;
+    opts.jobs = jobs;
+    opts.progress = false;
+    opts.cacheDir = dir;
+    return opts;
+}
+
+TEST(SweepEngineStore, SecondEngineReplaysEverythingFromDisk)
+{
+    const std::string dir = storeDir("two_engines");
+    std::vector<SimJob> jobs;
+    jobs.push_back(kernelJob("gzip", 1, 40'000));
+    jobs.push_back(kernelJob("djpeg", 1, 40'000));
+    jobs.push_back(kernelJob("fft", 2, 40'000));
+
+    // Engine A (process one): simulates everything, populates the
+    // store. Engine B (process two — its own empty memory tier):
+    // must replay everything from disk without simulating.
+    SweepEngine a(storeOpts(2, dir));
+    const std::vector<SimResult> cold = a.run(jobs);
+    EXPECT_EQ(a.stats().simulated, jobs.size());
+    EXPECT_EQ(a.cache().stats().diskWrites, jobs.size());
+
+    SweepEngine b(storeOpts(2, dir));
+    const std::vector<SimResult> warm = b.run(jobs);
+    EXPECT_EQ(b.stats().simulated, 0u);
+    EXPECT_EQ(b.stats().cacheHits, jobs.size());
+    EXPECT_EQ(b.cache().stats().diskHits, jobs.size());
+
+    // Byte-identical, through the same serialization the tables use.
+    ASSERT_EQ(warm.size(), cold.size());
+    for (std::size_t i = 0; i < cold.size(); ++i) {
+        EXPECT_TRUE(simResultsEqual(cold[i], warm[i])) << "job " << i;
+        EXPECT_EQ(simResultToJson(cold[i]).dump(),
+                  simResultToJson(warm[i]).dump())
+            << "job " << i;
+        EXPECT_EQ(cold[i].report.toString(), warm[i].report.toString())
+            << "job " << i;
+    }
+}
+
+TEST(SweepEngineStore, ReplayEqualsFreshForEveryKernelAndThreadCount)
+{
+    // The acceptance sweep: every kernel in the registry at 1/2/4
+    // threads (thread counts beyond 1 only where the kernel honors
+    // them) must replay from disk field-for-field equal to the fresh
+    // run. Short budgets keep this affordable; the *fidelity* of the
+    // round-trip does not depend on the budget.
+    const std::string dir = storeDir("all_kernels");
+    const Cycle budget = 15'000;
+    std::vector<SimJob> jobs;
+    for (const Kernel &k : kernelRegistry()) {
+        for (int threads : {1, 2, 4}) {
+            if (threads > 1 && !k.multithreaded)
+                continue;
+            jobs.push_back(kernelJob(k.name, threads, budget));
+        }
+    }
+    ASSERT_GE(jobs.size(), 15u);
+
+    SweepEngine fresh_engine(storeOpts(4, dir));
+    const std::vector<SimResult> fresh = fresh_engine.run(jobs);
+    EXPECT_EQ(fresh_engine.stats().simulated, jobs.size());
+
+    SweepEngine replay_engine(storeOpts(4, dir));
+    const std::vector<SimResult> replayed = replay_engine.run(jobs);
+    EXPECT_EQ(replay_engine.stats().simulated, 0u);
+    EXPECT_EQ(replay_engine.cache().stats().diskHits, jobs.size());
+    EXPECT_EQ(replay_engine.cache().stats().diskRejected, 0u);
+
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_TRUE(simResultsEqual(fresh[i], replayed[i]))
+            << "job " << i;
+        EXPECT_EQ(fresh[i].report.toString(),
+                  replayed[i].report.toString())
+            << "job " << i;
+    }
+}
+
+} // namespace
+} // namespace ws

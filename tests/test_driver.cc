@@ -318,6 +318,61 @@ TEST(SweepEngine, RunOneMatchesBatchOfOne)
     EXPECT_EQ(one.report.toString(), again.report.toString());
 }
 
+TEST(SweepEngine, AllHitsBatchStillPrintsProgress)
+{
+    // Regression: run() pre-counted hits into `done` but only
+    // simulated jobs ticked, so a fully-memoized batch printed no
+    // progress line at all — no "N/N done" and no trailing newline,
+    // leaving the next harness's output glued to a stale "\r" line.
+    SweepEngine::Options opts = quietOpts(2);
+    opts.progress = true;
+    opts.label = "prog-test";
+    SweepEngine engine(opts);
+    const std::vector<SimJob> jobs = sampleBatch(0xA00);
+
+    testing::internal::CaptureStderr();
+    engine.run(jobs);
+    const std::string cold = testing::internal::GetCapturedStderr();
+    EXPECT_NE(cold.find("4/4 done (0 cached)"), std::string::npos)
+        << cold;
+
+    testing::internal::CaptureStderr();
+    engine.run(jobs);  // Every point replays from cache.
+    const std::string warm = testing::internal::GetCapturedStderr();
+    EXPECT_NE(warm.find("4/4 done (4 cached)"), std::string::npos)
+        << warm;
+    ASSERT_FALSE(warm.empty());
+    EXPECT_EQ(warm.back(), '\n') << warm;
+}
+
+TEST(SweepEngine, MixedBatchProgressCountsHitsUpFront)
+{
+    // The first progress line of a partially-memoized batch reports
+    // the replayed points before any simulation finishes, mirroring
+    // runGrouped where every job ticks exactly once.
+    SweepEngine::Options opts = quietOpts(1);
+    opts.progress = true;
+    opts.label = "mixed";
+    SweepEngine engine(opts);
+    std::vector<SimJob> jobs = sampleBatch(0xB00);
+
+    testing::internal::CaptureStderr();
+    engine.run({jobs[0], jobs[1]});  // Memoize half the batch.
+    testing::internal::GetCapturedStderr();
+
+    testing::internal::CaptureStderr();
+    engine.run(jobs);  // 2 hits + 2 misses.
+    const std::string out = testing::internal::GetCapturedStderr();
+    // The up-front line credits the two replayed points before the
+    // first simulation completes.
+    EXPECT_NE(out.find("2/4 done (2 cached)"), std::string::npos)
+        << out;
+    EXPECT_NE(out.find("4/4 done (2 cached)"), std::string::npos)
+        << out;
+    EXPECT_EQ(engine.stats().cacheHits, 2u);
+    EXPECT_EQ(engine.stats().simulated, 4u);
+}
+
 // ---------------------------------------------------------------------
 // SweepEngine::runGrouped (bound-based pruning)
 // ---------------------------------------------------------------------

@@ -1,0 +1,424 @@
+/**
+ * @file
+ * wsa-serve: batched sweep service over the persistent simulation
+ * store — the serve-heavy-traffic front-end of the sweep stack.
+ *
+ *   wsa-serve [options] < request.json > results.ndjson
+ *
+ * Reads ONE batched sweep request (JSON object, schema below), shards
+ * the points across SweepEngine workers that share the two-tier result
+ * cache (memory + optional --cache-dir persistent store), and streams
+ * results as NDJSON: one line per point, in submission order, followed
+ * by a summary line. Repeat configurations — within the batch, across
+ * batches, or across any processes sharing the same store — are O(1)
+ * record lookups instead of simulations.
+ *
+ * Request schema (all fields but "requests" optional):
+ *
+ *   {
+ *     "cache_dir": "simstore",      // --cache-dir wins over this
+ *     "jobs": 8,                    // --jobs wins over this
+ *     "include_report": false,      // embed full StatReport per line
+ *     "requests": [
+ *       { "kernel": "fft",          // registry name (required)
+ *         "threads": 4, "scale": 1, "seed": 1,
+ *         "max_cycles": 600000,     // bench harness default
+ *         "config": {               // omitted knobs = Table-1 baseline
+ *           "clusters": 1, "domains_per_cluster": 4,
+ *           "pes_per_domain": 8,
+ *           "matching_entries": 128, "matching_ways": 2,
+ *           "matching_banks": 4, "inst_store_entries": 128,
+ *           "k": 4, "pod_bypass": true, "relax_limits": false,
+ *           "seed": 1, "always_tick": false,
+ *           "reference_core": false, "check": "off" } } ] }
+ *
+ * Defaults mirror bench/bench_util's full-run values, and the cache
+ * key is built from the same kernel fingerprint and config
+ * fingerprint the harnesses use — so a store warmed by wsa-serve
+ * serves the harnesses and vice versa.
+ *
+ * Response: per-point lines
+ *
+ *   {"index":0,"kernel":"fft","threads":4,"source":"disk",
+ *    "completed":true,"cycles":123,"useful":456,"aipc":3.7}
+ *
+ * ("source" is memory | disk | simulated; with include_report the
+ * line gains "result", the exact sim_io record) and a final
+ *
+ *   {"summary":{"requests":N,"simulated":n,"memory_hits":n,
+ *               "disk_hits":n,"wall_ms":x,"cache_dir":"..."}}
+ *
+ * Exit status: 0 ok, 1 --assert-no-sim violated (a CI warm-pass ran
+ * something), 2 usage/request error.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/json.h"
+#include "common/log.h"
+#include "core/config.h"
+#include "core/sim_io.h"
+#include "core/simulator.h"
+#include "driver/sweep_engine.h"
+#include "kernels/kernel.h"
+
+using namespace ws;
+
+namespace {
+
+struct Options
+{
+    std::string cacheDir;
+    std::string inPath;   ///< Empty = stdin.
+    std::string outPath;  ///< Empty = stdout.
+    unsigned jobs = 0;    ///< 0 = take from request / hardware.
+    bool quiet = false;
+    bool assertNoSim = false;  ///< Exit 1 if anything simulated
+                               ///  (CI warm-store assertion).
+};
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: wsa-serve [--cache-dir=PATH] [--jobs=N] "
+                 "[--in=FILE] [--out=FILE] [--quiet] "
+                 "[--assert-no-sim]\n"
+                 "reads one batched sweep request (JSON) from --in "
+                 "(default stdin),\nstreams NDJSON results to --out "
+                 "(default stdout); see the file header\nfor the "
+                 "request schema\n");
+    return 2;
+}
+
+/** Required number with a default: requests are data, so a malformed
+ *  field is a fatal() request error, not a silent fallback. */
+double
+numberOr(const Json &obj, const std::string &key, double fallback)
+{
+    const Json *f = obj.find(key);
+    if (f == nullptr)
+        return fallback;
+    if (f->type() != Json::Type::kNumber)
+        fatal("wsa-serve: field \"%s\" must be a number", key.c_str());
+    return f->asNumber();
+}
+
+bool
+boolOr(const Json &obj, const std::string &key, bool fallback)
+{
+    const Json *f = obj.find(key);
+    if (f == nullptr)
+        return fallback;
+    if (f->type() != Json::Type::kBool)
+        fatal("wsa-serve: field \"%s\" must be a bool", key.c_str());
+    return f->asBool();
+}
+
+/** Build a ProcessorConfig from the request's "config" object.
+ *  Unknown keys are fatal — a typo must not silently run the
+ *  baseline machine and cache it under the wrong name. */
+ProcessorConfig
+configFromJson(const Json *j)
+{
+    ProcessorConfig cfg = ProcessorConfig::baseline();
+    if (j == nullptr)
+        return cfg;
+    if (!j->isObject())
+        fatal("wsa-serve: \"config\" must be an object");
+    for (const auto &[key, value] : j->fields()) {
+        if (key == "clusters") {
+            cfg.clusters = static_cast<std::uint16_t>(value.asNumber());
+        } else if (key == "domains_per_cluster") {
+            cfg.domainsPerCluster =
+                static_cast<std::uint16_t>(value.asNumber());
+        } else if (key == "pes_per_domain") {
+            cfg.pesPerDomain =
+                static_cast<std::uint16_t>(value.asNumber());
+        } else if (key == "matching_entries") {
+            cfg.pe.matchingEntries =
+                static_cast<unsigned>(value.asNumber());
+        } else if (key == "matching_ways") {
+            cfg.pe.matchingWays =
+                static_cast<unsigned>(value.asNumber());
+        } else if (key == "matching_banks") {
+            cfg.pe.matchingBanks =
+                static_cast<unsigned>(value.asNumber());
+        } else if (key == "inst_store_entries") {
+            cfg.pe.instStoreEntries =
+                static_cast<unsigned>(value.asNumber());
+        } else if (key == "k") {
+            cfg.pe.k = static_cast<unsigned>(value.asNumber());
+        } else if (key == "pod_bypass") {
+            cfg.pe.podBypass = value.asBool();
+        } else if (key == "relax_limits") {
+            cfg.relaxLimits = value.asBool();
+        } else if (key == "seed") {
+            cfg.seed = static_cast<std::uint64_t>(value.asNumber());
+        } else if (key == "always_tick") {
+            cfg.alwaysTick = value.asBool();
+        } else if (key == "reference_core") {
+            cfg.referenceCore = value.asBool();
+        } else if (key == "check") {
+            if (value.type() != Json::Type::kString ||
+                !parseCheckLevel(value.asString().c_str(),
+                                 &cfg.checkLevel)) {
+                fatal("wsa-serve: bad \"check\" level (want off, "
+                      "cheap, or full)");
+            }
+        } else {
+            fatal("wsa-serve: unknown config field \"%s\"",
+                  key.c_str());
+        }
+    }
+    return cfg;
+}
+
+/** Graphs shared across the batch: N requests against one
+ *  (kernel, threads, scale, seed) program build it once. */
+std::shared_ptr<const DataflowGraph>
+cachedGraph(const Kernel &kernel, const KernelParams &params)
+{
+    using GraphKey = std::tuple<std::string, std::uint16_t,
+                                std::uint32_t, std::uint64_t>;
+    static std::map<GraphKey, std::shared_ptr<const DataflowGraph>> cache;
+    const GraphKey key{kernel.name, params.threads, params.scale,
+                       params.seed};
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+    auto graph =
+        std::make_shared<const DataflowGraph>(kernel.build(params));
+    cache.emplace(key, graph);
+    return graph;
+}
+
+const char *
+tierName(SimCache::Tier tier)
+{
+    switch (tier) {
+      case SimCache::Tier::kMemory: return "memory";
+      case SimCache::Tier::kDisk: return "disk";
+      case SimCache::Tier::kNone: return "simulated";
+    }
+    return "?";
+}
+
+struct ServeJob
+{
+    std::string kernel;
+    int threads = 1;
+    SimJob job;
+};
+
+int
+serve(const Options &opt)
+{
+    // --- Read the request. ---
+    std::string text;
+    if (opt.inPath.empty()) {
+        std::stringstream ss;
+        ss << std::cin.rdbuf();
+        text = ss.str();
+    } else {
+        std::ifstream in(opt.inPath, std::ios::binary);
+        if (!in)
+            fatal("wsa-serve: cannot read %s", opt.inPath.c_str());
+        std::stringstream ss;
+        ss << in.rdbuf();
+        text = ss.str();
+    }
+    bool ok = false;
+    const Json request = Json::parse(text, &ok);
+    if (!ok || !request.isObject())
+        fatal("wsa-serve: request is not a JSON object");
+
+    const Json *requests = request.find("requests");
+    if (requests == nullptr || !requests->isArray())
+        fatal("wsa-serve: request needs a \"requests\" array");
+    const bool include_report =
+        boolOr(request, "include_report", false);
+
+    std::string cache_dir = opt.cacheDir;
+    if (cache_dir.empty()) {
+        const Json *d = request.find("cache_dir");
+        if (d != nullptr && d->type() == Json::Type::kString)
+            cache_dir = d->asString();
+    }
+    unsigned jobs = opt.jobs;
+    if (jobs == 0)
+        jobs = static_cast<unsigned>(numberOr(request, "jobs", 0));
+
+    // --- Build the jobs (fail-fast before running anything). ---
+    std::vector<ServeJob> batch;
+    batch.reserve(requests->size());
+    for (const Json &req : requests->items()) {
+        if (!req.isObject())
+            fatal("wsa-serve: each request must be an object");
+        const Json *name = req.find("kernel");
+        if (name == nullptr || name->type() != Json::Type::kString)
+            fatal("wsa-serve: each request needs a \"kernel\" name");
+        const Kernel &kernel = findKernel(name->asString());
+
+        KernelParams params;
+        params.threads =
+            static_cast<std::uint16_t>(numberOr(req, "threads", 1));
+        params.scale =
+            static_cast<std::uint32_t>(numberOr(req, "scale", 1));
+        params.seed =
+            static_cast<std::uint64_t>(numberOr(req, "seed", 1));
+
+        ServeJob sj;
+        sj.kernel = kernel.name;
+        sj.threads = params.threads;
+        sj.job.graph = cachedGraph(kernel, params);
+        sj.job.cfg = configFromJson(req.find("config"));
+        // Processor wires the memory/mesh cluster counts from the
+        // top level; mirror that before validating a scaled config.
+        sj.job.cfg.memory.clusters = sj.job.cfg.clusters;
+        sj.job.cfg.mesh.clusters = sj.job.cfg.clusters;
+        sj.job.cfg.validate();
+        sj.job.maxCycles = static_cast<Cycle>(
+            numberOr(req, "max_cycles", 600'000));
+        sj.job.graphFp = kernelFingerprint(kernel, params);
+        batch.push_back(std::move(sj));
+    }
+
+    // --- Run, sharded into chunks so results stream out as the
+    //     engine finishes them rather than all at the end. ---
+    SweepEngine::Options eopts;
+    eopts.jobs = jobs;
+    eopts.label = "wsa-serve";
+    eopts.progress = !opt.quiet;
+    eopts.cacheDir = cache_dir;
+    SweepEngine engine(eopts);
+
+    std::ofstream out_file;
+    if (!opt.outPath.empty()) {
+        out_file.open(opt.outPath, std::ios::binary | std::ios::trunc);
+        if (!out_file)
+            fatal("wsa-serve: cannot write %s", opt.outPath.c_str());
+    }
+    std::ostream &out = opt.outPath.empty() ? std::cout : out_file;
+
+    const std::size_t chunk_size =
+        std::max<std::size_t>(16, std::size_t{4} * engine.jobs());
+    for (std::size_t begin = 0; begin < batch.size();
+         begin += chunk_size) {
+        const std::size_t end =
+            std::min(batch.size(), begin + chunk_size);
+        std::vector<SimJob> jobs_chunk;
+        std::vector<SimCache::Tier> tiers;
+        jobs_chunk.reserve(end - begin);
+        tiers.reserve(end - begin);
+        for (std::size_t i = begin; i < end; ++i) {
+            // Provenance label: where this point will be served from.
+            tiers.push_back(engine.cache().probe(
+                SimCache::Key{batch[i].job.graphFp,
+                              batch[i].job.cfg.fingerprint(),
+                              batch[i].job.maxCycles}));
+            jobs_chunk.push_back(batch[i].job);
+        }
+        const std::vector<SimResult> results = engine.run(jobs_chunk);
+        for (std::size_t i = begin; i < end; ++i) {
+            const SimResult &r = results[i - begin];
+            Json line = Json::object();
+            line["index"] = static_cast<std::uint64_t>(i);
+            line["kernel"] = batch[i].kernel;
+            line["threads"] = batch[i].threads;
+            line["source"] = tierName(tiers[i - begin]);
+            line["completed"] = r.completed;
+            line["cycles"] = static_cast<std::uint64_t>(r.cycles);
+            line["useful"] = static_cast<std::uint64_t>(r.useful);
+            line["aipc"] = r.aipc;
+            if (include_report)
+                line["result"] = simResultToJson(r);
+            out << line.dump() << '\n';
+        }
+        out.flush();
+    }
+
+    // --- Summary line. ---
+    const SweepStats &stats = engine.stats();
+    const SimCacheStats cs = engine.cache().stats();
+    Json summary_line = Json::object();
+    Json &summary = summary_line["summary"];
+    summary["requests"] = static_cast<std::uint64_t>(batch.size());
+    summary["simulated"] = static_cast<std::uint64_t>(stats.simulated);
+    summary["memory_hits"] = static_cast<std::uint64_t>(cs.memoryHits);
+    summary["disk_hits"] = static_cast<std::uint64_t>(cs.diskHits);
+    summary["disk_writes"] = static_cast<std::uint64_t>(cs.diskWrites);
+    summary["disk_rejected"] =
+        static_cast<std::uint64_t>(cs.diskRejected);
+    summary["wall_ms"] = stats.wallMs;
+    summary["cache_dir"] = cache_dir;
+    out << summary_line.dump() << '\n';
+    out.flush();
+
+    if (!opt.quiet) {
+        std::fprintf(stderr,
+                     "[wsa-serve] %zu requests: %llu simulated, "
+                     "%llu memory hits, %llu disk hits (%.0f ms sim "
+                     "wall)\n",
+                     batch.size(),
+                     static_cast<unsigned long long>(stats.simulated),
+                     static_cast<unsigned long long>(cs.memoryHits),
+                     static_cast<unsigned long long>(cs.diskHits),
+                     stats.wallMs);
+    }
+    if (opt.assertNoSim && stats.simulated != 0) {
+        std::fprintf(stderr,
+                     "[wsa-serve] --assert-no-sim: %llu points "
+                     "simulated instead of replaying from %s\n",
+                     static_cast<unsigned long long>(stats.simulated),
+                     cache_dir.empty() ? "(no cache dir)"
+                                       : cache_dir.c_str());
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--cache-dir=", 0) == 0) {
+            opt.cacheDir = arg.substr(12);
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            opt.jobs = static_cast<unsigned>(
+                std::strtoul(arg.c_str() + 7, nullptr, 10));
+        } else if (arg.rfind("--in=", 0) == 0) {
+            opt.inPath = arg.substr(5);
+        } else if (arg.rfind("--out=", 0) == 0) {
+            opt.outPath = arg.substr(6);
+        } else if (arg == "--quiet") {
+            opt.quiet = true;
+        } else if (arg == "--assert-no-sim") {
+            opt.assertNoSim = true;
+        } else {
+            return usage();
+        }
+    }
+    setQuiet(true);
+    try {
+        return serve(opt);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+    }
+}
